@@ -1,0 +1,34 @@
+//! Criterion benches for the O(k) estimate path (Theorem 3, item 5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dp_core::config::SketchConfig;
+use dp_core::sjlt_private::PrivateSjlt;
+use dp_hashing::Seed;
+
+fn bench_estimate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("estimate_sq_distance");
+    for (alpha, label) in [(0.3f64, "k~small"), (0.1, "k~large")] {
+        let d = 1 << 10;
+        let cfg = SketchConfig::builder()
+            .input_dim(d)
+            .alpha(alpha)
+            .beta(0.05)
+            .epsilon(1.0)
+            .build()
+            .expect("config");
+        let sk = PrivateSjlt::new(&cfg, Seed::new(1)).expect("sjlt");
+        let x = vec![1.0; d];
+        let y = vec![0.5; d];
+        let a = sk.sketch(&x, Seed::new(2));
+        let b = sk.sketch(&y, Seed::new(3));
+        group.bench_with_input(
+            BenchmarkId::new(label, sk.k()),
+            &sk.k(),
+            |bench, _| bench.iter(|| sk.estimate_sq_distance(&a, &b)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_estimate);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion benches for the fast Walsh-Hadamard transform (the FJLT's
+//! O(d log d) core).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dp_bench::workload::gaussian_vec;
+use dp_hashing::Seed;
+use dp_linalg::hadamard::fwht_normalized;
+
+fn bench_fwht(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fwht");
+    for d in [1usize << 10, 1 << 14, 1 << 16] {
+        let x = gaussian_vec(d, Seed::new(d as u64));
+        group.throughput(Throughput::Elements(d as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, _| {
+            let mut buf = x.clone();
+            b.iter(|| {
+                fwht_normalized(&mut buf).expect("pow2");
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fwht);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion benches for the noise samplers, including the exact discrete
+//! samplers of Section 2.3.1 (their rejection loops cost more than the
+//! continuous inverse-CDF paths; this quantifies the overhead).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dp_hashing::Seed;
+use dp_noise::discrete_gaussian::DiscreteGaussian;
+use dp_noise::discrete_laplace::DiscreteLaplace;
+use dp_noise::gaussian::Gaussian;
+use dp_noise::laplace::Laplace;
+use dp_noise::snapping::Snapping;
+
+fn bench_noise(c: &mut Criterion) {
+    let mut group = c.benchmark_group("noise_sample");
+    let mut rng = Seed::new(1).rng();
+
+    let lap = Laplace::new(2.0).expect("scale");
+    group.bench_function("laplace", |b| b.iter(|| lap.sample(&mut rng)));
+
+    let gau = Gaussian::new(2.0).expect("sigma");
+    group.bench_function("gaussian", |b| b.iter(|| gau.sample(&mut rng)));
+
+    let dlap = DiscreteLaplace::new(2.0).expect("scale");
+    group.bench_function("discrete_laplace", |b| b.iter(|| dlap.sample(&mut rng)));
+
+    let dgau = DiscreteGaussian::new(2.0).expect("sigma");
+    group.bench_function("discrete_gaussian", |b| b.iter(|| dgau.sample(&mut rng)));
+
+    let snap = Snapping::new(2.0, 1e6).expect("params");
+    group.bench_function("snapping", |b| b.iter(|| snap.release(1.0, &mut rng)));
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_noise);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion benches for sketch application across transform families
+//! (E5's micro counterpart; one bench group per input dimension).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dp_bench::workload::{gaussian_vec, sparse_vec};
+use dp_hashing::Seed;
+use dp_transforms::fjlt::Fjlt;
+use dp_transforms::gaussian_iid::GaussianIid;
+use dp_transforms::sjlt::Sjlt;
+use dp_transforms::{JlParams, LinearTransform};
+
+fn bench_sketch(c: &mut Criterion) {
+    let params = JlParams::new(0.25, 0.05).expect("params");
+    let (k, s, t) = (params.k_for_sjlt(), params.s(), params.independence());
+    let mut group = c.benchmark_group("sketch_apply");
+    for d in [1usize << 10, 1 << 13] {
+        let x = gaussian_vec(d, Seed::new(d as u64));
+        let xs = sparse_vec(d, 64, Seed::new(d as u64 + 1));
+        let mut out = vec![0.0; k];
+        group.throughput(Throughput::Elements(d as u64));
+
+        let sjlt = Sjlt::new_cached(d, k, s, t, Seed::new(1)).expect("sjlt");
+        group.bench_with_input(BenchmarkId::new("sjlt_cached", d), &d, |b, _| {
+            b.iter(|| sjlt.apply_into(&x, &mut out).expect("apply"));
+        });
+        let sjlt_h = Sjlt::new(d, k, s, t, Seed::new(1)).expect("sjlt");
+        group.bench_with_input(BenchmarkId::new("sjlt_hashed", d), &d, |b, _| {
+            b.iter(|| sjlt_h.apply_into(&x, &mut out).expect("apply"));
+        });
+        group.bench_with_input(BenchmarkId::new("sjlt_sparse64", d), &d, |b, _| {
+            b.iter(|| sjlt.apply_sparse(&xs).expect("apply"));
+        });
+        let fjlt = Fjlt::new(d, k, &params, Seed::new(1)).expect("fjlt");
+        group.bench_with_input(BenchmarkId::new("fjlt", d), &d, |b, _| {
+            b.iter(|| fjlt.apply_into(&x, &mut out).expect("apply"));
+        });
+        if d <= 1 << 12 {
+            let iid = GaussianIid::new(d, k, Seed::new(1)).expect("iid");
+            group.bench_with_input(BenchmarkId::new("gaussian_iid", d), &d, |b, _| {
+                b.iter(|| iid.apply_into(&x, &mut out).expect("apply"));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sketch);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion benches for turnstile updates (E6's micro counterpart):
+//! O(s) SJLT updates vs O(k) dense updates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dp_hashing::{Prng, Seed};
+use dp_stream::StreamingSketch;
+use dp_transforms::gaussian_iid::GaussianIid;
+use dp_transforms::sjlt::Sjlt;
+
+fn bench_update(c: &mut Criterion) {
+    let d = 1 << 12;
+    let mut group = c.benchmark_group("turnstile_update");
+    for k in [256usize, 4096] {
+        let mut sjlt_stream = StreamingSketch::new(
+            Sjlt::new_cached(d, k, 8, 6, Seed::new(1)).expect("sjlt"),
+            "sjlt".into(),
+        );
+        let mut rng = Seed::new(2).rng();
+        group.bench_with_input(BenchmarkId::new("sjlt_s8", k), &k, |b, _| {
+            b.iter(|| {
+                let j = rng.next_range(d as u64) as usize;
+                sjlt_stream.update(j, 1.0).expect("update");
+            });
+        });
+        let mut dense_stream = StreamingSketch::new(
+            GaussianIid::new(d, k, Seed::new(1)).expect("iid"),
+            "iid".into(),
+        );
+        group.bench_with_input(BenchmarkId::new("dense", k), &k, |b, _| {
+            b.iter(|| {
+                let j = rng.next_range(d as u64) as usize;
+                dense_stream.update(j, 1.0).expect("update");
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_update);
+criterion_main!(benches);

@@ -1,0 +1,9 @@
+//! Harness binary for `dp_bench::experiments::e3_fjlt_input_dim`.
+//! Usage: `exp_fjlt_input_dim [--quick]` (--quick shrinks Monte-Carlo sizes 10x).
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let scale = if quick { 0.1 } else { 1.0 };
+    let ok = dp_bench::experiments::e3_fjlt_input_dim::run(scale);
+    std::process::exit(i32::from(!ok));
+}

@@ -1,0 +1,9 @@
+//! Harness binary for `dp_bench::experiments::e13_independence_ablation`.
+//! Usage: `exp_independence_ablation [--quick]`.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let scale = if quick { 0.1 } else { 1.0 };
+    let ok = dp_bench::experiments::e13_independence_ablation::run(scale);
+    std::process::exit(i32::from(!ok));
+}

@@ -1,0 +1,9 @@
+//! Harness binary for `dp_bench::experiments::e11_jl_accuracy`.
+//! Usage: `exp_jl_accuracy [--quick]` (--quick shrinks Monte-Carlo sizes 10x).
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let scale = if quick { 0.1 } else { 1.0 };
+    let ok = dp_bench::experiments::e11_jl_accuracy::run(scale);
+    std::process::exit(i32::from(!ok));
+}

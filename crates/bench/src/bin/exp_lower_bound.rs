@@ -1,0 +1,9 @@
+//! Harness binary for `dp_bench::experiments::e8_lower_bound`.
+//! Usage: `exp_lower_bound [--quick]` (--quick shrinks Monte-Carlo sizes 10x).
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let scale = if quick { 0.1 } else { 1.0 };
+    let ok = dp_bench::experiments::e8_lower_bound::run(scale);
+    std::process::exit(i32::from(!ok));
+}

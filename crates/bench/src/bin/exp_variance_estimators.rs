@@ -1,0 +1,9 @@
+//! Harness binary for `dp_bench::experiments::e1_variance_estimators`.
+//! Usage: `exp_variance_estimators [--quick]` (--quick shrinks Monte-Carlo sizes 10x).
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let scale = if quick { 0.1 } else { 1.0 };
+    let ok = dp_bench::experiments::e1_variance_estimators::run(scale);
+    std::process::exit(i32::from(!ok));
+}

@@ -1,0 +1,114 @@
+//! E10 — sensitivity structure (Note 1, §2.1.1, §6.2.3).
+//!
+//! * i.i.d. Gaussian `P`: `P[∆₂ > 2] ≤ δ′` whenever
+//!   `k > 2 ln d + 2 ln(1/δ′)` (Note 1) — we measure the exceedance
+//!   frequency across seeds at a `k` chosen for δ′ = 0.01 and at a small
+//!   `k` where exceedance is common;
+//! * the initialization scan is `O(dk)` — measured construction-time
+//!   slope in `d·k`;
+//! * SJLT: `∆₁ = √s` and `∆₂ = 1` **exactly**, across every seed
+//!   (verified against materialized matrices).
+
+use crate::experiments::scaled;
+use crate::runner::{mc_summary, time_per_op, CheckList};
+use dp_core::variance::gaussian_sigma;
+use dp_hashing::Seed;
+use dp_stats::{loglog_slope, Table};
+use dp_transforms::gaussian_iid::GaussianIid;
+use dp_transforms::sjlt::Sjlt;
+use dp_transforms::{materialize, LinearTransform};
+
+/// Run the experiment; returns overall pass.
+pub fn run(scale: f64) -> bool {
+    println!("== E10: sensitivity distributions and the init cost ==");
+    let mut checks = CheckList::new();
+    let seeds = scaled(300, scale);
+
+    // --- Gaussian iid: P[∆₂ > 2] at the Note 1 k. ---
+    let d = 256;
+    let k_safe = GaussianIid::k_for_sensitivity_bound(d, 0.01);
+    let exceed_safe = mc_summary(seeds, |rep| {
+        let t = GaussianIid::new(d, k_safe, Seed::new(rep)).expect("iid");
+        f64::from(u8::from(t.l2_sensitivity() > 2.0))
+    });
+    println!(
+        "d = {d}, k = {k_safe} (Note 1 for delta' = 0.01): P[Delta2 > 2] measured {:.4}",
+        exceed_safe.mean()
+    );
+    checks.check(
+        &format!(
+            "Note 1 bound holds: measured {:.4} <= delta' = 0.01 (+MC slack)",
+            exceed_safe.mean()
+        ),
+        exceed_safe.mean() <= 0.01 + 3.0 * (0.01f64 / seeds as f64).sqrt(),
+    );
+
+    // At k far below the bound, ∆₂ routinely exceeds even modest levels.
+    let k_tiny = 4;
+    let exceed_tiny = mc_summary(seeds, |rep| {
+        let t = GaussianIid::new(d, k_tiny, Seed::new(rep)).expect("iid");
+        f64::from(u8::from(t.l2_sensitivity() > 2.0))
+    });
+    println!("k = {k_tiny}: P[Delta2 > 2] measured {:.3}", exceed_tiny.mean());
+    checks.check(
+        "small k makes high sensitivity common (the Kenthapadi risk)",
+        exceed_tiny.mean() > 0.2,
+    );
+
+    // The induced σ penalty: calibrating to the realized ∆₂ costs extra
+    // noise exactly when ∆₂ > 1.
+    let sigma_ratio = mc_summary(seeds.min(100), |rep| {
+        let t = GaussianIid::new(d, k_safe, Seed::new(rep)).expect("iid");
+        gaussian_sigma(t.l2_sensitivity(), 1.0, 1e-6) / gaussian_sigma(1.0, 1.0, 1e-6)
+    });
+    println!(
+        "sigma(realized Delta2)/sigma(Delta2=1): mean {:.3}, max {:.3}",
+        sigma_ratio.mean(),
+        sigma_ratio.max()
+    );
+    checks.check(
+        "exact calibration pays a real sigma premium over the unit assumption",
+        sigma_ratio.mean() > 1.0,
+    );
+
+    // --- Init cost: construction time ~ d·k. ---
+    let sizes = [(256usize, 64usize), (1024, 128), (4096, 256)];
+    let mut table = Table::new(vec!["d", "k", "d*k", "construct ns"]);
+    let (mut dk, mut tns) = (Vec::new(), Vec::new());
+    for &(d, k) in &sizes {
+        let t = time_per_op(3, || {
+            let _ = GaussianIid::new(d, k, Seed::new(1)).expect("iid");
+        });
+        table.row(vec![
+            d.to_string(),
+            k.to_string(),
+            (d * k).to_string(),
+            format!("{t:.0}"),
+        ]);
+        dk.push((d * k) as f64);
+        tns.push(t);
+    }
+    println!("{table}");
+    let slope = loglog_slope(&dk, &tns);
+    println!("construction-time slope in d*k: {slope:.2}");
+    checks.check(
+        &format!("iid construction (incl. sensitivity scan) ~ O(dk) (slope {slope:.2} in [0.7, 1.3])"),
+        (0.7..=1.3).contains(&slope),
+    );
+
+    // --- SJLT: a-priori sensitivities exact for every seed. ---
+    let mut all_exact = true;
+    for rep in 0..seeds.min(60) {
+        let t = Sjlt::new(96, 24, 4, 6, Seed::new(rep)).expect("sjlt");
+        let m = materialize(&t).expect("materialize");
+        let ok1 = (m.l1_sensitivity() - 2.0).abs() < 1e-12; // √4
+        let ok2 = (m.l2_sensitivity() - 1.0).abs() < 1e-12;
+        all_exact &= ok1 && ok2;
+    }
+    checks.check(
+        "SJLT sensitivities are exactly (sqrt(s), 1) for every seed — no init scan needed",
+        all_exact,
+    );
+
+    checks.finish("E10")
+}

@@ -1,0 +1,117 @@
+//! E11 — non-private JL accuracy at the paper's parameter choices.
+//!
+//! `k = Θ(α⁻² ln(1/β))` must give `(1±α)` squared-distance preservation
+//! with probability ≥ 1 − β for all four transform families (JL lemma;
+//! Lemma 5 for the FJLT; Kane–Nelson for the SJLT). We draw fresh
+//! transform seeds per trial and measure the distortion-failure rate.
+
+use crate::experiments::scaled;
+use crate::runner::CheckList;
+use crate::workload::pair_at_distance;
+use dp_hashing::Seed;
+use dp_linalg::vector::sq_distance;
+use dp_stats::Table;
+use dp_transforms::achlioptas::Achlioptas;
+use dp_transforms::fjlt::Fjlt;
+use dp_transforms::gaussian_iid::GaussianIid;
+use dp_transforms::sjlt::Sjlt;
+use dp_transforms::sjlt_graph::SjltGraph;
+use dp_transforms::{JlParams, LinearTransform};
+
+/// Run the experiment; returns overall pass.
+pub fn run(scale: f64) -> bool {
+    println!("== E11: JL distance preservation at k(alpha, beta) ==");
+    let mut checks = CheckList::new();
+    let d = 256;
+    let trials = scaled(1500, scale);
+
+    for (alpha, beta) in [(0.3, 0.1), (0.2, 0.05)] {
+        let params = JlParams::new(alpha, beta).expect("params");
+        let (k, k_sjlt, s, t_indep) = (
+            params.k(),
+            params.k_for_sjlt(),
+            params.s(),
+            params.independence(),
+        );
+        println!("alpha = {alpha}, beta = {beta}: k = {k}, s = {s}");
+        let mut table = Table::new(vec!["transform", "fail rate", "beta", "pass"]);
+        // Failure-rate gate with MC slack.
+        let gate = beta + 3.0 * (beta / trials as f64).sqrt();
+
+        type ApplyFn = Box<dyn FnMut(u64, &[f64]) -> Vec<f64>>;
+        let mut run_family = |name: &str, mut apply: ApplyFn| {
+            let mut fails = 0u64;
+            for rep in 0..trials {
+                let (x, y) = pair_at_distance(d, 25.0, Seed::new(0xE11).index(rep));
+                let true_d = sq_distance(&x, &y);
+                let px = apply(rep, &x);
+                let py = apply(rep, &y);
+                let est = sq_distance(&px, &py);
+                if (est / true_d - 1.0).abs() > alpha {
+                    fails += 1;
+                }
+            }
+            let rate = fails as f64 / trials as f64;
+            let pass = rate <= gate;
+            table.row(vec![
+                name.to_string(),
+                format!("{rate:.4}"),
+                format!("{beta}"),
+                pass.to_string(),
+            ]);
+            checks.check(
+                &format!("{name} (alpha={alpha}): fail rate {rate:.4} <= beta {beta} (+slack)"),
+                pass,
+            );
+        };
+
+        run_family(
+            "gaussian-iid",
+            Box::new(move |rep, v| {
+                GaussianIid::new(d, k, Seed::new(rep))
+                    .expect("iid")
+                    .apply(v)
+                    .expect("apply")
+            }),
+        );
+        run_family(
+            "achlioptas",
+            Box::new(move |rep, v| {
+                Achlioptas::new(d, k, Seed::new(rep))
+                    .expect("achlioptas")
+                    .apply(v)
+                    .expect("apply")
+            }),
+        );
+        run_family(
+            "fjlt",
+            Box::new(move |rep, v| {
+                Fjlt::new(d, k, &params, Seed::new(rep))
+                    .expect("fjlt")
+                    .apply(v)
+                    .expect("apply")
+            }),
+        );
+        run_family(
+            "sjlt",
+            Box::new(move |rep, v| {
+                Sjlt::new(d, k_sjlt, s, t_indep, Seed::new(rep))
+                    .expect("sjlt")
+                    .apply(v)
+                    .expect("apply")
+            }),
+        );
+        run_family(
+            "sjlt-graph",
+            Box::new(move |rep, v| {
+                SjltGraph::new(d, k, s, Seed::new(rep))
+                    .expect("sjlt-graph")
+                    .apply(v)
+                    .expect("apply")
+            }),
+        );
+        println!("{table}");
+    }
+
+    checks.finish("E11")
+}

@@ -1,0 +1,152 @@
+//! E12 — the general Lemma 3 identity across the full
+//! transform × noise grid, including the §2.3.1 discrete mechanisms.
+//!
+//! For every LPP transform (iid, Achlioptas, FJLT, SJLT, SJLT-graph) and
+//! every zero-mean noise family (Laplace, Gaussian, discrete Laplace,
+//! discrete Gaussian, none), the estimator must be unbiased; for the SJLT
+//! (whose transform term is exact) the Lemma 3 variance must match.
+//! We also report the utility overhead of the discrete mechanisms versus
+//! their continuous counterparts (CKS: discrete Gaussian's `E[η²] ≤ σ²`).
+
+use crate::experiments::scaled;
+use crate::runner::{mc_summary, CheckList};
+use crate::workload::pair_at_distance;
+use dp_core::variance::lemma3_variance;
+use dp_hashing::Seed;
+use dp_linalg::vector::{l4_norm, sq_distance};
+use dp_noise::mechanism::{
+    DiscreteGaussianMechanism, DiscreteLaplaceMechanism, GaussianMechanism, LaplaceMechanism,
+    NoiseMechanism, ZeroNoise,
+};
+use dp_stats::table::fmt_g;
+use dp_stats::Table;
+use dp_transforms::achlioptas::Achlioptas;
+use dp_transforms::fjlt::Fjlt;
+use dp_transforms::gaussian_iid::GaussianIid;
+use dp_transforms::sjlt::Sjlt;
+use dp_transforms::sjlt_graph::SjltGraph;
+use dp_transforms::srht::Srht;
+use dp_transforms::{JlParams, LinearTransform};
+
+fn noise_by_name(name: &str, eps: f64, delta: f64) -> Box<dyn NoiseMechanism> {
+    // Sensitivities are taken as the SJLT's worst case (√s with s = 4 → 2)
+    // so the same mechanism works across the grid for the identity check.
+    match name {
+        "laplace" => Box::new(LaplaceMechanism::new(2.0, eps).expect("mech")),
+        "gaussian" => Box::new(GaussianMechanism::new(1.0, eps, delta).expect("mech")),
+        "dlaplace" => Box::new(DiscreteLaplaceMechanism::new(2.0, eps).expect("mech")),
+        "dgaussian" => Box::new(DiscreteGaussianMechanism::new(1.0, eps, delta).expect("mech")),
+        "none" => Box::new(ZeroNoise),
+        other => panic!("unknown noise {other}"),
+    }
+}
+
+/// Run the experiment; returns overall pass.
+pub fn run(scale: f64) -> bool {
+    println!("== E12: Lemma 3 across the transform x noise grid ==");
+    let mut checks = CheckList::new();
+    let d = 48;
+    let (k, s, t_indep) = (32usize, 4usize, 6usize);
+    let params = JlParams::new(0.3, 0.1).expect("params");
+    let (x, y) = pair_at_distance(d, 9.0, Seed::new(0xE12));
+    let true_d = sq_distance(&x, &y);
+    let z: Vec<f64> = x.iter().zip(&y).map(|(a, b)| a - b).collect();
+    let l4 = l4_norm(&z);
+    let reps = scaled(2500, scale);
+    let (eps, delta) = (1.5, 1e-6);
+
+    let transforms = ["iid", "achlioptas", "fjlt", "sjlt", "sjlt-graph", "srht"];
+    let noises = ["laplace", "gaussian", "dlaplace", "dgaussian", "none"];
+    let mut table = Table::new(vec!["transform", "noise", "mean", "bias-z", "emp var"]);
+
+    for t_name in transforms {
+        for n_name in noises {
+            let summary = mc_summary(reps, |rep| {
+                let noise = noise_by_name(n_name, eps, delta);
+                let seed = Seed::new(rep);
+                let apply = |v: &[f64]| -> Vec<f64> {
+                    match t_name {
+                        "iid" => GaussianIid::new(d, k, seed).expect("t").apply(v),
+                        "achlioptas" => Achlioptas::new(d, k, seed).expect("t").apply(v),
+                        "fjlt" => Fjlt::new(d, k, &params, seed).expect("t").apply(v),
+                        "sjlt" => Sjlt::new(d, k, s, t_indep, seed).expect("t").apply(v),
+                        "sjlt-graph" => SjltGraph::new(d, k, s, seed).expect("t").apply(v),
+                        "srht" => Srht::new(d, k, seed).expect("t").apply(v),
+                        other => panic!("unknown transform {other}"),
+                    }
+                    .expect("apply")
+                };
+                let mut sa = apply(&x);
+                let mut sb = apply(&y);
+                let mut rng_a = Seed::new(51_000_000 + rep).rng();
+                let mut rng_b = Seed::new(52_000_000 + rep).rng();
+                for v in sa.iter_mut() {
+                    *v += noise.sample(&mut rng_a);
+                }
+                for v in sb.iter_mut() {
+                    *v += noise.sample(&mut rng_b);
+                }
+                let raw: f64 = sa
+                    .iter()
+                    .zip(&sb)
+                    .map(|(a, b)| {
+                        let e = a - b;
+                        e * e
+                    })
+                    .sum();
+                raw - 2.0 * k as f64 * noise.second_moment()
+            });
+            let bias_z = (summary.mean() - true_d).abs() / summary.stderr().max(1e-12);
+            table.row(vec![
+                t_name.to_string(),
+                n_name.to_string(),
+                fmt_g(summary.mean()),
+                format!("{bias_z:.2}"),
+                fmt_g(summary.variance()),
+            ]);
+            checks.check(
+                &format!("{t_name} x {n_name}: unbiased (|z| = {bias_z:.2} < 5)"),
+                bias_z < 5.0,
+            );
+
+            // Exact variance identity for the SJLT block construction.
+            if t_name == "sjlt" && n_name != "none" {
+                let noise = noise_by_name(n_name, eps, delta);
+                let predicted = lemma3_variance(
+                    k,
+                    true_d,
+                    dp_core::variance::var_transform_sjlt(k, true_d, l4),
+                    noise.second_moment(),
+                    noise.fourth_moment(),
+                );
+                let ratio = summary.variance() / predicted;
+                checks.check(
+                    &format!("sjlt x {n_name}: Lemma 3 variance identity (ratio {ratio:.3})"),
+                    (0.75..=1.3).contains(&ratio),
+                );
+            }
+        }
+    }
+    println!("{table}");
+
+    // Discrete-vs-continuous utility overhead (CKS).
+    let lap = LaplaceMechanism::new(2.0, eps).expect("mech");
+    let dlap = DiscreteLaplaceMechanism::new(2.0, eps).expect("mech");
+    let gau = GaussianMechanism::new(1.0, eps, delta).expect("mech");
+    let dgau = DiscreteGaussianMechanism::new(1.0, eps, delta).expect("mech");
+    let lap_ratio = dlap.second_moment() / lap.second_moment();
+    let gau_ratio = dgau.second_moment() / gau.second_moment();
+    println!(
+        "discrete/continuous E[eta^2] ratios: laplace {lap_ratio:.4}, gaussian {gau_ratio:.4}"
+    );
+    checks.check(
+        &format!("discrete Laplace variance within 10% of continuous ({lap_ratio:.3})"),
+        (0.9..=1.1).contains(&lap_ratio),
+    );
+    checks.check(
+        &format!("discrete Gaussian variance <= continuous (CKS) ({gau_ratio:.3})"),
+        gau_ratio <= 1.0 + 1e-9,
+    );
+
+    checks.finish("E12")
+}

@@ -1,0 +1,99 @@
+//! E6 — streaming update cost (Theorem 3, item 4).
+//!
+//! A turnstile update touches `s` rows for the SJLT versus `k` rows for a
+//! dense transform. We time `StreamingSketch::update` across `k` at fixed
+//! `s` (should be flat in `k` for the SJLT, linear in `k` for the dense
+//! baseline) and across `s` at fixed `k` (should grow with `s`).
+
+use crate::runner::{time_per_op, CheckList};
+use dp_hashing::{Prng, Seed};
+use dp_stats::{loglog_slope, Table};
+use dp_stream::StreamingSketch;
+use dp_transforms::gaussian_iid::GaussianIid;
+use dp_transforms::sjlt::Sjlt;
+
+/// Run the experiment; returns overall pass.
+pub fn run(scale: f64) -> bool {
+    println!("== E6: turnstile update time (O(s) vs O(k)) ==");
+    let mut checks = CheckList::new();
+    let d = 1 << 12;
+    let iters = (20_000.0 * scale.max(0.1)) as u32;
+
+    // Sweep k at fixed s.
+    let s = 8usize;
+    let ks = [256usize, 1024, 4096];
+    let mut table = Table::new(vec!["k", "sjlt(s=8) ns/update", "dense ns/update"]);
+    let (mut t_sjlt, mut t_dense) = (Vec::new(), Vec::new());
+    for &k in &ks {
+        let mut stream = StreamingSketch::new(
+            Sjlt::new(d, k, s, 6, Seed::new(1)).expect("sjlt"),
+            "sjlt".into(),
+        );
+        let mut rng = Seed::new(2).rng();
+        let ts = time_per_op(iters, || {
+            let j = rng.next_range(d as u64) as usize;
+            stream.update(j, 1.0).expect("update");
+        });
+        let mut dense_stream = StreamingSketch::new(
+            GaussianIid::new(d, k, Seed::new(1)).expect("iid"),
+            "iid".into(),
+        );
+        let td = time_per_op(iters.min(4000), || {
+            let j = rng.next_range(d as u64) as usize;
+            dense_stream.update(j, 1.0).expect("update");
+        });
+        table.row(vec![k.to_string(), format!("{ts:.0}"), format!("{td:.0}")]);
+        t_sjlt.push(ts);
+        t_dense.push(td);
+    }
+    println!("{table}");
+
+    let ksf: Vec<f64> = ks.iter().map(|&k| k as f64).collect();
+    let slope_sjlt_k = loglog_slope(&ksf, &t_sjlt);
+    let slope_dense_k = loglog_slope(&ksf, &t_dense);
+    println!("slopes in k: sjlt {slope_sjlt_k:.2}, dense {slope_dense_k:.2}");
+    checks.check(
+        &format!("sjlt update time independent of k (slope {slope_sjlt_k:.2} < 0.35)"),
+        slope_sjlt_k.abs() < 0.35,
+    );
+    // A column update on a row-major k x d matrix is a stride-d walk, so
+    // cache misses push the measured exponent slightly above 1 at large
+    // k; the claim is "grows at least linearly with k".
+    checks.check(
+        &format!("dense update time ~ linear in k (slope {slope_dense_k:.2} in [0.6, 1.8])"),
+        (0.6..=1.8).contains(&slope_dense_k),
+    );
+    checks.check(
+        "sjlt updates are faster than dense at k = 4096",
+        t_sjlt[2] < t_dense[2],
+    );
+
+    // Sweep s at fixed k.
+    let k = 4096usize;
+    let ss = [2usize, 8, 32, 128];
+    let mut table2 = Table::new(vec!["s", "sjlt ns/update"]);
+    let mut t_by_s = Vec::new();
+    for &s in &ss {
+        let mut stream = StreamingSketch::new(
+            Sjlt::new(d, k, s, 6, Seed::new(3)).expect("sjlt"),
+            "sjlt".into(),
+        );
+        let mut rng = Seed::new(4).rng();
+        let ts = time_per_op(iters, || {
+            let j = rng.next_range(d as u64) as usize;
+            stream.update(j, 1.0).expect("update");
+        });
+        table2.row(vec![s.to_string(), format!("{ts:.0}")]);
+        t_by_s.push(ts);
+    }
+    println!("{table2}");
+    let ssf: Vec<f64> = ss.iter().map(|&s| s as f64).collect();
+    let slope_s = loglog_slope(&ssf, &t_by_s);
+    println!("slope in s: {slope_s:.2}");
+    checks.check(
+        &format!("sjlt update time ~ linear in s (slope {slope_s:.2} in [0.5, 1.4])"),
+        (0.5..=1.4).contains(&slope_s),
+    );
+
+    checks.finish("E6")
+}

@@ -1,0 +1,101 @@
+//! E9 — the §6.2.1 optimal projection dimension.
+//!
+//! The total variance trades `2‖z‖⁴/k` (shrinks with k) against
+//! `2k(E[η⁴]+E[η²]²)` (grows with k), so it is U-shaped in `k` with
+//! minimizer `k* = ‖z‖²/√(E[η⁴]+E[η²]²)` — for `Lap(√s/ε)` noise,
+//! `k* = ‖z‖²·ε²/(√28·s)`, i.e. the paper's `k = Θ(ν·ε²/∆₁²)`. We sweep
+//! `k`, measure the variance empirically, and check (a) the U-shape,
+//! (b) the empirical argmin within a small factor of `k*`.
+
+use crate::experiments::scaled;
+use crate::runner::{mc_summary, CheckList};
+use crate::workload::pair_at_distance;
+use dp_core::variance::var_sjlt_laplace;
+use dp_core::framework::GenSketcher;
+use dp_hashing::Seed;
+use dp_linalg::vector::{l4_norm, sq_distance};
+use dp_noise::mechanism::LaplaceMechanism;
+use dp_stats::table::fmt_g;
+use dp_stats::Table;
+use dp_transforms::sjlt::Sjlt;
+
+/// Run the experiment; returns overall pass.
+pub fn run(scale: f64) -> bool {
+    println!("== E9: optimal projection dimension k* ==");
+    let mut checks = CheckList::new();
+    let d = 128;
+    let s = 4usize;
+    let eps = 4.0;
+    // Large distance so the optimum sits inside the sweep range.
+    let (x, y) = pair_at_distance(d, 400.0, Seed::new(0xE9));
+    let dist_sq = sq_distance(&x, &y);
+    let z: Vec<f64> = x.iter().zip(&y).map(|(a, b)| a - b).collect();
+    let l4 = l4_norm(&z);
+    let reps = scaled(2000, scale);
+
+    // Theory: k* = ‖z‖²/√(E[η⁴]+E[η²]²), Laplace(√s/ε) moments.
+    let b2 = s as f64 / (eps * eps);
+    let k_star = dist_sq / (24.0 * b2 * b2 + 4.0 * b2 * b2).sqrt();
+    println!("theory: k* = {k_star:.1} (dist² = {dist_sq:.1}, s = {s}, eps = {eps})");
+
+    let ks: Vec<usize> = (0..10).map(|i| s << i).collect(); // 4..2048
+    let mut table = Table::new(vec!["k", "predicted var", "empirical var"]);
+    let mut emp = Vec::new();
+    let mut pred = Vec::new();
+    for &k in &ks {
+        let p = var_sjlt_laplace(k, s, eps, dist_sq, l4);
+        let summary = mc_summary(reps, |rep| {
+            let t = Sjlt::new(d, k, s, 6, Seed::new(rep)).expect("sjlt");
+            let m = LaplaceMechanism::new((s as f64).sqrt(), eps).expect("mech");
+            let g = GenSketcher::new(t, m, "e9".into());
+            let a = g.sketch(&x, Seed::new(31_000_000 + rep)).expect("sketch");
+            let b = g.sketch(&y, Seed::new(32_000_000 + rep)).expect("sketch");
+            g.estimate_sq_distance(&a, &b).expect("estimate")
+        });
+        table.row(vec![k.to_string(), fmt_g(p), fmt_g(summary.variance())]);
+        emp.push(summary.variance());
+        pred.push(p);
+    }
+    println!("{table}");
+
+    // U-shape on the predictions: strictly decreasing then increasing.
+    let pred_min_idx = pred
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+        .expect("nonempty")
+        .0;
+    checks.check(
+        "predicted variance is U-shaped (interior minimum)",
+        pred_min_idx > 0 && pred_min_idx < ks.len() - 1,
+    );
+    let k_pred_min = ks[pred_min_idx] as f64;
+    checks.check(
+        &format!(
+            "predicted argmin k = {k_pred_min} within the k grid factor 2 of k* = {k_star:.0}"
+        ),
+        k_pred_min / k_star < 2.0 && k_star / k_pred_min < 2.0,
+    );
+
+    // Empirical argmin within factor 4 of k* (MC noise on a flat basin).
+    let emp_min_idx = emp
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+        .expect("nonempty")
+        .0;
+    let k_emp_min = ks[emp_min_idx] as f64;
+    println!("empirical argmin k = {k_emp_min}, theory k* = {k_star:.1}");
+    checks.check(
+        &format!("empirical argmin {k_emp_min} within factor 4 of k* {k_star:.0}"),
+        k_emp_min / k_star < 4.0 && k_star / k_emp_min < 4.0,
+    );
+
+    // The two tails must rise: variance at extreme ks above the minimum.
+    checks.check(
+        "variance rises on both sides of the optimum (empirical)",
+        emp[0] > emp[emp_min_idx] && emp[ks.len() - 1] > emp[emp_min_idx],
+    );
+
+    checks.finish("E9")
+}

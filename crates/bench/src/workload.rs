@@ -1,0 +1,179 @@
+//! Workload generators for the experiments.
+//!
+//! The paper treats inputs generically (`x, y ∈ R^d`, with `[0,1]^d` and
+//! binary/histogram special cases in the related work). These generators
+//! cover the shapes the experiments need: dense Gaussian/uniform vectors,
+//! binary vectors at controlled Hamming distance, sparse vectors with a
+//! fixed support size, histogram (count) vectors, and pairs at an exactly
+//! controlled Euclidean distance.
+
+use dp_hashing::{Prng, Seed};
+use dp_linalg::SparseVector;
+use dp_noise::gaussian::Gaussian;
+
+/// Dense i.i.d. standard-Gaussian vector.
+#[must_use]
+pub fn gaussian_vec(d: usize, seed: Seed) -> Vec<f64> {
+    let g = Gaussian::new(1.0).expect("unit sigma");
+    let mut rng = seed.child("wl-gauss").rng();
+    let mut out = vec![0.0; d];
+    g.fill(&mut out, &mut rng);
+    out
+}
+
+/// Dense i.i.d. `U[0, 1)` vector (the Kenthapadi input domain).
+#[must_use]
+pub fn uniform_vec(d: usize, seed: Seed) -> Vec<f64> {
+    let mut rng = seed.child("wl-unif").rng();
+    (0..d).map(|_| rng.next_f64()).collect()
+}
+
+/// Binary vector with exactly `ones` ones in random positions.
+///
+/// # Panics
+/// If `ones > d`.
+#[must_use]
+pub fn binary_vec(d: usize, ones: usize, seed: Seed) -> Vec<f64> {
+    assert!(ones <= d, "ones {ones} > d {d}");
+    let mut rng = seed.child("wl-bin").rng();
+    let mut out = vec![0.0; d];
+    // Partial Fisher–Yates index sampling.
+    let mut idx: Vec<usize> = (0..d).collect();
+    for t in 0..ones {
+        let pick = t + rng.next_range((d - t) as u64) as usize;
+        idx.swap(t, pick);
+        out[idx[t]] = 1.0;
+    }
+    out
+}
+
+/// Flip exactly `flips` random positions of a binary vector (yielding a
+/// pair at exact Hamming distance `flips` from the input).
+///
+/// # Panics
+/// If `flips > x.len()`.
+#[must_use]
+pub fn flip_bits(x: &[f64], flips: usize, seed: Seed) -> Vec<f64> {
+    assert!(flips <= x.len());
+    let mut rng = seed.child("wl-flip").rng();
+    let mut out = x.to_vec();
+    let d = x.len();
+    let mut idx: Vec<usize> = (0..d).collect();
+    for t in 0..flips {
+        let pick = t + rng.next_range((d - t) as u64) as usize;
+        idx.swap(t, pick);
+        out[idx[t]] = 1.0 - out[idx[t]];
+    }
+    out
+}
+
+/// Sparse vector with exactly `nnz` non-zeros, values `N(0, 1)`.
+///
+/// # Panics
+/// If `nnz > d`.
+#[must_use]
+pub fn sparse_vec(d: usize, nnz: usize, seed: Seed) -> SparseVector {
+    assert!(nnz <= d);
+    let g = Gaussian::new(1.0).expect("unit sigma");
+    let mut rng = seed.child("wl-sparse").rng();
+    let mut idx: Vec<usize> = (0..d).collect();
+    let mut entries = Vec::with_capacity(nnz);
+    for t in 0..nnz {
+        let pick = t + rng.next_range((d - t) as u64) as usize;
+        idx.swap(t, pick);
+        let mut v = g.sample(&mut rng);
+        if v == 0.0 {
+            v = 1.0;
+        }
+        entries.push((idx[t], v));
+    }
+    SparseVector::new(d, entries).expect("indices in range")
+}
+
+/// Histogram vector: `total` items thrown into `d` buckets uniformly
+/// (the paper's Definition 1 motivation: one user changes ‖x‖₁ by 1).
+#[must_use]
+pub fn histogram_vec(d: usize, total: usize, seed: Seed) -> Vec<f64> {
+    let mut rng = seed.child("wl-hist").rng();
+    let mut out = vec![0.0; d];
+    for _ in 0..total {
+        out[rng.next_range(d as u64) as usize] += 1.0;
+    }
+    out
+}
+
+/// A pair `(x, y)` with exactly `‖x − y‖₂² = dist_sq`: `x` Gaussian, `y`
+/// offset by a scaled random unit direction.
+#[must_use]
+pub fn pair_at_distance(d: usize, dist_sq: f64, seed: Seed) -> (Vec<f64>, Vec<f64>) {
+    let x = gaussian_vec(d, seed.child("pair-x"));
+    let dir = gaussian_vec(d, seed.child("pair-dir"));
+    let norm = dp_linalg::vector::l2_norm(&dir);
+    let scale = dist_sq.sqrt() / norm;
+    let y: Vec<f64> = x.iter().zip(&dir).map(|(a, u)| a + scale * u).collect();
+    (x, y)
+}
+
+/// The worst-case neighboring pair for sensitivity: `x` arbitrary and
+/// `x′ = x + e_j` (`‖x − x′‖₁ = 1`, Definition 1 tight).
+#[must_use]
+pub fn neighboring_pair(d: usize, j: usize, seed: Seed) -> (Vec<f64>, Vec<f64>) {
+    let x = uniform_vec(d, seed.child("nb-x"));
+    let mut y = x.clone();
+    y[j] += 1.0;
+    (x, y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_linalg::vector::{l0_norm, l1_distance, sq_distance};
+
+    #[test]
+    fn binary_vec_exact_ones() {
+        let x = binary_vec(100, 37, Seed::new(1));
+        assert_eq!(l0_norm(&x), 37);
+        assert!(x.iter().all(|&v| v == 0.0 || v == 1.0));
+    }
+
+    #[test]
+    fn flip_bits_exact_hamming() {
+        let x = binary_vec(200, 50, Seed::new(2));
+        let y = flip_bits(&x, 20, Seed::new(3));
+        let ham = x.iter().zip(&y).filter(|(a, b)| a != b).count();
+        assert_eq!(ham, 20);
+    }
+
+    #[test]
+    fn sparse_vec_exact_support() {
+        let v = sparse_vec(500, 32, Seed::new(4));
+        assert_eq!(v.nnz(), 32);
+        assert_eq!(v.dim(), 500);
+    }
+
+    #[test]
+    fn histogram_conserves_mass() {
+        let h = histogram_vec(16, 1000, Seed::new(5));
+        let total: f64 = h.iter().sum();
+        assert_eq!(total, 1000.0);
+    }
+
+    #[test]
+    fn pair_distance_is_exact() {
+        let (x, y) = pair_at_distance(64, 7.5, Seed::new(6));
+        assert!((sq_distance(&x, &y) - 7.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn neighboring_pair_is_tight() {
+        let (x, y) = neighboring_pair(32, 5, Seed::new(7));
+        assert!((l1_distance(&x, &y) - 1.0).abs() < 1e-12);
+        assert_eq!(x.len(), 32);
+    }
+
+    #[test]
+    fn generators_deterministic() {
+        assert_eq!(gaussian_vec(8, Seed::new(9)), gaussian_vec(8, Seed::new(9)));
+        assert_ne!(gaussian_vec(8, Seed::new(9)), gaussian_vec(8, Seed::new(10)));
+    }
+}

@@ -1,0 +1,255 @@
+//! End-to-end configuration: the paper's decision rules in one builder.
+//!
+//! Given `(d, α, β, ε)` and optionally `δ`, [`SketchConfig`] derives
+//! `k = Θ(α⁻² ln(1/β))` (rounded for the SJLT blocks), the sparsity
+//! `s = O(α⁻¹ ln(1/β))`, the hash independence, and the Note 5 noise
+//! choice for the SJLT (`Laplace` iff `δ < e^{−s}` or no δ was budgeted).
+
+use crate::error::CoreError;
+use dp_noise::mechanism::{select_mechanism, MechanismChoice};
+use dp_transforms::JlParams;
+
+/// Validated sketch configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SketchConfig {
+    d: usize,
+    params: JlParams,
+    epsilon: f64,
+    delta: Option<f64>,
+}
+
+impl SketchConfig {
+    /// Start building a configuration.
+    #[must_use]
+    pub fn builder() -> SketchConfigBuilder {
+        SketchConfigBuilder::default()
+    }
+
+    /// Input dimension `d`.
+    #[must_use]
+    pub fn input_dim(&self) -> usize {
+        self.d
+    }
+
+    /// JL parameters (α, β and the derived k, s).
+    #[must_use]
+    pub fn jl(&self) -> &JlParams {
+        &self.params
+    }
+
+    /// Privacy parameter ε.
+    #[must_use]
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Optional approximate-DP budget δ.
+    #[must_use]
+    pub fn delta(&self) -> Option<f64> {
+        self.delta
+    }
+
+    /// Output dimension for dense transforms.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.params.k()
+    }
+
+    /// Output dimension for the SJLT (rounded to a multiple of `s`).
+    #[must_use]
+    pub fn k_sjlt(&self) -> usize {
+        self.params.k_for_sjlt()
+    }
+
+    /// SJLT sparsity `s`.
+    #[must_use]
+    pub fn s(&self) -> usize {
+        self.params.s()
+    }
+
+    /// The Note 5 noise choice for the SJLT (`∆₁ = √s`, `∆₂ = 1`):
+    /// Laplace iff `δ < e^{−s}` (or no δ at all).
+    #[must_use]
+    pub fn sjlt_noise_choice(&self) -> MechanismChoice {
+        select_mechanism((self.s() as f64).sqrt(), 1.0, self.delta)
+    }
+
+    /// The δ threshold below which Laplace wins for the SJLT: `e^{−s}`
+    /// (§6.2.3 / §7).
+    #[must_use]
+    pub fn laplace_delta_threshold(&self) -> f64 {
+        (-(self.s() as f64)).exp()
+    }
+}
+
+/// Builder for [`SketchConfig`].
+#[derive(Debug, Clone, Default)]
+pub struct SketchConfigBuilder {
+    input_dim: Option<usize>,
+    alpha: Option<f64>,
+    beta: Option<f64>,
+    epsilon: Option<f64>,
+    delta: Option<f64>,
+    k_const: Option<f64>,
+    s_const: Option<f64>,
+}
+
+impl SketchConfigBuilder {
+    /// Input dimension `d` (required).
+    #[must_use]
+    pub fn input_dim(mut self, d: usize) -> Self {
+        self.input_dim = Some(d);
+        self
+    }
+
+    /// JL accuracy α ∈ (0, 1/2) (default 0.1).
+    #[must_use]
+    pub fn alpha(mut self, alpha: f64) -> Self {
+        self.alpha = Some(alpha);
+        self
+    }
+
+    /// JL failure probability β ∈ (0, 1/2) (default 0.05).
+    #[must_use]
+    pub fn beta(mut self, beta: f64) -> Self {
+        self.beta = Some(beta);
+        self
+    }
+
+    /// Privacy parameter ε (required).
+    #[must_use]
+    pub fn epsilon(mut self, eps: f64) -> Self {
+        self.epsilon = Some(eps);
+        self
+    }
+
+    /// Approximate-DP budget δ (optional; omitting it forces pure DP
+    /// and hence Laplace noise).
+    #[must_use]
+    pub fn delta(mut self, delta: f64) -> Self {
+        self.delta = Some(delta);
+        self
+    }
+
+    /// Override the Θ-constant for `k` (ablation experiments).
+    #[must_use]
+    pub fn k_const(mut self, c: f64) -> Self {
+        self.k_const = Some(c);
+        self
+    }
+
+    /// Override the Θ-constant for `s` (ablation experiments).
+    #[must_use]
+    pub fn s_const(mut self, c: f64) -> Self {
+        self.s_const = Some(c);
+        self
+    }
+
+    /// Validate and build.
+    ///
+    /// # Errors
+    /// [`CoreError::MissingField`] for absent required fields;
+    /// [`CoreError::Transform`]/[`CoreError::Noise`] for invalid values.
+    pub fn build(self) -> Result<SketchConfig, CoreError> {
+        let d = self.input_dim.ok_or(CoreError::MissingField("input_dim"))?;
+        if d == 0 {
+            return Err(dp_transforms::TransformError::InvalidDimensions { d, k: 0 }.into());
+        }
+        let epsilon = self.epsilon.ok_or(CoreError::MissingField("epsilon"))?;
+        if !(epsilon.is_finite() && epsilon > 0.0) {
+            return Err(dp_noise::NoiseError::InvalidEpsilon(epsilon).into());
+        }
+        if let Some(delta) = self.delta {
+            if !(delta > 0.0 && delta < 1.0) {
+                return Err(dp_noise::NoiseError::InvalidDelta(delta).into());
+            }
+        }
+        let alpha = self.alpha.unwrap_or(0.1);
+        let beta = self.beta.unwrap_or(0.05);
+        let params = JlParams::with_constants(
+            alpha,
+            beta,
+            self.k_const.unwrap_or(8.0),
+            self.s_const.unwrap_or(2.0),
+        )?;
+        Ok(SketchConfig {
+            d,
+            params,
+            epsilon,
+            delta: self.delta,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> SketchConfigBuilder {
+        SketchConfig::builder().input_dim(1024).epsilon(1.0)
+    }
+
+    #[test]
+    fn defaults_applied() {
+        let c = base().build().unwrap();
+        assert_eq!(c.input_dim(), 1024);
+        assert!((c.jl().alpha() - 0.1).abs() < 1e-12);
+        assert!((c.jl().beta() - 0.05).abs() < 1e-12);
+        assert!(c.delta().is_none());
+    }
+
+    #[test]
+    fn missing_fields_rejected() {
+        assert_eq!(
+            SketchConfig::builder().epsilon(1.0).build().unwrap_err(),
+            CoreError::MissingField("input_dim")
+        );
+        assert_eq!(
+            SketchConfig::builder().input_dim(8).build().unwrap_err(),
+            CoreError::MissingField("epsilon")
+        );
+    }
+
+    #[test]
+    fn invalid_values_rejected() {
+        assert!(base().epsilon(-1.0).build().is_err());
+        assert!(base().delta(0.0).build().is_err());
+        assert!(base().delta(1.0).build().is_err());
+        assert!(base().alpha(0.6).build().is_err());
+        assert!(SketchConfig::builder().input_dim(0).epsilon(1.0).build().is_err());
+    }
+
+    #[test]
+    fn sjlt_shape_consistency() {
+        let c = base().alpha(0.2).beta(0.01).build().unwrap();
+        assert_eq!(c.k_sjlt() % c.s(), 0);
+        assert!(c.k_sjlt() >= c.k());
+        assert!(c.s() >= 1);
+    }
+
+    #[test]
+    fn note5_choice_tracks_delta() {
+        let no_delta = base().build().unwrap();
+        assert_eq!(no_delta.sjlt_noise_choice(), MechanismChoice::Laplace);
+
+        let tiny_delta = base().delta(1e-300).build().unwrap();
+        assert_eq!(tiny_delta.sjlt_noise_choice(), MechanismChoice::Laplace);
+
+        let huge_delta = base().delta(0.3).build().unwrap();
+        assert_eq!(huge_delta.sjlt_noise_choice(), MechanismChoice::Gaussian);
+    }
+
+    #[test]
+    fn threshold_is_exp_minus_s() {
+        let c = base().build().unwrap();
+        let want = (-(c.s() as f64)).exp();
+        assert!((c.laplace_delta_threshold() - want).abs() < 1e-300);
+    }
+
+    #[test]
+    fn constant_overrides_change_k() {
+        let small = base().k_const(1.0).build().unwrap();
+        let big = base().k_const(16.0).build().unwrap();
+        assert!(big.k() > small.k());
+    }
+}

@@ -1,0 +1,193 @@
+//! Binary-vector (Hamming) specialization of the distance estimator.
+//!
+//! For `x, y ∈ {0,1}^d` the squared Euclidean distance *is* the Hamming
+//! distance, the setting of the paper's §2.4 lower-bound discussion
+//! (McGregor et al.; randomized response). This wrapper adds the
+//! domain knowledge the generic estimator can't use:
+//!
+//! * the true value is an integer in `[0, d]` → the estimate is rounded
+//!   and clamped (strictly reduces MSE; the unbiased raw value is kept
+//!   alongside);
+//! * a calibrated comparison against the ε-DP randomized-response
+//!   baseline, implementing the §2.4 rule of thumb: RR's `O(√d)` error
+//!   wins for small `d`, the sketch's `Õ(√k)` noise floor wins once
+//!   `d ≫ k`.
+
+use crate::config::SketchConfig;
+use crate::error::CoreError;
+use crate::estimator::NoisySketch;
+use crate::sjlt_private::PrivateSjlt;
+use crate::variance::var_sjlt_laplace;
+use dp_hashing::Seed;
+use dp_noise::randomized_response::RandomizedResponse;
+
+/// Hamming-distance estimator over the private SJLT.
+#[derive(Debug, Clone)]
+pub struct HammingSketcher {
+    inner: PrivateSjlt,
+    d: usize,
+    epsilon: f64,
+}
+
+/// A Hamming estimate with both the raw unbiased value and the
+/// domain-clamped one.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HammingEstimate {
+    /// The raw, unbiased (possibly negative / fractional) estimate.
+    pub raw: f64,
+    /// Rounded and clamped to `[0, d]`.
+    pub clamped: u64,
+}
+
+impl HammingSketcher {
+    /// Build over binary inputs of dimension `d` (pure ε-DP via Laplace).
+    ///
+    /// # Errors
+    /// Propagates construction failures.
+    pub fn new(config: &SketchConfig, transform_seed: Seed) -> Result<Self, CoreError> {
+        Ok(Self {
+            inner: PrivateSjlt::with_laplace(config, transform_seed)?,
+            d: config.input_dim(),
+            epsilon: config.epsilon(),
+        })
+    }
+
+    /// The wrapped sketcher.
+    #[must_use]
+    pub fn inner(&self) -> &PrivateSjlt {
+        &self.inner
+    }
+
+    /// Release a sketch of a binary vector.
+    ///
+    /// # Errors
+    /// [`CoreError::Transform`] on bad dimension; panics on non-binary
+    /// entries are avoided — they are rejected as an error.
+    pub fn sketch(&self, bits: &[f64], noise_seed: Seed) -> Result<NoisySketch, CoreError> {
+        if bits.iter().any(|&b| b != 0.0 && b != 1.0) {
+            return Err(CoreError::CalibrationPrecondition(
+                "HammingSketcher requires binary inputs".to_string(),
+            ));
+        }
+        self.inner.try_sketch(bits, noise_seed)
+    }
+
+    /// Estimate the Hamming distance between two released sketches.
+    ///
+    /// # Errors
+    /// [`CoreError::IncompatibleSketches`] on mismatched sketches.
+    pub fn estimate(&self, a: &NoisySketch, b: &NoisySketch) -> Result<HammingEstimate, CoreError> {
+        let raw = a.estimate_sq_distance(b)?;
+        let clamped = raw.round().clamp(0.0, self.d as f64) as u64;
+        Ok(HammingEstimate { raw, clamped })
+    }
+
+    /// Predicted RMSE of the sketch estimator at true Hamming distance
+    /// `h` (Theorem 3 variance, conservative `‖z‖₄⁴ = 0` form... for
+    /// binary differences `‖z‖₄⁴ = ‖z‖₂² = h`, which we use exactly).
+    #[must_use]
+    pub fn predicted_rmse(&self, h: u64) -> f64 {
+        let hf = h as f64;
+        var_sjlt_laplace(self.inner.k(), self.inner.s(), self.epsilon, hf, hf).sqrt()
+    }
+
+    /// §2.4 decision rule: does the sketch beat ε-DP randomized response
+    /// at this dimension and distance? Compares predicted RMSEs.
+    #[must_use]
+    pub fn beats_randomized_response(&self, h: u64) -> bool {
+        let rr = RandomizedResponse::new(self.epsilon).expect("validated epsilon");
+        self.predicted_rmse(h) < rr.error_stddev_bound(self.d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_stats::Summary;
+
+    fn config(d: usize) -> SketchConfig {
+        SketchConfig::builder()
+            .input_dim(d)
+            .alpha(0.25)
+            .beta(0.05)
+            .epsilon(1.0)
+            .build()
+            .expect("config")
+    }
+
+    #[test]
+    fn rejects_non_binary() {
+        let h = HammingSketcher::new(&config(16), Seed::new(1)).expect("build");
+        let mut x = vec![0.0; 16];
+        x[3] = 0.5;
+        assert!(matches!(
+            h.sketch(&x, Seed::new(2)),
+            Err(CoreError::CalibrationPrecondition(_))
+        ));
+    }
+
+    #[test]
+    fn clamped_estimate_in_range() {
+        let d = 64;
+        let h = HammingSketcher::new(&config(d), Seed::new(1)).expect("build");
+        let x = vec![0.0; d];
+        let y = vec![1.0; d];
+        for rep in 0..50u64 {
+            let a = h.sketch(&x, Seed::new(100 + rep)).expect("sketch");
+            let b = h.sketch(&y, Seed::new(200 + rep)).expect("sketch");
+            let est = h.estimate(&a, &b).expect("estimate");
+            assert!(est.clamped <= d as u64);
+        }
+    }
+
+    #[test]
+    fn unbiased_on_raw_and_clamping_helps() {
+        let d = 128;
+        let cfg = config(d);
+        let x = vec![0.0; d];
+        let mut y = vec![0.0; d];
+        for bit in y.iter_mut().take(40) {
+            *bit = 1.0;
+        }
+        let mut raw = Summary::new();
+        let mut clamped_se = Summary::new();
+        let mut raw_se = Summary::new();
+        for rep in 0..800u64 {
+            let h = HammingSketcher::new(&cfg, Seed::new(rep)).expect("build");
+            let a = h.sketch(&x, Seed::new(1000 + rep)).expect("sketch");
+            let b = h.sketch(&y, Seed::new(9000 + rep)).expect("sketch");
+            let est = h.estimate(&a, &b).expect("estimate");
+            raw.push(est.raw);
+            raw_se.push((est.raw - 40.0) * (est.raw - 40.0));
+            let c = est.clamped as f64;
+            clamped_se.push((c - 40.0) * (c - 40.0));
+        }
+        let z = (raw.mean() - 40.0).abs() / raw.stderr();
+        assert!(z < 5.0, "raw bias z {z}");
+        assert!(
+            clamped_se.mean() <= raw_se.mean(),
+            "clamping must not increase MSE: {} vs {}",
+            clamped_se.mean(),
+            raw_se.mean()
+        );
+    }
+
+    #[test]
+    fn rr_comparison_rule_flips_with_dimension() {
+        // Small d: RR (error ~ √d) should win; huge d: the sketch should.
+        let small = HammingSketcher::new(&config(64), Seed::new(1)).expect("build");
+        let huge = HammingSketcher::new(&config(1 << 22), Seed::new(1)).expect("build");
+        let h = 32;
+        assert!(!small.beats_randomized_response(h), "RR wins at small d");
+        assert!(huge.beats_randomized_response(h), "sketch wins at huge d");
+    }
+
+    #[test]
+    fn predicted_rmse_uses_exact_l4_term() {
+        let hsk = HammingSketcher::new(&config(64), Seed::new(1)).expect("build");
+        // For binary differences the exact variance uses ‖z‖₄⁴ = h:
+        let h = 16u64;
+        let loose = var_sjlt_laplace(hsk.inner().k(), hsk.inner().s(), 1.0, h as f64, 0.0);
+        assert!(hsk.predicted_rmse(h).powi(2) <= loose);
+    }
+}

@@ -1,0 +1,36 @@
+//! The paper's contribution: differentially private Euclidean distance
+//! sketches and their estimators (Stausholm, PODS 2021).
+//!
+//! * [`framework`] — the general Lemma 3/4 machinery: any LPP transform
+//!   combined with any zero-mean noise mechanism yields the unbiased
+//!   estimator `Ê = ‖(Sx+η) − (Sy+µ)‖² − 2k·E[η²]` with the exact variance
+//!   decomposition of Lemma 3.
+//! * [`sjlt_private`] — Theorem 3: the private SJLT with Laplace noise
+//!   (pure ε-DP) or Gaussian noise, selected by the Note 5 rule.
+//! * [`fjlt_private`] — §5.2: the two private FJLT variants
+//!   (output-perturbed / Corollary 1, input-perturbed / Lemma 8).
+//! * [`kenthapadi`] — the Theorems 1–2 baseline with its three σ
+//!   calibration modes.
+//! * [`variance`] — closed-form variance predictors and the §7 crossover
+//!   solvers that the experiment harness gates against.
+//! * [`config`] — a builder that applies every decision rule in the paper
+//!   end-to-end (k, s, noise choice) from `(d, α, β, ε, δ)`.
+//! * [`repetition`] — extension: median-of-means boosting across `R`
+//!   independent releases with composed privacy accounting.
+
+pub mod config;
+pub mod error;
+pub mod estimator;
+pub mod fjlt_private;
+pub mod framework;
+pub mod hamming;
+pub mod kenthapadi;
+pub mod repetition;
+pub mod sjlt_private;
+pub mod variance;
+
+pub use config::SketchConfig;
+pub use error::CoreError;
+pub use estimator::{DistanceEstimate, NoisySketch};
+pub use framework::GenSketcher;
+pub use sjlt_private::PrivateSjlt;

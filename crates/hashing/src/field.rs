@@ -1,0 +1,134 @@
+//! Arithmetic in GF(p) for the Mersenne prime p = 2⁶¹ − 1.
+//!
+//! Polynomial hash families need a prime field that is (a) large enough
+//! that the `[0, p) → [0, m)` range mapping has negligible bias for any
+//! practical bucket count `m`, and (b) fast: reduction modulo a Mersenne
+//! prime is two shifts and an add. All elements are `u64` values in
+//! `[0, p)`.
+
+/// The Mersenne prime 2⁶¹ − 1.
+pub const M61: u64 = (1u64 << 61) - 1;
+
+/// Reduce an arbitrary `u64` into `[0, M61)`.
+#[must_use]
+#[inline]
+pub fn reduce64(x: u64) -> u64 {
+    let r = (x & M61) + (x >> 61);
+    if r >= M61 {
+        r - M61
+    } else {
+        r
+    }
+}
+
+/// Reduce a 128-bit product into `[0, M61)`.
+#[must_use]
+#[inline]
+pub fn reduce128(x: u128) -> u64 {
+    // x = hi·2^61 + lo  ⇒  x ≡ hi + lo (mod 2^61 − 1), with hi < 2^67.
+    let lo = (x & u128::from(M61)) as u64;
+    let hi = (x >> 61) as u64;
+    reduce64(reduce64(hi) + lo)
+}
+
+/// Addition mod 2⁶¹−1 for operands already in `[0, M61)`.
+#[must_use]
+#[inline]
+pub fn add(a: u64, b: u64) -> u64 {
+    debug_assert!(a < M61 && b < M61);
+    let s = a + b; // < 2^62, no overflow
+    if s >= M61 {
+        s - M61
+    } else {
+        s
+    }
+}
+
+/// Multiplication mod 2⁶¹−1 for operands already in `[0, M61)`.
+#[must_use]
+#[inline]
+pub fn mul(a: u64, b: u64) -> u64 {
+    debug_assert!(a < M61 && b < M61);
+    reduce128(u128::from(a) * u128::from(b))
+}
+
+/// Modular exponentiation by squaring.
+#[must_use]
+pub fn pow(mut base: u64, mut exp: u64) -> u64 {
+    let mut acc = 1u64;
+    base = reduce64(base);
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mul(acc, base);
+        }
+        base = mul(base, base);
+        exp >>= 1;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn reduce_boundaries() {
+        assert_eq!(reduce64(0), 0);
+        assert_eq!(reduce64(M61), 0);
+        assert_eq!(reduce64(M61 - 1), M61 - 1);
+        assert_eq!(reduce64(M61 + 5), 5);
+        // 2⁶⁴ − 1 = 8·(2⁶¹ − 1) + 7
+        assert_eq!(reduce64(u64::MAX), 7);
+    }
+
+    #[test]
+    fn small_arithmetic() {
+        assert_eq!(add(3, 4), 7);
+        assert_eq!(mul(3, 4), 12);
+        assert_eq!(add(M61 - 1, 1), 0);
+        assert_eq!(mul(M61 - 1, M61 - 1), 1); // (−1)² = 1
+    }
+
+    #[test]
+    fn fermat_little_theorem_samples() {
+        // a^(p−1) = 1 mod p for a ≠ 0.
+        for a in [1u64, 2, 3, 12345, M61 - 2] {
+            assert_eq!(pow(a, M61 - 1), 1, "a = {a}");
+        }
+        assert_eq!(pow(0, M61 - 1), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn add_matches_u128_model(a in 0..M61, b in 0..M61) {
+            let model = ((u128::from(a) + u128::from(b)) % u128::from(M61)) as u64;
+            prop_assert_eq!(add(a, b), model);
+        }
+
+        #[test]
+        fn mul_matches_u128_model(a in 0..M61, b in 0..M61) {
+            let model = ((u128::from(a) * u128::from(b)) % u128::from(M61)) as u64;
+            prop_assert_eq!(mul(a, b), model);
+        }
+
+        #[test]
+        fn reduce128_matches_model(x in any::<u128>()) {
+            // Limit to products of field elements, the only inputs we use.
+            let x = x % (u128::from(M61) * u128::from(M61));
+            let model = (x % u128::from(M61)) as u64;
+            prop_assert_eq!(reduce128(x), model);
+        }
+
+        #[test]
+        fn mul_commutes_and_associates(a in 0..M61, b in 0..M61, c in 0..M61) {
+            prop_assert_eq!(mul(a, b), mul(b, a));
+            prop_assert_eq!(mul(mul(a, b), c), mul(a, mul(b, c)));
+        }
+
+        #[test]
+        fn distributivity(a in 0..M61, b in 0..M61, c in 0..M61) {
+            prop_assert_eq!(mul(a, add(b, c)), add(mul(a, b), mul(a, c)));
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! `t`-wise independent hash families via random polynomials over
+//! GF(2⁶¹ − 1).
+//!
+//! The Kane–Nelson SJLT (paper §6.1) requires hash functions
+//! `h_r : [d] → [k/s]` and sign functions `ϕ_r : [d] → {−1, +1}` drawn
+//! from `O(log(1/β))`-wise independent families. A uniformly random
+//! polynomial of degree `t − 1` over a prime field, evaluated at the key,
+//! is the textbook `t`-wise independent family; we map its output to a
+//! bucket range with the (negligible-bias) multiply-shift method and to a
+//! sign with the low output bit.
+
+use crate::field::{add, mul, M61};
+use crate::prng::Prng;
+use crate::seed::Seed;
+
+/// A degree-(t−1) polynomial over GF(2⁶¹−1): a `t`-wise independent hash
+/// from `u64` keys to field elements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolyHash {
+    /// Coefficients c₀..c_{t−1}; evaluation is Horner's rule.
+    coeffs: Vec<u64>,
+}
+
+impl PolyHash {
+    /// Draw a uniformly random polynomial with `t ≥ 1` coefficients.
+    ///
+    /// # Panics
+    /// If `t == 0`.
+    #[must_use]
+    pub fn sample<R: Prng>(t: usize, rng: &mut R) -> Self {
+        assert!(t >= 1, "independence degree must be at least 1");
+        let coeffs = (0..t).map(|_| rng.next_range(M61)).collect();
+        Self { coeffs }
+    }
+
+    /// The independence degree `t` of the family this was drawn from.
+    #[must_use]
+    pub fn degree(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Evaluate the polynomial at `key`, returning a field element in
+    /// `[0, 2⁶¹−1)`.
+    #[must_use]
+    #[inline]
+    pub fn eval(&self, key: u64) -> u64 {
+        let x = crate::field::reduce64(key);
+        let mut acc = 0u64;
+        for &c in self.coeffs.iter().rev() {
+            acc = add(mul(acc, x), c);
+        }
+        acc
+    }
+
+    /// Hash `key` into `[0, m)` with negligible (≤ m·2⁻⁶¹) bias via
+    /// multiply-shift: `⌊eval(key)·m / 2⁶¹⌋`.
+    ///
+    /// # Panics
+    /// If `m == 0`.
+    #[must_use]
+    #[inline]
+    pub fn bucket(&self, key: u64, m: u64) -> u64 {
+        assert!(m > 0, "bucket count must be positive");
+        ((u128::from(self.eval(key)) * u128::from(m)) >> 61) as u64
+    }
+}
+
+/// A `t`-wise independent sign function `[d] → {−1, +1}` backed by the
+/// parity of an independent [`PolyHash`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SignHash {
+    inner: PolyHash,
+}
+
+impl SignHash {
+    /// Draw a random sign function of independence degree `t`.
+    #[must_use]
+    pub fn sample<R: Prng>(t: usize, rng: &mut R) -> Self {
+        Self {
+            inner: PolyHash::sample(t, rng),
+        }
+    }
+
+    /// The sign assigned to `key`.
+    #[must_use]
+    #[inline]
+    pub fn sign(&self, key: u64) -> f64 {
+        // Bit 33 of the field element: interior bits of the polynomial
+        // output are unbiased up to the field's 2^-61 deficit.
+        if (self.inner.eval(key) >> 33) & 1 == 1 {
+            1.0
+        } else {
+            -1.0
+        }
+    }
+}
+
+/// A factory for independent hash/sign functions of a fixed degree,
+/// deterministically derived from a seed (so the family is *public* and
+/// reconstructible, as the distributed protocol requires).
+#[derive(Debug, Clone)]
+pub struct KWiseFamily {
+    degree: usize,
+    seed: Seed,
+}
+
+impl KWiseFamily {
+    /// A family of `t`-wise independent functions rooted at `seed`.
+    ///
+    /// # Panics
+    /// If `degree == 0`.
+    #[must_use]
+    pub fn new(degree: usize, seed: Seed) -> Self {
+        assert!(degree >= 1, "independence degree must be at least 1");
+        Self { degree, seed }
+    }
+
+    /// Independence degree `t`.
+    #[must_use]
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    /// The `i`-th bucket hash of the family (deterministic in `(seed, i)`).
+    #[must_use]
+    pub fn hash_fn(&self, i: u64) -> PolyHash {
+        let mut rng = self.seed.child("hash").index(i).rng();
+        PolyHash::sample(self.degree, &mut rng)
+    }
+
+    /// The `i`-th sign function of the family (independent of `hash_fn(i)`).
+    #[must_use]
+    pub fn sign_fn(&self, i: u64) -> SignHash {
+        let mut rng = self.seed.child("sign").index(i).rng();
+        SignHash::sample(self.degree, &mut rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prng::Xoshiro256pp;
+
+    fn rng() -> Xoshiro256pp {
+        Xoshiro256pp::seeded(0xD15EA5E)
+    }
+
+    #[test]
+    fn eval_is_deterministic() {
+        let h = PolyHash::sample(4, &mut rng());
+        assert_eq!(h.eval(17), h.eval(17));
+        assert_eq!(h.degree(), 4);
+    }
+
+    #[test]
+    fn constant_polynomial_degree_one() {
+        let h = PolyHash::sample(1, &mut rng());
+        // Degree-1 family = constant function: 1-wise "independence".
+        assert_eq!(h.eval(0), h.eval(1));
+        assert_eq!(h.eval(5), h.eval(500));
+    }
+
+    #[test]
+    fn bucket_within_range() {
+        let h = PolyHash::sample(4, &mut rng());
+        for m in [1u64, 2, 3, 7, 1024, 1 << 40] {
+            for key in 0..200u64 {
+                assert!(h.bucket(key, m) < m);
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_uniformity_chi_square() {
+        // 4-wise family over m = 8 buckets, 80k keys; loose χ² gate.
+        let h = PolyHash::sample(4, &mut rng());
+        let m = 8u64;
+        let n = 80_000u64;
+        let mut counts = vec![0u64; m as usize];
+        for key in 0..n {
+            counts[h.bucket(key, m) as usize] += 1;
+        }
+        let expect = n as f64 / m as f64;
+        let chi2: f64 = counts
+            .iter()
+            .map(|&c| {
+                let d = c as f64 - expect;
+                d * d / expect
+            })
+            .sum();
+        // df = 7; P(χ² > 40) is astronomically small.
+        assert!(chi2 < 40.0, "chi2 = {chi2}, counts = {counts:?}");
+    }
+
+    #[test]
+    fn pairwise_independence_empirical() {
+        // For a 2-wise family, Cov(1[h(a)=0], 1[h(b)=0]) ≈ 0 across draws.
+        let m = 4u64;
+        let trials = 20_000;
+        let mut rng = rng();
+        let (mut pa, mut pb, mut pab) = (0u64, 0u64, 0u64);
+        for _ in 0..trials {
+            let h = PolyHash::sample(2, &mut rng);
+            let ha = h.bucket(1, m) == 0;
+            let hb = h.bucket(2, m) == 0;
+            pa += u64::from(ha);
+            pb += u64::from(hb);
+            pab += u64::from(ha && hb);
+        }
+        let (pa, pb, pab) = (
+            pa as f64 / trials as f64,
+            pb as f64 / trials as f64,
+            pab as f64 / trials as f64,
+        );
+        assert!((pa - 0.25).abs() < 0.02, "pa = {pa}");
+        assert!((pb - 0.25).abs() < 0.02, "pb = {pb}");
+        assert!((pab - pa * pb).abs() < 0.02, "pab = {pab}");
+    }
+
+    #[test]
+    fn signs_are_balanced_and_deterministic() {
+        let s = SignHash::sample(4, &mut rng());
+        let n = 50_000u64;
+        let sum: f64 = (0..n).map(|k| s.sign(k)).sum();
+        assert!(sum.abs() / (n as f64) < 0.02, "mean sign {sum}");
+        assert_eq!(s.sign(12345), s.sign(12345));
+    }
+
+    #[test]
+    fn family_reconstructibility() {
+        let fam1 = KWiseFamily::new(6, Seed::new(777));
+        let fam2 = KWiseFamily::new(6, Seed::new(777));
+        for i in 0..4 {
+            assert_eq!(fam1.hash_fn(i), fam2.hash_fn(i));
+            for key in 0..64 {
+                assert_eq!(fam1.sign_fn(i).sign(key), fam2.sign_fn(i).sign(key));
+            }
+        }
+    }
+
+    #[test]
+    fn family_functions_are_distinct() {
+        let fam = KWiseFamily::new(6, Seed::new(9));
+        assert_ne!(fam.hash_fn(0), fam.hash_fn(1));
+        // hash and sign streams are separated by label:
+        let h = fam.hash_fn(0);
+        let s = fam.sign_fn(0);
+        let disagree = (0..1000u64)
+            .filter(|&k| (h.eval(k) & 1 == 1) != (s.sign(k) > 0.0))
+            .count();
+        assert!(disagree > 0, "sign stream must not mirror hash stream");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_degree_rejected() {
+        let _ = KWiseFamily::new(0, Seed::new(1));
+    }
+}

@@ -1,0 +1,28 @@
+//! Deterministic randomness and limited-independence hashing.
+//!
+//! The distributed protocol of Stausholm (PODS 2021) requires the random
+//! projection `S` to be **public**: every party must be able to rebuild the
+//! exact same matrix from a shared seed, while the noise streams stay
+//! private. That forces two properties on our randomness substrate:
+//!
+//! 1. **Determinism and splittability** — a root seed deterministically
+//!    derives independent named sub-streams ([`seed::Seed`]), so "the
+//!    transform stream" and "party 7's noise stream" never collide.
+//! 2. **Limited independence** — the Kane–Nelson sparser JL transforms are
+//!    analyzed under `O(log(1/β))`-wise independent hash families, which we
+//!    instantiate as degree-`t` polynomials over the Mersenne-prime field
+//!    GF(2⁶¹−1) ([`kwise`]).
+//!
+//! We deliberately do not depend on `rand` in library code: a DP library
+//! must be able to audit every bit of randomness it consumes (Mironov,
+//! CCS 2012), and the hand-rolled generators here are small enough to read.
+
+pub mod field;
+pub mod kwise;
+pub mod prng;
+pub mod seed;
+
+pub use field::M61;
+pub use kwise::{KWiseFamily, PolyHash, SignHash};
+pub use prng::{Prng, SplitMix64, Xoshiro256pp};
+pub use seed::Seed;

@@ -1,0 +1,57 @@
+//! Error type for dimension and argument mismatches.
+
+use std::fmt;
+
+/// Errors raised by the linear-algebra substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Two operands have incompatible dimensions.
+    DimensionMismatch {
+        /// Dimension expected by the operation.
+        expected: usize,
+        /// Dimension actually supplied.
+        actual: usize,
+    },
+    /// An argument that must be a power of two is not.
+    NotPowerOfTwo(usize),
+    /// An index is outside the valid range.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// The exclusive bound.
+        len: usize,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+            Self::NotPowerOfTwo(n) => write!(f, "length {n} is not a power of two"),
+            Self::IndexOutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for length {len}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = LinalgError::DimensionMismatch {
+            expected: 4,
+            actual: 3,
+        };
+        assert!(e.to_string().contains("expected 4"));
+        assert!(LinalgError::NotPowerOfTwo(12).to_string().contains("12"));
+        let e = LinalgError::IndexOutOfBounds { index: 9, len: 4 };
+        assert!(e.to_string().contains("9"));
+    }
+}

@@ -1,0 +1,177 @@
+//! In-place fast Walsh–Hadamard transform (FWHT).
+//!
+//! The FJLT (paper §5.1) uses the normalized Hadamard matrix
+//! `H_{fj} = d^{−1/2}·(−1)^{⟨f−1, j−1⟩}` where the exponent is the
+//! dot-product of the binary representations. `Hx` is computed in
+//! `O(d log d)` by the butterfly recursion below rather than ever
+//! materializing `H`. `H` is symmetric and orthonormal, so the normalized
+//! FWHT is its own inverse.
+
+use crate::error::LinalgError;
+
+/// Smallest power of two `≥ n` (and ≥ 1).
+#[must_use]
+pub fn next_pow2(n: usize) -> usize {
+    n.max(1).next_power_of_two()
+}
+
+/// Unnormalized in-place FWHT butterfly. After the call,
+/// `x[i] = Σ_j (−1)^{⟨i,j⟩} x_in[j]`.
+///
+/// # Errors
+/// [`LinalgError::NotPowerOfTwo`] unless `x.len()` is a power of two.
+pub fn fwht(x: &mut [f64]) -> Result<(), LinalgError> {
+    let n = x.len();
+    if n == 0 || !n.is_power_of_two() {
+        return Err(LinalgError::NotPowerOfTwo(n));
+    }
+    let mut h = 1;
+    while h < n {
+        for block in x.chunks_exact_mut(2 * h) {
+            let (lo, hi) = block.split_at_mut(h);
+            for (a, b) in lo.iter_mut().zip(hi.iter_mut()) {
+                let (u, v) = (*a, *b);
+                *a = u + v;
+                *b = u - v;
+            }
+        }
+        h *= 2;
+    }
+    Ok(())
+}
+
+/// Normalized in-place FWHT: applies the orthonormal `H = d^{−1/2}·H±`.
+/// An involution: applying it twice returns the input.
+///
+/// # Errors
+/// [`LinalgError::NotPowerOfTwo`] unless `x.len()` is a power of two.
+pub fn fwht_normalized(x: &mut [f64]) -> Result<(), LinalgError> {
+    fwht(x)?;
+    let scale = 1.0 / (x.len() as f64).sqrt();
+    for v in x.iter_mut() {
+        *v *= scale;
+    }
+    Ok(())
+}
+
+/// Entry `(f, j)` of the normalized Hadamard matrix (0-indexed), for
+/// test/verification use: `d^{−1/2}·(−1)^{popcount(f & j)}`.
+#[must_use]
+pub fn hadamard_entry(d: usize, f: usize, j: usize) -> f64 {
+    let sign = if (f & j).count_ones().is_multiple_of(2) {
+        1.0
+    } else {
+        -1.0
+    };
+    sign / (d as f64).sqrt()
+}
+
+/// Copy `x` into a zero-padded power-of-two buffer of length
+/// `next_pow2(x.len())`.
+#[must_use]
+pub fn pad_pow2(x: &[f64]) -> Vec<f64> {
+    let n = next_pow2(x.len());
+    let mut out = vec![0.0; n];
+    out[..x.len()].copy_from_slice(x);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::sq_norm;
+    use proptest::prelude::*;
+
+    #[test]
+    fn next_pow2_values() {
+        assert_eq!(next_pow2(0), 1);
+        assert_eq!(next_pow2(1), 1);
+        assert_eq!(next_pow2(2), 2);
+        assert_eq!(next_pow2(3), 4);
+        assert_eq!(next_pow2(1024), 1024);
+        assert_eq!(next_pow2(1025), 2048);
+    }
+
+    #[test]
+    fn rejects_non_pow2() {
+        let mut x = vec![1.0; 3];
+        assert_eq!(fwht(&mut x).unwrap_err(), LinalgError::NotPowerOfTwo(3));
+        let mut e: Vec<f64> = vec![];
+        assert!(fwht(&mut e).is_err());
+    }
+
+    #[test]
+    fn fwht_size2_known() {
+        let mut x = vec![1.0, 2.0];
+        fwht(&mut x).unwrap();
+        assert_eq!(x, vec![3.0, -1.0]);
+    }
+
+    #[test]
+    fn fwht_size4_known() {
+        // H4± rows applied to e1 give the first column: all ones.
+        let mut x = vec![1.0, 0.0, 0.0, 0.0];
+        fwht(&mut x).unwrap();
+        assert_eq!(x, vec![1.0, 1.0, 1.0, 1.0]);
+        let mut y = vec![0.0, 1.0, 0.0, 0.0];
+        fwht(&mut y).unwrap();
+        assert_eq!(y, vec![1.0, -1.0, 1.0, -1.0]);
+    }
+
+    #[test]
+    fn matches_explicit_matrix() {
+        // FWHT output equals the explicit H·x for d = 8.
+        let d = 8;
+        let x: Vec<f64> = (0..d).map(|i| (i as f64) - 3.5).collect();
+        let mut fast = x.clone();
+        fwht_normalized(&mut fast).unwrap();
+        for (f, fv) in fast.iter().enumerate() {
+            let slow: f64 = (0..d).map(|j| hadamard_entry(d, f, j) * x[j]).sum();
+            assert!((fv - slow).abs() < 1e-10, "row {f}: {fv} vs {slow}");
+        }
+    }
+
+    #[test]
+    fn pad_pow2_copies_prefix() {
+        let p = pad_pow2(&[1.0, 2.0, 3.0]);
+        assert_eq!(p, vec![1.0, 2.0, 3.0, 0.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn involution(x in proptest::collection::vec(-10.0f64..10.0, 16)) {
+            let mut y = x.clone();
+            fwht_normalized(&mut y).unwrap();
+            fwht_normalized(&mut y).unwrap();
+            for (a, b) in x.iter().zip(&y) {
+                prop_assert!((a - b).abs() < 1e-9);
+            }
+        }
+
+        #[test]
+        fn parseval(x in proptest::collection::vec(-10.0f64..10.0, 32)) {
+            // Orthonormality: ‖Hx‖₂ = ‖x‖₂.
+            let before = sq_norm(&x);
+            let mut y = x;
+            fwht_normalized(&mut y).unwrap();
+            let after = sq_norm(&y);
+            prop_assert!((before - after).abs() < 1e-8 * (1.0 + before));
+        }
+
+        #[test]
+        fn linearity(
+            x in proptest::collection::vec(-5.0f64..5.0, 8),
+            y in proptest::collection::vec(-5.0f64..5.0, 8),
+        ) {
+            let mut hx = x.clone();
+            let mut hy = y.clone();
+            let mut hxy: Vec<f64> = x.iter().zip(&y).map(|(a, b)| a + b).collect();
+            fwht_normalized(&mut hx).unwrap();
+            fwht_normalized(&mut hy).unwrap();
+            fwht_normalized(&mut hxy).unwrap();
+            for i in 0..8 {
+                prop_assert!((hxy[i] - (hx[i] + hy[i])).abs() < 1e-9);
+            }
+        }
+    }
+}

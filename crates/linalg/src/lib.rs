@@ -1,0 +1,23 @@
+//! Numeric substrate for the DP distance-sketch library.
+//!
+//! Everything the projections of Stausholm (PODS 2021) touch lives here:
+//! dense vectors with the norms used throughout the paper (ℓ0, ℓ1, ℓ2,
+//! ℓ4, ℓ∞), sparse vectors for the `O(s·‖x‖₀)` sketching paths, a dense
+//! row-major matrix with exact column-norm sensitivity scans
+//! (paper Definition 3: `∆_p(S) = max_j ‖S_{·,j}‖_p`), and an in-place fast
+//! Walsh–Hadamard transform for the FJLT.
+
+pub mod error;
+pub mod hadamard;
+pub mod matrix;
+pub mod sparse;
+pub mod vector;
+
+pub use error::LinalgError;
+pub use hadamard::{fwht_normalized, next_pow2};
+pub use matrix::DenseMatrix;
+pub use sparse::SparseVector;
+pub use vector::{
+    dot, l0_norm, l1_distance, l1_norm, l2_distance, l2_norm, l4_norm, linf_norm, sq_distance,
+    sq_norm,
+};

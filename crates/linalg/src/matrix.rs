@@ -1,0 +1,242 @@
+//! Dense row-major matrices with the sensitivity scans of Definition 3.
+//!
+//! The paper's ℓ_p-sensitivity of a linear transform `S : R^d → R^k` is the
+//! maximum column p-norm, `∆_p(S) = max_j ‖S_{·,j}‖_p` (Definition 3,
+//! justified by convexity over the ℓ₁-ball of neighboring differences).
+//! Computing it exactly costs one `O(dk)` pass — precisely the
+//! "initialization cost" the paper attributes to Kenthapadi et al.
+//! (§2.1.1) and which the SJLT avoids.
+
+use crate::error::LinalgError;
+
+/// A dense `rows × cols` matrix in row-major order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// An all-zero matrix.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Build from row-major data.
+    ///
+    /// # Errors
+    /// [`LinalgError::DimensionMismatch`] if `data.len() != rows·cols`.
+    pub fn from_row_major(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self, LinalgError> {
+        if data.len() != rows * cols {
+            return Err(LinalgError::DimensionMismatch {
+                expected: rows * cols,
+                actual: data.len(),
+            });
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// Number of rows (`k`, the output dimension).
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (`d`, the input dimension).
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Immutable entry access.
+    #[must_use]
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable entry access.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// A row as a slice.
+    #[must_use]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix–vector product `Sx`.
+    ///
+    /// # Panics
+    /// If `x.len() != cols`.
+    #[must_use]
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "matvec: dimension mismatch");
+        self.data
+            .chunks_exact(self.cols)
+            .map(|row| row.iter().zip(x).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+
+    /// Exact ℓ₁-sensitivity `∆₁ = max_j Σᵢ |Sᵢⱼ|` — one `O(dk)` pass.
+    #[must_use]
+    pub fn l1_sensitivity(&self) -> f64 {
+        self.column_p_max(|acc, v| acc + v.abs(), |acc| acc)
+    }
+
+    /// Exact ℓ₂-sensitivity `∆₂ = max_j ‖S_{·,j}‖₂` — one `O(dk)` pass.
+    #[must_use]
+    pub fn l2_sensitivity(&self) -> f64 {
+        self.column_p_max(|acc, v| acc + v * v, f64::sqrt)
+    }
+
+    /// Generic column-aggregate maximum used by the sensitivity scans.
+    fn column_p_max(&self, fold: impl Fn(f64, f64) -> f64, finish: impl Fn(f64) -> f64) -> f64 {
+        if self.cols == 0 {
+            return 0.0;
+        }
+        let mut acc = vec![0.0f64; self.cols];
+        for row in self.data.chunks_exact(self.cols) {
+            for (a, &v) in acc.iter_mut().zip(row) {
+                *a = fold(*a, v);
+            }
+        }
+        acc.into_iter().map(finish).fold(0.0, f64::max)
+    }
+
+    /// Frobenius norm squared, `Σᵢⱼ Sᵢⱼ²`.
+    #[must_use]
+    pub fn frobenius_sq(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum()
+    }
+
+    /// Transpose (fresh allocation).
+    #[must_use]
+    pub fn transpose(&self) -> Self {
+        let mut out = Self::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.set(c, r, self.get(r, c));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample() -> DenseMatrix {
+        // [[1, -2], [3, 4], [0, 5]]
+        DenseMatrix::from_row_major(3, 2, vec![1.0, -2.0, 3.0, 4.0, 0.0, 5.0]).unwrap()
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let m = sample();
+        assert_eq!((m.rows(), m.cols()), (3, 2));
+        assert_eq!(m.get(1, 0), 3.0);
+        assert_eq!(m.row(2), &[0.0, 5.0]);
+    }
+
+    #[test]
+    fn bad_shape_rejected() {
+        let e = DenseMatrix::from_row_major(2, 2, vec![1.0; 3]).unwrap_err();
+        assert_eq!(
+            e,
+            LinalgError::DimensionMismatch {
+                expected: 4,
+                actual: 3
+            }
+        );
+    }
+
+    #[test]
+    fn matvec_known() {
+        let m = sample();
+        let y = m.matvec(&[1.0, 1.0]);
+        assert_eq!(y, vec![-1.0, 7.0, 5.0]);
+    }
+
+    #[test]
+    fn sensitivities_are_max_column_norms() {
+        let m = sample();
+        // column 0: (1,3,0) → ℓ1 = 4, ℓ2 = √10
+        // column 1: (−2,4,5) → ℓ1 = 11, ℓ2 = √45
+        assert!((m.l1_sensitivity() - 11.0).abs() < 1e-12);
+        assert!((m.l2_sensitivity() - 45.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sensitivity_definition_via_basis_vectors() {
+        // Definition 3 says ∆p = max over neighboring x, y of ‖Sx − Sy‖p,
+        // attained at a basis-vector difference. Check against brute force.
+        let m = sample();
+        let mut best1 = 0.0f64;
+        let mut best2 = 0.0f64;
+        for j in 0..m.cols() {
+            let mut e = vec![0.0; m.cols()];
+            e[j] = 1.0;
+            let col = m.matvec(&e);
+            best1 = best1.max(crate::vector::l1_norm(&col));
+            best2 = best2.max(crate::vector::l2_norm(&col));
+        }
+        assert!((m.l1_sensitivity() - best1).abs() < 1e-12);
+        assert!((m.l2_sensitivity() - best2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = sample();
+        assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn empty_matrix_sensitivity_zero() {
+        let m = DenseMatrix::zeros(0, 0);
+        assert_eq!(m.l1_sensitivity(), 0.0);
+        assert_eq!(m.l2_sensitivity(), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn matvec_linear(
+            data in proptest::collection::vec(-5.0f64..5.0, 12),
+            x in proptest::collection::vec(-5.0f64..5.0, 4),
+            y in proptest::collection::vec(-5.0f64..5.0, 4),
+            a in -3.0f64..3.0,
+        ) {
+            let m = DenseMatrix::from_row_major(3, 4, data).unwrap();
+            let combo: Vec<f64> = x.iter().zip(&y).map(|(u, v)| a * u + v).collect();
+            let lhs = m.matvec(&combo);
+            let mx = m.matvec(&x);
+            let my = m.matvec(&y);
+            for i in 0..3 {
+                prop_assert!((lhs[i] - (a * mx[i] + my[i])).abs() < 1e-9);
+            }
+        }
+
+        #[test]
+        fn l2_sensitivity_bounds_frobenius(
+            data in proptest::collection::vec(-5.0f64..5.0, 12),
+        ) {
+            let m = DenseMatrix::from_row_major(3, 4, data).unwrap();
+            // max column norm ≤ Frobenius norm, and ≥ Frobenius/√cols.
+            let fro = m.frobenius_sq().sqrt();
+            prop_assert!(m.l2_sensitivity() <= fro + 1e-9);
+            prop_assert!(m.l2_sensitivity() + 1e-9 >= fro / 2.0);
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! Sparse vectors in sorted coordinate form.
+//!
+//! The SJLT sketches in time `O(s·‖x‖₀ + k)` (paper Theorem 3, item 5);
+//! that bound is only realizable if the input is stored sparsely. Entries
+//! are `(index, value)` pairs sorted by index with no duplicates and no
+//! explicit zeros.
+
+use crate::error::LinalgError;
+
+/// A sparse vector of logical dimension `dim`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseVector {
+    dim: usize,
+    entries: Vec<(usize, f64)>,
+}
+
+impl SparseVector {
+    /// Build from raw entries. Entries are sorted, duplicate indices are
+    /// summed, explicit zeros dropped.
+    ///
+    /// # Errors
+    /// [`LinalgError::IndexOutOfBounds`] if any index `≥ dim`.
+    pub fn new(dim: usize, mut entries: Vec<(usize, f64)>) -> Result<Self, LinalgError> {
+        for &(i, _) in &entries {
+            if i >= dim {
+                return Err(LinalgError::IndexOutOfBounds { index: i, len: dim });
+            }
+        }
+        entries.sort_unstable_by_key(|&(i, _)| i);
+        let mut merged: Vec<(usize, f64)> = Vec::with_capacity(entries.len());
+        for (i, v) in entries {
+            match merged.last_mut() {
+                Some((j, acc)) if *j == i => *acc += v,
+                _ => merged.push((i, v)),
+            }
+        }
+        merged.retain(|&(_, v)| v != 0.0);
+        Ok(Self {
+            dim,
+            entries: merged,
+        })
+    }
+
+    /// The all-zero sparse vector.
+    #[must_use]
+    pub fn zeros(dim: usize) -> Self {
+        Self {
+            dim,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Convert from a dense slice, dropping zeros.
+    #[must_use]
+    pub fn from_dense(x: &[f64]) -> Self {
+        let entries = x
+            .iter()
+            .enumerate()
+            .filter(|&(_, &v)| v != 0.0)
+            .map(|(i, &v)| (i, v))
+            .collect();
+        Self {
+            dim: x.len(),
+            entries,
+        }
+    }
+
+    /// Materialize as a dense vector.
+    #[must_use]
+    pub fn to_dense(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.dim];
+        for &(i, v) in &self.entries {
+            out[i] = v;
+        }
+        out
+    }
+
+    /// Logical dimension `d`.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of stored (non-zero) entries, `‖x‖₀`.
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Iterator over `(index, value)` pairs in increasing index order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// `‖x‖₁`.
+    #[must_use]
+    pub fn l1_norm(&self) -> f64 {
+        self.entries.iter().map(|(_, v)| v.abs()).sum()
+    }
+
+    /// `‖x‖₂²`.
+    #[must_use]
+    pub fn sq_norm(&self) -> f64 {
+        self.entries.iter().map(|(_, v)| v * v).sum()
+    }
+
+    /// Inner product with another sparse vector (merge join).
+    ///
+    /// # Panics
+    /// If dimensions differ.
+    #[must_use]
+    pub fn dot(&self, other: &Self) -> f64 {
+        assert_eq!(self.dim, other.dim, "sparse dot: dimension mismatch");
+        let (mut a, mut b) = (self.entries.iter(), other.entries.iter());
+        let (mut na, mut nb) = (a.next(), b.next());
+        let mut acc = 0.0;
+        while let (Some(&(i, u)), Some(&(j, v))) = (na, nb) {
+            match i.cmp(&j) {
+                std::cmp::Ordering::Less => na = a.next(),
+                std::cmp::Ordering::Greater => nb = b.next(),
+                std::cmp::Ordering::Equal => {
+                    acc += u * v;
+                    na = a.next();
+                    nb = b.next();
+                }
+            }
+        }
+        acc
+    }
+
+    /// Squared Euclidean distance to another sparse vector.
+    ///
+    /// # Panics
+    /// If dimensions differ.
+    #[must_use]
+    pub fn sq_distance(&self, other: &Self) -> f64 {
+        // ‖x−y‖² = ‖x‖² + ‖y‖² − 2⟨x,y⟩ avoids materializing the difference.
+        self.sq_norm() + other.sq_norm() - 2.0 * self.dot(other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector;
+    use proptest::prelude::*;
+
+    #[test]
+    fn construction_sorts_merges_drops_zeros() {
+        let v = SparseVector::new(10, vec![(5, 1.0), (2, 3.0), (5, -1.0), (7, 0.0)]).unwrap();
+        assert_eq!(v.nnz(), 1);
+        assert_eq!(v.iter().collect::<Vec<_>>(), vec![(2, 3.0)]);
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let e = SparseVector::new(4, vec![(4, 1.0)]).unwrap_err();
+        assert_eq!(e, LinalgError::IndexOutOfBounds { index: 4, len: 4 });
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let x = [0.0, 1.5, 0.0, -2.0, 0.0];
+        let v = SparseVector::from_dense(&x);
+        assert_eq!(v.nnz(), 2);
+        assert_eq!(v.to_dense(), x.to_vec());
+    }
+
+    #[test]
+    fn zeros_has_no_entries() {
+        let z = SparseVector::zeros(8);
+        assert_eq!(z.nnz(), 0);
+        assert_eq!(z.sq_norm(), 0.0);
+        assert_eq!(z.to_dense(), vec![0.0; 8]);
+    }
+
+    #[test]
+    fn dot_merge_join_cases() {
+        let a = SparseVector::new(6, vec![(0, 1.0), (2, 2.0), (5, 3.0)]).unwrap();
+        let b = SparseVector::new(6, vec![(1, 4.0), (2, 5.0), (5, 6.0)]).unwrap();
+        assert!((a.dot(&b) - (10.0 + 18.0)).abs() < 1e-12);
+        // disjoint supports
+        let c = SparseVector::new(6, vec![(3, 9.0)]).unwrap();
+        assert_eq!(a.dot(&c), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn sparse_matches_dense(
+            xs in proptest::collection::vec(-10.0f64..10.0, 8),
+            ys in proptest::collection::vec(-10.0f64..10.0, 8),
+        ) {
+            // Zero out some coordinates to exercise sparsity.
+            let x: Vec<f64> = xs.iter().map(|&v| if v.abs() < 5.0 { 0.0 } else { v }).collect();
+            let y: Vec<f64> = ys.iter().map(|&v| if v.abs() < 5.0 { 0.0 } else { v }).collect();
+            let (sx, sy) = (SparseVector::from_dense(&x), SparseVector::from_dense(&y));
+            prop_assert!((sx.dot(&sy) - vector::dot(&x, &y)).abs() < 1e-9);
+            prop_assert!((sx.sq_norm() - vector::sq_norm(&x)).abs() < 1e-9);
+            prop_assert!((sx.l1_norm() - vector::l1_norm(&x)).abs() < 1e-9);
+            prop_assert!(
+                (sx.sq_distance(&sy) - vector::sq_distance(&x, &y)).abs()
+                    < 1e-9 * (1.0 + vector::sq_distance(&x, &y))
+            );
+            prop_assert_eq!(sx.nnz(), vector::l0_norm(&x));
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Dense vector operations: the norms and bilinear forms the paper uses.
+//!
+//! All functions operate on plain `&[f64]` slices so they compose with any
+//! storage. Distance helpers take two slices and panic on dimension
+//! mismatch (programming error, not recoverable state).
+
+/// Number of non-zero entries, `‖x‖₀`.
+///
+/// This drives the `O(s·‖x‖₀)` sketching cost of the SJLT
+/// (paper Theorem 3, item 5).
+#[must_use]
+pub fn l0_norm(x: &[f64]) -> usize {
+    x.iter().filter(|&&v| v != 0.0).count()
+}
+
+/// `‖x‖₁ = Σ|xᵢ|`. Neighboring inputs differ by at most 1 in this norm
+/// (paper Definition 1).
+#[must_use]
+pub fn l1_norm(x: &[f64]) -> f64 {
+    x.iter().map(|v| v.abs()).sum()
+}
+
+/// `‖x‖₂² = Σxᵢ²` (squared Euclidean norm).
+#[must_use]
+pub fn sq_norm(x: &[f64]) -> f64 {
+    x.iter().map(|v| v * v).sum()
+}
+
+/// `‖x‖₂`.
+#[must_use]
+pub fn l2_norm(x: &[f64]) -> f64 {
+    sq_norm(x).sqrt()
+}
+
+/// `‖x‖₄⁴ = Σxᵢ⁴`. Appears in the exact SJLT variance
+/// `Var[‖Sx‖²] = (2/k)(‖x‖₂⁴ − ‖x‖₄⁴)` (paper Lemma 10 proof).
+#[must_use]
+pub fn l4_norm(x: &[f64]) -> f64 {
+    x.iter().map(|v| v * v * v * v).sum()
+}
+
+/// `‖x‖_∞ = max|xᵢ|` (0 for the empty vector).
+#[must_use]
+pub fn linf_norm(x: &[f64]) -> f64 {
+    x.iter().fold(0.0, |m, v| m.max(v.abs()))
+}
+
+/// Inner product `⟨x, y⟩`.
+///
+/// # Panics
+/// If the slices have different lengths.
+#[must_use]
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot: dimension mismatch");
+    x.iter().zip(y).map(|(a, b)| a * b).sum()
+}
+
+/// `‖x − y‖₁`.
+///
+/// # Panics
+/// If the slices have different lengths.
+#[must_use]
+pub fn l1_distance(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "l1_distance: dimension mismatch");
+    x.iter().zip(y).map(|(a, b)| (a - b).abs()).sum()
+}
+
+/// Squared Euclidean distance `‖x − y‖₂²` — the quantity every estimator
+/// in the paper targets.
+///
+/// # Panics
+/// If the slices have different lengths.
+#[must_use]
+pub fn sq_distance(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "sq_distance: dimension mismatch");
+    x.iter()
+        .zip(y)
+        .map(|(a, b)| {
+            let d = a - b;
+            d * d
+        })
+        .sum()
+}
+
+/// Euclidean distance `‖x − y‖₂`.
+///
+/// # Panics
+/// If the slices have different lengths.
+#[must_use]
+pub fn l2_distance(x: &[f64], y: &[f64]) -> f64 {
+    sq_distance(x, y).sqrt()
+}
+
+/// `y ← y + a·x` (BLAS `axpy`).
+///
+/// # Panics
+/// If the slices have different lengths.
+pub fn axpy(a: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: dimension mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += a * xi;
+    }
+}
+
+/// Element-wise difference `x − y` into a fresh vector.
+///
+/// # Panics
+/// If the slices have different lengths.
+#[must_use]
+pub fn sub(x: &[f64], y: &[f64]) -> Vec<f64> {
+    assert_eq!(x.len(), y.len(), "sub: dimension mismatch");
+    x.iter().zip(y).map(|(a, b)| a - b).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn norms_on_known_vector() {
+        let x = [3.0, -4.0, 0.0];
+        assert_eq!(l0_norm(&x), 2);
+        assert!((l1_norm(&x) - 7.0).abs() < 1e-12);
+        assert!((sq_norm(&x) - 25.0).abs() < 1e-12);
+        assert!((l2_norm(&x) - 5.0).abs() < 1e-12);
+        assert!((l4_norm(&x) - (81.0 + 256.0)).abs() < 1e-12);
+        assert!((linf_norm(&x) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_vector_norms() {
+        let x: [f64; 0] = [];
+        assert_eq!(l0_norm(&x), 0);
+        assert_eq!(l1_norm(&x), 0.0);
+        assert_eq!(sq_norm(&x), 0.0);
+        assert_eq!(linf_norm(&x), 0.0);
+    }
+
+    #[test]
+    fn distances_and_dot() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [1.0, 0.0, 0.0];
+        assert!((dot(&x, &y) - 1.0).abs() < 1e-12);
+        assert!((sq_distance(&x, &y) - 13.0).abs() < 1e-12);
+        assert!((l2_distance(&x, &y) - 13.0f64.sqrt()).abs() < 1e-12);
+        assert!((l1_distance(&x, &y) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn axpy_and_sub() {
+        let x = [1.0, 2.0];
+        let mut y = [10.0, 20.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [12.0, 24.0]);
+        assert_eq!(sub(&[3.0, 5.0], &[1.0, 1.0]), vec![2.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dot_mismatch_panics() {
+        let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn polarization_identity(
+            x in proptest::collection::vec(-100.0f64..100.0, 1..32),
+            y in proptest::collection::vec(-100.0f64..100.0, 1..32),
+        ) {
+            // ⟨x,y⟩ = (‖x‖² + ‖y‖² − ‖x−y‖²)/2 — the identity behind the
+            // paper's note that LPP implies inner-product preservation.
+            let n = x.len().min(y.len());
+            let (x, y) = (&x[..n], &y[..n]);
+            let lhs = dot(x, y);
+            let rhs = 0.5 * (sq_norm(x) + sq_norm(y) - sq_distance(x, y));
+            prop_assert!((lhs - rhs).abs() < 1e-6 * (1.0 + lhs.abs()));
+        }
+
+        #[test]
+        fn norm_ordering(x in proptest::collection::vec(-100.0f64..100.0, 1..64)) {
+            // ‖x‖∞ ≤ ‖x‖₂ ≤ ‖x‖₁ and ‖x‖₄⁴ ≤ ‖x‖₂⁴.
+            let tol = 1e-9;
+            prop_assert!(linf_norm(&x) <= l2_norm(&x) * (1.0 + tol) + tol);
+            prop_assert!(l2_norm(&x) <= l1_norm(&x) * (1.0 + tol) + tol);
+            let sq = sq_norm(&x);
+            prop_assert!(l4_norm(&x) <= sq * sq * (1.0 + 1e-12) + tol);
+        }
+
+        #[test]
+        fn sq_distance_symmetric_nonneg(
+            x in proptest::collection::vec(-50.0f64..50.0, 1..32),
+        ) {
+            let y: Vec<f64> = x.iter().map(|v| v + 1.0).collect();
+            prop_assert!(sq_distance(&x, &y) >= 0.0);
+            prop_assert!((sq_distance(&x, &y) - sq_distance(&y, &x)).abs() < 1e-9);
+            prop_assert_eq!(sq_distance(&x, &x), 0.0);
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Exact-structure sampling of `Bernoulli(e^{−γ})`.
+//!
+//! This is the primitive behind the discrete Laplace and discrete Gaussian
+//! samplers of Canonne, Kamath & Steinke (NeurIPS 2020), which the paper's
+//! §2.3.1 cites as the remedy for floating-point privacy leaks in
+//! continuous samplers. The algorithm never evaluates `exp`: it unrolls
+//! the Taylor series of `e^{−γ}` as a race of `Bernoulli(γ/k)` draws
+//! (Forsythe/von Neumann), so the only numeric operation is the division
+//! `γ/k` and a uniform comparison.
+
+use dp_hashing::Prng;
+
+/// Sample `Bernoulli(p)` for `p ∈ [0, 1]` via one uniform comparison.
+#[must_use]
+pub fn bernoulli(p: f64, rng: &mut dyn Prng) -> bool {
+    debug_assert!((0.0..=1.0).contains(&p), "p = {p}");
+    rng.next_f64() < p
+}
+
+/// Sample `Bernoulli(e^{−γ})` for `γ ∈ [0, 1]`
+/// (CKS 2020, Algorithm 1, first branch).
+fn bernoulli_exp_le1(gamma: f64, rng: &mut dyn Prng) -> bool {
+    debug_assert!((0.0..=1.0).contains(&gamma));
+    let mut k = 1.0f64;
+    loop {
+        // A_k ~ Bernoulli(γ/k); stop at the first failure.
+        if !bernoulli(gamma / k, rng) {
+            break;
+        }
+        k += 1.0;
+    }
+    // K stopped at value k; accept iff k is odd (series sign bookkeeping).
+    (k as u64) % 2 == 1
+}
+
+/// Sample `Bernoulli(e^{−γ})` for any `γ ≥ 0`
+/// (CKS 2020, Algorithm 1).
+///
+/// # Panics
+/// If `γ` is negative or NaN.
+#[must_use]
+pub fn bernoulli_exp(gamma: f64, rng: &mut dyn Prng) -> bool {
+    assert!(gamma >= 0.0, "gamma must be non-negative, got {gamma}");
+    if gamma <= 1.0 {
+        return bernoulli_exp_le1(gamma, rng);
+    }
+    // e^{−γ} = (e^{−1})^{⌊γ⌋} · e^{−(γ−⌊γ⌋)}
+    let whole = gamma.floor();
+    let mut i = 0.0;
+    while i < whole {
+        if !bernoulli_exp_le1(1.0, rng) {
+            return false;
+        }
+        i += 1.0;
+    }
+    bernoulli_exp_le1(gamma - whole, rng)
+}
+
+/// Sample a geometric count `V ∈ {0, 1, 2, …}` with
+/// `P(V = v) = (1 − e^{−γ})·e^{−γv}` — the number of consecutive
+/// `Bernoulli(e^{−γ})` successes.
+#[must_use]
+pub fn geometric_exp(gamma: f64, rng: &mut dyn Prng) -> u64 {
+    let mut v = 0u64;
+    while bernoulli_exp(gamma, rng) {
+        v += 1;
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_hashing::{Seed, Xoshiro256pp};
+
+    fn rng() -> Xoshiro256pp {
+        Seed::new(0xC0FFEE).rng()
+    }
+
+    fn empirical_p(gamma: f64, n: u32) -> f64 {
+        let mut g = rng();
+        let mut hits = 0u32;
+        for _ in 0..n {
+            hits += u32::from(bernoulli_exp(gamma, &mut g));
+        }
+        f64::from(hits) / f64::from(n)
+    }
+
+    #[test]
+    fn matches_exp_small_gamma() {
+        for gamma in [0.0, 0.1, 0.5, 0.9, 1.0] {
+            let p = empirical_p(gamma, 200_000);
+            let want = (-gamma).exp();
+            assert!((p - want).abs() < 0.01, "gamma={gamma}: {p} vs {want}");
+        }
+    }
+
+    #[test]
+    fn matches_exp_large_gamma() {
+        for gamma in [1.5, 2.0, 3.7] {
+            let p = empirical_p(gamma, 300_000);
+            let want = (-gamma).exp();
+            assert!((p - want).abs() < 0.01, "gamma={gamma}: {p} vs {want}");
+        }
+    }
+
+    #[test]
+    fn gamma_zero_always_true() {
+        let mut g = rng();
+        for _ in 0..1000 {
+            assert!(bernoulli_exp(0.0, &mut g));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_gamma_panics() {
+        let mut g = rng();
+        let _ = bernoulli_exp(-0.1, &mut g);
+    }
+
+    #[test]
+    fn geometric_mean_matches() {
+        // E[V] = e^{−γ}/(1 − e^{−γ}).
+        let gamma = 0.8f64;
+        let mut g = rng();
+        let n = 100_000;
+        let total: u64 = (0..n).map(|_| geometric_exp(gamma, &mut g)).sum();
+        let mean = total as f64 / f64::from(n);
+        let q = (-gamma).exp();
+        let want = q / (1.0 - q);
+        assert!((mean - want).abs() < 0.02, "{mean} vs {want}");
+    }
+
+    #[test]
+    fn plain_bernoulli_frequencies() {
+        let mut g = rng();
+        let n = 100_000;
+        for p in [0.0, 0.25, 0.5, 0.9, 1.0] {
+            let hits = (0..n).filter(|_| bernoulli(p, &mut g)).count();
+            let emp = hits as f64 / f64::from(n);
+            assert!((emp - p).abs() < 0.01, "p={p}: {emp}");
+        }
+    }
+}

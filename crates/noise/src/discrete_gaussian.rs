@@ -1,0 +1,179 @@
+//! The discrete Gaussian distribution `N_ℤ(σ²)` on the integers.
+//!
+//! `P(X = x) ∝ e^{−x²/(2σ²)}`. Canonne, Kamath & Steinke (2020) — cited by
+//! the paper's §2.3.1 — show it has variance at most that of the continuous
+//! `N(0, σ²)`, sub-Gaussian tails, and essentially the same (ε,δ)-DP
+//! guarantee, making it a drop-in discrete replacement for the Gaussian
+//! mechanism. Sampling is their rejection scheme from a discrete Laplace
+//! envelope; moments are computed by numerically summing the pmf (the
+//! series converges after `O(σ)` terms and we cache nothing — callers hold
+//! the distribution object).
+
+use crate::bernoulli_exp::bernoulli_exp;
+use crate::discrete_laplace::DiscreteLaplace;
+use crate::error::{check_scale, NoiseError};
+use crate::moments::numeric_symmetric_moment;
+use dp_hashing::Prng;
+
+/// Discrete Gaussian with parameter `σ` (`P(X=x) ∝ e^{−x²/(2σ²)}`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiscreteGaussian {
+    sigma: f64,
+    envelope: DiscreteLaplace,
+    /// Envelope scale t = ⌊σ⌋ + 1 (CKS Algorithm 3).
+    t: f64,
+}
+
+impl DiscreteGaussian {
+    /// Construct with `σ > 0`.
+    ///
+    /// # Errors
+    /// [`NoiseError::InvalidScale`] for non-positive or non-finite `σ`.
+    pub fn new(sigma: f64) -> Result<Self, NoiseError> {
+        check_scale(sigma)?;
+        let t = sigma.floor() + 1.0;
+        Ok(Self {
+            sigma,
+            envelope: DiscreteLaplace::new(t)?,
+            t,
+        })
+    }
+
+    /// The width parameter σ.
+    #[must_use]
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Draw one sample (CKS 2020, Algorithm 3): draw `Y ~ DLap(t)` and
+    /// accept with probability `exp(−(|Y| − σ²/t)²/(2σ²))`.
+    #[must_use]
+    pub fn sample(&self, rng: &mut dyn Prng) -> i64 {
+        let s2 = self.sigma * self.sigma;
+        loop {
+            let y = self.envelope.sample(rng);
+            let dev = (y.abs() as f64) - s2 / self.t;
+            let gamma = dev * dev / (2.0 * s2);
+            if bernoulli_exp(gamma, rng) {
+                return y;
+            }
+        }
+    }
+
+    /// Probability mass at `x` (normalized by numeric summation).
+    #[must_use]
+    pub fn pmf(&self, x: i64) -> f64 {
+        let w = |v: i64| (-(v as f64) * (v as f64) / (2.0 * self.sigma * self.sigma)).exp();
+        let radius = self.radius();
+        let z: f64 = w(0) + 2.0 * (1..=radius).map(w).sum::<f64>();
+        w(x) / z
+    }
+
+    /// `E[X²]`, summed numerically; CKS prove it is ≤ σ².
+    #[must_use]
+    pub fn second_moment(&self) -> f64 {
+        let s2 = 2.0 * self.sigma * self.sigma;
+        numeric_symmetric_moment(2, self.radius(), |x| (-(x * x) as f64 / s2).exp())
+    }
+
+    /// `E[X⁴]`, summed numerically.
+    #[must_use]
+    pub fn fourth_moment(&self) -> f64 {
+        let s2 = 2.0 * self.sigma * self.sigma;
+        numeric_symmetric_moment(4, self.radius(), |x| (-(x * x) as f64 / s2).exp())
+    }
+
+    fn radius(&self) -> i64 {
+        (12.0 * self.sigma).ceil() as i64 + 12
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::moments::gaussian_moment;
+    use dp_hashing::{Seed, Xoshiro256pp};
+
+    fn rng() -> Xoshiro256pp {
+        Seed::new(0xD15C).rng()
+    }
+
+    #[test]
+    fn invalid_sigma_rejected() {
+        assert!(DiscreteGaussian::new(0.0).is_err());
+        assert!(DiscreteGaussian::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        for sigma in [0.5, 1.0, 3.0] {
+            let d = DiscreteGaussian::new(sigma).unwrap();
+            let radius = (12.0 * sigma) as i64 + 12;
+            let total: f64 = (-radius..=radius).map(|x| d.pmf(x)).sum();
+            assert!((total - 1.0).abs() < 1e-9, "sigma={sigma}: {total}");
+        }
+    }
+
+    #[test]
+    fn variance_at_most_continuous() {
+        // CKS Theorem: Var[N_Z(σ²)] ≤ σ².
+        for sigma in [0.3, 0.8, 1.5, 4.0, 10.0] {
+            let d = DiscreteGaussian::new(sigma).unwrap();
+            assert!(
+                d.second_moment() <= sigma * sigma + 1e-9,
+                "sigma={sigma}: {}",
+                d.second_moment()
+            );
+        }
+    }
+
+    #[test]
+    fn moments_approach_continuous_for_large_sigma() {
+        let sigma = 20.0;
+        let d = DiscreteGaussian::new(sigma).unwrap();
+        let rel2 = (d.second_moment() - gaussian_moment(2, sigma)).abs() / gaussian_moment(2, sigma);
+        let rel4 = (d.fourth_moment() - gaussian_moment(4, sigma)).abs() / gaussian_moment(4, sigma);
+        assert!(rel2 < 0.01, "rel2 {rel2}");
+        assert!(rel4 < 0.01, "rel4 {rel4}");
+    }
+
+    #[test]
+    fn empirical_pmf_matches() {
+        let d = DiscreteGaussian::new(1.2).unwrap();
+        let mut g = rng();
+        let n = 200_000;
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..n {
+            *counts.entry(d.sample(&mut g)).or_insert(0u64) += 1;
+        }
+        for x in -3i64..=3 {
+            let emp = *counts.get(&x).unwrap_or(&0) as f64 / f64::from(n);
+            let want = d.pmf(x);
+            assert!((emp - want).abs() < 0.01, "x={x}: {emp} vs {want}");
+        }
+    }
+
+    #[test]
+    fn empirical_second_moment() {
+        let d = DiscreteGaussian::new(2.5).unwrap();
+        let mut g = rng();
+        let n = 150_000;
+        let m2: f64 = (0..n)
+            .map(|_| {
+                let x = d.sample(&mut g) as f64;
+                x * x
+            })
+            .sum::<f64>()
+            / f64::from(n);
+        let rel = (m2 - d.second_moment()).abs() / d.second_moment();
+        assert!(rel < 0.03, "rel {rel}");
+    }
+
+    #[test]
+    fn small_sigma_concentrates_at_zero() {
+        let d = DiscreteGaussian::new(0.2).unwrap();
+        let mut g = rng();
+        let zeros = (0..5_000).filter(|_| d.sample(&mut g) == 0).count();
+        assert!(zeros > 4_950, "zeros = {zeros}");
+    }
+}

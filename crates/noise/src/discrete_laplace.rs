@@ -1,0 +1,176 @@
+//! The discrete Laplace (two-sided geometric) distribution on ℤ.
+//!
+//! `P(X = x) ∝ e^{−|x|/t}` for scale `t > 0`. Adding `X` with `t = ∆₁/ε`
+//! to an integer-valued query is ε-DP, exactly mirroring the continuous
+//! Laplace mechanism — this is the "discrete, hole-free" alternative the
+//! paper's §2.3.1 recommends (Canonne–Kamath–Steinke 2020; Google's secure
+//! noise report 2020). The sampler composes the exact
+//! `Bernoulli(e^{−γ})` primitive; no transcendental function is evaluated
+//! on the sampling path.
+
+use crate::bernoulli_exp::{bernoulli_exp, geometric_exp};
+use crate::error::{check_scale, NoiseError};
+use crate::moments::discrete_laplace_moment;
+use dp_hashing::Prng;
+
+/// Discrete Laplace distribution with scale `t` (`P(X=x) ∝ e^{−|x|/t}`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiscreteLaplace {
+    t: f64,
+    /// Block size m = ⌈t⌉ used by the two-stage magnitude sampler.
+    m: u64,
+}
+
+impl DiscreteLaplace {
+    /// Construct with scale `t > 0`.
+    ///
+    /// # Errors
+    /// [`NoiseError::InvalidScale`] for non-positive or non-finite `t`.
+    pub fn new(t: f64) -> Result<Self, NoiseError> {
+        check_scale(t)?;
+        Ok(Self {
+            t,
+            m: t.ceil().max(1.0) as u64,
+        })
+    }
+
+    /// The scale parameter `t`.
+    #[must_use]
+    pub fn scale(&self) -> f64 {
+        self.t
+    }
+
+    /// Draw one sample.
+    ///
+    /// Magnitude: `X = U + m·V` where `U ∈ {0..m−1}` is accepted with
+    /// probability `e^{−U/t}` (so `U` is a truncated geometric) and `V` is
+    /// geometric with rate `m/t ≥ 1`; then a fair sign with the
+    /// `(X = 0, sign = −)` branch rejected to avoid double-counting zero
+    /// (CKS 2020, Algorithm 2).
+    #[must_use]
+    pub fn sample(&self, rng: &mut dyn Prng) -> i64 {
+        loop {
+            let u = rng.next_range(self.m);
+            if !bernoulli_exp(u as f64 / self.t, rng) {
+                continue;
+            }
+            let v = geometric_exp(self.m as f64 / self.t, rng);
+            let x = u + self.m * v;
+            let negative = rng.next_bool();
+            if x == 0 && negative {
+                continue;
+            }
+            let xi = i64::try_from(x).expect("magnitude fits i64");
+            return if negative { -xi } else { xi };
+        }
+    }
+
+    /// Probability mass at `x`:
+    /// `P(X = x) = (e^{1/t} − 1)/(e^{1/t} + 1)·e^{−|x|/t}`.
+    #[must_use]
+    pub fn pmf(&self, x: i64) -> f64 {
+        let e = (1.0 / self.t).exp();
+        (e - 1.0) / (e + 1.0) * (-(x.abs() as f64) / self.t).exp()
+    }
+
+    /// `E[X²] = 2α/(1−α)²` with `α = e^{−1/t}`.
+    #[must_use]
+    pub fn second_moment(&self) -> f64 {
+        discrete_laplace_moment(2, self.t)
+    }
+
+    /// `E[X⁴] = 2α(1 + 10α + α²)/(1−α)⁴`.
+    #[must_use]
+    pub fn fourth_moment(&self) -> f64 {
+        discrete_laplace_moment(4, self.t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_hashing::{Seed, Xoshiro256pp};
+
+    fn rng() -> Xoshiro256pp {
+        Seed::new(0x5EED).rng()
+    }
+
+    #[test]
+    fn invalid_scale_rejected() {
+        assert!(DiscreteLaplace::new(0.0).is_err());
+        assert!(DiscreteLaplace::new(-3.0).is_err());
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        for t in [0.4, 1.0, 4.0] {
+            let d = DiscreteLaplace::new(t).unwrap();
+            let radius = (60.0 * t) as i64 + 30;
+            let total: f64 = (-radius..=radius).map(|x| d.pmf(x)).sum();
+            assert!((total - 1.0).abs() < 1e-9, "t={t}: {total}");
+        }
+    }
+
+    #[test]
+    fn empirical_pmf_matches() {
+        let t = 2.0;
+        let d = DiscreteLaplace::new(t).unwrap();
+        let mut g = rng();
+        let n = 300_000;
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..n {
+            *counts.entry(d.sample(&mut g)).or_insert(0u64) += 1;
+        }
+        for x in -4i64..=4 {
+            let emp = *counts.get(&x).unwrap_or(&0) as f64 / f64::from(n);
+            let want = d.pmf(x);
+            assert!((emp - want).abs() < 0.01, "x={x}: {emp} vs {want}");
+        }
+    }
+
+    #[test]
+    fn empirical_moments_match() {
+        let t = 1.5;
+        let d = DiscreteLaplace::new(t).unwrap();
+        let mut g = rng();
+        let n = 300_000;
+        let (mut m1, mut m2, mut m4) = (0.0f64, 0.0f64, 0.0f64);
+        for _ in 0..n {
+            let x = d.sample(&mut g) as f64;
+            m1 += x;
+            m2 += x * x;
+            m4 += x.powi(4);
+        }
+        let nf = f64::from(n);
+        assert!((m1 / nf).abs() < 0.03, "mean {}", m1 / nf);
+        let rel2 = (m2 / nf - d.second_moment()).abs() / d.second_moment();
+        assert!(rel2 < 0.03, "m2 rel {rel2}");
+        let rel4 = (m4 / nf - d.fourth_moment()).abs() / d.fourth_moment();
+        assert!(rel4 < 0.1, "m4 rel {rel4}");
+    }
+
+    #[test]
+    fn dp_ratio_bounded_pointwise() {
+        // Mechanism property: pmf(x)/pmf(x−1) ≤ e^{1/t} — the pure-DP
+        // likelihood bound on an integer query of sensitivity 1.
+        let t = 3.0;
+        let d = DiscreteLaplace::new(t).unwrap();
+        let eps = 1.0 / t;
+        for x in -20i64..=20 {
+            let ratio = d.pmf(x) / d.pmf(x - 1);
+            assert!(
+                ratio <= eps.exp() + 1e-9 && ratio >= (-eps).exp() - 1e-9,
+                "x={x}: ratio {ratio}"
+            );
+        }
+    }
+
+    #[test]
+    fn small_scale_concentrates() {
+        let d = DiscreteLaplace::new(0.1).unwrap();
+        let mut g = rng();
+        let zeros = (0..10_000).filter(|_| d.sample(&mut g) == 0).count();
+        // P(0) = (e^10−1)/(e^10+1) ≈ 0.9999.
+        assert!(zeros > 9_900, "zeros = {zeros}");
+    }
+}

@@ -1,0 +1,92 @@
+//! Error type for invalid privacy/noise parameters.
+
+use std::fmt;
+
+/// Errors raised when constructing noise distributions or mechanisms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NoiseError {
+    /// ε must be strictly positive and finite.
+    InvalidEpsilon(f64),
+    /// δ must lie in (0, 1) for approximate DP.
+    InvalidDelta(f64),
+    /// A scale/σ parameter must be strictly positive and finite.
+    InvalidScale(f64),
+    /// A sensitivity must be strictly positive and finite.
+    InvalidSensitivity(f64),
+    /// A probability must lie in the stated range.
+    InvalidProbability(f64),
+}
+
+impl fmt::Display for NoiseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidEpsilon(e) => write!(f, "epsilon must be in (0, inf), got {e}"),
+            Self::InvalidDelta(d) => write!(f, "delta must be in (0, 1), got {d}"),
+            Self::InvalidScale(s) => write!(f, "scale must be in (0, inf), got {s}"),
+            Self::InvalidSensitivity(s) => write!(f, "sensitivity must be in (0, inf), got {s}"),
+            Self::InvalidProbability(p) => write!(f, "probability out of range: {p}"),
+        }
+    }
+}
+
+impl std::error::Error for NoiseError {}
+
+/// Validate ε ∈ (0, ∞).
+pub(crate) fn check_epsilon(eps: f64) -> Result<(), NoiseError> {
+    if eps.is_finite() && eps > 0.0 {
+        Ok(())
+    } else {
+        Err(NoiseError::InvalidEpsilon(eps))
+    }
+}
+
+/// Validate δ ∈ (0, 1).
+pub(crate) fn check_delta(delta: f64) -> Result<(), NoiseError> {
+    if delta.is_finite() && delta > 0.0 && delta < 1.0 {
+        Ok(())
+    } else {
+        Err(NoiseError::InvalidDelta(delta))
+    }
+}
+
+/// Validate a positive finite scale.
+pub(crate) fn check_scale(scale: f64) -> Result<(), NoiseError> {
+    if scale.is_finite() && scale > 0.0 {
+        Ok(())
+    } else {
+        Err(NoiseError::InvalidScale(scale))
+    }
+}
+
+/// Validate a positive finite sensitivity.
+pub(crate) fn check_sensitivity(s: f64) -> Result<(), NoiseError> {
+    if s.is_finite() && s > 0.0 {
+        Ok(())
+    } else {
+        Err(NoiseError::InvalidSensitivity(s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validators() {
+        assert!(check_epsilon(1.0).is_ok());
+        assert!(check_epsilon(0.0).is_err());
+        assert!(check_epsilon(f64::NAN).is_err());
+        assert!(check_delta(1e-9).is_ok());
+        assert!(check_delta(0.0).is_err());
+        assert!(check_delta(1.0).is_err());
+        assert!(check_scale(2.0).is_ok());
+        assert!(check_scale(-1.0).is_err());
+        assert!(check_sensitivity(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn display() {
+        assert!(NoiseError::InvalidEpsilon(0.0).to_string().contains("epsilon"));
+        assert!(NoiseError::InvalidDelta(2.0).to_string().contains("delta"));
+    }
+}

@@ -1,0 +1,182 @@
+//! The zero-mean Gaussian distribution `N(0, σ²)`.
+//!
+//! Sampling is polar Box–Muller (Marsaglia), with the spare deviate cached
+//! per call pair via a small stateful sampler. Moments are
+//! `E[η²] = σ²`, `E[η⁴] = 3σ⁴` (paper Note 4).
+
+use crate::erf::normal_cdf;
+use crate::error::{check_scale, NoiseError};
+use crate::moments::gaussian_moment;
+use dp_hashing::Prng;
+
+/// A zero-mean Gaussian with standard deviation `σ`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gaussian {
+    sigma: f64,
+}
+
+impl Gaussian {
+    /// Construct with `σ > 0`.
+    ///
+    /// # Errors
+    /// [`NoiseError::InvalidScale`] for non-positive or non-finite `σ`.
+    pub fn new(sigma: f64) -> Result<Self, NoiseError> {
+        check_scale(sigma)?;
+        Ok(Self { sigma })
+    }
+
+    /// The standard deviation σ.
+    #[must_use]
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Draw one sample (polar Box–Muller; the spare deviate is discarded —
+    /// noise vectors use [`Gaussian::fill`] which consumes both).
+    #[must_use]
+    pub fn sample(&self, rng: &mut dyn Prng) -> f64 {
+        self.pair(rng).0
+    }
+
+    /// Fill a slice with i.i.d. samples, consuming deviates in pairs.
+    pub fn fill(&self, out: &mut [f64], rng: &mut dyn Prng) {
+        let mut i = 0;
+        while i + 1 < out.len() {
+            let (a, b) = self.pair(rng);
+            out[i] = a;
+            out[i + 1] = b;
+            i += 2;
+        }
+        if i < out.len() {
+            out[i] = self.pair(rng).0;
+        }
+    }
+
+    /// One polar Box–Muller rejection round → two independent samples.
+    fn pair(&self, rng: &mut dyn Prng) -> (f64, f64) {
+        loop {
+            let u = 2.0 * rng.next_open_f64() - 1.0;
+            let v = 2.0 * rng.next_open_f64() - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                let m = (-2.0 * s.ln() / s).sqrt() * self.sigma;
+                return (u * m, v * m);
+            }
+        }
+    }
+
+    /// Density at `x`.
+    #[must_use]
+    pub fn pdf(&self, x: f64) -> f64 {
+        let z = x / self.sigma;
+        (-0.5 * z * z).exp() / (self.sigma * (2.0 * std::f64::consts::PI).sqrt())
+    }
+
+    /// Log-density at `x` (exact; used by the privacy-loss auditor).
+    #[must_use]
+    pub fn ln_pdf(&self, x: f64) -> f64 {
+        let z = x / self.sigma;
+        -0.5 * z * z - self.sigma.ln() - 0.5 * (2.0 * std::f64::consts::PI).ln()
+    }
+
+    /// CDF at `x`.
+    #[must_use]
+    pub fn cdf(&self, x: f64) -> f64 {
+        normal_cdf(x, self.sigma)
+    }
+
+    /// `E[η²] = σ²`.
+    #[must_use]
+    pub fn second_moment(&self) -> f64 {
+        gaussian_moment(2, self.sigma)
+    }
+
+    /// `E[η⁴] = 3σ⁴`.
+    #[must_use]
+    pub fn fourth_moment(&self) -> f64 {
+        gaussian_moment(4, self.sigma)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_hashing::{Seed, Xoshiro256pp};
+
+    fn rng() -> Xoshiro256pp {
+        Seed::new(0xBEEF).rng()
+    }
+
+    #[test]
+    fn invalid_sigma_rejected() {
+        assert!(Gaussian::new(0.0).is_err());
+        assert!(Gaussian::new(-2.0).is_err());
+        assert!(Gaussian::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn empirical_moments() {
+        let s = 2.5;
+        let gsn = Gaussian::new(s).unwrap();
+        let mut g = rng();
+        let n = 400_000usize;
+        let mut buf = vec![0.0; n];
+        gsn.fill(&mut buf, &mut g);
+        let mean: f64 = buf.iter().sum::<f64>() / n as f64;
+        let m2: f64 = buf.iter().map(|x| x * x).sum::<f64>() / n as f64;
+        let m4: f64 = buf.iter().map(|x| x.powi(4)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((m2 - s * s).abs() / (s * s) < 0.02, "m2 {m2}");
+        assert!(
+            (m4 - 3.0 * s.powi(4)).abs() / (3.0 * s.powi(4)) < 0.05,
+            "m4 {m4}"
+        );
+    }
+
+    #[test]
+    fn empirical_cdf_matches() {
+        let gsn = Gaussian::new(1.0).unwrap();
+        let mut g = rng();
+        let n = 200_000;
+        let xs: Vec<f64> = (0..n).map(|_| gsn.sample(&mut g)).collect();
+        for q in [-1.5, -0.5, 0.0, 1.0, 2.0] {
+            let emp = xs.iter().filter(|&&x| x <= q).count() as f64 / n as f64;
+            assert!(
+                (emp - gsn.cdf(q)).abs() < 0.01,
+                "q={q}: {emp} vs {}",
+                gsn.cdf(q)
+            );
+        }
+    }
+
+    #[test]
+    fn pdf_integrates_to_cdf() {
+        let gsn = Gaussian::new(0.8).unwrap();
+        // Trapezoid integral of pdf over [−6σ, x] tracks cdf.
+        let mut acc = 0.0;
+        let (mut x, h) = (-4.8f64, 1e-3);
+        while x < 1.0 {
+            acc += h * 0.5 * (gsn.pdf(x) + gsn.pdf(x + h));
+            x += h;
+        }
+        // Endpoint drift from repeated `x += h` dominates the error.
+        assert!((acc - gsn.cdf(1.0)).abs() < 2e-3, "integral {acc}");
+    }
+
+    #[test]
+    fn ln_pdf_matches_pdf() {
+        let gsn = Gaussian::new(1.3).unwrap();
+        for x in [-3.0, -0.4, 0.0, 2.2] {
+            assert!((gsn.ln_pdf(x) - gsn.pdf(x).ln()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fill_odd_length() {
+        let gsn = Gaussian::new(1.0).unwrap();
+        let mut g = rng();
+        let mut buf = vec![0.0; 7];
+        gsn.fill(&mut buf, &mut g);
+        assert!(buf.iter().all(|v| v.is_finite() && *v != 0.0));
+    }
+}

@@ -1,0 +1,147 @@
+//! The continuous Laplace distribution `Lap(b)`.
+//!
+//! Density `p(x) = (2b)⁻¹·e^{−|x|/b}`, variance `2b²`, fourth moment
+//! `24b⁴` (paper Note 4). Sampling is by inverse CDF on an open-interval
+//! uniform so the logarithm never sees 0.
+
+use crate::error::{check_scale, NoiseError};
+use crate::moments::laplace_abs_moment;
+use dp_hashing::Prng;
+
+/// A zero-mean Laplace distribution with scale `b`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Laplace {
+    b: f64,
+}
+
+impl Laplace {
+    /// Construct with scale `b > 0`.
+    ///
+    /// # Errors
+    /// [`NoiseError::InvalidScale`] for non-positive or non-finite `b`.
+    pub fn new(b: f64) -> Result<Self, NoiseError> {
+        check_scale(b)?;
+        Ok(Self { b })
+    }
+
+    /// The scale parameter `b`.
+    #[must_use]
+    pub fn scale(&self) -> f64 {
+        self.b
+    }
+
+    /// Draw one sample by inverse CDF: `−b·sgn(u)·ln(1 − 2|u|)` for
+    /// `u ~ U(−1/2, 1/2)`.
+    #[must_use]
+    pub fn sample(&self, rng: &mut dyn Prng) -> f64 {
+        let u = rng.next_open_f64() - 0.5; // (−1/2, 1/2), never ±1/2
+        -self.b * u.signum() * (1.0 - 2.0 * u.abs()).ln()
+    }
+
+    /// Density at `x`.
+    #[must_use]
+    pub fn pdf(&self, x: f64) -> f64 {
+        (-x.abs() / self.b).exp() / (2.0 * self.b)
+    }
+
+    /// Log-density at `x` (used by the privacy-loss auditor).
+    #[must_use]
+    pub fn ln_pdf(&self, x: f64) -> f64 {
+        -x.abs() / self.b - (2.0 * self.b).ln()
+    }
+
+    /// CDF at `x`.
+    #[must_use]
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            0.5 * (x / self.b).exp()
+        } else {
+            1.0 - 0.5 * (-x / self.b).exp()
+        }
+    }
+
+    /// `E[η²] = 2b²`.
+    #[must_use]
+    pub fn second_moment(&self) -> f64 {
+        laplace_abs_moment(2, self.b)
+    }
+
+    /// `E[η⁴] = 24b⁴`.
+    #[must_use]
+    pub fn fourth_moment(&self) -> f64 {
+        laplace_abs_moment(4, self.b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_hashing::{Seed, Xoshiro256pp};
+
+    fn rng() -> Xoshiro256pp {
+        Seed::new(0xFACE).rng()
+    }
+
+    #[test]
+    fn invalid_scales_rejected() {
+        assert!(Laplace::new(0.0).is_err());
+        assert!(Laplace::new(-1.0).is_err());
+        assert!(Laplace::new(f64::NAN).is_err());
+        assert!(Laplace::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn pdf_cdf_consistency() {
+        let l = Laplace::new(2.0).unwrap();
+        assert!((l.cdf(0.0) - 0.5).abs() < 1e-12);
+        // CDF difference ≈ pdf × width for a small interval.
+        let (a, w) = (1.3, 1e-6);
+        let approx = (l.cdf(a + w) - l.cdf(a)) / w;
+        assert!((approx - l.pdf(a)).abs() < 1e-5);
+        // ln_pdf agrees with pdf.
+        assert!((l.ln_pdf(1.0) - l.pdf(1.0).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empirical_moments_match_note4() {
+        let b = 1.7;
+        let l = Laplace::new(b).unwrap();
+        let mut g = rng();
+        let n = 400_000;
+        let (mut m1, mut m2, mut m4) = (0.0f64, 0.0f64, 0.0f64);
+        for _ in 0..n {
+            let x = l.sample(&mut g);
+            m1 += x;
+            m2 += x * x;
+            m4 += x * x * x * x;
+        }
+        let nf = f64::from(n);
+        assert!((m1 / nf).abs() < 0.02, "mean {}", m1 / nf);
+        let rel2 = (m2 / nf - l.second_moment()).abs() / l.second_moment();
+        assert!(rel2 < 0.02, "second moment rel err {rel2}");
+        let rel4 = (m4 / nf - l.fourth_moment()).abs() / l.fourth_moment();
+        assert!(rel4 < 0.12, "fourth moment rel err {rel4}");
+    }
+
+    #[test]
+    fn samples_follow_cdf() {
+        // Empirical CDF at a few quantiles.
+        let l = Laplace::new(1.0).unwrap();
+        let mut g = rng();
+        let n = 200_000;
+        let xs: Vec<f64> = (0..n).map(|_| l.sample(&mut g)).collect();
+        for q in [-2.0, -0.5, 0.0, 0.5, 2.0] {
+            let emp = xs.iter().filter(|&&x| x <= q).count() as f64 / n as f64;
+            assert!((emp - l.cdf(q)).abs() < 0.01, "q={q}: {emp} vs {}", l.cdf(q));
+        }
+    }
+
+    #[test]
+    fn samples_are_finite() {
+        let l = Laplace::new(1e-3).unwrap();
+        let mut g = rng();
+        for _ in 0..100_000 {
+            assert!(l.sample(&mut g).is_finite());
+        }
+    }
+}

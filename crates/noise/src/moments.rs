@@ -1,0 +1,134 @@
+//! Closed-form noise moments (paper Note 4).
+//!
+//! The estimators debias with `2k·E[η²]` and their variance (Lemma 3)
+//! consumes `E[η⁴]`; the paper's Note 4 records the two families we need:
+//!
+//! * Laplace `L ~ Lap(b)`:  `E[|L|ⁿ] = n!·bⁿ` (so `E[L²] = 2b²`,
+//!   `E[L⁴] = 24b⁴`).
+//! * Gaussian `G ~ N(0, σ²)`: `E[Gⁿ] = (n−1)!!·σⁿ` for even `n`
+//!   (so `E[G²] = σ²`, `E[G⁴] = 3σ⁴`).
+
+/// `n!` as f64 (exact for n ≤ 22).
+#[must_use]
+pub fn factorial(n: u32) -> f64 {
+    (1..=n).map(f64::from).product()
+}
+
+/// Double factorial `n!! = n·(n−2)·(n−4)·…` (empty product = 1).
+#[must_use]
+pub fn double_factorial(n: u32) -> f64 {
+    let mut acc = 1.0;
+    let mut k = n;
+    while k > 1 {
+        acc *= f64::from(k);
+        k -= 2;
+    }
+    acc
+}
+
+/// `E[|L|ⁿ]` for `L ~ Lap(b)` — equals `E[Lⁿ]` for even `n`.
+#[must_use]
+pub fn laplace_abs_moment(n: u32, b: f64) -> f64 {
+    factorial(n) * b.powi(n as i32)
+}
+
+/// `E[Gⁿ]` for `G ~ N(0, σ²)` and even `n`; odd moments are zero.
+#[must_use]
+pub fn gaussian_moment(n: u32, sigma: f64) -> f64 {
+    if n % 2 == 1 {
+        return 0.0;
+    }
+    double_factorial(n.saturating_sub(1)) * sigma.powi(n as i32)
+}
+
+/// Moments of the discrete (two-sided geometric) Laplace with
+/// `P(X = x) ∝ α^{|x|}`, `α = e^{−1/t}` for scale `t`:
+/// `E[X²] = 2α/(1−α)²` and `E[X⁴] = 2α(1 + 10α + α²)/(1−α)⁴`.
+#[must_use]
+pub fn discrete_laplace_moment(n: u32, t: f64) -> f64 {
+    let a = (-1.0 / t).exp();
+    let om = 1.0 - a;
+    match n {
+        2 => 2.0 * a / (om * om),
+        4 => 2.0 * a * (1.0 + 10.0 * a + a * a) / om.powi(4),
+        _ if n % 2 == 1 => 0.0,
+        _ => panic!("discrete Laplace moment implemented for n ∈ {{2, 4}} and odd n"),
+    }
+}
+
+/// Numerically sum `E[Xⁿ]` for a symmetric integer-supported distribution
+/// with unnormalized weight `w(x)`, truncating when terms vanish.
+#[must_use]
+pub fn numeric_symmetric_moment(n: u32, radius: i64, w: impl Fn(i64) -> f64) -> f64 {
+    let mut num = 0.0;
+    let mut den = w(0);
+    for x in 1..=radius {
+        let wx = w(x);
+        den += 2.0 * wx;
+        num += 2.0 * wx * (x as f64).powi(n as i32);
+    }
+    if n == 0 {
+        1.0
+    } else {
+        num / den
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factorials() {
+        assert_eq!(factorial(0), 1.0);
+        assert_eq!(factorial(4), 24.0);
+        assert_eq!(double_factorial(0), 1.0);
+        assert_eq!(double_factorial(1), 1.0);
+        assert_eq!(double_factorial(3), 3.0);
+        assert_eq!(double_factorial(5), 15.0);
+        assert_eq!(double_factorial(6), 48.0);
+    }
+
+    #[test]
+    fn note4_laplace() {
+        // E[L²] = 2b², E[L⁴] = 24b⁴.
+        let b = 1.5;
+        assert!((laplace_abs_moment(2, b) - 2.0 * b * b).abs() < 1e-12);
+        assert!((laplace_abs_moment(4, b) - 24.0 * b.powi(4)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn note4_gaussian() {
+        // E[G²] = σ², E[G⁴] = 3σ⁴, E[G⁶] = 15σ⁶; odd vanish.
+        let s = 0.7;
+        assert!((gaussian_moment(2, s) - s * s).abs() < 1e-12);
+        assert!((gaussian_moment(4, s) - 3.0 * s.powi(4)).abs() < 1e-12);
+        assert!((gaussian_moment(6, s) - 15.0 * s.powi(6)).abs() < 1e-12);
+        assert_eq!(gaussian_moment(3, s), 0.0);
+    }
+
+    #[test]
+    fn discrete_laplace_matches_numeric_sum() {
+        for t in [0.5, 1.0, 3.0, 10.0] {
+            let w = |x: i64| (-(x.abs() as f64) / t).exp();
+            let m2 = numeric_symmetric_moment(2, (60.0 * t) as i64 + 20, w);
+            let m4 = numeric_symmetric_moment(4, (60.0 * t) as i64 + 20, w);
+            assert!(
+                (discrete_laplace_moment(2, t) - m2).abs() / m2 < 1e-9,
+                "t={t}"
+            );
+            assert!(
+                (discrete_laplace_moment(4, t) - m4).abs() / m4 < 1e-9,
+                "t={t}"
+            );
+        }
+    }
+
+    #[test]
+    fn discrete_laplace_approaches_continuous_for_large_t() {
+        // For t → ∞ the discrete Laplace converges to Lap(t): E[X²] → 2t².
+        let t = 200.0;
+        let ratio = discrete_laplace_moment(2, t) / laplace_abs_moment(2, t);
+        assert!((ratio - 1.0).abs() < 0.01, "ratio {ratio}");
+    }
+}

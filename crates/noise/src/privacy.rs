@@ -1,0 +1,227 @@
+//! Privacy guarantees and composition accounting.
+//!
+//! Definition 2 of the paper: a mechanism `M` is (ε,δ)-DP if for all
+//! neighboring `x, y` and all events `S`,
+//! `Pr[M(x) ∈ S] ≤ e^ε·Pr[M(y) ∈ S] + δ`; δ = 0 is *pure* ε-DP. The paper
+//! stresses that its Laplace-based sketch achieves pure DP "as a neat
+//! side-effect", which composes more predictably — this module provides
+//! the standard accounting rules (post-processing, basic and advanced
+//! composition) used by the distributed protocol when parties release
+//! multiple sketches.
+
+use crate::error::{check_delta, check_epsilon, NoiseError};
+
+/// A differential-privacy guarantee.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PrivacyGuarantee {
+    /// Pure ε-DP (δ = 0).
+    Pure {
+        /// The privacy-loss bound ε.
+        epsilon: f64,
+    },
+    /// Approximate (ε, δ)-DP.
+    Approx {
+        /// The privacy-loss bound ε.
+        epsilon: f64,
+        /// The failure probability δ.
+        delta: f64,
+    },
+    /// No privacy (non-private baseline paths).
+    None,
+}
+
+impl PrivacyGuarantee {
+    /// Pure ε-DP.
+    ///
+    /// # Errors
+    /// [`NoiseError::InvalidEpsilon`] on bad ε.
+    pub fn pure(epsilon: f64) -> Result<Self, NoiseError> {
+        check_epsilon(epsilon)?;
+        Ok(Self::Pure { epsilon })
+    }
+
+    /// Approximate (ε, δ)-DP.
+    ///
+    /// # Errors
+    /// [`NoiseError::InvalidEpsilon`] / [`NoiseError::InvalidDelta`] on bad
+    /// parameters.
+    pub fn approx(epsilon: f64, delta: f64) -> Result<Self, NoiseError> {
+        check_epsilon(epsilon)?;
+        check_delta(delta)?;
+        Ok(Self::Approx { epsilon, delta })
+    }
+
+    /// The ε component (∞ for [`PrivacyGuarantee::None`]).
+    #[must_use]
+    pub fn epsilon(&self) -> f64 {
+        match self {
+            Self::Pure { epsilon } | Self::Approx { epsilon, .. } => *epsilon,
+            Self::None => f64::INFINITY,
+        }
+    }
+
+    /// The δ component (0 for pure DP, 1 for no privacy).
+    #[must_use]
+    pub fn delta(&self) -> f64 {
+        match self {
+            Self::Pure { .. } => 0.0,
+            Self::Approx { delta, .. } => *delta,
+            Self::None => 1.0,
+        }
+    }
+
+    /// Whether the guarantee is pure DP.
+    #[must_use]
+    pub fn is_pure(&self) -> bool {
+        matches!(self, Self::Pure { .. })
+    }
+
+    /// Basic (sequential) composition: ε and δ add.
+    #[must_use]
+    pub fn compose(&self, other: &Self) -> Self {
+        if matches!(self, Self::None) || matches!(other, Self::None) {
+            return Self::None;
+        }
+        let epsilon = self.epsilon() + other.epsilon();
+        let delta = self.delta() + other.delta();
+        if delta == 0.0 {
+            Self::Pure { epsilon }
+        } else {
+            Self::Approx { epsilon, delta }
+        }
+    }
+
+    /// Basic composition of `t` copies of this guarantee.
+    #[must_use]
+    pub fn compose_n(&self, t: u32) -> Self {
+        match self {
+            Self::None => Self::None,
+            Self::Pure { epsilon } => Self::Pure {
+                epsilon: epsilon * f64::from(t),
+            },
+            Self::Approx { epsilon, delta } => Self::Approx {
+                epsilon: epsilon * f64::from(t),
+                delta: (delta * f64::from(t)).min(1.0),
+            },
+        }
+    }
+
+    /// Advanced composition (Dwork–Rothblum–Vadhan): `t` adaptive uses of
+    /// an (ε, δ)-DP mechanism are
+    /// `(ε·√(2t·ln(1/δ′)) + t·ε·(e^ε − 1), t·δ + δ′)`-DP.
+    ///
+    /// # Errors
+    /// [`NoiseError::InvalidDelta`] on bad `δ′`.
+    pub fn compose_advanced(&self, t: u32, delta_slack: f64) -> Result<Self, NoiseError> {
+        check_delta(delta_slack)?;
+        match self {
+            Self::None => Ok(Self::None),
+            Self::Pure { epsilon } | Self::Approx { epsilon, .. } => {
+                let tf = f64::from(t);
+                let eps = epsilon * (2.0 * tf * (1.0 / delta_slack).ln()).sqrt()
+                    + tf * epsilon * (epsilon.exp() - 1.0);
+                let delta = (self.delta() * tf + delta_slack).min(1.0);
+                Self::approx(eps, delta)
+            }
+        }
+    }
+
+    /// Whether `self` is at least as strong as `other`
+    /// (ε and δ both no larger).
+    #[must_use]
+    pub fn dominates(&self, other: &Self) -> bool {
+        self.epsilon() <= other.epsilon() && self.delta() <= other.delta()
+    }
+}
+
+impl std::fmt::Display for PrivacyGuarantee {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Pure { epsilon } => write!(f, "{epsilon}-DP (pure)"),
+            Self::Approx { epsilon, delta } => write!(f, "({epsilon}, {delta:.3e})-DP"),
+            Self::None => write!(f, "non-private"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_validate() {
+        assert!(PrivacyGuarantee::pure(1.0).is_ok());
+        assert!(PrivacyGuarantee::pure(0.0).is_err());
+        assert!(PrivacyGuarantee::approx(1.0, 1e-6).is_ok());
+        assert!(PrivacyGuarantee::approx(1.0, 0.0).is_err());
+        assert!(PrivacyGuarantee::approx(1.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        let p = PrivacyGuarantee::pure(0.5).unwrap();
+        assert_eq!(p.epsilon(), 0.5);
+        assert_eq!(p.delta(), 0.0);
+        assert!(p.is_pure());
+        let a = PrivacyGuarantee::approx(1.0, 1e-9).unwrap();
+        assert!(!a.is_pure());
+        assert_eq!(a.delta(), 1e-9);
+        assert_eq!(PrivacyGuarantee::None.epsilon(), f64::INFINITY);
+    }
+
+    #[test]
+    fn basic_composition_adds() {
+        let p = PrivacyGuarantee::pure(0.5).unwrap();
+        let a = PrivacyGuarantee::approx(1.0, 1e-6).unwrap();
+        let c = p.compose(&a);
+        assert!((c.epsilon() - 1.5).abs() < 1e-12);
+        assert!((c.delta() - 1e-6).abs() < 1e-18);
+        // Pure ∘ pure stays pure.
+        assert!(p.compose(&p).is_pure());
+    }
+
+    #[test]
+    fn compose_n_scales() {
+        let p = PrivacyGuarantee::pure(0.1).unwrap();
+        let c = p.compose_n(10);
+        assert!((c.epsilon() - 1.0).abs() < 1e-12);
+        assert!(c.is_pure());
+        let a = PrivacyGuarantee::approx(0.1, 1e-8).unwrap().compose_n(100);
+        assert!((a.delta() - 1e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn advanced_beats_basic_for_many_uses() {
+        let eps = 0.05;
+        let t = 400;
+        let p = PrivacyGuarantee::pure(eps).unwrap();
+        let basic = p.compose_n(t);
+        let adv = p.compose_advanced(t, 1e-6).unwrap();
+        assert!(
+            adv.epsilon() < basic.epsilon(),
+            "advanced {} vs basic {}",
+            adv.epsilon(),
+            basic.epsilon()
+        );
+    }
+
+    #[test]
+    fn none_absorbs() {
+        let p = PrivacyGuarantee::pure(1.0).unwrap();
+        assert_eq!(p.compose(&PrivacyGuarantee::None), PrivacyGuarantee::None);
+    }
+
+    #[test]
+    fn dominance() {
+        let strong = PrivacyGuarantee::pure(0.5).unwrap();
+        let weak = PrivacyGuarantee::approx(1.0, 1e-6).unwrap();
+        assert!(strong.dominates(&weak));
+        assert!(!weak.dominates(&strong));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert!(PrivacyGuarantee::pure(1.0).unwrap().to_string().contains("pure"));
+        assert!(PrivacyGuarantee::None.to_string().contains("non-private"));
+    }
+}

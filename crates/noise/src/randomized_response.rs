@@ -1,0 +1,183 @@
+//! Randomized response (Warner 1965) for binary vectors.
+//!
+//! The paper's lower-bound discussion (§2.4, McGregor et al.) contrasts
+//! the `Ω̃(√k)` two-party additive-error lower bound with the `O(√d)`
+//! error achievable by simple randomized response on `d`-bit inputs.
+//! This module provides that baseline: each bit is flipped with
+//! probability `p = 1/(1 + e^ε)` (the ε-DP optimum), and the Hamming
+//! distance between two *randomized* vectors is debiased back to an
+//! unbiased estimate of the true Hamming distance — which equals the
+//! squared Euclidean distance for binary inputs.
+
+use crate::error::{check_epsilon, NoiseError};
+use dp_hashing::Prng;
+
+/// ε-DP randomized response over binary vectors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RandomizedResponse {
+    epsilon: f64,
+    /// Per-bit flip probability `p = 1/(1 + e^ε) < 1/2`.
+    flip_p: f64,
+}
+
+impl RandomizedResponse {
+    /// Construct for privacy parameter `ε > 0`.
+    ///
+    /// # Errors
+    /// [`NoiseError::InvalidEpsilon`] for non-positive or non-finite ε.
+    pub fn new(epsilon: f64) -> Result<Self, NoiseError> {
+        check_epsilon(epsilon)?;
+        Ok(Self {
+            epsilon,
+            flip_p: 1.0 / (1.0 + epsilon.exp()),
+        })
+    }
+
+    /// The per-bit flip probability.
+    #[must_use]
+    pub fn flip_probability(&self) -> f64 {
+        self.flip_p
+    }
+
+    /// The privacy parameter ε.
+    #[must_use]
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Randomize a binary vector (entries must be 0 or 1).
+    ///
+    /// # Panics
+    /// If any entry is not exactly 0.0 or 1.0.
+    #[must_use]
+    pub fn randomize(&self, bits: &[f64], rng: &mut dyn Prng) -> Vec<f64> {
+        bits.iter()
+            .map(|&b| {
+                assert!(b == 0.0 || b == 1.0, "randomized response needs bits, got {b}");
+                if rng.next_f64() < self.flip_p {
+                    1.0 - b
+                } else {
+                    b
+                }
+            })
+            .collect()
+    }
+
+    /// Unbiased Hamming-distance estimate from two *randomized* vectors.
+    ///
+    /// With flip probability `p` on each side independently, a coordinate
+    /// where the originals differ is observed different with probability
+    /// `(1−p)² + p²`, and one where they agree with probability `2p(1−p)`.
+    /// Solving,
+    /// `ĥ = (O − 2dp(1−p)) / (1−2p)²` where `O` is the observed Hamming
+    /// distance. For binary inputs `ĥ` also estimates `‖x − y‖₂²`.
+    ///
+    /// # Panics
+    /// If the slices have different lengths.
+    #[must_use]
+    pub fn estimate_hamming(&self, rx: &[f64], ry: &[f64]) -> f64 {
+        assert_eq!(rx.len(), ry.len(), "length mismatch");
+        let d = rx.len() as f64;
+        let observed = rx
+            .iter()
+            .zip(ry)
+            .filter(|&(a, b)| (a - b).abs() > 0.5)
+            .count() as f64;
+        let p = self.flip_p;
+        let q = 1.0 - 2.0 * p;
+        (observed - 2.0 * d * p * (1.0 - p)) / (q * q)
+    }
+
+    /// Standard deviation bound of [`Self::estimate_hamming`] —
+    /// `O(√d / (1−2p)²)`, the `O(√d)` error the lower-bound section quotes.
+    #[must_use]
+    pub fn error_stddev_bound(&self, d: usize) -> f64 {
+        let q = 1.0 - 2.0 * self.flip_p;
+        // Each coordinate's indicator has variance ≤ 1/4.
+        0.5 * (d as f64).sqrt() / (q * q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_hashing::{Seed, Xoshiro256pp};
+
+    fn rng() -> Xoshiro256pp {
+        Seed::new(0x44).rng()
+    }
+
+    #[test]
+    fn invalid_eps_rejected() {
+        assert!(RandomizedResponse::new(0.0).is_err());
+        assert!(RandomizedResponse::new(-1.0).is_err());
+    }
+
+    #[test]
+    fn flip_probability_shape() {
+        // ε → 0 gives p → 1/2; ε → ∞ gives p → 0; ε = ln 3 gives p = 1/4.
+        assert!((RandomizedResponse::new(1e-9).unwrap().flip_probability() - 0.5).abs() < 1e-6);
+        assert!(RandomizedResponse::new(20.0).unwrap().flip_probability() < 1e-8);
+        let p = RandomizedResponse::new(3.0f64.ln()).unwrap().flip_probability();
+        assert!((p - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn randomize_flips_at_expected_rate() {
+        let rr = RandomizedResponse::new(1.0).unwrap();
+        let mut g = rng();
+        let d = 100_000;
+        let zeros = vec![0.0; d];
+        let r = rr.randomize(&zeros, &mut g);
+        let flips = r.iter().filter(|&&b| b == 1.0).count() as f64 / d as f64;
+        assert!(
+            (flips - rr.flip_probability()).abs() < 0.01,
+            "flips {flips} vs p {}",
+            rr.flip_probability()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "needs bits")]
+    fn non_binary_input_panics() {
+        let rr = RandomizedResponse::new(1.0).unwrap();
+        let mut g = rng();
+        let _ = rr.randomize(&[0.5], &mut g);
+    }
+
+    #[test]
+    fn hamming_estimate_unbiased() {
+        let rr = RandomizedResponse::new(1.5).unwrap();
+        let d = 2_000;
+        let h_true = 300usize;
+        let x = vec![0.0; d];
+        let mut y = vec![0.0; d];
+        for bit in y.iter_mut().take(h_true) {
+            *bit = 1.0;
+        }
+        let mut g = rng();
+        let reps = 300;
+        let mean: f64 = (0..reps)
+            .map(|_| {
+                let rx = rr.randomize(&x, &mut g);
+                let ry = rr.randomize(&y, &mut g);
+                rr.estimate_hamming(&rx, &ry)
+            })
+            .sum::<f64>()
+            / f64::from(reps);
+        // Standard error of the mean ≈ stddev/√reps.
+        let tol = 4.0 * rr.error_stddev_bound(d) / f64::from(reps).sqrt();
+        assert!(
+            (mean - h_true as f64).abs() < tol,
+            "mean {mean} vs {h_true} (tol {tol})"
+        );
+    }
+
+    #[test]
+    fn error_grows_like_sqrt_d() {
+        let rr = RandomizedResponse::new(1.0).unwrap();
+        let e1 = rr.error_stddev_bound(100);
+        let e2 = rr.error_stddev_bound(400);
+        assert!((e2 / e1 - 2.0).abs() < 1e-12);
+    }
+}

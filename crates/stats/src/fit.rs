@@ -1,0 +1,100 @@
+//! Ordinary least squares in one variable, and log–log slope estimation.
+//!
+//! The experiments verify *rates*: e.g. Theorem 2/3 predict the JL term of
+//! the estimator variance decays like `k⁻¹`, and E5 predicts sketch time
+//! grows like `d` (SJLT) vs `d log d` (FJLT). A log–log OLS slope turns
+//! those claims into one number to gate on.
+
+/// OLS fit `y ≈ a + b·x`; returns `(a, b, r²)`.
+///
+/// # Panics
+/// If fewer than two points or if all `x` are identical.
+#[must_use]
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> (f64, f64, f64) {
+    assert_eq!(xs.len(), ys.len(), "length mismatch");
+    assert!(xs.len() >= 2, "need at least two points");
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let syy: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
+    assert!(sxx > 0.0, "degenerate x values");
+    let b = sxy / sxx;
+    let a = my - b * mx;
+    let r2 = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    (a, b, r2)
+}
+
+/// Slope of `ln y` against `ln x` — the empirical exponent `p` in
+/// `y ∝ x^p`.
+///
+/// # Panics
+/// If any coordinate is non-positive, or on [`linear_fit`] failures.
+#[must_use]
+pub fn loglog_slope(xs: &[f64], ys: &[f64]) -> f64 {
+    let lx: Vec<f64> = xs
+        .iter()
+        .map(|&x| {
+            assert!(x > 0.0, "log-log needs positive x, got {x}");
+            x.ln()
+        })
+        .collect();
+    let ly: Vec<f64> = ys
+        .iter()
+        .map(|&y| {
+            assert!(y > 0.0, "log-log needs positive y, got {y}");
+            y.ln()
+        })
+        .collect();
+    linear_fit(&lx, &ly).1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys = [1.0, 3.0, 5.0, 7.0];
+        let (a, b, r2) = linear_fit(&xs, &ys);
+        assert!((a - 1.0).abs() < 1e-12);
+        assert!((b - 2.0).abs() < 1e-12);
+        assert!((r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_recovers_slope() {
+        let xs: Vec<f64> = (0..50).map(f64::from).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| 4.0 - 0.5 * x + if i % 2 == 0 { 0.1 } else { -0.1 })
+            .collect();
+        let (_, b, r2) = linear_fit(&xs, &ys);
+        assert!((b + 0.5).abs() < 0.01, "slope {b}");
+        assert!(r2 > 0.99);
+    }
+
+    #[test]
+    fn power_law_exponent() {
+        // y = 7·x^{-1} → slope −1.
+        let xs: Vec<f64> = (1..=16).map(|i| f64::from(i) * 8.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 7.0 / x).collect();
+        let p = loglog_slope(&xs, &ys);
+        assert!((p + 1.0).abs() < 1e-9, "exponent {p}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive x")]
+    fn loglog_rejects_nonpositive() {
+        let _ = loglog_slope(&[0.0, 1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn constant_x_panics() {
+        let _ = linear_fit(&[2.0, 2.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,106 @@
+//! Goodness-of-fit statistics: Kolmogorov–Smirnov and χ².
+
+/// One-sample Kolmogorov–Smirnov statistic
+/// `D = sup_x |F̂(x) − F(x)|` against a reference CDF.
+///
+/// # Panics
+/// If the sample is empty.
+#[must_use]
+pub fn ks_statistic(sample: &[f64], cdf: impl Fn(f64) -> f64) -> f64 {
+    assert!(!sample.is_empty(), "KS of empty sample");
+    let mut xs = sample.to_vec();
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    let n = xs.len() as f64;
+    let mut d = 0.0f64;
+    for (i, &x) in xs.iter().enumerate() {
+        let f = cdf(x);
+        let lo = i as f64 / n;
+        let hi = (i + 1) as f64 / n;
+        d = d.max((f - lo).abs()).max((hi - f).abs());
+    }
+    d
+}
+
+/// Approximate KS acceptance threshold at significance `alpha ∈ {0.01,
+/// 0.05, 0.1}`: `c(α)/√n` with the asymptotic constants.
+///
+/// # Panics
+/// On unsupported `alpha`.
+#[must_use]
+pub fn ks_threshold(n: usize, alpha: f64) -> f64 {
+    let c = if (alpha - 0.01).abs() < 1e-12 {
+        1.63
+    } else if (alpha - 0.05).abs() < 1e-12 {
+        1.36
+    } else if (alpha - 0.10).abs() < 1e-12 {
+        1.22
+    } else {
+        panic!("unsupported KS significance {alpha}")
+    };
+    c / (n as f64).sqrt()
+}
+
+/// Pearson χ² statistic for observed counts against expected counts.
+///
+/// # Panics
+/// On length mismatch or non-positive expected counts.
+#[must_use]
+pub fn chi_square(observed: &[u64], expected: &[f64]) -> f64 {
+    assert_eq!(observed.len(), expected.len(), "length mismatch");
+    observed
+        .iter()
+        .zip(expected)
+        .map(|(&o, &e)| {
+            assert!(e > 0.0, "expected count must be positive");
+            let d = o as f64 - e;
+            d * d / e
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_hashing::{Prng, Seed};
+    use dp_noise::erf::std_normal_cdf;
+    use dp_noise::gaussian::Gaussian;
+
+    #[test]
+    fn ks_accepts_matching_distribution() {
+        let mut rng = Seed::new(77).rng();
+        let g = Gaussian::new(1.0).unwrap();
+        let sample: Vec<f64> = (0..20_000).map(|_| g.sample(&mut rng)).collect();
+        let d = ks_statistic(&sample, std_normal_cdf);
+        assert!(d < ks_threshold(sample.len(), 0.01), "D = {d}");
+    }
+
+    #[test]
+    fn ks_rejects_wrong_scale() {
+        let mut rng = Seed::new(78).rng();
+        let g = Gaussian::new(2.0).unwrap(); // wrong σ vs reference
+        let sample: Vec<f64> = (0..20_000).map(|_| g.sample(&mut rng)).collect();
+        let d = ks_statistic(&sample, std_normal_cdf);
+        assert!(d > 5.0 * ks_threshold(sample.len(), 0.01), "D = {d}");
+    }
+
+    #[test]
+    fn ks_on_uniform() {
+        let mut rng = Seed::new(79).rng();
+        let sample: Vec<f64> = (0..10_000).map(|_| rng.next_f64()).collect();
+        let d = ks_statistic(&sample, |x| x.clamp(0.0, 1.0));
+        assert!(d < ks_threshold(sample.len(), 0.01), "D = {d}");
+    }
+
+    #[test]
+    fn chi_square_zero_for_exact_match() {
+        assert_eq!(chi_square(&[10, 20], &[10.0, 20.0]), 0.0);
+        let c = chi_square(&[12, 18], &[10.0, 20.0]);
+        assert!((c - (4.0 / 10.0 + 4.0 / 20.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported")]
+    fn bad_alpha_panics() {
+        let _ = ks_threshold(100, 0.2);
+    }
+}

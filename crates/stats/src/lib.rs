@@ -1,0 +1,23 @@
+//! Measurement substrate for tests and the experiment harness.
+//!
+//! The paper is pure theory; reproducing it means checking distributional
+//! claims empirically. This crate holds the machinery those checks share:
+//! streaming summaries (Welford), quantiles and median-of-means, empirical
+//! moments, least-squares slope fits (for `O(1/k)` decay exponents),
+//! goodness-of-fit statistics, an exact privacy-loss auditor for
+//! Laplace/Gaussian output perturbation, and an ASCII table renderer for
+//! harness output.
+
+pub mod audit;
+pub mod fit;
+pub mod gof;
+pub mod moments;
+pub mod quantile;
+pub mod summary;
+pub mod table;
+
+pub use audit::{gaussian_loss_tail, laplace_loss_bound, LossAudit};
+pub use fit::{linear_fit, loglog_slope};
+pub use quantile::{median, median_of_means, quantile};
+pub use summary::Summary;
+pub use table::Table;

@@ -1,0 +1,72 @@
+//! Empirical central moments.
+
+/// Empirical raw moment `E[Xⁿ]` of a sample.
+///
+/// # Panics
+/// If the sample is empty.
+#[must_use]
+pub fn raw_moment(values: &[f64], n: u32) -> f64 {
+    assert!(!values.is_empty(), "moment of empty sample");
+    values.iter().map(|v| v.powi(n as i32)).sum::<f64>() / values.len() as f64
+}
+
+/// Empirical central moment `E[(X − X̄)ⁿ]`.
+///
+/// # Panics
+/// If the sample is empty.
+#[must_use]
+pub fn central_moment(values: &[f64], n: u32) -> f64 {
+    let mean = raw_moment(values, 1);
+    values
+        .iter()
+        .map(|v| (v - mean).powi(n as i32))
+        .sum::<f64>()
+        / values.len() as f64
+}
+
+/// Excess kurtosis `m₄/m₂² − 3` (0 for a Gaussian, 3 for a Laplace).
+///
+/// # Panics
+/// If the sample is empty or has zero variance.
+#[must_use]
+pub fn excess_kurtosis(values: &[f64]) -> f64 {
+    let m2 = central_moment(values, 2);
+    assert!(m2 > 0.0, "kurtosis of a constant sample");
+    central_moment(values, 4) / (m2 * m2) - 3.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_hashing::Seed;
+    use dp_noise::{gaussian::Gaussian, laplace::Laplace};
+
+    #[test]
+    fn raw_and_central_on_known_sample() {
+        let xs = [1.0, 2.0, 3.0];
+        assert!((raw_moment(&xs, 1) - 2.0).abs() < 1e-12);
+        assert!((raw_moment(&xs, 2) - 14.0 / 3.0).abs() < 1e-12);
+        assert!((central_moment(&xs, 2) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((central_moment(&xs, 3)).abs() < 1e-12); // symmetric
+    }
+
+    #[test]
+    fn kurtosis_separates_gaussian_from_laplace() {
+        let mut rng = Seed::new(31).rng();
+        let g = Gaussian::new(1.0).unwrap();
+        let l = Laplace::new(1.0).unwrap();
+        let n = 200_000;
+        let gs: Vec<f64> = (0..n).map(|_| g.sample(&mut rng)).collect();
+        let ls: Vec<f64> = (0..n).map(|_| l.sample(&mut rng)).collect();
+        let kg = excess_kurtosis(&gs);
+        let kl = excess_kurtosis(&ls);
+        assert!(kg.abs() < 0.2, "gaussian kurtosis {kg}");
+        assert!((kl - 3.0).abs() < 0.4, "laplace kurtosis {kl}");
+    }
+
+    #[test]
+    #[should_panic(expected = "constant sample")]
+    fn kurtosis_constant_panics() {
+        let _ = excess_kurtosis(&[1.0, 1.0]);
+    }
+}

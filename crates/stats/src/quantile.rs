@@ -1,0 +1,107 @@
+//! Quantiles and median-of-means.
+
+/// The `q`-quantile (linear interpolation) of a sample, `q ∈ [0, 1]`.
+///
+/// # Panics
+/// If the sample is empty or `q ∉ [0, 1]`.
+#[must_use]
+pub fn quantile(values: &[f64], q: f64) -> f64 {
+    assert!(!values.is_empty(), "quantile of empty sample");
+    assert!((0.0..=1.0).contains(&q), "q must be in [0,1], got {q}");
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in sample"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// The median.
+///
+/// # Panics
+/// If the sample is empty.
+#[must_use]
+pub fn median(values: &[f64]) -> f64 {
+    quantile(values, 0.5)
+}
+
+/// Median-of-means: split into `groups` contiguous blocks, average each,
+/// take the median of the block means. The standard sub-Gaussian-tail
+/// estimator sketch repositories use when repeating a sketch `groups`
+/// times.
+///
+/// # Panics
+/// If the sample is empty or `groups == 0`.
+#[must_use]
+pub fn median_of_means(values: &[f64], groups: usize) -> f64 {
+    assert!(!values.is_empty(), "median_of_means of empty sample");
+    assert!(groups > 0, "need at least one group");
+    let groups = groups.min(values.len());
+    let base = values.len() / groups;
+    let rem = values.len() % groups;
+    let mut means = Vec::with_capacity(groups);
+    let mut start = 0;
+    for g in 0..groups {
+        let len = base + usize::from(g < rem);
+        let block = &values[start..start + len];
+        means.push(block.iter().sum::<f64>() / block.len() as f64);
+        start += len;
+    }
+    median(&means)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_of_known_sample() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 5.0);
+        assert_eq!(median(&xs), 3.0);
+        assert_eq!(quantile(&xs, 0.25), 2.0);
+        // Interpolation between ranks:
+        assert!((quantile(&xs, 0.1) - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_even_sample_interpolates() {
+        assert_eq!(median(&[1.0, 3.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_sample_panics() {
+        let _ = median(&[]);
+    }
+
+    #[test]
+    fn unsorted_input_handled() {
+        assert_eq!(median(&[9.0, 1.0, 5.0]), 5.0);
+    }
+
+    #[test]
+    fn median_of_means_basic() {
+        // 3 groups of 2 over [0,0, 10,10, 2,2] → means [0, 10, 2] → 2.
+        let xs = [0.0, 0.0, 10.0, 10.0, 2.0, 2.0];
+        assert_eq!(median_of_means(&xs, 3), 2.0);
+        // One group = plain mean.
+        assert_eq!(median_of_means(&xs, 1), 4.0);
+    }
+
+    #[test]
+    fn median_of_means_resists_outlier() {
+        let mut xs = vec![1.0; 30];
+        xs[7] = 1e9; // single corrupted block
+        let mom = median_of_means(&xs, 10);
+        assert!((mom - 1.0).abs() < 1e-9, "mom = {mom}");
+    }
+
+    #[test]
+    fn more_groups_than_values_clamps() {
+        assert_eq!(median_of_means(&[5.0, 7.0], 10), 6.0);
+    }
+}

@@ -1,0 +1,181 @@
+//! Streaming mean/variance via Welford's algorithm.
+
+/// Numerically stable streaming summary of a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Summary {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// An empty summary.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Build from an iterator.
+    pub fn of(values: impl IntoIterator<Item = f64>) -> Self {
+        let mut s = Self::new();
+        for v in values {
+            s.push(v);
+        }
+        s
+    }
+
+    /// Add one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 for an empty summary).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (0 for fewer than two observations).
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    #[must_use]
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    #[must_use]
+    pub fn stderr(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.stddev() / (self.n as f64).sqrt()
+        }
+    }
+
+    /// Minimum observation (∞ if empty).
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum observation (−∞ if empty).
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merge another summary into this one (parallel Welford).
+    pub fn merge(&mut self, other: &Self) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n = self.n + other.n;
+        let d = other.mean - self.mean;
+        let mean = self.mean + d * other.n as f64 / n as f64;
+        self.m2 += other.m2 + d * d * (self.n as f64 * other.n as f64) / n as f64;
+        self.mean = mean;
+        self.n = n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn known_sample() {
+        let s = Summary::of([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Unbiased variance of this classic sample is 32/7.
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let e = Summary::new();
+        assert_eq!(e.count(), 0);
+        assert_eq!(e.variance(), 0.0);
+        let s = Summary::of([3.0]);
+        assert_eq!(s.mean(), 3.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.stderr(), 0.0);
+    }
+
+    #[test]
+    fn merge_matches_concatenation() {
+        let a_vals = [1.0, 2.0, 3.5, -1.0];
+        let b_vals = [10.0, 0.25];
+        let mut a = Summary::of(a_vals);
+        let b = Summary::of(b_vals);
+        a.merge(&b);
+        let whole = Summary::of(a_vals.into_iter().chain(b_vals));
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-12);
+        assert!((a.variance() - whole.variance()).abs() < 1e-12);
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = Summary::of([1.0, 2.0]);
+        let before = a;
+        a.merge(&Summary::new());
+        assert_eq!(a, before);
+        let mut e = Summary::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    proptest! {
+        #[test]
+        fn welford_matches_two_pass(
+            xs in proptest::collection::vec(-1e3f64..1e3, 2..100),
+        ) {
+            let s = Summary::of(xs.iter().copied());
+            let mean: f64 = xs.iter().sum::<f64>() / xs.len() as f64;
+            let var: f64 = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
+                / (xs.len() - 1) as f64;
+            prop_assert!((s.mean() - mean).abs() < 1e-9 * (1.0 + mean.abs()));
+            prop_assert!((s.variance() - var).abs() < 1e-7 * (1.0 + var));
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! The distributed release protocol of the paper's introduction.
+//!
+//! All parties share [`PublicParams`] — the sketch configuration plus the
+//! *public* transform seed (the paper: "All parties must use the same
+//! randomized matrix S … It is crucial that the projection matrix is
+//! public, and only the noise be kept secret"). Each [`Party`] holds its
+//! private vector and a private noise seed, releases one
+//! [`NoisySketch`] (serialized as JSON for the wire), and any observer
+//! computes pairwise distance estimates from the released objects alone —
+//! privacy follows by post-processing.
+
+use dp_core::config::SketchConfig;
+use dp_core::error::CoreError;
+use dp_core::sjlt_private::PrivateSjlt;
+use dp_core::NoisySketch;
+use dp_hashing::Seed;
+use serde::{Deserialize, Serialize};
+
+/// Parameters shared by every participant (safe to publish).
+#[derive(Debug, Clone)]
+pub struct PublicParams {
+    config: SketchConfig,
+    transform_seed: Seed,
+}
+
+impl PublicParams {
+    /// Publish a configuration and a transform seed.
+    #[must_use]
+    pub fn new(config: SketchConfig, transform_seed: Seed) -> Self {
+        Self {
+            config,
+            transform_seed,
+        }
+    }
+
+    /// The shared configuration.
+    #[must_use]
+    pub fn config(&self) -> &SketchConfig {
+        &self.config
+    }
+
+    /// The public transform seed.
+    #[must_use]
+    pub fn transform_seed(&self) -> Seed {
+        self.transform_seed
+    }
+
+    /// Rebuild the shared sketcher (every party and every observer gets
+    /// the identical transform from the same seed).
+    ///
+    /// # Errors
+    /// Propagates sketcher construction failures.
+    pub fn sketcher(&self) -> Result<PrivateSjlt, CoreError> {
+        PrivateSjlt::new(&self.config, self.transform_seed)
+    }
+}
+
+/// One data-holding participant.
+#[derive(Debug, Clone)]
+pub struct Party {
+    id: u64,
+    data: Vec<f64>,
+    noise_seed: Seed,
+}
+
+/// The wire format of a release: the sketch plus the sender's id.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Release {
+    /// Sender identity (not private — the protocol releases per-party
+    /// sketches publicly).
+    pub party_id: u64,
+    /// The differentially private sketch.
+    pub sketch: NoisySketch,
+}
+
+impl Party {
+    /// A party with its private data; the noise seed is derived from the
+    /// party id and must stay private.
+    #[must_use]
+    pub fn new(id: u64, data: Vec<f64>, private_seed: Seed) -> Self {
+        Self {
+            id,
+            data,
+            noise_seed: private_seed.child("party-noise").index(id),
+        }
+    }
+
+    /// The party id.
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Release the party's noisy sketch under the shared public params.
+    ///
+    /// # Errors
+    /// Propagates sketcher/sketching failures.
+    pub fn release(&self, params: &PublicParams) -> Result<Release, CoreError> {
+        let sketcher = params.sketcher()?;
+        let sketch = sketcher.try_sketch(&self.data, self.noise_seed)?;
+        Ok(Release {
+            party_id: self.id,
+            sketch,
+        })
+    }
+
+    /// Serialize a release to the JSON wire format.
+    ///
+    /// # Errors
+    /// Propagates release and serialization failures.
+    pub fn release_json(&self, params: &PublicParams) -> Result<String, CoreError> {
+        let release = self.release(params)?;
+        serde_json::to_string(&release)
+            .map_err(|e| CoreError::IncompatibleSketches(format!("serialize: {e}")))
+    }
+}
+
+/// Parse a JSON release from the wire.
+///
+/// # Errors
+/// [`CoreError::IncompatibleSketches`] on malformed input.
+pub fn parse_release(json: &str) -> Result<Release, CoreError> {
+    serde_json::from_str(json)
+        .map_err(|e| CoreError::IncompatibleSketches(format!("deserialize: {e}")))
+}
+
+/// All pairwise squared-distance estimates among released sketches
+/// (upper triangle; `result[i][j]` for `j > i`).
+///
+/// # Errors
+/// [`CoreError::IncompatibleSketches`] if any pair doesn't combine.
+pub fn pairwise_sq_distances(releases: &[Release]) -> Result<Vec<Vec<f64>>, CoreError> {
+    let n = releases.len();
+    let mut out = vec![vec![0.0; n]; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let est = releases[i].sketch.estimate_sq_distance(&releases[j].sketch)?;
+            out[i][j] = est;
+            out[j][i] = est;
+        }
+    }
+    Ok(out)
+}
+
+/// Index of the released sketch nearest to `query` (by estimated squared
+/// distance), excluding `query` itself when it appears in the list.
+///
+/// # Errors
+/// Propagates incompatibility errors.
+pub fn nearest_neighbor(query: &Release, candidates: &[Release]) -> Result<Option<u64>, CoreError> {
+    let mut best: Option<(u64, f64)> = None;
+    for c in candidates {
+        if c.party_id == query.party_id {
+            continue;
+        }
+        let est = query.sketch.estimate_sq_distance(&c.sketch)?;
+        if best.is_none_or(|(_, b)| est < b) {
+            best = Some((c.party_id, est));
+        }
+    }
+    Ok(best.map(|(id, _)| id))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_stats::Summary;
+
+    fn params(d: usize) -> PublicParams {
+        let config = SketchConfig::builder()
+            .input_dim(d)
+            .alpha(0.25)
+            .beta(0.05)
+            .epsilon(2.0)
+            .build()
+            .unwrap();
+        PublicParams::new(config, Seed::new(424_242))
+    }
+
+    #[test]
+    fn parties_reconstruct_identical_transform() {
+        let p = params(64);
+        let s1 = p.sketcher().unwrap();
+        let s2 = p.sketcher().unwrap();
+        // Same tag → sketches interoperate.
+        let x = vec![1.0; 64];
+        let a = s1.sketch(&x, Seed::new(1));
+        let b = s2.sketch(&x, Seed::new(2));
+        assert!(a.estimate_sq_distance(&b).is_ok());
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let p = params(64);
+        let party = Party::new(7, vec![0.5; 64], Seed::new(999));
+        let json = party.release_json(&p).unwrap();
+        let back = parse_release(&json).unwrap();
+        assert_eq!(back.party_id, 7);
+        assert_eq!(back, party.release(&p).unwrap());
+    }
+
+    #[test]
+    fn malformed_wire_rejected() {
+        assert!(parse_release("{not json").is_err());
+    }
+
+    #[test]
+    fn pairwise_estimates_track_true_distances() {
+        let d = 64;
+        let p = params(d);
+        // Average over protocol repetitions with fresh public seeds.
+        let x0 = vec![0.0; d];
+        let x1 = vec![1.0; d]; // ‖x0−x1‖² = 64
+        let mut x2 = vec![0.0; d];
+        x2[0] = 1.0; // ‖x0−x2‖² = 1, ‖x1−x2‖² = 63
+        let mut d01 = Summary::new();
+        let mut d02 = Summary::new();
+        for rep in 0..400u64 {
+            let config = p.config().clone();
+            let pp = PublicParams::new(config, Seed::new(rep));
+            let parties = [
+                Party::new(0, x0.clone(), Seed::new(10 + rep)),
+                Party::new(1, x1.clone(), Seed::new(20 + rep)),
+                Party::new(2, x2.clone(), Seed::new(30 + rep)),
+            ];
+            let releases: Vec<Release> =
+                parties.iter().map(|q| q.release(&pp).unwrap()).collect();
+            let m = pairwise_sq_distances(&releases).unwrap();
+            d01.push(m[0][1]);
+            d02.push(m[0][2]);
+            assert_eq!(m[0][1], m[1][0], "symmetry");
+            assert_eq!(m[0][0], 0.0, "diagonal untouched");
+        }
+        assert!((d01.mean() - 64.0).abs() / d01.stderr() < 4.0, "{}", d01.mean());
+        assert!((d02.mean() - 1.0).abs() / d02.stderr() < 4.0, "{}", d02.mean());
+    }
+
+    #[test]
+    fn nearest_neighbor_finds_close_party() {
+        let d = 256;
+        let p = params(d);
+        // Query near party 1, far from party 2.
+        let query_vec = vec![1.0; d];
+        let mut near = vec![1.0; d];
+        near[0] = 0.0;
+        let far = vec![-1.0; d];
+        let query = Party::new(0, query_vec, Seed::new(1)).release(&p).unwrap();
+        let candidates = vec![
+            Party::new(1, near, Seed::new(2)).release(&p).unwrap(),
+            Party::new(2, far, Seed::new(3)).release(&p).unwrap(),
+        ];
+        assert_eq!(nearest_neighbor(&query, &candidates).unwrap(), Some(1));
+    }
+
+    #[test]
+    fn nearest_neighbor_excludes_self() {
+        let d = 64;
+        let p = params(d);
+        let a = Party::new(0, vec![0.0; d], Seed::new(1)).release(&p).unwrap();
+        assert_eq!(nearest_neighbor(&a, std::slice::from_ref(&a)).unwrap(), None);
+    }
+
+    #[test]
+    fn releases_are_noisy() {
+        let p = params(64);
+        let party = Party::new(0, vec![1.0; 64], Seed::new(5));
+        let r = party.release(&p).unwrap();
+        use dp_transforms::LinearTransform;
+        let noiseless = p.sketcher().unwrap();
+        let ones = vec![1.0; 64];
+        let raw = noiseless.general().transform().apply(&ones).unwrap();
+        assert_ne!(r.sketch.values(), raw.as_slice(), "noise must be present");
+    }
+}

@@ -1,0 +1,19 @@
+//! Streaming maintenance and the distributed release protocol.
+//!
+//! Theorem 3, item 4: the SJLT sketch of a data stream can be updated in
+//! `O(s)` per turnstile update — [`streaming::StreamingSketch`] maintains
+//! the noiseless projection incrementally and adds calibrated noise only
+//! at release time (the stream contents stay inside the party's trust
+//! boundary until then).
+//!
+//! §1/§2's distributed setting — several parties, shared *public*
+//! projection, private noise — is [`distributed`]: parties exchange
+//! serialized [`dp_core::NoisySketch`] values and anyone can estimate any
+//! pairwise distance from the released objects alone.
+
+pub mod distributed;
+pub mod knn;
+pub mod streaming;
+
+pub use distributed::{pairwise_sq_distances, Party, PublicParams};
+pub use streaming::StreamingSketch;

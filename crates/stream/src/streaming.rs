@@ -1,0 +1,223 @@
+//! Turnstile streaming sketch maintenance (Theorem 3, item 4).
+//!
+//! A turnstile stream issues updates `x_j ← x_j + w`. Because the sketch
+//! is linear, the update changes `Sx` by `w·S_{·,j}`, which touches only
+//! [`StreamingColumns::column_nnz`] rows — `s` for the SJLT versus `k`
+//! for dense transforms. Noise is added **at release time only**; the
+//! running projection is private state of the data owner.
+
+use dp_hashing::Seed;
+use dp_noise::mechanism::NoiseMechanism;
+use dp_core::NoisySketch;
+use dp_transforms::{StreamingColumns, TransformError};
+
+/// An incrementally maintained (noiseless) projection of a turnstile
+/// stream, releasable as a noisy sketch at any point.
+#[derive(Debug, Clone)]
+pub struct StreamingSketch<T: StreamingColumns> {
+    transform: T,
+    acc: Vec<f64>,
+    tag: String,
+    updates: u64,
+}
+
+impl<T: StreamingColumns> StreamingSketch<T> {
+    /// Start an empty stream over the given public transform.
+    #[must_use]
+    pub fn new(transform: T, tag: String) -> Self {
+        let k = transform.output_dim();
+        Self {
+            transform,
+            acc: vec![0.0; k],
+            tag,
+            updates: 0,
+        }
+    }
+
+    /// The public transform.
+    #[must_use]
+    pub fn transform(&self) -> &T {
+        &self.transform
+    }
+
+    /// Number of turnstile updates applied.
+    #[must_use]
+    pub fn update_count(&self) -> u64 {
+        self.updates
+    }
+
+    /// Apply `x_j ← x_j + w` in `O(column_nnz)` time.
+    ///
+    /// # Errors
+    /// [`TransformError::DimensionMismatch`] if `j` is out of range.
+    pub fn update(&mut self, j: usize, w: f64) -> Result<(), TransformError> {
+        let acc = &mut self.acc;
+        self.transform.for_column(j, &mut |row, v| acc[row] += w * v)?;
+        self.updates += 1;
+        Ok(())
+    }
+
+    /// Bulk-load a dense vector (equivalent to one update per non-zero).
+    ///
+    /// # Errors
+    /// [`TransformError::DimensionMismatch`] on wrong length.
+    pub fn absorb_dense(&mut self, x: &[f64]) -> Result<(), TransformError> {
+        if x.len() != self.transform.input_dim() {
+            return Err(TransformError::DimensionMismatch {
+                expected: self.transform.input_dim(),
+                actual: x.len(),
+            });
+        }
+        for (j, &w) in x.iter().enumerate() {
+            if w != 0.0 {
+                self.update(j, w)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Merge another stream over the *same* transform (linearity).
+    ///
+    /// # Errors
+    /// [`TransformError::DimensionMismatch`] if the tags differ.
+    pub fn merge(&mut self, other: &Self) -> Result<(), TransformError> {
+        if self.tag != other.tag {
+            // Reuse DimensionMismatch as "incompatible" signal with the
+            // two accumulator lengths — tags differing is the real cause.
+            return Err(TransformError::DimensionMismatch {
+                expected: self.acc.len(),
+                actual: other.acc.len(),
+            });
+        }
+        for (a, b) in self.acc.iter_mut().zip(&other.acc) {
+            *a += b;
+        }
+        self.updates += other.updates;
+        Ok(())
+    }
+
+    /// The current noiseless projection (NOT private — internal state).
+    #[must_use]
+    pub fn current_projection(&self) -> &[f64] {
+        &self.acc
+    }
+
+    /// Release a differentially private sketch of the current state.
+    #[must_use]
+    pub fn release<M: NoiseMechanism>(&self, mechanism: &M, noise_seed: Seed) -> NoisySketch {
+        let mut values = self.acc.clone();
+        let mut rng = noise_seed.child("stream-release").rng();
+        for v in values.iter_mut() {
+            *v += mechanism.sample(&mut rng);
+        }
+        NoisySketch::new(
+            values,
+            self.tag.clone(),
+            mechanism.second_moment(),
+            mechanism.fourth_moment(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_noise::mechanism::{LaplaceMechanism, ZeroNoise};
+    use dp_transforms::sjlt::Sjlt;
+    use dp_transforms::LinearTransform;
+
+    fn sjlt() -> Sjlt {
+        Sjlt::new(32, 16, 4, 6, Seed::new(9)).unwrap()
+    }
+
+    #[test]
+    fn incremental_matches_batch() {
+        let t = sjlt();
+        let mut stream = StreamingSketch::new(t.clone(), "tag".into());
+        let x: Vec<f64> = (0..32).map(|i| ((i * 7) % 5) as f64 - 2.0).collect();
+        // Apply as interleaved turnstile updates, including cancellations.
+        for (j, &w) in x.iter().enumerate() {
+            stream.update(j, w + 1.0).unwrap();
+        }
+        for j in 0..32 {
+            stream.update(j, -1.0).unwrap();
+        }
+        let batch = t.apply(&x).unwrap();
+        for (a, b) in stream.current_projection().iter().zip(&batch) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        assert_eq!(stream.update_count(), 64);
+    }
+
+    #[test]
+    fn absorb_dense_matches_apply() {
+        let t = sjlt();
+        let mut stream = StreamingSketch::new(t.clone(), "tag".into());
+        let x: Vec<f64> = (0..32).map(|i| (i as f64).sin()).collect();
+        stream.absorb_dense(&x).unwrap();
+        let batch = t.apply(&x).unwrap();
+        for (a, b) in stream.current_projection().iter().zip(&batch) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn out_of_range_update_rejected() {
+        let mut stream = StreamingSketch::new(sjlt(), "tag".into());
+        assert!(stream.update(32, 1.0).is_err());
+        assert!(stream.absorb_dense(&[0.0; 31]).is_err());
+    }
+
+    #[test]
+    fn merge_is_linear() {
+        let t = sjlt();
+        let mut a = StreamingSketch::new(t.clone(), "tag".into());
+        let mut b = StreamingSketch::new(t.clone(), "tag".into());
+        a.update(3, 2.0).unwrap();
+        b.update(17, -1.0).unwrap();
+        a.merge(&b).unwrap();
+        let mut whole = StreamingSketch::new(t, "tag".into());
+        whole.update(3, 2.0).unwrap();
+        whole.update(17, -1.0).unwrap();
+        assert_eq!(a.current_projection(), whole.current_projection());
+        assert_eq!(a.update_count(), 2);
+    }
+
+    #[test]
+    fn merge_refuses_different_tags() {
+        let mut a = StreamingSketch::new(sjlt(), "tag-a".into());
+        let b = StreamingSketch::new(sjlt(), "tag-b".into());
+        assert!(a.merge(&b).is_err());
+    }
+
+    #[test]
+    fn release_is_noisy_and_deterministic_per_seed() {
+        let mut stream = StreamingSketch::new(sjlt(), "tag".into());
+        stream.update(0, 1.0).unwrap();
+        let mech = LaplaceMechanism::new(2.0, 1.0).unwrap();
+        let r1 = stream.release(&mech, Seed::new(1));
+        let r2 = stream.release(&mech, Seed::new(1));
+        let r3 = stream.release(&mech, Seed::new(2));
+        assert_eq!(r1, r2);
+        assert_ne!(r1, r3);
+        // Noisy: differs from the raw projection.
+        assert_ne!(r1.values(), stream.current_projection());
+    }
+
+    #[test]
+    fn zero_noise_release_estimates_distance() {
+        let t = sjlt();
+        let x: Vec<f64> = (0..32).map(|i| f64::from(u32::from(i % 4 == 0))).collect();
+        let y = vec![0.0; 32];
+        let mut sx = StreamingSketch::new(t.clone(), "tag".into());
+        let mut sy = StreamingSketch::new(t, "tag".into());
+        sx.absorb_dense(&x).unwrap();
+        sy.absorb_dense(&y).unwrap();
+        let a = sx.release(&ZeroNoise, Seed::new(1));
+        let b = sy.release(&ZeroNoise, Seed::new(2));
+        let est = a.estimate_sq_distance(&b).unwrap();
+        let true_d = dp_linalg::vector::sq_distance(&x, &y);
+        // Single projection: JL error only.
+        assert!((est - true_d).abs() < 0.8 * true_d, "est {est} vs {true_d}");
+    }
+}

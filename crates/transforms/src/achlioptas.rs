@@ -1,0 +1,221 @@
+//! The Achlioptas database-friendly sparse ±1 projection.
+//!
+//! Entries are `√(3/k)·{+1 w.p. 1/6, 0 w.p. 2/3, −1 w.p. 1/6}`
+//! (Achlioptas 2003, paper reference \[1\] — one of the transforms
+//! Kenthapadi et al. "state without proof" their results extend to).
+//! `E[S²ᵢⱼ] = (3/k)(1/3) = 1/k`, so LPP holds. Stored column-sparse:
+//! roughly `k/3` non-zeros per column, so sensitivities are exact from the
+//! stored structure with no extra scan.
+
+use crate::error::TransformError;
+use crate::traits::{check_input, LinearTransform, StreamingColumns};
+use dp_hashing::{Prng, Seed};
+use dp_linalg::SparseVector;
+
+/// Sparse ±1 JL projection (Achlioptas 2003), column-major storage.
+#[derive(Debug, Clone)]
+pub struct Achlioptas {
+    d: usize,
+    k: usize,
+    /// For each column, sorted `(row, ±scale)` non-zeros.
+    columns: Vec<Vec<(usize, f64)>>,
+    l1: f64,
+    l2: f64,
+    seed: Seed,
+}
+
+impl Achlioptas {
+    /// Draw the transform from a public seed.
+    ///
+    /// # Errors
+    /// [`TransformError::InvalidDimensions`] if `d` or `k` is zero.
+    pub fn new(d: usize, k: usize, seed: Seed) -> Result<Self, TransformError> {
+        if d == 0 || k == 0 {
+            return Err(TransformError::InvalidDimensions { d, k });
+        }
+        let scale = (3.0 / k as f64).sqrt();
+        let mut rng = seed.child("achlioptas").rng();
+        let mut columns = Vec::with_capacity(d);
+        let (mut max_nnz, mut _total) = (0usize, 0usize);
+        for _ in 0..d {
+            let mut col = Vec::new();
+            for row in 0..k {
+                // {0,…,5}: 0 → +1, 1 → −1, else 0 (probabilities 1/6, 1/6, 2/3).
+                match rng.next_range(6) {
+                    0 => col.push((row, scale)),
+                    1 => col.push((row, -scale)),
+                    _ => {}
+                }
+            }
+            max_nnz = max_nnz.max(col.len());
+            _total += col.len();
+            columns.push(col);
+        }
+        // Exact sensitivities from the stored structure (Definition 3):
+        // every non-zero has magnitude `scale`.
+        let l1 = columns
+            .iter()
+            .map(|c| c.len() as f64 * scale)
+            .fold(0.0, f64::max);
+        let l2 = columns
+            .iter()
+            .map(|c| (c.len() as f64).sqrt() * scale)
+            .fold(0.0, f64::max);
+        Ok(Self {
+            d,
+            k,
+            columns,
+            l1,
+            l2,
+            seed,
+        })
+    }
+
+    /// The construction seed.
+    #[must_use]
+    pub fn seed(&self) -> Seed {
+        self.seed
+    }
+
+    /// Average column non-zeros (≈ k/3 in expectation).
+    #[must_use]
+    pub fn mean_column_nnz(&self) -> f64 {
+        self.columns.iter().map(Vec::len).sum::<usize>() as f64 / self.d as f64
+    }
+}
+
+impl LinearTransform for Achlioptas {
+    fn input_dim(&self) -> usize {
+        self.d
+    }
+    fn output_dim(&self) -> usize {
+        self.k
+    }
+
+    fn apply_into(&self, x: &[f64], out: &mut [f64]) -> Result<(), TransformError> {
+        check_input(self.d, x.len())?;
+        check_input(self.k, out.len())?;
+        out.fill(0.0);
+        for (j, &w) in x.iter().enumerate() {
+            if w != 0.0 {
+                for &(row, v) in &self.columns[j] {
+                    out[row] += w * v;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn apply_sparse(&self, x: &SparseVector) -> Result<Vec<f64>, TransformError> {
+        check_input(self.d, x.dim())?;
+        let mut out = vec![0.0; self.k];
+        for (j, w) in x.iter() {
+            for &(row, v) in &self.columns[j] {
+                out[row] += w * v;
+            }
+        }
+        Ok(out)
+    }
+
+    fn l1_sensitivity(&self) -> f64 {
+        self.l1
+    }
+    fn l2_sensitivity(&self) -> f64 {
+        self.l2
+    }
+    fn name(&self) -> &'static str {
+        "achlioptas"
+    }
+}
+
+impl StreamingColumns for Achlioptas {
+    fn column_nnz(&self) -> usize {
+        self.columns.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    fn for_column(
+        &self,
+        j: usize,
+        visit: &mut dyn FnMut(usize, f64),
+    ) -> Result<(), TransformError> {
+        if j >= self.d {
+            return Err(TransformError::DimensionMismatch {
+                expected: self.d,
+                actual: j,
+            });
+        }
+        for &(row, v) in &self.columns[j] {
+            visit(row, v);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::materialize;
+    use dp_linalg::vector::sq_norm;
+
+    #[test]
+    fn rejects_zero_dims() {
+        assert!(Achlioptas::new(0, 4, Seed::new(1)).is_err());
+    }
+
+    #[test]
+    fn density_about_one_third() {
+        let t = Achlioptas::new(64, 300, Seed::new(2)).unwrap();
+        let frac = t.mean_column_nnz() / 300.0;
+        assert!((frac - 1.0 / 3.0).abs() < 0.05, "density {frac}");
+    }
+
+    #[test]
+    fn lpp_over_seeds() {
+        let d = 24;
+        let k = 16;
+        let x: Vec<f64> = (0..d).map(|i| (i as f64 * 0.3).sin()).collect();
+        let target = sq_norm(&x);
+        let reps = 2000;
+        let mean: f64 = (0..reps)
+            .map(|r| {
+                let t = Achlioptas::new(d, k, Seed::new(50_000 + r)).unwrap();
+                sq_norm(&t.apply(&x).unwrap())
+            })
+            .sum::<f64>()
+            / reps as f64;
+        let rel = (mean - target).abs() / target;
+        assert!(rel < 0.04, "LPP rel err {rel}");
+    }
+
+    #[test]
+    fn sensitivities_match_materialized_matrix() {
+        let t = Achlioptas::new(20, 12, Seed::new(3)).unwrap();
+        let m = materialize(&t).unwrap();
+        assert!((t.l1_sensitivity() - m.l1_sensitivity()).abs() < 1e-12);
+        assert!((t.l2_sensitivity() - m.l2_sensitivity()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sparse_and_dense_agree() {
+        let t = Achlioptas::new(32, 16, Seed::new(4)).unwrap();
+        let mut x = vec![0.0; 32];
+        x[3] = 2.0;
+        x[17] = -1.5;
+        let sv = SparseVector::from_dense(&x);
+        assert_eq!(t.apply(&x).unwrap(), t.apply_sparse(&sv).unwrap());
+    }
+
+    #[test]
+    fn streaming_columns_reconstruct_apply() {
+        let t = Achlioptas::new(10, 8, Seed::new(5)).unwrap();
+        let x: Vec<f64> = (0..10).map(|i| i as f64 - 4.0).collect();
+        let mut out = [0.0; 8];
+        for (j, &w) in x.iter().enumerate() {
+            t.for_column(j, &mut |r, v| out[r] += w * v).unwrap();
+        }
+        let want = t.apply(&x).unwrap();
+        for (a, b) in out.iter().zip(&want) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Error type for transform construction and application.
+
+use std::fmt;
+
+/// Errors raised by the transform layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TransformError {
+    /// Input/output dimensions are invalid (zero, or k > supported range).
+    InvalidDimensions {
+        /// Input dimension `d`.
+        d: usize,
+        /// Output dimension `k`.
+        k: usize,
+    },
+    /// JL accuracy parameters outside `(0, 1/2)`.
+    InvalidJlParams {
+        /// Multiplicative accuracy α.
+        alpha: f64,
+        /// Failure probability β.
+        beta: f64,
+    },
+    /// Sparsity parameter out of range (must satisfy `1 ≤ s ≤ k`).
+    InvalidSparsity {
+        /// Requested sparsity.
+        s: usize,
+        /// Output dimension.
+        k: usize,
+    },
+    /// A vector had the wrong dimension.
+    DimensionMismatch {
+        /// Expected length.
+        expected: usize,
+        /// Supplied length.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for TransformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidDimensions { d, k } => {
+                write!(f, "invalid transform dimensions d={d}, k={k}")
+            }
+            Self::InvalidJlParams { alpha, beta } => {
+                write!(f, "JL parameters must lie in (0, 1/2): alpha={alpha}, beta={beta}")
+            }
+            Self::InvalidSparsity { s, k } => {
+                write!(f, "sparsity s={s} must satisfy 1 <= s <= k={k}")
+            }
+            Self::DimensionMismatch { expected, actual } => {
+                write!(f, "vector length {actual} does not match input dim {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransformError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(TransformError::InvalidDimensions { d: 0, k: 4 }
+            .to_string()
+            .contains("d=0"));
+        assert!(TransformError::InvalidJlParams {
+            alpha: 0.7,
+            beta: 0.1
+        }
+        .to_string()
+        .contains("alpha=0.7"));
+        assert!(TransformError::InvalidSparsity { s: 9, k: 4 }
+            .to_string()
+            .contains("s=9"));
+    }
+}

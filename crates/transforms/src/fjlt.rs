@@ -1,0 +1,308 @@
+//! The Fast Johnson–Lindenstrauss Transform `Φ = P·H·D` (Ailon–Chazelle;
+//! paper §5.1).
+//!
+//! * `D`: random ±1 diagonal (seeded).
+//! * `H`: normalized Walsh–Hadamard matrix, applied in `O(d log d)` by the
+//!   FWHT (inputs are zero-padded to a power of two; padding does not
+//!   change norms, distances, or sensitivities of real coordinates).
+//! * `P`: sparse `k × d` matrix, each entry `N(0, q⁻¹)` with probability
+//!   `q` and `0` otherwise, `q = min(max(Θ(ln²(1/β))/d, 9/(d+9)), 1)`
+//!   (the floor is the Lemma 11 hypothesis `q ≥ 1/(d/9+1)`).
+//!
+//! The paper's primitives give `E[Φ²ᵢⱼ] = 1`, so the **LPP-normalized**
+//! transform exported here is `(1/√k)·Φ`. Application costs
+//! `O(d log d + nnz(P))` and matches the paper's Lemma 5 run-time shape.
+//!
+//! Sensitivities of `(1/√k)Φ` concentrate near 1 but are *not* known a
+//! priori (paper Note 6); [`Fjlt::exact_l2_sensitivity`] performs the
+//! explicit column scan — the same `O(dk)`-class initialization cost the
+//! paper charges to output-perturbed constructions.
+
+use crate::error::TransformError;
+use crate::params::JlParams;
+use crate::traits::{check_input, LinearTransform};
+use dp_hashing::{Prng, Seed};
+use dp_linalg::hadamard::{fwht_normalized, hadamard_entry, next_pow2};
+use dp_noise::gaussian::Gaussian;
+
+/// The FJLT `(1/√k)·P·H·D` with seed-reconstructible randomness.
+#[derive(Debug, Clone)]
+pub struct Fjlt {
+    /// Logical input dimension (pre-padding).
+    d: usize,
+    /// Padded power-of-two dimension on which H operates.
+    d_pad: usize,
+    k: usize,
+    q: f64,
+    /// Diagonal signs of D (length `d_pad`; padding signs are irrelevant
+    /// but kept for determinism).
+    signs: Vec<f64>,
+    /// Sparse rows of P: for each of the k rows, sorted `(col, value)`.
+    p_rows: Vec<Vec<(usize, f64)>>,
+    seed: Seed,
+}
+
+impl Fjlt {
+    /// Build with an explicit density `q ∈ (0, 1]`.
+    ///
+    /// # Errors
+    /// [`TransformError::InvalidDimensions`] on zero dims or `q ∉ (0, 1]`.
+    pub fn with_density(d: usize, k: usize, q: f64, seed: Seed) -> Result<Self, TransformError> {
+        if d == 0 || k == 0 || !(q > 0.0 && q <= 1.0) {
+            return Err(TransformError::InvalidDimensions { d, k });
+        }
+        let d_pad = next_pow2(d);
+        let mut sign_rng = seed.child("fjlt-signs").rng();
+        let signs: Vec<f64> = (0..d_pad).map(|_| sign_rng.next_sign()).collect();
+
+        let gauss = Gaussian::new((1.0 / q).sqrt()).expect("positive variance");
+        let mut p_rng = seed.child("fjlt-p").rng();
+        let mut p_rows = Vec::with_capacity(k);
+        for _ in 0..k {
+            let mut row = Vec::new();
+            for col in 0..d_pad {
+                if p_rng.next_f64() < q {
+                    row.push((col, gauss.sample(&mut p_rng)));
+                }
+            }
+            p_rows.push(row);
+        }
+        Ok(Self {
+            d,
+            d_pad,
+            k,
+            q,
+            signs,
+            p_rows,
+            seed,
+        })
+    }
+
+    /// Build with the paper's density `q = min(max(ln²(1/β)/d, 9/(d+9)), 1)`.
+    ///
+    /// # Errors
+    /// Propagates [`Fjlt::with_density`] failures.
+    pub fn new(d: usize, k: usize, params: &JlParams, seed: Seed) -> Result<Self, TransformError> {
+        Self::with_density(d, k, params.fjlt_q(next_pow2(d)), seed)
+    }
+
+    /// The construction seed.
+    #[must_use]
+    pub fn seed(&self) -> Seed {
+        self.seed
+    }
+
+    /// The sparsity parameter `q` of `P`.
+    #[must_use]
+    pub fn q(&self) -> f64 {
+        self.q
+    }
+
+    /// Total non-zeros in `P` (drives the post-FWHT application cost).
+    #[must_use]
+    pub fn p_nnz(&self) -> usize {
+        self.p_rows.iter().map(Vec::len).sum()
+    }
+
+    /// Exact squared ℓ₂ column norms of the LPP-normalized transform —
+    /// the `O(nnz(P)·d)` initialization scan of paper §2.1.1 / Note 6.
+    ///
+    /// Column `j` of `(1/√k)PHD` is `(D_jj/√k)·P·H_{·,j}`; since
+    /// `|D_jj| = 1` the norm is `(1/√k)·‖P·H_{·,j}‖`.
+    #[must_use]
+    pub fn column_sq_norms(&self) -> Vec<f64> {
+        let mut out = vec![0.0f64; self.d];
+        for (j, o) in out.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for row in &self.p_rows {
+                let dot: f64 = row
+                    .iter()
+                    .map(|&(f, v)| v * hadamard_entry(self.d_pad, f, j))
+                    .sum();
+                acc += dot * dot;
+            }
+            *o = acc / self.k as f64;
+        }
+        out
+    }
+
+    /// Exact ℓ₂-sensitivity via the column scan (expensive; see Note 6).
+    #[must_use]
+    pub fn exact_l2_sensitivity(&self) -> f64 {
+        self.column_sq_norms()
+            .into_iter()
+            .fold(0.0f64, f64::max)
+            .sqrt()
+    }
+}
+
+impl LinearTransform for Fjlt {
+    fn input_dim(&self) -> usize {
+        self.d
+    }
+    fn output_dim(&self) -> usize {
+        self.k
+    }
+
+    fn apply_into(&self, x: &[f64], out: &mut [f64]) -> Result<(), TransformError> {
+        check_input(self.d, x.len())?;
+        check_input(self.k, out.len())?;
+        // z = D·x, zero-padded.
+        let mut z = vec![0.0f64; self.d_pad];
+        for ((zi, &xi), &s) in z.iter_mut().zip(x).zip(&self.signs) {
+            *zi = xi * s;
+        }
+        // z = H·z in O(d log d).
+        fwht_normalized(&mut z).expect("padded to power of two");
+        // out = (1/√k)·P·z.
+        let scale = 1.0 / (self.k as f64).sqrt();
+        for (o, row) in out.iter_mut().zip(&self.p_rows) {
+            *o = scale * row.iter().map(|&(f, v)| v * z[f]).sum::<f64>();
+        }
+        Ok(())
+    }
+
+    /// ℓ₁-sensitivity: by norm inequality `∆₁ ≤ √k·∆₂`; we return the
+    /// exact scan (costly) — see [`Fjlt::exact_l2_sensitivity`].
+    fn l1_sensitivity(&self) -> f64 {
+        // Exact per-column ℓ₁ scan.
+        let mut best = 0.0f64;
+        let scale = 1.0 / (self.k as f64).sqrt();
+        for j in 0..self.d {
+            let mut acc = 0.0;
+            for row in &self.p_rows {
+                let dot: f64 = row
+                    .iter()
+                    .map(|&(f, v)| v * hadamard_entry(self.d_pad, f, j))
+                    .sum();
+                acc += (scale * dot).abs();
+            }
+            best = best.max(acc);
+        }
+        best
+    }
+
+    fn l2_sensitivity(&self) -> f64 {
+        self.exact_l2_sensitivity()
+    }
+
+    fn name(&self) -> &'static str {
+        "fjlt"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::materialize;
+    use dp_linalg::vector::sq_norm;
+
+    fn params() -> JlParams {
+        JlParams::new(0.25, 0.05).unwrap()
+    }
+
+    #[test]
+    fn rejects_bad_args() {
+        assert!(Fjlt::with_density(0, 4, 0.5, Seed::new(1)).is_err());
+        assert!(Fjlt::with_density(8, 0, 0.5, Seed::new(1)).is_err());
+        assert!(Fjlt::with_density(8, 4, 0.0, Seed::new(1)).is_err());
+        assert!(Fjlt::with_density(8, 4, 1.1, Seed::new(1)).is_err());
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = Fjlt::with_density(16, 8, 0.5, Seed::new(9)).unwrap();
+        let b = Fjlt::with_density(16, 8, 0.5, Seed::new(9)).unwrap();
+        let x: Vec<f64> = (0..16).map(|i| (i as f64).cos()).collect();
+        assert_eq!(a.apply(&x).unwrap(), b.apply(&x).unwrap());
+    }
+
+    #[test]
+    fn lpp_over_seeds() {
+        let d = 16;
+        let k = 8;
+        let x: Vec<f64> = (0..d).map(|i| ((i * 13) % 7) as f64 / 3.0 - 1.0).collect();
+        let target = sq_norm(&x);
+        let reps = 3000;
+        let mean: f64 = (0..reps)
+            .map(|r| {
+                let t = Fjlt::with_density(d, k, 0.6, Seed::new(7_000 + r)).unwrap();
+                sq_norm(&t.apply(&x).unwrap())
+            })
+            .sum::<f64>()
+            / reps as f64;
+        let rel = (mean - target).abs() / target;
+        assert!(rel < 0.06, "LPP rel err {rel}");
+    }
+
+    #[test]
+    fn matches_explicit_phd_product() {
+        // Materialized transform equals (1/√k)·P·H·D built explicitly.
+        let d = 8;
+        let k = 5;
+        let t = Fjlt::with_density(d, k, 0.7, Seed::new(21)).unwrap();
+        let m = materialize(&t).unwrap();
+        let scale = 1.0 / (k as f64).sqrt();
+        for i in 0..k {
+            for j in 0..d {
+                let want: f64 = t.p_rows[i]
+                    .iter()
+                    .map(|&(f, v)| v * hadamard_entry(d, f, j) * t.signs[j])
+                    .sum::<f64>()
+                    * scale;
+                assert!((m.get(i, j) - want).abs() < 1e-10, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn padding_preserves_behaviour() {
+        // Non-power-of-two d: padding must keep the transform linear and
+        // deterministic, and columns beyond d are never touched.
+        let d = 12; // pads to 16
+        let k = 6;
+        let t = Fjlt::with_density(d, k, 0.8, Seed::new(33)).unwrap();
+        let x: Vec<f64> = (0..d).map(|i| i as f64 * 0.1).collect();
+        let y = t.apply(&x).unwrap();
+        assert_eq!(y.len(), k);
+        // Linearity through the padded path.
+        let two_x: Vec<f64> = x.iter().map(|v| 2.0 * v).collect();
+        let y2 = t.apply(&two_x).unwrap();
+        for (a, b) in y.iter().zip(&y2) {
+            assert!((2.0 * a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn exact_sensitivity_matches_materialized() {
+        let t = Fjlt::with_density(8, 6, 0.9, Seed::new(17)).unwrap();
+        let m = materialize(&t).unwrap();
+        assert!(
+            (t.exact_l2_sensitivity() - m.l2_sensitivity()).abs() < 1e-9,
+            "{} vs {}",
+            t.exact_l2_sensitivity(),
+            m.l2_sensitivity()
+        );
+        assert!((t.l1_sensitivity() - m.l1_sensitivity()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn l2_sensitivity_concentrates_near_one() {
+        // E[column norm²] = 1 for the LPP-normalized FJLT.
+        let t = Fjlt::new(64, 128, &params(), Seed::new(2)).unwrap();
+        let norms = t.column_sq_norms();
+        let mean: f64 = norms.iter().sum::<f64>() / norms.len() as f64;
+        assert!((mean - 1.0).abs() < 0.25, "mean column norm² {mean}");
+        let s = t.exact_l2_sensitivity();
+        assert!(s > 0.8 && s < 2.0, "∆₂ = {s}");
+    }
+
+    #[test]
+    fn density_controls_p_size() {
+        let sparse = Fjlt::with_density(64, 32, 0.1, Seed::new(4)).unwrap();
+        let dense = Fjlt::with_density(64, 32, 0.9, Seed::new(4)).unwrap();
+        assert!(sparse.p_nnz() < dense.p_nnz());
+        let frac = sparse.p_nnz() as f64 / (32.0 * 64.0);
+        assert!((frac - 0.1).abs() < 0.04, "measured density {frac}");
+    }
+}

@@ -1,0 +1,192 @@
+//! Johnson–Lindenstrauss parameter selection.
+//!
+//! For accuracy `α` and failure probability `β`, both in `(0, 1/2)`:
+//!
+//! * output dimension `k = Θ(α⁻²·ln(1/β))` — optimal by Jayram–Woodruff /
+//!   Kane–Meka–Nelson (paper §1);
+//! * SJLT sparsity `s = O(α⁻¹·ln(1/β))` (Kane–Nelson);
+//! * hash independence `t = O(ln(1/β))`.
+//!
+//! The Θ-constants are explicit and configurable here (`k_const`,
+//! `s_const`); the defaults are the standard practical choices (8 for `k`,
+//! matching the Gaussian-JL moment bound, and 2 for `s`). For the SJLT,
+//! `k` is rounded up to a multiple of `s` so the block construction
+//! partitions `[k]` exactly.
+
+use crate::error::TransformError;
+
+/// Validated JL accuracy parameters with explicit constants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JlParams {
+    alpha: f64,
+    beta: f64,
+    k_const: f64,
+    s_const: f64,
+}
+
+impl JlParams {
+    /// Standard constants: `k = ⌈8·ln(1/β)/α²⌉`, `s = ⌈2·ln(1/β)/α⌉`.
+    ///
+    /// # Errors
+    /// [`TransformError::InvalidJlParams`] unless `α, β ∈ (0, 1/2)`.
+    pub fn new(alpha: f64, beta: f64) -> Result<Self, TransformError> {
+        Self::with_constants(alpha, beta, 8.0, 2.0)
+    }
+
+    /// Custom Θ-constants (used by the ablation experiments).
+    ///
+    /// # Errors
+    /// [`TransformError::InvalidJlParams`] unless `α, β ∈ (0, 1/2)` and the
+    /// constants are positive.
+    pub fn with_constants(
+        alpha: f64,
+        beta: f64,
+        k_const: f64,
+        s_const: f64,
+    ) -> Result<Self, TransformError> {
+        let ok = alpha > 0.0
+            && alpha < 0.5
+            && beta > 0.0
+            && beta < 0.5
+            && k_const > 0.0
+            && s_const > 0.0
+            && alpha.is_finite()
+            && beta.is_finite();
+        if !ok {
+            return Err(TransformError::InvalidJlParams { alpha, beta });
+        }
+        Ok(Self {
+            alpha,
+            beta,
+            k_const,
+            s_const,
+        })
+    }
+
+    /// The multiplicative accuracy α.
+    #[must_use]
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The failure probability β.
+    #[must_use]
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// `ln(1/β)`.
+    #[must_use]
+    pub fn log_inv_beta(&self) -> f64 {
+        (1.0 / self.beta).ln()
+    }
+
+    /// Output dimension `k = ⌈k_const·ln(1/β)/α²⌉` (at least 2).
+    #[must_use]
+    pub fn k(&self) -> usize {
+        let k = (self.k_const * self.log_inv_beta() / (self.alpha * self.alpha)).ceil();
+        (k as usize).max(2)
+    }
+
+    /// SJLT sparsity `s = ⌈s_const·ln(1/β)/α⌉`, clamped to `[1, k]`.
+    #[must_use]
+    pub fn s(&self) -> usize {
+        let s = (self.s_const * self.log_inv_beta() / self.alpha).ceil() as usize;
+        s.clamp(1, self.k())
+    }
+
+    /// `k` rounded up to the next multiple of `s` (the SJLT block
+    /// construction needs `s | k`).
+    #[must_use]
+    pub fn k_for_sjlt(&self) -> usize {
+        let (k, s) = (self.k(), self.s());
+        k.div_ceil(s) * s
+    }
+
+    /// Hash-family independence `t = max(4, ⌈ln(1/β)⌉)` — the
+    /// `O(log(1/β))`-wise independence Kane–Nelson require, floored at 4
+    /// so the second-moment (variance) analysis always applies.
+    #[must_use]
+    pub fn independence(&self) -> usize {
+        (self.log_inv_beta().ceil() as usize).max(4)
+    }
+
+    /// The FJLT density `q = min(max(q_const·ln²(1/β)/d, 9/(d+9)), 1)`
+    /// (paper §5.1 with the Lemma 11 floor `q ≥ 1/(d/9 + 1)` that its
+    /// variance bound needs).
+    #[must_use]
+    pub fn fjlt_q(&self, d: usize) -> f64 {
+        let lb = self.log_inv_beta();
+        let q = lb * lb / d as f64;
+        q.max(9.0 / (d as f64 + 9.0)).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_out_of_range() {
+        assert!(JlParams::new(0.0, 0.1).is_err());
+        assert!(JlParams::new(0.5, 0.1).is_err());
+        assert!(JlParams::new(0.1, 0.0).is_err());
+        assert!(JlParams::new(0.1, 0.5).is_err());
+        assert!(JlParams::new(f64::NAN, 0.1).is_err());
+        assert!(JlParams::with_constants(0.1, 0.1, 0.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn k_scales_inverse_square_alpha() {
+        let p1 = JlParams::new(0.2, 0.05).unwrap();
+        let p2 = JlParams::new(0.1, 0.05).unwrap();
+        let ratio = p2.k() as f64 / p1.k() as f64;
+        assert!((ratio - 4.0).abs() < 0.1, "ratio {ratio}");
+    }
+
+    #[test]
+    fn s_scales_inverse_alpha() {
+        let p1 = JlParams::new(0.2, 0.05).unwrap();
+        let p2 = JlParams::new(0.1, 0.05).unwrap();
+        let ratio = p2.s() as f64 / p1.s() as f64;
+        assert!((ratio - 2.0).abs() < 0.15, "ratio {ratio}");
+    }
+
+    #[test]
+    fn s_at_most_k() {
+        for (a, b) in [(0.01, 0.4), (0.49, 0.49), (0.3, 0.001)] {
+            let p = JlParams::new(a, b).unwrap();
+            assert!(p.s() >= 1 && p.s() <= p.k(), "a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn sjlt_k_divisible_by_s() {
+        for (a, b) in [(0.1, 0.05), (0.25, 0.01), (0.05, 0.2)] {
+            let p = JlParams::new(a, b).unwrap();
+            assert_eq!(p.k_for_sjlt() % p.s(), 0);
+            assert!(p.k_for_sjlt() >= p.k());
+            assert!(p.k_for_sjlt() < p.k() + p.s());
+        }
+    }
+
+    #[test]
+    fn independence_grows_with_confidence() {
+        let loose = JlParams::new(0.1, 0.4).unwrap();
+        let tight = JlParams::new(0.1, 1e-6).unwrap();
+        assert_eq!(loose.independence(), 4); // floor
+        assert!(tight.independence() > 10);
+    }
+
+    #[test]
+    fn fjlt_q_in_range_and_floored() {
+        let p = JlParams::new(0.1, 0.05).unwrap();
+        for d in [16usize, 1024, 1 << 16] {
+            let q = p.fjlt_q(d);
+            assert!(q > 0.0 && q <= 1.0, "d={d}: q={q}");
+            assert!(q + 1e-12 >= 9.0 / (d as f64 + 9.0), "Lemma 11 floor, d={d}");
+        }
+        // Small d saturates at q = 1 (dense Gaussian fallback).
+        assert_eq!(p.fjlt_q(4), 1.0);
+    }
+}

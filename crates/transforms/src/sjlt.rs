@@ -1,0 +1,430 @@
+//! The Kane–Nelson Sparser JL Transform, block construction "(c)"
+//! (paper §6.1) — the substrate of the paper's main theorem.
+//!
+//! `k` rows are split into `s` blocks of `k/s`. For each block
+//! `r ∈ [s]`, an `O(log 1/β)`-wise independent hash `h_r : [d] → [k/s]`
+//! picks the row inside the block and an independent sign
+//! `ϕ_r : [d] → {±1}` picks the sign:
+//!
+//! ```text
+//! S_{(i,r), j} = ϕ_r(j)·1[h_r(j) = i] / √s
+//! ```
+//!
+//! Every column has **exactly** `s` non-zeros of magnitude `1/√s`, hence
+//! the a-priori sensitivities the paper exploits (§6.2.3):
+//! `∆₁ = s·(1/√s) = √s` and `∆₂ = √(s·(1/s)) = 1` — no initialization
+//! scan. Application costs `O(s·‖x‖₀ + k)` and a turnstile update touches
+//! `s` rows (Theorem 3, items 4–5).
+
+use crate::error::TransformError;
+use crate::params::JlParams;
+use crate::traits::{check_input, LinearTransform, StreamingColumns};
+use dp_hashing::{KWiseFamily, PolyHash, Seed, SignHash};
+use dp_linalg::SparseVector;
+
+/// The SJLT block construction with seed-reconstructible hash functions.
+#[derive(Debug, Clone)]
+pub struct Sjlt {
+    d: usize,
+    k: usize,
+    s: usize,
+    /// Rows per block, `k/s`.
+    block: usize,
+    hashes: Vec<PolyHash>,
+    signs: Vec<SignHash>,
+    seed: Seed,
+    /// Optional precomputed column structure (`d*s` entries, column-major
+    /// `(row, value)`): trades `O(d*s)` memory for hash-free application.
+    /// The degree-`t` polynomial hashes cost tens of multiplications per
+    /// entry, so caching pays whenever the same transform is applied to
+    /// many vectors (the common batch case).
+    cache: Option<Box<[(u32, f64)]>>,
+}
+
+impl Sjlt {
+    /// Build a `k × d` SJLT with sparsity `s` and hash independence `t`.
+    ///
+    /// # Errors
+    /// * [`TransformError::InvalidDimensions`] if `d` or `k` is zero;
+    /// * [`TransformError::InvalidSparsity`] unless `1 ≤ s ≤ k` and `s | k`.
+    pub fn new(
+        d: usize,
+        k: usize,
+        s: usize,
+        independence: usize,
+        seed: Seed,
+    ) -> Result<Self, TransformError> {
+        if d == 0 || k == 0 {
+            return Err(TransformError::InvalidDimensions { d, k });
+        }
+        if s == 0 || s > k || !k.is_multiple_of(s) {
+            return Err(TransformError::InvalidSparsity { s, k });
+        }
+        let family = KWiseFamily::new(independence.max(2), seed.child("sjlt"));
+        let hashes = (0..s as u64).map(|r| family.hash_fn(r)).collect();
+        let signs = (0..s as u64).map(|r| family.sign_fn(r)).collect();
+        Ok(Self {
+            d,
+            k,
+            s,
+            block: k / s,
+            hashes,
+            signs,
+            seed,
+            cache: None,
+        })
+    }
+
+    /// Build like [`Sjlt::new`] and precompute the column cache
+    /// (`O(d·s)` time and memory), eliminating per-application hashing.
+    ///
+    /// # Errors
+    /// Same as [`Sjlt::new`].
+    pub fn new_cached(
+        d: usize,
+        k: usize,
+        s: usize,
+        independence: usize,
+        seed: Seed,
+    ) -> Result<Self, TransformError> {
+        let mut t = Self::new(d, k, s, independence, seed)?;
+        t.precompute_columns();
+        Ok(t)
+    }
+
+    /// Precompute and store the column structure (idempotent).
+    pub fn precompute_columns(&mut self) {
+        if self.cache.is_some() {
+            return;
+        }
+        let mut cache = Vec::with_capacity(self.d * self.s);
+        for j in 0..self.d {
+            for r in 0..self.s {
+                let (row, v) = self.entry_hashed(r, j);
+                cache.push((u32::try_from(row).expect("k fits u32"), v));
+            }
+        }
+        self.cache = Some(cache.into_boxed_slice());
+    }
+
+    /// Whether the column cache is active.
+    #[must_use]
+    pub fn is_cached(&self) -> bool {
+        self.cache.is_some()
+    }
+
+    /// Build from JL parameters: `k = k_for_sjlt(α, β)`, `s = s(α, β)`,
+    /// `t = independence(β)`.
+    ///
+    /// # Errors
+    /// Propagates [`Sjlt::new`] failures.
+    pub fn from_params(d: usize, params: &JlParams, seed: Seed) -> Result<Self, TransformError> {
+        Self::new(
+            d,
+            params.k_for_sjlt(),
+            params.s(),
+            params.independence(),
+            seed,
+        )
+    }
+
+    /// The sparsity `s` (non-zeros per column).
+    #[must_use]
+    pub fn sparsity(&self) -> usize {
+        self.s
+    }
+
+    /// The construction seed.
+    #[must_use]
+    pub fn seed(&self) -> Seed {
+        self.seed
+    }
+
+    /// The row index and signed value of block `r`'s entry in column `j`,
+    /// computed from the hash functions.
+    #[inline]
+    fn entry_hashed(&self, r: usize, j: usize) -> (usize, f64) {
+        let i = self.hashes[r].bucket(j as u64, self.block as u64) as usize;
+        let sign = self.signs[r].sign(j as u64);
+        (r * self.block + i, sign / (self.s as f64).sqrt())
+    }
+
+    /// The row index and signed value of block `r`'s entry in column `j`
+    /// (cache-aware).
+    #[inline]
+    fn entry(&self, r: usize, j: usize) -> (usize, f64) {
+        if let Some(cache) = &self.cache {
+            let (row, v) = cache[j * self.s + r];
+            (row as usize, v)
+        } else {
+            self.entry_hashed(r, j)
+        }
+    }
+}
+
+impl LinearTransform for Sjlt {
+    fn input_dim(&self) -> usize {
+        self.d
+    }
+    fn output_dim(&self) -> usize {
+        self.k
+    }
+
+    fn apply_into(&self, x: &[f64], out: &mut [f64]) -> Result<(), TransformError> {
+        check_input(self.d, x.len())?;
+        check_input(self.k, out.len())?;
+        out.fill(0.0);
+        for (j, &w) in x.iter().enumerate() {
+            if w != 0.0 {
+                for r in 0..self.s {
+                    let (row, v) = self.entry(r, j);
+                    out[row] += w * v;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The `O(s·‖x‖₀ + k)` sparse path of Theorem 3, item 5.
+    fn apply_sparse(&self, x: &SparseVector) -> Result<Vec<f64>, TransformError> {
+        check_input(self.d, x.dim())?;
+        let mut out = vec![0.0; self.k];
+        for (j, w) in x.iter() {
+            for r in 0..self.s {
+                let (row, v) = self.entry(r, j);
+                out[row] += w * v;
+            }
+        }
+        Ok(out)
+    }
+
+    /// `∆₁ = √s`, exactly and a priori (paper §6.2.3).
+    fn l1_sensitivity(&self) -> f64 {
+        (self.s as f64).sqrt()
+    }
+
+    /// `∆₂ = 1`, exactly and a priori (paper §6.2.3).
+    fn l2_sensitivity(&self) -> f64 {
+        1.0
+    }
+
+    fn sensitivity_is_a_priori(&self) -> bool {
+        true
+    }
+
+    fn name(&self) -> &'static str {
+        "sjlt"
+    }
+}
+
+impl StreamingColumns for Sjlt {
+    fn column_nnz(&self) -> usize {
+        self.s
+    }
+
+    /// Theorem 3, item 4: a turnstile update touches exactly `s` rows.
+    fn for_column(
+        &self,
+        j: usize,
+        visit: &mut dyn FnMut(usize, f64),
+    ) -> Result<(), TransformError> {
+        if j >= self.d {
+            return Err(TransformError::DimensionMismatch {
+                expected: self.d,
+                actual: j,
+            });
+        }
+        for r in 0..self.s {
+            let (row, v) = self.entry(r, j);
+            visit(row, v);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::materialize;
+    use dp_linalg::vector::{sq_distance, sq_norm};
+
+    fn small() -> Sjlt {
+        Sjlt::new(32, 24, 4, 6, Seed::new(77)).unwrap()
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(Sjlt::new(0, 8, 2, 4, Seed::new(1)).is_err());
+        assert!(Sjlt::new(8, 0, 2, 4, Seed::new(1)).is_err());
+        assert!(Sjlt::new(8, 8, 0, 4, Seed::new(1)).is_err());
+        assert!(Sjlt::new(8, 8, 16, 4, Seed::new(1)).is_err());
+        // s must divide k:
+        assert!(Sjlt::new(8, 10, 4, 4, Seed::new(1)).is_err());
+        assert!(Sjlt::new(8, 12, 4, 4, Seed::new(1)).is_ok());
+    }
+
+    #[test]
+    fn exact_column_structure() {
+        // Every column: exactly s non-zeros of magnitude 1/√s, one per block.
+        let t = small();
+        let m = materialize(&t).unwrap();
+        let mag = 1.0 / (t.sparsity() as f64).sqrt();
+        for j in 0..t.input_dim() {
+            let mut per_block = vec![0usize; t.sparsity()];
+            let mut nnz = 0;
+            for i in 0..t.output_dim() {
+                let v = m.get(i, j);
+                if v != 0.0 {
+                    assert!((v.abs() - mag).abs() < 1e-12, "magnitude at ({i},{j})");
+                    per_block[i / t.block] += 1;
+                    nnz += 1;
+                }
+            }
+            assert_eq!(nnz, t.sparsity(), "column {j} nnz");
+            assert!(per_block.iter().all(|&c| c == 1), "one entry per block");
+        }
+    }
+
+    #[test]
+    fn a_priori_sensitivities_are_exact() {
+        let t = small();
+        let m = materialize(&t).unwrap();
+        assert!((t.l1_sensitivity() - m.l1_sensitivity()).abs() < 1e-12);
+        assert!((t.l2_sensitivity() - m.l2_sensitivity()).abs() < 1e-12);
+        assert!((t.l1_sensitivity() - 2.0).abs() < 1e-12); // √4
+        assert_eq!(t.l2_sensitivity(), 1.0);
+        assert!(t.sensitivity_is_a_priori());
+    }
+
+    #[test]
+    fn lpp_over_seeds() {
+        let d = 24;
+        let x: Vec<f64> = (0..d).map(|i| ((i * 31) % 9) as f64 / 4.0 - 1.0).collect();
+        let target = sq_norm(&x);
+        let reps = 3000;
+        let mean: f64 = (0..reps)
+            .map(|r| {
+                let t = Sjlt::new(d, 16, 4, 6, Seed::new(90_000 + r)).unwrap();
+                sq_norm(&t.apply(&x).unwrap())
+            })
+            .sum::<f64>()
+            / reps as f64;
+        let rel = (mean - target).abs() / target;
+        assert!(rel < 0.04, "LPP rel err {rel}");
+    }
+
+    #[test]
+    fn variance_bound_lemma10() {
+        // Var[‖Sx‖²] ≤ (2/k)‖x‖₂⁴ (Lemma 10), checked empirically.
+        let d = 24;
+        let k = 32;
+        let x: Vec<f64> = (0..d).map(|i| (i as f64 * 0.7).sin()).collect();
+        let target = sq_norm(&x);
+        let reps = 4000;
+        let vals: Vec<f64> = (0..reps)
+            .map(|r| {
+                let t = Sjlt::new(d, k, 4, 8, Seed::new(40_000 + r)).unwrap();
+                sq_norm(&t.apply(&x).unwrap())
+            })
+            .collect();
+        let mean: f64 = vals.iter().sum::<f64>() / reps as f64;
+        let var: f64 =
+            vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (reps - 1) as f64;
+        let bound = 2.0 / k as f64 * target * target;
+        // Allow Monte-Carlo slack of 25%.
+        assert!(var <= bound * 1.25, "var {var} vs bound {bound}");
+    }
+
+    #[test]
+    fn sparse_and_dense_agree() {
+        let t = small();
+        let mut x = vec![0.0; 32];
+        x[5] = 1.5;
+        x[20] = -3.0;
+        let sv = SparseVector::from_dense(&x);
+        let dense = t.apply(&x).unwrap();
+        let sparse = t.apply_sparse(&sv).unwrap();
+        for (a, b) in dense.iter().zip(&sparse) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn streaming_columns_match_apply() {
+        let t = small();
+        let x: Vec<f64> = (0..32).map(|i| (i % 5) as f64 - 2.0).collect();
+        let mut out = [0.0; 24];
+        for (j, &w) in x.iter().enumerate() {
+            if w != 0.0 {
+                t.for_column(j, &mut |r, v| out[r] += w * v).unwrap();
+            }
+        }
+        let want = t.apply(&x).unwrap();
+        for (a, b) in out.iter().zip(&want) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        assert_eq!(t.column_nnz(), 4);
+    }
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let a = Sjlt::new(16, 8, 2, 4, Seed::new(5)).unwrap();
+        let b = Sjlt::new(16, 8, 2, 4, Seed::new(5)).unwrap();
+        let c = Sjlt::new(16, 8, 2, 4, Seed::new(6)).unwrap();
+        let x: Vec<f64> = (0..16).map(|i| i as f64).collect();
+        assert_eq!(a.apply(&x).unwrap(), b.apply(&x).unwrap());
+        assert_ne!(a.apply(&x).unwrap(), c.apply(&x).unwrap());
+    }
+
+    #[test]
+    fn distance_preservation_at_param_k() {
+        let params = JlParams::new(0.3, 0.1).unwrap();
+        let d = 128;
+        let t = Sjlt::from_params(d, &params, Seed::new(8)).unwrap();
+        let x = vec![1.0; d];
+        let y = vec![-1.0; d];
+        let true_d = sq_distance(&x, &y);
+        let est = sq_distance(&t.apply(&x).unwrap(), &t.apply(&y).unwrap());
+        assert!(
+            (est / true_d - 1.0).abs() < 0.3,
+            "distortion {}",
+            est / true_d
+        );
+    }
+}
+
+#[cfg(test)]
+mod cache_tests {
+    use super::*;
+    use dp_linalg::vector::sq_norm;
+
+    #[test]
+    fn cached_matches_hashed_exactly() {
+        let plain = Sjlt::new(64, 32, 4, 6, Seed::new(5)).unwrap();
+        let cached = Sjlt::new_cached(64, 32, 4, 6, Seed::new(5)).unwrap();
+        assert!(cached.is_cached());
+        assert!(!plain.is_cached());
+        let x: Vec<f64> = (0..64).map(|i| (i as f64 * 0.31).cos()).collect();
+        assert_eq!(plain.apply(&x).unwrap(), cached.apply(&x).unwrap());
+        // Streaming columns agree too.
+        for j in [0usize, 13, 63] {
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            plain.for_column(j, &mut |r, v| a.push((r, v))).unwrap();
+            cached.for_column(j, &mut |r, v| b.push((r, v))).unwrap();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn precompute_is_idempotent() {
+        let mut t = Sjlt::new(16, 8, 2, 4, Seed::new(9)).unwrap();
+        t.precompute_columns();
+        let x = vec![1.0; 16];
+        let y1 = t.apply(&x).unwrap();
+        t.precompute_columns();
+        let y2 = t.apply(&x).unwrap();
+        assert_eq!(y1, y2);
+        assert!((sq_norm(&y1) > 0.0));
+    }
+}

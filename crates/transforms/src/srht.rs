@@ -1,0 +1,222 @@
+//! The Subsampled Randomized Hadamard Transform (SRHT).
+//!
+//! `Φ = √(d/k)·R·H·D`: random signs `D`, normalized Hadamard `H`, and a
+//! uniform sample `R` of `k` rows. A classic fast JL family (Ailon &
+//! Liberty; Tropp 2011) adjacent to the paper's FJLT, included to
+//! demonstrate that the Lemma 3/4 framework covers it with **no new
+//! analysis**: every entry of the LPP-normalized transform is `±1/√k`,
+//! so its sensitivities are a priori like the SJLT's —
+//! `∆₂ = 1` exactly and `∆₁ = √k` (every column is fully dense, which is
+//! why the paper's SJLT, with `∆₁ = √s ≪ √k`, is the better Laplace-noise
+//! substrate; the SRHT quantifies that gap in experiment E12).
+
+use crate::error::TransformError;
+use crate::traits::{check_input, LinearTransform, StreamingColumns};
+use dp_hashing::{Prng, Seed};
+use dp_linalg::hadamard::{fwht_normalized, hadamard_entry, next_pow2};
+
+/// SRHT: `√(d_pad/k)`-scaled row sample of `H·D`, LPP-normalized.
+#[derive(Debug, Clone)]
+pub struct Srht {
+    d: usize,
+    d_pad: usize,
+    k: usize,
+    signs: Vec<f64>,
+    /// Sampled row indices (with replacement — keeps LPP exact for any k).
+    rows: Vec<usize>,
+    seed: Seed,
+}
+
+impl Srht {
+    /// Draw the transform from a public seed.
+    ///
+    /// # Errors
+    /// [`TransformError::InvalidDimensions`] if `d` or `k` is zero.
+    pub fn new(d: usize, k: usize, seed: Seed) -> Result<Self, TransformError> {
+        if d == 0 || k == 0 {
+            return Err(TransformError::InvalidDimensions { d, k });
+        }
+        let d_pad = next_pow2(d);
+        let mut rng = seed.child("srht").rng();
+        let signs: Vec<f64> = (0..d_pad).map(|_| rng.next_sign()).collect();
+        let rows: Vec<usize> = (0..k)
+            .map(|_| rng.next_range(d_pad as u64) as usize)
+            .collect();
+        Ok(Self {
+            d,
+            d_pad,
+            k,
+            signs,
+            rows,
+            seed,
+        })
+    }
+
+    /// The construction seed.
+    #[must_use]
+    pub fn seed(&self) -> Seed {
+        self.seed
+    }
+
+    /// Entry `(i, j)` of the LPP-normalized transform: `±1/√k`.
+    #[inline]
+    fn entry(&self, i: usize, j: usize) -> f64 {
+        // Row rows[i] of H·D, scaled by √(d_pad/k)·(1/√d_pad)·√... :
+        // hadamard_entry already carries 1/√d_pad, so scale by
+        // √(d_pad/k).
+        (self.d_pad as f64 / self.k as f64).sqrt()
+            * hadamard_entry(self.d_pad, self.rows[i], j)
+            * self.signs[j]
+    }
+}
+
+impl LinearTransform for Srht {
+    fn input_dim(&self) -> usize {
+        self.d
+    }
+    fn output_dim(&self) -> usize {
+        self.k
+    }
+
+    fn apply_into(&self, x: &[f64], out: &mut [f64]) -> Result<(), TransformError> {
+        check_input(self.d, x.len())?;
+        check_input(self.k, out.len())?;
+        let mut z = vec![0.0f64; self.d_pad];
+        for ((zi, &xi), &s) in z.iter_mut().zip(x).zip(&self.signs) {
+            *zi = xi * s;
+        }
+        fwht_normalized(&mut z).expect("padded to power of two");
+        let scale = (self.d_pad as f64 / self.k as f64).sqrt();
+        for (o, &r) in out.iter_mut().zip(&self.rows) {
+            *o = scale * z[r];
+        }
+        Ok(())
+    }
+
+    /// `∆₁ = k·(1/√k) = √k` exactly (every column fully dense).
+    fn l1_sensitivity(&self) -> f64 {
+        (self.k as f64).sqrt()
+    }
+
+    /// `∆₂ = √(k·(1/k)) = 1` exactly.
+    fn l2_sensitivity(&self) -> f64 {
+        1.0
+    }
+
+    fn sensitivity_is_a_priori(&self) -> bool {
+        true
+    }
+
+    fn name(&self) -> &'static str {
+        "srht"
+    }
+}
+
+impl StreamingColumns for Srht {
+    fn column_nnz(&self) -> usize {
+        self.k
+    }
+
+    fn for_column(
+        &self,
+        j: usize,
+        visit: &mut dyn FnMut(usize, f64),
+    ) -> Result<(), TransformError> {
+        if j >= self.d {
+            return Err(TransformError::DimensionMismatch {
+                expected: self.d,
+                actual: j,
+            });
+        }
+        for i in 0..self.k {
+            visit(i, self.entry(i, j));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::materialize;
+    use dp_linalg::vector::sq_norm;
+
+    #[test]
+    fn validation() {
+        assert!(Srht::new(0, 4, Seed::new(1)).is_err());
+        assert!(Srht::new(4, 0, Seed::new(1)).is_err());
+    }
+
+    #[test]
+    fn entries_are_plus_minus_inv_sqrt_k() {
+        let t = Srht::new(16, 8, Seed::new(3)).unwrap();
+        let m = materialize(&t).unwrap();
+        let mag = 1.0 / 8.0f64.sqrt();
+        for i in 0..8 {
+            for j in 0..16 {
+                assert!((m.get(i, j).abs() - mag).abs() < 1e-12, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn a_priori_sensitivities_match_materialized() {
+        let t = Srht::new(16, 9, Seed::new(4)).unwrap();
+        let m = materialize(&t).unwrap();
+        assert!((m.l2_sensitivity() - t.l2_sensitivity()).abs() < 1e-9);
+        assert!((m.l1_sensitivity() - t.l1_sensitivity()).abs() < 1e-9);
+        assert!(t.sensitivity_is_a_priori());
+    }
+
+    #[test]
+    fn lpp_over_seeds() {
+        let d = 16;
+        let x: Vec<f64> = (0..d).map(|i| ((i * 11) % 5) as f64 - 2.0).collect();
+        let target = sq_norm(&x);
+        let reps = 3000u64;
+        let mean: f64 = (0..reps)
+            .map(|r| {
+                let t = Srht::new(d, 8, Seed::new(70_000 + r)).unwrap();
+                sq_norm(&t.apply(&x).unwrap())
+            })
+            .sum::<f64>()
+            / reps as f64;
+        let rel = (mean - target).abs() / target;
+        assert!(rel < 0.05, "LPP rel err {rel}");
+    }
+
+    #[test]
+    fn fast_path_matches_entries() {
+        let t = Srht::new(12, 6, Seed::new(7)).unwrap(); // pads to 16
+        let x: Vec<f64> = (0..12).map(|i| (i as f64 * 0.4).sin()).collect();
+        let fast = t.apply(&x).unwrap();
+        for (i, f) in fast.iter().enumerate() {
+            let slow: f64 = (0..12).map(|j| t.entry(i, j) * x[j]).sum();
+            assert!((f - slow).abs() < 1e-10, "row {i}");
+        }
+    }
+
+    #[test]
+    fn streaming_columns_reconstruct_apply() {
+        let t = Srht::new(8, 5, Seed::new(9)).unwrap();
+        let x: Vec<f64> = (0..8).map(|i| i as f64 - 3.0).collect();
+        let mut out = [0.0; 5];
+        for (j, &w) in x.iter().enumerate() {
+            t.for_column(j, &mut |r, v| out[r] += w * v).unwrap();
+        }
+        let want = t.apply(&x).unwrap();
+        for (a, b) in out.iter().zip(&want) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn laplace_noise_cost_gap_vs_sjlt() {
+        // The SRHT's ∆₁ = √k forces Laplace scale √k/ε vs the SJLT's
+        // √s/ε — the framework quantifies why sparsity wins (§6.2.3).
+        let k = 64;
+        let srht = Srht::new(128, k, Seed::new(1)).unwrap();
+        let sjlt = crate::sjlt::Sjlt::new(128, k, 4, 6, Seed::new(1)).unwrap();
+        assert!(srht.l1_sensitivity() / sjlt.l1_sensitivity() == (k as f64 / 4.0).sqrt());
+    }
+}

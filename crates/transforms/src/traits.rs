@@ -1,0 +1,171 @@
+//! Core traits: LPP-normalized linear transforms and streaming columns.
+
+use crate::error::TransformError;
+use dp_linalg::{DenseMatrix, SparseVector};
+
+/// A random linear transform `S : R^d → R^k` satisfying the
+/// Length Preserving Property (paper Definition 4):
+/// `E_S[‖S x‖₂²] = ‖x‖₂²` for every fixed `x`.
+///
+/// Implementations are deterministic functions of a seed, so the transform
+/// is *public*: any party can rebuild it (paper §2: "It is crucial that
+/// the projection matrix is public, and only the noise be kept secret").
+pub trait LinearTransform {
+    /// Input dimension `d`.
+    fn input_dim(&self) -> usize;
+
+    /// Output (sketch) dimension `k`.
+    fn output_dim(&self) -> usize;
+
+    /// Apply to a dense vector, writing into `out` (length `k`).
+    ///
+    /// # Errors
+    /// [`TransformError::DimensionMismatch`] on wrong lengths.
+    fn apply_into(&self, x: &[f64], out: &mut [f64]) -> Result<(), TransformError>;
+
+    /// Apply to a dense vector, allocating the output.
+    ///
+    /// # Errors
+    /// [`TransformError::DimensionMismatch`] on wrong input length.
+    fn apply(&self, x: &[f64]) -> Result<Vec<f64>, TransformError> {
+        let mut out = vec![0.0; self.output_dim()];
+        self.apply_into(x, &mut out)?;
+        Ok(out)
+    }
+
+    /// Apply to a sparse vector. The default densifies; sparse-aware
+    /// transforms (SJLT) override this with the `O(s·‖x‖₀ + k)` path.
+    ///
+    /// # Errors
+    /// [`TransformError::DimensionMismatch`] on wrong dimension.
+    fn apply_sparse(&self, x: &SparseVector) -> Result<Vec<f64>, TransformError> {
+        self.apply(&x.to_dense())
+    }
+
+    /// Exact ℓ₁-sensitivity `∆₁ = max_j ‖S_{·,j}‖₁` (Definition 3).
+    fn l1_sensitivity(&self) -> f64;
+
+    /// Exact ℓ₂-sensitivity `∆₂ = max_j ‖S_{·,j}‖₂` (Definition 3).
+    fn l2_sensitivity(&self) -> f64;
+
+    /// Whether the sensitivities above were available *a priori* (SJLT)
+    /// or required an `O(dk)`-class initialization scan (dense Gaussian,
+    /// FJLT) — the distinction §2.1.1 draws.
+    fn sensitivity_is_a_priori(&self) -> bool {
+        false
+    }
+
+    /// Short name for harness output.
+    fn name(&self) -> &'static str;
+}
+
+/// Access to the nonzero pattern of individual columns, enabling
+/// streaming (turnstile) updates: an update `x_j += w` changes the sketch
+/// by `w·S_{·,j}`, which for the SJLT touches only `s` rows
+/// (paper Theorem 3, item 4).
+pub trait StreamingColumns: LinearTransform {
+    /// Upper bound on non-zeros per column (the update cost).
+    fn column_nnz(&self) -> usize;
+
+    /// Visit the non-zero `(row, value)` pairs of column `j`.
+    ///
+    /// # Errors
+    /// [`TransformError::DimensionMismatch`] if `j ≥ d`.
+    fn for_column(
+        &self,
+        j: usize,
+        visit: &mut dyn FnMut(usize, f64),
+    ) -> Result<(), TransformError>;
+}
+
+/// Materialize any transform as an explicit `k × d` matrix by applying it
+/// to the standard basis — used by verification tests and by exact
+/// sensitivity audits of the fast paths. Costs `d` applications.
+///
+/// # Errors
+/// Propagates application errors.
+pub fn materialize<T: LinearTransform + ?Sized>(t: &T) -> Result<DenseMatrix, TransformError> {
+    let (d, k) = (t.input_dim(), t.output_dim());
+    let mut m = DenseMatrix::zeros(k, d);
+    let mut e = vec![0.0; d];
+    let mut col = vec![0.0; k];
+    for j in 0..d {
+        e[j] = 1.0;
+        t.apply_into(&e, &mut col)?;
+        e[j] = 0.0;
+        for (i, &v) in col.iter().enumerate() {
+            m.set(i, j, v);
+        }
+    }
+    Ok(m)
+}
+
+/// Shared validation helper: check a dense input length against `d`.
+pub(crate) fn check_input(expected: usize, actual: usize) -> Result<(), TransformError> {
+    if expected == actual {
+        Ok(())
+    } else {
+        Err(TransformError::DimensionMismatch { expected, actual })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A fixed 2×3 toy transform for trait-level tests.
+    struct Toy;
+
+    impl LinearTransform for Toy {
+        fn input_dim(&self) -> usize {
+            3
+        }
+        fn output_dim(&self) -> usize {
+            2
+        }
+        fn apply_into(&self, x: &[f64], out: &mut [f64]) -> Result<(), TransformError> {
+            check_input(3, x.len())?;
+            check_input(2, out.len())?;
+            out[0] = x[0] + 2.0 * x[1];
+            out[1] = -x[2];
+            Ok(())
+        }
+        fn l1_sensitivity(&self) -> f64 {
+            2.0
+        }
+        fn l2_sensitivity(&self) -> f64 {
+            2.0
+        }
+        fn name(&self) -> &'static str {
+            "toy"
+        }
+    }
+
+    #[test]
+    fn apply_allocates() {
+        let y = Toy.apply(&[1.0, 1.0, 5.0]).unwrap();
+        assert_eq!(y, vec![3.0, -5.0]);
+    }
+
+    #[test]
+    fn dimension_checked() {
+        assert!(Toy.apply(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn default_sparse_path_matches_dense() {
+        let sv = SparseVector::new(3, vec![(1, 2.0)]).unwrap();
+        assert_eq!(Toy.apply_sparse(&sv).unwrap(), vec![4.0, 0.0]);
+    }
+
+    #[test]
+    fn materialize_reproduces_columns() {
+        let m = materialize(&Toy).unwrap();
+        assert_eq!((m.rows(), m.cols()), (2, 3));
+        assert_eq!(m.get(0, 1), 2.0);
+        assert_eq!(m.get(1, 2), -1.0);
+        // Sensitivities of the materialized matrix match Definition 3.
+        assert_eq!(m.l1_sensitivity(), 2.0);
+        assert_eq!(m.l2_sensitivity(), 2.0);
+    }
+}

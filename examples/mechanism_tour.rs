@@ -1,0 +1,107 @@
+//! Mechanism tour: the decision rules of the paper, end to end.
+//!
+//! Walks one configuration through every construction the paper compares
+//! (§7): the Kenthapadi baseline, both private FJLTs, and the private
+//! SJLT under both noise families — printing the calibrated noise, the
+//! guarantee, and the predicted variance at a reference distance, plus
+//! the Note 5 noise-selection rule and the §2.3.1 discrete alternatives.
+//!
+//! Run with: `cargo run --release --example mechanism_tour`
+
+use dp_euclid::core::fjlt_private::{PrivateFjltInput, PrivateFjltOutput};
+use dp_euclid::core::kenthapadi::{Kenthapadi, SigmaCalibration};
+use dp_euclid::core::variance::delta_crossover;
+use dp_euclid::hashing::Seed;
+use dp_euclid::noise::discrete_gaussian::DiscreteGaussian;
+use dp_euclid::noise::discrete_laplace::DiscreteLaplace;
+use dp_euclid::prelude::*;
+use dp_euclid::stats::Table;
+
+fn main() {
+    let d = 1 << 10;
+    let (eps, delta) = (1.0, 1e-8);
+    let ref_dist_sq = 25.0;
+    let cfg = SketchConfig::builder()
+        .input_dim(d)
+        .alpha(0.25)
+        .beta(0.05)
+        .epsilon(eps)
+        .delta(delta)
+        .build()
+        .expect("config");
+    let cfg_pure = SketchConfig::builder()
+        .input_dim(d)
+        .alpha(0.25)
+        .beta(0.05)
+        .epsilon(eps)
+        .build()
+        .expect("config");
+    let seed = Seed::new(7);
+
+    let mut table = Table::new(vec!["construction", "guarantee", "pred. var @ dist²=25", "init cost"]);
+
+    let ken = Kenthapadi::new(&cfg, SigmaCalibration::ExactSensitivity, seed).expect("baseline");
+    table.row(vec![
+        "kenthapadi (iid + gaussian)".to_string(),
+        ken.guarantee().to_string(),
+        format!("{:.1}", ken.variance(ref_dist_sq).predicted_variance),
+        "O(dk) scan".to_string(),
+    ]);
+
+    let fout = PrivateFjltOutput::new(&cfg, seed).expect("fjlt");
+    table.row(vec![
+        "private FJLT (output noise)".to_string(),
+        fout.guarantee().to_string(),
+        format!("{:.1}", fout.variance_bound(ref_dist_sq).predicted_variance),
+        "O(dk)-class scan".to_string(),
+    ]);
+
+    let fin = PrivateFjltInput::new(&cfg, seed).expect("fjlt");
+    table.row(vec![
+        "private FJLT (input noise)".to_string(),
+        fin.guarantee().to_string(),
+        format!("{:.1}", fin.variance_bound(ref_dist_sq).predicted_variance),
+        "none".to_string(),
+    ]);
+
+    let sj_g = PrivateSjlt::with_gaussian(&cfg, seed).expect("sjlt");
+    table.row(vec![
+        "private SJLT (gaussian)".to_string(),
+        sj_g.guarantee().to_string(),
+        format!("{:.1}", sj_g.variance_bound(ref_dist_sq).predicted_variance),
+        "none (∆ a priori)".to_string(),
+    ]);
+
+    let sj_l = PrivateSjlt::with_laplace(&cfg_pure, seed).expect("sjlt");
+    table.row(vec![
+        "private SJLT (laplace)".to_string(),
+        sj_l.guarantee().to_string(),
+        format!("{:.1}", sj_l.variance_bound(ref_dist_sq).predicted_variance),
+        "none (∆ a priori)".to_string(),
+    ]);
+    println!("{table}");
+
+    // Note 5 in action.
+    println!(
+        "Note 5: with s = {}, Laplace noise wins iff delta < e^(-s) = {:.2e}",
+        cfg.s(),
+        cfg.laplace_delta_threshold()
+    );
+    println!(
+        "   your delta = {delta:.0e} -> selected noise: {:?}",
+        cfg.sjlt_noise_choice()
+    );
+    let crossover = delta_crossover(cfg.k_sjlt(), cfg.s(), eps, ref_dist_sq, 0.0);
+    println!("   exact variance crossover at this distance: delta* = {crossover:.2e}");
+
+    // §2.3.1: the discrete, floating-point-safe alternatives.
+    let dl = DiscreteLaplace::new((cfg.s() as f64).sqrt() / eps).expect("dlap");
+    let dg = DiscreteGaussian::new((2.0 * (1.25f64 / delta).ln()).sqrt() / eps).expect("dgau");
+    println!(
+        "discrete alternatives (2.3.1): DLap E[n^2] = {:.2} (continuous {:.2}); NZ E[n^2] = {:.2} <= sigma^2 = {:.2}",
+        dl.second_moment(),
+        2.0 * cfg.s() as f64 / (eps * eps),
+        dg.second_moment(),
+        dg.sigma() * dg.sigma()
+    );
+}

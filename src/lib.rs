@@ -1,0 +1,92 @@
+//! # dp-euclid
+//!
+//! A production-oriented Rust implementation of **"Improved Differentially
+//! Private Euclidean Distance Approximation"** (Nina Mesing Stausholm,
+//! PODS 2021; arXiv:2203.11561).
+//!
+//! Two parties hold private vectors `x, y ∈ R^d`. Each maps its vector
+//! through a *public* random Johnson-Lindenstrauss projection `S` and
+//! releases a noisy sketch `Sx + η`. From two such sketches anyone can form
+//! the debiased, unbiased estimator
+//!
+//! ```text
+//! Ê = ‖(Sx + η) − (Sy + µ)‖² − 2k·E[η²]  ≈  ‖x − y‖²
+//! ```
+//!
+//! The headline construction (paper Theorem 3) pairs the Kane–Nelson
+//! **Sparser JL Transform** with **Laplace** noise, achieving pure ε-DP,
+//! `O(s·‖x‖₀ + k)` sketching time, `O(s)` streaming updates, and lower
+//! variance than the Gaussian-noise baseline whenever `δ < e^{−s}`.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dp_euclid::prelude::*;
+//!
+//! let d = 1 << 12;
+//! let config = SketchConfig::builder()
+//!     .input_dim(d)
+//!     .alpha(0.25)
+//!     .beta(0.05)
+//!     .epsilon(1.0)
+//!     .build()
+//!     .expect("valid configuration");
+//!
+//! // The transform seed is PUBLIC (shared by all parties); noise seeds are
+//! // private, one per party.
+//! let sketcher = PrivateSjlt::new(&config, Seed::new(42)).expect("construct");
+//!
+//! let x = vec![1.0; d];
+//! let mut y = vec![1.0; d];
+//! y[0] = 0.0; // ‖x − y‖² = 1
+//!
+//! let sx = sketcher.sketch(&x, Seed::new(1001));
+//! let sy = sketcher.sketch(&y, Seed::new(2002));
+//! let est = sketcher.estimate_sq_distance(&sx, &sy);
+//! assert!(est.is_finite());
+//! ```
+//!
+//! ## Crate layout
+//!
+//! | Crate | Contents |
+//! |---|---|
+//! | [`dp_hashing`] | deterministic PRNGs, seed trees, t-wise independent hashing |
+//! | [`dp_linalg`] | dense/sparse vectors, matrices, fast Walsh–Hadamard transform |
+//! | [`dp_noise`] | Laplace/Gaussian/discrete mechanisms, moments, privacy accounting |
+//! | [`dp_transforms`] | iid-Gaussian, Achlioptas, FJLT and SJLT projections |
+//! | [`dp_core`] | the paper's private sketches, estimators and variance theory |
+//! | [`dp_stream`] | streaming (turnstile) sketches and the distributed protocol |
+//! | [`dp_stats`] | measurement utilities used by tests and the experiment harness |
+
+pub use dp_core as core;
+pub use dp_hashing as hashing;
+pub use dp_linalg as linalg;
+pub use dp_noise as noise;
+pub use dp_stats as stats;
+pub use dp_stream as stream;
+pub use dp_transforms as transforms;
+
+/// One-stop imports for typical use.
+pub mod prelude {
+    pub use dp_core::{
+        config::SketchConfig,
+        estimator::{DistanceEstimate, NoisySketch},
+        fjlt_private::{PrivateFjltInput, PrivateFjltOutput},
+        framework::GenSketcher,
+        kenthapadi::{Kenthapadi, SigmaCalibration},
+        sjlt_private::PrivateSjlt,
+    };
+    pub use dp_hashing::Seed;
+    pub use dp_noise::{
+        mechanism::{GaussianMechanism, LaplaceMechanism, NoiseMechanism},
+        privacy::PrivacyGuarantee,
+    };
+    pub use dp_stream::{
+        distributed::{Party, PublicParams},
+        streaming::StreamingSketch,
+    };
+    pub use dp_transforms::{
+        fjlt::Fjlt, gaussian_iid::GaussianIid, params::JlParams, sjlt::Sjlt,
+        traits::LinearTransform,
+    };
+}

@@ -1,0 +1,126 @@
+//! Integration tests of the multi-party protocol over the JSON wire,
+//! including streaming parties and privacy accounting across releases.
+
+use dp_euclid::core::variance::var_sjlt_laplace;
+use dp_euclid::hashing::Seed;
+use dp_euclid::noise::mechanism::LaplaceMechanism;
+use dp_euclid::prelude::*;
+use dp_euclid::stream::distributed::{pairwise_sq_distances, parse_release, Release};
+use dp_euclid::transforms::sjlt::Sjlt;
+use dp_euclid::transforms::LinearTransform;
+
+fn params(d: usize) -> PublicParams {
+    let config = SketchConfig::builder()
+        .input_dim(d)
+        .alpha(0.2)
+        .beta(0.05)
+        .epsilon(1.0)
+        .build()
+        .expect("config");
+    PublicParams::new(config, Seed::new(1234))
+}
+
+#[test]
+fn full_protocol_over_the_wire() {
+    let d = 256;
+    let p = params(d);
+    let vectors: Vec<Vec<f64>> = (0..4)
+        .map(|i| (0..d).map(|j| f64::from(u8::from(j % (i + 2) == 0))).collect())
+        .collect();
+    let parties: Vec<Party> = vectors
+        .iter()
+        .enumerate()
+        .map(|(i, v)| Party::new(i as u64, v.clone(), Seed::new(500 + i as u64)))
+        .collect();
+
+    // Wire roundtrip for every party.
+    let releases: Vec<Release> = parties
+        .iter()
+        .map(|q| parse_release(&q.release_json(&p).expect("json")).expect("parse"))
+        .collect();
+
+    let est = pairwise_sq_distances(&releases).expect("pairwise");
+    // Single-shot estimates: gate on the construction's own predicted
+    // standard deviation (noise dominates at eps = 1 and small dists).
+    let sketcher = p.sketcher().expect("sketcher");
+    for i in 0..4 {
+        for j in 0..4 {
+            if i == j {
+                assert_eq!(est[i][j], 0.0);
+            } else {
+                let true_d =
+                    dp_euclid::linalg::vector::sq_distance(&vectors[i], &vectors[j]);
+                let sd = sketcher.variance_bound(true_d).predicted_stddev();
+                assert!(
+                    (est[i][j] - true_d).abs() < 6.0 * sd,
+                    "({i},{j}): est {} vs true {true_d} (sd {sd})",
+                    est[i][j]
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn streaming_party_interoperates_with_batch_party() {
+    // One party maintains its vector as a stream, the other sketches in
+    // batch; their releases must interoperate because both are built on
+    // the same public transform.
+    let d = 512;
+    let params = JlParams::new(0.2, 0.05).expect("params");
+    let (k, s, t) = (params.k_for_sjlt(), params.s(), params.independence());
+    let transform = Sjlt::new(d, k, s, t, Seed::new(9)).expect("sjlt");
+    let mech = LaplaceMechanism::new(transform.l1_sensitivity(), 1.0).expect("mech");
+
+    let x: Vec<f64> = (0..d).map(|j| f64::from(u8::from(j % 3 == 0))).collect();
+    let y: Vec<f64> = (0..d).map(|j| f64::from(u8::from(j % 4 == 0))).collect();
+
+    // Streaming side.
+    let mut stream = StreamingSketch::new(transform.clone(), "shared".into());
+    for (j, &v) in x.iter().enumerate() {
+        if v != 0.0 {
+            stream.update(j, v).expect("update");
+        }
+    }
+    let rel_stream = stream.release(&mech, Seed::new(11));
+
+    // Batch side (same tag, same transform, own noise seed).
+    let mut batch = StreamingSketch::new(transform, "shared".into());
+    batch.absorb_dense(&y).expect("absorb");
+    let rel_batch = batch.release(&mech, Seed::new(22));
+
+    let est = rel_stream
+        .estimate_sq_distance(&rel_batch)
+        .expect("compatible");
+    let true_d = dp_euclid::linalg::vector::sq_distance(&x, &y);
+    let sd = var_sjlt_laplace(k, s, 1.0, true_d, 0.0).sqrt();
+    assert!(
+        (est - true_d).abs() < 6.0 * sd,
+        "est {est} vs true {true_d} (sd {sd})"
+    );
+}
+
+#[test]
+fn releases_compose_for_accounting() {
+    let d = 64;
+    let p = params(d);
+    let sketcher = p.sketcher().expect("sketcher");
+    // Two releases of the same data consume 2ε under basic composition.
+    let g1 = sketcher.guarantee();
+    let total = g1.compose(&g1);
+    assert!((total.epsilon() - 2.0 * g1.epsilon()).abs() < 1e-12);
+    assert!(total.is_pure(), "pure DP composes to pure DP");
+    // Advanced composition beats basic for many releases of a SMALL-eps
+    // mechanism (for eps ~ 1 the e^eps - 1 term makes basic win).
+    let small = dp_euclid::noise::PrivacyGuarantee::pure(0.05).expect("guarantee");
+    let many_basic = small.compose_n(200);
+    let many_adv = small.compose_advanced(200, 1e-9).expect("advanced");
+    assert!(many_adv.epsilon() < many_basic.epsilon());
+}
+
+#[test]
+fn malicious_wire_inputs_rejected() {
+    assert!(parse_release("").is_err());
+    assert!(parse_release("42").is_err());
+    assert!(parse_release(r#"{"party_id": 1}"#).is_err());
+}

@@ -1,0 +1,109 @@
+//! Property-based integration tests of the paper's invariants across
+//! crates: LPP, sensitivity exactness, debias-constant correctness, and
+//! the Note 5 selection rule, under randomized parameters.
+
+use dp_euclid::core::variance::{var_sjlt_gaussian, var_sjlt_laplace};
+use dp_euclid::hashing::Seed;
+use dp_euclid::noise::mechanism::{select_mechanism, MechanismChoice};
+use dp_euclid::prelude::*;
+use dp_euclid::transforms::{materialize, sjlt::Sjlt};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn sjlt_sensitivities_exact_for_random_shapes(
+        seed in 0u64..1000,
+        s_pow in 0u32..4,
+        blocks in 2usize..12,
+        d in 8usize..96,
+    ) {
+        let s = 1usize << s_pow;
+        let k = s * blocks;
+        let t = Sjlt::new(d, k, s, 5, Seed::new(seed)).expect("sjlt");
+        let m = materialize(&t).expect("materialize");
+        prop_assert!((m.l1_sensitivity() - (s as f64).sqrt()).abs() < 1e-9);
+        prop_assert!((m.l2_sensitivity() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn debias_constant_is_twice_k_second_moment(
+        seed in 0u64..1000,
+        eps_scaled in 1u32..40,
+    ) {
+        let eps = f64::from(eps_scaled) / 10.0;
+        let cfg = SketchConfig::builder()
+            .input_dim(32)
+            .alpha(0.3)
+            .beta(0.1)
+            .epsilon(eps)
+            .build()
+            .expect("config");
+        let sk = PrivateSjlt::with_laplace(&cfg, Seed::new(seed)).expect("sjlt");
+        // Lap(√s/ε): E[η²] = 2s/ε².
+        let want = 2.0 * sk.k() as f64 * 2.0 * sk.s() as f64 / (eps * eps);
+        prop_assert!((sk.general().debias_constant() - want).abs() < 1e-6 * want);
+    }
+
+    #[test]
+    fn note5_rule_is_threshold_in_delta(
+        s in 1usize..40,
+        offset in -5i32..5,
+    ) {
+        let l1 = (s as f64).sqrt();
+        let threshold = (-(s as f64)).exp();
+        let delta = threshold * 10f64.powi(offset);
+        let choice = select_mechanism(l1, 1.0, Some(delta.min(0.49)));
+        if offset < 0 {
+            prop_assert_eq!(choice, MechanismChoice::Laplace);
+        }
+        if offset > 0 && delta < 0.49 {
+            prop_assert_eq!(choice, MechanismChoice::Gaussian);
+        }
+    }
+
+    #[test]
+    fn variance_formulas_monotone_in_epsilon(
+        k_blocks in 4usize..40,
+        s in 1usize..8,
+        dist in 1u32..50,
+    ) {
+        // Less privacy budget (smaller ε) must never reduce variance.
+        let k = k_blocks * s;
+        let dist_sq = f64::from(dist);
+        let v_tight = var_sjlt_laplace(k, s, 0.5, dist_sq, 0.0);
+        let v_loose = var_sjlt_laplace(k, s, 2.0, dist_sq, 0.0);
+        prop_assert!(v_tight > v_loose);
+        let g_tight = var_sjlt_gaussian(k, 0.5, 1e-6, dist_sq, 0.0);
+        let g_loose = var_sjlt_gaussian(k, 2.0, 1e-6, dist_sq, 0.0);
+        prop_assert!(g_tight > g_loose);
+    }
+
+    #[test]
+    fn estimator_symmetry(
+        seed in 0u64..500,
+    ) {
+        let d = 48;
+        let cfg = SketchConfig::builder()
+            .input_dim(d)
+            .alpha(0.3)
+            .beta(0.1)
+            .epsilon(1.0)
+            .build()
+            .expect("config");
+        let sk = PrivateSjlt::new(&cfg, Seed::new(seed)).expect("sjlt");
+        let x: Vec<f64> = (0..d).map(|i| (i % 3) as f64).collect();
+        let y: Vec<f64> = (0..d).map(|i| (i % 4) as f64).collect();
+        let a = sk.sketch(&x, Seed::new(seed + 1));
+        let b = sk.sketch(&y, Seed::new(seed + 2));
+        let ab = sk.estimate_sq_distance(&a, &b);
+        let ba = sk.estimate_sq_distance(&b, &a);
+        prop_assert!((ab - ba).abs() < 1e-9);
+        // Self-distance estimates the noise-only quantity: debiased to ~0
+        // in expectation, and exactly 0 against an identical release.
+        let a2 = sk.sketch(&x, Seed::new(seed + 1));
+        let self_d = sk.estimate_sq_distance(&a, &a2);
+        prop_assert!((self_d + sk.general().debias_constant()).abs() < 1e-9);
+    }
+}
