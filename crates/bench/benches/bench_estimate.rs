@@ -1,8 +1,10 @@
-//! Criterion benches for the O(k) estimate path (Theorem 3, item 5).
+//! Criterion benches for the O(k) estimate path (Theorem 3, item 5),
+//! driven through the unified `PrivateSketcher` trait so every
+//! construction exercises the identical release/estimate surface.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dp_core::config::SketchConfig;
-use dp_core::sjlt_private::PrivateSjlt;
+use dp_core::sketcher::{AnySketcher, Construction, PrivateSketcher};
 use dp_hashing::Seed;
 
 fn bench_estimate(c: &mut Criterion) {
@@ -16,16 +18,34 @@ fn bench_estimate(c: &mut Criterion) {
             .epsilon(1.0)
             .build()
             .expect("config");
-        let sk = PrivateSjlt::new(&cfg, Seed::new(1)).expect("sjlt");
+        let sk = AnySketcher::new(Construction::SjltAuto, &cfg, Seed::new(1)).expect("sjlt");
         let x = vec![1.0; d];
         let y = vec![0.5; d];
-        let a = sk.sketch(&x, Seed::new(2));
-        let b = sk.sketch(&y, Seed::new(3));
-        group.bench_with_input(
-            BenchmarkId::new(label, sk.k()),
-            &sk.k(),
-            |bench, _| bench.iter(|| sk.estimate_sq_distance(&a, &b)),
-        );
+        let a = sk.sketch(&x, Seed::new(2)).expect("sketch");
+        let b = sk.sketch(&y, Seed::new(3)).expect("sketch");
+        group.bench_with_input(BenchmarkId::new(label, sk.k()), &sk.k(), |bench, _| {
+            bench.iter(|| sk.estimate_sq_distance(&a, &b).expect("estimate"))
+        });
+    }
+
+    // Batch surface: all-pairs over n released sketches (O(n²k)).
+    let d = 1 << 10;
+    let cfg = SketchConfig::builder()
+        .input_dim(d)
+        .alpha(0.3)
+        .beta(0.05)
+        .epsilon(1.0)
+        .build()
+        .expect("config");
+    let sk = AnySketcher::new(Construction::SjltAuto, &cfg, Seed::new(7)).expect("sjlt");
+    for n in [8usize, 32] {
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| (0..d).map(|j| ((i + j) % 5) as f64).collect())
+            .collect();
+        let sketches = sk.sketch_batch(&rows, Seed::new(9)).expect("batch");
+        group.bench_with_input(BenchmarkId::new("pairwise", n), &n, |bench, _| {
+            bench.iter(|| dp_core::sketcher::pairwise_sq_distances(&sketches).expect("pairwise"));
+        });
     }
     group.finish();
 }

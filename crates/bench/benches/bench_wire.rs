@@ -1,0 +1,61 @@
+//! Criterion benches for the sketch wire formats: the versioned binary
+//! codec versus the JSON compatibility path, plus tag-interned decoding.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dp_core::config::SketchConfig;
+use dp_core::estimator::NoisySketch;
+use dp_core::sketcher::{AnySketcher, Construction, PrivateSketcher};
+use dp_core::wire::{decode_sketch, decode_sketch_interned, encode_sketch, TagInterner};
+use dp_hashing::Seed;
+
+fn bench_wire(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire_codec");
+    for alpha in [0.3f64, 0.1] {
+        let d = 1 << 10;
+        let cfg = SketchConfig::builder()
+            .input_dim(d)
+            .alpha(alpha)
+            .beta(0.05)
+            .epsilon(1.0)
+            .build()
+            .expect("config");
+        let sk = AnySketcher::new(Construction::SjltAuto, &cfg, Seed::new(1)).expect("sjlt");
+        let sketch = sk.sketch(&vec![1.0; d], Seed::new(2)).expect("sketch");
+        let bytes = encode_sketch(&sketch).expect("encode");
+        let json = sketch.to_json();
+        group.throughput(Throughput::Bytes(bytes.len() as u64));
+
+        group.bench_with_input(
+            BenchmarkId::new("encode_binary", sk.k()),
+            &sk.k(),
+            |b, _| {
+                b.iter(|| encode_sketch(&sketch).expect("encode"));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("decode_binary", sk.k()),
+            &sk.k(),
+            |b, _| {
+                b.iter(|| decode_sketch(&bytes).expect("decode"));
+            },
+        );
+        let mut interner = TagInterner::new();
+        group.bench_with_input(
+            BenchmarkId::new("decode_interned", sk.k()),
+            &sk.k(),
+            |b, _| {
+                b.iter(|| decode_sketch_interned(&bytes, &mut interner).expect("decode"));
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("encode_json", sk.k()), &sk.k(), |b, _| {
+            b.iter(|| sketch.to_json());
+        });
+        group.bench_with_input(BenchmarkId::new("decode_json", sk.k()), &sk.k(), |b, _| {
+            b.iter(|| NoisySketch::from_json(&json).expect("decode"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_wire);
+criterion_main!(benches);

@@ -49,7 +49,10 @@ pub fn run(scale: f64) -> bool {
         let t = GaussianIid::new(d, k_tiny, Seed::new(rep)).expect("iid");
         f64::from(u8::from(t.l2_sensitivity() > 2.0))
     });
-    println!("k = {k_tiny}: P[Delta2 > 2] measured {:.3}", exceed_tiny.mean());
+    println!(
+        "k = {k_tiny}: P[Delta2 > 2] measured {:.3}",
+        exceed_tiny.mean()
+    );
     checks.check(
         "small k makes high sensitivity common (the Kenthapadi risk)",
         exceed_tiny.mean() > 0.2,
@@ -92,7 +95,9 @@ pub fn run(scale: f64) -> bool {
     let slope = loglog_slope(&dk, &tns);
     println!("construction-time slope in d*k: {slope:.2}");
     checks.check(
-        &format!("iid construction (incl. sensitivity scan) ~ O(dk) (slope {slope:.2} in [0.7, 1.3])"),
+        &format!(
+            "iid construction (incl. sensitivity scan) ~ O(dk) (slope {slope:.2} in [0.7, 1.3])"
+        ),
         (0.7..=1.3).contains(&slope),
     );
 

@@ -50,7 +50,7 @@ pub fn run(scale: f64) -> bool {
         let summary = mc_summary(reps, |rep| {
             let t = Sjlt::new(d, k, s, t_indep, Seed::new(rep)).expect("sjlt");
             let m = LaplaceMechanism::new((s as f64).sqrt(), eps).expect("mech");
-            let g = GenSketcher::new(t, m, "e13".into());
+            let g = GenSketcher::new(t, m, "e13");
             let a = g.sketch(&x, Seed::new(61_000_000 + rep)).expect("sketch");
             let b = g.sketch(&y, Seed::new(62_000_000 + rep)).expect("sketch");
             g.estimate_sq_distance(&a, &b).expect("estimate")

@@ -59,11 +59,11 @@ pub fn run(scale: f64) -> bool {
     ]);
 
     let gate = |name: &str,
-                    table: &mut Table,
-                    checks: &mut CheckList,
-                    summary: dp_stats::Summary,
-                    predicted: f64,
-                    exact: bool| {
+                table: &mut Table,
+                checks: &mut CheckList,
+                summary: dp_stats::Summary,
+                predicted: f64,
+                exact: bool| {
         let bias_z = (summary.mean() - true_d).abs() / summary.stderr();
         let ratio = summary.variance() / predicted;
         table.row(vec![
@@ -75,7 +75,10 @@ pub fn run(scale: f64) -> bool {
             fmt_g(predicted),
             format!("{ratio:.3}"),
         ]);
-        checks.check(&format!("{name}: unbiased (|z| = {bias_z:.2} < 5)"), bias_z < 5.0);
+        checks.check(
+            &format!("{name}: unbiased (|z| = {bias_z:.2} < 5)"),
+            bias_z < 5.0,
+        );
         if exact {
             checks.check(
                 &format!("{name}: variance matches closed form (ratio {ratio:.3})"),

@@ -60,7 +60,10 @@ pub fn run(scale: f64) -> bool {
     // Θ(s) with generous constants: the exact constant depends on the
     // moment ratios (Laplace E[η⁴]/E[η²]² = 6 vs Gaussian 3).
     checks.check(
-        &format!("crossover shape: ln(1/delta*)/s = {:.2} in [0.3, 12]", ln_inv / s as f64),
+        &format!(
+            "crossover shape: ln(1/delta*)/s = {:.2} in [0.3, 12]",
+            ln_inv / s as f64
+        ),
         (0.3..=12.0).contains(&(ln_inv / s as f64)),
     );
 

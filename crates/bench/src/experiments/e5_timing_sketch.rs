@@ -105,9 +105,7 @@ pub fn run(scale: f64) -> bool {
     let slope_sjlt = loglog_slope(&dsf, &t_sjlt);
     let slope_fjlt = loglog_slope(&dsf, &t_fjlt);
     let slope_iid = loglog_slope(&dsf[..t_iid.len()], &t_iid);
-    println!(
-        "log-log slopes in d: sjlt {slope_sjlt:.2}, fjlt {slope_fjlt:.2}, iid {slope_iid:.2}"
-    );
+    println!("log-log slopes in d: sjlt {slope_sjlt:.2}, fjlt {slope_fjlt:.2}, iid {slope_iid:.2}");
     checks.check(
         &format!("sjlt time ~ linear in d (slope {slope_sjlt:.2} in [0.6, 1.35])"),
         (0.6..=1.35).contains(&slope_sjlt),
@@ -129,23 +127,20 @@ pub fn run(scale: f64) -> bool {
     );
     // Sparse path: at the largest d, the sparse SJLT apply (nnz = 64)
     // must be much cheaper than the dense SJLT apply.
-    checks.check(
-        "sjlt sparse path wins for sparse inputs",
-        {
-            let d = *ds.last().expect("nonempty");
-            let xs = sparse_vec(d, 64, Seed::new(d as u64 + 1));
-            let sjlt = Sjlt::new_cached(d, k, s, t_indep, Seed::new(7)).expect("sjlt");
-            let x = gaussian_vec(d, Seed::new(d as u64));
-            let mut out = vec![0.0; k];
-            let tsp = time_per_op(32, || {
-                let _ = sjlt.apply_sparse(&xs).expect("apply");
-            });
-            let ts = time_per_op(4, || {
-                sjlt.apply_into(&x, &mut out).expect("apply");
-            });
-            tsp < ts
-        },
-    );
+    checks.check("sjlt sparse path wins for sparse inputs", {
+        let d = *ds.last().expect("nonempty");
+        let xs = sparse_vec(d, 64, Seed::new(d as u64 + 1));
+        let sjlt = Sjlt::new_cached(d, k, s, t_indep, Seed::new(7)).expect("sjlt");
+        let x = gaussian_vec(d, Seed::new(d as u64));
+        let mut out = vec![0.0; k];
+        let tsp = time_per_op(32, || {
+            let _ = sjlt.apply_sparse(&xs).expect("apply");
+        });
+        let ts = time_per_op(4, || {
+            sjlt.apply_into(&x, &mut out).expect("apply");
+        });
+        tsp < ts
+    });
     // Eq. (5) direction: inside the window (d = 2^14 < e^s for our s)
     // the FJLT should not be dramatically slower than the SJLT; below the
     // lower edge (d small) the SJLT wins. We check the *trend*: the

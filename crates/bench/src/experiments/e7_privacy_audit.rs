@@ -19,8 +19,8 @@ use dp_core::config::SketchConfig;
 use dp_core::kenthapadi::{Kenthapadi, SigmaCalibration};
 use dp_core::sjlt_private::PrivateSjlt;
 use dp_hashing::Seed;
-use dp_noise::laplace::Laplace;
 use dp_noise::gaussian::Gaussian;
+use dp_noise::laplace::Laplace;
 use dp_stats::audit::{gaussian_loss_tail, LossAudit};
 use dp_transforms::LinearTransform;
 

@@ -117,7 +117,9 @@ pub fn run(scale: f64) -> bool {
     let sk_slope = loglog_slope(&dsf, &sk_err);
     println!("sketch error slope in d: {sk_slope:.2} (theory ~ distance-driven, sub-0.5 here)");
     checks.check(
-        &format!("sketch error grows slower with d than RR error ({sk_slope:.2} < {rr_slope:.2} + 0.1)"),
+        &format!(
+            "sketch error grows slower with d than RR error ({sk_slope:.2} < {rr_slope:.2} + 0.1)"
+        ),
         sk_slope < rr_slope + 0.1,
     );
 

@@ -10,8 +10,8 @@
 use crate::experiments::scaled;
 use crate::runner::{mc_summary, CheckList};
 use crate::workload::pair_at_distance;
-use dp_core::variance::var_sjlt_laplace;
 use dp_core::framework::GenSketcher;
+use dp_core::variance::var_sjlt_laplace;
 use dp_hashing::Seed;
 use dp_linalg::vector::{l4_norm, sq_distance};
 use dp_noise::mechanism::LaplaceMechanism;
@@ -47,7 +47,7 @@ pub fn run(scale: f64) -> bool {
         let summary = mc_summary(reps, |rep| {
             let t = Sjlt::new(d, k, s, 6, Seed::new(rep)).expect("sjlt");
             let m = LaplaceMechanism::new((s as f64).sqrt(), eps).expect("mech");
-            let g = GenSketcher::new(t, m, "e9".into());
+            let g = GenSketcher::new(t, m, "e9");
             let a = g.sketch(&x, Seed::new(31_000_000 + rep)).expect("sketch");
             let b = g.sketch(&y, Seed::new(32_000_000 + rep)).expect("sketch");
             g.estimate_sq_distance(&a, &b).expect("estimate")

@@ -174,6 +174,9 @@ mod tests {
     #[test]
     fn generators_deterministic() {
         assert_eq!(gaussian_vec(8, Seed::new(9)), gaussian_vec(8, Seed::new(9)));
-        assert_ne!(gaussian_vec(8, Seed::new(9)), gaussian_vec(8, Seed::new(10)));
+        assert_ne!(
+            gaussian_vec(8, Seed::new(9)),
+            gaussian_vec(8, Seed::new(10))
+        );
     }
 }

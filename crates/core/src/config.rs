@@ -216,7 +216,11 @@ mod tests {
         assert!(base().delta(0.0).build().is_err());
         assert!(base().delta(1.0).build().is_err());
         assert!(base().alpha(0.6).build().is_err());
-        assert!(SketchConfig::builder().input_dim(0).epsilon(1.0).build().is_err());
+        assert!(SketchConfig::builder()
+            .input_dim(0)
+            .epsilon(1.0)
+            .build()
+            .is_err());
     }
 
     #[test]

@@ -18,6 +18,11 @@ pub enum CoreError {
     /// A calibration precondition of the paper is violated
     /// (e.g. Theorem 1 requires `ε < ln(1/δ)`).
     CalibrationPrecondition(String),
+    /// A wire payload (JSON or binary) could not be encoded or decoded.
+    Wire(String),
+    /// The operation is not defined for this construction (e.g. releasing
+    /// a maintained projection under input-perturbation noise).
+    Unsupported(&'static str),
 }
 
 impl fmt::Display for CoreError {
@@ -30,6 +35,8 @@ impl fmt::Display for CoreError {
             Self::CalibrationPrecondition(why) => {
                 write!(f, "calibration precondition violated: {why}")
             }
+            Self::Wire(why) => write!(f, "wire format error: {why}"),
+            Self::Unsupported(what) => write!(f, "unsupported operation: {what}"),
         }
     }
 }
@@ -66,7 +73,9 @@ mod tests {
         assert!(t.to_string().contains("transform"));
         let n: CoreError = NoiseError::InvalidEpsilon(0.0).into();
         assert!(n.to_string().contains("noise"));
-        assert!(CoreError::MissingField("epsilon").to_string().contains("epsilon"));
+        assert!(CoreError::MissingField("epsilon")
+            .to_string()
+            .contains("epsilon"));
         assert!(std::error::Error::source(&t).is_some());
         assert!(std::error::Error::source(&CoreError::MissingField("x")).is_none());
     }

@@ -12,16 +12,18 @@
 //!   (Definition 4) points out.
 
 use crate::error::CoreError;
-use serde::{Deserialize, Serialize};
+use crate::json::{self, JsonValue};
+use std::sync::Arc;
 
 /// A released, differentially private sketch.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NoisySketch {
     /// The noisy projection `Sx + η`.
     values: Vec<f64>,
     /// Transform identity tag (name + public seed), used to refuse
-    /// combining sketches from different projections.
-    transform_tag: String,
+    /// combining sketches from different projections. Interned: sketches
+    /// released by one sketcher share a single allocation.
+    transform_tag: Arc<str>,
     /// Per-coordinate noise second moment `E[η²]` used for debiasing.
     noise_m2: f64,
     /// Per-coordinate noise fourth moment `E[η⁴]` (variance prediction).
@@ -31,10 +33,15 @@ pub struct NoisySketch {
 impl NoisySketch {
     /// Package a released sketch.
     #[must_use]
-    pub fn new(values: Vec<f64>, transform_tag: String, noise_m2: f64, noise_m4: f64) -> Self {
+    pub fn new(
+        values: Vec<f64>,
+        transform_tag: impl Into<Arc<str>>,
+        noise_m2: f64,
+        noise_m4: f64,
+    ) -> Self {
         Self {
             values,
-            transform_tag,
+            transform_tag: transform_tag.into(),
             noise_m2,
             noise_m4,
         }
@@ -58,6 +65,12 @@ impl NoisySketch {
         &self.transform_tag
     }
 
+    /// The interned tag handle (cheap to clone into further sketches).
+    #[must_use]
+    pub fn shared_tag(&self) -> Arc<str> {
+        Arc::clone(&self.transform_tag)
+    }
+
     /// `E[η²]` recorded at release time.
     #[must_use]
     pub fn noise_second_moment(&self) -> f64 {
@@ -75,7 +88,11 @@ impl NoisySketch {
     /// # Errors
     /// [`CoreError::IncompatibleSketches`] describing the mismatch.
     pub fn check_compatible(&self, other: &Self) -> Result<(), CoreError> {
-        if self.transform_tag != other.transform_tag {
+        // Interned tags usually share the allocation; compare contents
+        // only when the pointers differ.
+        if !Arc::ptr_eq(&self.transform_tag, &other.transform_tag)
+            && self.transform_tag != other.transform_tag
+        {
             return Err(CoreError::IncompatibleSketches(format!(
                 "transform '{}' vs '{}'",
                 self.transform_tag, other.transform_tag
@@ -132,11 +149,75 @@ impl NoisySketch {
         let dxy = self.estimate_sq_distance(other)?;
         Ok(0.5 * (self.estimate_sq_norm() + other.estimate_sq_norm() - dxy))
     }
+
+    /// Serialize to the JSON compatibility wire format
+    /// (`{"values":[…],"transform_tag":"…","noise_m2":…,"noise_m4":…}`).
+    /// The compact binary format in [`crate::wire`] is the preferred path.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        self.to_json_value().to_string()
+    }
+
+    /// The JSON representation as a [`JsonValue`] (for embedding inside
+    /// enclosing wire objects without re-parsing).
+    #[must_use]
+    pub fn to_json_value(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            (
+                "values".to_string(),
+                JsonValue::Array(self.values.iter().map(|&v| JsonValue::Number(v)).collect()),
+            ),
+            (
+                "transform_tag".to_string(),
+                JsonValue::String(self.transform_tag.to_string()),
+            ),
+            ("noise_m2".to_string(), JsonValue::Number(self.noise_m2)),
+            ("noise_m4".to_string(), JsonValue::Number(self.noise_m4)),
+        ])
+    }
+
+    /// Parse the JSON wire format.
+    ///
+    /// # Errors
+    /// [`CoreError::Wire`] on malformed input.
+    pub fn from_json(text: &str) -> Result<Self, CoreError> {
+        let v = json::parse(text).map_err(CoreError::Wire)?;
+        Self::from_json_value(&v)
+    }
+
+    /// Build from an already-parsed [`JsonValue`] (used by enclosing
+    /// wire types such as the protocol's `Release`).
+    ///
+    /// # Errors
+    /// [`CoreError::Wire`] if fields are missing or mistyped.
+    pub fn from_json_value(v: &JsonValue) -> Result<Self, CoreError> {
+        let missing = |field: &str| CoreError::Wire(format!("missing/invalid field '{field}'"));
+        let values = v
+            .get("values")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| missing("values"))?
+            .iter()
+            .map(|item| item.as_f64().ok_or_else(|| missing("values[i]")))
+            .collect::<Result<Vec<f64>, CoreError>>()?;
+        let tag = v
+            .get("transform_tag")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| missing("transform_tag"))?;
+        let noise_m2 = v
+            .get("noise_m2")
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| missing("noise_m2"))?;
+        let noise_m4 = v
+            .get("noise_m4")
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| missing("noise_m4"))?;
+        Ok(Self::new(values, tag, noise_m2, noise_m4))
+    }
 }
 
 /// A point estimate with its predicted standard deviation, so callers can
 /// report calibrated uncertainty without re-deriving the paper's formulas.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DistanceEstimate {
     /// The debiased estimate of `‖x − y‖²`.
     pub estimate: f64,
@@ -164,7 +245,7 @@ mod tests {
     use super::*;
 
     fn sketch(values: Vec<f64>, tag: &str, m2: f64) -> NoisySketch {
-        NoisySketch::new(values, tag.to_string(), m2, 3.0 * m2 * m2)
+        NoisySketch::new(values, tag, m2, 3.0 * m2 * m2)
     }
 
     #[test]
@@ -205,11 +286,13 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
-        let a = sketch(vec![1.5, -2.5], "sjlt#42", 0.25);
-        let json = serde_json::to_string(&a).unwrap();
-        let back: NoisySketch = serde_json::from_str(&json).unwrap();
+    fn json_roundtrip() {
+        let a = sketch(vec![1.5, -2.5, 1e-300], "sjlt#42", 0.25);
+        let json = a.to_json();
+        let back = NoisySketch::from_json(&json).unwrap();
         assert_eq!(a, back);
+        assert!(NoisySketch::from_json("{not json").is_err());
+        assert!(NoisySketch::from_json(r#"{"values":[1.0]}"#).is_err());
     }
 
     #[test]

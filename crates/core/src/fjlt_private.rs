@@ -19,7 +19,7 @@ use crate::config::SketchConfig;
 use crate::error::CoreError;
 use crate::estimator::{DistanceEstimate, NoisySketch};
 use crate::framework::GenSketcher;
-use crate::variance::{var_fjlt_input_bound, var_transform_fjlt, lemma3_variance};
+use crate::variance::{lemma3_variance, var_fjlt_input_bound, var_transform_fjlt};
 use dp_hashing::Seed;
 use dp_noise::gaussian::Gaussian;
 use dp_noise::mechanism::GaussianMechanism;
@@ -40,12 +40,7 @@ impl PrivateFjltOutput {
     /// [`CoreError::MissingField`] without a δ budget; transform errors.
     pub fn new(config: &SketchConfig, transform_seed: Seed) -> Result<Self, CoreError> {
         let delta = config.delta().ok_or(CoreError::MissingField("delta"))?;
-        let transform = Fjlt::new(
-            config.input_dim(),
-            config.k(),
-            config.jl(),
-            transform_seed,
-        )?;
+        let transform = Fjlt::new(config.input_dim(), config.k(), config.jl(), transform_seed)?;
         // Note 6: the initialization cost — exact ∆₂ of the realized Φ.
         let l2 = transform.exact_l2_sensitivity();
         let mech = GaussianMechanism::new(l2, config.epsilon(), delta)?;
@@ -63,6 +58,12 @@ impl PrivateFjltOutput {
     #[must_use]
     pub fn k(&self) -> usize {
         self.inner.k()
+    }
+
+    /// The underlying general sketcher.
+    #[must_use]
+    pub fn general(&self) -> &GenSketcher<Fjlt, GaussianMechanism> {
+        &self.inner
     }
 
     /// The calibrated σ (includes the scanned ∆₂).
@@ -119,7 +120,7 @@ pub struct PrivateFjltInput {
     noise: Gaussian,
     epsilon: f64,
     delta: f64,
-    tag: String,
+    tag: std::sync::Arc<str>,
 }
 
 impl PrivateFjltInput {
@@ -129,12 +130,7 @@ impl PrivateFjltInput {
     /// [`CoreError::MissingField`] without a δ budget; transform errors.
     pub fn new(config: &SketchConfig, transform_seed: Seed) -> Result<Self, CoreError> {
         let delta = config.delta().ok_or(CoreError::MissingField("delta"))?;
-        let transform = Fjlt::new(
-            config.input_dim(),
-            config.k(),
-            config.jl(),
-            transform_seed,
-        )?;
+        let transform = Fjlt::new(config.input_dim(), config.k(), config.jl(), transform_seed)?;
         let sigma = (2.0 * (1.25f64 / delta).ln()).sqrt() / config.epsilon();
         let tag = format!(
             "fjlt-in(k={},seed={})",
@@ -146,7 +142,7 @@ impl PrivateFjltInput {
             noise: Gaussian::new(sigma)?,
             epsilon: config.epsilon(),
             delta,
-            tag,
+            tag: tag.into(),
         })
     }
 
@@ -154,6 +150,12 @@ impl PrivateFjltInput {
     #[must_use]
     pub fn k(&self) -> usize {
         self.transform.output_dim()
+    }
+
+    /// The transform identity tag.
+    #[must_use]
+    pub fn tag(&self) -> &str {
+        &self.tag
     }
 
     /// Input dimension `d`.
@@ -195,7 +197,7 @@ impl PrivateFjltInput {
         let m2_eff = self.d() as f64 * self.sigma() * self.sigma() / self.k() as f64;
         Ok(NoisySketch::new(
             values,
-            self.tag.clone(),
+            std::sync::Arc::clone(&self.tag),
             m2_eff,
             3.0 * m2_eff * m2_eff,
         ))

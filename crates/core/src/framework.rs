@@ -17,7 +17,8 @@ use dp_hashing::Seed;
 use dp_linalg::SparseVector;
 use dp_noise::mechanism::NoiseMechanism;
 use dp_noise::PrivacyGuarantee;
-use dp_transforms::LinearTransform;
+use dp_transforms::{LinearTransform, TransformError};
+use std::sync::Arc;
 
 /// A private sketcher pairing a public LPP transform with a calibrated
 /// noise mechanism.
@@ -25,19 +26,20 @@ use dp_transforms::LinearTransform;
 pub struct GenSketcher<T, M> {
     transform: T,
     mechanism: M,
-    tag: String,
+    tag: Arc<str>,
 }
 
 impl<T: LinearTransform, M: NoiseMechanism> GenSketcher<T, M> {
     /// Pair a transform with a mechanism. The `tag` should identify the
     /// public transform instance (name + seed) so incompatible sketches
-    /// are rejected at estimation time.
+    /// are rejected at estimation time. It is interned once and shared by
+    /// every released sketch.
     #[must_use]
-    pub fn new(transform: T, mechanism: M, tag: String) -> Self {
+    pub fn new(transform: T, mechanism: M, tag: impl Into<Arc<str>>) -> Self {
         Self {
             transform,
             mechanism,
-            tag,
+            tag: tag.into(),
         }
     }
 
@@ -102,11 +104,7 @@ impl<T: LinearTransform, M: NoiseMechanism> GenSketcher<T, M> {
     ///
     /// # Errors
     /// [`CoreError::IncompatibleSketches`] if the sketches don't combine.
-    pub fn estimate_sq_distance(
-        &self,
-        a: &NoisySketch,
-        b: &NoisySketch,
-    ) -> Result<f64, CoreError> {
+    pub fn estimate_sq_distance(&self, a: &NoisySketch, b: &NoisySketch) -> Result<f64, CoreError> {
         a.estimate_sq_distance(b)
     }
 
@@ -134,6 +132,28 @@ impl<T: LinearTransform, M: NoiseMechanism> GenSketcher<T, M> {
         2.0 * self.k() as f64 * self.mechanism.second_moment()
     }
 
+    /// Add calibrated noise to an externally maintained noiseless
+    /// projection (e.g. a streaming accumulator built over the same
+    /// public transform) and package it as a release.
+    ///
+    /// # Errors
+    /// [`CoreError::Transform`] if `values` is not `k`-dimensional.
+    pub fn finalize(
+        &self,
+        mut values: Vec<f64>,
+        noise_seed: Seed,
+    ) -> Result<NoisySketch, CoreError> {
+        if values.len() != self.k() {
+            return Err(TransformError::DimensionMismatch {
+                expected: self.k(),
+                actual: values.len(),
+            }
+            .into());
+        }
+        self.add_noise(&mut values, noise_seed);
+        Ok(self.package(values))
+    }
+
     fn add_noise(&self, values: &mut [f64], noise_seed: Seed) {
         let mut rng = noise_seed.child("noise").rng();
         for v in values.iter_mut() {
@@ -144,7 +164,7 @@ impl<T: LinearTransform, M: NoiseMechanism> GenSketcher<T, M> {
     fn package(&self, values: Vec<f64>) -> NoisySketch {
         NoisySketch::new(
             values,
-            self.tag.clone(),
+            Arc::clone(&self.tag),
             self.mechanism.second_moment(),
             self.mechanism.fourth_moment(),
         )
@@ -170,7 +190,7 @@ mod tests {
 
     fn sketcher_zero() -> GenSketcher<Sjlt, ZeroNoise> {
         let t = Sjlt::new(32, 16, 4, 6, Seed::new(1)).unwrap();
-        GenSketcher::new(t, ZeroNoise, "sjlt#1".into())
+        GenSketcher::new(t, ZeroNoise, "sjlt#1")
     }
 
     #[test]
@@ -200,7 +220,7 @@ mod tests {
     fn noise_seeds_are_respected() {
         let t = Sjlt::new(16, 8, 2, 4, Seed::new(2)).unwrap();
         let m = LaplaceMechanism::new(2.0f64.sqrt(), 1.0).unwrap();
-        let s = GenSketcher::new(t, m, "sjlt#2".into());
+        let s = GenSketcher::new(t, m, "sjlt#2");
         let x = vec![1.0; 16];
         let a = s.sketch(&x, Seed::new(10)).unwrap();
         let b = s.sketch(&x, Seed::new(10)).unwrap();
@@ -227,7 +247,11 @@ mod tests {
             stats.push(s.estimate_sq_distance(&a, &b).unwrap());
         }
         let z = (stats.mean() - true_d).abs() / stats.stderr();
-        assert!(z < 4.0, "bias z-score {z} (mean {} vs {true_d})", stats.mean());
+        assert!(
+            z < 4.0,
+            "bias z-score {z} (mean {} vs {true_d})",
+            stats.mean()
+        );
     }
 
     #[test]
@@ -244,7 +268,7 @@ mod tests {
         for rep in 0..4000u64 {
             let t = Sjlt::new(d, k, s_par, 8, Seed::new(rep)).unwrap();
             let m = LaplaceMechanism::new((s_par as f64).sqrt(), eps).unwrap();
-            let s = GenSketcher::new(t, m, "tag".into());
+            let s = GenSketcher::new(t, m, "tag");
             let a = s.sketch(&x, Seed::new(50_000 + rep)).unwrap();
             let b = s.sketch(&y, Seed::new(90_000 + rep)).unwrap();
             stats.push(s.estimate_sq_distance(&a, &b).unwrap());
@@ -252,14 +276,18 @@ mod tests {
         let predicted = crate::variance::var_sjlt_laplace(k, s_par, eps, dist_sq, l4);
         let rel = (stats.variance() - predicted).abs() / predicted;
         // Fourth-moment Monte-Carlo noise is heavy; 15% tolerance.
-        assert!(rel < 0.15, "var {} vs {predicted} (rel {rel})", stats.variance());
+        assert!(
+            rel < 0.15,
+            "var {} vs {predicted} (rel {rel})",
+            stats.variance()
+        );
     }
 
     #[test]
     fn guarantee_passthrough() {
         let t = Sjlt::new(8, 4, 2, 4, Seed::new(3)).unwrap();
         let m = LaplaceMechanism::new(2.0f64.sqrt(), 0.25).unwrap();
-        let s = GenSketcher::new(t, m, "t".into());
+        let s = GenSketcher::new(t, m, "t");
         assert!(s.guarantee().is_pure());
         assert!((s.guarantee().epsilon() - 0.25).abs() < 1e-12);
     }

@@ -1,0 +1,484 @@
+//! Minimal JSON reader/writer for the wire types.
+//!
+//! The build environment is fully offline, so the crate cannot depend on
+//! `serde`/`serde_json`; this module implements the small JSON subset the
+//! protocol needs (objects, arrays, strings, finite numbers, booleans,
+//! null) by hand. Numbers are written with Rust's shortest round-trip
+//! float formatting, so `parse(write(x)) == x` exactly for every finite
+//! `f64` — the property the codec round-trip tests pin down.
+
+use std::fmt::Write as _;
+
+/// Maximum nesting depth accepted by [`parse`] (wire payloads are flat;
+/// the bound exists so adversarial input cannot overflow the stack).
+pub const MAX_DEPTH: usize = 64;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A fractional/exponent/negative JSON number, carried as `f64`.
+    Number(f64),
+    /// A non-negative integer literal, carried exactly (JSON numbers are
+    /// arbitrary precision; `u64` identities like seeds and party ids
+    /// must not round through `f64`).
+    UInt(u64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object as an ordered key → value list.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Look up a key in an object.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            Self::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a finite number, if it is one (integer literals
+    /// convert with `f64` precision).
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Self::Number(v) => Some(*v),
+            Self::UInt(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, if it is one exactly.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Self::UInt(v) => Some(*v),
+            Self::Number(v) if *v >= 0.0 && v.fract() == 0.0 && *v <= 2f64.powi(53) => {
+                Some(*v as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Self::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is an array.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            Self::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Whether the value is JSON `null`.
+    #[must_use]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Self::Null)
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Self::Null => out.push_str("null"),
+            Self::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Self::Number(v) => {
+                assert!(v.is_finite(), "JSON cannot encode non-finite number {v}");
+                // `{:?}` is Rust's shortest round-trip representation.
+                let _ = write!(out, "{v:?}");
+            }
+            Self::UInt(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Self::String(s) => write_json_string(s, out),
+            Self::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Self::Object(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_json_string(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Compact JSON text (`value.to_string()` serializes).
+///
+/// # Panics
+/// If a number is non-finite (JSON cannot represent NaN/∞; the wire
+/// types never contain them).
+impl std::fmt::Display for JsonValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out);
+        f.write_str(&out)
+    }
+}
+
+fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parse a complete JSON document (rejects trailing garbage).
+///
+/// # Errors
+/// A human-readable description of the first syntax error.
+pub fn parse(text: &str) -> Result<JsonValue, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos, 0)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing characters at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if *pos < bytes.len() && bytes[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {pos}", c as char))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<JsonValue, String> {
+    if depth > MAX_DEPTH {
+        return Err(format!("nesting deeper than {MAX_DEPTH} levels"));
+    }
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => parse_object(bytes, pos, depth),
+        Some(b'[') => parse_array(bytes, pos, depth),
+        Some(b'"') => Ok(JsonValue::String(parse_string(bytes, pos)?)),
+        Some(b't') => parse_literal(bytes, pos, "true", JsonValue::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", JsonValue::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", JsonValue::Null),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_literal(
+    bytes: &[u8],
+    pos: &mut usize,
+    lit: &str,
+    value: JsonValue,
+) -> Result<JsonValue, String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {pos}"))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+    // Plain non-negative integer literals keep exact u64 precision.
+    if text.bytes().all(|b| b.is_ascii_digit()) {
+        if let Ok(v) = text.parse::<u64>() {
+            return Ok(JsonValue::UInt(v));
+        }
+    }
+    let v: f64 = text
+        .parse()
+        .map_err(|_| format!("invalid number '{text}' at byte {start}"))?;
+    if !v.is_finite() {
+        return Err(format!("non-finite number '{text}' at byte {start}"));
+    }
+    Ok(JsonValue::Number(v))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let code = parse_hex4(bytes, *pos + 1)?;
+                        *pos += 4;
+                        let scalar = match code {
+                            // High surrogate: a low surrogate must follow
+                            // (standard encoders escape non-BMP chars as
+                            // pairs, e.g. Python's ensure_ascii).
+                            0xd800..=0xdbff => {
+                                if bytes.get(*pos + 1..*pos + 3) != Some(&b"\\u"[..]) {
+                                    return Err(format!("lone high surrogate at byte {pos}"));
+                                }
+                                let low = parse_hex4(bytes, *pos + 3)?;
+                                if !(0xdc00..=0xdfff).contains(&low) {
+                                    return Err(format!("invalid low surrogate at byte {pos}"));
+                                }
+                                *pos += 6;
+                                0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00)
+                            }
+                            0xdc00..=0xdfff => {
+                                return Err(format!("lone low surrogate at byte {pos}"))
+                            }
+                            c => c,
+                        };
+                        out.push(
+                            char::from_u32(scalar)
+                                .ok_or_else(|| format!("invalid \\u escape at byte {pos}"))?,
+                        );
+                    }
+                    _ => return Err(format!("invalid escape at byte {pos}")),
+                }
+                *pos += 1;
+            }
+            Some(&b) => {
+                // Consume one UTF-8 scalar. The input is a &str, so a
+                // leading byte determines the (valid) sequence width; only
+                // that small slice is re-checked, keeping parsing O(len).
+                let width = match b {
+                    0x00..=0x7f => 1,
+                    0xc0..=0xdf => 2,
+                    0xe0..=0xef => 3,
+                    _ => 4,
+                };
+                let slice = bytes.get(*pos..*pos + width).ok_or("unterminated string")?;
+                out.push_str(std::str::from_utf8(slice).map_err(|e| e.to_string())?);
+                *pos += width;
+            }
+        }
+    }
+}
+
+fn parse_hex4(bytes: &[u8], at: usize) -> Result<u32, String> {
+    let hex = bytes.get(at..at + 4).ok_or("truncated \\u escape")?;
+    u32::from_str_radix(std::str::from_utf8(hex).map_err(|e| e.to_string())?, 16)
+        .map_err(|e| e.to_string())
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<JsonValue, String> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(JsonValue::Array(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos, depth + 1)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(JsonValue::Array(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<JsonValue, String> {
+    expect(bytes, pos, b'{')?;
+    let mut pairs = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(JsonValue::Object(pairs));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos, depth + 1)?;
+        pairs.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(JsonValue::Object(pairs));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_object() {
+        let text = r#"{"a":[1.0,-2.5,1e-300],"b":"x\"y","c":null,"d":true}"#;
+        let v = parse(text).unwrap();
+        assert_eq!(v.get("b").unwrap().as_str().unwrap(), "x\"y");
+        assert!(v.get("c").unwrap().is_null());
+        let back = parse(&v.to_string()).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn numbers_roundtrip_exactly() {
+        for x in [
+            0.0,
+            -0.0,
+            1.5,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            1e-300,
+            -123456.789e12,
+            2f64.powi(53),
+        ] {
+            let text = JsonValue::Number(x).to_string();
+            let back = parse(&text).unwrap().as_f64().unwrap();
+            assert_eq!(x.to_bits(), back.to_bits(), "{x} via {text}");
+        }
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        for bad in [
+            "", "{", "[1,", "{\"a\"}", "tru", "1.2.3", "{} extra", "\"\\q\"",
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn surrogate_pairs_decode_and_lone_surrogates_fail() {
+        // Standard encoders (e.g. Python's ensure_ascii) escape non-BMP
+        // chars as surrogate pairs; these must decode to the real scalar
+        // so transform tags survive cross-encoder trips.
+        let v = parse(r#""t-\ud83d\ude00""#).unwrap();
+        assert_eq!(v.as_str().unwrap(), "t-😀");
+        // Refuse-don't-guess: lone or malformed surrogates are errors,
+        // never the replacement character (which would let two distinct
+        // tags collide).
+        for bad in [
+            r#""\ud83d""#,
+            r#""\ud83dx""#,
+            r#""\ud83d\u0041""#,
+            r#""\ude00""#,
+        ] {
+            assert!(parse(bad).is_err(), "{bad} should fail");
+        }
+    }
+
+    #[test]
+    fn u64_extraction() {
+        assert_eq!(parse("7").unwrap().as_u64(), Some(7));
+        assert_eq!(parse("7.5").unwrap().as_u64(), None);
+        assert_eq!(parse("-1").unwrap().as_u64(), None);
+    }
+
+    #[test]
+    fn u64_identities_are_exact() {
+        // Seeds/party ids above 2^53 must survive the JSON round trip
+        // bit-for-bit (they would round through f64).
+        for v in [0u64, (1 << 53) + 1, u64::MAX] {
+            let text = JsonValue::UInt(v).to_string();
+            assert_eq!(parse(&text).unwrap().as_u64(), Some(v), "{v}");
+        }
+        // Integer literals also satisfy float reads.
+        assert_eq!(parse("3").unwrap().as_f64(), Some(3.0));
+    }
+
+    #[test]
+    fn nesting_depth_is_bounded() {
+        // Within the bound parses fine; past it errors instead of
+        // overflowing the stack on adversarial input.
+        let ok = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(parse(&ok).is_ok());
+        let deep = format!("{}1{}", "[".repeat(100_000), "]".repeat(100_000));
+        assert!(parse(&deep).is_err());
+    }
+
+    #[test]
+    fn long_strings_parse_quickly() {
+        // Regression guard for the O(len²) UTF-8 revalidation: a 1 MB
+        // string (with multibyte chars) must parse in linear time.
+        let body: String = "ü".repeat(500_000);
+        let text = format!("{}", JsonValue::String(body.clone()));
+        let start = std::time::Instant::now();
+        let back = parse(&text).unwrap();
+        assert!(start.elapsed().as_secs() < 2, "took {:?}", start.elapsed());
+        assert_eq!(back.as_str().unwrap(), body);
+    }
+
+    #[test]
+    fn nested_and_ws() {
+        let v = parse(" { \"k\" : [ { \"x\" : 1 } , [ ] ] } ").unwrap();
+        assert_eq!(v.get("k").unwrap().as_array().unwrap().len(), 2);
+    }
+}

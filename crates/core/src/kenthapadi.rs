@@ -112,6 +112,12 @@ impl Kenthapadi {
         self.inner.k()
     }
 
+    /// The underlying general sketcher.
+    #[must_use]
+    pub fn general(&self) -> &GenSketcher<GaussianIid, GaussianMechanism> {
+        &self.inner
+    }
+
     /// The calibrated σ.
     #[must_use]
     pub fn sigma(&self) -> f64 {
@@ -217,8 +223,8 @@ mod tests {
 
     #[test]
     fn exact_calibration_always_sound() {
-        let b = Kenthapadi::new(&config(), SigmaCalibration::ExactSensitivity, Seed::new(7))
-            .unwrap();
+        let b =
+            Kenthapadi::new(&config(), SigmaCalibration::ExactSensitivity, Seed::new(7)).unwrap();
         assert!(b.calibration_is_sound());
         // σ = ∆₂√(2 ln 1.25/δ)/ε exactly:
         let want = b.realized_l2_sensitivity() * (2.0 * (1.25f64 / 1e-6).ln()).sqrt();

@@ -17,6 +17,14 @@
 //!   end-to-end (k, s, noise choice) from `(d, α, β, ε, δ)`.
 //! * [`repetition`] — extension: median-of-means boosting across `R`
 //!   independent releases with composed privacy accounting.
+//! * [`sketcher`] — the unified release API: the object-safe
+//!   [`PrivateSketcher`] trait, the [`AnySketcher`] enum over every
+//!   construction, the serializable [`SketcherSpec`] public parameters,
+//!   and the batch/pairwise estimate surface.
+//! * [`wire`] — the versioned compact binary codec for released sketches
+//!   (JSON via [`NoisySketch::to_json`] stays as a compatibility path).
+//! * [`json`] — the dependency-free JSON reader/writer backing the
+//!   compatibility path.
 
 pub mod config;
 pub mod error;
@@ -24,13 +32,20 @@ pub mod estimator;
 pub mod fjlt_private;
 pub mod framework;
 pub mod hamming;
+pub mod json;
 pub mod kenthapadi;
 pub mod repetition;
 pub mod sjlt_private;
+pub mod sketcher;
 pub mod variance;
+pub mod wire;
 
 pub use config::SketchConfig;
 pub use error::CoreError;
 pub use estimator::{DistanceEstimate, NoisySketch};
 pub use framework::GenSketcher;
 pub use sjlt_private::PrivateSjlt;
+pub use sketcher::{
+    pairwise_sq_distances, pairwise_sq_distances_with, AnySketcher, Construction,
+    PairwiseDistances, PrivateSketcher, SketcherSpec,
+};

@@ -77,7 +77,10 @@ impl RepeatedSketcher {
     ///
     /// # Errors
     /// On an invalid `delta_slack`.
-    pub fn total_guarantee_advanced(&self, delta_slack: f64) -> Result<PrivacyGuarantee, CoreError> {
+    pub fn total_guarantee_advanced(
+        &self,
+        delta_slack: f64,
+    ) -> Result<PrivacyGuarantee, CoreError> {
         self.sketchers[0]
             .guarantee()
             .compose_advanced(

@@ -13,12 +13,10 @@ use crate::config::SketchConfig;
 use crate::error::CoreError;
 use crate::estimator::{DistanceEstimate, NoisySketch};
 use crate::framework::GenSketcher;
-use crate::variance::{var_sjlt_laplace, var_sjlt_gaussian, var_transform_sjlt, lemma3_variance};
+use crate::variance::{lemma3_variance, var_sjlt_gaussian, var_sjlt_laplace, var_transform_sjlt};
 use dp_hashing::{Prng, Seed};
 use dp_linalg::SparseVector;
-use dp_noise::mechanism::{
-    GaussianMechanism, LaplaceMechanism, MechanismChoice, NoiseMechanism,
-};
+use dp_noise::mechanism::{GaussianMechanism, LaplaceMechanism, MechanismChoice, NoiseMechanism};
 use dp_noise::PrivacyGuarantee;
 use dp_transforms::sjlt::Sjlt;
 use dp_transforms::LinearTransform;
@@ -108,12 +106,7 @@ impl PrivateSjlt {
         Ok(Self::assemble(transform, mech, transform_seed, config))
     }
 
-    fn assemble(
-        transform: Sjlt,
-        mech: SjltNoise,
-        seed: Seed,
-        config: &SketchConfig,
-    ) -> Self {
+    fn assemble(transform: Sjlt, mech: SjltNoise, seed: Seed, config: &SketchConfig) -> Self {
         let tag = format!(
             "sjlt(k={},s={},seed={},noise={})",
             transform.output_dim(),
@@ -325,7 +318,10 @@ mod tests {
         let x = vec![1.0; cfg.input_dim()];
         let a = s1.sketch(&x, Seed::new(5));
         let b = s2.sketch(&x, Seed::new(6));
-        assert!(a.estimate_sq_distance(&b).is_err(), "different public seeds");
+        assert!(
+            a.estimate_sq_distance(&b).is_err(),
+            "different public seeds"
+        );
     }
 
     #[test]

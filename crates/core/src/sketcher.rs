@@ -1,0 +1,805 @@
+//! The unified, mechanism-agnostic release API.
+//!
+//! The paper's framework is *general*: any LPP transform paired with any
+//! zero-mean noise mechanism yields the same unbiased estimator
+//! (Lemmas 3/4). This module makes that generality the public surface:
+//!
+//! * [`PrivateSketcher`] — one object-safe trait over every construction:
+//!   release (`sketch`/`sketch_sparse`/`sketch_batch`), estimate, and
+//!   introspect (`k`, `guarantee`, `debias_constant`,
+//!   `predicted_variance`, `spec`). Service layers hold a
+//!   `Box<dyn PrivateSketcher>` and never name a concrete construction.
+//! * [`Construction`] — the paper's constructions as data: the private
+//!   SJLT (Note 5 auto, or forced Laplace/Gaussian), both §5.2 FJLT
+//!   variants, and the Kenthapadi et al. baseline.
+//! * [`SketcherSpec`] — a serializable (construction, config, public
+//!   transform seed) triple. Every party in the distributed protocol
+//!   rebuilds the *identical* sketcher from the same spec, which is what
+//!   makes releases interoperable; the JSON form travels on the wire.
+//! * [`AnySketcher`] — the trait's canonical implementation: an enum over
+//!   all constructions, built from a [`SketcherSpec`].
+//! * [`pairwise_sq_distances`] — the all-pairs estimate surface over
+//!   released sketches, returning a flat row-major matrix.
+//!
+//! The Note 5 mechanism-selection rule applies uniformly here: a
+//! [`Construction::SjltAuto`] spec resolves Laplace-vs-Gaussian from the
+//! config's `(s, δ)` exactly as [`crate::config::SketchConfig`] dictates,
+//! deterministically, on every party.
+
+use crate::config::SketchConfig;
+use crate::error::CoreError;
+use crate::estimator::{DistanceEstimate, NoisySketch};
+use crate::fjlt_private::{PrivateFjltInput, PrivateFjltOutput};
+use crate::json::{self, JsonValue};
+use crate::kenthapadi::{Kenthapadi, SigmaCalibration};
+use crate::sjlt_private::PrivateSjlt;
+use dp_hashing::Seed;
+use dp_linalg::SparseVector;
+use dp_noise::PrivacyGuarantee;
+
+/// One object-safe interface over every private-sketch construction.
+///
+/// All methods take `&self`; a `&dyn PrivateSketcher` or
+/// `Box<dyn PrivateSketcher>` is a complete release endpoint.
+pub trait PrivateSketcher {
+    /// Release a noisy sketch of a dense vector. The `noise_seed` must be
+    /// private to the releasing party and fresh per release.
+    ///
+    /// # Errors
+    /// [`CoreError::Transform`] on dimension mismatch.
+    fn sketch(&self, x: &[f64], noise_seed: Seed) -> Result<NoisySketch, CoreError>;
+
+    /// Release a noisy sketch of a sparse vector (uses the transform's
+    /// sparse fast path when it has one; densifies otherwise).
+    ///
+    /// # Errors
+    /// [`CoreError::Transform`] on dimension mismatch.
+    fn sketch_sparse(&self, x: &SparseVector, noise_seed: Seed) -> Result<NoisySketch, CoreError>;
+
+    /// Input dimension `d`.
+    fn input_dim(&self) -> usize;
+
+    /// Sketch dimension `k`.
+    fn k(&self) -> usize;
+
+    /// The transform identity tag shared by every release.
+    fn tag(&self) -> &str;
+
+    /// The DP guarantee of each released sketch (every estimate computed
+    /// from releases inherits it by post-processing).
+    fn guarantee(&self) -> PrivacyGuarantee;
+
+    /// The debias constant `2k·E[η²]` of the pairwise estimator.
+    fn debias_constant(&self) -> f64;
+
+    /// The construction's variance prediction at a hypothetical true
+    /// squared distance (each construction's own closed form — exact
+    /// where the paper gives an exact form, a bound otherwise).
+    fn predicted_variance(&self, dist_sq: f64) -> DistanceEstimate;
+
+    /// The serializable spec that rebuilds this exact sketcher anywhere.
+    fn spec(&self) -> SketcherSpec;
+
+    /// Add this construction's calibrated release noise to an externally
+    /// maintained noiseless projection (e.g. a streaming accumulator over
+    /// the same public transform) and package it under this sketcher's
+    /// tag.
+    ///
+    /// # Errors
+    /// [`CoreError::Transform`] if `projection` is not `k`-dimensional;
+    /// [`CoreError::Unsupported`] for input-perturbation constructions,
+    /// whose noise cannot be applied after the projection.
+    fn finalize_projection(
+        &self,
+        projection: Vec<f64>,
+        noise_seed: Seed,
+    ) -> Result<NoisySketch, CoreError>;
+
+    /// Debiased squared-distance estimate between two released sketches.
+    ///
+    /// # Errors
+    /// [`CoreError::IncompatibleSketches`] if the sketches don't combine.
+    fn estimate_sq_distance(&self, a: &NoisySketch, b: &NoisySketch) -> Result<f64, CoreError> {
+        a.estimate_sq_distance(b)
+    }
+
+    /// Release one sketch per input row. Per-row noise seeds are derived
+    /// as `noise_seed.index(row)`, so a batch consumes one private seed.
+    ///
+    /// # Errors
+    /// [`CoreError::Transform`] on any dimension mismatch.
+    fn sketch_batch(
+        &self,
+        xs: &[Vec<f64>],
+        noise_seed: Seed,
+    ) -> Result<Vec<NoisySketch>, CoreError> {
+        xs.iter()
+            .enumerate()
+            .map(|(i, x)| self.sketch(x, noise_seed.index(i as u64)))
+            .collect()
+    }
+}
+
+/// The constructions of the paper, as serializable data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Construction {
+    /// Private SJLT with the Note 5 noise rule applied to the config
+    /// (Laplace iff no δ is budgeted or `δ < e^{−s}`).
+    SjltAuto,
+    /// Private SJLT, Laplace noise forced (Theorem 3 as stated).
+    SjltLaplace,
+    /// Private SJLT, Gaussian noise forced (§6.2.3; requires δ).
+    SjltGaussian,
+    /// Output-perturbed private FJLT (Corollary 1; requires δ).
+    FjltOutput,
+    /// Input-perturbed private FJLT (Lemma 8; requires δ).
+    FjltInput,
+    /// Kenthapadi et al. baseline with the given σ calibration
+    /// (requires δ).
+    Kenthapadi(SigmaCalibration),
+}
+
+impl Construction {
+    /// Stable wire name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::SjltAuto => "sjlt-auto",
+            Self::SjltLaplace => "sjlt-laplace",
+            Self::SjltGaussian => "sjlt-gaussian",
+            Self::FjltOutput => "fjlt-output",
+            Self::FjltInput => "fjlt-input",
+            Self::Kenthapadi(SigmaCalibration::ExactSensitivity) => "kenthapadi-exact",
+            Self::Kenthapadi(SigmaCalibration::Theorem1) => "kenthapadi-theorem1",
+            Self::Kenthapadi(SigmaCalibration::AssumedUnit) => "kenthapadi-assumed-unit",
+        }
+    }
+
+    /// Parse a stable wire name.
+    ///
+    /// # Errors
+    /// [`CoreError::Wire`] on an unknown name.
+    pub fn from_name(name: &str) -> Result<Self, CoreError> {
+        Ok(match name {
+            "sjlt-auto" => Self::SjltAuto,
+            "sjlt-laplace" => Self::SjltLaplace,
+            "sjlt-gaussian" => Self::SjltGaussian,
+            "fjlt-output" => Self::FjltOutput,
+            "fjlt-input" => Self::FjltInput,
+            "kenthapadi-exact" => Self::Kenthapadi(SigmaCalibration::ExactSensitivity),
+            "kenthapadi-theorem1" => Self::Kenthapadi(SigmaCalibration::Theorem1),
+            "kenthapadi-assumed-unit" => Self::Kenthapadi(SigmaCalibration::AssumedUnit),
+            other => return Err(CoreError::Wire(format!("unknown construction '{other}'"))),
+        })
+    }
+
+    /// Every concrete construction (with the baseline in its sound
+    /// calibration) — handy for experiment sweeps.
+    #[must_use]
+    pub fn all() -> [Self; 6] {
+        [
+            Self::SjltAuto,
+            Self::SjltLaplace,
+            Self::SjltGaussian,
+            Self::FjltOutput,
+            Self::FjltInput,
+            Self::Kenthapadi(SigmaCalibration::ExactSensitivity),
+        ]
+    }
+}
+
+/// Serializable public parameters rebuilding one exact sketcher:
+/// construction + validated config + public transform seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SketcherSpec {
+    construction: Construction,
+    config: SketchConfig,
+    transform_seed: u64,
+}
+
+impl SketcherSpec {
+    /// Bundle a construction choice with shared public parameters.
+    #[must_use]
+    pub fn new(construction: Construction, config: SketchConfig, transform_seed: Seed) -> Self {
+        Self {
+            construction,
+            config,
+            transform_seed: transform_seed.value(),
+        }
+    }
+
+    /// The construction this spec selects.
+    #[must_use]
+    pub fn construction(&self) -> Construction {
+        self.construction
+    }
+
+    /// The shared sketch configuration.
+    #[must_use]
+    pub fn config(&self) -> &SketchConfig {
+        &self.config
+    }
+
+    /// The public transform seed.
+    #[must_use]
+    pub fn transform_seed(&self) -> Seed {
+        Seed::new(self.transform_seed)
+    }
+
+    /// Rebuild the sketcher this spec describes. Deterministic: every
+    /// party calling this with an equal spec obtains an interoperable
+    /// sketcher (identical transform, identical calibration).
+    ///
+    /// # Errors
+    /// Propagates construction failures (e.g. a δ-requiring construction
+    /// under a pure-DP config).
+    pub fn build(&self) -> Result<AnySketcher, CoreError> {
+        AnySketcher::new(self.construction, &self.config, self.transform_seed())
+    }
+
+    /// Serialize to the JSON wire format.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let cfg = &self.config;
+        let jl = cfg.jl();
+        let delta = cfg.delta().map_or(JsonValue::Null, JsonValue::Number);
+        JsonValue::Object(vec![
+            (
+                "construction".to_string(),
+                JsonValue::String(self.construction.name().to_string()),
+            ),
+            (
+                "config".to_string(),
+                JsonValue::Object(vec![
+                    (
+                        "input_dim".to_string(),
+                        JsonValue::UInt(cfg.input_dim() as u64),
+                    ),
+                    ("alpha".to_string(), JsonValue::Number(jl.alpha())),
+                    ("beta".to_string(), JsonValue::Number(jl.beta())),
+                    ("epsilon".to_string(), JsonValue::Number(cfg.epsilon())),
+                    ("delta".to_string(), delta),
+                    ("k_const".to_string(), JsonValue::Number(jl.k_const())),
+                    ("s_const".to_string(), JsonValue::Number(jl.s_const())),
+                ]),
+            ),
+            (
+                "transform_seed".to_string(),
+                JsonValue::UInt(self.transform_seed),
+            ),
+        ])
+        .to_string()
+    }
+
+    /// Parse the JSON wire format, re-validating the config.
+    ///
+    /// # Errors
+    /// [`CoreError::Wire`] on malformed input; config validation errors
+    /// on out-of-range parameters.
+    pub fn from_json(text: &str) -> Result<Self, CoreError> {
+        let v = json::parse(text).map_err(CoreError::Wire)?;
+        let missing = |field: &str| CoreError::Wire(format!("missing/invalid field '{field}'"));
+        let construction = Construction::from_name(
+            v.get("construction")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| missing("construction"))?,
+        )?;
+        let cfg = v.get("config").ok_or_else(|| missing("config"))?;
+        let num = |field: &str| -> Result<f64, CoreError> {
+            cfg.get(field)
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| missing(field))
+        };
+        let input_dim = cfg
+            .get("input_dim")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| missing("input_dim"))? as usize;
+        let mut builder = SketchConfig::builder()
+            .input_dim(input_dim)
+            .alpha(num("alpha")?)
+            .beta(num("beta")?)
+            .epsilon(num("epsilon")?)
+            .k_const(num("k_const")?)
+            .s_const(num("s_const")?);
+        match cfg.get("delta") {
+            None => return Err(missing("delta")),
+            Some(JsonValue::Null) => {}
+            Some(d) => builder = builder.delta(d.as_f64().ok_or_else(|| missing("delta"))?),
+        }
+        let transform_seed = v
+            .get("transform_seed")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| missing("transform_seed"))?;
+        Ok(Self {
+            construction,
+            config: builder.build()?,
+            transform_seed,
+        })
+    }
+}
+
+/// The trait's canonical implementation: any of the paper's constructions
+/// behind one type, rebuilt from a [`SketcherSpec`].
+#[derive(Debug, Clone)]
+pub struct AnySketcher {
+    spec: SketcherSpec,
+    inner: Inner,
+}
+
+#[derive(Debug, Clone)]
+enum Inner {
+    Sjlt(PrivateSjlt),
+    FjltOutput(PrivateFjltOutput),
+    FjltInput(PrivateFjltInput),
+    Kenthapadi(Kenthapadi),
+}
+
+impl AnySketcher {
+    /// Build a construction from shared public parameters.
+    ///
+    /// # Errors
+    /// Propagates transform/noise construction failures.
+    pub fn new(
+        construction: Construction,
+        config: &SketchConfig,
+        transform_seed: Seed,
+    ) -> Result<Self, CoreError> {
+        let inner = match construction {
+            Construction::SjltAuto => Inner::Sjlt(PrivateSjlt::new(config, transform_seed)?),
+            Construction::SjltLaplace => {
+                Inner::Sjlt(PrivateSjlt::with_laplace(config, transform_seed)?)
+            }
+            Construction::SjltGaussian => {
+                Inner::Sjlt(PrivateSjlt::with_gaussian(config, transform_seed)?)
+            }
+            Construction::FjltOutput => {
+                Inner::FjltOutput(PrivateFjltOutput::new(config, transform_seed)?)
+            }
+            Construction::FjltInput => {
+                Inner::FjltInput(PrivateFjltInput::new(config, transform_seed)?)
+            }
+            Construction::Kenthapadi(calibration) => {
+                Inner::Kenthapadi(Kenthapadi::new(config, calibration, transform_seed)?)
+            }
+        };
+        Ok(Self {
+            spec: SketcherSpec::new(construction, config.clone(), transform_seed),
+            inner,
+        })
+    }
+
+    /// Rebuild from a spec (equivalent to [`SketcherSpec::build`]).
+    ///
+    /// # Errors
+    /// Propagates construction failures.
+    pub fn from_spec(spec: &SketcherSpec) -> Result<Self, CoreError> {
+        spec.build()
+    }
+
+    /// The wrapped private SJLT, when this is an SJLT construction
+    /// (gives access to the streaming-capable transform).
+    #[must_use]
+    pub fn as_sjlt(&self) -> Option<&PrivateSjlt> {
+        match &self.inner {
+            Inner::Sjlt(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The wrapped baseline, when this is the Kenthapadi construction.
+    #[must_use]
+    pub fn as_kenthapadi(&self) -> Option<&Kenthapadi> {
+        match &self.inner {
+            Inner::Kenthapadi(k) => Some(k),
+            _ => None,
+        }
+    }
+
+    /// Short name of the noise family in effect.
+    #[must_use]
+    pub fn noise_name(&self) -> &'static str {
+        match &self.inner {
+            Inner::Sjlt(s) => s.noise_name(),
+            Inner::FjltOutput(_) | Inner::FjltInput(_) | Inner::Kenthapadi(_) => "gaussian",
+        }
+    }
+}
+
+impl PrivateSketcher for AnySketcher {
+    fn sketch(&self, x: &[f64], noise_seed: Seed) -> Result<NoisySketch, CoreError> {
+        match &self.inner {
+            Inner::Sjlt(s) => s.try_sketch(x, noise_seed),
+            Inner::FjltOutput(s) => s.sketch(x, noise_seed),
+            Inner::FjltInput(s) => s.sketch(x, noise_seed),
+            Inner::Kenthapadi(s) => s.sketch(x, noise_seed),
+        }
+    }
+
+    fn sketch_sparse(&self, x: &SparseVector, noise_seed: Seed) -> Result<NoisySketch, CoreError> {
+        match &self.inner {
+            Inner::Sjlt(s) => s.sketch_sparse(x, noise_seed),
+            // The dense constructions have no sparse fast path.
+            _ => self.sketch(&x.to_dense(), noise_seed),
+        }
+    }
+
+    fn input_dim(&self) -> usize {
+        self.spec.config().input_dim()
+    }
+
+    fn k(&self) -> usize {
+        match &self.inner {
+            Inner::Sjlt(s) => s.k(),
+            Inner::FjltOutput(s) => s.k(),
+            Inner::FjltInput(s) => s.k(),
+            Inner::Kenthapadi(s) => s.k(),
+        }
+    }
+
+    fn tag(&self) -> &str {
+        match &self.inner {
+            Inner::Sjlt(s) => s.general().tag(),
+            Inner::FjltOutput(s) => s.general().tag(),
+            Inner::FjltInput(s) => s.tag(),
+            Inner::Kenthapadi(s) => s.general().tag(),
+        }
+    }
+
+    fn guarantee(&self) -> PrivacyGuarantee {
+        match &self.inner {
+            Inner::Sjlt(s) => s.guarantee(),
+            Inner::FjltOutput(s) => s.guarantee(),
+            Inner::FjltInput(s) => s.guarantee(),
+            Inner::Kenthapadi(s) => s.guarantee(),
+        }
+    }
+
+    fn debias_constant(&self) -> f64 {
+        match &self.inner {
+            Inner::Sjlt(s) => s.general().debias_constant(),
+            Inner::FjltOutput(s) => s.general().debias_constant(),
+            // Effective moment: 2k·(dσ²/k) = 2dσ² (see fjlt_private docs).
+            Inner::FjltInput(s) => 2.0 * s.d() as f64 * s.sigma() * s.sigma(),
+            Inner::Kenthapadi(s) => s.general().debias_constant(),
+        }
+    }
+
+    fn predicted_variance(&self, dist_sq: f64) -> DistanceEstimate {
+        match &self.inner {
+            Inner::Sjlt(s) => s.variance_bound(dist_sq),
+            Inner::FjltOutput(s) => s.variance_bound(dist_sq),
+            Inner::FjltInput(s) => s.variance_bound(dist_sq),
+            Inner::Kenthapadi(s) => s.variance(dist_sq),
+        }
+    }
+
+    fn spec(&self) -> SketcherSpec {
+        self.spec.clone()
+    }
+
+    fn finalize_projection(
+        &self,
+        projection: Vec<f64>,
+        noise_seed: Seed,
+    ) -> Result<NoisySketch, CoreError> {
+        match &self.inner {
+            Inner::Sjlt(s) => s.general().finalize(projection, noise_seed),
+            Inner::FjltOutput(s) => s.general().finalize(projection, noise_seed),
+            Inner::Kenthapadi(s) => s.general().finalize(projection, noise_seed),
+            Inner::FjltInput(_) => Err(CoreError::Unsupported(
+                "input-perturbed FJLT adds noise before the projection; \
+                 it cannot finalize an externally maintained projection",
+            )),
+        }
+    }
+}
+
+/// All pairwise debiased squared-distance estimates, as a flat row-major
+/// `n × n` matrix (symmetric, zero diagonal).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PairwiseDistances {
+    n: usize,
+    values: Vec<f64>,
+}
+
+impl PairwiseDistances {
+    /// Number of sketches (matrix side length).
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The estimate for pair `(i, j)`.
+    ///
+    /// # Panics
+    /// If `i` or `j` is out of range.
+    #[must_use]
+    pub fn at(&self, i: usize, j: usize) -> f64 {
+        assert!(
+            i < self.n && j < self.n,
+            "index ({i},{j}) out of {}",
+            self.n
+        );
+        self.values[i * self.n + j]
+    }
+
+    /// The flat row-major buffer (length `n²`).
+    #[must_use]
+    pub fn as_flat(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Consume into the flat row-major buffer.
+    #[must_use]
+    pub fn into_flat(self) -> Vec<f64> {
+        self.values
+    }
+}
+
+/// Estimate every pairwise squared distance among released sketches.
+///
+/// # Errors
+/// [`CoreError::IncompatibleSketches`] if any pair doesn't combine.
+pub fn pairwise_sq_distances(sketches: &[NoisySketch]) -> Result<PairwiseDistances, CoreError> {
+    pairwise_sq_distances_with(sketches, |s| s)
+}
+
+/// [`pairwise_sq_distances`] over any slice whose items carry a sketch
+/// (e.g. protocol `Release`s), without copying the sketches out.
+///
+/// # Errors
+/// [`CoreError::IncompatibleSketches`] if any pair doesn't combine.
+pub fn pairwise_sq_distances_with<T>(
+    items: &[T],
+    sketch_of: impl Fn(&T) -> &NoisySketch,
+) -> Result<PairwiseDistances, CoreError> {
+    let n = items.len();
+    let mut values = vec![0.0; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let est = sketch_of(&items[i]).estimate_sq_distance(sketch_of(&items[j]))?;
+            values[i * n + j] = est;
+            values[j * n + i] = est;
+        }
+    }
+    Ok(PairwiseDistances { n, values })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_stats::Summary;
+    use dp_transforms::LinearTransform;
+
+    fn config(delta: Option<f64>) -> SketchConfig {
+        let mut b = SketchConfig::builder()
+            .input_dim(48)
+            .alpha(0.3)
+            .beta(0.1)
+            .epsilon(1.5);
+        if let Some(d) = delta {
+            b = b.delta(d);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn every_construction_builds_and_sketches() {
+        let cfg = config(Some(1e-6));
+        let x = vec![1.0; 48];
+        for construction in Construction::all() {
+            let sk = AnySketcher::new(construction, &cfg, Seed::new(3)).unwrap();
+            let a = sk.sketch(&x, Seed::new(10)).unwrap();
+            let b = sk.sketch(&x, Seed::new(11)).unwrap();
+            assert_eq!(a.k(), sk.k(), "{construction:?}");
+            assert_eq!(a.transform_tag(), sk.tag());
+            let est = sk.estimate_sq_distance(&a, &b).unwrap();
+            assert!(est.is_finite(), "{construction:?}");
+            assert!(sk.debias_constant() >= 0.0);
+            assert!(sk.predicted_variance(1.0).predicted_variance > 0.0);
+        }
+    }
+
+    #[test]
+    fn pure_dp_config_rejects_delta_constructions() {
+        let cfg = config(None);
+        for construction in [
+            Construction::SjltGaussian,
+            Construction::FjltOutput,
+            Construction::FjltInput,
+            Construction::Kenthapadi(SigmaCalibration::ExactSensitivity),
+        ] {
+            assert!(
+                matches!(
+                    AnySketcher::new(construction, &cfg, Seed::new(1)),
+                    Err(CoreError::MissingField("delta"))
+                ),
+                "{construction:?}"
+            );
+        }
+        // The pure-DP constructions still work.
+        assert!(AnySketcher::new(Construction::SjltAuto, &cfg, Seed::new(1)).is_ok());
+        assert!(AnySketcher::new(Construction::SjltLaplace, &cfg, Seed::new(1)).is_ok());
+    }
+
+    #[test]
+    fn spec_roundtrips_through_json() {
+        for (construction, delta) in [
+            (Construction::SjltAuto, None),
+            (Construction::SjltLaplace, None),
+            (Construction::FjltInput, Some(1e-7)),
+            (
+                Construction::Kenthapadi(SigmaCalibration::Theorem1),
+                Some(1e-7),
+            ),
+        ] {
+            let spec = SketcherSpec::new(construction, config(delta), Seed::new(42));
+            let text = spec.to_json();
+            let back = SketcherSpec::from_json(&text).unwrap();
+            assert_eq!(spec, back, "{construction:?}");
+        }
+        assert!(SketcherSpec::from_json("{}").is_err());
+        assert!(SketcherSpec::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn spec_rebuilds_interoperable_sketchers() {
+        let cfg = config(Some(1e-6));
+        for construction in Construction::all() {
+            let spec = SketcherSpec::new(construction, cfg.clone(), Seed::new(7));
+            let party_a = spec.build().unwrap();
+            let party_b = SketcherSpec::from_json(&spec.to_json())
+                .unwrap()
+                .build()
+                .unwrap();
+            let x = vec![0.5; 48];
+            let y = vec![0.25; 48];
+            let sa = party_a.sketch(&x, Seed::new(100)).unwrap();
+            let sb = party_b.sketch(&y, Seed::new(200)).unwrap();
+            // Different parties, same spec → combinable releases.
+            assert!(sa.estimate_sq_distance(&sb).is_ok(), "{construction:?}");
+        }
+    }
+
+    #[test]
+    fn cross_construction_sketches_refused() {
+        let cfg = config(Some(1e-6));
+        let x = vec![1.0; 48];
+        let sketchers: Vec<AnySketcher> = Construction::all()
+            .into_iter()
+            .map(|c| AnySketcher::new(c, &cfg, Seed::new(5)).unwrap())
+            .collect();
+        let sketches: Vec<NoisySketch> = sketchers
+            .iter()
+            .map(|s| s.sketch(&x, Seed::new(9)).unwrap())
+            .collect();
+        for i in 0..sketches.len() {
+            for j in 0..sketches.len() {
+                let est = sketches[i].estimate_sq_distance(&sketches[j]);
+                if sketchers[i].tag() == sketchers[j].tag() {
+                    assert!(est.is_ok());
+                } else {
+                    assert!(
+                        matches!(est, Err(CoreError::IncompatibleSketches(_))),
+                        "({i},{j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trait_objects_are_usable() {
+        let cfg = config(Some(1e-6));
+        let boxed: Vec<Box<dyn PrivateSketcher>> = vec![
+            Box::new(AnySketcher::new(Construction::SjltLaplace, &cfg, Seed::new(1)).unwrap()),
+            Box::new(
+                AnySketcher::new(
+                    Construction::Kenthapadi(SigmaCalibration::ExactSensitivity),
+                    &cfg,
+                    Seed::new(1),
+                )
+                .unwrap(),
+            ),
+        ];
+        let x = vec![1.0; 48];
+        for sk in &boxed {
+            let a = sk.sketch(&x, Seed::new(2)).unwrap();
+            let b = sk.sketch(&x, Seed::new(3)).unwrap();
+            assert!(sk.estimate_sq_distance(&a, &b).unwrap().is_finite());
+            assert_eq!(sk.spec().build().unwrap().k(), sk.k());
+        }
+    }
+
+    #[test]
+    fn sketch_batch_derives_fresh_noise_per_row() {
+        let cfg = config(None);
+        let sk = AnySketcher::new(Construction::SjltLaplace, &cfg, Seed::new(1)).unwrap();
+        let rows = vec![vec![1.0; 48], vec![1.0; 48], vec![0.0; 48]];
+        let sketches = sk.sketch_batch(&rows, Seed::new(77)).unwrap();
+        assert_eq!(sketches.len(), 3);
+        // Identical inputs, distinct derived noise seeds → distinct noise.
+        assert_ne!(sketches[0], sketches[1]);
+        // Deterministic: the same batch seed reproduces the batch.
+        assert_eq!(sketches, sk.sketch_batch(&rows, Seed::new(77)).unwrap());
+    }
+
+    #[test]
+    fn batch_and_pairwise_estimate_distances() {
+        let cfg = SketchConfig::builder()
+            .input_dim(256)
+            .alpha(0.25)
+            .beta(0.05)
+            .epsilon(2.0)
+            .build()
+            .unwrap();
+        let d = 256;
+        let rows = vec![vec![0.0; d], vec![1.0; d], {
+            let mut v = vec![0.0; d];
+            v[0] = 1.0;
+            v
+        }];
+        let mut d01 = Summary::new();
+        let mut d02 = Summary::new();
+        for rep in 0..300u64 {
+            let sk = AnySketcher::new(Construction::SjltAuto, &cfg, Seed::new(rep)).unwrap();
+            let sketches = sk.sketch_batch(&rows, Seed::new(1000 + rep)).unwrap();
+            let m = pairwise_sq_distances(&sketches).unwrap();
+            assert_eq!(m.n(), 3);
+            assert_eq!(m.as_flat().len(), 9);
+            assert_eq!(m.at(0, 1), m.at(1, 0), "symmetry");
+            assert_eq!(m.at(2, 2), 0.0, "diagonal");
+            d01.push(m.at(0, 1));
+            d02.push(m.at(0, 2));
+        }
+        assert!(
+            (d01.mean() - 256.0).abs() / d01.stderr() < 4.0,
+            "{}",
+            d01.mean()
+        );
+        assert!(
+            (d02.mean() - 1.0).abs() / d02.stderr() < 4.0,
+            "{}",
+            d02.mean()
+        );
+    }
+
+    #[test]
+    fn finalize_projection_matches_direct_sketch_for_output_noise() {
+        let cfg = config(None);
+        let sk = AnySketcher::new(Construction::SjltLaplace, &cfg, Seed::new(2)).unwrap();
+        let x = vec![1.0; 48];
+        // The noiseless projection, finalized, must equal a direct sketch
+        // under the same noise seed.
+        let projection = sk
+            .as_sjlt()
+            .unwrap()
+            .general()
+            .transform()
+            .apply(&x)
+            .unwrap();
+        let via_finalize = sk.finalize_projection(projection, Seed::new(9)).unwrap();
+        let direct = sk.sketch(&x, Seed::new(9)).unwrap();
+        assert_eq!(via_finalize, direct);
+        // Wrong length rejected; input-perturbed construction refuses.
+        assert!(sk.finalize_projection(vec![0.0; 3], Seed::new(1)).is_err());
+        let fin =
+            AnySketcher::new(Construction::FjltInput, &config(Some(1e-6)), Seed::new(2)).unwrap();
+        assert!(matches!(
+            fin.finalize_projection(vec![0.0; fin.k()], Seed::new(1)),
+            Err(CoreError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn note5_applies_uniformly_through_the_trait() {
+        // Auto under pure DP → Laplace; auto under a generous δ → Gaussian.
+        let pure = AnySketcher::new(Construction::SjltAuto, &config(None), Seed::new(1)).unwrap();
+        assert_eq!(pure.noise_name(), "laplace");
+        assert!(pure.guarantee().is_pure());
+        let approx =
+            AnySketcher::new(Construction::SjltAuto, &config(Some(1e-4)), Seed::new(1)).unwrap();
+        assert_eq!(approx.noise_name(), "gaussian");
+        assert!(!approx.guarantee().is_pure());
+    }
+}

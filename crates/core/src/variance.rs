@@ -62,13 +62,7 @@ pub fn var_sjlt_laplace(k: usize, s: usize, epsilon: f64, dist_sq: f64, l4_pow4:
 /// SJLT with Gaussian noise at `σ = ∆₂·√(2 ln(1.25/δ))/ε`, `∆₂ = 1`:
 /// exact via Lemma 3 with Gaussian moments.
 #[must_use]
-pub fn var_sjlt_gaussian(
-    k: usize,
-    epsilon: f64,
-    delta: f64,
-    dist_sq: f64,
-    l4_pow4: f64,
-) -> f64 {
+pub fn var_sjlt_gaussian(k: usize, epsilon: f64, delta: f64, dist_sq: f64, l4_pow4: f64) -> f64 {
     let sigma = gaussian_sigma(1.0, epsilon, delta);
     let s2 = sigma * sigma;
     lemma3_variance(
@@ -102,11 +96,18 @@ pub fn gaussian_sigma(l2_sensitivity: f64, epsilon: f64, delta: f64) -> f64 {
 /// matching the paper's `3/k·‖z‖⁴ + O(d²σ⁴/k + dσ²‖z‖²)` shape; the
 /// `2d·s₂²` term outside the `3/k` factor is absorbed by `d²σ⁴/k` in the
 /// paper's regime `k < d` but must be kept explicitly for `k ≥ d`.
+///
+/// `d` is the *logical* input dimension (the number of noisy
+/// coordinates). The Lemma 11 hypothesis on `q` applies to the dimension
+/// the Hadamard transform operates on — [`Fjlt`](dp_transforms::fjlt)
+/// zero-pads to the next power of two, so the floor is checked against
+/// that padded dimension.
 #[must_use]
 pub fn var_fjlt_input_bound(k: usize, d: usize, q: f64, sigma: f64, dist_sq: f64) -> f64 {
+    let d_pad = dp_linalg::next_pow2(d);
     debug_assert!(
-        q + 1e-12 >= 9.0 / (d as f64 + 9.0),
-        "Lemma 11 requires q >= 1/(d/9+1)"
+        q + 1e-12 >= 9.0 / (d_pad as f64 + 9.0),
+        "Lemma 11 requires q >= 1/(d_pad/9+1)"
     );
     let kf = k as f64;
     let df = d as f64;
@@ -166,13 +167,8 @@ mod tests {
         // give the identical polynomial.
         let (k, sigma, dist_sq) = (64usize, 1.7f64, 9.0f64);
         let s2 = sigma * sigma;
-        let via_lemma3 = lemma3_variance(
-            k,
-            dist_sq,
-            var_transform_iid(k, dist_sq),
-            s2,
-            3.0 * s2 * s2,
-        );
+        let via_lemma3 =
+            lemma3_variance(k, dist_sq, var_transform_iid(k, dist_sq), s2, 3.0 * s2 * s2);
         let direct = var_iid_gaussian(k, sigma, dist_sq);
         assert!((via_lemma3 - direct).abs() < 1e-9 * direct);
     }

@@ -1,0 +1,294 @@
+//! Versioned compact binary wire codec for released sketches.
+//!
+//! JSON (see [`crate::estimator::NoisySketch::to_json`]) is kept as the
+//! human-readable compatibility path; this codec is the preferred wire
+//! format for the distributed protocol and any sketch service. Layout
+//! (all integers and floats little-endian):
+//!
+//! ```text
+//! magic   4 bytes  b"DPNS"
+//! version 1 byte   currently 1
+//! tag_len 2 bytes  u16, length of the transform tag in bytes
+//! tag     tag_len  UTF-8 transform identity tag
+//! m2      8 bytes  f64, per-coordinate E[η²]
+//! m4      8 bytes  f64, per-coordinate E[η⁴]
+//! k       4 bytes  u32, number of sketch coordinates
+//! values  8k bytes f64 × k, the noisy projection
+//! ```
+//!
+//! Decoding can intern the tag through a [`TagInterner`], so a service
+//! holding millions of sketches from a handful of sketchers stores each
+//! distinct tag once (`Arc<str>`), not one `String` per sketch.
+
+use crate::error::CoreError;
+use crate::estimator::NoisySketch;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// Magic prefix of a serialized [`NoisySketch`].
+pub const SKETCH_MAGIC: [u8; 4] = *b"DPNS";
+
+/// Current codec version.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Deduplicates transform tags while decoding streams of sketches.
+#[derive(Debug, Default)]
+pub struct TagInterner {
+    tags: HashSet<Arc<str>>,
+}
+
+impl TagInterner {
+    /// Empty interner.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Return the shared handle for `tag`, allocating it at most once.
+    pub fn intern(&mut self, tag: &str) -> Arc<str> {
+        if let Some(existing) = self.tags.get(tag) {
+            Arc::clone(existing)
+        } else {
+            let owned: Arc<str> = Arc::from(tag);
+            self.tags.insert(Arc::clone(&owned));
+            owned
+        }
+    }
+
+    /// Number of distinct tags seen.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tags.len()
+    }
+
+    /// Whether no tag has been interned yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tags.is_empty()
+    }
+}
+
+/// Exact serialized size of a sketch with the given tag and dimension.
+#[must_use]
+pub fn encoded_len(tag_len: usize, k: usize) -> usize {
+    4 + 1 + 2 + tag_len + 8 + 8 + 4 + 8 * k
+}
+
+/// Encode a sketch into the binary wire format.
+///
+/// # Errors
+/// [`CoreError::Wire`] if the tag exceeds `u16::MAX` bytes or the sketch
+/// dimension exceeds `u32::MAX` (neither occurs for real configurations).
+pub fn encode_sketch(sketch: &NoisySketch) -> Result<Vec<u8>, CoreError> {
+    let tag = sketch.transform_tag().as_bytes();
+    let tag_len = u16::try_from(tag.len())
+        .map_err(|_| CoreError::Wire(format!("tag too long ({} bytes)", tag.len())))?;
+    let k = u32::try_from(sketch.k())
+        .map_err(|_| CoreError::Wire(format!("sketch too wide (k = {})", sketch.k())))?;
+    let mut out = Vec::with_capacity(encoded_len(tag.len(), sketch.k()));
+    out.extend_from_slice(&SKETCH_MAGIC);
+    out.push(WIRE_VERSION);
+    out.extend_from_slice(&tag_len.to_le_bytes());
+    out.extend_from_slice(tag);
+    out.extend_from_slice(&sketch.noise_second_moment().to_le_bytes());
+    out.extend_from_slice(&sketch.noise_fourth_moment().to_le_bytes());
+    out.extend_from_slice(&k.to_le_bytes());
+    for v in sketch.values() {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    Ok(out)
+}
+
+/// Decode a sketch, interning nothing (each call allocates its tag).
+///
+/// # Errors
+/// [`CoreError::Wire`] on truncated, mistyped, or wrong-version input.
+pub fn decode_sketch(bytes: &[u8]) -> Result<NoisySketch, CoreError> {
+    let (sketch, consumed) = decode_sketch_inner(bytes, None)?;
+    if consumed != bytes.len() {
+        return Err(CoreError::Wire(format!(
+            "trailing bytes after sketch ({} of {})",
+            consumed,
+            bytes.len()
+        )));
+    }
+    Ok(sketch)
+}
+
+/// Decode a sketch, sharing tags through `interner`.
+///
+/// # Errors
+/// [`CoreError::Wire`] on malformed input.
+pub fn decode_sketch_interned(
+    bytes: &[u8],
+    interner: &mut TagInterner,
+) -> Result<NoisySketch, CoreError> {
+    let (sketch, consumed) = decode_sketch_inner(bytes, Some(interner))?;
+    if consumed != bytes.len() {
+        return Err(CoreError::Wire(format!(
+            "trailing bytes after sketch ({} of {})",
+            consumed,
+            bytes.len()
+        )));
+    }
+    Ok(sketch)
+}
+
+/// Decode a sketch from the front of `bytes`, returning it together with
+/// the number of bytes consumed (for enclosing framed formats).
+///
+/// # Errors
+/// [`CoreError::Wire`] on malformed input.
+pub fn decode_sketch_prefix(
+    bytes: &[u8],
+    interner: Option<&mut TagInterner>,
+) -> Result<(NoisySketch, usize), CoreError> {
+    decode_sketch_inner(bytes, interner)
+}
+
+fn decode_sketch_inner(
+    bytes: &[u8],
+    interner: Option<&mut TagInterner>,
+) -> Result<(NoisySketch, usize), CoreError> {
+    let truncated = || CoreError::Wire("truncated sketch payload".to_string());
+    let mut pos = 0usize;
+    let take = |pos: &mut usize, n: usize| -> Result<&[u8], CoreError> {
+        let slice = bytes.get(*pos..*pos + n).ok_or_else(truncated)?;
+        *pos += n;
+        Ok(slice)
+    };
+
+    if take(&mut pos, 4)? != SKETCH_MAGIC {
+        return Err(CoreError::Wire(
+            "bad magic (not a sketch payload)".to_string(),
+        ));
+    }
+    let version = take(&mut pos, 1)?[0];
+    if version != WIRE_VERSION {
+        return Err(CoreError::Wire(format!(
+            "unsupported wire version {version} (expected {WIRE_VERSION})"
+        )));
+    }
+    let tag_len = u16::from_le_bytes(take(&mut pos, 2)?.try_into().expect("2 bytes")) as usize;
+    let tag_bytes = take(&mut pos, tag_len)?;
+    let tag_str = std::str::from_utf8(tag_bytes)
+        .map_err(|e| CoreError::Wire(format!("tag not UTF-8: {e}")))?;
+    let tag: Arc<str> = match interner {
+        Some(interner) => interner.intern(tag_str),
+        None => Arc::from(tag_str),
+    };
+    let m2 = f64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8 bytes"));
+    let m4 = f64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8 bytes"));
+    if !(m2.is_finite() && m4.is_finite()) {
+        return Err(CoreError::Wire(format!(
+            "non-finite noise moments on the wire (m2 = {m2}, m4 = {m4})"
+        )));
+    }
+    let k = u32::from_le_bytes(take(&mut pos, 4)?.try_into().expect("4 bytes")) as usize;
+    // Bound the allocation by the bytes actually present: a crafted
+    // header must not be able to demand a 32 GB Vec before the first
+    // element read fails.
+    if bytes.len().saturating_sub(pos) < 8 * k {
+        return Err(truncated());
+    }
+    let mut values = Vec::with_capacity(k);
+    for _ in 0..k {
+        let v = f64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8 bytes"));
+        if !v.is_finite() {
+            return Err(CoreError::Wire(format!(
+                "non-finite sketch coordinate on the wire ({v})"
+            )));
+        }
+        values.push(v);
+    }
+    Ok((NoisySketch::new(values, tag, m2, m4), pos))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> NoisySketch {
+        NoisySketch::new(vec![1.5, -2.25, 1e-300, 0.0], "sjlt(k=4,seed=7)", 0.5, 0.75)
+    }
+
+    #[test]
+    fn roundtrip_is_identity() {
+        let s = sample();
+        let bytes = encode_sketch(&s).unwrap();
+        assert_eq!(bytes.len(), encoded_len(s.transform_tag().len(), s.k()));
+        let back = decode_sketch(&bytes).unwrap();
+        assert_eq!(s, back);
+        // Byte-identical re-encode.
+        assert_eq!(encode_sketch(&back).unwrap(), bytes);
+    }
+
+    #[test]
+    fn interner_shares_tags() {
+        let s = sample();
+        let bytes = encode_sketch(&s).unwrap();
+        let mut interner = TagInterner::new();
+        let a = decode_sketch_interned(&bytes, &mut interner).unwrap();
+        let b = decode_sketch_interned(&bytes, &mut interner).unwrap();
+        assert!(Arc::ptr_eq(&a.shared_tag(), &b.shared_tag()));
+        assert_eq!(interner.len(), 1);
+    }
+
+    #[test]
+    fn truncation_and_corruption_rejected() {
+        let bytes = encode_sketch(&sample()).unwrap();
+        for cut in [0, 3, 5, 8, bytes.len() - 1] {
+            assert!(decode_sketch(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] = b'X';
+        assert!(decode_sketch(&bad_magic).is_err());
+        let mut bad_version = bytes.clone();
+        bad_version[4] = 99;
+        assert!(decode_sketch(&bad_version).is_err());
+        let mut trailing = bytes;
+        trailing.push(0);
+        assert!(decode_sketch(&trailing).is_err());
+    }
+
+    #[test]
+    fn hostile_headers_rejected_without_allocation() {
+        // Header declaring k = u32::MAX with no values present: must be a
+        // clean Wire error, not a 32 GB allocation attempt.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&SKETCH_MAGIC);
+        bytes.push(WIRE_VERSION);
+        bytes.extend_from_slice(&0u16.to_le_bytes()); // empty tag
+        bytes.extend_from_slice(&0.5f64.to_le_bytes());
+        bytes.extend_from_slice(&0.75f64.to_le_bytes());
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(decode_sketch(&bytes), Err(CoreError::Wire(_))));
+    }
+
+    #[test]
+    fn non_finite_wire_fields_rejected() {
+        let good = encode_sketch(&sample()).unwrap();
+        let tag_len = "sjlt(k=4,seed=7)".len();
+        // m2 sits right after magic+version+tag_len+tag.
+        let m2_off = 4 + 1 + 2 + tag_len;
+        let mut nan_m2 = good.clone();
+        nan_m2[m2_off..m2_off + 8].copy_from_slice(&f64::NAN.to_le_bytes());
+        assert!(matches!(decode_sketch(&nan_m2), Err(CoreError::Wire(_))));
+        // First value sits after the moments and k.
+        let v_off = m2_off + 8 + 8 + 4;
+        let mut inf_value = good;
+        inf_value[v_off..v_off + 8].copy_from_slice(&f64::INFINITY.to_le_bytes());
+        assert!(matches!(decode_sketch(&inf_value), Err(CoreError::Wire(_))));
+    }
+
+    #[test]
+    fn prefix_decode_reports_consumed() {
+        let s = sample();
+        let mut bytes = encode_sketch(&s).unwrap();
+        let len = bytes.len();
+        bytes.extend_from_slice(b"suffix");
+        let (back, consumed) = decode_sketch_prefix(&bytes, None).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(consumed, len);
+    }
+}

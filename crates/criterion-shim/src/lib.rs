@@ -1,0 +1,228 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace vendors the small slice of the criterion API that the
+//! `dp-bench` bench targets use: groups, parameterized benches, element
+//! throughput, and `Bencher::iter`. Timing is a calibrated
+//! median-of-rounds wall-clock measurement — good enough for the relative
+//! comparisons the experiment write-ups make, with none of criterion's
+//! statistics. Swap the `[workspace.dependencies] criterion` path entry
+//! for the real crates.io version when network access is available; the
+//! bench sources compile against either.
+
+use std::fmt;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Throughput annotation for a bench group (printed, not analyzed).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Bytes, decimal multiple variant (API parity).
+    BytesDecimal(u64),
+}
+
+/// Identifier of one bench within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new<P: fmt::Display>(function_name: &str, parameter: P) -> Self {
+        Self {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self {
+            label: s.to_string(),
+        }
+    }
+}
+
+/// Runs closures and records a median time per iteration.
+pub struct Bencher {
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Time `f`, storing the median-of-rounds nanoseconds per call.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Calibrate the per-round iteration count to ~5 ms of work.
+        let mut iters: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                std_black_box(f());
+            }
+            let elapsed = t0.elapsed();
+            if elapsed >= Duration::from_millis(5) || iters >= 1 << 24 {
+                break;
+            }
+            iters = iters.saturating_mul(2);
+        }
+        let mut rounds: Vec<f64> = (0..5)
+            .map(|_| {
+                let t0 = Instant::now();
+                for _ in 0..iters {
+                    std_black_box(f());
+                }
+                t0.elapsed().as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        rounds.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        self.ns_per_iter = rounds[2];
+    }
+}
+
+/// A named group of related benches.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Record the per-iteration work for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Ignored (API parity with criterion's sampling control).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Ignored (API parity with criterion's timing control).
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one bench identified by `id` with an auxiliary input.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        f(&mut b, input);
+        self.report(&id.label, b.ns_per_iter);
+    }
+
+    /// Run one bench identified by a plain name.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        f(&mut b);
+        self.report(&id.label, b.ns_per_iter);
+    }
+
+    /// End the group (prints nothing; criterion API parity).
+    pub fn finish(self) {}
+
+    fn report(&self, label: &str, ns: f64) {
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  ({:.1} Melem/s)", n as f64 / ns * 1e3)
+            }
+            Some(Throughput::Bytes(n) | Throughput::BytesDecimal(n)) => {
+                format!("  ({:.1} MB/s)", n as f64 / ns * 1e3)
+            }
+            None => String::new(),
+        };
+        println!("{}/{label:<28} {ns:>12.1} ns/iter{rate}", self.name);
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            throughput: None,
+            _parent: self,
+        }
+    }
+
+    /// Run a single ungrouped bench.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        f(&mut b);
+        println!("{name:<36} {:>12.1} ns/iter", b.ns_per_iter);
+        self
+    }
+}
+
+/// Mirror of `criterion::criterion_group!`: bundles bench functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Mirror of `criterion::criterion_main!`: the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.throughput(Throughput::Elements(1));
+        let mut acc = 0u64;
+        group.bench_with_input(BenchmarkId::new("add", 1), &1u64, |b, _| {
+            b.iter(|| acc = acc.wrapping_add(1));
+        });
+        group.bench_function("plain", |b| b.iter(|| black_box(2u64 + 2)));
+        group.finish();
+    }
+}

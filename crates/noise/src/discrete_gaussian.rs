@@ -131,8 +131,10 @@ mod tests {
     fn moments_approach_continuous_for_large_sigma() {
         let sigma = 20.0;
         let d = DiscreteGaussian::new(sigma).unwrap();
-        let rel2 = (d.second_moment() - gaussian_moment(2, sigma)).abs() / gaussian_moment(2, sigma);
-        let rel4 = (d.fourth_moment() - gaussian_moment(4, sigma)).abs() / gaussian_moment(4, sigma);
+        let rel2 =
+            (d.second_moment() - gaussian_moment(2, sigma)).abs() / gaussian_moment(2, sigma);
+        let rel4 =
+            (d.fourth_moment() - gaussian_moment(4, sigma)).abs() / gaussian_moment(4, sigma);
         assert!(rel2 < 0.01, "rel2 {rel2}");
         assert!(rel4 < 0.01, "rel4 {rel4}");
     }

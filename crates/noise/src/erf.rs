@@ -92,7 +92,10 @@ mod tests {
         while x <= 6.0 {
             let c = std_normal_cdf(x);
             assert!(c >= prev - 1e-12, "monotonicity at {x}");
-            assert!((c + std_normal_cdf(-x) - 1.0).abs() < 3e-7, "symmetry at {x}");
+            assert!(
+                (c + std_normal_cdf(-x) - 1.0).abs() < 3e-7,
+                "symmetry at {x}"
+            );
             prev = c;
             x += 0.05;
         }

@@ -86,7 +86,9 @@ mod tests {
 
     #[test]
     fn display() {
-        assert!(NoiseError::InvalidEpsilon(0.0).to_string().contains("epsilon"));
+        assert!(NoiseError::InvalidEpsilon(0.0)
+            .to_string()
+            .contains("epsilon"));
         assert!(NoiseError::InvalidDelta(2.0).to_string().contains("delta"));
     }
 }

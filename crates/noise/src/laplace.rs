@@ -132,7 +132,11 @@ mod tests {
         let xs: Vec<f64> = (0..n).map(|_| l.sample(&mut g)).collect();
         for q in [-2.0, -0.5, 0.0, 0.5, 2.0] {
             let emp = xs.iter().filter(|&&x| x <= q).count() as f64 / n as f64;
-            assert!((emp - l.cdf(q)).abs() < 0.01, "q={q}: {emp} vs {}", l.cdf(q));
+            assert!(
+                (emp - l.cdf(q)).abs() < 0.01,
+                "q={q}: {emp} vs {}",
+                l.cdf(q)
+            );
         }
     }
 

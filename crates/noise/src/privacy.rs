@@ -221,7 +221,10 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        assert!(PrivacyGuarantee::pure(1.0).unwrap().to_string().contains("pure"));
+        assert!(PrivacyGuarantee::pure(1.0)
+            .unwrap()
+            .to_string()
+            .contains("pure"));
         assert!(PrivacyGuarantee::None.to_string().contains("non-private"));
     }
 }

@@ -53,7 +53,10 @@ impl RandomizedResponse {
     pub fn randomize(&self, bits: &[f64], rng: &mut dyn Prng) -> Vec<f64> {
         bits.iter()
             .map(|&b| {
-                assert!(b == 0.0 || b == 1.0, "randomized response needs bits, got {b}");
+                assert!(
+                    b == 0.0 || b == 1.0,
+                    "randomized response needs bits, got {b}"
+                );
                 if rng.next_f64() < self.flip_p {
                     1.0 - b
                 } else {
@@ -118,7 +121,9 @@ mod tests {
         // ε → 0 gives p → 1/2; ε → ∞ gives p → 0; ε = ln 3 gives p = 1/4.
         assert!((RandomizedResponse::new(1e-9).unwrap().flip_probability() - 0.5).abs() < 1e-6);
         assert!(RandomizedResponse::new(20.0).unwrap().flip_probability() < 1e-8);
-        let p = RandomizedResponse::new(3.0f64.ln()).unwrap().flip_probability();
+        let p = RandomizedResponse::new(3.0f64.ln())
+            .unwrap()
+            .flip_probability();
         assert!((p - 0.25).abs() < 1e-12);
     }
 

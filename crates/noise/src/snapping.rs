@@ -62,7 +62,9 @@ impl Snapping {
     #[must_use]
     pub fn release(&self, value: f64, rng: &mut dyn Prng) -> f64 {
         let clamped = value.clamp(-self.bound, self.bound);
-        let lap = Laplace::new(self.lambda).expect("validated scale").sample(rng);
+        let lap = Laplace::new(self.lambda)
+            .expect("validated scale")
+            .sample(rng);
         let noisy = clamped + lap;
         let snapped = (noisy / self.grid).round() * self.grid;
         snapped.clamp(-self.bound, self.bound)

@@ -1,0 +1,340 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace vendors the small slice of the proptest API its unit tests
+//! use: the `proptest!` macro with `name in strategy` bindings, integer
+//! and float range strategies, `any::<T>()` for unsigned integers,
+//! `collection::vec` with a fixed or ranged length, and the
+//! `prop_assert*` macros. Cases are generated from a deterministic
+//! SplitMix64 stream seeded by the test's module path, so failures are
+//! reproducible; there is no shrinking. Swap the workspace path entry for
+//! the real crates.io proptest when network access is available — the
+//! test sources compile against either.
+
+use std::ops::Range;
+
+/// Number of cases run per property when no config is given.
+pub const DEFAULT_CASES: u32 = 64;
+
+/// Deterministic generator driving the strategies (SplitMix64).
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed from a test identity string (module path + test name).
+    #[must_use]
+    pub fn deterministic(identity: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in identity.as_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Self { state: h }
+    }
+
+    /// Next raw 64 bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform in `[0, bound)` (`bound > 0`).
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        // Modulo bias is irrelevant at these case counts.
+        self.next_u64() % bound
+    }
+}
+
+/// A value generator (the shim's version of proptest's `Strategy`).
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.next_below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn sample(&self, rng: &mut TestRng) -> f32 {
+        self.start + (rng.next_f64() as f32) * (self.end - self.start)
+    }
+}
+
+/// Types `any::<T>()` can generate.
+pub trait Arbitrary {
+    /// Draw one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            #[allow(clippy::cast_lossless)]
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_uint!(u8, u16, u32, u64, usize);
+
+impl Arbitrary for u128 {
+    fn arbitrary(rng: &mut TestRng) -> u128 {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy wrapper returned by [`any`].
+pub struct AnyStrategy<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Generate any value of `T` (uniform over the representation).
+#[must_use]
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+/// A fixed or ranged collection length.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    max_exclusive: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self {
+            min: n,
+            max_exclusive: n + 1,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        Self {
+            min: r.start,
+            max_exclusive: r.end,
+        }
+    }
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{SizeRange, Strategy, TestRng};
+
+    /// Strategy generating `Vec`s of an element strategy.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A vector with length drawn from `size` and elements from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max_exclusive - self.size.min) as u64;
+            let len = self.size.min
+                + if span > 0 {
+                    rng.next_below(span) as usize
+                } else {
+                    0
+                };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Per-property configuration (only `cases` is honored).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of cases to run.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self {
+            cases: DEFAULT_CASES,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// Run `cases` cases per property.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// Mirror of `proptest::proptest!`: defines one `#[test]` per property,
+/// running `cases` deterministic samples of each bound strategy.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg); $($rest)*);
+    };
+    (@with_config ($cfg:expr); $(
+        #[test]
+        fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+    )*) => {$(
+        #[test]
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::deterministic(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for _case in 0..config.cases {
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)*
+                $body
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Mirror of `prop_assert!` (panics instead of returning `Err`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Mirror of `prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Mirror of `prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// The imports test modules glob in.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{Arbitrary, ProptestConfig, SizeRange, Strategy, TestRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::deterministic("shim::ranges");
+        for _ in 0..1000 {
+            let v = Strategy::sample(&(3u64..17), &mut rng);
+            assert!((3..17).contains(&v));
+            let f = Strategy::sample(&(-2.0f64..3.0), &mut rng);
+            assert!((-2.0..3.0).contains(&f));
+            let n = Strategy::sample(&(-5i32..-1), &mut rng);
+            assert!((-5..-1).contains(&n));
+        }
+    }
+
+    #[test]
+    fn vec_sizes_respect_bounds() {
+        let mut rng = TestRng::deterministic("shim::vec");
+        for _ in 0..200 {
+            let fixed = Strategy::sample(&collection::vec(0.0f64..1.0, 8), &mut rng);
+            assert_eq!(fixed.len(), 8);
+            let ranged = Strategy::sample(&collection::vec(0.0f64..1.0, 1..5), &mut rng);
+            assert!((1..5).contains(&ranged.len()));
+        }
+    }
+
+    #[test]
+    fn determinism_per_identity() {
+        let a: Vec<u64> = {
+            let mut rng = TestRng::deterministic("same");
+            (0..10).map(|_| rng.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = TestRng::deterministic("same");
+            (0..10).map(|_| rng.next_u64()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut rng = TestRng::deterministic("different");
+            (0..10).map(|_| rng.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn the_macro_binds_strategies(x in 0u64..100, v in collection::vec(0.0f64..1.0, 2..6)) {
+            prop_assert!(x < 100);
+            prop_assert!((2..6).contains(&v.len()));
+        }
+
+        #[test]
+        fn any_u128_spans_both_halves(x in any::<u128>()) {
+            // Smoke: the value is at least constructed from two words.
+            let _ = x;
+        }
+    }
+}

@@ -73,7 +73,10 @@ impl LossAudit {
     #[must_use]
     pub fn max_loss(&self) -> f64 {
         assert!(!self.losses.is_empty(), "empty audit");
-        self.losses.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.losses
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Empirical `P[L > ε]`.

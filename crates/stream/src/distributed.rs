@@ -1,57 +1,109 @@
 //! The distributed release protocol of the paper's introduction.
 //!
-//! All parties share [`PublicParams`] — the sketch configuration plus the
-//! *public* transform seed (the paper: "All parties must use the same
-//! randomized matrix S … It is crucial that the projection matrix is
-//! public, and only the noise be kept secret"). Each [`Party`] holds its
-//! private vector and a private noise seed, releases one
-//! [`NoisySketch`] (serialized as JSON for the wire), and any observer
+//! All parties share [`PublicParams`] — a [`SketcherSpec`] naming the
+//! construction, the sketch configuration, and the *public* transform
+//! seed (the paper: "All parties must use the same randomized matrix S …
+//! It is crucial that the projection matrix is public, and only the noise
+//! be kept secret"). Each [`Party`] holds its private vector and a
+//! private noise seed, releases one [`dp_core::NoisySketch`] through the
+//! mechanism-agnostic [`PrivateSketcher`] trait, and any observer
 //! computes pairwise distance estimates from the released objects alone —
 //! privacy follows by post-processing.
+//!
+//! The construction is selected purely by the spec: the same protocol
+//! code runs the SJLT+Laplace headline construction, the Gaussian/FJLT
+//! variants, and the Kenthapadi baseline.
+//!
+//! Wire formats: the compact versioned binary codec of
+//! [`dp_core::wire`] is the preferred path
+//! ([`Party::release_bytes`] / [`parse_release_bytes`]); JSON
+//! ([`Party::release_json`] / [`parse_release`]) is kept for
+//! compatibility and debuggability.
 
 use dp_core::config::SketchConfig;
 use dp_core::error::CoreError;
-use dp_core::sjlt_private::PrivateSjlt;
-use dp_core::NoisySketch;
+use dp_core::json::{self, JsonValue};
+use dp_core::sketcher::{AnySketcher, Construction, PrivateSketcher, SketcherSpec};
+use dp_core::wire::{self, TagInterner};
+use dp_core::{NoisySketch, PairwiseDistances};
 use dp_hashing::Seed;
-use serde::{Deserialize, Serialize};
+
+/// Magic prefix of a binary-framed [`Release`].
+pub const RELEASE_MAGIC: [u8; 4] = *b"DPRL";
 
 /// Parameters shared by every participant (safe to publish).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PublicParams {
-    config: SketchConfig,
-    transform_seed: Seed,
+    spec: SketcherSpec,
 }
 
 impl PublicParams {
-    /// Publish a configuration and a transform seed.
+    /// Publish a configuration and a transform seed using the paper's
+    /// headline construction (private SJLT with the Note 5 noise rule).
     #[must_use]
     pub fn new(config: SketchConfig, transform_seed: Seed) -> Self {
+        Self::with_construction(Construction::SjltAuto, config, transform_seed)
+    }
+
+    /// Publish parameters for an explicitly chosen construction.
+    #[must_use]
+    pub fn with_construction(
+        construction: Construction,
+        config: SketchConfig,
+        transform_seed: Seed,
+    ) -> Self {
         Self {
-            config,
-            transform_seed,
+            spec: SketcherSpec::new(construction, config, transform_seed),
         }
+    }
+
+    /// Wrap an existing spec.
+    #[must_use]
+    pub fn from_spec(spec: SketcherSpec) -> Self {
+        Self { spec }
+    }
+
+    /// The full shared spec.
+    #[must_use]
+    pub fn spec(&self) -> &SketcherSpec {
+        &self.spec
     }
 
     /// The shared configuration.
     #[must_use]
     pub fn config(&self) -> &SketchConfig {
-        &self.config
+        self.spec.config()
     }
 
     /// The public transform seed.
     #[must_use]
     pub fn transform_seed(&self) -> Seed {
-        self.transform_seed
+        self.spec.transform_seed()
     }
 
     /// Rebuild the shared sketcher (every party and every observer gets
-    /// the identical transform from the same seed).
+    /// the identical transform and calibration from the same spec).
     ///
     /// # Errors
     /// Propagates sketcher construction failures.
-    pub fn sketcher(&self) -> Result<PrivateSjlt, CoreError> {
-        PrivateSjlt::new(&self.config, self.transform_seed)
+    pub fn sketcher(&self) -> Result<AnySketcher, CoreError> {
+        self.spec.build()
+    }
+
+    /// Serialize for distribution to participants.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        self.spec.to_json()
+    }
+
+    /// Parse distributed parameters.
+    ///
+    /// # Errors
+    /// [`CoreError::Wire`] on malformed input.
+    pub fn from_json(text: &str) -> Result<Self, CoreError> {
+        Ok(Self {
+            spec: SketcherSpec::from_json(text)?,
+        })
     }
 }
 
@@ -64,13 +116,40 @@ pub struct Party {
 }
 
 /// The wire format of a release: the sketch plus the sender's id.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Release {
     /// Sender identity (not private — the protocol releases per-party
     /// sketches publicly).
     pub party_id: u64,
     /// The differentially private sketch.
     pub sketch: NoisySketch,
+}
+
+impl Release {
+    /// Encode as the compact binary wire format:
+    /// `b"DPRL" | version | party_id (u64 LE) | sketch payload`.
+    ///
+    /// # Errors
+    /// Propagates sketch encoding failures.
+    pub fn to_bytes(&self) -> Result<Vec<u8>, CoreError> {
+        let sketch = wire::encode_sketch(&self.sketch)?;
+        let mut out = Vec::with_capacity(4 + 1 + 8 + sketch.len());
+        out.extend_from_slice(&RELEASE_MAGIC);
+        out.push(wire::WIRE_VERSION);
+        out.extend_from_slice(&self.party_id.to_le_bytes());
+        out.extend_from_slice(&sketch);
+        Ok(out)
+    }
+
+    /// Encode as the JSON compatibility wire format.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        JsonValue::Object(vec![
+            ("party_id".to_string(), JsonValue::UInt(self.party_id)),
+            ("sketch".to_string(), self.sketch.to_json_value()),
+        ])
+        .to_string()
+    }
 }
 
 impl Party {
@@ -97,49 +176,98 @@ impl Party {
     /// Propagates sketcher/sketching failures.
     pub fn release(&self, params: &PublicParams) -> Result<Release, CoreError> {
         let sketcher = params.sketcher()?;
-        let sketch = sketcher.try_sketch(&self.data, self.noise_seed)?;
+        self.release_with(&sketcher)
+    }
+
+    /// Release against an already-built sketcher (any construction —
+    /// callers batching many parties build the sketcher once).
+    ///
+    /// # Errors
+    /// Propagates sketching failures.
+    pub fn release_with(&self, sketcher: &dyn PrivateSketcher) -> Result<Release, CoreError> {
+        let sketch = sketcher.sketch(&self.data, self.noise_seed)?;
         Ok(Release {
             party_id: self.id,
             sketch,
         })
     }
 
-    /// Serialize a release to the JSON wire format.
+    /// Serialize a release to the compact binary wire format.
     ///
     /// # Errors
-    /// Propagates release and serialization failures.
+    /// Propagates release and encoding failures.
+    pub fn release_bytes(&self, params: &PublicParams) -> Result<Vec<u8>, CoreError> {
+        self.release(params)?.to_bytes()
+    }
+
+    /// Serialize a release to the JSON compatibility wire format.
+    ///
+    /// # Errors
+    /// Propagates release failures.
     pub fn release_json(&self, params: &PublicParams) -> Result<String, CoreError> {
-        let release = self.release(params)?;
-        serde_json::to_string(&release)
-            .map_err(|e| CoreError::IncompatibleSketches(format!("serialize: {e}")))
+        Ok(self.release(params)?.to_json())
     }
 }
 
 /// Parse a JSON release from the wire.
 ///
 /// # Errors
-/// [`CoreError::IncompatibleSketches`] on malformed input.
-pub fn parse_release(json: &str) -> Result<Release, CoreError> {
-    serde_json::from_str(json)
-        .map_err(|e| CoreError::IncompatibleSketches(format!("deserialize: {e}")))
+/// [`CoreError::Wire`] on malformed input.
+pub fn parse_release(text: &str) -> Result<Release, CoreError> {
+    let v = json::parse(text).map_err(CoreError::Wire)?;
+    let party_id = v
+        .get("party_id")
+        .and_then(JsonValue::as_u64)
+        .ok_or_else(|| CoreError::Wire("missing/invalid field 'party_id'".to_string()))?;
+    let sketch_value = v
+        .get("sketch")
+        .ok_or_else(|| CoreError::Wire("missing field 'sketch'".to_string()))?;
+    Ok(Release {
+        party_id,
+        sketch: NoisySketch::from_json_value(sketch_value)?,
+    })
 }
 
-/// All pairwise squared-distance estimates among released sketches
-/// (upper triangle; `result[i][j]` for `j > i`).
+/// Parse a binary release from the wire, interning the transform tag.
+///
+/// # Errors
+/// [`CoreError::Wire`] on malformed input.
+pub fn parse_release_bytes(bytes: &[u8], interner: &mut TagInterner) -> Result<Release, CoreError> {
+    let truncated = || CoreError::Wire("truncated release payload".to_string());
+    if bytes.get(..4).ok_or_else(truncated)? != RELEASE_MAGIC {
+        return Err(CoreError::Wire(
+            "bad magic (not a release payload)".to_string(),
+        ));
+    }
+    let version = *bytes.get(4).ok_or_else(truncated)?;
+    if version != wire::WIRE_VERSION {
+        return Err(CoreError::Wire(format!(
+            "unsupported wire version {version} (expected {})",
+            wire::WIRE_VERSION
+        )));
+    }
+    let party_id = u64::from_le_bytes(
+        bytes
+            .get(5..13)
+            .ok_or_else(truncated)?
+            .try_into()
+            .expect("8 bytes"),
+    );
+    let (sketch, consumed) = wire::decode_sketch_prefix(&bytes[13..], Some(interner))?;
+    if 13 + consumed != bytes.len() {
+        return Err(CoreError::Wire("trailing bytes after release".to_string()));
+    }
+    Ok(Release { party_id, sketch })
+}
+
+/// All pairwise squared-distance estimates among released sketches, as a
+/// flat row-major matrix (symmetric, zero diagonal), indexed in release
+/// order.
 ///
 /// # Errors
 /// [`CoreError::IncompatibleSketches`] if any pair doesn't combine.
-pub fn pairwise_sq_distances(releases: &[Release]) -> Result<Vec<Vec<f64>>, CoreError> {
-    let n = releases.len();
-    let mut out = vec![vec![0.0; n]; n];
-    for i in 0..n {
-        for j in (i + 1)..n {
-            let est = releases[i].sketch.estimate_sq_distance(&releases[j].sketch)?;
-            out[i][j] = est;
-            out[j][i] = est;
-        }
-    }
-    Ok(out)
+pub fn pairwise_sq_distances(releases: &[Release]) -> Result<PairwiseDistances, CoreError> {
+    dp_core::sketcher::pairwise_sq_distances_with(releases, |r| &r.sketch)
 }
 
 /// Index of the released sketch nearest to `query` (by estimated squared
@@ -164,6 +292,7 @@ pub fn nearest_neighbor(query: &Release, candidates: &[Release]) -> Result<Optio
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dp_core::kenthapadi::SigmaCalibration;
     use dp_stats::Summary;
 
     fn params(d: usize) -> PublicParams {
@@ -184,13 +313,35 @@ mod tests {
         let s2 = p.sketcher().unwrap();
         // Same tag → sketches interoperate.
         let x = vec![1.0; 64];
-        let a = s1.sketch(&x, Seed::new(1));
-        let b = s2.sketch(&x, Seed::new(2));
+        let a = s1.sketch(&x, Seed::new(1)).unwrap();
+        let b = s2.sketch(&x, Seed::new(2)).unwrap();
         assert!(a.estimate_sq_distance(&b).is_ok());
     }
 
     #[test]
-    fn wire_roundtrip() {
+    fn params_travel_as_json() {
+        let config = SketchConfig::builder()
+            .input_dim(32)
+            .epsilon(1.0)
+            .delta(1e-6)
+            .build()
+            .unwrap();
+        let p = PublicParams::with_construction(
+            Construction::Kenthapadi(SigmaCalibration::ExactSensitivity),
+            config,
+            Seed::new(9),
+        );
+        let remote = PublicParams::from_json(&p.to_json()).unwrap();
+        assert_eq!(p, remote);
+        // A sketch from the sender combines with one from the receiver.
+        let x = vec![1.0; 32];
+        let a = p.sketcher().unwrap().sketch(&x, Seed::new(1)).unwrap();
+        let b = remote.sketcher().unwrap().sketch(&x, Seed::new(2)).unwrap();
+        assert!(a.estimate_sq_distance(&b).is_ok());
+    }
+
+    #[test]
+    fn wire_roundtrip_json() {
         let p = params(64);
         let party = Party::new(7, vec![0.5; 64], Seed::new(999));
         let json = party.release_json(&p).unwrap();
@@ -200,8 +351,31 @@ mod tests {
     }
 
     #[test]
+    fn wire_roundtrip_binary_byte_identical() {
+        let p = params(64);
+        let party = Party::new(3, vec![0.25; 64], Seed::new(4));
+        let bytes = party.release_bytes(&p).unwrap();
+        let mut interner = TagInterner::new();
+        let back = parse_release_bytes(&bytes, &mut interner).unwrap();
+        assert_eq!(back, party.release(&p).unwrap());
+        // Re-encoding reproduces the identical bytes.
+        assert_eq!(back.to_bytes().unwrap(), bytes);
+        // Binary and JSON paths agree on the decoded release.
+        let via_json = parse_release(&party.release_json(&p).unwrap()).unwrap();
+        assert_eq!(back, via_json);
+    }
+
+    #[test]
     fn malformed_wire_rejected() {
         assert!(parse_release("{not json").is_err());
+        let mut interner = TagInterner::new();
+        assert!(parse_release_bytes(b"", &mut interner).is_err());
+        assert!(parse_release_bytes(b"XXXX\x01........", &mut interner).is_err());
+        let p = params(64);
+        let good = Party::new(0, vec![0.0; 64], Seed::new(1))
+            .release_bytes(&p)
+            .unwrap();
+        assert!(parse_release_bytes(&good[..good.len() - 1], &mut interner).is_err());
     }
 
     #[test]
@@ -223,16 +397,27 @@ mod tests {
                 Party::new(1, x1.clone(), Seed::new(20 + rep)),
                 Party::new(2, x2.clone(), Seed::new(30 + rep)),
             ];
-            let releases: Vec<Release> =
-                parties.iter().map(|q| q.release(&pp).unwrap()).collect();
+            let sketcher = pp.sketcher().unwrap();
+            let releases: Vec<Release> = parties
+                .iter()
+                .map(|q| q.release_with(&sketcher).unwrap())
+                .collect();
             let m = pairwise_sq_distances(&releases).unwrap();
-            d01.push(m[0][1]);
-            d02.push(m[0][2]);
-            assert_eq!(m[0][1], m[1][0], "symmetry");
-            assert_eq!(m[0][0], 0.0, "diagonal untouched");
+            d01.push(m.at(0, 1));
+            d02.push(m.at(0, 2));
+            assert_eq!(m.at(0, 1), m.at(1, 0), "symmetry");
+            assert_eq!(m.at(0, 0), 0.0, "diagonal untouched");
         }
-        assert!((d01.mean() - 64.0).abs() / d01.stderr() < 4.0, "{}", d01.mean());
-        assert!((d02.mean() - 1.0).abs() / d02.stderr() < 4.0, "{}", d02.mean());
+        assert!(
+            (d01.mean() - 64.0).abs() / d01.stderr() < 4.0,
+            "{}",
+            d01.mean()
+        );
+        assert!(
+            (d02.mean() - 1.0).abs() / d02.stderr() < 4.0,
+            "{}",
+            d02.mean()
+        );
     }
 
     #[test]
@@ -256,8 +441,13 @@ mod tests {
     fn nearest_neighbor_excludes_self() {
         let d = 64;
         let p = params(d);
-        let a = Party::new(0, vec![0.0; d], Seed::new(1)).release(&p).unwrap();
-        assert_eq!(nearest_neighbor(&a, std::slice::from_ref(&a)).unwrap(), None);
+        let a = Party::new(0, vec![0.0; d], Seed::new(1))
+            .release(&p)
+            .unwrap();
+        assert_eq!(
+            nearest_neighbor(&a, std::slice::from_ref(&a)).unwrap(),
+            None
+        );
     }
 
     #[test]
@@ -266,9 +456,43 @@ mod tests {
         let party = Party::new(0, vec![1.0; 64], Seed::new(5));
         let r = party.release(&p).unwrap();
         use dp_transforms::LinearTransform;
-        let noiseless = p.sketcher().unwrap();
+        let sketcher = p.sketcher().unwrap();
         let ones = vec![1.0; 64];
-        let raw = noiseless.general().transform().apply(&ones).unwrap();
+        let raw = sketcher
+            .as_sjlt()
+            .expect("default construction is the SJLT")
+            .general()
+            .transform()
+            .apply(&ones)
+            .unwrap();
         assert_ne!(r.sketch.values(), raw.as_slice(), "noise must be present");
+    }
+
+    #[test]
+    fn protocol_is_construction_agnostic() {
+        // The identical protocol code runs the baseline construction,
+        // selected purely by the spec.
+        let d = 64;
+        let config = SketchConfig::builder()
+            .input_dim(d)
+            .alpha(0.25)
+            .beta(0.05)
+            .epsilon(2.0)
+            .delta(1e-6)
+            .build()
+            .unwrap();
+        let p = PublicParams::with_construction(
+            Construction::Kenthapadi(SigmaCalibration::ExactSensitivity),
+            config,
+            Seed::new(11),
+        );
+        let parties = [
+            Party::new(0, vec![0.0; d], Seed::new(1)),
+            Party::new(1, vec![1.0; d], Seed::new(2)),
+        ];
+        let releases: Vec<Release> = parties.iter().map(|q| q.release(&p).unwrap()).collect();
+        let m = pairwise_sq_distances(&releases).unwrap();
+        assert!(m.at(0, 1).is_finite());
+        assert!(!p.sketcher().unwrap().guarantee().is_pure());
     }
 }

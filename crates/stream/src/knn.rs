@@ -25,7 +25,11 @@ pub struct Neighbor {
 ///
 /// # Errors
 /// Propagates sketch incompatibility.
-pub fn top_k(query: &Release, candidates: &[Release], k: usize) -> Result<Vec<Neighbor>, CoreError> {
+pub fn top_k(
+    query: &Release,
+    candidates: &[Release],
+    k: usize,
+) -> Result<Vec<Neighbor>, CoreError> {
     let mut scored: Vec<Neighbor> = candidates
         .iter()
         .filter(|c| c.party_id != query.party_id)

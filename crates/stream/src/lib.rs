@@ -9,11 +9,18 @@
 //! §1/§2's distributed setting — several parties, shared *public*
 //! projection, private noise — is [`distributed`]: parties exchange
 //! serialized [`dp_core::NoisySketch`] values and anyone can estimate any
-//! pairwise distance from the released objects alone.
+//! pairwise distance from the released objects alone. The protocol is
+//! mechanism-agnostic: the shared [`dp_core::SketcherSpec`] names the
+//! construction, and every release path goes through the
+//! [`dp_core::PrivateSketcher`] trait, so the SJLT, FJLT, and baseline
+//! constructions all run the identical multi-party code.
 
 pub mod distributed;
 pub mod knn;
 pub mod streaming;
 
-pub use distributed::{pairwise_sq_distances, Party, PublicParams};
+pub use distributed::{
+    nearest_neighbor, pairwise_sq_distances, parse_release, parse_release_bytes, Party,
+    PublicParams, Release,
+};
 pub use streaming::StreamingSketch;

@@ -6,9 +6,11 @@
 //! for dense transforms. Noise is added **at release time only**; the
 //! running projection is private state of the data owner.
 
+use dp_core::error::CoreError;
+use dp_core::sketcher::PrivateSketcher;
+use dp_core::NoisySketch;
 use dp_hashing::Seed;
 use dp_noise::mechanism::NoiseMechanism;
-use dp_core::NoisySketch;
 use dp_transforms::{StreamingColumns, TransformError};
 
 /// An incrementally maintained (noiseless) projection of a turnstile
@@ -52,7 +54,8 @@ impl<T: StreamingColumns> StreamingSketch<T> {
     /// [`TransformError::DimensionMismatch`] if `j` is out of range.
     pub fn update(&mut self, j: usize, w: f64) -> Result<(), TransformError> {
         let acc = &mut self.acc;
-        self.transform.for_column(j, &mut |row, v| acc[row] += w * v)?;
+        self.transform
+            .for_column(j, &mut |row, v| acc[row] += w * v)?;
         self.updates += 1;
         Ok(())
     }
@@ -102,9 +105,11 @@ impl<T: StreamingColumns> StreamingSketch<T> {
         &self.acc
     }
 
-    /// Release a differentially private sketch of the current state.
+    /// Release a differentially private sketch of the current state under
+    /// an explicitly calibrated mechanism (mechanism-agnostic: any
+    /// [`NoiseMechanism`] trait object works).
     #[must_use]
-    pub fn release<M: NoiseMechanism>(&self, mechanism: &M, noise_seed: Seed) -> NoisySketch {
+    pub fn release(&self, mechanism: &dyn NoiseMechanism, noise_seed: Seed) -> NoisySketch {
         let mut values = self.acc.clone();
         let mut rng = noise_seed.child("stream-release").rng();
         for v in values.iter_mut() {
@@ -116,6 +121,23 @@ impl<T: StreamingColumns> StreamingSketch<T> {
             mechanism.second_moment(),
             mechanism.fourth_moment(),
         )
+    }
+
+    /// Release through a [`PrivateSketcher`]: the sketcher adds its own
+    /// calibrated noise and packages the result under *its* tag, so the
+    /// release interoperates with the sketcher's batch releases. The
+    /// stream must have been maintained over the same public transform
+    /// (same spec) — the sketcher cannot verify that, only the dimension.
+    ///
+    /// # Errors
+    /// [`CoreError::Transform`] on a `k` mismatch;
+    /// [`CoreError::Unsupported`] for input-perturbation constructions.
+    pub fn release_via(
+        &self,
+        sketcher: &dyn PrivateSketcher,
+        noise_seed: Seed,
+    ) -> Result<NoisySketch, CoreError> {
+        sketcher.finalize_projection(self.acc.clone(), noise_seed.child("stream-release"))
     }
 }
 
@@ -202,6 +224,33 @@ mod tests {
         assert_ne!(r1, r3);
         // Noisy: differs from the raw projection.
         assert_ne!(r1.values(), stream.current_projection());
+    }
+
+    #[test]
+    fn release_via_sketcher_interoperates_with_batch_release() {
+        use dp_core::config::SketchConfig;
+        use dp_core::sketcher::{AnySketcher, Construction};
+        let cfg = SketchConfig::builder()
+            .input_dim(64)
+            .alpha(0.3)
+            .beta(0.1)
+            .epsilon(1.0)
+            .build()
+            .unwrap();
+        let sketcher = AnySketcher::new(Construction::SjltLaplace, &cfg, Seed::new(5)).unwrap();
+        let transform = sketcher.as_sjlt().unwrap().general().transform().clone();
+        let x: Vec<f64> = (0..64).map(|i| (i % 3) as f64).collect();
+        let y = vec![0.0; 64];
+        let mut stream = StreamingSketch::new(transform, sketcher.tag().to_string());
+        stream.absorb_dense(&x).unwrap();
+        let streamed = stream.release_via(&sketcher, Seed::new(10)).unwrap();
+        let batch = sketcher.sketch(&y, Seed::new(11)).unwrap();
+        // Same tag, same noise calibration → combinable.
+        assert_eq!(streamed.transform_tag(), batch.transform_tag());
+        assert!(streamed.estimate_sq_distance(&batch).is_ok());
+        // Dimension mismatches are refused.
+        let short = StreamingSketch::new(sjlt(), "other".into());
+        assert!(short.release_via(&sketcher, Seed::new(1)).is_err());
     }
 
     #[test]

@@ -52,13 +52,7 @@ impl LinearTransform for DenseTransform {
         check_input(self.input_dim(), x.len())?;
         check_input(self.output_dim(), out.len())?;
         for (o, r) in out.iter_mut().zip(0..self.matrix.rows()) {
-            *o = self
-                .matrix
-                .row(r)
-                .iter()
-                .zip(x)
-                .map(|(a, b)| a * b)
-                .sum();
+            *o = self.matrix.row(r).iter().zip(x).map(|(a, b)| a * b).sum();
         }
         Ok(())
     }
@@ -107,8 +101,7 @@ mod tests {
     use super::*;
 
     fn toy() -> DenseTransform {
-        let m =
-            DenseMatrix::from_row_major(2, 3, vec![1.0, 0.0, -2.0, 0.0, 3.0, 0.0]).unwrap();
+        let m = DenseMatrix::from_row_major(2, 3, vec![1.0, 0.0, -2.0, 0.0, 3.0, 0.0]).unwrap();
         DenseTransform::new(m, "toy-dense")
     }
 

@@ -42,13 +42,19 @@ impl fmt::Display for TransformError {
                 write!(f, "invalid transform dimensions d={d}, k={k}")
             }
             Self::InvalidJlParams { alpha, beta } => {
-                write!(f, "JL parameters must lie in (0, 1/2): alpha={alpha}, beta={beta}")
+                write!(
+                    f,
+                    "JL parameters must lie in (0, 1/2): alpha={alpha}, beta={beta}"
+                )
             }
             Self::InvalidSparsity { s, k } => {
                 write!(f, "sparsity s={s} must satisfy 1 <= s <= k={k}")
             }
             Self::DimensionMismatch { expected, actual } => {
-                write!(f, "vector length {actual} does not match input dim {expected}")
+                write!(
+                    f,
+                    "vector length {actual} does not match input dim {expected}"
+                )
             }
         }
     }

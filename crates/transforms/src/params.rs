@@ -81,6 +81,19 @@ impl JlParams {
         (1.0 / self.beta).ln()
     }
 
+    /// The Θ-constant used for `k` (needed to serialize a spec that
+    /// rebuilds these parameters exactly).
+    #[must_use]
+    pub fn k_const(&self) -> f64 {
+        self.k_const
+    }
+
+    /// The Θ-constant used for `s`.
+    #[must_use]
+    pub fn s_const(&self) -> f64 {
+        self.s_const
+    }
+
     /// Output dimension `k = ⌈k_const·ln(1/β)/α²⌉` (at least 2).
     #[must_use]
     pub fn k(&self) -> usize {

@@ -71,11 +71,8 @@ pub trait StreamingColumns: LinearTransform {
     ///
     /// # Errors
     /// [`TransformError::DimensionMismatch`] if `j ≥ d`.
-    fn for_column(
-        &self,
-        j: usize,
-        visit: &mut dyn FnMut(usize, f64),
-    ) -> Result<(), TransformError>;
+    fn for_column(&self, j: usize, visit: &mut dyn FnMut(usize, f64))
+        -> Result<(), TransformError>;
 }
 
 /// Materialize any transform as an explicit `k × d` matrix by applying it

@@ -1,15 +1,14 @@
 //! Mechanism tour: the decision rules of the paper, end to end.
 //!
 //! Walks one configuration through every construction the paper compares
-//! (§7): the Kenthapadi baseline, both private FJLTs, and the private
-//! SJLT under both noise families — printing the calibrated noise, the
-//! guarantee, and the predicted variance at a reference distance, plus
-//! the Note 5 noise-selection rule and the §2.3.1 discrete alternatives.
+//! (§7) — the Kenthapadi baseline, both private FJLTs, and the private
+//! SJLT under both noise families — all built through the unified
+//! `SketcherSpec`/`AnySketcher` API, printing the guarantee and the
+//! predicted variance at a reference distance, plus the Note 5
+//! noise-selection rule and the §2.3.1 discrete alternatives.
 //!
 //! Run with: `cargo run --release --example mechanism_tour`
 
-use dp_euclid::core::fjlt_private::{PrivateFjltInput, PrivateFjltOutput};
-use dp_euclid::core::kenthapadi::{Kenthapadi, SigmaCalibration};
 use dp_euclid::core::variance::delta_crossover;
 use dp_euclid::hashing::Seed;
 use dp_euclid::noise::discrete_gaussian::DiscreteGaussian;
@@ -38,47 +37,39 @@ fn main() {
         .expect("config");
     let seed = Seed::new(7);
 
-    let mut table = Table::new(vec!["construction", "guarantee", "pred. var @ dist²=25", "init cost"]);
+    // Every construction through the one trait; the pure-DP config is
+    // used where it forces the Laplace side of Note 5.
+    let tour: Vec<(Construction, &SketchConfig, &str)> = vec![
+        (
+            Construction::Kenthapadi(SigmaCalibration::ExactSensitivity),
+            &cfg,
+            "O(dk) scan",
+        ),
+        (Construction::FjltOutput, &cfg, "O(dk)-class scan"),
+        (Construction::FjltInput, &cfg, "none"),
+        (Construction::SjltGaussian, &cfg, "none (∆ a priori)"),
+        (Construction::SjltLaplace, &cfg_pure, "none (∆ a priori)"),
+    ];
 
-    let ken = Kenthapadi::new(&cfg, SigmaCalibration::ExactSensitivity, seed).expect("baseline");
-    table.row(vec![
-        "kenthapadi (iid + gaussian)".to_string(),
-        ken.guarantee().to_string(),
-        format!("{:.1}", ken.variance(ref_dist_sq).predicted_variance),
-        "O(dk) scan".to_string(),
+    let mut table = Table::new(vec![
+        "construction",
+        "guarantee",
+        "pred. var @ dist²=25",
+        "init cost",
     ]);
-
-    let fout = PrivateFjltOutput::new(&cfg, seed).expect("fjlt");
-    table.row(vec![
-        "private FJLT (output noise)".to_string(),
-        fout.guarantee().to_string(),
-        format!("{:.1}", fout.variance_bound(ref_dist_sq).predicted_variance),
-        "O(dk)-class scan".to_string(),
-    ]);
-
-    let fin = PrivateFjltInput::new(&cfg, seed).expect("fjlt");
-    table.row(vec![
-        "private FJLT (input noise)".to_string(),
-        fin.guarantee().to_string(),
-        format!("{:.1}", fin.variance_bound(ref_dist_sq).predicted_variance),
-        "none".to_string(),
-    ]);
-
-    let sj_g = PrivateSjlt::with_gaussian(&cfg, seed).expect("sjlt");
-    table.row(vec![
-        "private SJLT (gaussian)".to_string(),
-        sj_g.guarantee().to_string(),
-        format!("{:.1}", sj_g.variance_bound(ref_dist_sq).predicted_variance),
-        "none (∆ a priori)".to_string(),
-    ]);
-
-    let sj_l = PrivateSjlt::with_laplace(&cfg_pure, seed).expect("sjlt");
-    table.row(vec![
-        "private SJLT (laplace)".to_string(),
-        sj_l.guarantee().to_string(),
-        format!("{:.1}", sj_l.variance_bound(ref_dist_sq).predicted_variance),
-        "none (∆ a priori)".to_string(),
-    ]);
+    for (construction, config, init_cost) in tour {
+        let spec = SketcherSpec::new(construction, config.clone(), seed);
+        let sk = spec.build().expect("construct");
+        table.row(vec![
+            construction.name().to_string(),
+            sk.guarantee().to_string(),
+            format!(
+                "{:.1}",
+                sk.predicted_variance(ref_dist_sq).predicted_variance
+            ),
+            init_cost.to_string(),
+        ]);
+    }
     println!("{table}");
 
     // Note 5 in action.
@@ -90,6 +81,12 @@ fn main() {
     println!(
         "   your delta = {delta:.0e} -> selected noise: {:?}",
         cfg.sjlt_noise_choice()
+    );
+    println!(
+        "   through the trait: Construction::SjltAuto resolves to '{}'",
+        AnySketcher::new(Construction::SjltAuto, &cfg, seed)
+            .expect("construct")
+            .noise_name()
     );
     let crossover = delta_crossover(cfg.k_sjlt(), cfg.s(), eps, ref_dist_sq, 0.0);
     println!("   exact variance crossover at this distance: delta* = {crossover:.2e}");

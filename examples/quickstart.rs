@@ -1,46 +1,52 @@
 //! Quickstart: two parties privately estimate the distance between their
-//! vectors using the paper's main construction (private SJLT, Theorem 3).
+//! vectors using the paper's main construction (private SJLT, Theorem 3),
+//! selected through the unified `PrivateSketcher` trait.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
+use dp_euclid::core::CoreError;
 use dp_euclid::prelude::*;
 
-fn main() {
+fn main() -> Result<(), CoreError> {
     // Problem setup: two parties hold d-dimensional vectors.
     let d = 1 << 12;
     // Indicator-style features scaled to 10 so the true distance clears
     // the eps = 1 noise floor in a single release (the predicted stddev
     // below quantifies that floor).
-    let x: Vec<f64> = (0..d).map(|i| 10.0 * f64::from(u8::from(i % 7 == 0))).collect();
-    let y: Vec<f64> = (0..d).map(|i| 10.0 * f64::from(u8::from(i % 5 == 0))).collect();
+    let x: Vec<f64> = (0..d)
+        .map(|i| 10.0 * f64::from(u8::from(i % 7 == 0)))
+        .collect();
+    let y: Vec<f64> = (0..d)
+        .map(|i| 10.0 * f64::from(u8::from(i % 5 == 0)))
+        .collect();
     let true_dist_sq = dp_euclid::linalg::vector::sq_distance(&x, &y);
 
-    // Shared, PUBLIC configuration: accuracy (α, β), privacy ε (no δ →
-    // pure DP via Laplace noise, the paper's headline setting), and the
-    // public transform seed every participant uses.
+    // Shared, PUBLIC spec: the construction, accuracy (α, β), privacy ε
+    // (no δ → pure DP via Laplace noise, the paper's headline setting),
+    // and the public transform seed every participant uses.
     let config = SketchConfig::builder()
         .input_dim(d)
         .alpha(0.2)
         .beta(0.05)
         .epsilon(1.0)
-        .build()
-        .expect("valid configuration");
-    let sketcher = PrivateSjlt::new(&config, Seed::new(2021)).expect("construct sketcher");
+        .build()?;
+    let spec = SketcherSpec::new(Construction::SjltAuto, config, Seed::new(2021));
+    let sketcher = spec.build()?;
     println!(
-        "sketcher: k = {}, s = {}, noise = {}, guarantee = {}",
+        "sketcher: construction = {}, k = {}, noise = {}, guarantee = {}",
+        spec.construction().name(),
         sketcher.k(),
-        sketcher.s(),
         sketcher.noise_name(),
         sketcher.guarantee()
     );
 
     // Each party releases a noisy sketch with its own PRIVATE noise seed.
-    let sketch_x = sketcher.sketch(&x, Seed::new(0xA11CE));
-    let sketch_y = sketcher.sketch(&y, Seed::new(0xB0B));
+    let sketch_x = sketcher.sketch(&x, Seed::new(0xA11CE))?;
+    let sketch_y = sketcher.sketch(&y, Seed::new(0xB0B))?;
 
     // Anyone can estimate the squared distance from the released objects.
-    let est = sketcher.estimate_sq_distance(&sketch_x, &sketch_y);
-    let bound = sketcher.variance_bound(true_dist_sq);
+    let est = sketcher.estimate_sq_distance(&sketch_x, &sketch_y)?;
+    let bound = sketcher.predicted_variance(true_dist_sq);
     println!("true  ‖x−y‖² = {true_dist_sq:.1}");
     println!(
         "est.  ‖x−y‖² = {est:.1}  (predicted stddev {:.1})",
@@ -52,4 +58,5 @@ fn main() {
         err_sd < 6.0,
         "estimate should fall within a few predicted stddevs"
     );
+    Ok(())
 }

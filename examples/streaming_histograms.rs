@@ -4,7 +4,9 @@
 //! SJLT sketches incrementally (`O(s)` per event). At reporting time each
 //! adds Laplace noise calibrated for attribute-level DP (one event shifts
 //! the histogram by 1 in ℓ₁ — exactly the paper's Definition 1) and
-//! releases. The analyst estimates how far apart the two traffic
+//! releases. The release path is mechanism-agnostic (`&dyn
+//! NoiseMechanism`), so swapping the calibration never touches the
+//! streaming code. The analyst estimates how far apart the two traffic
 //! distributions are without ever seeing a raw count.
 //!
 //! Run with: `cargo run --release --example streaming_histograms`
@@ -67,7 +69,5 @@ fn main() {
     // The same released sketches also answer norm queries.
     let norm_est = rel_a.estimate_sq_norm();
     let true_norm = dp_euclid::linalg::vector::sq_norm(&true_a);
-    println!(
-        "site A traffic mass² estimate: {norm_est:.0} (true {true_norm:.0})"
-    );
+    println!("site A traffic mass² estimate: {norm_est:.0} (true {true_norm:.0})");
 }

@@ -18,32 +18,47 @@
 //! `O(s·‖x‖₀ + k)` sketching time, `O(s)` streaming updates, and lower
 //! variance than the Gaussian-noise baseline whenever `δ < e^{−s}`.
 //!
+//! The public API is the mechanism-agnostic [`prelude::PrivateSketcher`]
+//! trait: a [`prelude::SketcherSpec`] names a construction (SJLT, either
+//! FJLT variant, or the Kenthapadi baseline), a config, and the public
+//! transform seed; [`prelude::AnySketcher`] built from it releases
+//! sketches, and the Note 5 noise-selection rule is applied uniformly
+//! behind the trait.
+//!
 //! ## Quickstart
 //!
 //! ```
 //! use dp_euclid::prelude::*;
 //!
+//! # fn main() -> Result<(), dp_euclid::core::CoreError> {
 //! let d = 1 << 12;
 //! let config = SketchConfig::builder()
 //!     .input_dim(d)
 //!     .alpha(0.25)
 //!     .beta(0.05)
 //!     .epsilon(1.0)
-//!     .build()
-//!     .expect("valid configuration");
+//!     .build()?;
 //!
-//! // The transform seed is PUBLIC (shared by all parties); noise seeds are
-//! // private, one per party.
-//! let sketcher = PrivateSjlt::new(&config, Seed::new(42)).expect("construct");
+//! // The spec (construction + config + transform seed) is PUBLIC and
+//! // shared by all parties; noise seeds are private, one per party.
+//! let spec = SketcherSpec::new(Construction::SjltAuto, config, Seed::new(42));
+//! let sketcher = spec.build()?;
 //!
 //! let x = vec![1.0; d];
 //! let mut y = vec![1.0; d];
 //! y[0] = 0.0; // ‖x − y‖² = 1
 //!
-//! let sx = sketcher.sketch(&x, Seed::new(1001));
-//! let sy = sketcher.sketch(&y, Seed::new(2002));
-//! let est = sketcher.estimate_sq_distance(&sx, &sy);
+//! let sx = sketcher.sketch(&x, Seed::new(1001))?;
+//! let sy = sketcher.sketch(&y, Seed::new(2002))?;
+//! let est = sketcher.estimate_sq_distance(&sx, &sy)?;
 //! assert!(est.is_finite());
+//!
+//! // Any other party rebuilds the identical sketcher from the JSON spec.
+//! let remote = SketcherSpec::from_json(&spec.to_json())?.build()?;
+//! let sz = remote.sketch(&x, Seed::new(3003))?;
+//! assert!(sketcher.estimate_sq_distance(&sx, &sz).is_ok());
+//! # Ok(())
+//! # }
 //! ```
 //!
 //! ## Crate layout
@@ -54,8 +69,8 @@
 //! | [`dp_linalg`] | dense/sparse vectors, matrices, fast Walsh–Hadamard transform |
 //! | [`dp_noise`] | Laplace/Gaussian/discrete mechanisms, moments, privacy accounting |
 //! | [`dp_transforms`] | iid-Gaussian, Achlioptas, FJLT and SJLT projections |
-//! | [`dp_core`] | the paper's private sketches, estimators and variance theory |
-//! | [`dp_stream`] | streaming (turnstile) sketches and the distributed protocol |
+//! | [`dp_core`] | the `PrivateSketcher` trait, `AnySketcher`/`SketcherSpec`, estimators, variance theory, wire codecs |
+//! | [`dp_stream`] | streaming (turnstile) sketches and the spec-driven distributed protocol |
 //! | [`dp_stats`] | measurement utilities used by tests and the experiment harness |
 
 pub use dp_core as core;
@@ -75,6 +90,10 @@ pub mod prelude {
         framework::GenSketcher,
         kenthapadi::{Kenthapadi, SigmaCalibration},
         sjlt_private::PrivateSjlt,
+        sketcher::{
+            pairwise_sq_distances, AnySketcher, Construction, PairwiseDistances, PrivateSketcher,
+            SketcherSpec,
+        },
     };
     pub use dp_hashing::Seed;
     pub use dp_noise::{
@@ -82,7 +101,7 @@ pub mod prelude {
         privacy::PrivacyGuarantee,
     };
     pub use dp_stream::{
-        distributed::{Party, PublicParams},
+        distributed::{Party, PublicParams, Release},
         streaming::StreamingSketch,
     };
     pub use dp_transforms::{

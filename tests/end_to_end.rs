@@ -65,7 +65,11 @@ fn every_construction_estimates_the_same_pair() {
 
     for (name, s) in results {
         let z = (s.mean() - true_d).abs() / s.stderr();
-        assert!(z < 5.0, "{name}: bias z = {z} (mean {}, true {true_d})", s.mean());
+        assert!(
+            z < 5.0,
+            "{name}: bias z = {z} (mean {}, true {true_d})",
+            s.mean()
+        );
     }
 }
 
@@ -79,6 +83,77 @@ fn cross_construction_sketches_do_not_mix() {
     let a = sj.sketch(&x, Seed::new(2));
     let b = ken.sketch(&x, Seed::new(3)).expect("sketch");
     assert!(a.estimate_sq_distance(&b).is_err());
+}
+
+#[test]
+fn cross_construction_and_cross_seed_estimates_are_incompatible() {
+    use dp_euclid::core::CoreError;
+    let d = 64;
+    let cfg = config(d, Some(1e-6));
+    let x = vec![1.0; d];
+
+    // Different constructions under one config: every cross pair refused
+    // with the typed error.
+    let sketchers: Vec<AnySketcher> = Construction::all()
+        .into_iter()
+        .map(|c| AnySketcher::new(c, &cfg, Seed::new(4)).expect("construct"))
+        .collect();
+    let sketches: Vec<NoisySketch> = sketchers
+        .iter()
+        .map(|s| s.sketch(&x, Seed::new(5)).expect("sketch"))
+        .collect();
+    for (i, a) in sketches.iter().enumerate() {
+        for (j, b) in sketches.iter().enumerate() {
+            if sketchers[i].tag() != sketchers[j].tag() {
+                assert!(
+                    matches!(
+                        a.estimate_sq_distance(b),
+                        Err(CoreError::IncompatibleSketches(_))
+                    ),
+                    "({i},{j}) should not combine"
+                );
+            }
+        }
+    }
+
+    // Same construction, different public transform seeds: also refused.
+    let s1 = AnySketcher::new(Construction::SjltLaplace, &cfg, Seed::new(1)).expect("construct");
+    let s2 = AnySketcher::new(Construction::SjltLaplace, &cfg, Seed::new(2)).expect("construct");
+    let a = s1.sketch(&x, Seed::new(6)).expect("sketch");
+    let b = s2.sketch(&x, Seed::new(7)).expect("sketch");
+    assert!(matches!(
+        a.estimate_sq_distance(&b),
+        Err(CoreError::IncompatibleSketches(_))
+    ));
+}
+
+#[test]
+fn trait_surface_is_uniform_across_constructions() {
+    // The same generic estimation routine runs every construction.
+    fn mean_estimate(sk: &dyn PrivateSketcher, x: &[f64], y: &[f64], reps: u64) -> f64 {
+        let mut s = Summary::new();
+        for rep in 0..reps {
+            let a = sk.sketch(x, Seed::new(rep * 2 + 1)).expect("sketch");
+            let b = sk.sketch(y, Seed::new(rep * 2 + 2)).expect("sketch");
+            s.push(sk.estimate_sq_distance(&a, &b).expect("estimate"));
+        }
+        s.mean()
+    }
+    let d = 64;
+    let cfg = config(d, Some(1e-6));
+    let x = vec![1.0; d];
+    let y = vec![0.0; d];
+    for construction in Construction::all() {
+        let sk = AnySketcher::new(construction, &cfg, Seed::new(1)).expect("construct");
+        let mean = mean_estimate(&sk, &x, &y, 60);
+        // Loose sanity band (few reps): the estimator is unbiased for
+        // ‖x−y‖² = 64 under every construction.
+        let sd = sk.predicted_variance(d as f64).predicted_stddev();
+        assert!(
+            (mean - d as f64).abs() < sd,
+            "{construction:?}: mean {mean} vs {d} (per-release sd {sd})"
+        );
+    }
 }
 
 #[test]

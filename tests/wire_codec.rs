@@ -1,0 +1,119 @@
+//! Round-trip property tests for the sketch wire formats: the versioned
+//! binary codec must be the identity under encode→decode (byte-identical
+//! on re-encode), and the JSON compatibility path must agree with it.
+
+use dp_euclid::core::wire::{
+    decode_sketch, decode_sketch_interned, encode_sketch, encoded_len, TagInterner,
+};
+use dp_euclid::hashing::{Prng, Seed};
+use dp_euclid::prelude::*;
+
+/// Deterministic pseudo-random sketch with awkward values (subnormals,
+/// negative zero, huge magnitudes) the codec must carry exactly.
+fn random_sketch(seed: u64, k: usize, tag: &str) -> NoisySketch {
+    let mut rng = Seed::new(seed).rng();
+    let values: Vec<f64> = (0..k)
+        .map(|i| match i % 5 {
+            0 => -0.0,
+            1 => f64::MIN_POSITIVE / 2.0, // subnormal
+            2 => -(rng.next_f64()) * 1e300,
+            3 => rng.next_f64() * 1e-300,
+            _ => rng.next_f64() * 2.0 - 1.0,
+        })
+        .collect();
+    let m2 = rng.next_f64() * 10.0;
+    NoisySketch::new(values, tag, m2, 3.0 * m2 * m2)
+}
+
+#[test]
+fn binary_roundtrip_is_identity() {
+    for seed in 0u64..25 {
+        let k = 1 + (seed as usize * 7) % 96;
+        let tag = format!("sjlt(k={k},seed={seed},noise=laplace)");
+        let sketch = random_sketch(seed, k, &tag);
+        let bytes = encode_sketch(&sketch).expect("encode");
+        assert_eq!(bytes.len(), encoded_len(tag.len(), k));
+        let back = decode_sketch(&bytes).expect("decode");
+        assert_eq!(sketch, back, "seed {seed}");
+        // Bit-exact values, not just PartialEq (which -0.0 == 0.0 hides).
+        for (a, b) in sketch.values().iter().zip(back.values()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "seed {seed}");
+        }
+        // Re-encoding is byte-identical.
+        assert_eq!(encode_sketch(&back).expect("re-encode"), bytes);
+    }
+}
+
+#[test]
+fn json_fallback_agrees_with_binary() {
+    for seed in 0u64..25 {
+        let k = 1 + (seed as usize * 5) % 64;
+        let sketch = random_sketch(seed, k, "tag with spaces, =signs, ünïcode");
+        let via_binary = decode_sketch(&encode_sketch(&sketch).expect("encode")).expect("decode");
+        let via_json = NoisySketch::from_json(&sketch.to_json()).expect("json");
+        assert_eq!(via_binary, via_json, "seed {seed}");
+        assert_eq!(sketch, via_json, "seed {seed}");
+        for (a, b) in via_binary.values().iter().zip(via_json.values()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn real_releases_roundtrip_through_both_formats() {
+    let cfg = SketchConfig::builder()
+        .input_dim(64)
+        .alpha(0.25)
+        .beta(0.05)
+        .epsilon(1.0)
+        .delta(1e-7)
+        .build()
+        .expect("config");
+    let x: Vec<f64> = (0..64).map(|i| (i as f64).sin()).collect();
+    for construction in Construction::all() {
+        let sk = AnySketcher::new(construction, &cfg, Seed::new(2)).expect("construct");
+        let sketch = sk.sketch(&x, Seed::new(3)).expect("sketch");
+        let bytes = encode_sketch(&sketch).expect("encode");
+        assert_eq!(decode_sketch(&bytes).expect("decode"), sketch);
+        assert_eq!(
+            NoisySketch::from_json(&sketch.to_json()).expect("json"),
+            sketch,
+            "{construction:?}"
+        );
+    }
+}
+
+#[test]
+fn interned_decoding_still_roundtrips() {
+    let mut interner = TagInterner::new();
+    let mut blobs = Vec::new();
+    for seed in 0..10u64 {
+        let sketch = random_sketch(seed, 16, "shared-tag");
+        blobs.push((sketch.clone(), encode_sketch(&sketch).expect("encode")));
+    }
+    for (original, bytes) in &blobs {
+        let back = decode_sketch_interned(bytes, &mut interner).expect("decode");
+        assert_eq!(&back, original);
+    }
+    assert_eq!(interner.len(), 1, "all sketches share one interned tag");
+}
+
+#[test]
+fn corrupted_payloads_never_decode() {
+    let sketch = random_sketch(9, 24, "tag");
+    let bytes = encode_sketch(&sketch).expect("encode");
+    // Every strict prefix fails.
+    for cut in 0..bytes.len() {
+        assert!(decode_sketch(&bytes[..cut]).is_err(), "prefix {cut}");
+    }
+    // Declaring more values than present fails (corrupt the k field:
+    // it sits right before the values block).
+    let values_off = bytes.len() - 24 * 8 - 4;
+    let mut inflated = bytes.clone();
+    inflated[values_off] = inflated[values_off].wrapping_add(1);
+    assert!(decode_sketch(&inflated).is_err());
+    // Trailing garbage fails.
+    let mut padded = bytes;
+    padded.extend_from_slice(&[0u8; 3]);
+    assert!(decode_sketch(&padded).is_err());
+}
