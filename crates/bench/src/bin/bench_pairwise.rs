@@ -1,0 +1,202 @@
+//! Benchmark the tiled all-pairs kernel and record the perf trajectory.
+//!
+//! Measures `pairwise_sq_distances` over released sketches for a sweep
+//! of matrix sizes, thread counts, and tile sizes, verifies every
+//! configuration is bit-identical to the naive sequential reference, and
+//! writes a machine-readable `BENCH_pairwise.json` so successive PRs can
+//! track ns/pair.
+//!
+//! Usage: `bench_pairwise [--quick] [--out <path>]`
+//!
+//! The speedup acceptance check (≥2× at 4 threads for n ≥ 512) only
+//! runs when the host actually has ≥ 4 hardware threads; single-core
+//! hosts record the measurement and mark the check skipped.
+
+use dp_bench::runner::time_per_op;
+use dp_bench::workload::gaussian_vec;
+use dp_core::config::SketchConfig;
+use dp_core::json::JsonValue;
+use dp_core::sketcher::{
+    pairwise_sq_distances_reference, pairwise_sq_distances_with_par, AnySketcher, Construction,
+    PrivateSketcher,
+};
+use dp_core::Parallelism;
+use dp_hashing::Seed;
+
+struct Measurement {
+    rows: usize,
+    threads: usize,
+    tile: usize,
+    ns_per_pair: f64,
+    speedup_vs_single: f64,
+}
+
+/// One N(0,1) row per index, from the shared workload generator e5 also
+/// uses, so benches stay comparable across the harness.
+fn gaussian_rows(n: usize, d: usize, seed: u64) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|r| gaussian_vec(d, Seed::new(seed + r as u64)))
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map_or("BENCH_pairwise.json", String::as_str);
+
+    let d = 256;
+    let cfg = SketchConfig::builder()
+        .input_dim(d)
+        .alpha(0.3)
+        .beta(0.1)
+        .epsilon(1.0)
+        .build()
+        .expect("config");
+    let sketcher = AnySketcher::new(Construction::SjltAuto, &cfg, Seed::new(7)).expect("sketcher");
+    let k = sketcher.k();
+    let hardware = Parallelism::new(0).threads();
+    println!("== bench_pairwise: tiled all-pairs kernel ==");
+    println!("d = {d}, k = {k}, hardware threads = {hardware}");
+
+    let row_counts: &[usize] = if quick { &[64, 128] } else { &[128, 512] };
+    let mut thread_sweep = vec![1usize, 2, 4, hardware];
+    thread_sweep.sort_unstable();
+    thread_sweep.dedup();
+    let tile = Parallelism::from_env().tile();
+
+    let max_rows = *row_counts.iter().max().expect("nonempty");
+    let sketches = sketcher
+        .sketch_batch(&gaussian_rows(max_rows, d, 42), Seed::new(99))
+        .expect("batch");
+
+    let mut measurements: Vec<Measurement> = Vec::new();
+    let mut all_identical = true;
+    for &n in row_counts {
+        let subset = &sketches[..n];
+        let pairs = (n * (n - 1) / 2) as f64;
+        let reference = pairwise_sq_distances_reference(subset).expect("reference");
+        // Hoisting gain: the tiled single-thread kernel vs the naive
+        // per-pair estimator (which re-checks compatibility and
+        // recomputes the debias constant for every pair).
+        let iters = if quick { 2 } else { 3 };
+        let t_naive = time_per_op(iters, || {
+            let _ = pairwise_sq_distances_reference(subset).expect("reference");
+        });
+        let mut t_single = f64::NAN;
+        for &threads in &thread_sweep {
+            let par = Parallelism::new(threads).with_tile(tile);
+            let got = pairwise_sq_distances_with_par(subset, |s| s, &par).expect("pairwise");
+            let identical = got
+                .as_flat()
+                .iter()
+                .zip(reference.as_flat())
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            all_identical &= identical;
+            let t = time_per_op(iters, || {
+                let _ = pairwise_sq_distances_with_par(subset, |s| s, &par).expect("pairwise");
+            });
+            if threads == 1 {
+                t_single = t;
+            }
+            measurements.push(Measurement {
+                rows: n,
+                threads,
+                tile,
+                ns_per_pair: t / pairs,
+                speedup_vs_single: t_single / t,
+            });
+            println!(
+                "n = {n:5}  threads = {threads:2}  tile = {tile:3}  {:9.1} ns/pair  \
+                 speedup {:4.2}x  bit-identical: {identical}",
+                t / pairs,
+                t_single / t
+            );
+        }
+        println!(
+            "n = {n:5}  naive reference (per-pair estimator): {:9.1} ns/pair  \
+             (tiled 1-thread hoisting gain {:4.2}x)",
+            t_naive / pairs,
+            t_naive / t_single
+        );
+    }
+
+    // Acceptance: ≥2× speedup on ≥4 threads for n ≥ 512 — only
+    // meaningful when the hardware can actually run 4 workers.
+    let target = measurements
+        .iter()
+        .filter(|m| m.threads >= 4 && m.rows >= 512)
+        .map(|m| m.speedup_vs_single)
+        .fold(f64::NAN, f64::max);
+    let speedup_check = if hardware < 4 {
+        println!(
+            "CHECK [SKIP] >=2x speedup on >=4 threads (host has {hardware} hardware thread(s))"
+        );
+        format!("skipped (available_parallelism = {hardware})")
+    } else if target.is_nan() {
+        println!("CHECK [SKIP] >=2x speedup on >=4 threads (no n >= 512 in this sweep)");
+        "skipped (no n >= 512 measured; run without --quick)".to_string()
+    } else if target >= 2.0 {
+        println!("CHECK [PASS] >=2x speedup on >=4 threads for n >= 512 ({target:.2}x)");
+        "pass".to_string()
+    } else {
+        println!("CHECK [FAIL] >=2x speedup on >=4 threads for n >= 512 ({target:.2}x)");
+        "fail".to_string()
+    };
+    println!(
+        "CHECK [{}] all configurations bit-identical to the sequential reference",
+        if all_identical { "PASS" } else { "FAIL" }
+    );
+
+    let json = JsonValue::Object(vec![
+        (
+            "bench".to_string(),
+            JsonValue::String("pairwise_sq_distances".to_string()),
+        ),
+        (
+            "construction".to_string(),
+            JsonValue::String(Construction::SjltAuto.name().to_string()),
+        ),
+        ("d".to_string(), JsonValue::UInt(d as u64)),
+        ("k".to_string(), JsonValue::UInt(k as u64)),
+        (
+            "available_parallelism".to_string(),
+            JsonValue::UInt(hardware as u64),
+        ),
+        ("bit_identical".to_string(), JsonValue::Bool(all_identical)),
+        (
+            "speedup_check".to_string(),
+            JsonValue::String(speedup_check.clone()),
+        ),
+        (
+            "results".to_string(),
+            JsonValue::Array(
+                measurements
+                    .iter()
+                    .map(|m| {
+                        JsonValue::Object(vec![
+                            ("rows".to_string(), JsonValue::UInt(m.rows as u64)),
+                            ("k".to_string(), JsonValue::UInt(k as u64)),
+                            ("threads".to_string(), JsonValue::UInt(m.threads as u64)),
+                            ("tile".to_string(), JsonValue::UInt(m.tile as u64)),
+                            ("ns_per_pair".to_string(), JsonValue::Number(m.ns_per_pair)),
+                            (
+                                "speedup_vs_single".to_string(),
+                                JsonValue::Number(m.speedup_vs_single),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    std::fs::write(out_path, json.to_string() + "\n").expect("write BENCH_pairwise.json");
+    println!("wrote {out_path}");
+
+    if !all_identical || speedup_check == "fail" {
+        std::process::exit(1);
+    }
+}

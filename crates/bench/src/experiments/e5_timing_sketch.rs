@@ -13,7 +13,9 @@
 use crate::runner::{time_per_op, CheckList};
 use crate::workload::{gaussian_vec, sparse_vec};
 use dp_core::config::SketchConfig;
+use dp_core::sketcher::{sketch_batch_par, AnySketcher, Construction};
 use dp_core::variance::fjlt_faster_window;
+use dp_core::Parallelism;
 use dp_hashing::Seed;
 use dp_stats::loglog_slope;
 use dp_stats::Table;
@@ -152,6 +154,57 @@ pub fn run(scale: f64) -> bool {
         "Eq.(5) trend: fjlt/sjlt ratio shrinks as d grows into the window",
         ratio_large < ratio_small,
     );
+
+    // Batch-parallel sketching through the Parallelism knob: the
+    // data-parallel sketch_batch must be bit-identical to the sequential
+    // reference, and on multi-core hosts it should not lose time.
+    let par = Parallelism::from_env();
+    println!(
+        "-- sketch_batch parallelism: {} worker(s) (DP_THREADS) --",
+        par.threads()
+    );
+    {
+        let d = 1 << 12;
+        let batch_cfg = SketchConfig::builder()
+            .input_dim(d)
+            .alpha(0.25)
+            .beta(0.05)
+            .epsilon(1.0)
+            .build()
+            .expect("config");
+        let sk =
+            AnySketcher::new(Construction::SjltAuto, &batch_cfg, Seed::new(7)).expect("sketcher");
+        let rows_n = (64.0 * scale.max(0.1)).max(8.0) as usize;
+        let rows: Vec<Vec<f64>> = (0..rows_n)
+            .map(|r| gaussian_vec(d, Seed::new(4000 + r as u64)))
+            .collect();
+        let seq =
+            sketch_batch_par(&sk, &rows, Seed::new(5), &Parallelism::sequential()).expect("batch");
+        let par_batch = sketch_batch_par(&sk, &rows, Seed::new(5), &par).expect("batch");
+        checks.check(
+            "parallel sketch_batch is bit-identical to sequential",
+            seq == par_batch,
+        );
+        let t_seq = time_per_op(3, || {
+            let _ = sketch_batch_par(&sk, &rows, Seed::new(5), &Parallelism::sequential())
+                .expect("batch");
+        });
+        let t_par = time_per_op(3, || {
+            let _ = sketch_batch_par(&sk, &rows, Seed::new(5), &par).expect("batch");
+        });
+        println!(
+            "sketch_batch ({rows_n} rows, d = {d}): sequential {:.2e} ns, {} threads {:.2e} ns \
+             (speedup {:.2}x)",
+            t_seq,
+            par.threads(),
+            t_par,
+            t_seq / t_par
+        );
+        // The speedup is informational only: a pass/fail wall-clock gate
+        // would flake on loaded or oversubscribed hosts. Correctness
+        // (bit-identity above) is the gated property; the perf
+        // trajectory is tracked by bench_pairwise / BENCH_pairwise.json.
+    }
 
     checks.finish("E5")
 }

@@ -8,10 +8,11 @@
 //! (b) the empirical argmin within a small factor of `k*`.
 
 use crate::experiments::scaled;
-use crate::runner::{mc_summary, CheckList};
+use crate::runner::{mc_summary_par, CheckList};
 use crate::workload::pair_at_distance;
 use dp_core::framework::GenSketcher;
 use dp_core::variance::var_sjlt_laplace;
+use dp_core::Parallelism;
 use dp_hashing::Seed;
 use dp_linalg::vector::{l4_norm, sq_distance};
 use dp_noise::mechanism::LaplaceMechanism;
@@ -32,6 +33,11 @@ pub fn run(scale: f64) -> bool {
     let z: Vec<f64> = x.iter().zip(&y).map(|(a, b)| a - b).collect();
     let l4 = l4_norm(&z);
     let reps = scaled(2000, scale);
+    // Reps are independent MC draws seeded by their rep index, so the
+    // sweep runs on the env-driven Parallelism knob (DP_THREADS);
+    // mc_summary_par is bit-identical to the sequential pass.
+    let par = Parallelism::from_env();
+    println!("MC workers: {}", par.threads());
 
     // Theory: k* = ‖z‖²/√(E[η⁴]+E[η²]²), Laplace(√s/ε) moments.
     let b2 = s as f64 / (eps * eps);
@@ -44,7 +50,7 @@ pub fn run(scale: f64) -> bool {
     let mut pred = Vec::new();
     for &k in &ks {
         let p = var_sjlt_laplace(k, s, eps, dist_sq, l4);
-        let summary = mc_summary(reps, |rep| {
+        let summary = mc_summary_par(reps, &par, |rep| {
             let t = Sjlt::new(d, k, s, 6, Seed::new(rep)).expect("sjlt");
             let m = LaplaceMechanism::new((s as f64).sqrt(), eps).expect("mech");
             let g = GenSketcher::new(t, m, "e9");

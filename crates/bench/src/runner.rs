@@ -1,5 +1,6 @@
 //! Shared experiment-running utilities.
 
+use dp_parallel::{par_map, Parallelism};
 use dp_stats::Summary;
 use std::time::Instant;
 
@@ -8,6 +9,21 @@ pub fn mc_summary(reps: u64, mut f: impl FnMut(u64) -> f64) -> Summary {
     let mut s = Summary::new();
     for rep in 0..reps {
         s.push(f(rep));
+    }
+    s
+}
+
+/// [`mc_summary`] with the per-rep evaluations computed on `par`
+/// workers. Values are accumulated in rep order, so the summary is
+/// bit-identical to the sequential one whenever `f` is a pure function
+/// of its rep index (every experiment closure here is: all randomness
+/// derives from per-rep seeds).
+pub fn mc_summary_par(reps: u64, par: &Parallelism, f: impl Fn(u64) -> f64 + Sync) -> Summary {
+    let indices: Vec<u64> = (0..reps).collect();
+    let values = par_map(&indices, par.threads(), |_, &rep| f(rep));
+    let mut s = Summary::new();
+    for v in values {
+        s.push(v);
     }
     s
 }
@@ -93,6 +109,22 @@ mod tests {
         let s = mc_summary(100, |r| r as f64);
         assert_eq!(s.count(), 100);
         assert!((s.mean() - 49.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mc_summary_par_is_bit_identical_to_sequential() {
+        let f = |rep: u64| (rep as f64).sin() * (rep as f64 + 0.5).ln();
+        let seq = mc_summary(200, f);
+        for threads in [1usize, 2, 4, 7] {
+            let par = mc_summary_par(200, &Parallelism::new(threads), f);
+            assert_eq!(par.count(), seq.count());
+            assert_eq!(par.mean().to_bits(), seq.mean().to_bits(), "{threads}");
+            assert_eq!(
+                par.variance().to_bits(),
+                seq.variance().to_bits(),
+                "{threads}"
+            );
+        }
     }
 
     #[test]

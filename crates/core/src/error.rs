@@ -20,6 +20,14 @@ pub enum CoreError {
     CalibrationPrecondition(String),
     /// A wire payload (JSON or binary) could not be encoded or decoded.
     Wire(String),
+    /// A binary wire frame's checksum trailer did not match its payload
+    /// (corruption in transit or at rest).
+    ChecksumMismatch {
+        /// The checksum stored in the frame trailer.
+        stored: u64,
+        /// The checksum recomputed over the received payload.
+        computed: u64,
+    },
     /// The operation is not defined for this construction (e.g. releasing
     /// a maintained projection under input-perturbation noise).
     Unsupported(&'static str),
@@ -36,6 +44,10 @@ impl fmt::Display for CoreError {
                 write!(f, "calibration precondition violated: {why}")
             }
             Self::Wire(why) => write!(f, "wire format error: {why}"),
+            Self::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "wire checksum mismatch: stored {stored:016x}, computed {computed:016x}"
+            ),
             Self::Unsupported(what) => write!(f, "unsupported operation: {what}"),
         }
     }

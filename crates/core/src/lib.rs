@@ -20,7 +20,9 @@
 //! * [`sketcher`] — the unified release API: the object-safe
 //!   [`PrivateSketcher`] trait, the [`AnySketcher`] enum over every
 //!   construction, the serializable [`SketcherSpec`] public parameters,
-//!   and the batch/pairwise estimate surface.
+//!   and the batch/pairwise estimate surface — data-parallel on the
+//!   [`Parallelism`] knob, bit-identical to the sequential reference for
+//!   every thread count and tile size.
 //! * [`wire`] — the versioned compact binary codec for released sketches
 //!   (JSON via [`NoisySketch::to_json`] stays as a compatibility path).
 //! * [`json`] — the dependency-free JSON reader/writer backing the
@@ -46,6 +48,10 @@ pub use estimator::{DistanceEstimate, NoisySketch};
 pub use framework::GenSketcher;
 pub use sjlt_private::PrivateSjlt;
 pub use sketcher::{
-    pairwise_sq_distances, pairwise_sq_distances_with, AnySketcher, Construction,
-    PairwiseDistances, PrivateSketcher, SketcherSpec,
+    pairwise_sq_distances, pairwise_sq_distances_reference, pairwise_sq_distances_with,
+    pairwise_sq_distances_with_par, sketch_batch_par, sketch_batch_sequential, AnySketcher,
+    Construction, PairwiseDistances, PrivateSketcher, SketcherSpec,
 };
+// The execution knob and tile scheduler, re-exported so downstream
+// crates need not depend on dp-parallel directly.
+pub use dp_parallel::{Parallelism, Tile, TileScheduler};

@@ -25,6 +25,20 @@
 //! [`Construction::SjltAuto`] spec resolves Laplace-vs-Gaussian from the
 //! config's `(s, δ)` exactly as [`crate::config::SketchConfig`] dictates,
 //! deterministically, on every party.
+//!
+//! # Parallel execution and the determinism contract
+//!
+//! The execution paths run on the [`Parallelism`] knob from
+//! [`dp_parallel`]: [`AnySketcher`] carries one (env-driven by default,
+//! explicit via [`AnySketcher::with_parallelism`] /
+//! [`SketcherSpec::build_with`]), batch releases split rows across
+//! workers ([`sketch_batch_par`]), and the all-pairs surface runs a
+//! cache-blocked tile kernel ([`pairwise_sq_distances_with_par`]).
+//! Results are **bit-identical** for every thread count and tile size:
+//! per-row noise seeds derive from the row *index* (`noise_seed.index(row)`),
+//! never from the executing worker, and each pair's estimate is computed
+//! exactly once by one tile with the identical floating-point expression
+//! the sequential reference uses.
 
 use crate::config::SketchConfig;
 use crate::error::CoreError;
@@ -36,6 +50,7 @@ use crate::sjlt_private::PrivateSjlt;
 use dp_hashing::Seed;
 use dp_linalg::SparseVector;
 use dp_noise::PrivacyGuarantee;
+use dp_parallel::{par_chunks_mut, par_split_mut, Parallelism, Tile, TileScheduler};
 
 /// One object-safe interface over every private-sketch construction.
 ///
@@ -106,6 +121,11 @@ pub trait PrivateSketcher {
     /// Release one sketch per input row. Per-row noise seeds are derived
     /// as `noise_seed.index(row)`, so a batch consumes one private seed.
     ///
+    /// The default implementation is the sequential reference;
+    /// [`AnySketcher`] overrides it with the data-parallel
+    /// [`sketch_batch_par`], which is bit-identical because the seed
+    /// derivation depends only on the row index.
+    ///
     /// # Errors
     /// [`CoreError::Transform`] on any dimension mismatch.
     fn sketch_batch(
@@ -113,11 +133,61 @@ pub trait PrivateSketcher {
         xs: &[Vec<f64>],
         noise_seed: Seed,
     ) -> Result<Vec<NoisySketch>, CoreError> {
-        xs.iter()
-            .enumerate()
-            .map(|(i, x)| self.sketch(x, noise_seed.index(i as u64)))
-            .collect()
+        sketch_batch_sequential(self, xs, noise_seed)
     }
+}
+
+/// The sequential reference implementation of
+/// [`PrivateSketcher::sketch_batch`]: one row at a time, per-row noise
+/// seed `noise_seed.index(row)`. The parallel path is tested bit-identical
+/// against this.
+///
+/// # Errors
+/// [`CoreError::Transform`] on any dimension mismatch.
+pub fn sketch_batch_sequential<S: PrivateSketcher + ?Sized>(
+    sketcher: &S,
+    xs: &[Vec<f64>],
+    noise_seed: Seed,
+) -> Result<Vec<NoisySketch>, CoreError> {
+    xs.iter()
+        .enumerate()
+        .map(|(i, x)| sketcher.sketch(x, noise_seed.index(i as u64)))
+        .collect()
+}
+
+/// Data-parallel batch release: rows are split into contiguous chunks
+/// across `par.threads()` workers. Bit-identical to
+/// [`sketch_batch_sequential`] for every thread count, because each
+/// row's noise seed is `noise_seed.index(row)` regardless of which
+/// worker sketches it. On failure the error is the one the sequential
+/// loop would have hit first (lowest failing row).
+///
+/// # Errors
+/// [`CoreError::Transform`] on any dimension mismatch.
+pub fn sketch_batch_par<S>(
+    sketcher: &S,
+    xs: &[Vec<f64>],
+    noise_seed: Seed,
+    par: &Parallelism,
+) -> Result<Vec<NoisySketch>, CoreError>
+where
+    S: PrivateSketcher + Sync + ?Sized,
+{
+    if par.is_sequential() || xs.len() <= 1 {
+        return sketch_batch_sequential(sketcher, xs, noise_seed);
+    }
+    let mut out: Vec<Option<NoisySketch>> = vec![None; xs.len()];
+    par_chunks_mut(&mut out, par.threads(), |offset, chunk| {
+        for (local, slot) in chunk.iter_mut().enumerate() {
+            let row = offset + local;
+            *slot = Some(sketcher.sketch(&xs[row], noise_seed.index(row as u64))?);
+        }
+        Ok::<(), CoreError>(())
+    })?;
+    Ok(out
+        .into_iter()
+        .map(|s| s.expect("every row filled"))
+        .collect())
 }
 
 /// The constructions of the paper, as serializable data.
@@ -237,6 +307,17 @@ impl SketcherSpec {
         AnySketcher::new(self.construction, &self.config, self.transform_seed())
     }
 
+    /// [`SketcherSpec::build`] with an explicit [`Parallelism`] knob.
+    /// Parallelism is an execution-side concern: it is *not* part of the
+    /// spec identity, never travels on the wire, and never changes
+    /// released values — only how batch work is scheduled.
+    ///
+    /// # Errors
+    /// Propagates construction failures.
+    pub fn build_with(&self, par: Parallelism) -> Result<AnySketcher, CoreError> {
+        Ok(self.build()?.with_parallelism(par))
+    }
+
     /// Serialize to the JSON wire format.
     #[must_use]
     pub fn to_json(&self) -> String {
@@ -324,6 +405,7 @@ impl SketcherSpec {
 pub struct AnySketcher {
     spec: SketcherSpec,
     inner: Inner,
+    par: Parallelism,
 }
 
 #[derive(Debug, Clone)]
@@ -365,7 +447,23 @@ impl AnySketcher {
         Ok(Self {
             spec: SketcherSpec::new(construction, config.clone(), transform_seed),
             inner,
+            par: Parallelism::default(),
         })
+    }
+
+    /// Replace the execution knob (thread count, tile size). Released
+    /// values are bit-identical for every setting; only scheduling
+    /// changes.
+    #[must_use]
+    pub fn with_parallelism(mut self, par: Parallelism) -> Self {
+        self.par = par;
+        self
+    }
+
+    /// The execution knob batch releases and callers can consult.
+    #[must_use]
+    pub fn parallelism(&self) -> Parallelism {
+        self.par
     }
 
     /// Rebuild from a spec (equivalent to [`SketcherSpec::build`]).
@@ -492,6 +590,14 @@ impl PrivateSketcher for AnySketcher {
             )),
         }
     }
+
+    fn sketch_batch(
+        &self,
+        xs: &[Vec<f64>],
+        noise_seed: Seed,
+    ) -> Result<Vec<NoisySketch>, CoreError> {
+        sketch_batch_par(self, xs, noise_seed, &self.par)
+    }
 }
 
 /// All pairwise debiased squared-distance estimates, as a flat row-major
@@ -536,10 +642,13 @@ impl PairwiseDistances {
     }
 }
 
-/// Estimate every pairwise squared distance among released sketches.
+/// Estimate every pairwise squared distance among released sketches,
+/// using the tiled kernel on the environment-default [`Parallelism`].
 ///
 /// # Errors
-/// [`CoreError::IncompatibleSketches`] if any pair doesn't combine.
+/// [`CoreError::IncompatibleSketches`] if any sketch doesn't combine
+/// with the first (see [`pairwise_sq_distances_with_par`] for how this
+/// sweep relates to the reference's per-pair check).
 pub fn pairwise_sq_distances(sketches: &[NoisySketch]) -> Result<PairwiseDistances, CoreError> {
     pairwise_sq_distances_with(sketches, |s| s)
 }
@@ -548,18 +657,199 @@ pub fn pairwise_sq_distances(sketches: &[NoisySketch]) -> Result<PairwiseDistanc
 /// (e.g. protocol `Release`s), without copying the sketches out.
 ///
 /// # Errors
-/// [`CoreError::IncompatibleSketches`] if any pair doesn't combine.
-pub fn pairwise_sq_distances_with<T>(
+/// [`CoreError::IncompatibleSketches`] if any sketch doesn't combine
+/// with the first (see [`pairwise_sq_distances_with_par`]).
+pub fn pairwise_sq_distances_with<T: Sync>(
     items: &[T],
-    sketch_of: impl Fn(&T) -> &NoisySketch,
+    sketch_of: impl Fn(&T) -> &NoisySketch + Sync,
 ) -> Result<PairwiseDistances, CoreError> {
-    let n = items.len();
+    pairwise_sq_distances_with_par(items, sketch_of, &Parallelism::default())
+}
+
+/// The naive sequential double loop over
+/// [`NoisySketch::estimate_sq_distance`] — kept as the reference
+/// implementation the tiled kernel is tested bit-identical against.
+///
+/// # Errors
+/// [`CoreError::IncompatibleSketches`] if any pair doesn't combine.
+pub fn pairwise_sq_distances_reference(
+    sketches: &[NoisySketch],
+) -> Result<PairwiseDistances, CoreError> {
+    let n = sketches.len();
     let mut values = vec![0.0; n * n];
     for i in 0..n {
         for j in (i + 1)..n {
-            let est = sketch_of(&items[i]).estimate_sq_distance(sketch_of(&items[j]))?;
+            let est = sketches[i].estimate_sq_distance(&sketches[j])?;
             values[i * n + j] = est;
             values[j * n + i] = est;
+        }
+    }
+    Ok(PairwiseDistances { n, values })
+}
+
+/// The cache-blocked tile kernel behind the all-pairs surface.
+///
+/// The matrix's upper triangle is decomposed by a
+/// [`TileScheduler`] into `par.tile()`-sided `(row_block, col_block)`
+/// tasks. All upper-triangle estimates land in **one flat buffer**
+/// (tiles map to contiguous segments via a pair-count prefix sum);
+/// workers take contiguous tile groups balanced by pair count — static
+/// partitioning is well balanced here because per-pair cost is uniform
+/// in `k` — and write their segments directly, then a sequential pass
+/// scatters (plus mirrors) into the row-major matrix. Per-sketch
+/// invariants are hoisted out
+/// of the inner loop: compatibility is checked once per sketch against
+/// the first (n−1 checks instead of one per pair), and each sketch's
+/// debias constant `2k·E[η²]` is computed once per *row* instead of
+/// once per pair. Debias stays per-row (not a single batch constant)
+/// because [`NoisySketch::check_compatible`] tolerates tiny `E[η²]`
+/// differences; using row `i`'s own constant reproduces the reference
+/// bit-for-bit even for such hand-built batches.
+///
+/// Bit-identical to [`pairwise_sq_distances_reference`] for every
+/// thread count and tile size: each pair is computed exactly once, by
+/// the same zip-order sum and the same `raw − 2k·E[η²]` expression the
+/// per-pair estimator uses.
+///
+/// # Errors
+/// [`CoreError::IncompatibleSketches`] if the batch doesn't combine:
+/// each sketch is checked against the first (pinning the transform tag
+/// and `k` exactly, which are transitive), and the *span* of noise
+/// moments across the batch must itself fit the compatibility
+/// tolerance — so any batch the per-pair reference would reject is
+/// rejected here too (never silently accepted). The one divergence is
+/// a sliver on the tolerance boundary where this check is marginally
+/// *stricter* than the reference, and which pair an error names.
+/// Batches released by one sketcher — the only kind the workspace
+/// produces — carry identical moments, where the two checks agree
+/// exactly.
+pub fn pairwise_sq_distances_with_par<T: Sync>(
+    items: &[T],
+    sketch_of: impl Fn(&T) -> &NoisySketch + Sync,
+    par: &Parallelism,
+) -> Result<PairwiseDistances, CoreError> {
+    let n = items.len();
+    if n == 0 {
+        return Ok(PairwiseDistances {
+            n: 0,
+            values: Vec::new(),
+        });
+    }
+    // Hoisted invariants: one compatibility sweep pins the transform
+    // tag, k, and noise moment for the whole batch, and each row's
+    // debias constant is evaluated once here — the inner loop is a pure
+    // fused subtract-square-accumulate over the value slices. The
+    // constant is per-row (row i's own E[η²], exactly what the per-pair
+    // estimator uses for the (i, j), i < j pair), which keeps the
+    // bit-identity contract even when moments differ within tolerance.
+    let first = sketch_of(&items[0]);
+    let mut m2_min = first.noise_second_moment();
+    let mut m2_max = m2_min;
+    for item in items.iter().skip(1) {
+        let s = sketch_of(item);
+        first.check_compatible(s)?;
+        m2_min = m2_min.min(s.noise_second_moment());
+        m2_max = m2_max.max(s.noise_second_moment());
+    }
+    // The vs-first sweep alone would admit moments at opposite edges of
+    // the tolerance band (a pair the per-pair reference rejects); bound
+    // the batch *span* by the tolerance at its weakest scale so every
+    // pair provably passes the per-pair check.
+    if (m2_max - m2_min).abs() > 1e-12 * (1.0 + m2_min.abs()) {
+        return Err(CoreError::IncompatibleSketches(format!(
+            "noise moment span {m2_min} vs {m2_max} exceeds the batch tolerance"
+        )));
+    }
+    let debias: Vec<f64> = items
+        .iter()
+        .map(|item| {
+            let s = sketch_of(item);
+            2.0 * s.k() as f64 * s.noise_second_moment()
+        })
+        .collect();
+
+    // One flat allocation for the whole upper triangle; tile → segment
+    // via a pair-count prefix sum. When several workers are requested,
+    // cap the tile size so the scheduler emits enough tiles to feed
+    // them on small matrices — results are tile-size independent, so
+    // this only changes scheduling (DP_TILE acts as an upper bound).
+    let tile = if par.threads() > 1 {
+        par.tile().min(n.div_ceil(2 * par.threads()).max(1))
+    } else {
+        par.tile()
+    };
+    let tiles: Vec<Tile> = TileScheduler::new(n, tile).tiles().collect();
+    let mut offsets = Vec::with_capacity(tiles.len() + 1);
+    let mut total = 0usize;
+    for t in &tiles {
+        offsets.push(total);
+        total += t.pair_count();
+    }
+    offsets.push(total);
+    let mut flat = vec![0.0f64; total];
+
+    // Contiguous tile groups, one per worker, balanced by pair count
+    // (diagonal tiles hold half the pairs of off-diagonal ones, so
+    // balancing by tile count would skew).
+    let workers = par.threads().min(tiles.len()).max(1);
+    let mut boundaries: Vec<usize> = Vec::new(); // element splits, at tile edges
+    let mut group_starts: Vec<usize> = vec![0]; // first tile of each group
+    if workers > 1 && total > 0 {
+        let target = total.div_ceil(workers);
+        let mut acc = 0usize;
+        for (ti, t) in tiles.iter().enumerate() {
+            acc += t.pair_count();
+            if acc >= target * group_starts.len()
+                && ti + 1 < tiles.len()
+                && group_starts.len() < workers
+            {
+                boundaries.push(offsets[ti + 1]);
+                group_starts.push(ti + 1);
+            }
+        }
+    }
+
+    par_split_mut(&mut flat, &boundaries, |group, _, segment| {
+        let t_start = group_starts[group];
+        let t_end = group_starts.get(group + 1).copied().unwrap_or(tiles.len());
+        let mut w = 0usize;
+        for tile in &tiles[t_start..t_end] {
+            for i in tile.rows() {
+                let a = sketch_of(&items[i]).values();
+                for j in tile.cols() {
+                    if j <= i {
+                        continue;
+                    }
+                    let b = sketch_of(&items[j]).values();
+                    let raw: f64 = a
+                        .iter()
+                        .zip(b)
+                        .map(|(x, y)| {
+                            let d = x - y;
+                            d * d
+                        })
+                        .sum();
+                    segment[w] = raw - debias[i];
+                    w += 1;
+                }
+            }
+        }
+        debug_assert_eq!(w, segment.len(), "group fills its segment exactly");
+    });
+
+    let mut values = vec![0.0; n * n];
+    for (tile, &start) in tiles.iter().zip(&offsets) {
+        let mut idx = start;
+        for i in tile.rows() {
+            for j in tile.cols() {
+                if j <= i {
+                    continue;
+                }
+                let est = flat[idx];
+                idx += 1;
+                values[i * n + j] = est;
+                values[j * n + i] = est;
+            }
         }
     }
     Ok(PairwiseDistances { n, values })
@@ -789,6 +1079,164 @@ mod tests {
             fin.finalize_projection(vec![0.0; fin.k()], Seed::new(1)),
             Err(CoreError::Unsupported(_))
         ));
+    }
+
+    /// Deterministic pseudo-random rows for equivalence tests.
+    fn rows(n: usize, d: usize, seed: u64) -> Vec<Vec<f64>> {
+        use dp_hashing::Prng;
+        let mut rng = Seed::new(seed).rng();
+        (0..n)
+            .map(|_| (0..d).map(|_| rng.next_f64() * 4.0 - 2.0).collect())
+            .collect()
+    }
+
+    #[test]
+    fn parallel_sketch_batch_is_bit_identical_to_sequential() {
+        let cfg = config(Some(1e-6));
+        for construction in Construction::all() {
+            let sk = AnySketcher::new(construction, &cfg, Seed::new(3)).unwrap();
+            let xs = rows(7, 48, 11);
+            let reference = sketch_batch_sequential(&sk, &xs, Seed::new(5)).unwrap();
+            for threads in [1usize, 2, 3, 8] {
+                let par =
+                    sketch_batch_par(&sk, &xs, Seed::new(5), &Parallelism::new(threads)).unwrap();
+                assert_eq!(par.len(), reference.len());
+                for (a, b) in reference.iter().zip(&par) {
+                    assert_eq!(a, b, "{construction:?}, threads = {threads}");
+                    for (x, y) in a.values().iter().zip(b.values()) {
+                        assert_eq!(x.to_bits(), y.to_bits());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trait_batch_routes_through_the_knob() {
+        let cfg = config(None);
+        let xs = rows(5, 48, 2);
+        let seq = AnySketcher::new(Construction::SjltLaplace, &cfg, Seed::new(1))
+            .unwrap()
+            .with_parallelism(Parallelism::sequential());
+        let par = seq.clone().with_parallelism(Parallelism::new(4));
+        assert_eq!(par.parallelism().threads(), 4);
+        assert_eq!(
+            seq.sketch_batch(&xs, Seed::new(9)).unwrap(),
+            par.sketch_batch(&xs, Seed::new(9)).unwrap()
+        );
+    }
+
+    #[test]
+    fn tiled_pairwise_is_bit_identical_to_reference() {
+        let cfg = config(None);
+        let sk = AnySketcher::new(Construction::SjltAuto, &cfg, Seed::new(8)).unwrap();
+        for n in [0usize, 1, 2, 3, 5, 13] {
+            let sketches = sk
+                .sketch_batch(&rows(n, 48, n as u64), Seed::new(21))
+                .unwrap();
+            let reference = pairwise_sq_distances_reference(&sketches).unwrap();
+            for threads in [1usize, 2, 5] {
+                for tile in [1usize, 2, 3, 4, 7, 64] {
+                    let tiled = pairwise_sq_distances_with_par(
+                        &sketches,
+                        |s| s,
+                        &Parallelism::new(threads).with_tile(tile),
+                    )
+                    .unwrap();
+                    assert_eq!(tiled.n(), reference.n());
+                    for (a, b) in reference.as_flat().iter().zip(tiled.as_flat()) {
+                        assert_eq!(
+                            a.to_bits(),
+                            b.to_bits(),
+                            "n = {n}, threads = {threads}, tile = {tile}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tiled_pairwise_uses_each_rows_own_debias_constant() {
+        // check_compatible tolerates relative E[η²] differences up to
+        // 1e-12; a hand-built batch exercising that tolerance must
+        // still match the reference bit-for-bit, which requires the
+        // kernel to debias with row i's own constant, not the first's.
+        let m2 = 0.5;
+        let m2_perturbed = m2 * (1.0 + 5e-13);
+        let sketches = vec![
+            NoisySketch::new(vec![1.0, 2.0, 3.0], "t", m2, 0.75),
+            NoisySketch::new(vec![0.5, -1.0, 2.0], "t", m2_perturbed, 0.75),
+            NoisySketch::new(vec![-2.0, 0.0, 1.5], "t", m2, 0.75),
+        ];
+        assert_ne!(m2.to_bits(), m2_perturbed.to_bits());
+        let reference = pairwise_sq_distances_reference(&sketches).unwrap();
+        for threads in [1usize, 4] {
+            let tiled = pairwise_sq_distances_with_par(
+                &sketches,
+                |s| s,
+                &Parallelism::new(threads).with_tile(2),
+            )
+            .unwrap();
+            for (a, b) in reference.as_flat().iter().zip(tiled.as_flat()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "threads = {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn pairwise_rejects_moment_spans_the_reference_rejects() {
+        // Each perturbed moment passes the vs-first check, but the
+        // extreme pair (1, 2) exceeds the per-pair tolerance, so the
+        // reference rejects the batch — the tiled kernel's span check
+        // must reject it too, never silently accept.
+        let m2 = 0.5;
+        let sketches = vec![
+            NoisySketch::new(vec![1.0, 2.0], "t", m2, 0.75),
+            NoisySketch::new(vec![0.5, 1.0], "t", m2 + 1.2e-12, 0.75),
+            NoisySketch::new(vec![0.0, 1.5], "t", m2 - 1.2e-12, 0.75),
+        ];
+        assert!(matches!(
+            pairwise_sq_distances_reference(&sketches),
+            Err(CoreError::IncompatibleSketches(_))
+        ));
+        for threads in [1usize, 4] {
+            assert!(
+                matches!(
+                    pairwise_sq_distances_with_par(&sketches, |s| s, &Parallelism::new(threads)),
+                    Err(CoreError::IncompatibleSketches(_))
+                ),
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn pairwise_rejects_incompatible_batches_like_the_reference() {
+        let cfg = config(None);
+        let a = AnySketcher::new(Construction::SjltAuto, &cfg, Seed::new(1)).unwrap();
+        let b = AnySketcher::new(Construction::SjltAuto, &cfg, Seed::new(2)).unwrap();
+        let xs = rows(2, 48, 3);
+        let mut sketches = a.sketch_batch(&xs, Seed::new(4)).unwrap();
+        sketches.extend(b.sketch_batch(&xs, Seed::new(5)).unwrap());
+        assert!(matches!(
+            pairwise_sq_distances_reference(&sketches),
+            Err(CoreError::IncompatibleSketches(_))
+        ));
+        assert!(matches!(
+            pairwise_sq_distances(&sketches),
+            Err(CoreError::IncompatibleSketches(_))
+        ));
+    }
+
+    #[test]
+    fn spec_build_with_sets_the_knob() {
+        let spec = SketcherSpec::new(Construction::SjltAuto, config(None), Seed::new(6));
+        let sk = spec.build_with(Parallelism::new(3).with_tile(16)).unwrap();
+        assert_eq!(sk.parallelism().threads(), 3);
+        assert_eq!(sk.parallelism().tile(), 16);
+        // The knob never leaks into the serialized spec.
+        assert_eq!(sk.spec().to_json(), spec.to_json());
     }
 
     #[test]

@@ -6,15 +6,23 @@
 //! (all integers and floats little-endian):
 //!
 //! ```text
-//! magic   4 bytes  b"DPNS"
-//! version 1 byte   currently 1
-//! tag_len 2 bytes  u16, length of the transform tag in bytes
-//! tag     tag_len  UTF-8 transform identity tag
-//! m2      8 bytes  f64, per-coordinate E[η²]
-//! m4      8 bytes  f64, per-coordinate E[η⁴]
-//! k       4 bytes  u32, number of sketch coordinates
-//! values  8k bytes f64 × k, the noisy projection
+//! magic    4 bytes  b"DPNS"
+//! version  1 byte   currently 2
+//! tag_len  2 bytes  u16, length of the transform tag in bytes
+//! tag      tag_len  UTF-8 transform identity tag
+//! m2       8 bytes  f64, per-coordinate E[η²]
+//! m4       8 bytes  f64, per-coordinate E[η⁴]
+//! k        4 bytes  u32, number of sketch coordinates
+//! values   8k bytes f64 × k, the noisy projection
+//! checksum 8 bytes  u64, FNV-1a-64 over every preceding byte
 //! ```
+//!
+//! Version 2 appended the checksum trailer: [`fnv1a64`] over everything
+//! from the magic through the last value, verified at decode time
+//! ([`CoreError::ChecksumMismatch`]). FNV catches corruption — bit rot,
+//! truncating proxies, misframed streams — not adversaries; frame
+//! authenticity, if needed, belongs to the transport layer. Version 1
+//! frames (no trailer) are rejected as unsupported.
 //!
 //! Decoding can intern the tag through a [`TagInterner`], so a service
 //! holding millions of sketches from a handful of sketchers stores each
@@ -28,8 +36,25 @@ use std::sync::Arc;
 /// Magic prefix of a serialized [`NoisySketch`].
 pub const SKETCH_MAGIC: [u8; 4] = *b"DPNS";
 
-/// Current codec version.
-pub const WIRE_VERSION: u8 = 1;
+/// Current codec version (2: checksum trailer).
+pub const WIRE_VERSION: u8 = 2;
+
+/// Size in bytes of the checksum trailer.
+pub const CHECKSUM_LEN: usize = 8;
+
+/// FNV-1a 64-bit hash — the frame checksum. A single corrupted byte in
+/// the covered region always changes the digest (each step xors the
+/// byte into the state and multiplies by an odd — hence invertible mod
+/// 2⁶⁴ — prime).
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
 
 /// Deduplicates transform tags while decoding streams of sketches.
 #[derive(Debug, Default)]
@@ -71,7 +96,7 @@ impl TagInterner {
 /// Exact serialized size of a sketch with the given tag and dimension.
 #[must_use]
 pub fn encoded_len(tag_len: usize, k: usize) -> usize {
-    4 + 1 + 2 + tag_len + 8 + 8 + 4 + 8 * k
+    4 + 1 + 2 + tag_len + 8 + 8 + 4 + 8 * k + CHECKSUM_LEN
 }
 
 /// Encode a sketch into the binary wire format.
@@ -96,6 +121,8 @@ pub fn encode_sketch(sketch: &NoisySketch) -> Result<Vec<u8>, CoreError> {
     for v in sketch.values() {
         out.extend_from_slice(&v.to_le_bytes());
     }
+    let checksum = fnv1a64(&out);
+    out.extend_from_slice(&checksum.to_le_bytes());
     Ok(out)
 }
 
@@ -201,6 +228,13 @@ fn decode_sketch_inner(
         }
         values.push(v);
     }
+    // Trailer: FNV-1a over every byte of this frame before the checksum.
+    let covered_end = pos;
+    let stored = u64::from_le_bytes(take(&mut pos, CHECKSUM_LEN)?.try_into().expect("8 bytes"));
+    let computed = fnv1a64(&bytes[..covered_end]);
+    if stored != computed {
+        return Err(CoreError::ChecksumMismatch { stored, computed });
+    }
     Ok((NoisySketch::new(values, tag, m2, m4), pos))
 }
 
@@ -279,6 +313,47 @@ mod tests {
         let mut inf_value = good;
         inf_value[v_off..v_off + 8].copy_from_slice(&f64::INFINITY.to_le_bytes());
         assert!(matches!(decode_sketch(&inf_value), Err(CoreError::Wire(_))));
+    }
+
+    #[test]
+    fn fnv1a64_known_vectors() {
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        // Single-byte flip always changes the digest.
+        assert_ne!(fnv1a64(b"abc"), fnv1a64(b"abd"));
+    }
+
+    #[test]
+    fn checksum_catches_silent_value_corruption() {
+        let bytes = encode_sketch(&sample()).unwrap();
+        let tag_len = "sjlt(k=4,seed=7)".len();
+        // Flip the lowest bit of the first value's mantissa: the value
+        // stays finite, so only the v2 trailer can catch it.
+        let v_off = 4 + 1 + 2 + tag_len + 8 + 8 + 4;
+        let mut corrupted = bytes.clone();
+        corrupted[v_off] ^= 1;
+        assert!(matches!(
+            decode_sketch(&corrupted),
+            Err(CoreError::ChecksumMismatch { .. })
+        ));
+        // A corrupted trailer itself is caught too.
+        let mut bad_trailer = bytes;
+        let last = bad_trailer.len() - 1;
+        bad_trailer[last] ^= 0xff;
+        assert!(matches!(
+            decode_sketch(&bad_trailer),
+            Err(CoreError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn every_single_byte_corruption_is_rejected() {
+        let bytes = encode_sketch(&sample()).unwrap();
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x01;
+            assert!(decode_sketch(&bad).is_err(), "corrupt byte {i} decoded");
+        }
     }
 
     #[test]

@@ -127,17 +127,25 @@ pub struct Release {
 
 impl Release {
     /// Encode as the compact binary wire format:
-    /// `b"DPRL" | version | party_id (u64 LE) | sketch payload`.
+    /// `b"DPRL" | version | party_id (u64 LE) | sketch payload |
+    /// checksum (u64 LE)`.
+    ///
+    /// The embedded sketch payload carries its own v2 trailer; the outer
+    /// checksum (FNV-1a-64 over every preceding byte of this frame)
+    /// additionally covers the release header, so a corrupted
+    /// `party_id` cannot silently misattribute a sketch.
     ///
     /// # Errors
     /// Propagates sketch encoding failures.
     pub fn to_bytes(&self) -> Result<Vec<u8>, CoreError> {
         let sketch = wire::encode_sketch(&self.sketch)?;
-        let mut out = Vec::with_capacity(4 + 1 + 8 + sketch.len());
+        let mut out = Vec::with_capacity(4 + 1 + 8 + sketch.len() + wire::CHECKSUM_LEN);
         out.extend_from_slice(&RELEASE_MAGIC);
         out.push(wire::WIRE_VERSION);
         out.extend_from_slice(&self.party_id.to_le_bytes());
         out.extend_from_slice(&sketch);
+        let checksum = wire::fnv1a64(&out);
+        out.extend_from_slice(&checksum.to_le_bytes());
         Ok(out)
     }
 
@@ -254,7 +262,19 @@ pub fn parse_release_bytes(bytes: &[u8], interner: &mut TagInterner) -> Result<R
             .expect("8 bytes"),
     );
     let (sketch, consumed) = wire::decode_sketch_prefix(&bytes[13..], Some(interner))?;
-    if 13 + consumed != bytes.len() {
+    let covered = 13 + consumed;
+    let stored = u64::from_le_bytes(
+        bytes
+            .get(covered..covered + wire::CHECKSUM_LEN)
+            .ok_or_else(truncated)?
+            .try_into()
+            .expect("8 bytes"),
+    );
+    let computed = wire::fnv1a64(&bytes[..covered]);
+    if stored != computed {
+        return Err(CoreError::ChecksumMismatch { stored, computed });
+    }
+    if covered + wire::CHECKSUM_LEN != bytes.len() {
         return Err(CoreError::Wire("trailing bytes after release".to_string()));
     }
     Ok(Release { party_id, sketch })
@@ -262,12 +282,27 @@ pub fn parse_release_bytes(bytes: &[u8], interner: &mut TagInterner) -> Result<R
 
 /// All pairwise squared-distance estimates among released sketches, as a
 /// flat row-major matrix (symmetric, zero diagonal), indexed in release
-/// order.
+/// order. Runs the tiled kernel on the environment-default
+/// [`dp_core::Parallelism`].
 ///
 /// # Errors
-/// [`CoreError::IncompatibleSketches`] if any pair doesn't combine.
+/// [`CoreError::IncompatibleSketches`] if any sketch doesn't combine
+/// with the first (see [`dp_core::sketcher::pairwise_sq_distances_with_par`]).
 pub fn pairwise_sq_distances(releases: &[Release]) -> Result<PairwiseDistances, CoreError> {
     dp_core::sketcher::pairwise_sq_distances_with(releases, |r| &r.sketch)
+}
+
+/// [`pairwise_sq_distances`] with an explicit [`dp_core::Parallelism`]
+/// knob (thread count and tile size). Bit-identical for every setting.
+///
+/// # Errors
+/// [`CoreError::IncompatibleSketches`] if any sketch doesn't combine
+/// with the first (see [`dp_core::sketcher::pairwise_sq_distances_with_par`]).
+pub fn pairwise_sq_distances_par(
+    releases: &[Release],
+    par: &dp_core::Parallelism,
+) -> Result<PairwiseDistances, CoreError> {
+    dp_core::sketcher::pairwise_sq_distances_with_par(releases, |r| &r.sketch, par)
 }
 
 /// Index of the released sketch nearest to `query` (by estimated squared
@@ -376,6 +411,30 @@ mod tests {
             .release_bytes(&p)
             .unwrap();
         assert!(parse_release_bytes(&good[..good.len() - 1], &mut interner).is_err());
+    }
+
+    #[test]
+    fn release_checksum_covers_the_party_id() {
+        let p = params(64);
+        let good = Party::new(7, vec![0.25; 64], Seed::new(2))
+            .release_bytes(&p)
+            .unwrap();
+        let mut interner = TagInterner::new();
+        assert!(parse_release_bytes(&good, &mut interner).is_ok());
+        // A bit flip in the party_id (bytes 5..13, outside the embedded
+        // sketch frame's own trailer) must not silently misattribute the
+        // sketch: the outer frame checksum catches it.
+        for byte in 5..13 {
+            let mut bad = good.clone();
+            bad[byte] ^= 0x10;
+            assert!(
+                matches!(
+                    parse_release_bytes(&bad, &mut interner),
+                    Err(dp_core::error::CoreError::ChecksumMismatch { .. })
+                ),
+                "party_id byte {byte}"
+            );
+        }
     }
 
     #[test]

@@ -5,9 +5,16 @@
 //! released sketches, answer top-k queries and build full neighbor
 //! rankings — all as post-processing of already-private data, so no
 //! further privacy cost is incurred.
+//!
+//! The all-queries surface ([`neighbor_rankings`]) is data-parallel on
+//! the [`Parallelism`] knob: queries are independent, so workers rank
+//! them concurrently and the results are identical to the sequential
+//! pass for every thread count.
 
 use crate::distributed::Release;
 use dp_core::error::CoreError;
+use dp_core::Parallelism;
+use dp_parallel::par_map;
 
 /// A scored neighbor.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -50,20 +57,36 @@ pub fn top_k(
 }
 
 /// For every release, its full neighbor ranking (ids only) — the
-/// all-pairs analogue of [`top_k`], useful for clustering post-processing.
+/// all-pairs analogue of [`top_k`], useful for clustering
+/// post-processing. Runs on the environment-default [`Parallelism`].
 ///
 /// # Errors
 /// Propagates sketch incompatibility.
 pub fn neighbor_rankings(releases: &[Release]) -> Result<Vec<Vec<u64>>, CoreError> {
-    releases
-        .iter()
-        .map(|q| {
-            Ok(top_k(q, releases, releases.len())?
-                .into_iter()
-                .map(|n| n.party_id)
-                .collect())
-        })
-        .collect()
+    neighbor_rankings_par(releases, &Parallelism::default())
+}
+
+/// [`neighbor_rankings`] with an explicit [`Parallelism`] knob: each
+/// query's ranking is an independent task, so workers process queries
+/// concurrently. Identical output to the sequential pass for every
+/// thread count (rankings are assembled in query order, and each
+/// ranking's sort is independent of scheduling).
+///
+/// # Errors
+/// Propagates sketch incompatibility (the error for the lowest failing
+/// query index, as in a sequential pass).
+pub fn neighbor_rankings_par(
+    releases: &[Release],
+    par: &Parallelism,
+) -> Result<Vec<Vec<u64>>, CoreError> {
+    par_map(releases, par.threads(), |_, q| {
+        Ok(top_k(q, releases, releases.len())?
+            .into_iter()
+            .map(|n| n.party_id)
+            .collect())
+    })
+    .into_iter()
+    .collect()
 }
 
 /// Majority vote over the labels of the `k` nearest neighbors — the
@@ -152,6 +175,16 @@ mod tests {
         for (i, r) in ranks.iter().enumerate() {
             assert_eq!(r.len(), 5);
             assert!(!r.contains(&(i as u64)));
+        }
+    }
+
+    #[test]
+    fn parallel_rankings_match_sequential() {
+        let rs = releases();
+        let sequential = neighbor_rankings_par(&rs, &Parallelism::sequential()).expect("ranks");
+        for threads in [2usize, 3, 8] {
+            let parallel = neighbor_rankings_par(&rs, &Parallelism::new(threads)).expect("ranks");
+            assert_eq!(sequential, parallel, "threads = {threads}");
         }
     }
 

@@ -17,7 +17,7 @@ use dp_euclid::core::wire::TagInterner;
 use dp_euclid::hashing::Seed;
 use dp_euclid::prelude::*;
 use dp_euclid::stream::distributed::{
-    nearest_neighbor, pairwise_sq_distances, parse_release_bytes, Release,
+    nearest_neighbor, pairwise_sq_distances_par, parse_release_bytes, Release,
 };
 
 fn profile(d: usize, group: usize, idx: u64) -> Vec<f64> {
@@ -75,8 +75,16 @@ fn run_protocol(params: &PublicParams) {
         interner.len()
     );
 
-    // Coordinator-side analytics on released data only.
-    let dist = pairwise_sq_distances(&releases).expect("pairwise");
+    // Coordinator-side analytics on released data only. The all-pairs
+    // matrix runs the tiled kernel on the env-driven Parallelism knob
+    // (DP_THREADS / DP_TILE); estimates are bit-identical regardless.
+    let par = Parallelism::from_env();
+    println!(
+        "pairwise kernel: {} worker(s), tile {}",
+        par.threads(),
+        par.tile()
+    );
+    let dist = pairwise_sq_distances_par(&releases, &par).expect("pairwise");
     let mut best = (0usize, 1usize, f64::INFINITY);
     let mut intra = Vec::new();
     let mut inter = Vec::new();

@@ -69,6 +69,7 @@
 //! | [`dp_linalg`] | dense/sparse vectors, matrices, fast Walsh–Hadamard transform |
 //! | [`dp_noise`] | Laplace/Gaussian/discrete mechanisms, moments, privacy accounting |
 //! | [`dp_transforms`] | iid-Gaussian, Achlioptas, FJLT and SJLT projections |
+//! | [`dp_parallel`] | scoped thread pool, `Parallelism` knob, pairwise tile scheduler |
 //! | [`dp_core`] | the `PrivateSketcher` trait, `AnySketcher`/`SketcherSpec`, estimators, variance theory, wire codecs |
 //! | [`dp_stream`] | streaming (turnstile) sketches and the spec-driven distributed protocol |
 //! | [`dp_stats`] | measurement utilities used by tests and the experiment harness |
@@ -77,6 +78,7 @@ pub use dp_core as core;
 pub use dp_hashing as hashing;
 pub use dp_linalg as linalg;
 pub use dp_noise as noise;
+pub use dp_parallel as parallel;
 pub use dp_stats as stats;
 pub use dp_stream as stream;
 pub use dp_transforms as transforms;
@@ -91,8 +93,8 @@ pub mod prelude {
         kenthapadi::{Kenthapadi, SigmaCalibration},
         sjlt_private::PrivateSjlt,
         sketcher::{
-            pairwise_sq_distances, AnySketcher, Construction, PairwiseDistances, PrivateSketcher,
-            SketcherSpec,
+            pairwise_sq_distances, pairwise_sq_distances_with_par, sketch_batch_par, AnySketcher,
+            Construction, PairwiseDistances, PrivateSketcher, SketcherSpec,
         },
     };
     pub use dp_hashing::Seed;
@@ -100,6 +102,7 @@ pub mod prelude {
         mechanism::{GaussianMechanism, LaplaceMechanism, NoiseMechanism},
         privacy::PrivacyGuarantee,
     };
+    pub use dp_parallel::{Parallelism, TileScheduler};
     pub use dp_stream::{
         distributed::{Party, PublicParams, Release},
         streaming::StreamingSketch,

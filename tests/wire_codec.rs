@@ -3,7 +3,8 @@
 //! on re-encode), and the JSON compatibility path must agree with it.
 
 use dp_euclid::core::wire::{
-    decode_sketch, decode_sketch_interned, encode_sketch, encoded_len, TagInterner,
+    decode_sketch, decode_sketch_interned, encode_sketch, encoded_len, fnv1a64, TagInterner,
+    CHECKSUM_LEN,
 };
 use dp_euclid::hashing::{Prng, Seed};
 use dp_euclid::prelude::*;
@@ -106,14 +107,32 @@ fn corrupted_payloads_never_decode() {
     for cut in 0..bytes.len() {
         assert!(decode_sketch(&bytes[..cut]).is_err(), "prefix {cut}");
     }
-    // Declaring more values than present fails (corrupt the k field:
-    // it sits right before the values block).
-    let values_off = bytes.len() - 24 * 8 - 4;
+    // Declaring more values than present fails (corrupt the k field: it
+    // sits right before the values block and the checksum trailer).
+    let k_off = bytes.len() - CHECKSUM_LEN - 24 * 8 - 4;
     let mut inflated = bytes.clone();
-    inflated[values_off] = inflated[values_off].wrapping_add(1);
+    inflated[k_off] = inflated[k_off].wrapping_add(1);
     assert!(decode_sketch(&inflated).is_err());
     // Trailing garbage fails.
     let mut padded = bytes;
     padded.extend_from_slice(&[0u8; 3]);
     assert!(decode_sketch(&padded).is_err());
+}
+
+#[test]
+fn checksum_trailer_guards_every_byte() {
+    let sketch = random_sketch(13, 32, "v2-checksummed-tag");
+    let bytes = encode_sketch(&sketch).expect("encode");
+    // The trailer is the FNV-1a-64 of everything before it.
+    let split = bytes.len() - CHECKSUM_LEN;
+    let stored = u64::from_le_bytes(bytes[split..].try_into().expect("8 bytes"));
+    assert_eq!(stored, fnv1a64(&bytes[..split]));
+    // Any single-byte corruption anywhere in the frame must fail decode
+    // (header fields fail structurally; payload and trailer bytes fail
+    // the checksum comparison).
+    for i in 0..bytes.len() {
+        let mut bad = bytes.clone();
+        bad[i] ^= 0x04;
+        assert!(decode_sketch(&bad).is_err(), "corrupt byte {i} decoded");
+    }
 }
