@@ -1,0 +1,238 @@
+//! Benchmark the `dp-engine` query surface against the slice-based path
+//! it replaced, and record the perf trajectory.
+//!
+//! Three measurements per store size:
+//!
+//! * **pair query**: `QueryEngine::pair` (ingest-time validation, flat
+//!   arena, hoisted debias) versus the old per-call
+//!   `NoisySketch::estimate_sq_distance` over a `&[Release]` slice
+//!   (which re-checks compatibility and re-derives the debias constant
+//!   on every call).
+//! * **incremental all-pairs**: one new row into a warm engine versus
+//!   recomputing the whole matrix the way the slice-based surface had
+//!   to.
+//!
+//! Every engine answer is verified bit-identical to the slice path
+//! before timing. Writes machine-readable `BENCH_engine.json`.
+//!
+//! Usage: `bench_engine [--quick] [--out <path>]`
+
+use dp_bench::runner::time_per_op;
+use dp_bench::workload::gaussian_vec;
+use dp_core::config::SketchConfig;
+use dp_core::json::JsonValue;
+use dp_core::release::Release;
+use dp_core::sketcher::{AnySketcher, Construction, PrivateSketcher};
+use dp_engine::{QueryEngine, SketchStore};
+use dp_hashing::Seed;
+
+struct Measurement {
+    rows: usize,
+    ns_engine_pair: f64,
+    ns_slice_pair: f64,
+    pair_speedup: f64,
+    ns_incremental_row: f64,
+    ns_recompute_row: f64,
+    incremental_speedup: f64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map_or("BENCH_engine.json", String::as_str);
+
+    let d = 256;
+    let cfg = SketchConfig::builder()
+        .input_dim(d)
+        .alpha(0.3)
+        .beta(0.1)
+        .epsilon(1.0)
+        .build()
+        .expect("config");
+    let sketcher = AnySketcher::new(Construction::SjltAuto, &cfg, Seed::new(7)).expect("sketcher");
+    let k = sketcher.k();
+    println!("== bench_engine: SketchStore/QueryEngine vs the slice-based path ==");
+    println!("d = {d}, k = {k}");
+
+    let row_counts: &[usize] = if quick { &[64] } else { &[64, 256] };
+    // One extra row beyond the largest sweep: the incremental bench
+    // grows each store by one release.
+    let max_rows = *row_counts.iter().max().expect("nonempty") + 1;
+    let rows: Vec<Vec<f64>> = (0..max_rows)
+        .map(|r| gaussian_vec(d, Seed::new(1000 + r as u64)))
+        .collect();
+    let releases: Vec<Release> = sketcher
+        .sketch_batch(&rows, Seed::new(99))
+        .expect("batch")
+        .into_iter()
+        .enumerate()
+        .map(|(i, sketch)| Release {
+            party_id: i as u64,
+            sketch,
+        })
+        .collect();
+
+    let mut measurements = Vec::new();
+    let mut all_identical = true;
+    for &n in row_counts {
+        let slice = &releases[..n];
+        let mut engine = QueryEngine::new(SketchStore::adopting());
+        for r in slice {
+            engine.ingest(r).expect("ingest");
+        }
+
+        // Verify: every engine pair answer equals the slice path's.
+        for i in 0..n.min(16) {
+            for j in 0..n.min(16) {
+                let via_engine = engine.pair(i as u64, j as u64).expect("pair");
+                let via_slice = if i == j {
+                    0.0
+                } else {
+                    let (lo, hi) = if i < j { (i, j) } else { (j, i) };
+                    slice[lo]
+                        .sketch
+                        .estimate_sq_distance(&slice[hi].sketch)
+                        .expect("estimate")
+                };
+                all_identical &= via_engine.to_bits() == via_slice.to_bits();
+            }
+        }
+
+        // Point queries over a fixed pseudo-random id schedule.
+        let queries: Vec<(u64, u64)> = (0..1024u64)
+            .map(|q| ((q * 37) % n as u64, (q * 61 + 13) % n as u64))
+            .collect();
+        let iters = if quick { 3 } else { 10 };
+        let t_engine = time_per_op(iters, || {
+            let mut acc = 0.0;
+            for &(a, b) in &queries {
+                acc += engine.pair(a, b).expect("pair");
+            }
+            std::hint::black_box(acc);
+        }) / queries.len() as f64;
+        let t_slice = time_per_op(iters, || {
+            let mut acc = 0.0;
+            for &(a, b) in &queries {
+                if a != b {
+                    acc += slice[a as usize]
+                        .sketch
+                        .estimate_sq_distance(&slice[b as usize].sketch)
+                        .expect("estimate");
+                }
+            }
+            std::hint::black_box(acc);
+        }) / queries.len() as f64;
+
+        // Incremental growth: a warm engine absorbing one more row vs
+        // recomputing the whole (n+1)-row matrix from the slice.
+        let grown = &releases[..n + 1];
+        let iters_inc = if quick { 2 } else { 5 };
+        let t_incremental = time_per_op(iters_inc, || {
+            let mut warm = QueryEngine::new(SketchStore::adopting());
+            for r in slice {
+                warm.ingest(r).expect("ingest");
+            }
+            let _ = warm.pairwise_all();
+            warm.ingest(&grown[n]).expect("ingest");
+            let _ = warm.pairwise_all();
+        });
+        let t_warmup = time_per_op(iters_inc, || {
+            let mut warm = QueryEngine::new(SketchStore::adopting());
+            for r in slice {
+                warm.ingest(r).expect("ingest");
+            }
+            let _ = warm.pairwise_all();
+        });
+        let t_new_row = (t_incremental - t_warmup).max(1.0);
+        let t_recompute = time_per_op(iters_inc, || {
+            let mut cold = QueryEngine::new(SketchStore::adopting());
+            for r in grown {
+                cold.ingest(r).expect("ingest");
+            }
+            let _ = cold.pairwise_all();
+        });
+
+        println!(
+            "n = {n:5}  pair: engine {t_engine:8.1} ns vs slice {t_slice:8.1} ns ({:4.2}x)  \
+             +1 row: incremental {:10.0} ns vs recompute {:10.0} ns ({:5.2}x)",
+            t_slice / t_engine,
+            t_new_row,
+            t_recompute,
+            t_recompute / t_new_row,
+        );
+        measurements.push(Measurement {
+            rows: n,
+            ns_engine_pair: t_engine,
+            ns_slice_pair: t_slice,
+            pair_speedup: t_slice / t_engine,
+            ns_incremental_row: t_new_row,
+            ns_recompute_row: t_recompute,
+            incremental_speedup: t_recompute / t_new_row,
+        });
+    }
+
+    println!(
+        "CHECK [{}] engine pair answers bit-identical to the slice path",
+        if all_identical { "PASS" } else { "FAIL" }
+    );
+
+    let json = JsonValue::Object(vec![
+        (
+            "bench".to_string(),
+            JsonValue::String("engine_queries".to_string()),
+        ),
+        (
+            "construction".to_string(),
+            JsonValue::String("sjlt-auto".to_string()),
+        ),
+        ("d".to_string(), JsonValue::UInt(d as u64)),
+        ("k".to_string(), JsonValue::UInt(k as u64)),
+        ("bit_identical".to_string(), JsonValue::Bool(all_identical)),
+        (
+            "measurements".to_string(),
+            JsonValue::Array(
+                measurements
+                    .iter()
+                    .map(|m| {
+                        JsonValue::Object(vec![
+                            ("rows".to_string(), JsonValue::UInt(m.rows as u64)),
+                            (
+                                "ns_engine_pair".to_string(),
+                                JsonValue::Number(m.ns_engine_pair),
+                            ),
+                            (
+                                "ns_slice_pair".to_string(),
+                                JsonValue::Number(m.ns_slice_pair),
+                            ),
+                            (
+                                "pair_speedup".to_string(),
+                                JsonValue::Number(m.pair_speedup),
+                            ),
+                            (
+                                "ns_incremental_row".to_string(),
+                                JsonValue::Number(m.ns_incremental_row),
+                            ),
+                            (
+                                "ns_recompute_row".to_string(),
+                                JsonValue::Number(m.ns_recompute_row),
+                            ),
+                            (
+                                "incremental_speedup".to_string(),
+                                JsonValue::Number(m.incremental_speedup),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    std::fs::write(out_path, json.to_string()).expect("write BENCH_engine.json");
+    println!("wrote {out_path}");
+    if !all_identical {
+        std::process::exit(1);
+    }
+}

@@ -25,6 +25,11 @@
 //!   every thread count and tile size.
 //! * [`wire`] — the versioned compact binary codec for released sketches
 //!   (JSON via [`NoisySketch::to_json`] stays as a compatibility path).
+//! * [`release`] — the `DPRL` release frame (sketch + party id) shared
+//!   by the distributed protocol, the sketch store, and the server.
+//! * [`protocol`] — wire codec v3: the length-prefixed
+//!   request/response frames a sketch service speaks (Hello/Ingest/
+//!   Pairwise/Knn/TopPairs and their responses).
 //! * [`json`] — the dependency-free JSON reader/writer backing the
 //!   compatibility path.
 
@@ -36,6 +41,8 @@ pub mod framework;
 pub mod hamming;
 pub mod json;
 pub mod kenthapadi;
+pub mod protocol;
+pub mod release;
 pub mod repetition;
 pub mod sjlt_private;
 pub mod sketcher;
@@ -46,11 +53,13 @@ pub use config::SketchConfig;
 pub use error::CoreError;
 pub use estimator::{DistanceEstimate, NoisySketch};
 pub use framework::GenSketcher;
+pub use release::Release;
 pub use sjlt_private::PrivateSjlt;
 pub use sketcher::{
-    pairwise_sq_distances, pairwise_sq_distances_reference, pairwise_sq_distances_with,
-    pairwise_sq_distances_with_par, sketch_batch_par, sketch_batch_sequential, AnySketcher,
-    Construction, PairwiseDistances, PrivateSketcher, SketcherSpec,
+    pairwise_sq_distances, pairwise_sq_distances_reference, pairwise_sq_distances_rows,
+    pairwise_sq_distances_with, pairwise_sq_distances_with_par, sketch_batch_par,
+    sketch_batch_sequential, AnySketcher, Construction, PairwiseDistances, PrivateSketcher,
+    SketcherSpec,
 };
 // The execution knob and tile scheduler, re-exported so downstream
 // crates need not depend on dp-parallel directly.

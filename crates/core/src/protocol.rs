@@ -1,0 +1,744 @@
+//! Wire codec v3: the request/response protocol of the sketch service.
+//!
+//! Versions 1–2 of the wire codec defined *payload* frames — sketches
+//! (`DPNS`, [`crate::wire`]) and releases (`DPRL`, [`crate::release`]).
+//! Version 3 adds the *conversation* layer on top: typed, length-prefixed
+//! request and response frames that a `dp-server` speaks over a TCP or
+//! unix-socket byte stream and that a `SketchStore` answers. Sketch and
+//! release payloads stay at v2 and travel embedded inside v3 frames.
+//!
+//! ## Frame grammar
+//!
+//! Every frame on the stream is
+//!
+//! ```text
+//! length   4 bytes  u32 LE, byte length of the payload that follows
+//! payload  …        see below
+//! ```
+//!
+//! and every payload is
+//!
+//! ```text
+//! magic    4 bytes  b"DPRQ" (request) | b"DPRS" (response)
+//! version  1 byte   currently 3
+//! kind     1 byte   frame discriminant (see below)
+//! body     …        kind-specific fields
+//! checksum 8 bytes  u64 LE, FNV-1a-64 over every preceding payload byte
+//! ```
+//!
+//! exactly mirroring the v2 trailer discipline: a single corrupted
+//! payload byte is always rejected ([`CoreError::ChecksumMismatch`]),
+//! and a corrupted length prefix is caught by the payload checks of the
+//! misframed bytes. Strings are `u32 LE length + UTF-8 bytes`; lists are
+//! `u32 LE count + items`; floats are `f64 LE` and must be finite.
+//!
+//! ## Conversation
+//!
+//! ```text
+//! request            kind  body
+//! ─────────────────  ────  ──────────────────────────────────────────
+//! Hello                1   spec JSON (string) — spec negotiation
+//! Ingest               2   one DPRL release frame (bytes)
+//! Pairwise             3   party-id list (empty = all ingested rows)
+//! Knn                  4   party id (u64), k (u32)
+//! TopPairs             5   t (u32)
+//! Shutdown             6   —
+//!
+//! response           kind  body
+//! ─────────────────  ────  ──────────────────────────────────────────
+//! Hello                1   k (u32), rows (u64), transform tag (string)
+//! Ingested             2   row index (u64), rows (u64)
+//! Pairwise             3   party-id list, row-major n×n estimates
+//! Knn                  4   (party id, estimate) pairs, ascending
+//! TopPairs             5   (a, b, estimate) triples, ascending
+//! Error                6   code (u16, see `ERR_*`), message (string)
+//! Bye                  7   — (acknowledges Shutdown)
+//! ```
+//!
+//! A server answers every request with exactly one response; `Error`
+//! never closes the connection (the client may retry), `Bye` always
+//! does. The first request on a fresh store SHOULD be `Hello` carrying
+//! the shared [`crate::sketcher::SketcherSpec`]; a `Hello` against a
+//! store that already holds a different spec is answered with
+//! `Error(ERR_SPEC_MISMATCH)` — that is the whole negotiation.
+
+use crate::error::CoreError;
+use crate::wire::{fnv1a64, CHECKSUM_LEN};
+use std::io::{self, Read, Write};
+
+/// Magic prefix of a v3 request payload.
+pub const REQUEST_MAGIC: [u8; 4] = *b"DPRQ";
+
+/// Magic prefix of a v3 response payload.
+pub const RESPONSE_MAGIC: [u8; 4] = *b"DPRS";
+
+/// The protocol layer's codec version.
+pub const PROTOCOL_VERSION: u8 = 3;
+
+/// Upper bound on a single frame payload (64 MiB): a hostile or garbled
+/// length prefix must not be able to demand an unbounded allocation.
+pub const MAX_FRAME_LEN: usize = 64 << 20;
+
+/// The request's spec was rejected or malformed.
+pub const ERR_SPEC: u16 = 1;
+/// A `Hello` spec differs from the spec the store already serves.
+pub const ERR_SPEC_MISMATCH: u16 = 2;
+/// An ingested release is incompatible with the store.
+pub const ERR_INCOMPATIBLE: u16 = 3;
+/// An ingested release's party id is already present.
+pub const ERR_DUPLICATE_PARTY: u16 = 4;
+/// A queried party id is not in the store.
+pub const ERR_UNKNOWN_PARTY: u16 = 5;
+/// A frame failed to decode (bad magic/version/checksum/body).
+pub const ERR_MALFORMED: u16 = 6;
+/// Any other server-side failure.
+pub const ERR_INTERNAL: u16 = 7;
+
+/// A client-to-server frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Spec negotiation: propose the shared `SketcherSpec` (JSON form).
+    Hello {
+        /// The spec's JSON serialization
+        /// ([`crate::sketcher::SketcherSpec::to_json`]).
+        spec_json: String,
+    },
+    /// Ingest one release, as its self-contained `DPRL` binary frame.
+    Ingest {
+        /// The encoded release ([`crate::release::Release::to_bytes`]).
+        release_frame: Vec<u8>,
+    },
+    /// All pairwise estimates among `parties` (empty = every row, in
+    /// ingest order).
+    Pairwise {
+        /// Party ids selecting the submatrix, in the requested order.
+        parties: Vec<u64>,
+    },
+    /// The `k` nearest neighbors of one ingested party.
+    Knn {
+        /// The query party id.
+        party: u64,
+        /// Number of neighbors requested.
+        k: u32,
+    },
+    /// The `t` globally closest pairs.
+    TopPairs {
+        /// Number of pairs requested.
+        t: u32,
+    },
+    /// Ask the server to stop accepting connections and exit cleanly.
+    Shutdown,
+}
+
+/// A server-to-client frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Spec accepted (or already in effect): the store's geometry.
+    Hello {
+        /// Sketch dimension every release must carry.
+        k: u32,
+        /// Rows currently ingested.
+        rows: u64,
+        /// The transform identity tag releases must carry.
+        tag: String,
+    },
+    /// A release was ingested.
+    Ingested {
+        /// The arena row the release landed in.
+        row: u64,
+        /// Rows ingested after this one.
+        rows: u64,
+    },
+    /// A pairwise submatrix, row-major over `parties`.
+    Pairwise {
+        /// The party ids the matrix is indexed by.
+        parties: Vec<u64>,
+        /// Row-major `n × n` debiased squared-distance estimates.
+        values: Vec<f64>,
+    },
+    /// Nearest neighbors, ascending by estimate.
+    Knn {
+        /// `(party id, estimated squared distance)` per neighbor.
+        neighbors: Vec<(u64, f64)>,
+    },
+    /// Globally closest pairs, ascending by estimate.
+    TopPairs {
+        /// `(party a, party b, estimated squared distance)` per pair.
+        pairs: Vec<(u64, u64, f64)>,
+    },
+    /// The request failed; the connection stays usable.
+    Error {
+        /// One of the `ERR_*` codes.
+        code: u16,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// Acknowledges [`Request::Shutdown`]; the server closes after this.
+    Bye,
+}
+
+// ---------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------
+
+fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) -> Result<(), CoreError> {
+    let len = u32::try_from(bytes.len())
+        .map_err(|_| CoreError::Wire(format!("field too long ({} bytes)", bytes.len())))?;
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(bytes);
+    Ok(())
+}
+
+fn put_count(out: &mut Vec<u8>, count: usize) -> Result<(), CoreError> {
+    let count = u32::try_from(count)
+        .map_err(|_| CoreError::Wire(format!("list too long ({count} items)")))?;
+    out.extend_from_slice(&count.to_le_bytes());
+    Ok(())
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) -> Result<(), CoreError> {
+    if !v.is_finite() {
+        return Err(CoreError::Wire(format!(
+            "non-finite value on the wire ({v})"
+        )));
+    }
+    out.extend_from_slice(&v.to_le_bytes());
+    Ok(())
+}
+
+fn seal(mut out: Vec<u8>) -> Vec<u8> {
+    let checksum = fnv1a64(&out);
+    out.extend_from_slice(&checksum.to_le_bytes());
+    out
+}
+
+fn header(magic: [u8; 4], kind: u8) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    out.extend_from_slice(&magic);
+    out.push(PROTOCOL_VERSION);
+    out.push(kind);
+    out
+}
+
+/// Encode a request into a v3 payload (no length prefix; see
+/// [`write_frame`]).
+///
+/// # Errors
+/// [`CoreError::Wire`] if a field exceeds the wire's `u32` bounds or a
+/// float is non-finite.
+pub fn encode_request(req: &Request) -> Result<Vec<u8>, CoreError> {
+    let mut out;
+    match req {
+        Request::Hello { spec_json } => {
+            out = header(REQUEST_MAGIC, 1);
+            put_bytes(&mut out, spec_json.as_bytes())?;
+        }
+        Request::Ingest { release_frame } => {
+            out = header(REQUEST_MAGIC, 2);
+            put_bytes(&mut out, release_frame)?;
+        }
+        Request::Pairwise { parties } => {
+            out = header(REQUEST_MAGIC, 3);
+            put_count(&mut out, parties.len())?;
+            for p in parties {
+                out.extend_from_slice(&p.to_le_bytes());
+            }
+        }
+        Request::Knn { party, k } => {
+            out = header(REQUEST_MAGIC, 4);
+            out.extend_from_slice(&party.to_le_bytes());
+            out.extend_from_slice(&k.to_le_bytes());
+        }
+        Request::TopPairs { t } => {
+            out = header(REQUEST_MAGIC, 5);
+            out.extend_from_slice(&t.to_le_bytes());
+        }
+        Request::Shutdown => {
+            out = header(REQUEST_MAGIC, 6);
+        }
+    }
+    Ok(seal(out))
+}
+
+/// Encode a response into a v3 payload (no length prefix; see
+/// [`write_frame`]).
+///
+/// # Errors
+/// [`CoreError::Wire`] if a field exceeds the wire's `u32` bounds or a
+/// float is non-finite.
+pub fn encode_response(resp: &Response) -> Result<Vec<u8>, CoreError> {
+    let mut out;
+    match resp {
+        Response::Hello { k, rows, tag } => {
+            out = header(RESPONSE_MAGIC, 1);
+            out.extend_from_slice(&k.to_le_bytes());
+            out.extend_from_slice(&rows.to_le_bytes());
+            put_bytes(&mut out, tag.as_bytes())?;
+        }
+        Response::Ingested { row, rows } => {
+            out = header(RESPONSE_MAGIC, 2);
+            out.extend_from_slice(&row.to_le_bytes());
+            out.extend_from_slice(&rows.to_le_bytes());
+        }
+        Response::Pairwise { parties, values } => {
+            if values.len() != parties.len() * parties.len() {
+                return Err(CoreError::Wire(format!(
+                    "pairwise response shape mismatch ({} parties, {} values)",
+                    parties.len(),
+                    values.len()
+                )));
+            }
+            out = header(RESPONSE_MAGIC, 3);
+            put_count(&mut out, parties.len())?;
+            for p in parties {
+                out.extend_from_slice(&p.to_le_bytes());
+            }
+            for &v in values {
+                put_f64(&mut out, v)?;
+            }
+        }
+        Response::Knn { neighbors } => {
+            out = header(RESPONSE_MAGIC, 4);
+            put_count(&mut out, neighbors.len())?;
+            for &(id, d) in neighbors {
+                out.extend_from_slice(&id.to_le_bytes());
+                put_f64(&mut out, d)?;
+            }
+        }
+        Response::TopPairs { pairs } => {
+            out = header(RESPONSE_MAGIC, 5);
+            put_count(&mut out, pairs.len())?;
+            for &(a, b, d) in pairs {
+                out.extend_from_slice(&a.to_le_bytes());
+                out.extend_from_slice(&b.to_le_bytes());
+                put_f64(&mut out, d)?;
+            }
+        }
+        Response::Error { code, message } => {
+            out = header(RESPONSE_MAGIC, 6);
+            out.extend_from_slice(&code.to_le_bytes());
+            put_bytes(&mut out, message.as_bytes())?;
+        }
+        Response::Bye => {
+            out = header(RESPONSE_MAGIC, 7);
+        }
+    }
+    Ok(seal(out))
+}
+
+// ---------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CoreError> {
+        let slice = self
+            .bytes
+            .get(self.pos..self.pos + n)
+            .ok_or_else(|| CoreError::Wire("truncated protocol frame".to_string()))?;
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u16(&mut self) -> Result<u16, CoreError> {
+        Ok(u16::from_le_bytes(
+            self.take(2)?.try_into().expect("2 bytes"),
+        ))
+    }
+
+    fn u32(&mut self) -> Result<u32, CoreError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, CoreError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn f64(&mut self) -> Result<f64, CoreError> {
+        let v = f64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes"));
+        if !v.is_finite() {
+            return Err(CoreError::Wire(format!(
+                "non-finite value on the wire ({v})"
+            )));
+        }
+        Ok(v)
+    }
+
+    /// A list length, bounded by the bytes actually remaining (a hostile
+    /// count must not demand a huge allocation before the read fails).
+    fn count(&mut self, item_len: usize) -> Result<usize, CoreError> {
+        let n = self.u32()? as usize;
+        if self.bytes.len().saturating_sub(self.pos) < n.saturating_mul(item_len) {
+            return Err(CoreError::Wire("truncated protocol frame".to_string()));
+        }
+        Ok(n)
+    }
+
+    fn bytes_field(&mut self) -> Result<&'a [u8], CoreError> {
+        let n = self.count(1)?;
+        self.take(n)
+    }
+
+    fn string(&mut self) -> Result<String, CoreError> {
+        let raw = self.bytes_field()?;
+        std::str::from_utf8(raw)
+            .map(str::to_string)
+            .map_err(|e| CoreError::Wire(format!("string not UTF-8: {e}")))
+    }
+}
+
+/// Validate the payload envelope (magic, version, checksum) and return
+/// `(kind, body reader)`.
+fn open(bytes: &[u8], magic: [u8; 4]) -> Result<(u8, Reader<'_>), CoreError> {
+    if bytes.len() < 4 + 1 + 1 + CHECKSUM_LEN {
+        return Err(CoreError::Wire("truncated protocol frame".to_string()));
+    }
+    if bytes[..4] != magic {
+        return Err(CoreError::Wire(
+            "bad magic (not a protocol frame of the expected direction)".to_string(),
+        ));
+    }
+    let version = bytes[4];
+    if version != PROTOCOL_VERSION {
+        return Err(CoreError::Wire(format!(
+            "unsupported protocol version {version} (expected {PROTOCOL_VERSION})"
+        )));
+    }
+    let covered = bytes.len() - CHECKSUM_LEN;
+    let stored = u64::from_le_bytes(bytes[covered..].try_into().expect("8 bytes"));
+    let computed = fnv1a64(&bytes[..covered]);
+    if stored != computed {
+        return Err(CoreError::ChecksumMismatch { stored, computed });
+    }
+    Ok((
+        bytes[5],
+        Reader {
+            bytes: &bytes[..covered],
+            pos: 6,
+        },
+    ))
+}
+
+fn finish<T>(r: Reader<'_>, value: T) -> Result<T, CoreError> {
+    if r.pos != r.bytes.len() {
+        return Err(CoreError::Wire(format!(
+            "trailing bytes in protocol frame ({} of {})",
+            r.pos,
+            r.bytes.len()
+        )));
+    }
+    Ok(value)
+}
+
+/// Decode a request payload.
+///
+/// # Errors
+/// [`CoreError::Wire`] on malformed input,
+/// [`CoreError::ChecksumMismatch`] on a corrupted frame.
+pub fn decode_request(bytes: &[u8]) -> Result<Request, CoreError> {
+    let (kind, mut r) = open(bytes, REQUEST_MAGIC)?;
+    let req = match kind {
+        1 => Request::Hello {
+            spec_json: r.string()?,
+        },
+        2 => Request::Ingest {
+            release_frame: r.bytes_field()?.to_vec(),
+        },
+        3 => {
+            let n = r.count(8)?;
+            let mut parties = Vec::with_capacity(n);
+            for _ in 0..n {
+                parties.push(r.u64()?);
+            }
+            Request::Pairwise { parties }
+        }
+        4 => Request::Knn {
+            party: r.u64()?,
+            k: r.u32()?,
+        },
+        5 => Request::TopPairs { t: r.u32()? },
+        6 => Request::Shutdown,
+        other => {
+            return Err(CoreError::Wire(format!("unknown request kind {other}")));
+        }
+    };
+    finish(r, req)
+}
+
+/// Decode a response payload.
+///
+/// # Errors
+/// [`CoreError::Wire`] on malformed input,
+/// [`CoreError::ChecksumMismatch`] on a corrupted frame.
+pub fn decode_response(bytes: &[u8]) -> Result<Response, CoreError> {
+    let (kind, mut r) = open(bytes, RESPONSE_MAGIC)?;
+    let resp = match kind {
+        1 => Response::Hello {
+            k: r.u32()?,
+            rows: r.u64()?,
+            tag: r.string()?,
+        },
+        2 => Response::Ingested {
+            row: r.u64()?,
+            rows: r.u64()?,
+        },
+        3 => {
+            let n = r.count(8)?;
+            let mut parties = Vec::with_capacity(n);
+            for _ in 0..n {
+                parties.push(r.u64()?);
+            }
+            let cells = n
+                .checked_mul(n)
+                .ok_or_else(|| CoreError::Wire("pairwise response too large".to_string()))?;
+            if r.bytes.len().saturating_sub(r.pos) < cells.saturating_mul(8) {
+                return Err(CoreError::Wire("truncated protocol frame".to_string()));
+            }
+            let mut values = Vec::with_capacity(cells);
+            for _ in 0..cells {
+                values.push(r.f64()?);
+            }
+            Response::Pairwise { parties, values }
+        }
+        4 => {
+            let n = r.count(16)?;
+            let mut neighbors = Vec::with_capacity(n);
+            for _ in 0..n {
+                neighbors.push((r.u64()?, r.f64()?));
+            }
+            Response::Knn { neighbors }
+        }
+        5 => {
+            let n = r.count(24)?;
+            let mut pairs = Vec::with_capacity(n);
+            for _ in 0..n {
+                pairs.push((r.u64()?, r.u64()?, r.f64()?));
+            }
+            Response::TopPairs { pairs }
+        }
+        6 => Response::Error {
+            code: r.u16()?,
+            message: r.string()?,
+        },
+        7 => Response::Bye,
+        other => {
+            return Err(CoreError::Wire(format!("unknown response kind {other}")));
+        }
+    };
+    finish(r, resp)
+}
+
+// ---------------------------------------------------------------------
+// Stream framing
+// ---------------------------------------------------------------------
+
+/// Write one length-prefixed frame (`u32 LE length | payload`).
+///
+/// # Errors
+/// Propagates I/O failures; `InvalidData` if the payload exceeds
+/// [`MAX_FRAME_LEN`].
+pub fn write_frame<W: Write + ?Sized>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {} bytes exceeds MAX_FRAME_LEN", payload.len()),
+        ));
+    }
+    let len = payload.len() as u32;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Read one length-prefixed frame; `Ok(None)` on clean EOF at a frame
+/// boundary.
+///
+/// # Errors
+/// Propagates I/O failures; `InvalidData` if the announced length
+/// exceeds [`MAX_FRAME_LEN`]; `UnexpectedEof` on a mid-frame EOF.
+pub fn read_frame<R: Read + ?Sized>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
+    let mut len_bytes = [0u8; 4];
+    // A clean EOF before the first length byte means "no more frames".
+    let mut filled = 0usize;
+    while filled < 4 {
+        match r.read(&mut len_bytes[filled..])? {
+            0 if filled == 0 => return Ok(None),
+            0 => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "EOF inside a frame length prefix",
+                ))
+            }
+            n => filled += n,
+        }
+    }
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("announced frame of {len} bytes exceeds MAX_FRAME_LEN"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_requests() -> Vec<Request> {
+        vec![
+            Request::Hello {
+                spec_json: "{\"construction\":\"sjlt-auto\"}".to_string(),
+            },
+            Request::Ingest {
+                release_frame: vec![1, 2, 3, 4, 5],
+            },
+            Request::Pairwise {
+                parties: vec![3, 1, 4, 1],
+            },
+            Request::Pairwise { parties: vec![] },
+            Request::Knn { party: 9, k: 3 },
+            Request::TopPairs { t: 10 },
+            Request::Shutdown,
+        ]
+    }
+
+    fn sample_responses() -> Vec<Response> {
+        vec![
+            Response::Hello {
+                k: 128,
+                rows: 2,
+                tag: "sjlt(k=128,seed=7)".to_string(),
+            },
+            Response::Ingested { row: 1, rows: 2 },
+            Response::Pairwise {
+                parties: vec![1, 2],
+                values: vec![0.0, 1.5, 1.5, 0.0],
+            },
+            Response::Knn {
+                neighbors: vec![(2, -0.25), (5, 4.0)],
+            },
+            Response::TopPairs {
+                pairs: vec![(1, 2, 0.5), (0, 3, 2.0)],
+            },
+            Response::Error {
+                code: ERR_UNKNOWN_PARTY,
+                message: "party 7 not ingested".to_string(),
+            },
+            Response::Bye,
+        ]
+    }
+
+    #[test]
+    fn request_roundtrip_is_identity() {
+        for req in sample_requests() {
+            let bytes = encode_request(&req).unwrap();
+            assert_eq!(decode_request(&bytes).unwrap(), req, "{req:?}");
+            // Byte-identical re-encode.
+            assert_eq!(encode_request(&req).unwrap(), bytes);
+        }
+    }
+
+    #[test]
+    fn response_roundtrip_is_identity() {
+        for resp in sample_responses() {
+            let bytes = encode_response(&resp).unwrap();
+            assert_eq!(decode_response(&bytes).unwrap(), resp, "{resp:?}");
+        }
+    }
+
+    #[test]
+    fn every_single_byte_corruption_is_rejected() {
+        for req in sample_requests() {
+            let bytes = encode_request(&req).unwrap();
+            for i in 0..bytes.len() {
+                let mut bad = bytes.clone();
+                bad[i] ^= 0x01;
+                assert!(decode_request(&bad).is_err(), "{req:?} byte {i}");
+            }
+        }
+        for resp in sample_responses() {
+            let bytes = encode_response(&resp).unwrap();
+            for i in 0..bytes.len() {
+                let mut bad = bytes.clone();
+                bad[i] ^= 0x01;
+                assert!(decode_response(&bad).is_err(), "{resp:?} byte {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn direction_and_truncation_rejected() {
+        let req = encode_request(&Request::Shutdown).unwrap();
+        assert!(decode_response(&req).is_err(), "direction confusion");
+        let resp = encode_response(&Response::Bye).unwrap();
+        assert!(decode_request(&resp).is_err(), "direction confusion");
+        for cut in 0..req.len() {
+            assert!(decode_request(&req[..cut]).is_err(), "cut at {cut}");
+        }
+        let mut trailing = req;
+        trailing.insert(trailing.len() - CHECKSUM_LEN, 0);
+        assert!(decode_request(&trailing).is_err());
+    }
+
+    #[test]
+    fn non_finite_floats_rejected_on_both_sides() {
+        assert!(encode_response(&Response::Knn {
+            neighbors: vec![(1, f64::NAN)],
+        })
+        .is_err());
+        // Hand-craft a frame with an infinite estimate.
+        let good = encode_response(&Response::Knn {
+            neighbors: vec![(1, 0.5)],
+        })
+        .unwrap();
+        let mut bad = good[..good.len() - CHECKSUM_LEN].to_vec();
+        let value_off = bad.len() - 8;
+        bad[value_off..].copy_from_slice(&f64::INFINITY.to_le_bytes());
+        let bad = seal(bad);
+        assert!(matches!(decode_response(&bad), Err(CoreError::Wire(_))));
+    }
+
+    #[test]
+    fn hostile_counts_rejected_without_allocation() {
+        // A pairwise response declaring u32::MAX parties with no bytes
+        // present must fail cleanly, not allocate gigabytes.
+        let mut bytes = header(RESPONSE_MAGIC, 3);
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        let bytes = seal(bytes);
+        assert!(matches!(decode_response(&bytes), Err(CoreError::Wire(_))));
+    }
+
+    #[test]
+    fn frame_io_roundtrips_and_guards() {
+        let payload = encode_request(&Request::Knn { party: 1, k: 2 }).unwrap();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        write_frame(&mut buf, &payload).unwrap();
+        let mut cursor = io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), payload);
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), payload);
+        assert!(read_frame(&mut cursor).unwrap().is_none(), "clean EOF");
+        // A hostile length prefix is refused before allocation.
+        let mut hostile = io::Cursor::new((u32::MAX).to_le_bytes().to_vec());
+        assert!(read_frame(&mut hostile).is_err());
+        // Mid-frame EOF is an error, not a silent None.
+        let mut partial = Vec::new();
+        write_frame(&mut partial, &payload).unwrap();
+        partial.truncate(partial.len() - 1);
+        let mut cursor = io::Cursor::new(partial);
+        assert!(read_frame(&mut cursor).is_err());
+    }
+}

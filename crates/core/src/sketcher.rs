@@ -640,6 +640,18 @@ impl PairwiseDistances {
     pub fn into_flat(self) -> Vec<f64> {
         self.values
     }
+
+    /// Wrap an externally assembled flat row-major `n × n` buffer (the
+    /// inverse of [`PairwiseDistances::into_flat`]; used by the
+    /// `dp-engine` incremental cache).
+    ///
+    /// # Panics
+    /// If `values.len() != n²`.
+    #[must_use]
+    pub fn from_flat(n: usize, values: Vec<f64>) -> Self {
+        assert_eq!(values.len(), n * n, "flat buffer must be n² long");
+        Self { n, values }
+    }
 }
 
 /// Estimate every pairwise squared distance among released sketches,
@@ -723,9 +735,9 @@ pub fn pairwise_sq_distances_reference(
 /// Batches released by one sketcher — the only kind the workspace
 /// produces — carry identical moments, where the two checks agree
 /// exactly.
-pub fn pairwise_sq_distances_with_par<T: Sync>(
-    items: &[T],
-    sketch_of: impl Fn(&T) -> &NoisySketch + Sync,
+pub fn pairwise_sq_distances_with_par<'a, T: Sync>(
+    items: &'a [T],
+    sketch_of: impl Fn(&'a T) -> &'a NoisySketch + Sync,
     par: &Parallelism,
 ) -> Result<PairwiseDistances, CoreError> {
     let n = items.len();
@@ -767,7 +779,42 @@ pub fn pairwise_sq_distances_with_par<T: Sync>(
             2.0 * s.k() as f64 * s.noise_second_moment()
         })
         .collect();
+    Ok(pairwise_sq_distances_rows(
+        n,
+        |i| sketch_of(&items[i]).values(),
+        &debias,
+        par,
+    ))
+}
 
+/// The raw tiled kernel over row slices: pair `(i, j)`, `i < j`, is
+/// `Σ (row_i − row_j)² − debias[i]`, written symmetrically into a flat
+/// row-major matrix with a zero diagonal. This is the layer shared by
+/// [`pairwise_sq_distances_with_par`] (which first validates sketch
+/// compatibility and hoists the debias constants) and the `dp-engine`
+/// sketch store (whose flat arena validates at ingest time); both are
+/// bit-identical to [`pairwise_sq_distances_reference`] because the
+/// inner expression is exactly the per-pair estimator's.
+///
+/// # Panics
+/// If `debias.len() != n` or any row slice is shorter than row 0 (rows
+/// must all have the sketch dimension `k`; callers validate).
+pub fn pairwise_sq_distances_rows<'a, R>(
+    n: usize,
+    row_values: R,
+    debias: &[f64],
+    par: &Parallelism,
+) -> PairwiseDistances
+where
+    R: Fn(usize) -> &'a [f64] + Sync,
+{
+    assert_eq!(debias.len(), n, "one debias constant per row");
+    if n == 0 {
+        return PairwiseDistances {
+            n: 0,
+            values: Vec::new(),
+        };
+    }
     // One flat allocation for the whole upper triangle; tile → segment
     // via a pair-count prefix sum. When several workers are requested,
     // cap the tile size so the scheduler emits enough tiles to feed
@@ -815,12 +862,12 @@ pub fn pairwise_sq_distances_with_par<T: Sync>(
         let mut w = 0usize;
         for tile in &tiles[t_start..t_end] {
             for i in tile.rows() {
-                let a = sketch_of(&items[i]).values();
+                let a = row_values(i);
                 for j in tile.cols() {
                     if j <= i {
                         continue;
                     }
-                    let b = sketch_of(&items[j]).values();
+                    let b = row_values(j);
                     let raw: f64 = a
                         .iter()
                         .zip(b)
@@ -852,7 +899,7 @@ pub fn pairwise_sq_distances_with_par<T: Sync>(
             }
         }
     }
-    Ok(PairwiseDistances { n, values })
+    PairwiseDistances { n, values }
 }
 
 #[cfg(test)]

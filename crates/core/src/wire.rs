@@ -27,6 +27,11 @@
 //! Decoding can intern the tag through a [`TagInterner`], so a service
 //! holding millions of sketches from a handful of sketchers stores each
 //! distinct tag once (`Arc<str>`), not one `String` per sketch.
+//!
+//! Codec version 3 ([`crate::protocol`]) added the request/response
+//! *conversation* layer on top of these payload frames; sketch (`DPNS`)
+//! and release (`DPRL`, [`crate::release`]) payloads themselves remain
+//! at version 2 and travel embedded inside v3 frames.
 
 use crate::error::CoreError;
 use crate::estimator::NoisySketch;

@@ -1,0 +1,314 @@
+//! The incremental query surface over a [`SketchStore`].
+//!
+//! Every query is post-processing of already-private releases, so no
+//! query costs privacy budget. The engine adds what the slice-based
+//! free functions could not: **persistence** (the all-pairs matrix is
+//! cached and only the pairs involving newly ingested rows are
+//! computed on the next query) and **hoisting** (compatibility and
+//! debias constants were resolved at ingest, so a point query is a pure
+//! O(k) fused subtract-square-accumulate).
+//!
+//! ## Determinism
+//!
+//! All estimates use the identical floating-point expression of
+//! [`dp_core::NoisySketch::estimate_sq_distance`] — a zip-order sum of
+//! squared differences minus a hoisted `2k·E[η²]` — so engine answers
+//! are bit-identical to the slice-based reference for every thread
+//! count, tile size, and ingest/query interleaving. In the all-pairs
+//! matrix, pair `(i, j)` with `i < j` is debiased with row `i`'s
+//! constant (exactly like the tiled kernel); a k-NN query is debiased
+//! with the *query row's* constant (exactly like the old per-query
+//! `top_k`). The two agree bit-for-bit whenever the batch was released
+//! by one sketcher, which is the only kind the workspace produces.
+
+use crate::error::EngineError;
+use crate::store::SketchStore;
+use dp_core::release::Release;
+use dp_core::sketcher::pairwise_sq_distances_rows;
+use dp_core::{PairwiseDistances, Parallelism};
+use dp_parallel::par_map;
+use std::sync::Arc;
+
+/// A scored neighbor returned by [`QueryEngine::knn`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// The party id of the neighbor.
+    pub party_id: u64,
+    /// Estimated squared distance (raw, may be negative at small
+    /// distances — ranking is still meaningful because the debias term
+    /// is shared).
+    pub estimated_sq_distance: f64,
+}
+
+/// An incremental query engine owning a [`SketchStore`].
+#[derive(Debug)]
+pub struct QueryEngine {
+    store: SketchStore,
+    par: Parallelism,
+    /// Rows covered by `cache`.
+    cached_rows: usize,
+    /// The cached `cached_rows × cached_rows` all-pairs matrix, shared
+    /// out cheaply (`Arc`) so a warm query copies nothing.
+    cache: Arc<PairwiseDistances>,
+}
+
+impl Default for QueryEngine {
+    fn default() -> Self {
+        Self::new(SketchStore::adopting())
+    }
+}
+
+impl QueryEngine {
+    /// Wrap a store (queries run on the environment-default
+    /// [`Parallelism`]).
+    #[must_use]
+    pub fn new(store: SketchStore) -> Self {
+        Self {
+            store,
+            par: Parallelism::default(),
+            cached_rows: 0,
+            cache: Arc::new(PairwiseDistances::from_flat(0, Vec::new())),
+        }
+    }
+
+    /// Replace the execution knob. Answers are bit-identical for every
+    /// setting; only scheduling changes.
+    #[must_use]
+    pub fn with_parallelism(mut self, par: Parallelism) -> Self {
+        self.par = par;
+        self
+    }
+
+    /// The execution knob in effect.
+    #[must_use]
+    pub fn parallelism(&self) -> Parallelism {
+        self.par
+    }
+
+    /// The underlying store.
+    #[must_use]
+    pub fn store(&self) -> &SketchStore {
+        &self.store
+    }
+
+    /// Mutable access to the store (e.g. its interner). The engine's
+    /// incremental cache stays valid under any store mutation because
+    /// the store is append-only.
+    pub fn store_mut(&mut self) -> &mut SketchStore {
+        &mut self.store
+    }
+
+    /// Consume the engine, returning the store.
+    #[must_use]
+    pub fn into_store(self) -> SketchStore {
+        self.store
+    }
+
+    /// Ingest a release (strict: duplicate party ids rejected).
+    ///
+    /// # Errors
+    /// See [`SketchStore::ingest`].
+    pub fn ingest(&mut self, release: &Release) -> Result<usize, EngineError> {
+        self.store.ingest(release)
+    }
+
+    /// Ingest a binary `DPRL` frame through the store's interner.
+    ///
+    /// # Errors
+    /// See [`SketchStore::ingest_bytes`].
+    pub fn ingest_bytes(&mut self, bytes: &[u8]) -> Result<usize, EngineError> {
+        self.store.ingest_bytes(bytes)
+    }
+
+    /// Ingest positionally, tolerating duplicate party ids (legacy
+    /// slice semantics; see [`SketchStore::ingest_row`]).
+    ///
+    /// # Errors
+    /// See [`SketchStore::ingest_row`].
+    pub fn ingest_row(&mut self, release: &Release) -> Result<usize, EngineError> {
+        self.store.ingest_row(release)
+    }
+
+    /// The debiased squared-distance estimate between two ingested
+    /// parties: a pure O(k) pass, no validation, no allocation.
+    /// Bit-identical to the corresponding [`QueryEngine::pairwise_all`]
+    /// matrix entry.
+    ///
+    /// # Errors
+    /// [`EngineError::UnknownParty`] if either id was never ingested.
+    pub fn pair(&self, a: u64, b: u64) -> Result<f64, EngineError> {
+        let i = self.store.row_of(a).ok_or(EngineError::UnknownParty(a))?;
+        let j = self.store.row_of(b).ok_or(EngineError::UnknownParty(b))?;
+        Ok(self.pair_rows(i, j))
+    }
+
+    /// [`QueryEngine::pair`] by row index. The pair `(i, j)` is debiased
+    /// with the lower row's constant, matching the all-pairs matrix.
+    ///
+    /// # Panics
+    /// If a row is out of range.
+    #[must_use]
+    pub fn pair_rows(&self, i: usize, j: usize) -> f64 {
+        if i == j {
+            return 0.0;
+        }
+        let (lo, hi) = if i < j { (i, j) } else { (j, i) };
+        let raw = raw_sq_distance(self.store.row_values(lo), self.store.row_values(hi));
+        raw - self.store.debias_at(lo)
+    }
+
+    /// All pairwise estimates among every ingested row, as a flat
+    /// row-major matrix in ingest order — **incremental**: the matrix
+    /// over previously queried rows is cached, and only pairs touching
+    /// rows ingested since the last call are computed (each new row is
+    /// one data-parallel task). A cold call runs the tiled kernel; a
+    /// warm call with no new rows is O(1) — the returned handle shares
+    /// the cache, copying nothing.
+    #[must_use]
+    pub fn pairwise_all(&mut self) -> Arc<PairwiseDistances> {
+        let n = self.store.n();
+        if self.cached_rows < n {
+            self.extend_cache(n);
+        }
+        Arc::clone(&self.cache)
+    }
+
+    /// All pairwise estimates among an explicit subset of parties, in
+    /// the given order (computed fresh each call via the tiled kernel;
+    /// only the full-matrix path is cached).
+    ///
+    /// # Errors
+    /// [`EngineError::UnknownParty`] on an id that was never ingested.
+    pub fn pairwise(&self, parties: &[u64]) -> Result<PairwiseDistances, EngineError> {
+        let rows = parties
+            .iter()
+            .map(|&p| self.store.row_of(p).ok_or(EngineError::UnknownParty(p)))
+            .collect::<Result<Vec<usize>, EngineError>>()?;
+        let debias: Vec<f64> = rows.iter().map(|&r| self.store.debias_at(r)).collect();
+        Ok(pairwise_sq_distances_rows(
+            rows.len(),
+            |i| self.store.row_values(rows[i]),
+            &debias,
+            &self.par,
+        ))
+    }
+
+    /// The `k` nearest ingested parties to `party` (excluding every row
+    /// sharing the query's party id), ascending by estimate. Estimates
+    /// use the query row's debias constant, exactly like the per-query
+    /// surface this engine replaced.
+    ///
+    /// # Errors
+    /// [`EngineError::UnknownParty`] if the id was never ingested.
+    pub fn knn(&self, party: u64, k: usize) -> Result<Vec<Neighbor>, EngineError> {
+        let row = self
+            .store
+            .row_of(party)
+            .ok_or(EngineError::UnknownParty(party))?;
+        Ok(self.knn_row(row, k))
+    }
+
+    /// [`QueryEngine::knn`] by row index (candidates sharing the query
+    /// row's party id are excluded).
+    ///
+    /// # Panics
+    /// If `row` is out of range.
+    #[must_use]
+    pub fn knn_row(&self, row: usize, k: usize) -> Vec<Neighbor> {
+        let query_id = self.store.party_at(row);
+        let query = self.store.row_values(row);
+        let debias = self.store.debias_at(row);
+        let mut scored: Vec<Neighbor> = (0..self.store.n())
+            .filter(|&c| self.store.party_at(c) != query_id)
+            .map(|c| Neighbor {
+                party_id: self.store.party_at(c),
+                estimated_sq_distance: raw_sq_distance(query, self.store.row_values(c)) - debias,
+            })
+            .collect();
+        scored.sort_by(|a, b| {
+            a.estimated_sq_distance
+                .partial_cmp(&b.estimated_sq_distance)
+                .expect("finite estimates")
+        });
+        scored.truncate(k);
+        scored
+    }
+
+    /// The `t` globally closest pairs `(party a, party b, estimate)`,
+    /// ascending by estimate (ties in ingest order). Runs on the
+    /// incremental all-pairs cache.
+    #[must_use]
+    pub fn top_pairs(&mut self, t: usize) -> Vec<(u64, u64, f64)> {
+        let matrix = self.pairwise_all();
+        let n = matrix.n();
+        let mut pairs: Vec<(u64, u64, f64)> = Vec::with_capacity(n * (n.saturating_sub(1)) / 2);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                pairs.push((
+                    self.store.party_at(i),
+                    self.store.party_at(j),
+                    matrix.at(i, j),
+                ));
+            }
+        }
+        pairs.sort_by(|a, b| a.2.partial_cmp(&b.2).expect("finite estimates"));
+        pairs.truncate(t);
+        pairs
+    }
+
+    /// Grow the cached all-pairs matrix from `cached_rows` to `n` rows:
+    /// copy the old block, then compute only the new pairs. Cold start
+    /// (`cached_rows == 0`) runs the tiled kernel; warm growth computes
+    /// one column per new row as a data-parallel task. Both paths use
+    /// the kernel's exact per-pair expression, so the matrix is
+    /// bit-identical to a from-scratch computation.
+    fn extend_cache(&mut self, n: usize) {
+        let old = self.cached_rows;
+        if old == 0 {
+            let debias = self.store.debias();
+            self.cache = Arc::new(pairwise_sq_distances_rows(
+                n,
+                |i| self.store.row_values(i),
+                debias,
+                &self.par,
+            ));
+            self.cached_rows = n;
+            return;
+        }
+        let mut values = vec![0.0f64; n * n];
+        let cached = self.cache.as_flat();
+        for i in 0..old {
+            values[i * n..i * n + old].copy_from_slice(&cached[i * old..(i + 1) * old]);
+        }
+        // One task per new row j: estimates to every earlier row i < j,
+        // debiased with row i's constant — the kernel's (i, j), i < j
+        // expression, so growth order never changes a single bit.
+        let new_rows: Vec<usize> = (old..n).collect();
+        let columns = par_map(&new_rows, self.par.threads(), |_, &j| {
+            let b = self.store.row_values(j);
+            (0..j)
+                .map(|i| raw_sq_distance(self.store.row_values(i), b) - self.store.debias_at(i))
+                .collect::<Vec<f64>>()
+        });
+        for (&j, column) in new_rows.iter().zip(&columns) {
+            for (i, &est) in column.iter().enumerate() {
+                values[i * n + j] = est;
+                values[j * n + i] = est;
+            }
+        }
+        self.cache = Arc::new(PairwiseDistances::from_flat(n, values));
+        self.cached_rows = n;
+    }
+}
+
+/// The kernel's inner expression: zip-order sum of squared differences.
+#[inline]
+fn raw_sq_distance(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum()
+}

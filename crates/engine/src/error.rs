@@ -1,0 +1,91 @@
+//! Typed failures of the store and query layer.
+
+use dp_core::error::CoreError;
+use std::fmt;
+
+/// Errors raised when ingesting into or querying a
+/// [`crate::SketchStore`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// The spec could not build a sketcher, or a wire payload failed to
+    /// decode (carries the underlying core error).
+    Core(CoreError),
+    /// A release's sketch does not combine with the store (wrong tag,
+    /// dimension, or noise moment outside the batch tolerance).
+    Incompatible {
+        /// The offending party id.
+        party_id: u64,
+        /// What mismatched.
+        detail: String,
+    },
+    /// A release's party id is already present in the store.
+    DuplicateParty(u64),
+    /// A queried party id has never been ingested.
+    UnknownParty(u64),
+    /// The store is empty and the query needs at least one row.
+    Empty,
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Core(e) => write!(f, "{e}"),
+            Self::Incompatible { party_id, detail } => {
+                write!(f, "release from party {party_id} is incompatible: {detail}")
+            }
+            Self::DuplicateParty(id) => write!(f, "party {id} already ingested"),
+            Self::UnknownParty(id) => write!(f, "party {id} not in the store"),
+            Self::Empty => write!(f, "the store holds no sketches"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for EngineError {
+    fn from(e: CoreError) -> Self {
+        Self::Core(e)
+    }
+}
+
+/// Lossy mapping back onto the core error vocabulary, for the legacy
+/// slice-based wrappers whose signatures predate the engine.
+impl From<EngineError> for CoreError {
+    fn from(e: EngineError) -> Self {
+        match e {
+            EngineError::Core(c) => c,
+            EngineError::Incompatible { detail, .. } => Self::IncompatibleSketches(detail),
+            EngineError::DuplicateParty(id) => Self::Wire(format!("party {id} already ingested")),
+            EngineError::UnknownParty(id) => Self::Wire(format!("party {id} not in the store")),
+            EngineError::Empty => Self::Wire("the store holds no sketches".to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let e = EngineError::DuplicateParty(7);
+        assert!(e.to_string().contains('7'));
+        let c: CoreError = EngineError::Incompatible {
+            party_id: 1,
+            detail: "tag".to_string(),
+        }
+        .into();
+        assert!(matches!(c, CoreError::IncompatibleSketches(_)));
+        let back: EngineError = CoreError::MissingField("delta").into();
+        assert!(matches!(back, EngineError::Core(_)));
+        assert!(std::error::Error::source(&back).is_some());
+        assert!(std::error::Error::source(&EngineError::Empty).is_none());
+    }
+}

@@ -1,0 +1,319 @@
+//! # dp-engine — the persistent query layer over released sketches
+//!
+//! The paper's sketches exist to be *queried*: estimate `‖x − y‖²`
+//! between any pair of released parties, rank neighbors, find close
+//! pairs. The rest of the workspace produces and transports releases;
+//! this crate is their long-lived home:
+//!
+//! * [`SketchStore`] — owns the shared [`dp_core::SketcherSpec`], one
+//!   [`dp_core::wire::TagInterner`], and every ingested sketch in a
+//!   flat `n × k` arena. Ingest accepts decoded
+//!   [`dp_core::release::Release`] frames or raw `DPRL` bytes, and
+//!   rejects incompatible sketches and duplicate party ids with typed
+//!   [`EngineError`]s. All validation happens once, at ingest.
+//! * [`QueryEngine`] — `pair`, `pairwise`, `knn`, `top_pairs` over the
+//!   store, reusing the tiled `dp_parallel` kernel with its hoisted
+//!   debias constants, plus an **incremental** all-pairs cache: after
+//!   new rows arrive, the next query computes only the new pairs.
+//!
+//! One engine backs the library surface (`dp_stream`'s old free
+//! functions are thin wrappers), the `dp-server` protocol-v3 service,
+//! and the bench harness — per the repo's determinism contract, all
+//! of them bit-identical to the naive per-pair reference.
+
+pub mod engine;
+pub mod error;
+pub mod store;
+
+pub use engine::{Neighbor, QueryEngine};
+pub use error::EngineError;
+pub use store::SketchStore;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_core::config::SketchConfig;
+    use dp_core::release::Release;
+    use dp_core::sketcher::{
+        pairwise_sq_distances_reference, Construction, PrivateSketcher, SketcherSpec,
+    };
+    use dp_core::{NoisySketch, Parallelism};
+    use dp_hashing::Seed;
+
+    fn spec(d: usize) -> SketcherSpec {
+        let config = SketchConfig::builder()
+            .input_dim(d)
+            .alpha(0.3)
+            .beta(0.1)
+            .epsilon(1.5)
+            .build()
+            .unwrap();
+        SketcherSpec::new(Construction::SjltAuto, config, Seed::new(7))
+    }
+
+    fn releases(n: usize, d: usize) -> (SketcherSpec, Vec<Release>) {
+        let spec = spec(d);
+        let sk = spec.build().unwrap();
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| (0..d).map(|j| ((i * d + j) % 7) as f64 - 3.0).collect())
+            .collect();
+        let sketches = sk.sketch_batch(&rows, Seed::new(500)).unwrap();
+        let releases = sketches
+            .into_iter()
+            .enumerate()
+            .map(|(i, sketch)| Release {
+                party_id: 100 + i as u64,
+                sketch,
+            })
+            .collect();
+        (spec, releases)
+    }
+
+    #[test]
+    fn spec_store_pins_identity() {
+        let (spec, rs) = releases(3, 48);
+        let mut store = SketchStore::with_spec(spec.clone()).unwrap();
+        assert_eq!(store.k(), Some(spec.build().unwrap().k()));
+        assert!(store.tag().is_some());
+        for r in &rs {
+            store.ingest(r).unwrap();
+        }
+        assert_eq!(store.n(), 3);
+        assert_eq!(store.spec(), Some(&spec));
+        // A sketch under a different tag is refused with a typed error.
+        let alien = Release {
+            party_id: 999,
+            sketch: NoisySketch::new(vec![0.0; rs[0].sketch.k()], "alien-tag", 0.5, 0.75),
+        };
+        assert!(matches!(
+            store.ingest(&alien),
+            Err(EngineError::Incompatible { party_id: 999, .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_party_ids_rejected_strictly_tolerated_positionally() {
+        let (_, rs) = releases(2, 48);
+        let mut store = SketchStore::adopting();
+        store.ingest(&rs[0]).unwrap();
+        assert_eq!(
+            store.ingest(&rs[0]),
+            Err(EngineError::DuplicateParty(rs[0].party_id))
+        );
+        // The lenient row path accepts it; the id still maps to row 0.
+        let row = store.ingest_row(&rs[0]).unwrap();
+        assert_eq!(row, 1);
+        assert_eq!(store.row_of(rs[0].party_id), Some(0));
+    }
+
+    #[test]
+    fn ingest_bytes_shares_one_interner() {
+        let (spec, rs) = releases(5, 48);
+        let mut store = SketchStore::with_spec(spec).unwrap();
+        for r in &rs {
+            store.ingest_bytes(&r.to_bytes().unwrap()).unwrap();
+        }
+        assert_eq!(store.n(), 5);
+        // Regression: repeated ingest must never grow the interner.
+        assert_eq!(store.interner_len(), 1);
+        // Rows rebuild as sketches sharing the interned tag.
+        let a = store.sketch_at(0);
+        let b = store.sketch_at(4);
+        assert!(std::sync::Arc::ptr_eq(&a.shared_tag(), &b.shared_tag()));
+    }
+
+    #[test]
+    fn rejected_releases_leave_no_trace_in_the_interner() {
+        let (spec, rs) = releases(2, 48);
+        let mut store = SketchStore::with_spec(spec).unwrap();
+        store.ingest_bytes(&rs[0].to_bytes().unwrap()).unwrap();
+        assert_eq!(store.interner_len(), 1);
+        // A flood of validly framed releases carrying novel tags is
+        // rejected — and must not grow the store's interner.
+        for i in 0..32u64 {
+            let alien = Release {
+                party_id: 1000 + i,
+                sketch: NoisySketch::new(vec![0.0; 4], format!("alien-{i}"), 0.5, 0.75),
+            };
+            assert!(store.ingest(&alien).is_err());
+            assert!(store.ingest_bytes(&alien.to_bytes().unwrap()).is_err());
+            assert_eq!(store.interner_len(), 1, "tag alien-{i} was interned");
+        }
+        // The store still works after the flood.
+        store.ingest(&rs[1]).unwrap();
+        assert_eq!(store.n(), 2);
+    }
+
+    #[test]
+    fn pairwise_all_matches_reference_bit_for_bit() {
+        let (_, rs) = releases(9, 48);
+        let sketches: Vec<NoisySketch> = rs.iter().map(|r| r.sketch.clone()).collect();
+        let reference = pairwise_sq_distances_reference(&sketches).unwrap();
+        for threads in [1usize, 3] {
+            let mut engine = QueryEngine::new(SketchStore::adopting())
+                .with_parallelism(Parallelism::new(threads).with_tile(4));
+            for r in &rs {
+                engine.ingest(r).unwrap();
+            }
+            let got = engine.pairwise_all();
+            assert_eq!(got.n(), reference.n());
+            for (a, b) in reference.as_flat().iter().zip(got.as_flat()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "threads = {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_growth_is_bit_identical_to_cold_start() {
+        let (_, rs) = releases(11, 48);
+        // Engine A: ingest everything, one cold all-pairs pass.
+        let mut cold = QueryEngine::new(SketchStore::adopting());
+        for r in &rs {
+            cold.ingest(r).unwrap();
+        }
+        let cold_matrix = cold.pairwise_all();
+        // Engine B: interleave ingest and queries (1 row, 4 rows, all).
+        let mut warm = QueryEngine::new(SketchStore::adopting())
+            .with_parallelism(Parallelism::new(2).with_tile(3));
+        for r in &rs[..1] {
+            warm.ingest(r).unwrap();
+        }
+        let _ = warm.pairwise_all();
+        for r in &rs[1..4] {
+            warm.ingest(r).unwrap();
+        }
+        let _ = warm.pairwise_all();
+        for r in &rs[4..] {
+            warm.ingest(r).unwrap();
+        }
+        let warm_matrix = warm.pairwise_all();
+        assert_eq!(cold_matrix.n(), warm_matrix.n());
+        for (a, b) in cold_matrix.as_flat().iter().zip(warm_matrix.as_flat()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn pair_matches_matrix_and_estimator() {
+        let (_, rs) = releases(6, 48);
+        let mut engine = QueryEngine::new(SketchStore::adopting());
+        for r in &rs {
+            engine.ingest(r).unwrap();
+        }
+        let matrix = engine.pairwise_all();
+        for i in 0..rs.len() {
+            for j in 0..rs.len() {
+                let via_pair = engine.pair(rs[i].party_id, rs[j].party_id).unwrap();
+                assert_eq!(via_pair.to_bits(), matrix.at(i, j).to_bits(), "({i},{j})");
+            }
+        }
+        // Single-sketcher batches: pair() equals the per-pair estimator.
+        let direct = rs[0].sketch.estimate_sq_distance(&rs[3].sketch).unwrap();
+        assert_eq!(
+            engine
+                .pair(rs[0].party_id, rs[3].party_id)
+                .unwrap()
+                .to_bits(),
+            direct.to_bits()
+        );
+        assert!(matches!(
+            engine.pair(rs[0].party_id, 424_242),
+            Err(EngineError::UnknownParty(424_242))
+        ));
+    }
+
+    #[test]
+    fn subset_pairwise_matches_slicing() {
+        let (_, rs) = releases(7, 48);
+        let mut engine = QueryEngine::new(SketchStore::adopting());
+        for r in &rs {
+            engine.ingest(r).unwrap();
+        }
+        let ids: Vec<u64> = [6usize, 2, 4].iter().map(|&i| rs[i].party_id).collect();
+        let sub = engine.pairwise(&ids).unwrap();
+        assert_eq!(sub.n(), 3);
+        let picked: Vec<NoisySketch> = [6usize, 2, 4]
+            .iter()
+            .map(|&i| rs[i].sketch.clone())
+            .collect();
+        let reference = pairwise_sq_distances_reference(&picked).unwrap();
+        for (a, b) in reference.as_flat().iter().zip(sub.as_flat()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert!(engine.pairwise(&[rs[0].party_id, 777]).is_err());
+        assert_eq!(engine.pairwise(&[]).unwrap().n(), 0);
+    }
+
+    #[test]
+    fn knn_matches_per_query_estimates() {
+        let (_, rs) = releases(8, 48);
+        let mut engine = QueryEngine::new(SketchStore::adopting());
+        for r in &rs {
+            engine.ingest(r).unwrap();
+        }
+        let got = engine.knn(rs[2].party_id, 3).unwrap();
+        assert_eq!(got.len(), 3);
+        // Estimates are the per-query estimator's, bit for bit.
+        for n in &got {
+            let j = rs.iter().position(|r| r.party_id == n.party_id).unwrap();
+            let direct = rs[2].sketch.estimate_sq_distance(&rs[j].sketch).unwrap();
+            assert_eq!(n.estimated_sq_distance.to_bits(), direct.to_bits());
+        }
+        // Ascending, excludes self, k capped by candidate count.
+        assert!(got[0].estimated_sq_distance <= got[1].estimated_sq_distance);
+        assert!(got.iter().all(|n| n.party_id != rs[2].party_id));
+        assert_eq!(engine.knn(rs[0].party_id, 100).unwrap().len(), 7);
+    }
+
+    #[test]
+    fn top_pairs_are_ascending_and_consistent() {
+        let (_, rs) = releases(6, 48);
+        let mut engine = QueryEngine::new(SketchStore::adopting());
+        for r in &rs {
+            engine.ingest(r).unwrap();
+        }
+        let top = engine.top_pairs(4);
+        assert_eq!(top.len(), 4);
+        for w in top.windows(2) {
+            assert!(w[0].2 <= w[1].2);
+        }
+        // Every reported estimate equals the matrix entry.
+        let matrix = engine.pairwise_all();
+        for &(a, b, d) in &top {
+            let i = rs.iter().position(|r| r.party_id == a).unwrap();
+            let j = rs.iter().position(|r| r.party_id == b).unwrap();
+            assert_eq!(d.to_bits(), matrix.at(i, j).to_bits());
+        }
+        // Asking for more pairs than exist returns them all.
+        assert_eq!(engine.top_pairs(1000).len(), 15);
+    }
+
+    #[test]
+    fn empty_store_answers_empty() {
+        let mut engine = QueryEngine::new(SketchStore::adopting());
+        assert_eq!(engine.pairwise_all().n(), 0);
+        assert!(engine.top_pairs(3).is_empty());
+        assert!(matches!(
+            engine.knn(1, 3),
+            Err(EngineError::UnknownParty(1))
+        ));
+    }
+
+    #[test]
+    fn moment_span_rejected_like_the_kernel() {
+        let m2 = 0.5;
+        let mk = |id: u64, m2: f64| Release {
+            party_id: id,
+            sketch: NoisySketch::new(vec![1.0, 2.0], "t", m2, 0.75),
+        };
+        let mut store = SketchStore::adopting();
+        store.ingest(&mk(0, m2)).unwrap();
+        store.ingest(&mk(1, m2 + 1.2e-12)).unwrap();
+        // Passes the vs-anchor check but blows the batch span, exactly
+        // like the tiled kernel's rejection.
+        assert!(matches!(
+            store.ingest(&mk(2, m2 - 1.2e-12)),
+            Err(EngineError::Incompatible { party_id: 2, .. })
+        ));
+    }
+}

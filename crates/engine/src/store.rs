@@ -1,0 +1,348 @@
+//! The persistent, incremental home of released sketches.
+//!
+//! A [`SketchStore`] owns the shared [`SketcherSpec`], one
+//! [`TagInterner`], and every ingested sketch in a **flat arena**: one
+//! contiguous `n × k` `Vec<f64>` of sketch coordinates plus per-row
+//! metadata (party id, noise moments, hoisted debias constant). All
+//! compatibility checking happens **once, at ingest** — the exact
+//! vs-anchor + moment-span discipline of the tiled all-pairs kernel —
+//! so the query layer ([`crate::QueryEngine`]) never re-validates and
+//! never re-interns, which is what makes per-pair queries O(k) and
+//! repeated ingest allocation-free for tags.
+
+use crate::error::EngineError;
+use dp_core::release::{parse_release_bytes, Release};
+use dp_core::sketcher::{PrivateSketcher, SketcherSpec};
+use dp_core::wire::TagInterner;
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::Arc;
+
+/// A multiply-mix hasher for the party-id index (ids are `u64`s on the
+/// hot point-query path, where SipHash costs more than the distance
+/// computation it guards). Party ids are *public* protocol data, so the
+/// usual DoS caveat of non-keyed hashing is an accepted trade: a peer
+/// choosing adversarial ids can degrade its own store's lookups to
+/// O(n), not corrupt them.
+#[derive(Debug, Default, Clone)]
+pub struct PartyIdHasher(u64);
+
+impl Hasher for PartyIdHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Fibonacci-style multiply-xorshift per 8-byte word (party ids
+        // arrive as exactly one u64 write).
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.write_u64(u64::from_le_bytes(c.try_into().expect("8 bytes")));
+        }
+        for &b in chunks.remainder() {
+            self.write_u64(u64::from(b));
+        }
+    }
+
+    fn write_u64(&mut self, value: u64) {
+        let mut x = self.0 ^ value;
+        x = x.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        x ^= x >> 32;
+        self.0 = x;
+    }
+}
+
+type PartyIndex = HashMap<u64, usize, BuildHasherDefault<PartyIdHasher>>;
+
+/// The relative tolerance under which two noise second moments are
+/// considered the same calibration — identical to
+/// [`dp_core::NoisySketch::check_compatible`] and the batch span check
+/// of the tiled kernel, so a store accepts exactly the batches the
+/// slice-based surface accepted.
+fn moments_compatible(anchor: f64, other: f64) -> bool {
+    (anchor - other).abs() <= 1e-12 * (1.0 + anchor.abs())
+}
+
+/// The identity every ingested sketch must match.
+#[derive(Debug, Clone)]
+struct Identity {
+    tag: Arc<str>,
+    k: usize,
+}
+
+/// A flat-arena store of released sketches sharing one transform.
+#[derive(Debug, Default)]
+pub struct SketchStore {
+    /// The shared public parameters, when the store was built from them.
+    spec: Option<SketcherSpec>,
+    /// Expected transform tag + dimension (from the spec's sketcher, or
+    /// adopted from the first release).
+    identity: Option<Identity>,
+    /// The store's single tag interner: every decode path routes
+    /// through it, so a million releases of one sketcher hold one tag
+    /// allocation.
+    interner: TagInterner,
+    /// Flat `n × k` arena of sketch coordinates.
+    values: Vec<f64>,
+    /// Per-row noise second moment `E[η²]`.
+    m2: Vec<f64>,
+    /// Per-row noise fourth moment `E[η⁴]`.
+    m4: Vec<f64>,
+    /// Per-row hoisted debias constant `2k·E[η²]`.
+    debias: Vec<f64>,
+    /// Per-row sender identity, in ingest order.
+    party_ids: Vec<u64>,
+    /// Party id → row, for by-id queries (first row wins on the lenient
+    /// ingest path).
+    index: PartyIndex,
+    /// Running bounds on the noise moments, for the batch span check.
+    m2_min: f64,
+    m2_max: f64,
+}
+
+impl SketchStore {
+    /// A store bound to shared public parameters: the spec is built once
+    /// and pins the transform tag and sketch dimension every ingested
+    /// release must carry.
+    ///
+    /// # Errors
+    /// [`EngineError::Core`] if the spec cannot build its sketcher.
+    pub fn with_spec(spec: SketcherSpec) -> Result<Self, EngineError> {
+        let sketcher = spec.build()?;
+        let mut store = Self::adopting();
+        let tag = store.interner.intern(sketcher.tag());
+        store.identity = Some(Identity {
+            tag,
+            k: sketcher.k(),
+        });
+        store.spec = Some(spec);
+        Ok(store)
+    }
+
+    /// A store that adopts the identity (tag, dimension, noise anchor)
+    /// of the **first** release it ingests — the behaviour of the old
+    /// slice-based query surface, kept for its wrappers and for
+    /// observers who receive releases without the spec.
+    #[must_use]
+    pub fn adopting() -> Self {
+        Self {
+            m2_min: f64::INFINITY,
+            m2_max: f64::NEG_INFINITY,
+            ..Self::default()
+        }
+    }
+
+    /// The spec the store was built from, when there is one.
+    #[must_use]
+    pub fn spec(&self) -> Option<&SketcherSpec> {
+        self.spec.as_ref()
+    }
+
+    /// Number of ingested rows.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.party_ids.len()
+    }
+
+    /// Whether no release has been ingested yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.party_ids.is_empty()
+    }
+
+    /// The sketch dimension, once known (from the spec or first ingest).
+    #[must_use]
+    pub fn k(&self) -> Option<usize> {
+        self.identity.as_ref().map(|i| i.k)
+    }
+
+    /// The transform tag, once known.
+    #[must_use]
+    pub fn tag(&self) -> Option<&str> {
+        self.identity.as_ref().map(|i| &*i.tag)
+    }
+
+    /// Party ids in ingest (row) order.
+    #[must_use]
+    pub fn party_ids(&self) -> &[u64] {
+        &self.party_ids
+    }
+
+    /// The party id of a row.
+    ///
+    /// # Panics
+    /// If `row` is out of range.
+    #[must_use]
+    pub fn party_at(&self, row: usize) -> u64 {
+        self.party_ids[row]
+    }
+
+    /// The row a party id landed in, if ingested.
+    #[must_use]
+    pub fn row_of(&self, party_id: u64) -> Option<usize> {
+        self.index.get(&party_id).copied()
+    }
+
+    /// A row's sketch coordinates (a `k`-long slice of the arena).
+    ///
+    /// # Panics
+    /// If `row` is out of range.
+    #[must_use]
+    pub fn row_values(&self, row: usize) -> &[f64] {
+        let k = self.identity.as_ref().expect("rows imply identity").k;
+        &self.values[row * k..(row + 1) * k]
+    }
+
+    /// A row's hoisted debias constant `2k·E[η²]`.
+    ///
+    /// # Panics
+    /// If `row` is out of range.
+    #[must_use]
+    pub fn debias_at(&self, row: usize) -> f64 {
+        self.debias[row]
+    }
+
+    /// Per-row debias constants, in row order.
+    #[must_use]
+    pub fn debias(&self) -> &[f64] {
+        &self.debias
+    }
+
+    /// Rebuild a row as a standalone [`dp_core::NoisySketch`] (clones
+    /// the coordinates; the tag handle is shared from the interner).
+    ///
+    /// # Panics
+    /// If `row` is out of range.
+    #[must_use]
+    pub fn sketch_at(&self, row: usize) -> dp_core::NoisySketch {
+        let identity = self.identity.as_ref().expect("rows imply identity");
+        dp_core::NoisySketch::new(
+            self.row_values(row).to_vec(),
+            Arc::clone(&identity.tag),
+            self.m2[row],
+            self.m4[row],
+        )
+    }
+
+    /// Number of distinct transform tags the store's interner has seen
+    /// (1 for any healthy store — the regression surface for repeated
+    /// ingest).
+    #[must_use]
+    pub fn interner_len(&self) -> usize {
+        self.interner.len()
+    }
+
+    /// The store's interner, for callers decoding adjacent payloads who
+    /// should share tag allocations with the store instead of growing
+    /// their own.
+    pub fn interner_mut(&mut self) -> &mut TagInterner {
+        &mut self.interner
+    }
+
+    /// Ingest a release, rejecting duplicate party ids.
+    ///
+    /// # Errors
+    /// [`EngineError::DuplicateParty`] if the id is present;
+    /// [`EngineError::Incompatible`] if the sketch doesn't match the
+    /// store's transform tag, dimension, or noise calibration.
+    pub fn ingest(&mut self, release: &Release) -> Result<usize, EngineError> {
+        if self.index.contains_key(&release.party_id) {
+            return Err(EngineError::DuplicateParty(release.party_id));
+        }
+        self.ingest_row(release)
+    }
+
+    /// Ingest a release **without** the duplicate-id check: rows are
+    /// positional and later duplicates are not reachable by
+    /// [`SketchStore::row_of`]. This is the semantics of the old
+    /// slice-based surface (which happily ranked duplicate ids) and is
+    /// what its wrappers use; services should prefer
+    /// [`SketchStore::ingest`].
+    ///
+    /// # Errors
+    /// [`EngineError::Incompatible`] as for [`SketchStore::ingest`].
+    pub fn ingest_row(&mut self, release: &Release) -> Result<usize, EngineError> {
+        let sketch = &release.sketch;
+        // Validate before interning anything: a stream of rejected
+        // releases carrying novel tags must not grow the store's
+        // interner — only accepted identities are remembered.
+        match &self.identity {
+            None => {
+                let tag = self.interner.intern(sketch.transform_tag());
+                self.identity = Some(Identity { tag, k: sketch.k() });
+            }
+            Some(identity) => {
+                if &*identity.tag != sketch.transform_tag() {
+                    return Err(EngineError::Incompatible {
+                        party_id: release.party_id,
+                        detail: format!(
+                            "transform '{}' vs '{}'",
+                            identity.tag,
+                            sketch.transform_tag()
+                        ),
+                    });
+                }
+                if identity.k != sketch.k() {
+                    return Err(EngineError::Incompatible {
+                        party_id: release.party_id,
+                        detail: format!("dimension {} vs {}", identity.k, sketch.k()),
+                    });
+                }
+            }
+        }
+        let m2 = sketch.noise_second_moment();
+        if self.is_empty() {
+            // First row anchors the noise calibration.
+            self.m2_min = m2;
+            self.m2_max = m2;
+        } else {
+            // Mirror the tiled kernel exactly: a vs-anchor tolerance
+            // check plus a bound on the whole batch's moment span, so
+            // the store accepts precisely the batches the per-pair
+            // reference accepted.
+            let anchor = self.m2[0];
+            if !moments_compatible(anchor, m2) {
+                return Err(EngineError::Incompatible {
+                    party_id: release.party_id,
+                    detail: format!("noise moment {anchor} vs {m2}"),
+                });
+            }
+            let min = self.m2_min.min(m2);
+            let max = self.m2_max.max(m2);
+            if (max - min).abs() > 1e-12 * (1.0 + min.abs()) {
+                return Err(EngineError::Incompatible {
+                    party_id: release.party_id,
+                    detail: format!("noise moment span {min} vs {max} exceeds the batch tolerance"),
+                });
+            }
+            self.m2_min = min;
+            self.m2_max = max;
+        }
+        let row = self.n();
+        let k = sketch.k();
+        self.values.extend_from_slice(sketch.values());
+        self.m2.push(m2);
+        self.m4.push(sketch.noise_fourth_moment());
+        self.debias.push(2.0 * k as f64 * m2);
+        self.party_ids.push(release.party_id);
+        self.index.entry(release.party_id).or_insert(row);
+        Ok(row)
+    }
+
+    /// Decode a binary `DPRL` release frame through the store's own
+    /// interner and ingest it (strict: duplicate ids rejected).
+    ///
+    /// # Errors
+    /// [`EngineError::Core`] on a malformed frame; ingest errors as for
+    /// [`SketchStore::ingest`].
+    pub fn ingest_bytes(&mut self, bytes: &[u8]) -> Result<usize, EngineError> {
+        // Decode through a scratch interner so a *rejected* frame (bad
+        // tag, bad moments, duplicate id) leaves no trace in the
+        // store's interner; the accepted row's identity already shares
+        // the store's single tag allocation, and the transient decode
+        // handle drops with the `Release`.
+        let mut scratch = TagInterner::new();
+        let release = parse_release_bytes(bytes, &mut scratch)?;
+        self.ingest(&release)
+    }
+}

@@ -1,0 +1,591 @@
+//! # dp-server — the protocol-v3 sketch service
+//!
+//! A thin shell around [`dp_engine::QueryEngine`]: accept connections
+//! on a TCP or unix socket, speak the length-prefixed request/response
+//! frames of [`dp_core::protocol`], and let the engine answer. All
+//! state lives in the engine; the server adds only transport,
+//! spec negotiation, and error mapping — by design, so that a socket
+//! answer is **bit-identical** to calling the engine in process (the
+//! end-to-end tests assert exactly that).
+//!
+//! Connections are served by a fixed pool of `dp_parallel` scoped
+//! workers, each running a blocking accept/serve loop; requests against
+//! the shared engine are serialized by a mutex, while each all-pairs
+//! query itself runs the tiled kernel on the engine's own
+//! [`dp_core::Parallelism`] knob.
+//!
+//! ```text
+//! client ──frames──▶ Server ──&mut──▶ QueryEngine ──▶ SketchStore
+//!        ◀─frames──        ◀─ data ──
+//! ```
+
+use dp_core::error::CoreError;
+use dp_core::protocol::{
+    decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
+    Request, Response, ERR_DUPLICATE_PARTY, ERR_INCOMPATIBLE, ERR_INTERNAL, ERR_MALFORMED,
+    ERR_SPEC, ERR_SPEC_MISMATCH, ERR_UNKNOWN_PARTY,
+};
+use dp_core::release::Release;
+use dp_core::sketcher::SketcherSpec;
+use dp_engine::{EngineError, QueryEngine, SketchStore};
+use dp_parallel::scope_workers;
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Where a server listens / a client connects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `tcp:HOST:PORT`.
+    Tcp(String),
+    /// `unix:PATH`.
+    Unix(PathBuf),
+}
+
+impl Endpoint {
+    /// Parse `tcp:HOST:PORT` or `unix:PATH`.
+    ///
+    /// # Errors
+    /// A human-readable message on any other shape.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        if let Some(addr) = text.strip_prefix("tcp:") {
+            Ok(Self::Tcp(addr.to_string()))
+        } else if let Some(path) = text.strip_prefix("unix:") {
+            Ok(Self::Unix(PathBuf::from(path)))
+        } else {
+            Err(format!(
+                "endpoint '{text}' must be tcp:HOST:PORT or unix:PATH"
+            ))
+        }
+    }
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Tcp(addr) => write!(f, "tcp:{addr}"),
+            Self::Unix(path) => write!(f, "unix:{}", path.display()),
+        }
+    }
+}
+
+/// A connected byte stream of either family.
+#[derive(Debug)]
+pub enum Conn {
+    /// A TCP connection.
+    Tcp(TcpStream),
+    /// A unix-socket connection.
+    Unix(UnixStream),
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Self::Tcp(s) => s.read(buf),
+            Self::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Self::Tcp(s) => s.write(buf),
+            Self::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Self::Tcp(s) => s.flush(),
+            Self::Unix(s) => s.flush(),
+        }
+    }
+}
+
+enum Listener {
+    Tcp(TcpListener),
+    Unix(UnixListener),
+}
+
+impl Listener {
+    fn accept(&self) -> io::Result<Conn> {
+        match self {
+            Self::Tcp(l) => l.accept().map(|(s, _)| Conn::Tcp(s)),
+            Self::Unix(l) => l.accept().map(|(s, _)| Conn::Unix(s)),
+        }
+    }
+}
+
+fn connect(endpoint: &Endpoint) -> io::Result<Conn> {
+    match endpoint {
+        Endpoint::Tcp(addr) => TcpStream::connect(addr).map(Conn::Tcp),
+        Endpoint::Unix(path) => UnixStream::connect(path).map(Conn::Unix),
+    }
+}
+
+/// Map an engine failure onto a protocol error frame.
+fn error_response(e: &EngineError) -> Response {
+    let (code, message) = match e {
+        EngineError::Core(CoreError::Wire(_) | CoreError::ChecksumMismatch { .. }) => {
+            (ERR_MALFORMED, e.to_string())
+        }
+        EngineError::Core(_) => (ERR_INTERNAL, e.to_string()),
+        EngineError::Incompatible { .. } => (ERR_INCOMPATIBLE, e.to_string()),
+        EngineError::DuplicateParty(_) => (ERR_DUPLICATE_PARTY, e.to_string()),
+        EngineError::UnknownParty(_) => (ERR_UNKNOWN_PARTY, e.to_string()),
+        EngineError::Empty => (ERR_INTERNAL, e.to_string()),
+    };
+    Response::Error { code, message }
+}
+
+/// The protocol-v3 sketch service.
+pub struct Server {
+    endpoint: Endpoint,
+    listener: Listener,
+    engine: Mutex<QueryEngine>,
+    shutdown: AtomicBool,
+    /// Accept loops currently running — the number of wake-up
+    /// connections a shutdown must make to unblock them all.
+    active_workers: AtomicUsize,
+}
+
+impl Server {
+    /// Bind to an endpoint, serving the given engine. For unix
+    /// endpoints a stale socket file from a previous run is removed
+    /// first.
+    ///
+    /// # Errors
+    /// Propagates bind failures.
+    pub fn bind(endpoint: Endpoint, engine: QueryEngine) -> io::Result<Self> {
+        let listener = match &endpoint {
+            Endpoint::Tcp(addr) => Listener::Tcp(TcpListener::bind(addr)?),
+            Endpoint::Unix(path) => {
+                let _ = std::fs::remove_file(path);
+                Listener::Unix(UnixListener::bind(path)?)
+            }
+        };
+        Ok(Self {
+            endpoint,
+            listener,
+            engine: Mutex::new(engine),
+            shutdown: AtomicBool::new(false),
+            active_workers: AtomicUsize::new(0),
+        })
+    }
+
+    /// The endpoint actually bound. For `tcp:HOST:0` this carries the
+    /// kernel-assigned port, so callers can connect.
+    #[must_use]
+    pub fn local_endpoint(&self) -> Endpoint {
+        match (&self.endpoint, &self.listener) {
+            (Endpoint::Tcp(_), Listener::Tcp(l)) => match l.local_addr() {
+                Ok(addr) => Endpoint::Tcp(addr.to_string()),
+                Err(_) => self.endpoint.clone(),
+            },
+            _ => self.endpoint.clone(),
+        }
+    }
+
+    /// Serve until a [`Request::Shutdown`] arrives, with `workers`
+    /// blocking accept loops on the `dp_parallel` scoped pool
+    /// (`workers` is clamped to at least 1).
+    pub fn serve(&self, workers: usize) {
+        let workers = workers.max(1);
+        self.active_workers.store(workers, Ordering::SeqCst);
+        scope_workers(workers, |_| {
+            while !self.shutdown.load(Ordering::SeqCst) {
+                let Ok(conn) = self.listener.accept() else {
+                    break;
+                };
+                if self.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                self.serve_conn(conn);
+            }
+        });
+        if let Endpoint::Unix(path) = &self.endpoint {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+
+    /// Serve one connection: one response per request, until the peer
+    /// hangs up or asks for shutdown.
+    fn serve_conn(&self, mut conn: Conn) {
+        loop {
+            let payload = match read_frame(&mut conn) {
+                Ok(Some(payload)) => payload,
+                Ok(None) | Err(_) => return,
+            };
+            let (response, bye) = match decode_request(&payload) {
+                Ok(request) => self.handle(&request),
+                Err(e) => (
+                    Response::Error {
+                        code: ERR_MALFORMED,
+                        message: e.to_string(),
+                    },
+                    false,
+                ),
+            };
+            let Ok(mut bytes) = encode_response(&response) else {
+                return;
+            };
+            // A result bigger than one frame can carry (a huge all-pairs
+            // matrix) must come back as a typed error, not a silent
+            // hangup — the connection stays usable for subset queries.
+            if bytes.len() > dp_core::protocol::MAX_FRAME_LEN {
+                let oversize = Response::Error {
+                    code: ERR_INTERNAL,
+                    message: format!(
+                        "response of {} bytes exceeds the {} byte frame limit; \
+                         query a smaller subset",
+                        bytes.len(),
+                        dp_core::protocol::MAX_FRAME_LEN
+                    ),
+                };
+                bytes = encode_response(&oversize).expect("error frames are small");
+            }
+            if write_frame(&mut conn, &bytes).is_err() {
+                return;
+            }
+            if bye {
+                self.wake_sleeping_workers();
+                return;
+            }
+        }
+    }
+
+    /// Answer one request against the shared engine. Returns the
+    /// response and whether the connection (and server) should wind
+    /// down.
+    fn handle(&self, request: &Request) -> (Response, bool) {
+        let mut engine = self.engine.lock().expect("engine mutex poisoned");
+        let response = match request {
+            Request::Hello { spec_json } => hello(&mut engine, spec_json),
+            Request::Ingest { release_frame } => match engine.ingest_bytes(release_frame) {
+                Ok(row) => Response::Ingested {
+                    row: row as u64,
+                    rows: engine.store().n() as u64,
+                },
+                Err(e) => error_response(&e),
+            },
+            Request::Pairwise { parties } => {
+                if parties.is_empty() {
+                    let matrix = engine.pairwise_all();
+                    Response::Pairwise {
+                        parties: engine.store().party_ids().to_vec(),
+                        values: matrix.as_flat().to_vec(),
+                    }
+                } else {
+                    match engine.pairwise(parties) {
+                        Ok(matrix) => Response::Pairwise {
+                            parties: parties.clone(),
+                            values: matrix.into_flat(),
+                        },
+                        Err(e) => error_response(&e),
+                    }
+                }
+            }
+            Request::Knn { party, k } => match engine.knn(*party, *k as usize) {
+                Ok(neighbors) => Response::Knn {
+                    neighbors: neighbors
+                        .into_iter()
+                        .map(|n| (n.party_id, n.estimated_sq_distance))
+                        .collect(),
+                },
+                Err(e) => error_response(&e),
+            },
+            Request::TopPairs { t } => Response::TopPairs {
+                pairs: engine.top_pairs(*t as usize),
+            },
+            Request::Shutdown => {
+                self.shutdown.store(true, Ordering::SeqCst);
+                return (Response::Bye, true);
+            }
+        };
+        (response, false)
+    }
+
+    /// Unblock workers stuck in `accept` after shutdown was requested:
+    /// a burst of no-op connections, one per running accept loop.
+    fn wake_sleeping_workers(&self) {
+        for _ in 0..self.active_workers.load(Ordering::SeqCst) {
+            let _ = connect(&self.local_endpoint());
+        }
+    }
+}
+
+/// The `Hello` negotiation: adopt the spec on a fresh store, accept a
+/// matching re-`Hello`, refuse a different spec.
+fn hello(engine: &mut QueryEngine, spec_json: &str) -> Response {
+    let proposed = match SketcherSpec::from_json(spec_json) {
+        Ok(spec) => spec,
+        Err(e) => {
+            return Response::Error {
+                code: ERR_SPEC,
+                message: e.to_string(),
+            }
+        }
+    };
+    match engine.store().spec() {
+        Some(current) if *current == proposed => {}
+        Some(_) => {
+            return Response::Error {
+                code: ERR_SPEC_MISMATCH,
+                message: "store already serves a different spec".to_string(),
+            }
+        }
+        None if engine.store().is_empty() => {
+            let par = engine.parallelism();
+            match SketchStore::with_spec(proposed) {
+                Ok(store) => *engine = QueryEngine::new(store).with_parallelism(par),
+                Err(e) => return error_response(&e),
+            }
+        }
+        None => {
+            return Response::Error {
+                code: ERR_SPEC_MISMATCH,
+                message: "store already holds releases without a spec".to_string(),
+            }
+        }
+    }
+    Response::Hello {
+        k: engine.store().k().unwrap_or(0) as u32,
+        rows: engine.store().n() as u64,
+        tag: engine.store().tag().unwrap_or("").to_string(),
+    }
+}
+
+/// A client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(io::Error),
+    /// A frame failed to encode or decode locally.
+    Codec(CoreError),
+    /// The server answered with an error frame.
+    Remote {
+        /// One of the protocol `ERR_*` codes.
+        code: u16,
+        /// The server's message.
+        message: String,
+    },
+    /// The server answered with a frame of the wrong kind.
+    UnexpectedResponse,
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "transport error: {e}"),
+            Self::Codec(e) => write!(f, "codec error: {e}"),
+            Self::Remote { code, message } => write!(f, "server error {code}: {message}"),
+            Self::UnexpectedResponse => write!(f, "unexpected response kind"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl From<CoreError> for ClientError {
+    fn from(e: CoreError) -> Self {
+        Self::Codec(e)
+    }
+}
+
+/// A small blocking protocol-v3 client over one connection.
+pub struct Client {
+    conn: Conn,
+}
+
+impl Client {
+    /// Connect to a serving endpoint.
+    ///
+    /// # Errors
+    /// Propagates connect failures.
+    pub fn connect(endpoint: &Endpoint) -> io::Result<Self> {
+        Ok(Self {
+            conn: connect(endpoint)?,
+        })
+    }
+
+    /// The underlying connection, for custom frame exchanges (tests,
+    /// protocol fuzzing).
+    pub fn conn_mut(&mut self) -> &mut Conn {
+        &mut self.conn
+    }
+
+    /// One request/response exchange.
+    ///
+    /// # Errors
+    /// Transport and codec failures; *not* server `Error` frames, which
+    /// are returned as values for the typed wrappers to interpret.
+    pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let payload = encode_request(request)?;
+        write_frame(&mut self.conn, &payload)?;
+        let reply = read_frame(&mut self.conn)?.ok_or_else(|| {
+            ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection before responding",
+            ))
+        })?;
+        Ok(decode_response(&reply)?)
+    }
+
+    fn expect<T>(
+        &mut self,
+        request: &Request,
+        pick: impl FnOnce(Response) -> Option<T>,
+    ) -> Result<T, ClientError> {
+        match self.call(request)? {
+            Response::Error { code, message } => Err(ClientError::Remote { code, message }),
+            other => pick(other).ok_or(ClientError::UnexpectedResponse),
+        }
+    }
+
+    /// Negotiate the shared spec; returns `(k, rows, tag)`.
+    ///
+    /// # Errors
+    /// [`ClientError::Remote`] with `ERR_SPEC`/`ERR_SPEC_MISMATCH` on a
+    /// refused spec; transport/codec failures.
+    pub fn hello(&mut self, spec: &SketcherSpec) -> Result<(u32, u64, String), ClientError> {
+        self.expect(
+            &Request::Hello {
+                spec_json: spec.to_json(),
+            },
+            |r| match r {
+                Response::Hello { k, rows, tag } => Some((k, rows, tag)),
+                _ => None,
+            },
+        )
+    }
+
+    /// Ingest one release; returns `(row, rows)`.
+    ///
+    /// # Errors
+    /// [`ClientError::Remote`] on rejection; transport/codec failures.
+    pub fn ingest(&mut self, release: &Release) -> Result<(u64, u64), ClientError> {
+        let release_frame = release.to_bytes()?;
+        self.expect(&Request::Ingest { release_frame }, |r| match r {
+            Response::Ingested { row, rows } => Some((row, rows)),
+            _ => None,
+        })
+    }
+
+    /// All pairwise estimates among `parties` (empty = every ingested
+    /// row); returns `(ids, row-major values)`.
+    ///
+    /// # Errors
+    /// [`ClientError::Remote`] on rejection; transport/codec failures.
+    pub fn pairwise(&mut self, parties: &[u64]) -> Result<(Vec<u64>, Vec<f64>), ClientError> {
+        self.expect(
+            &Request::Pairwise {
+                parties: parties.to_vec(),
+            },
+            |r| match r {
+                Response::Pairwise { parties, values } => Some((parties, values)),
+                _ => None,
+            },
+        )
+    }
+
+    /// The `k` nearest neighbors of `party`.
+    ///
+    /// # Errors
+    /// [`ClientError::Remote`] on rejection; transport/codec failures.
+    pub fn knn(&mut self, party: u64, k: u32) -> Result<Vec<(u64, f64)>, ClientError> {
+        self.expect(&Request::Knn { party, k }, |r| match r {
+            Response::Knn { neighbors } => Some(neighbors),
+            _ => None,
+        })
+    }
+
+    /// The `t` globally closest pairs.
+    ///
+    /// # Errors
+    /// [`ClientError::Remote`] on rejection; transport/codec failures.
+    pub fn top_pairs(&mut self, t: u32) -> Result<Vec<(u64, u64, f64)>, ClientError> {
+        self.expect(&Request::TopPairs { t }, |r| match r {
+            Response::TopPairs { pairs } => Some(pairs),
+            _ => None,
+        })
+    }
+
+    /// Ask the server to exit cleanly; consumes the client.
+    ///
+    /// # Errors
+    /// Transport/codec failures.
+    pub fn shutdown(mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Shutdown)? {
+            Response::Bye => Ok(()),
+            Response::Error { code, message } => Err(ClientError::Remote { code, message }),
+            _ => Err(ClientError::UnexpectedResponse),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_parse_and_display() {
+        assert_eq!(
+            Endpoint::parse("tcp:127.0.0.1:7878").unwrap(),
+            Endpoint::Tcp("127.0.0.1:7878".to_string())
+        );
+        assert_eq!(
+            Endpoint::parse("unix:/tmp/dp.sock").unwrap(),
+            Endpoint::Unix(PathBuf::from("/tmp/dp.sock"))
+        );
+        assert!(Endpoint::parse("http://nope").is_err());
+        assert_eq!(
+            Endpoint::parse("tcp:127.0.0.1:7878").unwrap().to_string(),
+            "tcp:127.0.0.1:7878"
+        );
+        assert_eq!(
+            Endpoint::parse("unix:/tmp/dp.sock").unwrap().to_string(),
+            "unix:/tmp/dp.sock"
+        );
+    }
+
+    #[test]
+    fn error_mapping_covers_the_engine_vocabulary() {
+        let cases = [
+            (EngineError::DuplicateParty(1), ERR_DUPLICATE_PARTY),
+            (EngineError::UnknownParty(2), ERR_UNKNOWN_PARTY),
+            (
+                EngineError::Incompatible {
+                    party_id: 3,
+                    detail: "tag".to_string(),
+                },
+                ERR_INCOMPATIBLE,
+            ),
+            (
+                EngineError::Core(CoreError::Wire("bad".to_string())),
+                ERR_MALFORMED,
+            ),
+            (
+                EngineError::Core(CoreError::MissingField("delta")),
+                ERR_INTERNAL,
+            ),
+            (EngineError::Empty, ERR_INTERNAL),
+        ];
+        for (e, want) in cases {
+            match error_response(&e) {
+                Response::Error { code, .. } => assert_eq!(code, want, "{e}"),
+                other => panic!("expected an error frame, got {other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! The `dp-server` binary: a protocol-v3 sketch service.
+//!
+//! ```text
+//! dp-server [--listen tcp:HOST:PORT | --listen unix:PATH]
+//!           [--spec PATH.json] [--workers N]
+//! ```
+//!
+//! Without `--spec` the store adopts the spec proposed by the first
+//! client `Hello`. The engine's all-pairs kernel runs on the usual
+//! `DP_THREADS` / `DP_TILE` environment knobs; `--workers` sets how
+//! many connections are served concurrently. The server exits cleanly
+//! when a client sends the protocol `Shutdown` request.
+
+use dp_core::sketcher::SketcherSpec;
+use dp_core::Parallelism;
+use dp_engine::{QueryEngine, SketchStore};
+use dp_server::{Endpoint, Server};
+use std::process::ExitCode;
+
+fn fail(message: &str) -> ExitCode {
+    eprintln!("dp-server: {message}");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut listen = "tcp:127.0.0.1:7878".to_string();
+    let mut spec_path: Option<String> = None;
+    let mut workers = Parallelism::default().threads();
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: usize| args.get(i + 1).cloned();
+        match args[i].as_str() {
+            "--listen" => match value(i) {
+                Some(v) => {
+                    listen = v;
+                    i += 2;
+                }
+                None => return fail("--listen needs a value"),
+            },
+            "--spec" => match value(i) {
+                Some(v) => {
+                    spec_path = Some(v);
+                    i += 2;
+                }
+                None => return fail("--spec needs a value"),
+            },
+            "--workers" => match value(i).and_then(|v| v.parse::<usize>().ok()) {
+                Some(v) => {
+                    workers = v.max(1);
+                    i += 2;
+                }
+                None => return fail("--workers needs an integer"),
+            },
+            "--help" | "-h" => {
+                println!(
+                    "usage: dp-server [--listen tcp:HOST:PORT|unix:PATH] \
+                     [--spec PATH.json] [--workers N]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return fail(&format!("unknown argument '{other}'")),
+        }
+    }
+
+    let endpoint = match Endpoint::parse(&listen) {
+        Ok(e) => e,
+        Err(e) => return fail(&e),
+    };
+    let store = match &spec_path {
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => return fail(&format!("cannot read {path}: {e}")),
+            };
+            let spec = match SketcherSpec::from_json(&text) {
+                Ok(s) => s,
+                Err(e) => return fail(&format!("bad spec in {path}: {e}")),
+            };
+            match SketchStore::with_spec(spec) {
+                Ok(s) => s,
+                Err(e) => return fail(&format!("spec cannot build a sketcher: {e}")),
+            }
+        }
+        None => SketchStore::adopting(),
+    };
+    let engine = QueryEngine::new(store);
+    let server = match Server::bind(endpoint, engine) {
+        Ok(s) => s,
+        Err(e) => return fail(&format!("cannot bind {listen}: {e}")),
+    };
+    println!(
+        "dp-server: serving protocol v3 on {} ({} worker(s))",
+        server.local_endpoint(),
+        workers
+    );
+    server.serve(workers);
+    println!("dp-server: clean shutdown");
+    ExitCode::SUCCESS
+}

@@ -22,14 +22,15 @@
 
 use dp_core::config::SketchConfig;
 use dp_core::error::CoreError;
-use dp_core::json::{self, JsonValue};
 use dp_core::sketcher::{AnySketcher, Construction, PrivateSketcher, SketcherSpec};
-use dp_core::wire::{self, TagInterner};
-use dp_core::{NoisySketch, PairwiseDistances};
+use dp_core::PairwiseDistances;
+use dp_engine::{QueryEngine, SketchStore};
 use dp_hashing::Seed;
 
-/// Magic prefix of a binary-framed [`Release`].
-pub const RELEASE_MAGIC: [u8; 4] = *b"DPRL";
+// The release frame itself now lives in `dp_core::release`, shared by
+// this protocol module, the `dp-engine` store, and the server; it is
+// re-exported here so existing call sites keep working.
+pub use dp_core::release::{parse_release, parse_release_bytes, Release, RELEASE_MAGIC};
 
 /// Parameters shared by every participant (safe to publish).
 #[derive(Debug, Clone, PartialEq)]
@@ -115,51 +116,6 @@ pub struct Party {
     noise_seed: Seed,
 }
 
-/// The wire format of a release: the sketch plus the sender's id.
-#[derive(Debug, Clone, PartialEq)]
-pub struct Release {
-    /// Sender identity (not private — the protocol releases per-party
-    /// sketches publicly).
-    pub party_id: u64,
-    /// The differentially private sketch.
-    pub sketch: NoisySketch,
-}
-
-impl Release {
-    /// Encode as the compact binary wire format:
-    /// `b"DPRL" | version | party_id (u64 LE) | sketch payload |
-    /// checksum (u64 LE)`.
-    ///
-    /// The embedded sketch payload carries its own v2 trailer; the outer
-    /// checksum (FNV-1a-64 over every preceding byte of this frame)
-    /// additionally covers the release header, so a corrupted
-    /// `party_id` cannot silently misattribute a sketch.
-    ///
-    /// # Errors
-    /// Propagates sketch encoding failures.
-    pub fn to_bytes(&self) -> Result<Vec<u8>, CoreError> {
-        let sketch = wire::encode_sketch(&self.sketch)?;
-        let mut out = Vec::with_capacity(4 + 1 + 8 + sketch.len() + wire::CHECKSUM_LEN);
-        out.extend_from_slice(&RELEASE_MAGIC);
-        out.push(wire::WIRE_VERSION);
-        out.extend_from_slice(&self.party_id.to_le_bytes());
-        out.extend_from_slice(&sketch);
-        let checksum = wire::fnv1a64(&out);
-        out.extend_from_slice(&checksum.to_le_bytes());
-        Ok(out)
-    }
-
-    /// Encode as the JSON compatibility wire format.
-    #[must_use]
-    pub fn to_json(&self) -> String {
-        JsonValue::Object(vec![
-            ("party_id".to_string(), JsonValue::UInt(self.party_id)),
-            ("sketch".to_string(), self.sketch.to_json_value()),
-        ])
-        .to_string()
-    }
-}
-
 impl Party {
     /// A party with its private data; the noise seed is derived from the
     /// party id and must stay private.
@@ -217,79 +173,27 @@ impl Party {
     }
 }
 
-/// Parse a JSON release from the wire.
-///
-/// # Errors
-/// [`CoreError::Wire`] on malformed input.
-pub fn parse_release(text: &str) -> Result<Release, CoreError> {
-    let v = json::parse(text).map_err(CoreError::Wire)?;
-    let party_id = v
-        .get("party_id")
-        .and_then(JsonValue::as_u64)
-        .ok_or_else(|| CoreError::Wire("missing/invalid field 'party_id'".to_string()))?;
-    let sketch_value = v
-        .get("sketch")
-        .ok_or_else(|| CoreError::Wire("missing field 'sketch'".to_string()))?;
-    Ok(Release {
-        party_id,
-        sketch: NoisySketch::from_json_value(sketch_value)?,
-    })
-}
-
-/// Parse a binary release from the wire, interning the transform tag.
-///
-/// # Errors
-/// [`CoreError::Wire`] on malformed input.
-pub fn parse_release_bytes(bytes: &[u8], interner: &mut TagInterner) -> Result<Release, CoreError> {
-    let truncated = || CoreError::Wire("truncated release payload".to_string());
-    if bytes.get(..4).ok_or_else(truncated)? != RELEASE_MAGIC {
-        return Err(CoreError::Wire(
-            "bad magic (not a release payload)".to_string(),
-        ));
-    }
-    let version = *bytes.get(4).ok_or_else(truncated)?;
-    if version != wire::WIRE_VERSION {
-        return Err(CoreError::Wire(format!(
-            "unsupported wire version {version} (expected {})",
-            wire::WIRE_VERSION
-        )));
-    }
-    let party_id = u64::from_le_bytes(
-        bytes
-            .get(5..13)
-            .ok_or_else(truncated)?
-            .try_into()
-            .expect("8 bytes"),
-    );
-    let (sketch, consumed) = wire::decode_sketch_prefix(&bytes[13..], Some(interner))?;
-    let covered = 13 + consumed;
-    let stored = u64::from_le_bytes(
-        bytes
-            .get(covered..covered + wire::CHECKSUM_LEN)
-            .ok_or_else(truncated)?
-            .try_into()
-            .expect("8 bytes"),
-    );
-    let computed = wire::fnv1a64(&bytes[..covered]);
-    if stored != computed {
-        return Err(CoreError::ChecksumMismatch { stored, computed });
-    }
-    if covered + wire::CHECKSUM_LEN != bytes.len() {
-        return Err(CoreError::Wire("trailing bytes after release".to_string()));
-    }
-    Ok(Release { party_id, sketch })
-}
-
 /// All pairwise squared-distance estimates among released sketches, as a
 /// flat row-major matrix (symmetric, zero diagonal), indexed in release
-/// order. Runs the tiled kernel on the environment-default
-/// [`dp_core::Parallelism`].
+/// order. Runs on the environment-default [`dp_core::Parallelism`].
+///
+/// Deprecated: this is now a thin wrapper that loads the slice into a
+/// transient [`dp_engine::SketchStore`] and queries the
+/// [`dp_engine::QueryEngine`]; long-lived services should hold the
+/// engine directly and ingest incrementally.
 ///
 /// # Errors
 /// [`CoreError::IncompatibleSketches`] if any sketch doesn't combine
-/// with the first (see [`dp_core::sketcher::pairwise_sq_distances_with_par`]).
+/// with the first (see [`dp_engine::SketchStore`]).
+#[deprecated(
+    since = "0.1.0",
+    note = "build a `dp_engine::QueryEngine` and call `pairwise_all` instead"
+)]
 pub fn pairwise_sq_distances(releases: &[Release]) -> Result<PairwiseDistances, CoreError> {
-    dp_core::sketcher::pairwise_sq_distances_with(releases, |r| &r.sketch)
+    Ok(engine_over(releases, &dp_core::Parallelism::default())?
+        .pairwise_all()
+        .as_ref()
+        .clone())
 }
 
 /// [`pairwise_sq_distances`] with an explicit [`dp_core::Parallelism`]
@@ -297,12 +201,31 @@ pub fn pairwise_sq_distances(releases: &[Release]) -> Result<PairwiseDistances, 
 ///
 /// # Errors
 /// [`CoreError::IncompatibleSketches`] if any sketch doesn't combine
-/// with the first (see [`dp_core::sketcher::pairwise_sq_distances_with_par`]).
+/// with the first (see [`dp_engine::SketchStore`]).
+#[deprecated(
+    since = "0.1.0",
+    note = "build a `dp_engine::QueryEngine` and call `pairwise_all` instead"
+)]
 pub fn pairwise_sq_distances_par(
     releases: &[Release],
     par: &dp_core::Parallelism,
 ) -> Result<PairwiseDistances, CoreError> {
-    dp_core::sketcher::pairwise_sq_distances_with_par(releases, |r| &r.sketch, par)
+    Ok(engine_over(releases, par)?.pairwise_all().as_ref().clone())
+}
+
+/// Load a transient slice of releases into a query engine (adopting the
+/// first release's identity, tolerating duplicate party ids exactly like
+/// the old slice-based free functions did). Shared by the deprecated
+/// wrappers here and in [`crate::knn`].
+pub(crate) fn engine_over(
+    releases: &[Release],
+    par: &dp_core::Parallelism,
+) -> Result<QueryEngine, CoreError> {
+    let mut engine = QueryEngine::new(SketchStore::adopting()).with_parallelism(*par);
+    for r in releases {
+        engine.ingest_row(r)?;
+    }
+    Ok(engine)
 }
 
 /// Index of the released sketch nearest to `query` (by estimated squared
@@ -325,9 +248,13 @@ pub fn nearest_neighbor(query: &Release, candidates: &[Release]) -> Result<Optio
 }
 
 #[cfg(test)]
+// The deprecated slice-based wrappers stay under test: they must keep
+// answering exactly like the engine they delegate to.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use dp_core::kenthapadi::SigmaCalibration;
+    use dp_core::wire::TagInterner;
     use dp_stats::Summary;
 
     fn params(d: usize) -> PublicParams {

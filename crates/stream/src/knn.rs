@@ -10,22 +10,19 @@
 //! the [`Parallelism`] knob: queries are independent, so workers rank
 //! them concurrently and the results are identical to the sequential
 //! pass for every thread count.
+//!
+//! The slice-based rankings are now thin deprecated wrappers over
+//! [`dp_engine::QueryEngine::knn`]; the per-release [`top_k`] /
+//! [`knn_classify`] helpers remain for one-off queries against
+//! transient candidate sets.
 
 use crate::distributed::Release;
 use dp_core::error::CoreError;
 use dp_core::Parallelism;
 use dp_parallel::par_map;
 
-/// A scored neighbor.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct Neighbor {
-    /// The party id of the neighbor.
-    pub party_id: u64,
-    /// Estimated squared distance (raw, may be negative at small
-    /// distances — ranking is still meaningful because the debias term
-    /// is shared).
-    pub estimated_sq_distance: f64,
-}
+// The scored-neighbor type now lives beside the engine that mints it.
+pub use dp_engine::Neighbor;
 
 /// The `k` nearest released sketches to `query` (excluding any candidate
 /// with the query's own party id), sorted ascending by estimate.
@@ -60,10 +57,18 @@ pub fn top_k(
 /// all-pairs analogue of [`top_k`], useful for clustering
 /// post-processing. Runs on the environment-default [`Parallelism`].
 ///
+/// Deprecated: a thin wrapper loading the slice into a transient
+/// [`dp_engine::SketchStore`]; long-lived services should hold a
+/// [`dp_engine::QueryEngine`] and call `knn` directly.
+///
 /// # Errors
 /// Propagates sketch incompatibility.
+#[deprecated(
+    since = "0.1.0",
+    note = "build a `dp_engine::QueryEngine` and call `knn` instead"
+)]
 pub fn neighbor_rankings(releases: &[Release]) -> Result<Vec<Vec<u64>>, CoreError> {
-    neighbor_rankings_par(releases, &Parallelism::default())
+    rankings_via_engine(releases, &Parallelism::default())
 }
 
 /// [`neighbor_rankings`] with an explicit [`Parallelism`] knob: each
@@ -73,20 +78,31 @@ pub fn neighbor_rankings(releases: &[Release]) -> Result<Vec<Vec<u64>>, CoreErro
 /// ranking's sort is independent of scheduling).
 ///
 /// # Errors
-/// Propagates sketch incompatibility (the error for the lowest failing
-/// query index, as in a sequential pass).
+/// Propagates sketch incompatibility.
+#[deprecated(
+    since = "0.1.0",
+    note = "build a `dp_engine::QueryEngine` and call `knn` instead"
+)]
 pub fn neighbor_rankings_par(
     releases: &[Release],
     par: &Parallelism,
 ) -> Result<Vec<Vec<u64>>, CoreError> {
-    par_map(releases, par.threads(), |_, q| {
-        Ok(top_k(q, releases, releases.len())?
+    rankings_via_engine(releases, par)
+}
+
+fn rankings_via_engine(
+    releases: &[Release],
+    par: &Parallelism,
+) -> Result<Vec<Vec<u64>>, CoreError> {
+    let engine = crate::distributed::engine_over(releases, par)?;
+    let queries: Vec<usize> = (0..releases.len()).collect();
+    Ok(par_map(&queries, par.threads(), |_, &row| {
+        engine
+            .knn_row(row, releases.len())
             .into_iter()
             .map(|n| n.party_id)
-            .collect())
-    })
-    .into_iter()
-    .collect()
+            .collect()
+    }))
 }
 
 /// Majority vote over the labels of the `k` nearest neighbors — the
@@ -115,6 +131,9 @@ pub fn knn_classify(
 }
 
 #[cfg(test)]
+// The deprecated slice-based wrappers stay under test: they must keep
+// answering exactly like the engine they delegate to.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::distributed::{Party, PublicParams};

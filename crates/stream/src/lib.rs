@@ -19,8 +19,9 @@ pub mod distributed;
 pub mod knn;
 pub mod streaming;
 
+#[allow(deprecated)]
+pub use distributed::pairwise_sq_distances;
 pub use distributed::{
-    nearest_neighbor, pairwise_sq_distances, parse_release, parse_release_bytes, Party,
-    PublicParams, Release,
+    nearest_neighbor, parse_release, parse_release_bytes, Party, PublicParams, Release,
 };
-pub use streaming::StreamingSketch;
+pub use streaming::{StreamingSketch, StreamingSketcher};

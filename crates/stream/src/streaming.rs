@@ -7,10 +7,11 @@
 //! running projection is private state of the data owner.
 
 use dp_core::error::CoreError;
-use dp_core::sketcher::PrivateSketcher;
+use dp_core::sketcher::{AnySketcher, PrivateSketcher};
 use dp_core::NoisySketch;
 use dp_hashing::Seed;
 use dp_noise::mechanism::NoiseMechanism;
+use dp_transforms::sjlt::Sjlt;
 use dp_transforms::{StreamingColumns, TransformError};
 
 /// An incrementally maintained (noiseless) projection of a turnstile
@@ -141,6 +142,32 @@ impl<T: StreamingColumns> StreamingSketch<T> {
     }
 }
 
+/// Sketchers that hand out a ready-made [`StreamingSketch`] over their
+/// own public transform — the stream then interoperates with the
+/// sketcher's batch releases by construction (same transform, same tag,
+/// same calibration at release time via
+/// [`StreamingSketch::release_via`]).
+pub trait StreamingSketcher {
+    /// An empty streaming accumulator over this sketcher's transform.
+    ///
+    /// # Errors
+    /// [`CoreError::Unsupported`] when the construction's transform has
+    /// no streaming column access (today: everything but the SJLT).
+    fn streaming_sketch(&self) -> Result<StreamingSketch<Sjlt>, CoreError>;
+}
+
+impl StreamingSketcher for AnySketcher {
+    fn streaming_sketch(&self) -> Result<StreamingSketch<Sjlt>, CoreError> {
+        let sjlt = self.as_sjlt().ok_or(CoreError::Unsupported(
+            "only the SJLT construction exposes streaming column access",
+        ))?;
+        Ok(StreamingSketch::new(
+            sjlt.general().transform().clone(),
+            self.tag().to_string(),
+        ))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -251,6 +278,47 @@ mod tests {
         // Dimension mismatches are refused.
         let short = StreamingSketch::new(sjlt(), "other".into());
         assert!(short.release_via(&sketcher, Seed::new(1)).is_err());
+    }
+
+    #[test]
+    fn sketcher_hands_out_ready_made_stream() {
+        use dp_core::config::SketchConfig;
+        use dp_core::sketcher::{AnySketcher, Construction};
+        let cfg = SketchConfig::builder()
+            .input_dim(64)
+            .alpha(0.3)
+            .beta(0.1)
+            .epsilon(1.0)
+            .build()
+            .unwrap();
+        let sketcher = AnySketcher::new(Construction::SjltLaplace, &cfg, Seed::new(5)).unwrap();
+        let mut stream = sketcher.streaming_sketch().unwrap();
+        let x: Vec<f64> = (0..64).map(|i| (i % 5) as f64 - 2.0).collect();
+        stream.absorb_dense(&x).unwrap();
+        // The ready-made stream releases sketches interoperable with —
+        // indeed identical to — the sketcher's own.
+        let streamed = stream.release_via(&sketcher, Seed::new(9)).unwrap();
+        assert_eq!(streamed.transform_tag(), sketcher.tag());
+        let direct = sketcher.sketch(&x, Seed::new(11)).unwrap();
+        assert!(streamed.estimate_sq_distance(&direct).is_ok());
+        // Non-streaming constructions refuse with a typed error.
+        let dense = AnySketcher::new(
+            Construction::Kenthapadi(dp_core::kenthapadi::SigmaCalibration::ExactSensitivity),
+            &SketchConfig::builder()
+                .input_dim(64)
+                .alpha(0.3)
+                .beta(0.1)
+                .epsilon(1.0)
+                .delta(1e-6)
+                .build()
+                .unwrap(),
+            Seed::new(5),
+        )
+        .unwrap();
+        assert!(matches!(
+            dense.streaming_sketch(),
+            Err(CoreError::Unsupported(_))
+        ));
     }
 
     #[test]

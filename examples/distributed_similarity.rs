@@ -3,9 +3,14 @@
 //! Ten parties each hold a user-profile vector. They agree on public
 //! parameters (a `SketcherSpec`: construction + config + transform seed),
 //! each releases one noisy sketch over the binary wire, and a
-//! coordinator — who never sees any raw vector — finds the most similar
-//! pair and a query's nearest neighbor from the released sketches alone.
-//! Privacy for every party follows from Theorem 3 plus post-processing.
+//! coordinator — who never sees any raw vector — answers similarity
+//! queries from the released sketches alone. Privacy for every party
+//! follows from Theorem 3 plus post-processing.
+//!
+//! The coordinator side is the `dp-engine` query layer: a persistent
+//! `SketchStore` ingests the wire frames (validating compatibility and
+//! interning the transform tag once), and the `QueryEngine` answers
+//! all-pairs, closest-pair, and nearest-neighbor queries incrementally.
 //!
 //! The whole protocol is construction-agnostic: the same code below runs
 //! once with the SJLT+Laplace headline construction and once with the
@@ -13,12 +18,8 @@
 //!
 //! Run with: `cargo run --release --example distributed_similarity`
 
-use dp_euclid::core::wire::TagInterner;
 use dp_euclid::hashing::Seed;
 use dp_euclid::prelude::*;
-use dp_euclid::stream::distributed::{
-    nearest_neighbor, pairwise_sq_distances_par, parse_release_bytes, Release,
-};
 
 fn profile(d: usize, group: usize, idx: u64) -> Vec<f64> {
     // Group members share a base pattern plus individual variation.
@@ -53,8 +54,7 @@ fn run_protocol(params: &PublicParams) {
         .map(|i| Party::new(i, profile(d, (i / 5) as usize, i), Seed::new(900 + i)))
         .collect();
 
-    // Each party serializes its release over the compact binary wire; the
-    // coordinator parses them with a shared tag interner.
+    // Each party serializes its release over the compact binary wire.
     let wire: Vec<Vec<u8>> = parties
         .iter()
         .map(|p| p.release_bytes(params).expect("release"))
@@ -65,35 +65,36 @@ fn run_protocol(params: &PublicParams) {
         wire[0].len(),
         params.sketcher().expect("sketcher").k()
     );
-    let mut interner = TagInterner::new();
-    let releases: Vec<Release> = wire
-        .iter()
-        .map(|bytes| parse_release_bytes(bytes, &mut interner).expect("parse"))
-        .collect();
-    println!(
-        "distinct transform tags after interning: {}",
-        interner.len()
-    );
 
-    // Coordinator-side analytics on released data only. The all-pairs
-    // matrix runs the tiled kernel on the env-driven Parallelism knob
+    // Coordinator: one persistent store owns the spec, the tag
+    // interner, and every ingested sketch; the engine answers queries.
+    // The all-pairs kernel runs on the env-driven Parallelism knob
     // (DP_THREADS / DP_TILE); estimates are bit-identical regardless.
     let par = Parallelism::from_env();
+    let store = SketchStore::with_spec(params.spec().clone()).expect("store");
+    let mut engine = QueryEngine::new(store).with_parallelism(par);
+    for bytes in &wire {
+        engine.ingest_bytes(bytes).expect("ingest");
+    }
+    println!(
+        "store: {} rows, {} distinct transform tag(s) interned",
+        engine.store().n(),
+        engine.store().interner_len()
+    );
     println!(
         "pairwise kernel: {} worker(s), tile {}",
         par.threads(),
         par.tile()
     );
-    let dist = pairwise_sq_distances_par(&releases, &par).expect("pairwise");
-    let mut best = (0usize, 1usize, f64::INFINITY);
+
+    // Coordinator-side analytics on released data only.
+    let ids = engine.store().party_ids().to_vec();
+    let dist = engine.pairwise_all();
     let mut intra = Vec::new();
     let mut inter = Vec::new();
-    for i in 0..releases.len() {
-        for j in (i + 1)..releases.len() {
-            if dist.at(i, j) < best.2 {
-                best = (i, j, dist.at(i, j));
-            }
-            if i / 5 == j / 5 {
+    for i in 0..ids.len() {
+        for j in (i + 1)..ids.len() {
+            if ids[i] / 5 == ids[j] / 5 {
                 intra.push(dist.at(i, j));
             } else {
                 inter.push(dist.at(i, j));
@@ -110,15 +111,16 @@ fn run_protocol(params: &PublicParams) {
         mean(&intra) < mean(&inter),
         "clusters should be separable from private sketches"
     );
-    println!(
-        "closest pair: parties {} and {} (est. distance² = {:.1})",
-        releases[best.0].party_id, releases[best.1].party_id, best.2
-    );
+    let (a, b, closest) = engine.top_pairs(1)[0];
+    println!("closest pair: parties {a} and {b} (est. distance² = {closest:.1})");
 
-    // Nearest-neighbor query for party 0.
-    let nn = nearest_neighbor(&releases[0], &releases).expect("nn");
-    println!("nearest neighbor of party 0: {nn:?}");
-    assert!(matches!(nn, Some(id) if id < 5), "should stay in cluster 0");
+    // Nearest-neighbor query for party 0, straight off the engine.
+    let nn = engine.knn(0, 1).expect("knn");
+    println!(
+        "nearest neighbor of party 0: {} (est. distance² = {:.1})",
+        nn[0].party_id, nn[0].estimated_sq_distance
+    );
+    assert!(nn[0].party_id < 5, "should stay in cluster 0");
 }
 
 fn main() {

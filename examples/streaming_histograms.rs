@@ -1,42 +1,59 @@
 //! Streaming histogram comparison — Theorem 3 item 4 in action.
 //!
 //! Two sites observe event streams over a huge item universe and maintain
-//! SJLT sketches incrementally (`O(s)` per event). At reporting time each
-//! adds Laplace noise calibrated for attribute-level DP (one event shifts
-//! the histogram by 1 in ℓ₁ — exactly the paper's Definition 1) and
-//! releases. The release path is mechanism-agnostic (`&dyn
-//! NoiseMechanism`), so swapping the calibration never touches the
-//! streaming code. The analyst estimates how far apart the two traffic
-//! distributions are without ever seeing a raw count.
+//! SJLT sketches incrementally (`O(s)` per event). The whole pipeline is
+//! driven by one `SketcherSpec`: the spec builds the shared sketcher, the
+//! sketcher hands each site a ready-made `StreamingSketch` over its own
+//! public transform (`StreamingSketcher::streaming_sketch`), and at
+//! reporting time each site releases through
+//! `StreamingSketch::release_via` — the sketcher adds its calibrated
+//! Laplace noise (attribute-level DP: one event shifts the histogram by 1
+//! in ℓ₁ — exactly the paper's Definition 1) and tags the release, so it
+//! interoperates with every other release under the same spec. No
+//! hand-built mechanism, no hand-matched tags. The analyst estimates how
+//! far apart the two traffic distributions are without ever seeing a raw
+//! count.
 //!
 //! Run with: `cargo run --release --example streaming_histograms`
+//!
+//! `DP_SMOKE=1` shrinks the stream for CI smoke runs.
 
 use dp_euclid::hashing::{Prng, Seed};
-use dp_euclid::noise::mechanism::{LaplaceMechanism, NoiseMechanism};
 use dp_euclid::prelude::*;
-use dp_euclid::transforms::sjlt::Sjlt;
 
 fn main() {
     let d = 1 << 16; // item universe
-    let params = JlParams::new(0.2, 0.05).expect("params");
-    let (k, s, t) = (params.k_for_sjlt(), params.s(), params.independence());
-    let epsilon = 1.0;
+    let config = SketchConfig::builder()
+        .input_dim(d)
+        .alpha(0.2)
+        .beta(0.05)
+        .epsilon(1.0)
+        .build()
+        .expect("config");
 
-    // PUBLIC transform, shared by both sites.
-    let transform = Sjlt::new_cached(d, k, s, t, Seed::new(31337)).expect("sjlt");
-    let mech = LaplaceMechanism::new(transform.l1_sensitivity(), epsilon).expect("mech");
+    // PUBLIC spec, shared by both sites (pure ε-DP: Note 5 under no δ
+    // resolves to the Laplace mechanism with the SJLT's ℓ₁ sensitivity).
+    let spec = SketcherSpec::new(Construction::SjltAuto, config, Seed::new(31337));
+    let sketcher = spec.build().expect("sketcher");
     println!(
-        "streaming sketch: universe d = {d}, k = {k}, s = {s}, {}",
-        mech.guarantee()
+        "streaming sketch: universe d = {d}, k = {}, tag = {}, {}",
+        sketcher.k(),
+        sketcher.tag(),
+        sketcher.guarantee()
     );
 
-    // Site A: Zipf-ish traffic; Site B: same head, shifted tail.
-    let mut site_a = StreamingSketch::new(transform.clone(), "histogram".into());
-    let mut site_b = StreamingSketch::new(transform, "histogram".into());
+    // Site A: Zipf-ish traffic; Site B: same head, shifted tail. Each
+    // site's stream accumulator comes ready-made from the sketcher.
+    let mut site_a = sketcher.streaming_sketch().expect("sjlt streams");
+    let mut site_b = sketcher.streaming_sketch().expect("sjlt streams");
     let mut true_a = vec![0.0f64; d];
     let mut true_b = vec![0.0f64; d];
     let mut rng = Seed::new(99).rng();
-    let events = 200_000u32;
+    let events: u32 = if std::env::var_os("DP_SMOKE").is_some() {
+        20_000
+    } else {
+        200_000
+    };
     for _ in 0..events {
         // Crude Zipf sampler over ranks 1..d via inverse power draw.
         let u = rng.next_open_f64();
@@ -54,9 +71,14 @@ fn main() {
         site_a.update_count()
     );
 
-    // Private releases with per-site noise seeds.
-    let rel_a = site_a.release(&mech, Seed::new(1001));
-    let rel_b = site_b.release(&mech, Seed::new(2002));
+    // Private releases with per-site noise seeds: the sketcher applies
+    // its own calibrated mechanism to the maintained projection.
+    let rel_a = site_a
+        .release_via(&sketcher, Seed::new(1001))
+        .expect("release");
+    let rel_b = site_b
+        .release_via(&sketcher, Seed::new(2002))
+        .expect("release");
 
     let est = rel_a.estimate_sq_distance(&rel_b).expect("estimate");
     let true_dist = dp_euclid::linalg::vector::sq_distance(&true_a, &true_b);

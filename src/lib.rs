@@ -70,11 +70,17 @@
 //! | [`dp_noise`] | Laplace/Gaussian/discrete mechanisms, moments, privacy accounting |
 //! | [`dp_transforms`] | iid-Gaussian, Achlioptas, FJLT and SJLT projections |
 //! | [`dp_parallel`] | scoped thread pool, `Parallelism` knob, pairwise tile scheduler |
-//! | [`dp_core`] | the `PrivateSketcher` trait, `AnySketcher`/`SketcherSpec`, estimators, variance theory, wire codecs |
+//! | [`dp_core`] | the `PrivateSketcher` trait, `AnySketcher`/`SketcherSpec`, estimators, variance theory, wire codecs (v2 frames + v3 protocol) |
+//! | [`dp_engine`] | the persistent `SketchStore` and incremental `QueryEngine` over released sketches |
 //! | [`dp_stream`] | streaming (turnstile) sketches and the spec-driven distributed protocol |
 //! | [`dp_stats`] | measurement utilities used by tests and the experiment harness |
+//!
+//! A standalone `dp-server` crate (not re-exported here) serves the
+//! engine over TCP/unix sockets speaking the wire protocol v3 of
+//! [`dp_core::protocol`].
 
 pub use dp_core as core;
+pub use dp_engine as engine;
 pub use dp_hashing as hashing;
 pub use dp_linalg as linalg;
 pub use dp_noise as noise;
@@ -97,6 +103,7 @@ pub mod prelude {
             Construction, PairwiseDistances, PrivateSketcher, SketcherSpec,
         },
     };
+    pub use dp_engine::{EngineError, Neighbor, QueryEngine, SketchStore};
     pub use dp_hashing::Seed;
     pub use dp_noise::{
         mechanism::{GaussianMechanism, LaplaceMechanism, NoiseMechanism},
@@ -105,7 +112,7 @@ pub mod prelude {
     pub use dp_parallel::{Parallelism, TileScheduler};
     pub use dp_stream::{
         distributed::{Party, PublicParams, Release},
-        streaming::StreamingSketch,
+        streaming::{StreamingSketch, StreamingSketcher},
     };
     pub use dp_transforms::{
         fjlt::Fjlt, gaussian_iid::GaussianIid, params::JlParams, sjlt::Sjlt,

@@ -1,6 +1,11 @@
 //! Integration tests of the multi-party protocol over the wire (binary
 //! and JSON), including construction selection purely via `SketcherSpec`,
 //! streaming parties, and privacy accounting across releases.
+//!
+//! The deprecated slice-based `pairwise_sq_distances` wrapper stays
+//! exercised here on purpose: it must keep answering exactly like the
+//! `dp_engine::QueryEngine` it now delegates to.
+#![allow(deprecated)]
 
 use dp_euclid::core::variance::var_sjlt_laplace;
 use dp_euclid::core::wire::TagInterner;

@@ -1,0 +1,232 @@
+//! End-to-end test of the protocol-v3 sketch service: spawn a
+//! `dp-server` on a unix socket, ingest releases through the blocking
+//! client, and assert that every socket answer is **bit-identical** to
+//! the in-process `SketchStore`/`QueryEngine` answers for the same
+//! ingested releases — the server must be a pure transport shell.
+
+use dp_euclid::core::release::Release;
+use dp_euclid::hashing::Seed;
+use dp_euclid::prelude::*;
+use dp_server::{Client, ClientError, Endpoint, Server};
+use std::path::PathBuf;
+
+fn spec(d: usize) -> SketcherSpec {
+    let config = SketchConfig::builder()
+        .input_dim(d)
+        .alpha(0.25)
+        .beta(0.05)
+        .epsilon(2.0)
+        .build()
+        .expect("config");
+    SketcherSpec::new(Construction::SjltAuto, config, Seed::new(4242))
+}
+
+fn releases(spec: &SketcherSpec, n: usize) -> Vec<Release> {
+    let sketcher = spec.build().expect("sketcher");
+    let d = sketcher.input_dim();
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|i| (0..d).map(|j| ((3 * i + j) % 7) as f64 - 3.0).collect())
+        .collect();
+    sketcher
+        .sketch_batch(&rows, Seed::new(777))
+        .expect("batch")
+        .into_iter()
+        .enumerate()
+        .map(|(i, sketch)| Release {
+            party_id: 10 + i as u64,
+            sketch,
+        })
+        .collect()
+}
+
+fn scratch_socket(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("dp-e2e-{tag}-{}.sock", std::process::id()))
+}
+
+#[test]
+fn socket_answers_are_bit_identical_to_the_engine() {
+    let spec = spec(192);
+    let rs = releases(&spec, 8);
+
+    // The in-process reference engine.
+    let mut reference = QueryEngine::new(SketchStore::with_spec(spec.clone()).expect("store"));
+    for r in &rs {
+        reference.ingest(r).expect("ingest");
+    }
+
+    let socket = scratch_socket("main");
+    let endpoint = Endpoint::Unix(socket.clone());
+    let server =
+        Server::bind(endpoint.clone(), QueryEngine::new(SketchStore::adopting())).expect("bind");
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(|| server.serve(2));
+
+        let mut client = Client::connect(&endpoint).expect("connect");
+
+        // Spec negotiation: fresh store adopts; re-Hello with the same
+        // spec is idempotent; a different spec is refused.
+        let (k, rows, tag) = client.hello(&spec).expect("hello");
+        assert_eq!(rows, 0);
+        assert_eq!(k as usize, reference.store().k().expect("k"));
+        assert_eq!(tag, reference.store().tag().expect("tag"));
+        let (_, _, tag_again) = client.hello(&spec).expect("re-hello");
+        assert_eq!(tag_again, tag);
+        let other = SketcherSpec::new(
+            Construction::SjltLaplace,
+            spec.config().clone(),
+            Seed::new(1),
+        );
+        assert!(matches!(
+            client.hello(&other),
+            Err(ClientError::Remote { .. })
+        ));
+
+        // Ingest through the socket.
+        for (i, r) in rs.iter().enumerate() {
+            let (row, n) = client.ingest(r).expect("ingest");
+            assert_eq!(row as usize, i);
+            assert_eq!(n as usize, i + 1);
+        }
+        // Duplicate ids and unknown queries surface as typed remote
+        // errors without poisoning the connection.
+        assert!(matches!(
+            client.ingest(&rs[0]),
+            Err(ClientError::Remote { .. })
+        ));
+        assert!(matches!(
+            client.knn(999, 2),
+            Err(ClientError::Remote { .. })
+        ));
+
+        // Full pairwise: bit-identical to the engine, ids in ingest order.
+        let (ids, values) = client.pairwise(&[]).expect("pairwise");
+        assert_eq!(ids, reference.store().party_ids());
+        let local = reference.pairwise_all();
+        assert_eq!(values.len(), local.as_flat().len());
+        for (a, b) in values.iter().zip(local.as_flat()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+
+        // Subset pairwise, in requested order.
+        let subset = [rs[5].party_id, rs[1].party_id, rs[2].party_id];
+        let (sub_ids, sub_values) = client.pairwise(&subset).expect("subset");
+        assert_eq!(sub_ids, subset);
+        let local_sub = reference.pairwise(&subset).expect("subset");
+        for (a, b) in sub_values.iter().zip(local_sub.as_flat()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+
+        // knn: same neighbors, same bits.
+        for &party in &[rs[0].party_id, rs[7].party_id] {
+            let remote = client.knn(party, 4).expect("knn");
+            let local = reference.knn(party, 4).expect("knn");
+            assert_eq!(remote.len(), local.len());
+            for (r, l) in remote.iter().zip(&local) {
+                assert_eq!(r.0, l.party_id);
+                assert_eq!(r.1.to_bits(), l.estimated_sq_distance.to_bits());
+            }
+        }
+
+        // top_pairs: same pairs, same bits.
+        let remote_top = client.top_pairs(5).expect("top");
+        let local_top = reference.top_pairs(5);
+        assert_eq!(remote_top.len(), local_top.len());
+        for (r, l) in remote_top.iter().zip(&local_top) {
+            assert_eq!((r.0, r.1), (l.0, l.1));
+            assert_eq!(r.2.to_bits(), l.2.to_bits());
+        }
+
+        // Clean shutdown: server thread joins.
+        client.shutdown().expect("shutdown");
+        handle.join().expect("server thread");
+    });
+    let _ = std::fs::remove_file(&socket);
+}
+
+#[test]
+fn ingest_before_hello_adopts_and_serves() {
+    // A client may skip negotiation entirely: the adopting store takes
+    // the identity of the first release, like the slice-based surface.
+    let spec = spec(96);
+    let rs = releases(&spec, 4);
+    let mut reference = QueryEngine::new(SketchStore::adopting());
+    for r in &rs {
+        reference.ingest(r).expect("ingest");
+    }
+
+    let socket = scratch_socket("adopt");
+    let endpoint = Endpoint::Unix(socket.clone());
+    let server =
+        Server::bind(endpoint.clone(), QueryEngine::new(SketchStore::adopting())).expect("bind");
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(|| server.serve(1));
+        let mut client = Client::connect(&endpoint).expect("connect");
+        for r in &rs {
+            client.ingest(r).expect("ingest");
+        }
+        let (ids, values) = client.pairwise(&[]).expect("pairwise");
+        assert_eq!(ids, reference.store().party_ids());
+        for (a, b) in values.iter().zip(reference.pairwise_all().as_flat()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        client.shutdown().expect("shutdown");
+        handle.join().expect("server thread");
+    });
+    let _ = std::fs::remove_file(&socket);
+}
+
+#[test]
+fn shutdown_unblocks_every_worker() {
+    // Regression: with more accept loops than the wake-up default, a
+    // single Shutdown must still unblock all of them and let serve()
+    // return (each idle worker sits blocked in accept until woken).
+    let socket = scratch_socket("manyworkers");
+    let endpoint = Endpoint::Unix(socket.clone());
+    let server =
+        Server::bind(endpoint.clone(), QueryEngine::new(SketchStore::adopting())).expect("bind");
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(|| server.serve(7));
+        let client = Client::connect(&endpoint).expect("connect");
+        client.shutdown().expect("shutdown");
+        handle.join().expect("all 7 workers unblocked and joined");
+    });
+    let _ = std::fs::remove_file(&socket);
+}
+
+#[test]
+fn malformed_frames_get_error_responses_not_hangups() {
+    use dp_euclid::core::protocol::{
+        decode_response, read_frame, write_frame, Request, Response, ERR_MALFORMED,
+    };
+
+    let socket = scratch_socket("malformed");
+    let endpoint = Endpoint::Unix(socket.clone());
+    let server =
+        Server::bind(endpoint.clone(), QueryEngine::new(SketchStore::adopting())).expect("bind");
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(|| server.serve(1));
+        let mut client = Client::connect(&endpoint).expect("connect");
+        // A garbage payload (not a v3 frame at all).
+        let garbage = b"this is not a protocol frame".to_vec();
+        {
+            // Reach the raw exchange through the public call API:
+            // Client::call sends well-formed frames, so drive the frame
+            // layer directly for this case.
+            let conn = client.conn_mut();
+            write_frame(conn, &garbage).expect("write");
+            let reply = read_frame(conn).expect("read").expect("frame");
+            match decode_response(&reply).expect("decode") {
+                Response::Error { code, .. } => assert_eq!(code, ERR_MALFORMED),
+                other => panic!("expected an error frame, got {other:?}"),
+            }
+        }
+        // The connection is still healthy afterwards.
+        let reply = client
+            .call(&Request::TopPairs { t: 1 })
+            .expect("still alive");
+        assert!(matches!(reply, Response::TopPairs { .. }));
+        client.shutdown().expect("shutdown");
+        handle.join().expect("server thread");
+    });
+    let _ = std::fs::remove_file(&socket);
+}
