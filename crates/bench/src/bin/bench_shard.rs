@@ -1,0 +1,230 @@
+//! Benchmark the sharded all-pairs pipeline against the local kernel.
+//!
+//! Spins up 1/2/4 worker `dp-server`s plus a coordinator over unix
+//! sockets (in-process threads — the protocol and gather costs are
+//! real, the network is a loopback socket), ingests one batch of
+//! releases through the coordinator, and times the full all-pairs
+//! matrix three ways per shard count:
+//!
+//! * **local** — the in-process tiled kernel (`QueryEngine::pairwise`).
+//! * **coordinator** — `Pairwise([])` against the coordinator: shard
+//!   the plan, `ExecuteTiles` per worker, gather by tile id, one
+//!   response frame back.
+//!
+//! Every coordinator answer is verified **bit-identical** to the local
+//! matrix before timing. On a single-core host the sharded path is
+//! expected to *lose* (same arithmetic plus framing and scatter); the
+//! point of the record is the trajectory — per-shard overhead now,
+//! multi-host speedup when real hardware is behind the sockets. Writes
+//! machine-readable `BENCH_shard.json`.
+//!
+//! Usage: `bench_shard [--quick] [--out <path>]`
+
+use dp_bench::runner::time_per_op;
+use dp_bench::workload::gaussian_vec;
+use dp_core::config::SketchConfig;
+use dp_core::json::JsonValue;
+use dp_core::release::Release;
+use dp_core::sketcher::{Construction, PrivateSketcher, SketcherSpec};
+use dp_engine::{QueryEngine, SketchStore};
+use dp_hashing::Seed;
+use dp_server::{Client, Endpoint, Server};
+use std::path::PathBuf;
+use std::time::Duration;
+
+struct Measurement {
+    shards: usize,
+    ns_per_pair_local: f64,
+    ns_per_pair_sharded: f64,
+    sharded_over_local: f64,
+}
+
+fn scratch_socket(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("dp-bench-shard-{tag}-{}.sock", std::process::id()))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map_or("BENCH_shard.json", String::as_str);
+
+    let d = 256;
+    let rows = if quick { 48 } else { 96 };
+    let shard_tile = 8;
+    let config = SketchConfig::builder()
+        .input_dim(d)
+        .alpha(0.3)
+        .beta(0.1)
+        .epsilon(1.0)
+        .build()
+        .expect("config");
+    let spec = SketcherSpec::new(Construction::SjltAuto, config, Seed::new(17));
+    let sketcher = spec.build().expect("sketcher");
+    let k = sketcher.k();
+    let data: Vec<Vec<f64>> = (0..rows)
+        .map(|r| gaussian_vec(d, Seed::new(3000 + r as u64)))
+        .collect();
+    let releases: Vec<Release> = sketcher
+        .sketch_batch(&data, Seed::new(77))
+        .expect("batch")
+        .into_iter()
+        .enumerate()
+        .map(|(i, sketch)| Release {
+            party_id: i as u64,
+            sketch,
+        })
+        .collect();
+    let pairs = rows * (rows - 1) / 2;
+    println!("== bench_shard: coordinator-sharded vs local all-pairs ==");
+    println!("d = {d}, k = {k}, rows = {rows} ({pairs} pairs), shard tile = {shard_tile}");
+
+    // Local reference + baseline timing (fresh tiled kernel per call).
+    let mut local_engine = QueryEngine::new(SketchStore::with_spec(spec.clone()).expect("store"));
+    for r in &releases {
+        local_engine.ingest(r).expect("ingest");
+    }
+    let all_ids: Vec<u64> = local_engine.store().party_ids().to_vec();
+    let local_matrix = local_engine.pairwise_all();
+    let iters = if quick { 3 } else { 8 };
+    let ns_local = time_per_op(iters, || {
+        std::hint::black_box(local_engine.pairwise(&all_ids).expect("pairwise"));
+    }) / pairs as f64;
+
+    let mut measurements = Vec::new();
+    let mut all_identical = true;
+    for shards in [1usize, 2, 4] {
+        // One worker server per shard, plus the coordinator.
+        let workers: Vec<(Server, Endpoint, PathBuf)> = (0..shards)
+            .map(|w| {
+                let socket = scratch_socket(&format!("w{shards}-{w}"));
+                let endpoint = Endpoint::Unix(socket.clone());
+                let server =
+                    Server::bind(endpoint.clone(), QueryEngine::new(SketchStore::adopting()))
+                        .expect("bind worker");
+                (server, endpoint, socket)
+            })
+            .collect();
+        let coord_socket = scratch_socket(&format!("coord{shards}"));
+        let coord_endpoint = Endpoint::Unix(coord_socket.clone());
+        let pool: Vec<Client> = workers
+            .iter()
+            .map(|(_, endpoint, _)| {
+                let client = Client::connect(endpoint).expect("connect worker");
+                client
+                    .set_read_timeout(Some(Duration::from_secs(120)))
+                    .expect("timeout");
+                client
+            })
+            .collect();
+        let coordinator = Server::bind_coordinator(
+            coord_endpoint.clone(),
+            QueryEngine::new(SketchStore::adopting()),
+            pool,
+            shard_tile,
+        )
+        .expect("bind coordinator");
+
+        let (ns_sharded, identical) = std::thread::scope(|scope| {
+            for (worker, _, _) in &workers {
+                scope.spawn(|| worker.serve(1));
+            }
+            let hc = scope.spawn(|| coordinator.serve(1));
+
+            let mut client = Client::connect(&coord_endpoint).expect("connect coordinator");
+            client.hello(&spec).expect("hello");
+            for r in &releases {
+                client.ingest(r).expect("ingest");
+            }
+            // Verify before timing: the sharded matrix must be
+            // bit-identical to the local engine's.
+            let (_, values) = client.pairwise(&[]).expect("sharded pairwise");
+            let mut identical = values.len() == local_matrix.as_flat().len();
+            for (a, b) in values.iter().zip(local_matrix.as_flat()) {
+                identical &= a.to_bits() == b.to_bits();
+            }
+            let ns = time_per_op(iters, || {
+                std::hint::black_box(client.pairwise(&[]).expect("sharded pairwise"));
+            }) / pairs as f64;
+            client.shutdown().expect("shutdown");
+            hc.join().expect("coordinator joined");
+            (ns, identical)
+        });
+        for (_, _, socket) in &workers {
+            let _ = std::fs::remove_file(socket);
+        }
+        let _ = std::fs::remove_file(&coord_socket);
+
+        all_identical &= identical;
+        println!(
+            "shards = {shards}  local {ns_local:8.1} ns/pair  sharded {ns_sharded:8.1} ns/pair \
+             ({:5.2}x local, bit-identical: {identical})",
+            ns_sharded / ns_local,
+        );
+        measurements.push(Measurement {
+            shards,
+            ns_per_pair_local: ns_local,
+            ns_per_pair_sharded: ns_sharded,
+            sharded_over_local: ns_sharded / ns_local,
+        });
+    }
+
+    println!(
+        "CHECK [{}] every sharded matrix bit-identical to the local kernel",
+        if all_identical { "PASS" } else { "FAIL" }
+    );
+    println!(
+        "NOTE single-host record: shards share one CPU here, so ns/pair measures \
+         protocol + gather overhead, not scale-out"
+    );
+
+    let json = JsonValue::Object(vec![
+        (
+            "bench".to_string(),
+            JsonValue::String("sharded_pairwise".to_string()),
+        ),
+        (
+            "construction".to_string(),
+            JsonValue::String("sjlt-auto".to_string()),
+        ),
+        ("d".to_string(), JsonValue::UInt(d as u64)),
+        ("k".to_string(), JsonValue::UInt(k as u64)),
+        ("rows".to_string(), JsonValue::UInt(rows as u64)),
+        ("pairs".to_string(), JsonValue::UInt(pairs as u64)),
+        ("shard_tile".to_string(), JsonValue::UInt(shard_tile as u64)),
+        ("bit_identical".to_string(), JsonValue::Bool(all_identical)),
+        (
+            "measurements".to_string(),
+            JsonValue::Array(
+                measurements
+                    .iter()
+                    .map(|m| {
+                        JsonValue::Object(vec![
+                            ("shards".to_string(), JsonValue::UInt(m.shards as u64)),
+                            (
+                                "ns_per_pair_local".to_string(),
+                                JsonValue::Number(m.ns_per_pair_local),
+                            ),
+                            (
+                                "ns_per_pair_sharded".to_string(),
+                                JsonValue::Number(m.ns_per_pair_sharded),
+                            ),
+                            (
+                                "sharded_over_local".to_string(),
+                                JsonValue::Number(m.sharded_over_local),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    std::fs::write(out_path, json.to_string()).expect("write BENCH_shard.json");
+    println!("wrote {out_path}");
+    if !all_identical {
+        std::process::exit(1);
+    }
+}

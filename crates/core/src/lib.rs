@@ -11,6 +11,9 @@
 //!   (output-perturbed / Corollary 1, input-perturbed / Lemma 8).
 //! * [`kenthapadi`] — the Theorems 1–2 baseline with its three σ
 //!   calibration modes.
+//! * [`achlioptas_private`] — the sparse ±1 Achlioptas projection under
+//!   the same output-noise framework (the second column-streaming
+//!   construction).
 //! * [`variance`] — closed-form variance predictors and the §7 crossover
 //!   solvers that the experiment harness gates against.
 //! * [`config`] — a builder that applies every decision rule in the paper
@@ -33,6 +36,7 @@
 //! * [`json`] — the dependency-free JSON reader/writer backing the
 //!   compatibility path.
 
+pub mod achlioptas_private;
 pub mod config;
 pub mod error;
 pub mod estimator;
@@ -49,6 +53,7 @@ pub mod sketcher;
 pub mod variance;
 pub mod wire;
 
+pub use achlioptas_private::PrivateAchlioptas;
 pub use config::SketchConfig;
 pub use error::CoreError;
 pub use estimator::{DistanceEstimate, NoisySketch};
@@ -56,11 +61,11 @@ pub use framework::GenSketcher;
 pub use release::Release;
 pub use sjlt_private::PrivateSjlt;
 pub use sketcher::{
-    pairwise_sq_distances, pairwise_sq_distances_reference, pairwise_sq_distances_rows,
-    pairwise_sq_distances_with, pairwise_sq_distances_with_par, sketch_batch_par,
-    sketch_batch_sequential, AnySketcher, Construction, PairwiseDistances, PrivateSketcher,
-    SketcherSpec,
+    effective_plan, execute_tiles, pairwise_sq_distances, pairwise_sq_distances_reference,
+    pairwise_sq_distances_rows, pairwise_sq_distances_with, pairwise_sq_distances_with_par,
+    scatter_tile_segment, sketch_batch_par, sketch_batch_sequential, AnySketcher, Construction,
+    PairwiseDistances, PrivateSketcher, SketcherSpec,
 };
-// The execution knob and tile scheduler, re-exported so downstream
+// The execution knob and tile plan/scheduler, re-exported so downstream
 // crates need not depend on dp-parallel directly.
-pub use dp_parallel::{Parallelism, Tile, TileScheduler};
+pub use dp_parallel::{Parallelism, Tile, TilePlan, TileScheduler, TileSegment};

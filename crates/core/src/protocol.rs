@@ -43,6 +43,8 @@
 //! Knn                  4   party id (u64), k (u32)
 //! TopPairs             5   t (u32)
 //! Shutdown             6   —
+//! PlanPairwise         7   tile side (u32)
+//! ExecuteTiles         8   rows (u64), tile (u32), tile-id list
 //!
 //! response           kind  body
 //! ─────────────────  ────  ──────────────────────────────────────────
@@ -53,6 +55,10 @@
 //! TopPairs             5   (a, b, estimate) triples, ascending
 //! Error                6   code (u16, see `ERR_*`), message (string)
 //! Bye                  7   — (acknowledges Shutdown)
+//! Plan                 8   rows (u64), tile (u32), tile count (u64),
+//!                          pair count (u64)
+//! TileResult           9   rows (u64), tile (u32), segments: per tile
+//!                          its id (u64) + pair-estimate list
 //! ```
 //!
 //! A server answers every request with exactly one response; `Error`
@@ -61,9 +67,25 @@
 //! the shared [`crate::sketcher::SketcherSpec`]; a `Hello` against a
 //! store that already holds a different spec is answered with
 //! `Error(ERR_SPEC_MISMATCH)` — that is the whole negotiation.
+//!
+//! ## Sharded pairwise
+//!
+//! `PlanPairwise`/`ExecuteTiles`/`TileResult` carry the plan → execute
+//! → gather pipeline across sockets. A `TilePlan` is pure `(rows,
+//! tile)` geometry, so the wire never ships tile coordinates — only the
+//! two plan integers plus stable tile *ids* (row-major block order over
+//! the upper triangle, see [`dp_parallel::TilePlan`]). `PlanPairwise`
+//! asks a server to project the plan a given tile side induces over its
+//! current store; `ExecuteTiles` names an explicit id set under an
+//! explicit plan and comes back as one `TileResult` whose scattered
+//! segments a coordinator gathers by id. The executing server rejects a
+//! plan whose row count differs from its store
+//! (`Error(ERR_PLAN)`) — the guard that catches a worker that missed an
+//! ingest broadcast.
 
 use crate::error::CoreError;
 use crate::wire::{fnv1a64, CHECKSUM_LEN};
+use dp_parallel::TileSegment;
 use std::io::{self, Read, Write};
 
 /// Magic prefix of a v3 request payload.
@@ -93,6 +115,12 @@ pub const ERR_UNKNOWN_PARTY: u16 = 5;
 pub const ERR_MALFORMED: u16 = 6;
 /// Any other server-side failure.
 pub const ERR_INTERNAL: u16 = 7;
+/// A tile plan does not match the executing store (wrong row count, or
+/// a tile id outside the plan).
+pub const ERR_PLAN: u16 = 8;
+/// A coordinator's worker shard failed (dead worker, timeout, or a
+/// worker answer the gather rejected).
+pub const ERR_WORKER: u16 = 9;
 
 /// A client-to-server frame.
 #[derive(Debug, Clone, PartialEq)]
@@ -128,6 +156,22 @@ pub enum Request {
     },
     /// Ask the server to stop accepting connections and exit cleanly.
     Shutdown,
+    /// Project the [`dp_parallel::TilePlan`] a tile side induces over
+    /// the server's current store (answered with [`Response::Plan`]).
+    PlanPairwise {
+        /// Requested tile side length (clamped ≥ 1 by the plan).
+        tile: u32,
+    },
+    /// Execute an explicit set of plan tiles over the server's store
+    /// (answered with [`Response::TileResult`]).
+    ExecuteTiles {
+        /// The plan's matrix side — must equal the store's row count.
+        rows: u64,
+        /// The plan's tile side.
+        tile: u32,
+        /// Stable tile ids to execute, in the requested order.
+        tile_ids: Vec<u64>,
+    },
 }
 
 /// A server-to-client frame.
@@ -175,6 +219,26 @@ pub enum Response {
     },
     /// Acknowledges [`Request::Shutdown`]; the server closes after this.
     Bye,
+    /// The plan [`Request::PlanPairwise`] projects over the store.
+    Plan {
+        /// The store's current row count (the plan's matrix side).
+        rows: u64,
+        /// The effective tile side (the request's, clamped ≥ 1).
+        tile: u32,
+        /// Number of tiles in the plan.
+        tile_count: u64,
+        /// Total `(i, j)`, `i < j` pairs the plan covers.
+        pair_count: u64,
+    },
+    /// Executed tile segments, keyed by stable tile id.
+    TileResult {
+        /// Echo of the executed plan's matrix side.
+        rows: u64,
+        /// Echo of the executed plan's tile side.
+        tile: u32,
+        /// One segment per requested tile, in request order.
+        segments: Vec<TileSegment>,
+    },
 }
 
 // ---------------------------------------------------------------------
@@ -256,6 +320,23 @@ pub fn encode_request(req: &Request) -> Result<Vec<u8>, CoreError> {
         Request::Shutdown => {
             out = header(REQUEST_MAGIC, 6);
         }
+        Request::PlanPairwise { tile } => {
+            out = header(REQUEST_MAGIC, 7);
+            out.extend_from_slice(&tile.to_le_bytes());
+        }
+        Request::ExecuteTiles {
+            rows,
+            tile,
+            tile_ids,
+        } => {
+            out = header(REQUEST_MAGIC, 8);
+            out.extend_from_slice(&rows.to_le_bytes());
+            out.extend_from_slice(&tile.to_le_bytes());
+            put_count(&mut out, tile_ids.len())?;
+            for id in tile_ids {
+                out.extend_from_slice(&id.to_le_bytes());
+            }
+        }
     }
     Ok(seal(out))
 }
@@ -321,6 +402,35 @@ pub fn encode_response(resp: &Response) -> Result<Vec<u8>, CoreError> {
         }
         Response::Bye => {
             out = header(RESPONSE_MAGIC, 7);
+        }
+        Response::Plan {
+            rows,
+            tile,
+            tile_count,
+            pair_count,
+        } => {
+            out = header(RESPONSE_MAGIC, 8);
+            out.extend_from_slice(&rows.to_le_bytes());
+            out.extend_from_slice(&tile.to_le_bytes());
+            out.extend_from_slice(&tile_count.to_le_bytes());
+            out.extend_from_slice(&pair_count.to_le_bytes());
+        }
+        Response::TileResult {
+            rows,
+            tile,
+            segments,
+        } => {
+            out = header(RESPONSE_MAGIC, 9);
+            out.extend_from_slice(&rows.to_le_bytes());
+            out.extend_from_slice(&tile.to_le_bytes());
+            put_count(&mut out, segments.len())?;
+            for segment in segments {
+                out.extend_from_slice(&segment.tile_id.to_le_bytes());
+                put_count(&mut out, segment.values.len())?;
+                for &v in &segment.values {
+                    put_f64(&mut out, v)?;
+                }
+            }
         }
     }
     Ok(seal(out))
@@ -467,6 +577,21 @@ pub fn decode_request(bytes: &[u8]) -> Result<Request, CoreError> {
         },
         5 => Request::TopPairs { t: r.u32()? },
         6 => Request::Shutdown,
+        7 => Request::PlanPairwise { tile: r.u32()? },
+        8 => {
+            let rows = r.u64()?;
+            let tile = r.u32()?;
+            let n = r.count(8)?;
+            let mut tile_ids = Vec::with_capacity(n);
+            for _ in 0..n {
+                tile_ids.push(r.u64()?);
+            }
+            Request::ExecuteTiles {
+                rows,
+                tile,
+                tile_ids,
+            }
+        }
         other => {
             return Err(CoreError::Wire(format!("unknown request kind {other}")));
         }
@@ -530,6 +655,33 @@ pub fn decode_response(bytes: &[u8]) -> Result<Response, CoreError> {
             message: r.string()?,
         },
         7 => Response::Bye,
+        8 => Response::Plan {
+            rows: r.u64()?,
+            tile: r.u32()?,
+            tile_count: r.u64()?,
+            pair_count: r.u64()?,
+        },
+        9 => {
+            let rows = r.u64()?;
+            let tile = r.u32()?;
+            // Each segment is at least an id plus an empty value list.
+            let n = r.count(8 + 4)?;
+            let mut segments = Vec::with_capacity(n);
+            for _ in 0..n {
+                let tile_id = r.u64()?;
+                let count = r.count(8)?;
+                let mut values = Vec::with_capacity(count);
+                for _ in 0..count {
+                    values.push(r.f64()?);
+                }
+                segments.push(TileSegment { tile_id, values });
+            }
+            Response::TileResult {
+                rows,
+                tile,
+                segments,
+            }
+        }
         other => {
             return Err(CoreError::Wire(format!("unknown response kind {other}")));
         }
@@ -612,6 +764,17 @@ mod tests {
             Request::Knn { party: 9, k: 3 },
             Request::TopPairs { t: 10 },
             Request::Shutdown,
+            Request::PlanPairwise { tile: 64 },
+            Request::ExecuteTiles {
+                rows: 9,
+                tile: 4,
+                tile_ids: vec![0, 5, 2],
+            },
+            Request::ExecuteTiles {
+                rows: 0,
+                tile: 1,
+                tile_ids: vec![],
+            },
         ]
     }
 
@@ -638,6 +801,26 @@ mod tests {
                 message: "party 7 not ingested".to_string(),
             },
             Response::Bye,
+            Response::Plan {
+                rows: 9,
+                tile: 4,
+                tile_count: 6,
+                pair_count: 36,
+            },
+            Response::TileResult {
+                rows: 9,
+                tile: 4,
+                segments: vec![
+                    TileSegment {
+                        tile_id: 0,
+                        values: vec![0.5, -1.25, 3.0],
+                    },
+                    TileSegment {
+                        tile_id: 5,
+                        values: vec![],
+                    },
+                ],
+            },
         ]
     }
 
@@ -719,6 +902,29 @@ mod tests {
         bytes.extend_from_slice(&u32::MAX.to_le_bytes());
         let bytes = seal(bytes);
         assert!(matches!(decode_response(&bytes), Err(CoreError::Wire(_))));
+        // Same for a tile-result segment list…
+        let mut bytes = header(RESPONSE_MAGIC, 9);
+        bytes.extend_from_slice(&9u64.to_le_bytes());
+        bytes.extend_from_slice(&4u32.to_le_bytes());
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        let bytes = seal(bytes);
+        assert!(matches!(decode_response(&bytes), Err(CoreError::Wire(_))));
+        // …and for one segment's value list.
+        let mut bytes = header(RESPONSE_MAGIC, 9);
+        bytes.extend_from_slice(&9u64.to_le_bytes());
+        bytes.extend_from_slice(&4u32.to_le_bytes());
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // one segment
+        bytes.extend_from_slice(&0u64.to_le_bytes()); // its tile id
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes()); // hostile values
+        let bytes = seal(bytes);
+        assert!(matches!(decode_response(&bytes), Err(CoreError::Wire(_))));
+        // An execute-tiles request declaring a huge id list, likewise.
+        let mut bytes = header(REQUEST_MAGIC, 8);
+        bytes.extend_from_slice(&9u64.to_le_bytes());
+        bytes.extend_from_slice(&4u32.to_le_bytes());
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        let bytes = seal(bytes);
+        assert!(matches!(decode_request(&bytes), Err(CoreError::Wire(_))));
     }
 
     #[test]

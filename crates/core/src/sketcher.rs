@@ -40,6 +40,7 @@
 //! exactly once by one tile with the identical floating-point expression
 //! the sequential reference uses.
 
+use crate::achlioptas_private::PrivateAchlioptas;
 use crate::config::SketchConfig;
 use crate::error::CoreError;
 use crate::estimator::{DistanceEstimate, NoisySketch};
@@ -50,7 +51,9 @@ use crate::sjlt_private::PrivateSjlt;
 use dp_hashing::Seed;
 use dp_linalg::SparseVector;
 use dp_noise::PrivacyGuarantee;
-use dp_parallel::{par_chunks_mut, par_split_mut, Parallelism, Tile, TileScheduler};
+use dp_parallel::{
+    par_chunks_mut, par_map, par_split_mut, Parallelism, Tile, TilePlan, TileSegment,
+};
 
 /// One object-safe interface over every private-sketch construction.
 ///
@@ -207,6 +210,10 @@ pub enum Construction {
     /// Kenthapadi et al. baseline with the given σ calibration
     /// (requires δ).
     Kenthapadi(SigmaCalibration),
+    /// Private Achlioptas sparse ±1 projection (reference [1]; Laplace
+    /// noise without a δ budget, Gaussian with one). The second
+    /// column-streaming construction after the SJLT.
+    Achlioptas,
 }
 
 impl Construction {
@@ -222,6 +229,7 @@ impl Construction {
             Self::Kenthapadi(SigmaCalibration::ExactSensitivity) => "kenthapadi-exact",
             Self::Kenthapadi(SigmaCalibration::Theorem1) => "kenthapadi-theorem1",
             Self::Kenthapadi(SigmaCalibration::AssumedUnit) => "kenthapadi-assumed-unit",
+            Self::Achlioptas => "achlioptas",
         }
     }
 
@@ -239,6 +247,7 @@ impl Construction {
             "kenthapadi-exact" => Self::Kenthapadi(SigmaCalibration::ExactSensitivity),
             "kenthapadi-theorem1" => Self::Kenthapadi(SigmaCalibration::Theorem1),
             "kenthapadi-assumed-unit" => Self::Kenthapadi(SigmaCalibration::AssumedUnit),
+            "achlioptas" => Self::Achlioptas,
             other => return Err(CoreError::Wire(format!("unknown construction '{other}'"))),
         })
     }
@@ -246,7 +255,7 @@ impl Construction {
     /// Every concrete construction (with the baseline in its sound
     /// calibration) — handy for experiment sweeps.
     #[must_use]
-    pub fn all() -> [Self; 6] {
+    pub fn all() -> [Self; 7] {
         [
             Self::SjltAuto,
             Self::SjltLaplace,
@@ -254,6 +263,7 @@ impl Construction {
             Self::FjltOutput,
             Self::FjltInput,
             Self::Kenthapadi(SigmaCalibration::ExactSensitivity),
+            Self::Achlioptas,
         ]
     }
 }
@@ -414,6 +424,7 @@ enum Inner {
     FjltOutput(PrivateFjltOutput),
     FjltInput(PrivateFjltInput),
     Kenthapadi(Kenthapadi),
+    Achlioptas(PrivateAchlioptas),
 }
 
 impl AnySketcher {
@@ -442,6 +453,9 @@ impl AnySketcher {
             }
             Construction::Kenthapadi(calibration) => {
                 Inner::Kenthapadi(Kenthapadi::new(config, calibration, transform_seed)?)
+            }
+            Construction::Achlioptas => {
+                Inner::Achlioptas(PrivateAchlioptas::new(config, transform_seed)?)
             }
         };
         Ok(Self {
@@ -493,11 +507,23 @@ impl AnySketcher {
         }
     }
 
+    /// The wrapped private Achlioptas sketcher, when this is the
+    /// Achlioptas construction (gives access to the second
+    /// streaming-capable transform).
+    #[must_use]
+    pub fn as_achlioptas(&self) -> Option<&PrivateAchlioptas> {
+        match &self.inner {
+            Inner::Achlioptas(a) => Some(a),
+            _ => None,
+        }
+    }
+
     /// Short name of the noise family in effect.
     #[must_use]
     pub fn noise_name(&self) -> &'static str {
         match &self.inner {
             Inner::Sjlt(s) => s.noise_name(),
+            Inner::Achlioptas(a) => a.noise_name(),
             Inner::FjltOutput(_) | Inner::FjltInput(_) | Inner::Kenthapadi(_) => "gaussian",
         }
     }
@@ -510,12 +536,14 @@ impl PrivateSketcher for AnySketcher {
             Inner::FjltOutput(s) => s.sketch(x, noise_seed),
             Inner::FjltInput(s) => s.sketch(x, noise_seed),
             Inner::Kenthapadi(s) => s.sketch(x, noise_seed),
+            Inner::Achlioptas(s) => s.sketch(x, noise_seed),
         }
     }
 
     fn sketch_sparse(&self, x: &SparseVector, noise_seed: Seed) -> Result<NoisySketch, CoreError> {
         match &self.inner {
             Inner::Sjlt(s) => s.sketch_sparse(x, noise_seed),
+            Inner::Achlioptas(s) => s.sketch_sparse(x, noise_seed),
             // The dense constructions have no sparse fast path.
             _ => self.sketch(&x.to_dense(), noise_seed),
         }
@@ -531,6 +559,7 @@ impl PrivateSketcher for AnySketcher {
             Inner::FjltOutput(s) => s.k(),
             Inner::FjltInput(s) => s.k(),
             Inner::Kenthapadi(s) => s.k(),
+            Inner::Achlioptas(s) => s.k(),
         }
     }
 
@@ -540,6 +569,7 @@ impl PrivateSketcher for AnySketcher {
             Inner::FjltOutput(s) => s.general().tag(),
             Inner::FjltInput(s) => s.tag(),
             Inner::Kenthapadi(s) => s.general().tag(),
+            Inner::Achlioptas(s) => s.general().tag(),
         }
     }
 
@@ -549,6 +579,7 @@ impl PrivateSketcher for AnySketcher {
             Inner::FjltOutput(s) => s.guarantee(),
             Inner::FjltInput(s) => s.guarantee(),
             Inner::Kenthapadi(s) => s.guarantee(),
+            Inner::Achlioptas(s) => s.guarantee(),
         }
     }
 
@@ -559,6 +590,7 @@ impl PrivateSketcher for AnySketcher {
             // Effective moment: 2k·(dσ²/k) = 2dσ² (see fjlt_private docs).
             Inner::FjltInput(s) => 2.0 * s.d() as f64 * s.sigma() * s.sigma(),
             Inner::Kenthapadi(s) => s.general().debias_constant(),
+            Inner::Achlioptas(s) => s.general().debias_constant(),
         }
     }
 
@@ -568,6 +600,7 @@ impl PrivateSketcher for AnySketcher {
             Inner::FjltOutput(s) => s.variance_bound(dist_sq),
             Inner::FjltInput(s) => s.variance_bound(dist_sq),
             Inner::Kenthapadi(s) => s.variance(dist_sq),
+            Inner::Achlioptas(s) => s.variance_bound(dist_sq),
         }
     }
 
@@ -584,6 +617,7 @@ impl PrivateSketcher for AnySketcher {
             Inner::Sjlt(s) => s.general().finalize(projection, noise_seed),
             Inner::FjltOutput(s) => s.general().finalize(projection, noise_seed),
             Inner::Kenthapadi(s) => s.general().finalize(projection, noise_seed),
+            Inner::Achlioptas(s) => s.general().finalize(projection, noise_seed),
             Inner::FjltInput(_) => Err(CoreError::Unsupported(
                 "input-perturbed FJLT adds noise before the projection; \
                  it cannot finalize an externally maintained projection",
@@ -816,90 +850,144 @@ where
         };
     }
     // One flat allocation for the whole upper triangle; tile → segment
-    // via a pair-count prefix sum. When several workers are requested,
-    // cap the tile size so the scheduler emits enough tiles to feed
-    // them on small matrices — results are tile-size independent, so
-    // this only changes scheduling (DP_TILE acts as an upper bound).
-    let tile = if par.threads() > 1 {
-        par.tile().min(n.div_ceil(2 * par.threads()).max(1))
-    } else {
-        par.tile()
-    };
-    let tiles: Vec<Tile> = TileScheduler::new(n, tile).tiles().collect();
-    let mut offsets = Vec::with_capacity(tiles.len() + 1);
-    let mut total = 0usize;
-    for t in &tiles {
-        offsets.push(total);
-        total += t.pair_count();
-    }
-    offsets.push(total);
+    // via the plan's pair-count prefix sums.
+    let plan = effective_plan(n, par);
+    let tiles: Vec<Tile> = plan.tiles().map(|(_, t)| t).collect();
+    let offsets = plan.segment_offsets();
+    let total = plan.pair_count();
     let mut flat = vec![0.0f64; total];
 
     // Contiguous tile groups, one per worker, balanced by pair count
     // (diagonal tiles hold half the pairs of off-diagonal ones, so
-    // balancing by tile count would skew).
+    // balancing by tile count would skew) — the same cut the plan hands
+    // remote shards, applied to local threads.
     let workers = par.threads().min(tiles.len()).max(1);
-    let mut boundaries: Vec<usize> = Vec::new(); // element splits, at tile edges
-    let mut group_starts: Vec<usize> = vec![0]; // first tile of each group
-    if workers > 1 && total > 0 {
-        let target = total.div_ceil(workers);
-        let mut acc = 0usize;
-        for (ti, t) in tiles.iter().enumerate() {
-            acc += t.pair_count();
-            if acc >= target * group_starts.len()
-                && ti + 1 < tiles.len()
-                && group_starts.len() < workers
-            {
-                boundaries.push(offsets[ti + 1]);
-                group_starts.push(ti + 1);
-            }
-        }
-    }
+    let groups = plan.shard(workers);
+    let boundaries: Vec<usize> = groups[..groups.len() - 1]
+        .iter()
+        .map(|g| offsets[g.end])
+        .collect();
 
     par_split_mut(&mut flat, &boundaries, |group, _, segment| {
-        let t_start = group_starts[group];
-        let t_end = group_starts.get(group + 1).copied().unwrap_or(tiles.len());
         let mut w = 0usize;
-        for tile in &tiles[t_start..t_end] {
-            for i in tile.rows() {
-                let a = row_values(i);
-                for j in tile.cols() {
-                    if j <= i {
-                        continue;
-                    }
-                    let b = row_values(j);
-                    let raw: f64 = a
-                        .iter()
-                        .zip(b)
-                        .map(|(x, y)| {
-                            let d = x - y;
-                            d * d
-                        })
-                        .sum();
-                    segment[w] = raw - debias[i];
-                    w += 1;
-                }
-            }
+        for tile in &tiles[groups[group].clone()] {
+            let len = tile.pair_count();
+            fill_tile_segment(tile, &row_values, debias, &mut segment[w..w + len]);
+            w += len;
         }
         debug_assert_eq!(w, segment.len(), "group fills its segment exactly");
     });
 
     let mut values = vec![0.0; n * n];
     for (tile, &start) in tiles.iter().zip(&offsets) {
-        let mut idx = start;
-        for i in tile.rows() {
-            for j in tile.cols() {
-                if j <= i {
-                    continue;
-                }
-                let est = flat[idx];
-                idx += 1;
-                values[i * n + j] = est;
-                values[j * n + i] = est;
-            }
-        }
+        scatter_tile_segment(
+            tile,
+            &flat[start..start + tile.pair_count()],
+            n,
+            &mut values,
+        );
     }
     PairwiseDistances { n, values }
+}
+
+/// The plan `pairwise_sq_distances_rows` executes for `(n, par)`: tiles
+/// of side `par.tile()`, capped when several workers are requested so
+/// the plan emits enough tiles to feed them on small matrices — results
+/// are tile-size independent, so the cap only changes scheduling
+/// (`DP_TILE` acts as an upper bound).
+#[must_use]
+pub fn effective_plan(n: usize, par: &Parallelism) -> TilePlan {
+    let tile = if par.threads() > 1 {
+        par.tile().min(n.div_ceil(2 * par.threads()).max(1))
+    } else {
+        par.tile()
+    };
+    TilePlan::new(n, tile)
+}
+
+/// The kernel's per-tile inner loop: write the tile's `(i, j)`, `i < j`
+/// pair estimates into `out` in row-major order. One shared function is
+/// what keeps the local kernel, the remote tile executor, and therefore
+/// every gathered matrix bit-identical.
+fn fill_tile_segment<'a, R>(tile: &Tile, row_values: &R, debias: &[f64], out: &mut [f64])
+where
+    R: Fn(usize) -> &'a [f64],
+{
+    let mut w = 0usize;
+    for i in tile.rows() {
+        let a = row_values(i);
+        for j in tile.cols() {
+            if j <= i {
+                continue;
+            }
+            let b = row_values(j);
+            let raw: f64 = a
+                .iter()
+                .zip(b)
+                .map(|(x, y)| {
+                    let d = x - y;
+                    d * d
+                })
+                .sum();
+            out[w] = raw - debias[i];
+            w += 1;
+        }
+    }
+    debug_assert_eq!(w, out.len(), "tile fills its segment exactly");
+}
+
+/// Scatter one tile's row-major segment (plus its mirror) into a flat
+/// `n × n` matrix — the inverse of [`fill_tile_segment`]'s walk, shared
+/// by the local kernel and the `dp-engine` gather assembler.
+pub fn scatter_tile_segment(tile: &Tile, segment: &[f64], n: usize, values: &mut [f64]) {
+    let mut idx = 0usize;
+    for i in tile.rows() {
+        for j in tile.cols() {
+            if j <= i {
+                continue;
+            }
+            let est = segment[idx];
+            idx += 1;
+            values[i * n + j] = est;
+            values[j * n + i] = est;
+        }
+    }
+    debug_assert_eq!(idx, segment.len(), "segment length matches the tile");
+}
+
+/// Execute an explicit set of a plan's tiles over row slices, returning
+/// one [`TileSegment`] per id (in the given order). This is the remote
+/// half of the plan → execute → gather pipeline: a worker server runs
+/// exactly this over its own store and ships the segments back keyed by
+/// tile id, and the result is bit-identical to the local kernel because
+/// both run [`fill_tile_segment`].
+///
+/// Tiles are executed as dynamic tasks on `par.threads()` workers;
+/// output order is id-list order regardless of scheduling.
+///
+/// # Panics
+/// If `debias.len() != plan.n()` or an id is outside the plan (callers
+/// validate ids against [`TilePlan::tile_count`] first — the engine and
+/// protocol layers return typed errors instead).
+pub fn execute_tiles<'a, R>(
+    plan: &TilePlan,
+    ids: &[u64],
+    row_values: R,
+    debias: &[f64],
+    par: &Parallelism,
+) -> Vec<TileSegment>
+where
+    R: Fn(usize) -> &'a [f64] + Sync,
+{
+    assert_eq!(debias.len(), plan.n(), "one debias constant per row");
+    par_map(ids, par.threads(), |_, &tile_id| {
+        let tile = plan
+            .tile_at(usize::try_from(tile_id).expect("id fits usize"))
+            .expect("tile id validated against the plan");
+        let mut values = vec![0.0f64; tile.pair_count()];
+        fill_tile_segment(&tile, &row_values, debias, &mut values);
+        TileSegment { tile_id, values }
+    })
 }
 
 #[cfg(test)]

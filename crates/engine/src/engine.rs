@@ -22,10 +22,11 @@
 //! by one sketcher, which is the only kind the workspace produces.
 
 use crate::error::EngineError;
+use crate::gather::Gather;
 use crate::store::SketchStore;
 use dp_core::release::Release;
-use dp_core::sketcher::pairwise_sq_distances_rows;
-use dp_core::{PairwiseDistances, Parallelism};
+use dp_core::sketcher::{effective_plan, execute_tiles, pairwise_sq_distances_rows};
+use dp_core::{PairwiseDistances, Parallelism, TilePlan, TileSegment};
 use dp_parallel::par_map;
 use std::sync::Arc;
 
@@ -256,22 +257,82 @@ impl QueryEngine {
         pairs
     }
 
+    /// The [`TilePlan`] this engine's cold-start all-pairs pass executes
+    /// — also what a coordinator shards across remote workers, so the
+    /// local and distributed paths agree on every tile by construction.
+    #[must_use]
+    pub fn pairwise_plan(&self) -> TilePlan {
+        effective_plan(self.store.n(), &self.par)
+    }
+
+    /// Execute an explicit set of plan tiles over this engine's store,
+    /// returning one [`TileSegment`] per id — the worker half of the
+    /// plan → execute → gather pipeline, and exactly what a server
+    /// answers a protocol `ExecuteTiles` request with. Bit-identical to
+    /// the corresponding entries of [`QueryEngine::pairwise_all`].
+    ///
+    /// # Errors
+    /// [`EngineError::PlanMismatch`] if `plan_rows` differs from the
+    /// store's row count; [`EngineError::UnknownTile`] on an id outside
+    /// the plan.
+    pub fn execute_tiles(
+        &self,
+        plan_rows: usize,
+        tile: usize,
+        ids: &[u64],
+    ) -> Result<Vec<TileSegment>, EngineError> {
+        let n = self.store.n();
+        if plan_rows != n {
+            return Err(EngineError::PlanMismatch {
+                store_rows: n,
+                plan_rows,
+            });
+        }
+        let plan = TilePlan::new(n, tile);
+        let tile_count = plan.tile_count() as u64;
+        if let Some(&id) = ids.iter().find(|&&id| id >= tile_count) {
+            return Err(EngineError::UnknownTile { id, tile_count });
+        }
+        Ok(execute_tiles(
+            &plan,
+            ids,
+            |i| self.store.row_values(i),
+            self.store.debias(),
+            &self.par,
+        ))
+    }
+
     /// Grow the cached all-pairs matrix from `cached_rows` to `n` rows:
     /// copy the old block, then compute only the new pairs. Cold start
-    /// (`cached_rows == 0`) runs the tiled kernel; warm growth computes
-    /// one column per new row as a data-parallel task. Both paths use
-    /// the kernel's exact per-pair expression, so the matrix is
-    /// bit-identical to a from-scratch computation.
+    /// (`cached_rows == 0`) runs the plan → execute → gather pipeline
+    /// in process (the same pipeline a coordinator runs across
+    /// sockets); warm growth computes one column per new row as a
+    /// data-parallel task. Both paths use the kernel's exact per-pair
+    /// expression, so the matrix is bit-identical to a from-scratch
+    /// computation.
     fn extend_cache(&mut self, n: usize) {
         let old = self.cached_rows;
         if old == 0 {
-            let debias = self.store.debias();
-            self.cache = Arc::new(pairwise_sq_distances_rows(
-                n,
+            let plan = effective_plan(n, &self.par);
+            let ids: Vec<u64> = (0..plan.tile_count() as u64).collect();
+            let segments = execute_tiles(
+                &plan,
+                &ids,
                 |i| self.store.row_values(i),
-                debias,
+                self.store.debias(),
                 &self.par,
-            ));
+            );
+            let mut gather = Gather::new(plan);
+            for segment in &segments {
+                gather
+                    .accept(segment)
+                    .expect("locally executed segments always fit their plan");
+            }
+            self.cache = Arc::new(
+                gather
+                    .finish()
+                    .expect("every plan tile was executed locally"),
+            );
             self.cached_rows = n;
             return;
         }

@@ -24,6 +24,21 @@ pub enum EngineError {
     UnknownParty(u64),
     /// The store is empty and the query needs at least one row.
     Empty,
+    /// A tile plan's matrix side does not match the store's row count
+    /// (e.g. a worker that missed an ingest broadcast).
+    PlanMismatch {
+        /// Rows the store actually holds.
+        store_rows: usize,
+        /// Rows the plan claims.
+        plan_rows: usize,
+    },
+    /// A requested tile id is outside the plan.
+    UnknownTile {
+        /// The offending id.
+        id: u64,
+        /// The plan's tile count (valid ids are `0..tile_count`).
+        tile_count: u64,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -36,6 +51,16 @@ impl fmt::Display for EngineError {
             Self::DuplicateParty(id) => write!(f, "party {id} already ingested"),
             Self::UnknownParty(id) => write!(f, "party {id} not in the store"),
             Self::Empty => write!(f, "the store holds no sketches"),
+            Self::PlanMismatch {
+                store_rows,
+                plan_rows,
+            } => write!(
+                f,
+                "tile plan over {plan_rows} rows, store holds {store_rows}"
+            ),
+            Self::UnknownTile { id, tile_count } => {
+                write!(f, "tile id {id} outside the plan ({tile_count} tiles)")
+            }
         }
     }
 }
@@ -65,6 +90,9 @@ impl From<EngineError> for CoreError {
             EngineError::DuplicateParty(id) => Self::Wire(format!("party {id} already ingested")),
             EngineError::UnknownParty(id) => Self::Wire(format!("party {id} not in the store")),
             EngineError::Empty => Self::Wire("the store holds no sketches".to_string()),
+            plan @ (EngineError::PlanMismatch { .. } | EngineError::UnknownTile { .. }) => {
+                Self::Wire(plan.to_string())
+            }
         }
     }
 }

@@ -1,0 +1,336 @@
+//! The gather half of the plan → execute → gather pipeline.
+//!
+//! A [`Gather`] is constructed over one [`TilePlan`] and accepts the
+//! plan's executed [`TileSegment`]s **in any order** — from local
+//! threads, from remote shards, interleaved, shuffled — scattering each
+//! into the flat row-major matrix as it arrives. Because the plan's
+//! tiles partition the pair set exactly (proptested in `dp-parallel`),
+//! a completed gather is bit-identical to the sequential reference: no
+//! reconciliation, no averaging, no ordering sensitivity.
+//!
+//! Everything that can go wrong is a typed [`GatherError`]: a segment
+//! for a tile the plan doesn't contain, a second segment for a tile
+//! already placed (the only way two segments could overlap under a
+//! partition plan), a segment whose length doesn't match its tile's
+//! pair count (a worker executing a *different* plan), and finishing
+//! with tiles still missing (a shard that never reported).
+
+use dp_core::sketcher::scatter_tile_segment;
+use dp_core::{PairwiseDistances, TilePlan, TileSegment};
+use std::fmt;
+
+/// A typed failure of the gather assembler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GatherError {
+    /// A segment named a tile id outside the plan.
+    UnknownTile {
+        /// The offending id.
+        id: u64,
+        /// The plan's tile count (valid ids are `0..tile_count`).
+        tile_count: u64,
+    },
+    /// A second segment arrived for a tile already placed — under a
+    /// partition plan, the only way two segments can overlap.
+    DuplicateTile {
+        /// The tile id placed twice.
+        id: u64,
+    },
+    /// A segment's length does not match its tile's pair count (the
+    /// executor ran a different plan than the gatherer holds).
+    SegmentShape {
+        /// The tile id.
+        id: u64,
+        /// The pair count the gatherer's plan dictates.
+        expected: usize,
+        /// The length the segment actually carried.
+        actual: usize,
+    },
+    /// [`Gather::finish`] was called with tiles still unplaced.
+    Incomplete {
+        /// Segments placed so far.
+        received: usize,
+        /// Segments the plan requires.
+        expected: usize,
+        /// The lowest missing tile id.
+        first_missing: u64,
+    },
+}
+
+impl fmt::Display for GatherError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnknownTile { id, tile_count } => {
+                write!(f, "tile id {id} outside the plan ({tile_count} tiles)")
+            }
+            Self::DuplicateTile { id } => {
+                write!(f, "tile id {id} delivered twice (overlapping segments)")
+            }
+            Self::SegmentShape {
+                id,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "segment for tile {id} carries {actual} estimates, plan dictates {expected}"
+            ),
+            Self::Incomplete {
+                received,
+                expected,
+                first_missing,
+            } => write!(
+                f,
+                "gather incomplete: {received} of {expected} tiles placed \
+                 (first missing id {first_missing})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GatherError {}
+
+/// Assembles out-of-order [`TileSegment`]s into the full
+/// [`PairwiseDistances`] matrix of one [`TilePlan`].
+#[derive(Debug)]
+pub struct Gather {
+    plan: TilePlan,
+    values: Vec<f64>,
+    placed: Vec<bool>,
+    received: usize,
+}
+
+impl Gather {
+    /// An empty gather over a plan (allocates the `n × n` matrix once).
+    #[must_use]
+    pub fn new(plan: TilePlan) -> Self {
+        let n = plan.n();
+        Self {
+            plan,
+            values: vec![0.0; n * n],
+            placed: vec![false; plan.tile_count()],
+            received: 0,
+        }
+    }
+
+    /// The governing plan.
+    #[must_use]
+    pub fn plan(&self) -> &TilePlan {
+        &self.plan
+    }
+
+    /// Segments placed so far.
+    #[must_use]
+    pub fn received(&self) -> usize {
+        self.received
+    }
+
+    /// Whether every tile of the plan has been placed.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.received == self.plan.tile_count()
+    }
+
+    /// Tile ids not yet placed, ascending — what a coordinator would
+    /// re-dispatch after a shard failure.
+    #[must_use]
+    pub fn missing_ids(&self) -> Vec<u64> {
+        self.placed
+            .iter()
+            .enumerate()
+            .filter(|(_, &p)| !p)
+            .map(|(id, _)| id as u64)
+            .collect()
+    }
+
+    /// Scatter one segment into the matrix.
+    ///
+    /// # Errors
+    /// [`GatherError::UnknownTile`], [`GatherError::DuplicateTile`], or
+    /// [`GatherError::SegmentShape`]; the gather is unchanged on error,
+    /// so a coordinator can reject one bad worker answer and keep the
+    /// segments already placed.
+    pub fn accept(&mut self, segment: &TileSegment) -> Result<(), GatherError> {
+        let tile_count = self.plan.tile_count();
+        let id = usize::try_from(segment.tile_id)
+            .ok()
+            .filter(|&id| id < tile_count)
+            .ok_or(GatherError::UnknownTile {
+                id: segment.tile_id,
+                tile_count: tile_count as u64,
+            })?;
+        let tile = self.plan.tile_at(id).expect("id validated");
+        if self.placed[id] {
+            return Err(GatherError::DuplicateTile { id: id as u64 });
+        }
+        if segment.values.len() != tile.pair_count() {
+            return Err(GatherError::SegmentShape {
+                id: id as u64,
+                expected: tile.pair_count(),
+                actual: segment.values.len(),
+            });
+        }
+        scatter_tile_segment(&tile, &segment.values, self.plan.n(), &mut self.values);
+        self.placed[id] = true;
+        self.received += 1;
+        Ok(())
+    }
+
+    /// Finish the gather, returning the assembled matrix.
+    ///
+    /// # Errors
+    /// [`GatherError::Incomplete`] if any tile is still missing.
+    pub fn finish(self) -> Result<PairwiseDistances, GatherError> {
+        if !self.is_complete() {
+            let first_missing = self
+                .placed
+                .iter()
+                .position(|&p| !p)
+                .expect("incomplete implies a missing tile") as u64;
+            return Err(GatherError::Incomplete {
+                received: self.received,
+                expected: self.plan.tile_count(),
+                first_missing,
+            });
+        }
+        Ok(PairwiseDistances::from_flat(self.plan.n(), self.values))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_core::sketcher::execute_tiles;
+    use dp_core::Parallelism;
+
+    /// Deterministic fake rows: enough structure for scatter checks.
+    fn rows(n: usize, k: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| (0..k).map(|j| ((i * k + j) % 5) as f64 - 2.0).collect())
+            .collect()
+    }
+
+    fn segments_for(plan: &TilePlan, data: &[Vec<f64>], debias: &[f64]) -> Vec<TileSegment> {
+        let ids: Vec<u64> = (0..plan.tile_count() as u64).collect();
+        execute_tiles(
+            plan,
+            &ids,
+            |i| data[i].as_slice(),
+            debias,
+            &Parallelism::sequential(),
+        )
+    }
+
+    #[test]
+    fn shuffled_segments_assemble_the_reference_matrix() {
+        let n = 9;
+        let data = rows(n, 6);
+        let debias = vec![0.25; n];
+        let plan = TilePlan::new(n, 4);
+        let reference = dp_core::pairwise_sq_distances_rows(
+            n,
+            |i| data[i].as_slice(),
+            &debias,
+            &Parallelism::sequential(),
+        );
+        let mut segments = segments_for(&plan, &data, &debias);
+        segments.reverse(); // out-of-order arrival
+        let mut gather = Gather::new(plan);
+        assert!(!gather.is_complete());
+        for s in &segments {
+            gather.accept(s).unwrap();
+        }
+        assert!(gather.is_complete());
+        assert!(gather.missing_ids().is_empty());
+        let got = gather.finish().unwrap();
+        assert_eq!(got.n(), reference.n());
+        for (a, b) in reference.as_flat().iter().zip(got.as_flat()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn typed_errors_for_every_failure_mode() {
+        let n = 9;
+        let data = rows(n, 6);
+        let debias = vec![0.0; n];
+        let plan = TilePlan::new(n, 4);
+        let segments = segments_for(&plan, &data, &debias);
+        let mut gather = Gather::new(plan);
+
+        // Unknown tile id.
+        let alien = TileSegment {
+            tile_id: plan.tile_count() as u64,
+            values: vec![],
+        };
+        assert_eq!(
+            gather.accept(&alien),
+            Err(GatherError::UnknownTile {
+                id: plan.tile_count() as u64,
+                tile_count: plan.tile_count() as u64,
+            })
+        );
+
+        // Wrong shape (a segment from a different plan).
+        let misshapen = TileSegment {
+            tile_id: 0,
+            values: vec![1.0],
+        };
+        assert!(matches!(
+            gather.accept(&misshapen),
+            Err(GatherError::SegmentShape { id: 0, .. })
+        ));
+
+        // Duplicate (overlapping) tile.
+        gather.accept(&segments[0]).unwrap();
+        assert_eq!(
+            gather.accept(&segments[0]),
+            Err(GatherError::DuplicateTile { id: 0 })
+        );
+
+        // Incomplete finish names the first missing id.
+        assert_eq!(gather.received(), 1);
+        assert_eq!(gather.missing_ids().first(), Some(&1));
+        assert!(matches!(
+            gather.finish(),
+            Err(GatherError::Incomplete {
+                received: 1,
+                first_missing: 1,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn empty_plan_gathers_an_empty_matrix() {
+        let gather = Gather::new(TilePlan::new(0, 8));
+        assert!(gather.is_complete());
+        assert_eq!(gather.finish().unwrap().n(), 0);
+    }
+
+    #[test]
+    fn errors_leave_the_gather_usable() {
+        let n = 5;
+        let data = rows(n, 4);
+        let debias = vec![0.0; n];
+        let plan = TilePlan::new(n, 2);
+        let segments = segments_for(&plan, &data, &debias);
+        let mut gather = Gather::new(plan);
+        for s in &segments[..2] {
+            gather.accept(s).unwrap();
+        }
+        // A rejected duplicate must not disturb the placed segments.
+        assert!(gather.accept(&segments[1]).is_err());
+        for s in &segments[2..] {
+            gather.accept(s).unwrap();
+        }
+        let got = gather.finish().unwrap();
+        let reference = dp_core::pairwise_sq_distances_rows(
+            n,
+            |i| data[i].as_slice(),
+            &debias,
+            &Parallelism::sequential(),
+        );
+        for (a, b) in reference.as_flat().iter().zip(got.as_flat()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}

@@ -14,7 +14,14 @@
 //! * [`QueryEngine`] — `pair`, `pairwise`, `knn`, `top_pairs` over the
 //!   store, reusing the tiled `dp_parallel` kernel with its hoisted
 //!   debias constants, plus an **incremental** all-pairs cache: after
-//!   new rows arrive, the next query computes only the new pairs.
+//!   new rows arrive, the next query computes only the new pairs. The
+//!   cold all-pairs pass runs the plan → execute → gather pipeline
+//!   ([`QueryEngine::execute_tiles`] is the worker half a server
+//!   exposes over protocol v3).
+//! * [`Gather`] — assembles out-of-order executed [`dp_core::TileSegment`]s
+//!   into the full matrix with typed [`GatherError`]s for
+//!   missing/duplicate/misshapen tiles — what a sharding coordinator
+//!   runs over worker answers.
 //!
 //! One engine backs the library surface (`dp_stream`'s old free
 //! functions are thin wrappers), the `dp-server` protocol-v3 service,
@@ -23,10 +30,12 @@
 
 pub mod engine;
 pub mod error;
+pub mod gather;
 pub mod store;
 
 pub use engine::{Neighbor, QueryEngine};
 pub use error::EngineError;
+pub use gather::{Gather, GatherError};
 pub use store::SketchStore;
 
 #[cfg(test)]
@@ -286,6 +295,45 @@ mod tests {
         }
         // Asking for more pairs than exist returns them all.
         assert_eq!(engine.top_pairs(1000).len(), 15);
+    }
+
+    #[test]
+    fn executed_tiles_match_the_all_pairs_matrix() {
+        let (_, rs) = releases(10, 48);
+        let mut engine = QueryEngine::new(SketchStore::adopting())
+            .with_parallelism(Parallelism::new(2).with_tile(3));
+        for r in &rs {
+            engine.ingest(r).unwrap();
+        }
+        let matrix = engine.pairwise_all();
+        let plan = engine.pairwise_plan();
+        assert_eq!(plan.n(), 10);
+        // Execute every tile explicitly (shuffled order) and gather.
+        let mut ids: Vec<u64> = (0..plan.tile_count() as u64).collect();
+        ids.reverse();
+        let segments = engine
+            .execute_tiles(plan.n(), plan.tile(), &ids)
+            .expect("valid plan");
+        let mut gather = Gather::new(plan);
+        for s in &segments {
+            gather.accept(s).unwrap();
+        }
+        let gathered = gather.finish().unwrap();
+        for (a, b) in matrix.as_flat().iter().zip(gathered.as_flat()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // Typed plan errors.
+        assert!(matches!(
+            engine.execute_tiles(9, plan.tile(), &[0]),
+            Err(EngineError::PlanMismatch {
+                store_rows: 10,
+                plan_rows: 9,
+            })
+        ));
+        assert!(matches!(
+            engine.execute_tiles(10, plan.tile(), &[u64::MAX]),
+            Err(EngineError::UnknownTile { .. })
+        ));
     }
 
     #[test]

@@ -23,17 +23,21 @@
 //!
 //! [`TileScheduler`] decomposes the all-pairs distance matrix into
 //! cache-blocked `(row_block, col_block)` tiles over the upper triangle.
-//! A tile is both today's unit of intra-process parallelism (workers
-//! take contiguous tile groups balanced by pair count and write
-//! disjoint segments of one flat result buffer) and the intended unit
-//! of *cross-worker sharding*: a coordinator can hand disjoint tile
-//! ranges to different machines and concatenate the scattered results,
+//! A tile is both the unit of intra-process parallelism (workers take
+//! contiguous tile groups balanced by pair count and write disjoint
+//! segments of one flat result buffer) and the unit of *cross-worker
+//! sharding*: [`TilePlan`] names every tile with a stable id under a
+//! pure `(n, tile)` plan, [`TilePlan::shard`] cuts the id space into
+//! pair-count-balanced contiguous ranges, and executors return
+//! [`TileSegment`]s a gatherer concatenates without reconciliation,
 //! because tiles partition the pair set exactly.
 
 pub mod config;
+pub mod plan;
 pub mod pool;
 pub mod tile;
 
 pub use config::{Parallelism, DEFAULT_TILE, MAX_THREADS};
+pub use plan::{TilePlan, TileSegment};
 pub use pool::{par_chunks_mut, par_map, par_split_mut, scope_workers};
 pub use tile::{Tile, TileScheduler};

@@ -23,12 +23,13 @@ use dp_core::error::CoreError;
 use dp_core::protocol::{
     decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
     Request, Response, ERR_DUPLICATE_PARTY, ERR_INCOMPATIBLE, ERR_INTERNAL, ERR_MALFORMED,
-    ERR_SPEC, ERR_SPEC_MISMATCH, ERR_UNKNOWN_PARTY,
+    ERR_PLAN, ERR_SPEC, ERR_SPEC_MISMATCH, ERR_UNKNOWN_PARTY, ERR_WORKER,
 };
 use dp_core::release::Release;
 use dp_core::sketcher::SketcherSpec;
-use dp_engine::{EngineError, QueryEngine, SketchStore};
-use dp_parallel::scope_workers;
+use dp_core::{TilePlan, TileSegment};
+use dp_engine::{EngineError, Gather, QueryEngine, SketchStore};
+use dp_parallel::{par_map, scope_workers};
 use std::fmt;
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -36,6 +37,7 @@ use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Duration;
 
 /// Where a server listens / a client connects.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -80,6 +82,21 @@ pub enum Conn {
     Tcp(TcpStream),
     /// A unix-socket connection.
     Unix(UnixStream),
+}
+
+impl Conn {
+    /// Set (or clear) the read timeout of the underlying socket. A
+    /// blocked read past the deadline fails with `WouldBlock`/`TimedOut`
+    /// instead of hanging forever.
+    ///
+    /// # Errors
+    /// Propagates socket option failures.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        match self {
+            Self::Tcp(s) => s.set_read_timeout(timeout),
+            Self::Unix(s) => s.set_read_timeout(timeout),
+        }
+    }
 }
 
 impl Read for Conn {
@@ -139,11 +156,193 @@ fn error_response(e: &EngineError) -> Response {
         EngineError::DuplicateParty(_) => (ERR_DUPLICATE_PARTY, e.to_string()),
         EngineError::UnknownParty(_) => (ERR_UNKNOWN_PARTY, e.to_string()),
         EngineError::Empty => (ERR_INTERNAL, e.to_string()),
+        EngineError::PlanMismatch { .. } | EngineError::UnknownTile { .. } => {
+            (ERR_PLAN, e.to_string())
+        }
     };
     Response::Error { code, message }
 }
 
+/// Whether a client failure may have left the connection's
+/// request/response framing desynchronized. A clean [`ClientError::Remote`]
+/// is a completed exchange (the stream stays usable); everything else —
+/// transport failure, timeout (the late response is still in the
+/// socket), undecodable or wrong-kind frames — means later exchanges on
+/// the same stream could pair requests with stale responses.
+fn desynchronizes(e: &ClientError) -> bool {
+    !matches!(e, ClientError::Remote { .. })
+}
+
+/// The coordinator role's worker pool: one connected [`Client`] per
+/// worker server, plus the tile side sharded plans use.
+///
+/// A worker slot is **poisoned** (set to `None`) after any failure that
+/// may have desynchronized its stream; every later use fails fast with
+/// a typed message instead of pairing requests with stale responses.
+/// Reconnecting/resyncing a lost worker is deliberately out of scope —
+/// restart the coordinator (see `ROADMAP.md`).
+struct Shards {
+    workers: Vec<Mutex<Option<Client>>>,
+    tile: usize,
+    /// Serializes the coordinator's replicated mutations (`Hello`,
+    /// `Ingest`): local append and worker broadcast happen as one unit
+    /// under this lock, **without** holding the engine lock through the
+    /// broadcast. That keeps worker row order identical to the local
+    /// store (the gather addresses matrix cells by local row index, so
+    /// replica order is a correctness invariant, not a nicety) while a
+    /// wedged worker stalls only other mutations — never local
+    /// queries.
+    order: Mutex<()>,
+    /// The last gathered full matrix, keyed by the store row count it
+    /// covered. The store is append-only with a fixed ingest order, so
+    /// row count alone identifies the matrix; a repeated `Pairwise([])`
+    /// on an unchanged store answers from here instead of re-executing
+    /// the quadratic plan across the pool.
+    gathered: Mutex<Option<(usize, Vec<f64>)>>,
+}
+
+impl Shards {
+    /// Run one exchange against worker `w`, poisoning its slot on any
+    /// failure that may have desynchronized the stream.
+    fn with_worker<T>(
+        &self,
+        w: usize,
+        exchange: impl FnOnce(&mut Client) -> Result<T, ClientError>,
+    ) -> Result<T, String> {
+        let mut slot = self.workers[w]
+            .lock()
+            .map_err(|_| format!("worker {w} mutex poisoned"))?;
+        let client = slot
+            .as_mut()
+            .ok_or_else(|| format!("worker {w} connection lost after an earlier failure"))?;
+        exchange(client).map_err(|e| {
+            let message = format!("worker {w}: {e}");
+            if desynchronizes(&e) {
+                *slot = None;
+            }
+            message
+        })
+    }
+
+    /// Drop workers `from..` from the pool: an aborted replication
+    /// broadcast leaves every worker at or after the failure point with
+    /// unknown or missing state, and a diverged replica must fail fast
+    /// instead of acknowledging further mutations it cannot hold
+    /// consistently.
+    fn poison_from(&self, from: usize) {
+        for slot in &self.workers[from..] {
+            if let Ok(mut slot) = slot.lock() {
+                *slot = None;
+            }
+        }
+    }
+
+    /// Forward a replicated mutation to every worker, expecting a
+    /// response `accept` recognizes. The first failure aborts with a
+    /// message naming the worker — and poisons that worker and every
+    /// later one, whose replicas missed the mutation.
+    fn broadcast(
+        &self,
+        request: &Request,
+        accept: impl Fn(&Response) -> bool,
+    ) -> Result<(), String> {
+        for w in 0..self.workers.len() {
+            let outcome = match self.with_worker(w, |client| client.call(request)) {
+                Ok(ref resp) if accept(resp) => Ok(()),
+                Ok(Response::Error { code, message }) => {
+                    Err(format!("worker {w} refused ({code}): {message}"))
+                }
+                Ok(other) => Err(format!("worker {w} answered {other:?}")),
+                Err(message) => Err(message),
+            };
+            if let Err(message) = outcome {
+                self.poison_from(w);
+                return Err(message);
+            }
+        }
+        Ok(())
+    }
+
+    /// The sharded all-pairs pass: cut the plan across the pool, run
+    /// every shard's `ExecuteTiles` concurrently (one local thread per
+    /// worker connection), gather the scattered segments by tile id.
+    ///
+    /// Runs **outside** the engine lock (the callers pass a snapshot of
+    /// `(n, party_ids)`), so a slow worker never blocks other clients'
+    /// local queries. A store that grows mid-flight shows up as a
+    /// worker-side `ERR_PLAN` (row-count guard), never as a torn
+    /// matrix.
+    fn sharded_pairwise(&self, n: usize, party_ids: Vec<u64>) -> Response {
+        if let Some((rows, values)) = self
+            .gathered
+            .lock()
+            .expect("gather cache poisoned")
+            .as_ref()
+        {
+            if *rows == n {
+                return Response::Pairwise {
+                    parties: party_ids,
+                    values: values.clone(),
+                };
+            }
+        }
+        let plan = TilePlan::new(n, self.tile);
+        let ranges = plan.shard(self.workers.len());
+        let indices: Vec<usize> = (0..self.workers.len()).collect();
+        let results: Vec<Result<Vec<TileSegment>, String>> =
+            par_map(&indices, indices.len(), |_, &w| {
+                let range = &ranges[w];
+                if range.is_empty() {
+                    return Ok(Vec::new());
+                }
+                let ids: Vec<u64> = (range.start as u64..range.end as u64).collect();
+                self.with_worker(w, |client| {
+                    client.execute_tiles(n as u64, plan.tile() as u32, &ids)
+                })
+            });
+        let mut gather = Gather::new(plan);
+        for result in &results {
+            match result {
+                Ok(segments) => {
+                    for segment in segments {
+                        if let Err(e) = gather.accept(segment) {
+                            return worker_error(format!("bad worker segment: {e}"));
+                        }
+                    }
+                }
+                Err(message) => return worker_error(message.clone()),
+            }
+        }
+        match gather.finish() {
+            Ok(matrix) => {
+                let values = matrix.into_flat();
+                *self.gathered.lock().expect("gather cache poisoned") = Some((n, values.clone()));
+                Response::Pairwise {
+                    parties: party_ids,
+                    values,
+                }
+            }
+            Err(e) => worker_error(format!("gather failed: {e}")),
+        }
+    }
+}
+
+fn worker_error(message: String) -> Response {
+    Response::Error {
+        code: ERR_WORKER,
+        message,
+    }
+}
+
 /// The protocol-v3 sketch service.
+///
+/// In its plain role the server answers every request from its own
+/// engine. Bound via [`Server::bind_coordinator`] it additionally
+/// **fans out**: ingests are broadcast to a pool of worker servers, and
+/// a full all-pairs query is answered by sharding the engine's
+/// [`TilePlan`] across the pool (`ExecuteTiles` per worker, gathered by
+/// tile id) — bit-identical to the local answer, because every path
+/// runs the same per-tile kernel.
 pub struct Server {
     endpoint: Endpoint,
     listener: Listener,
@@ -152,6 +351,8 @@ pub struct Server {
     /// Accept loops currently running — the number of wake-up
     /// connections a shutdown must make to unblock them all.
     active_workers: AtomicUsize,
+    /// The coordinator role's worker pool, when in coordinator mode.
+    shards: Option<Shards>,
 }
 
 impl Server {
@@ -175,7 +376,54 @@ impl Server {
             engine: Mutex::new(engine),
             shutdown: AtomicBool::new(false),
             active_workers: AtomicUsize::new(0),
+            shards: None,
         })
+    }
+
+    /// Bind in **coordinator mode**: serve the same protocol, but
+    /// broadcast every accepted `Hello`/`Ingest` to the given worker
+    /// clients and answer full all-pairs queries by sharding the tile
+    /// plan across them (tiles of side `tile`, clamped ≥ 1). A
+    /// coordinator `Shutdown` also shuts the workers down.
+    ///
+    /// The coordinator keeps a complete local engine (the workers are
+    /// replicas), so point, k-NN, subset, and top-pair queries stay
+    /// local; only the quadratic all-pairs pass fans out.
+    ///
+    /// The ingest broadcast is **not transactional**: if a worker fails
+    /// mid-broadcast the client gets a typed `ERR_WORKER` and that
+    /// worker's replica has diverged — its connection is dropped from
+    /// the pool, and later sharded queries fail fast with typed errors
+    /// (never a torn matrix). Resynchronizing a lost worker is future
+    /// work (see `ROADMAP.md`); the recovery today is restarting the
+    /// coordinator.
+    ///
+    /// # Errors
+    /// Propagates bind failures. An empty `workers` pool degenerates to
+    /// the plain role.
+    pub fn bind_coordinator(
+        endpoint: Endpoint,
+        engine: QueryEngine,
+        workers: Vec<Client>,
+        tile: usize,
+    ) -> io::Result<Self> {
+        let mut server = Self::bind(endpoint, engine)?;
+        if !workers.is_empty() {
+            server.shards = Some(Shards {
+                workers: workers.into_iter().map(|c| Mutex::new(Some(c))).collect(),
+                tile: tile.max(1),
+                order: Mutex::new(()),
+                gathered: Mutex::new(None),
+            });
+        }
+        Ok(server)
+    }
+
+    /// Number of worker servers this server coordinates (0 in the plain
+    /// role).
+    #[must_use]
+    pub fn worker_count(&self) -> usize {
+        self.shards.as_ref().map_or(0, |s| s.workers.len())
     }
 
     /// The endpoint actually bound. For `tcp:HOST:0` this carries the
@@ -263,22 +511,90 @@ impl Server {
     /// response and whether the connection (and server) should wind
     /// down.
     fn handle(&self, request: &Request) -> (Response, bool) {
+        // Replicated mutations (coordinator Hello/Ingest) serialize on
+        // the shards' order lock, acquired *before* the engine lock:
+        // the local append and the worker broadcast form one ordered
+        // unit, but the engine lock is released before the broadcast,
+        // so a wedged worker stalls only other mutations — local
+        // queries on other connections keep answering.
+        let _order = match (&self.shards, request) {
+            (Some(shards), Request::Hello { .. } | Request::Ingest { .. }) => {
+                Some(shards.order.lock().expect("order mutex poisoned"))
+            }
+            _ => None,
+        };
         let mut engine = self.engine.lock().expect("engine mutex poisoned");
         let response = match request {
-            Request::Hello { spec_json } => hello(&mut engine, spec_json),
+            Request::Hello { spec_json } => {
+                let mut response = hello(&mut engine, spec_json);
+                // A coordinator relays the accepted spec so the worker
+                // replicas negotiate the same store identity; every
+                // worker must echo the coordinator's row count, else
+                // its replica has already diverged.
+                if matches!(response, Response::Hello { .. }) {
+                    if let Some(shards) = &self.shards {
+                        let rows = engine.store().n() as u64;
+                        drop(engine);
+                        if let Err(message) = shards.broadcast(
+                            request,
+                            |r| matches!(r, Response::Hello { rows: got, .. } if *got == rows),
+                        ) {
+                            response = worker_error(message);
+                        }
+                    }
+                }
+                response
+            }
             Request::Ingest { release_frame } => match engine.ingest_bytes(release_frame) {
-                Ok(row) => Response::Ingested {
-                    row: row as u64,
-                    rows: engine.store().n() as u64,
-                },
+                Ok(row) => {
+                    let rows = engine.store().n() as u64;
+                    let mut response = Response::Ingested {
+                        row: row as u64,
+                        rows,
+                    };
+                    // Broadcast only what the local engine accepted —
+                    // the local store is the source of truth, so a
+                    // rejected release never reaches a worker — and
+                    // require every worker to echo the coordinator's
+                    // row count: a replica that acknowledges with a
+                    // different count missed an earlier mutation, and
+                    // is caught here rather than at query time.
+                    if let Some(shards) = &self.shards {
+                        drop(engine);
+                        if let Err(message) = shards.broadcast(
+                            request,
+                            |r| matches!(r, Response::Ingested { rows: got, .. } if *got == rows),
+                        ) {
+                            response = worker_error(message);
+                        }
+                    }
+                    response
+                }
                 Err(e) => error_response(&e),
             },
             Request::Pairwise { parties } => {
                 if parties.is_empty() {
-                    let matrix = engine.pairwise_all();
-                    Response::Pairwise {
-                        parties: engine.store().party_ids().to_vec(),
-                        values: matrix.as_flat().to_vec(),
+                    match &self.shards {
+                        // The quadratic pass fans out across the pool
+                        // (2+ rows; below that the plan has no pairs).
+                        // Snapshot the store geometry and release the
+                        // engine lock first: a slow worker must not
+                        // block other clients' local queries. The store
+                        // is append-only, so a mid-flight ingest can
+                        // only surface as a worker-side ERR_PLAN.
+                        Some(shards) if engine.store().n() >= 2 => {
+                            let n = engine.store().n();
+                            let party_ids = engine.store().party_ids().to_vec();
+                            drop(engine);
+                            shards.sharded_pairwise(n, party_ids)
+                        }
+                        _ => {
+                            let matrix = engine.pairwise_all();
+                            Response::Pairwise {
+                                parties: engine.store().party_ids().to_vec(),
+                                values: matrix.as_flat().to_vec(),
+                            }
+                        }
                     }
                 } else {
                     match engine.pairwise(parties) {
@@ -288,6 +604,30 @@ impl Server {
                         },
                         Err(e) => error_response(&e),
                     }
+                }
+            }
+            Request::PlanPairwise { tile } => {
+                let plan = TilePlan::new(engine.store().n(), *tile as usize);
+                Response::Plan {
+                    rows: plan.n() as u64,
+                    tile: plan.tile() as u32,
+                    tile_count: plan.tile_count() as u64,
+                    pair_count: plan.pair_count() as u64,
+                }
+            }
+            Request::ExecuteTiles {
+                rows,
+                tile,
+                tile_ids,
+            } => {
+                let plan_rows = usize::try_from(*rows).unwrap_or(usize::MAX);
+                match engine.execute_tiles(plan_rows, *tile as usize, tile_ids) {
+                    Ok(segments) => Response::TileResult {
+                        rows: *rows,
+                        tile: *tile,
+                        segments,
+                    },
+                    Err(e) => error_response(&e),
                 }
             }
             Request::Knn { party, k } => match engine.knn(*party, *k as usize) {
@@ -303,6 +643,11 @@ impl Server {
                 pairs: engine.top_pairs(*t as usize),
             },
             Request::Shutdown => {
+                // A coordinator winds its worker pool down with it
+                // (best-effort: a dead worker can't block shutdown).
+                if let Some(shards) = &self.shards {
+                    let _ = shards.broadcast(request, |r| matches!(r, Response::Bye));
+                }
                 self.shutdown.store(true, Ordering::SeqCst);
                 return (Response::Bye, true);
             }
@@ -365,6 +710,9 @@ fn hello(engine: &mut QueryEngine, spec_json: &str) -> Response {
 pub enum ClientError {
     /// Transport failure.
     Io(io::Error),
+    /// The server did not answer within the configured read timeout
+    /// ([`Client::set_read_timeout`]) — a dead or wedged peer.
+    Timeout,
     /// A frame failed to encode or decode locally.
     Codec(CoreError),
     /// The server answered with an error frame.
@@ -382,6 +730,7 @@ impl fmt::Display for ClientError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::Io(e) => write!(f, "transport error: {e}"),
+            Self::Timeout => write!(f, "peer did not answer within the read timeout"),
             Self::Codec(e) => write!(f, "codec error: {e}"),
             Self::Remote { code, message } => write!(f, "server error {code}: {message}"),
             Self::UnexpectedResponse => write!(f, "unexpected response kind"),
@@ -393,6 +742,14 @@ impl std::error::Error for ClientError {}
 
 impl From<io::Error> for ClientError {
     fn from(e: io::Error) -> Self {
+        // Socket read deadlines surface as either kind, platform
+        // dependent; fold both into the typed timeout.
+        if matches!(
+            e.kind(),
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+        ) {
+            return Self::Timeout;
+        }
         Self::Io(e)
     }
 }
@@ -417,6 +774,18 @@ impl Client {
         Ok(Self {
             conn: connect(endpoint)?,
         })
+    }
+
+    /// Set (or clear) the socket read timeout. With a timeout set, a
+    /// call against a dead or wedged server fails with
+    /// [`ClientError::Timeout`] instead of blocking forever — the knob
+    /// a coordinator uses so one dead worker fails the gather with a
+    /// typed error rather than hanging every query.
+    ///
+    /// # Errors
+    /// Propagates socket option failures.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.conn.set_read_timeout(timeout)
     }
 
     /// The underlying connection, for custom frame exchanges (tests,
@@ -521,6 +890,56 @@ impl Client {
         })
     }
 
+    /// The plan a tile side induces over the server's current store;
+    /// returns `(rows, tile, tile_count, pair_count)`.
+    ///
+    /// # Errors
+    /// [`ClientError::Remote`] on rejection; transport/codec failures.
+    pub fn plan_pairwise(&mut self, tile: u32) -> Result<(u64, u32, u64, u64), ClientError> {
+        self.expect(&Request::PlanPairwise { tile }, |r| match r {
+            Response::Plan {
+                rows,
+                tile,
+                tile_count,
+                pair_count,
+            } => Some((rows, tile, tile_count, pair_count)),
+            _ => None,
+        })
+    }
+
+    /// Execute an explicit set of plan tiles on the server, returning
+    /// the scattered segments keyed by tile id. The response must echo
+    /// the requested plan `(rows, tile)` — a mismatched echo is
+    /// [`ClientError::UnexpectedResponse`], so a gather can never mix
+    /// plans.
+    ///
+    /// # Errors
+    /// [`ClientError::Remote`] (`ERR_PLAN`) when the plan doesn't match
+    /// the server's store; transport/codec failures;
+    /// [`ClientError::Timeout`] past the read timeout.
+    pub fn execute_tiles(
+        &mut self,
+        rows: u64,
+        tile: u32,
+        tile_ids: &[u64],
+    ) -> Result<Vec<TileSegment>, ClientError> {
+        self.expect(
+            &Request::ExecuteTiles {
+                rows,
+                tile,
+                tile_ids: tile_ids.to_vec(),
+            },
+            |r| match r {
+                Response::TileResult {
+                    rows: got_rows,
+                    tile: got_tile,
+                    segments,
+                } if got_rows == rows && got_tile == tile => Some(segments),
+                _ => None,
+            },
+        )
+    }
+
     /// Ask the server to exit cleanly; consumes the client.
     ///
     /// # Errors
@@ -580,6 +999,20 @@ mod tests {
                 ERR_INTERNAL,
             ),
             (EngineError::Empty, ERR_INTERNAL),
+            (
+                EngineError::PlanMismatch {
+                    store_rows: 4,
+                    plan_rows: 5,
+                },
+                ERR_PLAN,
+            ),
+            (
+                EngineError::UnknownTile {
+                    id: 9,
+                    tile_count: 3,
+                },
+                ERR_PLAN,
+            ),
         ];
         for (e, want) in cases {
             match error_response(&e) {

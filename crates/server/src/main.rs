@@ -3,6 +3,7 @@
 //! ```text
 //! dp-server [--listen tcp:HOST:PORT | --listen unix:PATH]
 //!           [--spec PATH.json] [--workers N]
+//!           [--worker ENDPOINT]... [--shard-tile T] [--worker-timeout SECS]
 //! ```
 //!
 //! Without `--spec` the store adopts the spec proposed by the first
@@ -10,16 +11,47 @@
 //! `DP_THREADS` / `DP_TILE` environment knobs; `--workers` sets how
 //! many connections are served concurrently. The server exits cleanly
 //! when a client sends the protocol `Shutdown` request.
+//!
+//! Passing one or more `--worker` endpoints switches the server into
+//! **coordinator mode**: ingests are broadcast to every worker server,
+//! and full all-pairs queries are answered by sharding the tile plan
+//! (`--shard-tile` tiles, default 64) across the pool and gathering the
+//! scattered segments. Each worker connection carries a read timeout
+//! (`--worker-timeout`, default 30 s) so a dead worker fails a query
+//! with a typed error instead of hanging the coordinator. Worker
+//! servers are plain `dp-server` instances — start them first, or
+//! within the coordinator's connect-retry window (~5 s).
 
 use dp_core::sketcher::SketcherSpec;
 use dp_core::Parallelism;
 use dp_engine::{QueryEngine, SketchStore};
-use dp_server::{Endpoint, Server};
+use dp_server::{Client, Endpoint, Server};
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn fail(message: &str) -> ExitCode {
     eprintln!("dp-server: {message}");
     ExitCode::FAILURE
+}
+
+/// Connect to a worker endpoint, retrying briefly: coordinator and
+/// workers are typically launched together, and the workers may not be
+/// listening yet.
+fn connect_worker(endpoint: &Endpoint, timeout: Duration) -> std::io::Result<Client> {
+    let mut last_err = None;
+    for _ in 0..20 {
+        match Client::connect(endpoint) {
+            Ok(client) => {
+                client.set_read_timeout(Some(timeout))?;
+                return Ok(client);
+            }
+            Err(e) => {
+                last_err = Some(e);
+                std::thread::sleep(Duration::from_millis(250));
+            }
+        }
+    }
+    Err(last_err.expect("at least one attempt"))
 }
 
 fn main() -> ExitCode {
@@ -27,6 +59,9 @@ fn main() -> ExitCode {
     let mut listen = "tcp:127.0.0.1:7878".to_string();
     let mut spec_path: Option<String> = None;
     let mut workers = Parallelism::default().threads();
+    let mut worker_endpoints: Vec<String> = Vec::new();
+    let mut shard_tile = dp_parallel::DEFAULT_TILE;
+    let mut worker_timeout = Duration::from_secs(30);
     let mut i = 0;
     while i < args.len() {
         let value = |i: usize| args.get(i + 1).cloned();
@@ -52,10 +87,32 @@ fn main() -> ExitCode {
                 }
                 None => return fail("--workers needs an integer"),
             },
+            "--worker" => match value(i) {
+                Some(v) => {
+                    worker_endpoints.push(v);
+                    i += 2;
+                }
+                None => return fail("--worker needs an endpoint"),
+            },
+            "--shard-tile" => match value(i).and_then(|v| v.parse::<usize>().ok()) {
+                Some(v) => {
+                    shard_tile = v.max(1);
+                    i += 2;
+                }
+                None => return fail("--shard-tile needs an integer"),
+            },
+            "--worker-timeout" => match value(i).and_then(|v| v.parse::<u64>().ok()) {
+                Some(v) => {
+                    worker_timeout = Duration::from_secs(v.max(1));
+                    i += 2;
+                }
+                None => return fail("--worker-timeout needs seconds"),
+            },
             "--help" | "-h" => {
                 println!(
                     "usage: dp-server [--listen tcp:HOST:PORT|unix:PATH] \
-                     [--spec PATH.json] [--workers N]"
+                     [--spec PATH.json] [--workers N] \
+                     [--worker ENDPOINT]... [--shard-tile T] [--worker-timeout SECS]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -85,15 +142,44 @@ fn main() -> ExitCode {
         None => SketchStore::adopting(),
     };
     let engine = QueryEngine::new(store);
-    let server = match Server::bind(endpoint, engine) {
+
+    let mut worker_clients = Vec::with_capacity(worker_endpoints.len());
+    for text in &worker_endpoints {
+        let worker_endpoint = match Endpoint::parse(text) {
+            Ok(e) => e,
+            Err(e) => return fail(&e),
+        };
+        match connect_worker(&worker_endpoint, worker_timeout) {
+            Ok(client) => worker_clients.push(client),
+            Err(e) => return fail(&format!("cannot reach worker {worker_endpoint}: {e}")),
+        }
+    }
+
+    let coordinator = !worker_clients.is_empty();
+    let server = if coordinator {
+        Server::bind_coordinator(endpoint, engine, worker_clients, shard_tile)
+    } else {
+        Server::bind(endpoint, engine)
+    };
+    let server = match server {
         Ok(s) => s,
         Err(e) => return fail(&format!("cannot bind {listen}: {e}")),
     };
-    println!(
-        "dp-server: serving protocol v3 on {} ({} worker(s))",
-        server.local_endpoint(),
-        workers
-    );
+    if coordinator {
+        println!(
+            "dp-server: coordinating {} worker server(s) on {} ({} accept loop(s), shard tile {})",
+            server.worker_count(),
+            server.local_endpoint(),
+            workers,
+            shard_tile
+        );
+    } else {
+        println!(
+            "dp-server: serving protocol v3 on {} ({} worker(s))",
+            server.local_endpoint(),
+            workers
+        );
+    }
     server.serve(workers);
     println!("dp-server: clean shutdown");
     ExitCode::SUCCESS

@@ -24,4 +24,4 @@ pub use distributed::pairwise_sq_distances;
 pub use distributed::{
     nearest_neighbor, parse_release, parse_release_bytes, Party, PublicParams, Release,
 };
-pub use streaming::{StreamingSketch, StreamingSketcher};
+pub use streaming::{AnyStreamingTransform, StreamingSketch, StreamingSketcher};

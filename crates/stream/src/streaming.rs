@@ -10,9 +10,11 @@ use dp_core::error::CoreError;
 use dp_core::sketcher::{AnySketcher, PrivateSketcher};
 use dp_core::NoisySketch;
 use dp_hashing::Seed;
+use dp_linalg::SparseVector;
 use dp_noise::mechanism::NoiseMechanism;
+use dp_transforms::achlioptas::Achlioptas;
 use dp_transforms::sjlt::Sjlt;
-use dp_transforms::{StreamingColumns, TransformError};
+use dp_transforms::{LinearTransform, StreamingColumns, TransformError};
 
 /// An incrementally maintained (noiseless) projection of a turnstile
 /// stream, releasable as a noisy sketch at any point.
@@ -142,6 +144,98 @@ impl<T: StreamingColumns> StreamingSketch<T> {
     }
 }
 
+/// Any column-streaming transform a construction can hand a stream
+/// over: the SJLT (paper Theorem 3 item 4) or the Achlioptas sparse ±1
+/// projection. One enum, so [`StreamingSketcher::streaming_sketch`] has
+/// a single return type across constructions while the accumulator's
+/// update cost stays the underlying transform's (`s` rows for the SJLT,
+/// ~`k/3` for Achlioptas).
+#[derive(Debug, Clone)]
+pub enum AnyStreamingTransform {
+    /// The Kane–Nelson sparser JL transform.
+    Sjlt(Sjlt),
+    /// The Achlioptas database-friendly ±1 projection.
+    Achlioptas(Achlioptas),
+}
+
+impl LinearTransform for AnyStreamingTransform {
+    fn input_dim(&self) -> usize {
+        match self {
+            Self::Sjlt(t) => t.input_dim(),
+            Self::Achlioptas(t) => t.input_dim(),
+        }
+    }
+
+    fn output_dim(&self) -> usize {
+        match self {
+            Self::Sjlt(t) => t.output_dim(),
+            Self::Achlioptas(t) => t.output_dim(),
+        }
+    }
+
+    fn apply_into(&self, x: &[f64], out: &mut [f64]) -> Result<(), TransformError> {
+        match self {
+            Self::Sjlt(t) => t.apply_into(x, out),
+            Self::Achlioptas(t) => t.apply_into(x, out),
+        }
+    }
+
+    fn apply_sparse(&self, x: &SparseVector) -> Result<Vec<f64>, TransformError> {
+        match self {
+            Self::Sjlt(t) => t.apply_sparse(x),
+            Self::Achlioptas(t) => t.apply_sparse(x),
+        }
+    }
+
+    fn l1_sensitivity(&self) -> f64 {
+        match self {
+            Self::Sjlt(t) => t.l1_sensitivity(),
+            Self::Achlioptas(t) => t.l1_sensitivity(),
+        }
+    }
+
+    fn l2_sensitivity(&self) -> f64 {
+        match self {
+            Self::Sjlt(t) => t.l2_sensitivity(),
+            Self::Achlioptas(t) => t.l2_sensitivity(),
+        }
+    }
+
+    fn sensitivity_is_a_priori(&self) -> bool {
+        match self {
+            Self::Sjlt(t) => t.sensitivity_is_a_priori(),
+            Self::Achlioptas(t) => t.sensitivity_is_a_priori(),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            Self::Sjlt(t) => t.name(),
+            Self::Achlioptas(t) => t.name(),
+        }
+    }
+}
+
+impl StreamingColumns for AnyStreamingTransform {
+    fn column_nnz(&self) -> usize {
+        match self {
+            Self::Sjlt(t) => t.column_nnz(),
+            Self::Achlioptas(t) => t.column_nnz(),
+        }
+    }
+
+    fn for_column(
+        &self,
+        j: usize,
+        visit: &mut dyn FnMut(usize, f64),
+    ) -> Result<(), TransformError> {
+        match self {
+            Self::Sjlt(t) => t.for_column(j, visit),
+            Self::Achlioptas(t) => t.for_column(j, visit),
+        }
+    }
+}
+
 /// Sketchers that hand out a ready-made [`StreamingSketch`] over their
 /// own public transform — the stream then interoperates with the
 /// sketcher's batch releases by construction (same transform, same tag,
@@ -152,19 +246,23 @@ pub trait StreamingSketcher {
     ///
     /// # Errors
     /// [`CoreError::Unsupported`] when the construction's transform has
-    /// no streaming column access (today: everything but the SJLT).
-    fn streaming_sketch(&self) -> Result<StreamingSketch<Sjlt>, CoreError>;
+    /// no streaming column access (today: everything but the SJLT and
+    /// Achlioptas constructions).
+    fn streaming_sketch(&self) -> Result<StreamingSketch<AnyStreamingTransform>, CoreError>;
 }
 
 impl StreamingSketcher for AnySketcher {
-    fn streaming_sketch(&self) -> Result<StreamingSketch<Sjlt>, CoreError> {
-        let sjlt = self.as_sjlt().ok_or(CoreError::Unsupported(
-            "only the SJLT construction exposes streaming column access",
-        ))?;
-        Ok(StreamingSketch::new(
-            sjlt.general().transform().clone(),
-            self.tag().to_string(),
-        ))
+    fn streaming_sketch(&self) -> Result<StreamingSketch<AnyStreamingTransform>, CoreError> {
+        let transform = if let Some(sjlt) = self.as_sjlt() {
+            AnyStreamingTransform::Sjlt(sjlt.general().transform().clone())
+        } else if let Some(achlioptas) = self.as_achlioptas() {
+            AnyStreamingTransform::Achlioptas(achlioptas.general().transform().clone())
+        } else {
+            return Err(CoreError::Unsupported(
+                "only the SJLT and Achlioptas constructions expose streaming column access",
+            ));
+        };
+        Ok(StreamingSketch::new(transform, self.tag().to_string()))
     }
 }
 
@@ -319,6 +417,52 @@ mod tests {
             dense.streaming_sketch(),
             Err(CoreError::Unsupported(_))
         ));
+    }
+
+    #[test]
+    fn achlioptas_construction_streams_like_the_sjlt() {
+        use dp_core::config::SketchConfig;
+        use dp_core::sketcher::{AnySketcher, Construction};
+        let cfg = SketchConfig::builder()
+            .input_dim(64)
+            .alpha(0.3)
+            .beta(0.1)
+            .epsilon(1.0)
+            .build()
+            .unwrap();
+        let sketcher = AnySketcher::new(Construction::Achlioptas, &cfg, Seed::new(5)).unwrap();
+        let mut stream = sketcher.streaming_sketch().unwrap();
+        assert!(matches!(
+            stream.transform(),
+            AnyStreamingTransform::Achlioptas(_)
+        ));
+        // Sparse update cost: about k/3 rows per column, never all k.
+        assert!(stream.transform().column_nnz() <= sketcher.k());
+        let x: Vec<f64> = (0..64).map(|i| (i % 5) as f64 - 2.0).collect();
+        // Turnstile updates (with cancellation) reproduce the batch
+        // projection of the sketcher's own transform.
+        for (j, &w) in x.iter().enumerate() {
+            stream.update(j, w + 2.0).unwrap();
+        }
+        for j in 0..64 {
+            stream.update(j, -2.0).unwrap();
+        }
+        let batch = sketcher
+            .as_achlioptas()
+            .unwrap()
+            .general()
+            .transform()
+            .apply(&x)
+            .unwrap();
+        for (a, b) in stream.current_projection().iter().zip(&batch) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        // Releases through the sketcher interoperate with its batch
+        // releases: same tag, combinable estimates.
+        let streamed = stream.release_via(&sketcher, Seed::new(9)).unwrap();
+        let direct = sketcher.sketch(&vec![0.0; 64], Seed::new(11)).unwrap();
+        assert_eq!(streamed.transform_tag(), sketcher.tag());
+        assert!(streamed.estimate_sq_distance(&direct).is_ok());
     }
 
     #[test]

@@ -92,6 +92,7 @@ pub use dp_transforms as transforms;
 /// One-stop imports for typical use.
 pub mod prelude {
     pub use dp_core::{
+        achlioptas_private::PrivateAchlioptas,
         config::SketchConfig,
         estimator::{DistanceEstimate, NoisySketch},
         fjlt_private::{PrivateFjltInput, PrivateFjltOutput},
@@ -103,19 +104,19 @@ pub mod prelude {
             Construction, PairwiseDistances, PrivateSketcher, SketcherSpec,
         },
     };
-    pub use dp_engine::{EngineError, Neighbor, QueryEngine, SketchStore};
+    pub use dp_engine::{EngineError, Gather, GatherError, Neighbor, QueryEngine, SketchStore};
     pub use dp_hashing::Seed;
     pub use dp_noise::{
         mechanism::{GaussianMechanism, LaplaceMechanism, NoiseMechanism},
         privacy::PrivacyGuarantee,
     };
-    pub use dp_parallel::{Parallelism, TileScheduler};
+    pub use dp_parallel::{Parallelism, TilePlan, TileScheduler, TileSegment};
     pub use dp_stream::{
         distributed::{Party, PublicParams, Release},
-        streaming::{StreamingSketch, StreamingSketcher},
+        streaming::{AnyStreamingTransform, StreamingSketch, StreamingSketcher},
     };
     pub use dp_transforms::{
-        fjlt::Fjlt, gaussian_iid::GaussianIid, params::JlParams, sjlt::Sjlt,
-        traits::LinearTransform,
+        achlioptas::Achlioptas, fjlt::Fjlt, gaussian_iid::GaussianIid, params::JlParams,
+        sjlt::Sjlt, traits::LinearTransform,
     };
 }

@@ -1,0 +1,394 @@
+//! End-to-end tests of the sharded pairwise pipeline: a coordinator
+//! `dp-server` fanning ingests and tile executions out to real worker
+//! servers over unix sockets. The acceptance bar is the workspace's
+//! determinism contract: the gathered matrix must be **bit-identical**
+//! to `pairwise_sq_distances_reference` over the same releases.
+
+use dp_euclid::core::pairwise_sq_distances_reference;
+use dp_euclid::core::release::Release;
+use dp_euclid::hashing::Seed;
+use dp_euclid::prelude::*;
+use dp_server::{Client, ClientError, Endpoint, Server};
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn spec(d: usize) -> SketcherSpec {
+    let config = SketchConfig::builder()
+        .input_dim(d)
+        .alpha(0.25)
+        .beta(0.05)
+        .epsilon(2.0)
+        .build()
+        .expect("config");
+    SketcherSpec::new(Construction::SjltAuto, config, Seed::new(777))
+}
+
+fn releases(spec: &SketcherSpec, n: usize) -> Vec<Release> {
+    let sketcher = spec.build().expect("sketcher");
+    let d = sketcher.input_dim();
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|i| (0..d).map(|j| ((7 * i + j) % 9) as f64 - 4.0).collect())
+        .collect();
+    sketcher
+        .sketch_batch(&rows, Seed::new(555))
+        .expect("batch")
+        .into_iter()
+        .enumerate()
+        .map(|(i, sketch)| Release {
+            party_id: 900 + i as u64,
+            sketch,
+        })
+        .collect()
+}
+
+fn scratch_socket(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("dp-coord-{tag}-{}.sock", std::process::id()))
+}
+
+fn bind_worker(tag: &str) -> (Server, Endpoint, PathBuf) {
+    let socket = scratch_socket(tag);
+    let endpoint = Endpoint::Unix(socket.clone());
+    let server =
+        Server::bind(endpoint.clone(), QueryEngine::new(SketchStore::adopting())).expect("bind");
+    (server, endpoint, socket)
+}
+
+#[test]
+fn sharded_pairwise_is_bit_identical_to_the_reference() {
+    let spec = spec(160);
+    let all = releases(&spec, 18);
+    let (rs, held_back) = all.split_at(17);
+    let sketches: Vec<_> = rs.iter().map(|r| r.sketch.clone()).collect();
+    let reference = pairwise_sq_distances_reference(&sketches).expect("reference");
+
+    let (worker_a, ep_a, sock_a) = bind_worker("wa");
+    let (worker_b, ep_b, sock_b) = bind_worker("wb");
+    let coord_socket = scratch_socket("coord");
+    let coord_endpoint = Endpoint::Unix(coord_socket.clone());
+
+    // The coordinator's worker pool: one timed connection each (the
+    // listeners are bound, so connecting before the accept loops start
+    // just parks the connections in the backlog).
+    let pool: Vec<Client> = [&ep_a, &ep_b]
+        .iter()
+        .map(|ep| {
+            let client = Client::connect(ep).expect("connect worker");
+            client
+                .set_read_timeout(Some(Duration::from_secs(30)))
+                .expect("timeout");
+            client
+        })
+        .collect();
+    // A small shard tile forces many tiles per worker, exercising
+    // out-of-order gather paths.
+    let coordinator = Server::bind_coordinator(
+        coord_endpoint.clone(),
+        QueryEngine::new(SketchStore::adopting()),
+        pool,
+        5,
+    )
+    .expect("bind coordinator");
+    assert_eq!(coordinator.worker_count(), 2);
+
+    std::thread::scope(|scope| {
+        // Two accept loops per worker: one serves the coordinator's
+        // long-lived pool connection, the other the direct probes below.
+        let ha = scope.spawn(|| worker_a.serve(2));
+        let hb = scope.spawn(|| worker_b.serve(2));
+        let hc = scope.spawn(|| coordinator.serve(1));
+
+        let mut client = Client::connect(&coord_endpoint).expect("connect coordinator");
+        let (_, rows, _) = client.hello(&spec).expect("hello relayed to workers");
+        assert_eq!(rows, 0);
+        for (i, r) in rs.iter().enumerate() {
+            let (row, n) = client.ingest(r).expect("broadcast ingest");
+            assert_eq!((row as usize, n as usize), (i, i + 1));
+        }
+
+        // The workers really hold replicas: ask one directly.
+        let mut direct = Client::connect(&ep_a).expect("connect worker directly");
+        let (planned_rows, planned_tile, tile_count, pair_count) =
+            direct.plan_pairwise(5).expect("plan");
+        assert_eq!(planned_rows, 17);
+        assert_eq!(planned_tile, 5);
+        assert_eq!(tile_count, 10); // b = 4 blocks → 4·5/2
+        assert_eq!(pair_count, 17 * 16 / 2);
+
+        // Acceptance: the sharded full matrix over 2 workers is
+        // bit-identical to the naive per-pair reference.
+        let (ids, values) = client.pairwise(&[]).expect("sharded pairwise");
+        assert_eq!(ids.len(), 17);
+        assert_eq!(values.len(), reference.as_flat().len());
+        for (a, b) in values.iter().zip(reference.as_flat()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+
+        // A repeated query answers from the coordinator's gathered
+        // cache — still bit-identical.
+        let (_, warm) = client.pairwise(&[]).expect("warm pairwise");
+        for (a, b) in warm.iter().zip(&values) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+
+        // A further ingest invalidates the cache (keyed by row count):
+        // the regathered 18-row matrix matches the reference again.
+        client.ingest(&held_back[0]).expect("ingest");
+        let grown: Vec<_> = all.iter().map(|r| r.sketch.clone()).collect();
+        let grown_reference = pairwise_sq_distances_reference(&grown).expect("reference");
+        let (grown_ids, grown_values) = client.pairwise(&[]).expect("regather");
+        assert_eq!(grown_ids.len(), 18);
+        for (a, b) in grown_values.iter().zip(grown_reference.as_flat()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+
+        // Remote ExecuteTiles against a stale plan is a typed error.
+        let err = direct.execute_tiles(16, 5, &[0]).expect_err("stale plan");
+        assert!(
+            matches!(err, ClientError::Remote { code, .. } if code == dp_euclid::core::protocol::ERR_PLAN),
+            "{err:?}"
+        );
+        let err = direct
+            .execute_tiles(17, 5, &[tile_count])
+            .expect_err("alien tile id");
+        assert!(
+            matches!(err, ClientError::Remote { code, .. } if code == dp_euclid::core::protocol::ERR_PLAN),
+            "{err:?}"
+        );
+        drop(direct);
+
+        // Non-pairwise queries stay local on the coordinator and still
+        // answer bit-identically to an in-process engine (over all 18
+        // ingested rows).
+        let mut local = QueryEngine::new(SketchStore::adopting());
+        for r in &all {
+            local.ingest(r).expect("ingest");
+        }
+        let remote_knn = client.knn(rs[3].party_id, 4).expect("knn");
+        let local_knn = local.knn(rs[3].party_id, 4).expect("knn");
+        for (r, l) in remote_knn.iter().zip(&local_knn) {
+            assert_eq!(r.0, l.party_id);
+            assert_eq!(r.1.to_bits(), l.estimated_sq_distance.to_bits());
+        }
+
+        // One shutdown winds down the coordinator AND both workers.
+        client.shutdown().expect("shutdown");
+        hc.join().expect("coordinator joined");
+        ha.join().expect("worker a joined");
+        hb.join().expect("worker b joined");
+    });
+    for socket in [sock_a, sock_b, coord_socket] {
+        let _ = std::fs::remove_file(socket);
+    }
+}
+
+/// A protocol-speaking fake worker: answers `Hello`/`Ingest`/`Shutdown`
+/// well enough to join a pool, then — once `silent` flips — reads
+/// requests and never answers, like a wedged process. Exits promptly on
+/// `stop` via a short socket read timeout.
+fn fake_worker(
+    listener: std::os::unix::net::UnixListener,
+    silent: &std::sync::atomic::AtomicBool,
+    stop: &std::sync::atomic::AtomicBool,
+) {
+    use dp_euclid::core::protocol::{
+        decode_request, encode_response, read_frame, write_frame, Request, Response,
+    };
+    use std::sync::atomic::Ordering;
+
+    let Ok((mut conn, _)) = listener.accept() else {
+        return;
+    };
+    conn.set_read_timeout(Some(Duration::from_millis(100)))
+        .expect("timeout");
+    let mut rows = 0u64;
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let payload = match read_frame(&mut conn) {
+            Ok(Some(p)) => p,
+            Ok(None) => return,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue;
+            }
+            Err(_) => return,
+        };
+        if silent.load(Ordering::SeqCst) {
+            continue; // swallow the request, answer nothing
+        }
+        let response = match decode_request(&payload) {
+            Ok(Request::Hello { .. }) => Response::Hello {
+                k: 0,
+                rows,
+                tag: String::new(),
+            },
+            Ok(Request::Ingest { .. }) => {
+                rows += 1;
+                Response::Ingested {
+                    row: rows - 1,
+                    rows,
+                }
+            }
+            Ok(Request::Shutdown) => Response::Bye,
+            _ => Response::Bye,
+        };
+        let bytes = encode_response(&response).expect("encode");
+        if write_frame(&mut conn, &bytes).is_err() {
+            return;
+        }
+    }
+}
+
+#[test]
+fn dead_worker_fails_the_gather_with_a_typed_error() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let spec = spec(96);
+    let rs = releases(&spec, 6);
+
+    let (worker_a, ep_a, sock_a) = bind_worker("da");
+    // Worker B is the fake: healthy during setup, silent at query time.
+    let sock_b = scratch_socket("db");
+    let _ = std::fs::remove_file(&sock_b);
+    let listener_b = std::os::unix::net::UnixListener::bind(&sock_b).expect("bind fake");
+    let ep_b = Endpoint::Unix(sock_b.clone());
+    let silent = AtomicBool::new(false);
+    let stop = AtomicBool::new(false);
+    let coord_socket = scratch_socket("dcoord");
+    let coord_endpoint = Endpoint::Unix(coord_socket.clone());
+
+    let pool: Vec<Client> = [&ep_a, &ep_b]
+        .iter()
+        .map(|ep| {
+            let client = Client::connect(ep).expect("connect worker");
+            client
+                .set_read_timeout(Some(Duration::from_millis(500)))
+                .expect("timeout");
+            client
+        })
+        .collect();
+    let coordinator = Server::bind_coordinator(
+        coord_endpoint.clone(),
+        QueryEngine::new(SketchStore::adopting()),
+        pool,
+        4,
+    )
+    .expect("bind coordinator");
+
+    std::thread::scope(|scope| {
+        let ha = scope.spawn(|| worker_a.serve(1));
+        let hb = scope.spawn(|| fake_worker(listener_b, &silent, &stop));
+        let hc = scope.spawn(|| coordinator.serve(1));
+
+        let mut client = Client::connect(&coord_endpoint).expect("connect coordinator");
+        client.hello(&spec).expect("hello");
+        for r in &rs {
+            client.ingest(r).expect("ingest");
+        }
+
+        // Worker B wedges: from here on it reads and never answers.
+        silent.store(true, Ordering::SeqCst);
+
+        // The sharded query must come back as a typed worker error —
+        // not a hang, not a hangup — within the pool's read timeout.
+        let started = std::time::Instant::now();
+        let err = client.pairwise(&[]).expect_err("dead worker");
+        assert!(
+            matches!(err, ClientError::Remote { code, .. } if code == dp_euclid::core::protocol::ERR_WORKER),
+            "{err:?}"
+        );
+        assert!(
+            started.elapsed() < Duration::from_secs(30),
+            "timeout did not bound the gather"
+        );
+
+        // The timed-out connection may hold a late response, so the
+        // coordinator drops it from the pool: a retry fails *fast*
+        // (no second timeout wait) with a typed error — it must never
+        // pair a new request with the stale frame.
+        let started = std::time::Instant::now();
+        let err = client.pairwise(&[]).expect_err("poisoned pool");
+        match err {
+            ClientError::Remote { code, message } => {
+                assert_eq!(code, dp_euclid::core::protocol::ERR_WORKER);
+                assert!(message.contains("connection lost"), "{message}");
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(
+            started.elapsed() < Duration::from_millis(400),
+            "poisoned worker was waited on again"
+        );
+
+        // The coordinator connection itself stays healthy: local
+        // queries still answer.
+        assert_eq!(client.knn(rs[0].party_id, 2).expect("knn").len(), 2);
+
+        stop.store(true, Ordering::SeqCst);
+        client.shutdown().expect("shutdown");
+        hc.join().expect("coordinator joined");
+        ha.join().expect("worker a joined");
+        hb.join().expect("fake worker joined");
+    });
+    for socket in [sock_a, sock_b, coord_socket] {
+        let _ = std::fs::remove_file(socket);
+    }
+}
+
+#[test]
+fn wedged_worker_times_out_instead_of_hanging() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    // A worker that is silent from the very first request.
+    let hole_socket = scratch_socket("hole");
+    let _ = std::fs::remove_file(&hole_socket);
+    let hole = std::os::unix::net::UnixListener::bind(&hole_socket).expect("bind black hole");
+    let silent = AtomicBool::new(true);
+    let stop = AtomicBool::new(false);
+
+    let spec = spec(64);
+    let pool_client = Client::connect(&Endpoint::Unix(hole_socket.clone())).expect("connect");
+    pool_client
+        .set_read_timeout(Some(Duration::from_millis(300)))
+        .expect("timeout");
+    let coord_socket = scratch_socket("hcoord");
+    let coord_endpoint = Endpoint::Unix(coord_socket.clone());
+    let coordinator = Server::bind_coordinator(
+        coord_endpoint.clone(),
+        QueryEngine::new(SketchStore::adopting()),
+        vec![pool_client],
+        8,
+    )
+    .expect("bind coordinator");
+
+    std::thread::scope(|scope| {
+        let hw = scope.spawn(|| fake_worker(hole, &silent, &stop));
+        let hc = scope.spawn(|| coordinator.serve(1));
+
+        // The relayed Hello hits the silent worker; the read timeout
+        // must convert the hang into a typed worker error, promptly.
+        let mut client = Client::connect(&coord_endpoint).expect("connect coordinator");
+        let started = std::time::Instant::now();
+        let err = client.hello(&spec).expect_err("wedged worker");
+        assert!(
+            matches!(err, ClientError::Remote { code, .. } if code == dp_euclid::core::protocol::ERR_WORKER),
+            "{err:?}"
+        );
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "timeout did not bound the wait"
+        );
+
+        stop.store(true, Ordering::SeqCst);
+        client.shutdown().expect("shutdown");
+        hc.join().expect("coordinator joined");
+        hw.join().expect("fake worker joined");
+        let _ = std::fs::remove_file(&coord_socket);
+    });
+    let _ = std::fs::remove_file(&hole_socket);
+}

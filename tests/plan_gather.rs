@@ -1,0 +1,183 @@
+//! Property tests of the plan → execute → gather pipeline.
+//!
+//! Two laws carry the whole sharded-pairwise design, and both are
+//! checked here across arbitrary shapes:
+//!
+//! 1. **Exact partition** — a [`TilePlan`]'s tiles cover every `(i, j)`,
+//!    `i < j` pair of the upper triangle exactly once, for any `n`,
+//!    tile side, and shard count (so sharded execution never needs
+//!    reconciliation).
+//! 2. **Order-free gather** — gathering a plan's executed
+//!    [`dp_euclid::core::TileSegment`]s in *any* order (any shard
+//!    count, shuffled arrival) reassembles a matrix **bit-identical**
+//!    to `pairwise_sq_distances_reference` over real releases.
+
+use dp_euclid::core::release::Release;
+use dp_euclid::core::{pairwise_sq_distances_reference, TilePlan};
+use dp_euclid::engine::Gather;
+use dp_euclid::hashing::{Prng, Seed};
+use dp_euclid::prelude::*;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// A pool of real releases the gather cases slice from (built once:
+/// sketching under proptest's case count would dominate the run).
+fn release_pool() -> &'static Vec<Release> {
+    use std::sync::OnceLock;
+    static POOL: OnceLock<Vec<Release>> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let d = 96;
+        let config = SketchConfig::builder()
+            .input_dim(d)
+            .alpha(0.3)
+            .beta(0.1)
+            .epsilon(1.5)
+            .build()
+            .expect("config");
+        let spec = SketcherSpec::new(Construction::SjltAuto, config, Seed::new(99));
+        let sketcher = spec.build().expect("sketcher");
+        let rows: Vec<Vec<f64>> = (0..24)
+            .map(|i| (0..d).map(|j| ((i * 13 + j) % 8) as f64 - 3.5).collect())
+            .collect();
+        sketcher
+            .sketch_batch(&rows, Seed::new(2024))
+            .expect("batch")
+            .into_iter()
+            .enumerate()
+            .map(|(i, sketch)| Release {
+                party_id: i as u64,
+                sketch,
+            })
+            .collect()
+    })
+}
+
+/// Deterministic Fisher–Yates shuffle from a seed (no global RNG in
+/// tests: every failing case must replay exactly).
+fn shuffle<T>(items: &mut [T], seed: u64) {
+    let mut rng = Seed::new(seed).child("shuffle").rng();
+    for i in (1..items.len()).rev() {
+        let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+        items.swap(i, j);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // Law 1: every pair in exactly one tile, every tile in exactly one
+    // shard, for arbitrary (n, tile, shards).
+    #[test]
+    fn tile_plan_partitions_the_upper_triangle_exactly_once(
+        n in 0usize..64,
+        tile in 1usize..17,
+        shards in 1usize..9,
+    ) {
+        let plan = TilePlan::new(n, tile);
+        let ranges = plan.shard(shards);
+        prop_assert_eq!(ranges.len(), shards);
+        let mut covered_ids = 0usize;
+        let mut pairs = HashSet::new();
+        for range in &ranges {
+            for id in range.clone() {
+                covered_ids += 1;
+                let t = plan.tile_at(id).expect("shard ids lie in the plan");
+                let mut in_tile = 0usize;
+                for i in t.rows() {
+                    for j in t.cols() {
+                        if j > i {
+                            in_tile += 1;
+                            prop_assert!(
+                                pairs.insert((i, j)),
+                                "pair ({}, {}) covered twice", i, j
+                            );
+                        }
+                    }
+                }
+                prop_assert_eq!(in_tile, t.pair_count());
+            }
+        }
+        prop_assert_eq!(covered_ids, plan.tile_count(), "tile ids not covered exactly");
+        prop_assert_eq!(pairs.len(), n * n.saturating_sub(1) / 2, "pairs missing");
+    }
+
+    // Law 2: shard + execute + shuffled gather is bit-identical to the
+    // naive per-pair reference, for arbitrary store sizes, tile sides,
+    // shard counts, and arrival orders.
+    #[test]
+    fn shuffled_gather_is_bit_identical_to_the_reference(
+        n in 2usize..24,
+        tile in 1usize..9,
+        shards in 1usize..6,
+        order_seed in 0u64..1_000_000,
+    ) {
+        let releases = &release_pool()[..n];
+        let sketches: Vec<NoisySketch> =
+            releases.iter().map(|r| r.sketch.clone()).collect();
+        let reference = pairwise_sq_distances_reference(&sketches).expect("reference");
+
+        let mut engine = QueryEngine::new(SketchStore::adopting());
+        for r in releases {
+            engine.ingest(r).expect("ingest");
+        }
+        let plan = TilePlan::new(n, tile);
+
+        // Execute shard by shard (as N workers would), pool the
+        // segments, then deliver them in a shuffled order.
+        let mut segments = Vec::new();
+        for range in plan.shard(shards) {
+            let ids: Vec<u64> = (range.start as u64..range.end as u64).collect();
+            segments.extend(
+                engine.execute_tiles(n, tile, &ids).expect("valid plan"),
+            );
+        }
+        shuffle(&mut segments, order_seed);
+
+        let mut gather = Gather::new(plan);
+        for segment in &segments {
+            gather.accept(segment).expect("plan segments fit");
+        }
+        let gathered = gather.finish().expect("complete");
+        prop_assert_eq!(gathered.n(), reference.n());
+        for (idx, (a, b)) in reference
+            .as_flat()
+            .iter()
+            .zip(gathered.as_flat())
+            .enumerate()
+        {
+            prop_assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "cell {} differs (n = {}, tile = {}, shards = {})",
+                idx, n, tile, shards
+            );
+        }
+    }
+}
+
+#[test]
+fn gather_reports_missing_tiles_per_shard() {
+    // Drop one whole shard's segments: finish() must name the loss.
+    let n = 12;
+    let releases = &release_pool()[..n];
+    let mut engine = QueryEngine::new(SketchStore::adopting());
+    for r in releases {
+        engine.ingest(r).expect("ingest");
+    }
+    let plan = TilePlan::new(n, 4);
+    let ranges = plan.shard(3);
+    let mut gather = Gather::new(plan);
+    for range in &ranges[..2] {
+        let ids: Vec<u64> = (range.start as u64..range.end as u64).collect();
+        for segment in engine.execute_tiles(n, 4, &ids).expect("valid plan") {
+            gather.accept(&segment).expect("fits");
+        }
+    }
+    let expected_missing: Vec<u64> = (ranges[2].start as u64..ranges[2].end as u64).collect();
+    assert!(!expected_missing.is_empty(), "third shard must own tiles");
+    assert_eq!(gather.missing_ids(), expected_missing);
+    assert!(matches!(
+        gather.finish(),
+        Err(dp_euclid::engine::GatherError::Incomplete { .. })
+    ));
+}

@@ -50,6 +50,17 @@ fn all_requests() -> Vec<Request> {
         Request::Knn { party: 7, k: 5 },
         Request::TopPairs { t: 3 },
         Request::Shutdown,
+        Request::PlanPairwise { tile: 64 },
+        Request::ExecuteTiles {
+            rows: 17,
+            tile: 5,
+            tile_ids: vec![9, 0, 3],
+        },
+        Request::ExecuteTiles {
+            rows: 0,
+            tile: 1,
+            tile_ids: vec![],
+        },
     ]
 }
 
@@ -83,6 +94,31 @@ fn all_responses() -> Vec<Response> {
             message: "party 9 übersehen".to_string(),
         },
         Response::Bye,
+        Response::Plan {
+            rows: 17,
+            tile: 5,
+            tile_count: 10,
+            pair_count: 136,
+        },
+        Response::TileResult {
+            rows: 17,
+            tile: 5,
+            segments: vec![
+                dp_euclid::core::TileSegment {
+                    tile_id: 3,
+                    values: vec![-0.75, 2.5],
+                },
+                dp_euclid::core::TileSegment {
+                    tile_id: 0,
+                    values: vec![],
+                },
+            ],
+        },
+        Response::TileResult {
+            rows: 0,
+            tile: 1,
+            segments: vec![],
+        },
     ]
 }
 
