@@ -28,19 +28,87 @@ use dp_core::release::Release;
 use dp_core::sketcher::{Construction, PrivateSketcher, SketcherSpec};
 use dp_engine::{QueryEngine, SketchStore};
 use dp_hashing::Seed;
-use dp_server::{Client, Endpoint, Server};
+use dp_server::{Client, Endpoint, Server, WorkerEntry};
 use std::path::PathBuf;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 struct Measurement {
     shards: usize,
     ns_per_pair_local: f64,
+    /// The cold sharded query: plan, fan-out, gather, one response.
     ns_per_pair_sharded: f64,
+    /// A repeated query on the unchanged store (the gathered-matrix
+    /// memo answers; no worker I/O).
+    ns_per_pair_warm: f64,
     sharded_over_local: f64,
+}
+
+struct GrowthMeasurement {
+    rows_before: usize,
+    rows_after: usize,
+    frontier_tiles: u64,
+    plan_tiles: u64,
+    ns_per_pair_incremental: f64,
+    ns_per_pair_full: f64,
+    incremental_over_full: f64,
 }
 
 fn scratch_socket(tag: &str) -> PathBuf {
     std::env::temp_dir().join(format!("dp-bench-shard-{tag}-{}.sock", std::process::id()))
+}
+
+/// Spin up `shards` workers plus a coordinator, run `body` against the
+/// coordinator endpoint, wind everything down.
+fn with_coordinator<T>(
+    tag: &str,
+    shards: usize,
+    shard_tile: usize,
+    body: impl FnOnce(&mut Client, &Server) -> T,
+) -> T {
+    let workers: Vec<(Server, Endpoint, PathBuf)> = (0..shards)
+        .map(|w| {
+            let socket = scratch_socket(&format!("{tag}-w{w}"));
+            let endpoint = Endpoint::Unix(socket.clone());
+            let server = Server::bind(endpoint.clone(), QueryEngine::new(SketchStore::adopting()))
+                .expect("bind worker");
+            (server, endpoint, socket)
+        })
+        .collect();
+    let coord_socket = scratch_socket(&format!("{tag}-coord"));
+    let coord_endpoint = Endpoint::Unix(coord_socket.clone());
+    let timeout = Duration::from_secs(120);
+    let pool: Vec<WorkerEntry> = workers
+        .iter()
+        .map(|(_, endpoint, _)| {
+            let client = Client::connect(endpoint).expect("connect worker");
+            client.set_read_timeout(Some(timeout)).expect("timeout");
+            WorkerEntry::reconnectable(client, endpoint.clone(), Some(timeout))
+        })
+        .collect();
+    let coordinator = Server::bind_coordinator(
+        coord_endpoint.clone(),
+        QueryEngine::new(SketchStore::adopting()),
+        pool,
+        shard_tile,
+    )
+    .expect("bind coordinator");
+
+    let out = std::thread::scope(|scope| {
+        for (worker, _, _) in &workers {
+            scope.spawn(|| worker.serve(1));
+        }
+        let hc = scope.spawn(|| coordinator.serve(1));
+        let mut client = Client::connect(&coord_endpoint).expect("connect coordinator");
+        let out = body(&mut client, &coordinator);
+        client.shutdown().expect("shutdown");
+        hc.join().expect("coordinator joined");
+        out
+    });
+    for (_, _, socket) in &workers {
+        let _ = std::fs::remove_file(socket);
+    }
+    let _ = std::fs::remove_file(&coord_socket);
+    out
 }
 
 fn main() {
@@ -54,6 +122,7 @@ fn main() {
 
     let d = 256;
     let rows = if quick { 48 } else { 96 };
+    let grow = if quick { 8 } else { 16 };
     let shard_tile = 8;
     let config = SketchConfig::builder()
         .input_dim(d)
@@ -65,10 +134,10 @@ fn main() {
     let spec = SketcherSpec::new(Construction::SjltAuto, config, Seed::new(17));
     let sketcher = spec.build().expect("sketcher");
     let k = sketcher.k();
-    let data: Vec<Vec<f64>> = (0..rows)
+    let data: Vec<Vec<f64>> = (0..rows + grow)
         .map(|r| gaussian_vec(d, Seed::new(3000 + r as u64)))
         .collect();
-    let releases: Vec<Release> = sketcher
+    let all_releases: Vec<Release> = sketcher
         .sketch_batch(&data, Seed::new(77))
         .expect("batch")
         .into_iter()
@@ -78,13 +147,14 @@ fn main() {
             sketch,
         })
         .collect();
+    let releases = &all_releases[..rows];
     let pairs = rows * (rows - 1) / 2;
     println!("== bench_shard: coordinator-sharded vs local all-pairs ==");
     println!("d = {d}, k = {k}, rows = {rows} ({pairs} pairs), shard tile = {shard_tile}");
 
     // Local reference + baseline timing (fresh tiled kernel per call).
     let mut local_engine = QueryEngine::new(SketchStore::with_spec(spec.clone()).expect("store"));
-    for r in &releases {
+    for r in releases {
         local_engine.ingest(r).expect("ingest");
     }
     let all_ids: Vec<u64> = local_engine.store().party_ids().to_vec();
@@ -97,84 +167,118 @@ fn main() {
     let mut measurements = Vec::new();
     let mut all_identical = true;
     for shards in [1usize, 2, 4] {
-        // One worker server per shard, plus the coordinator.
-        let workers: Vec<(Server, Endpoint, PathBuf)> = (0..shards)
-            .map(|w| {
-                let socket = scratch_socket(&format!("w{shards}-{w}"));
-                let endpoint = Endpoint::Unix(socket.clone());
-                let server =
-                    Server::bind(endpoint.clone(), QueryEngine::new(SketchStore::adopting()))
-                        .expect("bind worker");
-                (server, endpoint, socket)
-            })
-            .collect();
-        let coord_socket = scratch_socket(&format!("coord{shards}"));
-        let coord_endpoint = Endpoint::Unix(coord_socket.clone());
-        let pool: Vec<Client> = workers
-            .iter()
-            .map(|(_, endpoint, _)| {
-                let client = Client::connect(endpoint).expect("connect worker");
-                client
-                    .set_read_timeout(Some(Duration::from_secs(120)))
-                    .expect("timeout");
-                client
-            })
-            .collect();
-        let coordinator = Server::bind_coordinator(
-            coord_endpoint.clone(),
-            QueryEngine::new(SketchStore::adopting()),
-            pool,
-            shard_tile,
-        )
-        .expect("bind coordinator");
-
-        let (ns_sharded, identical) = std::thread::scope(|scope| {
-            for (worker, _, _) in &workers {
-                scope.spawn(|| worker.serve(1));
-            }
-            let hc = scope.spawn(|| coordinator.serve(1));
-
-            let mut client = Client::connect(&coord_endpoint).expect("connect coordinator");
-            client.hello(&spec).expect("hello");
-            for r in &releases {
-                client.ingest(r).expect("ingest");
-            }
-            // Verify before timing: the sharded matrix must be
-            // bit-identical to the local engine's.
-            let (_, values) = client.pairwise(&[]).expect("sharded pairwise");
-            let mut identical = values.len() == local_matrix.as_flat().len();
-            for (a, b) in values.iter().zip(local_matrix.as_flat()) {
-                identical &= a.to_bits() == b.to_bits();
-            }
-            let ns = time_per_op(iters, || {
-                std::hint::black_box(client.pairwise(&[]).expect("sharded pairwise"));
-            }) / pairs as f64;
-            client.shutdown().expect("shutdown");
-            hc.join().expect("coordinator joined");
-            (ns, identical)
-        });
-        for (_, _, socket) in &workers {
-            let _ = std::fs::remove_file(socket);
-        }
-        let _ = std::fs::remove_file(&coord_socket);
+        let (ns_sharded, ns_warm, identical) =
+            with_coordinator(&format!("s{shards}"), shards, shard_tile, |client, _| {
+                client.hello(&spec).expect("hello");
+                for r in releases {
+                    client.ingest(r).expect("ingest");
+                }
+                // The cold query (plan → fan-out → gather) is what a
+                // growing deployment pays; it also verifies
+                // bit-identity against the local engine before any
+                // timing is trusted.
+                let started = Instant::now();
+                let (_, values) = client.pairwise(&[]).expect("sharded pairwise");
+                let ns_cold = started.elapsed().as_nanos() as f64 / pairs as f64;
+                let mut identical = values.len() == local_matrix.as_flat().len();
+                for (a, b) in values.iter().zip(local_matrix.as_flat()) {
+                    identical &= a.to_bits() == b.to_bits();
+                }
+                // Repeats answer from the gathered-matrix memo.
+                let ns_warm = time_per_op(iters, || {
+                    std::hint::black_box(client.pairwise(&[]).expect("warm pairwise"));
+                }) / pairs as f64;
+                (ns_cold, ns_warm, identical)
+            });
 
         all_identical &= identical;
         println!(
-            "shards = {shards}  local {ns_local:8.1} ns/pair  sharded {ns_sharded:8.1} ns/pair \
-             ({:5.2}x local, bit-identical: {identical})",
+            "shards = {shards}  local {ns_local:8.1} ns/pair  sharded cold {ns_sharded:8.1} \
+             ns/pair ({:5.2}x local)  warm {ns_warm:8.1} ns/pair  bit-identical: {identical}",
             ns_sharded / ns_local,
         );
         measurements.push(Measurement {
             shards,
             ns_per_pair_local: ns_local,
             ns_per_pair_sharded: ns_sharded,
+            ns_per_pair_warm: ns_warm,
             sharded_over_local: ns_sharded / ns_local,
         });
     }
 
+    // Growth scenario: ingest-then-requery. The incremental path seeds
+    // the coordinator's gather from the cached matrix and re-executes
+    // only the frontier tiles; "full" is a cold coordinator computing
+    // the same final matrix from scratch. Both verified bit-identical
+    // to a local engine over all rows before timing.
+    let rows_after = rows + grow;
+    let pairs_after = rows_after * (rows_after - 1) / 2;
+    let mut grown_engine = QueryEngine::new(SketchStore::with_spec(spec.clone()).expect("store"));
+    for r in &all_releases {
+        grown_engine.ingest(r).expect("ingest");
+    }
+    let grown_matrix = grown_engine.pairwise_all();
+    let verify = |values: &[f64]| {
+        let mut identical = values.len() == grown_matrix.as_flat().len();
+        for (a, b) in values.iter().zip(grown_matrix.as_flat()) {
+            identical &= a.to_bits() == b.to_bits();
+        }
+        identical
+    };
+
+    let (ns_inc, frontier_tiles, inc_identical) =
+        with_coordinator("g-inc", 2, shard_tile, |client, coordinator| {
+            client.hello(&spec).expect("hello");
+            for r in releases {
+                client.ingest(r).expect("ingest");
+            }
+            // Prime the gather cache at the pre-growth row count.
+            client.pairwise(&[]).expect("prime");
+            for r in &all_releases[rows..] {
+                client.ingest(r).expect("ingest growth");
+            }
+            let started = Instant::now();
+            let (_, values) = client.pairwise(&[]).expect("incremental requery");
+            let ns = started.elapsed().as_nanos() as f64 / pairs_after as f64;
+            let stats = coordinator.coordinator_stats().expect("coordinator");
+            (ns, stats.last_query_tiles, verify(&values))
+        });
+    let (ns_full, plan_tiles, full_identical) =
+        with_coordinator("g-full", 2, shard_tile, |client, coordinator| {
+            client.hello(&spec).expect("hello");
+            for r in &all_releases {
+                client.ingest(r).expect("ingest");
+            }
+            let started = Instant::now();
+            let (_, values) = client.pairwise(&[]).expect("cold full query");
+            let ns = started.elapsed().as_nanos() as f64 / pairs_after as f64;
+            let stats = coordinator.coordinator_stats().expect("coordinator");
+            (ns, stats.last_query_tiles, verify(&values))
+        });
+    all_identical &= inc_identical && full_identical;
+    let growth = GrowthMeasurement {
+        rows_before: rows,
+        rows_after,
+        frontier_tiles,
+        plan_tiles,
+        ns_per_pair_incremental: ns_inc,
+        ns_per_pair_full: ns_full,
+        incremental_over_full: ns_inc / ns_full,
+    };
+    println!(
+        "growth +{grow} rows: incremental {ns_inc:8.1} ns/pair ({frontier_tiles} frontier tiles) \
+         vs full {ns_full:8.1} ns/pair ({plan_tiles} tiles) — {:.2}x",
+        growth.incremental_over_full
+    );
+
     println!(
         "CHECK [{}] every sharded matrix bit-identical to the local kernel",
         if all_identical { "PASS" } else { "FAIL" }
+    );
+    let growth_wins = growth.incremental_over_full < 1.0;
+    println!(
+        "CHECK [{}] incremental growth beats full re-execution on ns/pair",
+        if growth_wins { "PASS" } else { "FAIL" }
     );
     println!(
         "NOTE single-host record: shards share one CPU here, so ns/pair measures \
@@ -197,6 +301,36 @@ fn main() {
         ("shard_tile".to_string(), JsonValue::UInt(shard_tile as u64)),
         ("bit_identical".to_string(), JsonValue::Bool(all_identical)),
         (
+            "growth".to_string(),
+            JsonValue::Object(vec![
+                (
+                    "rows_before".to_string(),
+                    JsonValue::UInt(growth.rows_before as u64),
+                ),
+                (
+                    "rows_after".to_string(),
+                    JsonValue::UInt(growth.rows_after as u64),
+                ),
+                (
+                    "frontier_tiles".to_string(),
+                    JsonValue::UInt(growth.frontier_tiles),
+                ),
+                ("plan_tiles".to_string(), JsonValue::UInt(growth.plan_tiles)),
+                (
+                    "ns_per_pair_incremental".to_string(),
+                    JsonValue::Number(growth.ns_per_pair_incremental),
+                ),
+                (
+                    "ns_per_pair_full".to_string(),
+                    JsonValue::Number(growth.ns_per_pair_full),
+                ),
+                (
+                    "incremental_over_full".to_string(),
+                    JsonValue::Number(growth.incremental_over_full),
+                ),
+            ]),
+        ),
+        (
             "measurements".to_string(),
             JsonValue::Array(
                 measurements
@@ -211,6 +345,10 @@ fn main() {
                             (
                                 "ns_per_pair_sharded".to_string(),
                                 JsonValue::Number(m.ns_per_pair_sharded),
+                            ),
+                            (
+                                "ns_per_pair_warm".to_string(),
+                                JsonValue::Number(m.ns_per_pair_warm),
                             ),
                             (
                                 "sharded_over_local".to_string(),

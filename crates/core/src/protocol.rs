@@ -1,11 +1,13 @@
-//! Wire codec v3: the request/response protocol of the sketch service.
+//! Wire codec v4: the request/response protocol of the sketch service.
 //!
 //! Versions 1–2 of the wire codec defined *payload* frames — sketches
 //! (`DPNS`, [`crate::wire`]) and releases (`DPRL`, [`crate::release`]).
-//! Version 3 adds the *conversation* layer on top: typed, length-prefixed
-//! request and response frames that a `dp-server` speaks over a TCP or
-//! unix-socket byte stream and that a `SketchStore` answers. Sketch and
-//! release payloads stay at v2 and travel embedded inside v3 frames.
+//! Version 3 added the *conversation* layer on top: typed,
+//! length-prefixed request and response frames that a `dp-server`
+//! speaks over a TCP or unix-socket byte stream and that a
+//! `SketchStore` answers. Version 4 adds capability negotiation on
+//! `Hello` and the streamed tile-result mode. Sketch and release
+//! payloads stay at v2 and travel embedded inside v4 frames.
 //!
 //! ## Frame grammar
 //!
@@ -20,7 +22,7 @@
 //!
 //! ```text
 //! magic    4 bytes  b"DPRQ" (request) | b"DPRS" (response)
-//! version  1 byte   currently 3
+//! version  1 byte   currently 4
 //! kind     1 byte   frame discriminant (see below)
 //! body     …        kind-specific fields
 //! checksum 8 bytes  u64 LE, FNV-1a-64 over every preceding payload byte
@@ -37,7 +39,7 @@
 //! ```text
 //! request            kind  body
 //! ─────────────────  ────  ──────────────────────────────────────────
-//! Hello                1   spec JSON (string) — spec negotiation
+//! Hello                1   spec JSON (string), caps (u32 bitfield)
 //! Ingest               2   one DPRL release frame (bytes)
 //! Pairwise             3   party-id list (empty = all ingested rows)
 //! Knn                  4   party id (u64), k (u32)
@@ -45,10 +47,15 @@
 //! Shutdown             6   —
 //! PlanPairwise         7   tile side (u32)
 //! ExecuteTiles         8   rows (u64), tile (u32), tile-id list
+//! ExecuteTilesStream   9   rows (u64), tile (u32), tile-id list —
+//!                          answered with a *stream* of TileResultPart
+//!                          frames, one per tile, closed by one
+//!                          TileResultSummary
 //!
 //! response           kind  body
 //! ─────────────────  ────  ──────────────────────────────────────────
-//! Hello                1   k (u32), rows (u64), transform tag (string)
+//! Hello                1   k (u32), rows (u64), transform tag
+//!                          (string), caps (u32 bitfield)
 //! Ingested             2   row index (u64), rows (u64)
 //! Pairwise             3   party-id list, row-major n×n estimates
 //! Knn                  4   (party id, estimate) pairs, ascending
@@ -59,14 +66,24 @@
 //!                          pair count (u64)
 //! TileResult           9   rows (u64), tile (u32), segments: per tile
 //!                          its id (u64) + pair-estimate list
+//! TileResultPart      10   rows (u64), tile (u32), ONE segment
+//! TileResultSummary   11   rows (u64), tile (u32), part count (u64),
+//!                          stream checksum (u64, see below)
 //! ```
 //!
-//! A server answers every request with exactly one response; `Error`
+//! A server answers every request with exactly one response — except
+//! `ExecuteTilesStream`, which is answered with zero or more
+//! `TileResultPart` frames followed by exactly one `TileResultSummary`
+//! (or a single `Error` frame, which terminates the stream). `Error`
 //! never closes the connection (the client may retry), `Bye` always
 //! does. The first request on a fresh store SHOULD be `Hello` carrying
 //! the shared [`crate::sketcher::SketcherSpec`]; a `Hello` against a
 //! store that already holds a different spec is answered with
-//! `Error(ERR_SPEC_MISMATCH)` — that is the whole negotiation.
+//! `Error(ERR_SPEC_MISMATCH)` — that is the whole negotiation. The
+//! `caps` bitfields on both `Hello` directions advertise optional
+//! protocol features (today just [`CAP_TILE_STREAM`]); a peer must not
+//! send `ExecuteTilesStream` to a server whose `Hello` did not
+//! advertise the capability.
 //!
 //! ## Sharded pairwise
 //!
@@ -82,20 +99,41 @@
 //! plan whose row count differs from its store
 //! (`Error(ERR_PLAN)`) — the guard that catches a worker that missed an
 //! ingest broadcast.
+//!
+//! ## Streamed tile results
+//!
+//! A `TileResult` for a big shard of a millions-of-sketches matrix
+//! would materialize one giant frame (and trip [`MAX_FRAME_LEN`]).
+//! `ExecuteTilesStream` instead returns one `TileResultPart` frame per
+//! requested tile — each a complete, checksummed payload of its own —
+//! terminated by a `TileResultSummary` carrying the part **count** and
+//! a running **FNV-1a-64 over the stream** (each part's tile id as 8 LE
+//! bytes, then each estimate as 8 LE bytes, folded in transmission
+//! order — see [`tile_stream_checksum`]). The per-frame trailers catch
+//! corruption inside a part; the summary digest catches a lost,
+//! duplicated, or reordered part, so a gather fed from the stream is
+//! exactly as trustworthy as one fed from a monolithic `TileResult`.
 
 use crate::error::CoreError;
-use crate::wire::{fnv1a64, CHECKSUM_LEN};
+use crate::wire::{fnv1a64, fnv1a64_update, CHECKSUM_LEN};
 use dp_parallel::TileSegment;
 use std::io::{self, Read, Write};
 
-/// Magic prefix of a v3 request payload.
+/// Magic prefix of a protocol request payload.
 pub const REQUEST_MAGIC: [u8; 4] = *b"DPRQ";
 
-/// Magic prefix of a v3 response payload.
+/// Magic prefix of a protocol response payload.
 pub const RESPONSE_MAGIC: [u8; 4] = *b"DPRS";
 
-/// The protocol layer's codec version.
-pub const PROTOCOL_VERSION: u8 = 3;
+/// The protocol layer's codec version. Version 4 added the `caps`
+/// bitfields on both `Hello` directions and the streamed tile-result
+/// frames (`ExecuteTilesStream` / `TileResultPart` /
+/// `TileResultSummary`).
+pub const PROTOCOL_VERSION: u8 = 4;
+
+/// Capability bit: the peer speaks the streamed tile-result mode
+/// (`ExecuteTilesStream` → `TileResultPart`* + `TileResultSummary`).
+pub const CAP_TILE_STREAM: u32 = 1;
 
 /// Upper bound on a single frame payload (64 MiB): a hostile or garbled
 /// length prefix must not be able to demand an unbounded allocation.
@@ -125,11 +163,14 @@ pub const ERR_WORKER: u16 = 9;
 /// A client-to-server frame.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
-    /// Spec negotiation: propose the shared `SketcherSpec` (JSON form).
+    /// Spec negotiation: propose the shared `SketcherSpec` (JSON form)
+    /// and advertise the client's optional capabilities.
     Hello {
         /// The spec's JSON serialization
         /// ([`crate::sketcher::SketcherSpec::to_json`]).
         spec_json: String,
+        /// The client's capability bitfield (`CAP_*`).
+        caps: u32,
     },
     /// Ingest one release, as its self-contained `DPRL` binary frame.
     Ingest {
@@ -172,12 +213,26 @@ pub enum Request {
         /// Stable tile ids to execute, in the requested order.
         tile_ids: Vec<u64>,
     },
+    /// Like [`Request::ExecuteTiles`], but answered with one
+    /// [`Response::TileResultPart`] frame per tile followed by a
+    /// [`Response::TileResultSummary`] — no monolithic result frame
+    /// ever materializes. Only valid against a server whose `Hello`
+    /// advertised [`CAP_TILE_STREAM`].
+    ExecuteTilesStream {
+        /// The plan's matrix side — must equal the store's row count.
+        rows: u64,
+        /// The plan's tile side.
+        tile: u32,
+        /// Stable tile ids to execute, in the requested order.
+        tile_ids: Vec<u64>,
+    },
 }
 
 /// A server-to-client frame.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
-    /// Spec accepted (or already in effect): the store's geometry.
+    /// Spec accepted (or already in effect): the store's geometry and
+    /// the server's optional capabilities.
     Hello {
         /// Sketch dimension every release must carry.
         k: u32,
@@ -185,6 +240,8 @@ pub enum Response {
         rows: u64,
         /// The transform identity tag releases must carry.
         tag: String,
+        /// The server's capability bitfield (`CAP_*`).
+        caps: u32,
     },
     /// A release was ingested.
     Ingested {
@@ -239,6 +296,43 @@ pub enum Response {
         /// One segment per requested tile, in request order.
         segments: Vec<TileSegment>,
     },
+    /// One tile of a streamed [`Request::ExecuteTilesStream`] answer.
+    TileResultPart {
+        /// Echo of the executed plan's matrix side.
+        rows: u64,
+        /// Echo of the executed plan's tile side.
+        tile: u32,
+        /// The executed tile's segment.
+        segment: TileSegment,
+    },
+    /// Terminates a streamed tile-result answer: how many parts were
+    /// sent and the running FNV-1a-64 over them (see
+    /// [`tile_stream_checksum`]) — the guard against lost, duplicated,
+    /// or reordered parts.
+    TileResultSummary {
+        /// Echo of the executed plan's matrix side.
+        rows: u64,
+        /// Echo of the executed plan's tile side.
+        tile: u32,
+        /// Number of `TileResultPart` frames that preceded this one.
+        count: u64,
+        /// FNV-1a-64 folded over every part in transmission order.
+        checksum: u64,
+    },
+}
+
+/// Fold one streamed tile segment into the running stream digest: the
+/// tile id as 8 LE bytes, then each estimate as 8 LE bytes — applied
+/// part by part in transmission order, starting from
+/// [`FNV1A64_INIT`](crate::wire::FNV1A64_INIT). Sender and receiver
+/// compute it independently; the summary frame carries the sender's.
+#[must_use]
+pub fn tile_stream_checksum(h: u64, segment: &TileSegment) -> u64 {
+    let mut h = fnv1a64_update(h, &segment.tile_id.to_le_bytes());
+    for &v in &segment.values {
+        h = fnv1a64_update(h, &v.to_le_bytes());
+    }
+    h
 }
 
 // ---------------------------------------------------------------------
@@ -293,9 +387,10 @@ fn header(magic: [u8; 4], kind: u8) -> Vec<u8> {
 pub fn encode_request(req: &Request) -> Result<Vec<u8>, CoreError> {
     let mut out;
     match req {
-        Request::Hello { spec_json } => {
+        Request::Hello { spec_json, caps } => {
             out = header(REQUEST_MAGIC, 1);
             put_bytes(&mut out, spec_json.as_bytes())?;
+            out.extend_from_slice(&caps.to_le_bytes());
         }
         Request::Ingest { release_frame } => {
             out = header(REQUEST_MAGIC, 2);
@@ -337,6 +432,19 @@ pub fn encode_request(req: &Request) -> Result<Vec<u8>, CoreError> {
                 out.extend_from_slice(&id.to_le_bytes());
             }
         }
+        Request::ExecuteTilesStream {
+            rows,
+            tile,
+            tile_ids,
+        } => {
+            out = header(REQUEST_MAGIC, 9);
+            out.extend_from_slice(&rows.to_le_bytes());
+            out.extend_from_slice(&tile.to_le_bytes());
+            put_count(&mut out, tile_ids.len())?;
+            for id in tile_ids {
+                out.extend_from_slice(&id.to_le_bytes());
+            }
+        }
     }
     Ok(seal(out))
 }
@@ -350,11 +458,12 @@ pub fn encode_request(req: &Request) -> Result<Vec<u8>, CoreError> {
 pub fn encode_response(resp: &Response) -> Result<Vec<u8>, CoreError> {
     let mut out;
     match resp {
-        Response::Hello { k, rows, tag } => {
+        Response::Hello { k, rows, tag, caps } => {
             out = header(RESPONSE_MAGIC, 1);
             out.extend_from_slice(&k.to_le_bytes());
             out.extend_from_slice(&rows.to_le_bytes());
             put_bytes(&mut out, tag.as_bytes())?;
+            out.extend_from_slice(&caps.to_le_bytes());
         }
         Response::Ingested { row, rows } => {
             out = header(RESPONSE_MAGIC, 2);
@@ -431,6 +540,32 @@ pub fn encode_response(resp: &Response) -> Result<Vec<u8>, CoreError> {
                     put_f64(&mut out, v)?;
                 }
             }
+        }
+        Response::TileResultPart {
+            rows,
+            tile,
+            segment,
+        } => {
+            out = header(RESPONSE_MAGIC, 10);
+            out.extend_from_slice(&rows.to_le_bytes());
+            out.extend_from_slice(&tile.to_le_bytes());
+            out.extend_from_slice(&segment.tile_id.to_le_bytes());
+            put_count(&mut out, segment.values.len())?;
+            for &v in &segment.values {
+                put_f64(&mut out, v)?;
+            }
+        }
+        Response::TileResultSummary {
+            rows,
+            tile,
+            count,
+            checksum,
+        } => {
+            out = header(RESPONSE_MAGIC, 11);
+            out.extend_from_slice(&rows.to_le_bytes());
+            out.extend_from_slice(&tile.to_le_bytes());
+            out.extend_from_slice(&count.to_le_bytes());
+            out.extend_from_slice(&checksum.to_le_bytes());
         }
     }
     Ok(seal(out))
@@ -559,6 +694,7 @@ pub fn decode_request(bytes: &[u8]) -> Result<Request, CoreError> {
     let req = match kind {
         1 => Request::Hello {
             spec_json: r.string()?,
+            caps: r.u32()?,
         },
         2 => Request::Ingest {
             release_frame: r.bytes_field()?.to_vec(),
@@ -578,7 +714,7 @@ pub fn decode_request(bytes: &[u8]) -> Result<Request, CoreError> {
         5 => Request::TopPairs { t: r.u32()? },
         6 => Request::Shutdown,
         7 => Request::PlanPairwise { tile: r.u32()? },
-        8 => {
+        8 | 9 => {
             let rows = r.u64()?;
             let tile = r.u32()?;
             let n = r.count(8)?;
@@ -586,10 +722,18 @@ pub fn decode_request(bytes: &[u8]) -> Result<Request, CoreError> {
             for _ in 0..n {
                 tile_ids.push(r.u64()?);
             }
-            Request::ExecuteTiles {
-                rows,
-                tile,
-                tile_ids,
+            if kind == 8 {
+                Request::ExecuteTiles {
+                    rows,
+                    tile,
+                    tile_ids,
+                }
+            } else {
+                Request::ExecuteTilesStream {
+                    rows,
+                    tile,
+                    tile_ids,
+                }
             }
         }
         other => {
@@ -611,6 +755,7 @@ pub fn decode_response(bytes: &[u8]) -> Result<Response, CoreError> {
             k: r.u32()?,
             rows: r.u64()?,
             tag: r.string()?,
+            caps: r.u32()?,
         },
         2 => Response::Ingested {
             row: r.u64()?,
@@ -682,6 +827,27 @@ pub fn decode_response(bytes: &[u8]) -> Result<Response, CoreError> {
                 segments,
             }
         }
+        10 => {
+            let rows = r.u64()?;
+            let tile = r.u32()?;
+            let tile_id = r.u64()?;
+            let count = r.count(8)?;
+            let mut values = Vec::with_capacity(count);
+            for _ in 0..count {
+                values.push(r.f64()?);
+            }
+            Response::TileResultPart {
+                rows,
+                tile,
+                segment: TileSegment { tile_id, values },
+            }
+        }
+        11 => Response::TileResultSummary {
+            rows: r.u64()?,
+            tile: r.u32()?,
+            count: r.u64()?,
+            checksum: r.u64()?,
+        },
         other => {
             return Err(CoreError::Wire(format!("unknown response kind {other}")));
         }
@@ -748,11 +914,13 @@ pub fn read_frame<R: Read + ?Sized>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::wire::FNV1A64_INIT;
 
     fn sample_requests() -> Vec<Request> {
         vec![
             Request::Hello {
                 spec_json: "{\"construction\":\"sjlt-auto\"}".to_string(),
+                caps: CAP_TILE_STREAM,
             },
             Request::Ingest {
                 release_frame: vec![1, 2, 3, 4, 5],
@@ -775,6 +943,11 @@ mod tests {
                 tile: 1,
                 tile_ids: vec![],
             },
+            Request::ExecuteTilesStream {
+                rows: 9,
+                tile: 4,
+                tile_ids: vec![5, 0],
+            },
         ]
     }
 
@@ -784,6 +957,7 @@ mod tests {
                 k: 128,
                 rows: 2,
                 tag: "sjlt(k=128,seed=7)".to_string(),
+                caps: CAP_TILE_STREAM,
             },
             Response::Ingested { row: 1, rows: 2 },
             Response::Pairwise {
@@ -820,6 +994,20 @@ mod tests {
                         values: vec![],
                     },
                 ],
+            },
+            Response::TileResultPart {
+                rows: 9,
+                tile: 4,
+                segment: TileSegment {
+                    tile_id: 2,
+                    values: vec![0.25, -7.5],
+                },
+            },
+            Response::TileResultSummary {
+                rows: 9,
+                tile: 4,
+                count: 3,
+                checksum: 0xdead_beef_cafe_f00d,
             },
         ]
     }
@@ -918,13 +1106,51 @@ mod tests {
         bytes.extend_from_slice(&u32::MAX.to_le_bytes()); // hostile values
         let bytes = seal(bytes);
         assert!(matches!(decode_response(&bytes), Err(CoreError::Wire(_))));
-        // An execute-tiles request declaring a huge id list, likewise.
-        let mut bytes = header(REQUEST_MAGIC, 8);
+        // An execute-tiles request declaring a huge id list, likewise —
+        // in both the monolithic and the streamed request kinds.
+        for kind in [8u8, 9] {
+            let mut bytes = header(REQUEST_MAGIC, kind);
+            bytes.extend_from_slice(&9u64.to_le_bytes());
+            bytes.extend_from_slice(&4u32.to_le_bytes());
+            bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+            let bytes = seal(bytes);
+            assert!(
+                matches!(decode_request(&bytes), Err(CoreError::Wire(_))),
+                "kind {kind}"
+            );
+        }
+        // A streamed part declaring a huge value list, likewise.
+        let mut bytes = header(RESPONSE_MAGIC, 10);
         bytes.extend_from_slice(&9u64.to_le_bytes());
         bytes.extend_from_slice(&4u32.to_le_bytes());
+        bytes.extend_from_slice(&0u64.to_le_bytes()); // tile id
         bytes.extend_from_slice(&u32::MAX.to_le_bytes());
         let bytes = seal(bytes);
-        assert!(matches!(decode_request(&bytes), Err(CoreError::Wire(_))));
+        assert!(matches!(decode_response(&bytes), Err(CoreError::Wire(_))));
+    }
+
+    #[test]
+    fn tile_stream_checksum_is_order_and_content_sensitive() {
+        let a = TileSegment {
+            tile_id: 1,
+            values: vec![0.5, -2.0],
+        };
+        let b = TileSegment {
+            tile_id: 2,
+            values: vec![3.25],
+        };
+        let ab = tile_stream_checksum(tile_stream_checksum(FNV1A64_INIT, &a), &b);
+        let ba = tile_stream_checksum(tile_stream_checksum(FNV1A64_INIT, &b), &a);
+        assert_ne!(ab, ba, "reordered parts must change the digest");
+        let a_only = tile_stream_checksum(FNV1A64_INIT, &a);
+        assert_ne!(ab, a_only, "a dropped part must change the digest");
+        let mut mutated = a.clone();
+        mutated.values[0] = 0.75;
+        assert_ne!(
+            tile_stream_checksum(FNV1A64_INIT, &mutated),
+            a_only,
+            "a mutated estimate must change the digest"
+        );
     }
 
     #[test]

@@ -53,7 +53,19 @@ pub const CHECKSUM_LEN: usize = 8;
 /// 2⁶⁴ — prime).
 #[must_use]
 pub fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    fnv1a64_update(FNV1A64_INIT, bytes)
+}
+
+/// The FNV-1a-64 offset basis — the initial state for an incremental
+/// digest built with [`fnv1a64_update`].
+pub const FNV1A64_INIT: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Fold more bytes into a running FNV-1a-64 state. Feeding a byte
+/// string in any number of chunks yields the same digest as one
+/// [`fnv1a64`] call over the concatenation — the property the streamed
+/// tile-result summary frame relies on.
+#[must_use]
+pub fn fnv1a64_update(mut h: u64, bytes: &[u8]) -> u64 {
     for &b in bytes {
         h ^= u64::from(b);
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
@@ -326,6 +338,12 @@ mod tests {
         assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
         // Single-byte flip always changes the digest.
         assert_ne!(fnv1a64(b"abc"), fnv1a64(b"abd"));
+        // Incremental folding equals the one-shot digest for any split.
+        let data = b"streamed tile results";
+        for cut in 0..=data.len() {
+            let h = fnv1a64_update(fnv1a64_update(FNV1A64_INIT, &data[..cut]), &data[cut..]);
+            assert_eq!(h, fnv1a64(data), "cut at {cut}");
+        }
     }
 
     #[test]

@@ -27,7 +27,6 @@ use crate::store::SketchStore;
 use dp_core::release::Release;
 use dp_core::sketcher::{effective_plan, execute_tiles, pairwise_sq_distances_rows};
 use dp_core::{PairwiseDistances, Parallelism, TilePlan, TileSegment};
-use dp_parallel::par_map;
 use std::sync::Arc;
 
 /// A scored neighbor returned by [`QueryEngine::knn`].
@@ -281,6 +280,29 @@ impl QueryEngine {
         tile: usize,
         ids: &[u64],
     ) -> Result<Vec<TileSegment>, EngineError> {
+        let plan = self.validate_tiles(plan_rows, tile, ids)?;
+        Ok(execute_tiles(
+            &plan,
+            ids,
+            |i| self.store.row_values(i),
+            self.store.debias(),
+            &self.par,
+        ))
+    }
+
+    /// The validation half of [`QueryEngine::execute_tiles`], without
+    /// executing anything: check the plan against the store and every
+    /// id against the plan, returning the plan on success. A streaming
+    /// server validates once up front, then executes tile by tile.
+    ///
+    /// # Errors
+    /// As [`QueryEngine::execute_tiles`].
+    pub fn validate_tiles(
+        &self,
+        plan_rows: usize,
+        tile: usize,
+        ids: &[u64],
+    ) -> Result<TilePlan, EngineError> {
         let n = self.store.n();
         if plan_rows != n {
             return Err(EngineError::PlanMismatch {
@@ -293,71 +315,48 @@ impl QueryEngine {
         if let Some(&id) = ids.iter().find(|&&id| id >= tile_count) {
             return Err(EngineError::UnknownTile { id, tile_count });
         }
-        Ok(execute_tiles(
+        Ok(plan)
+    }
+
+    /// Grow the cached all-pairs matrix from `cached_rows` to `n` rows
+    /// through one pipeline: plan → execute → gather. Cold start
+    /// (`cached_rows == 0`) executes every tile; warm growth seeds the
+    /// gather from the previous matrix ([`Gather::seeded`]) and
+    /// executes only the tiles touching the new rows
+    /// ([`TilePlan::tiles_touching_rows`]) — the same frontier logic a
+    /// coordinator runs across sockets, so local and distributed growth
+    /// are literally one code path. Every tile runs the kernel's exact
+    /// per-pair expression, so the matrix is bit-identical to a
+    /// from-scratch computation for any growth step sequence.
+    fn extend_cache(&mut self, n: usize) {
+        let old = self.cached_rows;
+        let plan = effective_plan(n, &self.par);
+        let ids: Vec<u64> = if old == 0 {
+            (0..plan.tile_count() as u64).collect()
+        } else {
+            plan.tiles_touching_rows(old..n)
+                .into_iter()
+                .map(|id| id as u64)
+                .collect()
+        };
+        let segments = execute_tiles(
             &plan,
-            ids,
+            &ids,
             |i| self.store.row_values(i),
             self.store.debias(),
             &self.par,
-        ))
-    }
-
-    /// Grow the cached all-pairs matrix from `cached_rows` to `n` rows:
-    /// copy the old block, then compute only the new pairs. Cold start
-    /// (`cached_rows == 0`) runs the plan → execute → gather pipeline
-    /// in process (the same pipeline a coordinator runs across
-    /// sockets); warm growth computes one column per new row as a
-    /// data-parallel task. Both paths use the kernel's exact per-pair
-    /// expression, so the matrix is bit-identical to a from-scratch
-    /// computation.
-    fn extend_cache(&mut self, n: usize) {
-        let old = self.cached_rows;
-        if old == 0 {
-            let plan = effective_plan(n, &self.par);
-            let ids: Vec<u64> = (0..plan.tile_count() as u64).collect();
-            let segments = execute_tiles(
-                &plan,
-                &ids,
-                |i| self.store.row_values(i),
-                self.store.debias(),
-                &self.par,
-            );
-            let mut gather = Gather::new(plan);
-            for segment in &segments {
-                gather
-                    .accept(segment)
-                    .expect("locally executed segments always fit their plan");
-            }
-            self.cache = Arc::new(
-                gather
-                    .finish()
-                    .expect("every plan tile was executed locally"),
-            );
-            self.cached_rows = n;
-            return;
+        );
+        let mut gather = Gather::seeded(plan, old, self.cache.as_flat());
+        for segment in &segments {
+            gather
+                .accept(segment)
+                .expect("locally executed segments always fit their plan");
         }
-        let mut values = vec![0.0f64; n * n];
-        let cached = self.cache.as_flat();
-        for i in 0..old {
-            values[i * n..i * n + old].copy_from_slice(&cached[i * old..(i + 1) * old]);
-        }
-        // One task per new row j: estimates to every earlier row i < j,
-        // debiased with row i's constant — the kernel's (i, j), i < j
-        // expression, so growth order never changes a single bit.
-        let new_rows: Vec<usize> = (old..n).collect();
-        let columns = par_map(&new_rows, self.par.threads(), |_, &j| {
-            let b = self.store.row_values(j);
-            (0..j)
-                .map(|i| raw_sq_distance(self.store.row_values(i), b) - self.store.debias_at(i))
-                .collect::<Vec<f64>>()
-        });
-        for (&j, column) in new_rows.iter().zip(&columns) {
-            for (i, &est) in column.iter().enumerate() {
-                values[i * n + j] = est;
-                values[j * n + i] = est;
-            }
-        }
-        self.cache = Arc::new(PairwiseDistances::from_flat(n, values));
+        self.cache = Arc::new(
+            gather
+                .finish()
+                .expect("the frontier covers every missing tile"),
+        );
         self.cached_rows = n;
     }
 }

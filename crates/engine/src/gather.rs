@@ -111,6 +111,51 @@ impl Gather {
         }
     }
 
+    /// An **incremental** gather over a grown store: seed the matrix
+    /// with the previous `old_rows × old_rows` result and pre-place
+    /// every tile lying entirely inside the old rows — their pairs are
+    /// all in `old`, copied bit-for-bit. What remains missing is
+    /// exactly [`TilePlan::tiles_touching_rows`]`(old_rows..n)`: the
+    /// `O(new·n)` frontier a coordinator re-executes after ingesting
+    /// new rows, instead of the whole quadratic plan. A completed
+    /// seeded gather is bit-identical to a cold full gather because the
+    /// seed rows were produced by the same kernel.
+    ///
+    /// `old_rows == 0` degenerates to [`Gather::new`].
+    ///
+    /// # Panics
+    /// If `old.len() != old_rows²` or `old_rows > plan.n()` — the seed
+    /// must be the previous gathered matrix of the same store.
+    #[must_use]
+    pub fn seeded(plan: TilePlan, old_rows: usize, old: &[f64]) -> Self {
+        assert!(
+            old_rows <= plan.n(),
+            "seed of {old_rows} rows for a plan over {} rows",
+            plan.n()
+        );
+        assert_eq!(
+            old.len(),
+            old_rows * old_rows,
+            "seed matrix is not {old_rows}×{old_rows}"
+        );
+        let mut gather = Self::new(plan);
+        if old_rows == 0 {
+            return gather;
+        }
+        let n = plan.n();
+        for i in 0..old_rows {
+            gather.values[i * n..i * n + old_rows]
+                .copy_from_slice(&old[i * old_rows..(i + 1) * old_rows]);
+        }
+        for (id, t) in plan.tiles() {
+            if t.row_end <= old_rows && t.col_end <= old_rows {
+                gather.placed[id] = true;
+                gather.received += 1;
+            }
+        }
+        gather
+    }
+
     /// The governing plan.
     #[must_use]
     pub fn plan(&self) -> &TilePlan {
@@ -297,6 +342,68 @@ mod tests {
                 ..
             })
         ));
+    }
+
+    #[test]
+    fn seeded_gather_demands_exactly_the_frontier() {
+        let (old_n, n, k, tile) = (7usize, 11usize, 6usize, 3usize);
+        let data = rows(n, k);
+        let debias = vec![0.125; n];
+
+        // The "previous" matrix over the first old_n rows.
+        let old = dp_core::pairwise_sq_distances_rows(
+            old_n,
+            |i| data[i].as_slice(),
+            &debias[..old_n],
+            &Parallelism::sequential(),
+        );
+
+        let plan = TilePlan::new(n, tile);
+        let mut gather = Gather::seeded(plan, old_n, old.as_flat());
+        let frontier: Vec<u64> = plan
+            .tiles_touching_rows(old_n..n)
+            .into_iter()
+            .map(|id| id as u64)
+            .collect();
+        assert_eq!(gather.missing_ids(), frontier, "missing ≠ frontier");
+        assert!(frontier.len() < plan.tile_count(), "seeding placed nothing");
+
+        // Executing only the frontier completes the gather…
+        let segments = execute_tiles(
+            &plan,
+            &frontier,
+            |i| data[i].as_slice(),
+            &debias,
+            &Parallelism::sequential(),
+        );
+        for s in &segments {
+            gather.accept(s).unwrap();
+        }
+        // …to a matrix bit-identical to a cold full computation.
+        let reference = dp_core::pairwise_sq_distances_rows(
+            n,
+            |i| data[i].as_slice(),
+            &debias,
+            &Parallelism::sequential(),
+        );
+        let got = gather.finish().unwrap();
+        for (a, b) in reference.as_flat().iter().zip(got.as_flat()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn seeded_from_zero_rows_is_a_cold_gather() {
+        let plan = TilePlan::new(6, 2);
+        let gather = Gather::seeded(plan, 0, &[]);
+        assert_eq!(gather.received(), 0);
+        assert_eq!(gather.missing_ids().len(), plan.tile_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "seed matrix is not")]
+    fn seeded_rejects_a_misshapen_seed() {
+        let _ = Gather::seeded(TilePlan::new(6, 2), 3, &[0.0; 4]);
     }
 
     #[test]

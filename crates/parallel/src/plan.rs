@@ -62,23 +62,62 @@ impl TilePlan {
     }
 
     /// Number of tiles in the plan (`b·(b+1)/2` for `b` blocks).
+    ///
+    /// Computed in 128-bit arithmetic and **saturated** at `usize::MAX`
+    /// for plans too large to enumerate — a wire-supplied hostile `n`
+    /// must never overflow into a small, wrong count. Use
+    /// [`TilePlan::checked_tile_count`] to detect saturation.
     #[must_use]
     pub fn tile_count(&self) -> usize {
-        let b = self.blocks_per_axis();
-        b * (b + 1) / 2
+        self.checked_tile_count().unwrap_or(usize::MAX)
+    }
+
+    /// [`TilePlan::tile_count`] as `None` when the count exceeds
+    /// `usize` — the reject-with-`ERR_PLAN` signal for oversized plans.
+    #[must_use]
+    pub fn checked_tile_count(&self) -> Option<usize> {
+        let b = self.blocks_per_axis() as u128;
+        usize::try_from(b * (b + 1) / 2).ok()
     }
 
     /// Total `(i, j)`, `i < j` pairs the plan covers.
+    ///
+    /// Computed in 128-bit arithmetic and **saturated** at `usize::MAX`
+    /// for adversarial `n` (`n·(n−1)/2` overflows `usize` long before
+    /// `n` does). Use [`TilePlan::checked_pair_count`] to detect
+    /// saturation.
     #[must_use]
     pub fn pair_count(&self) -> usize {
-        self.n * self.n.saturating_sub(1) / 2
+        self.checked_pair_count().unwrap_or(usize::MAX)
+    }
+
+    /// [`TilePlan::pair_count`] as `None` when the count exceeds
+    /// `usize` — the reject-with-`ERR_PLAN` signal for oversized plans.
+    #[must_use]
+    pub fn checked_pair_count(&self) -> Option<usize> {
+        let n = self.n as u128;
+        usize::try_from(n * n.saturating_sub(1) / 2).ok()
+    }
+
+    /// Whether every derived quantity (tile ids, pair counts, the `n²`
+    /// gather matrix) fits `usize` — false for hostile wire-supplied
+    /// plans, which callers reject with `ERR_PLAN` instead of executing.
+    #[must_use]
+    pub fn is_enumerable(&self) -> bool {
+        let n = self.n as u128;
+        self.checked_tile_count().is_some()
+            && self.checked_pair_count().is_some()
+            && usize::try_from(n * n).is_ok()
     }
 
     /// First tile id of block row `row_block` (ids are row-major over
     /// the upper-triangle blocks: block row `r` owns `b − r` tiles).
+    /// 128-bit internally: `row_block · b` overflows `usize` for
+    /// adversarial plans before any range guard sees the product.
     fn row_offset(&self, row_block: usize) -> usize {
-        let b = self.blocks_per_axis();
-        row_block * b - row_block * row_block.saturating_sub(1) / 2
+        let b = self.blocks_per_axis() as u128;
+        let r = row_block as u128;
+        usize::try_from(r * b - r * r.saturating_sub(1) / 2).unwrap_or(usize::MAX)
     }
 
     /// The `(row_block, col_block)` a tile id names, if in range.
@@ -189,6 +228,33 @@ impl TilePlan {
             ranges.push(tile_count..tile_count);
         }
         ranges
+    }
+
+    /// The ids of every tile whose row **or** column span intersects
+    /// `rows` — the exact re-execution frontier after rows
+    /// `rows.start..rows.end` were appended to a store whose first
+    /// `rows.start` rows already have a gathered matrix. The complement
+    /// (tiles entirely inside `0..rows.start`) holds only pairs already
+    /// present in the old matrix, so incremental growth re-executes
+    /// `O(new·n)` pairs (rounded up to tile granularity) instead of all
+    /// `n·(n−1)/2`.
+    ///
+    /// Ascending id order. An empty or out-of-range `rows` yields the
+    /// tiles it actually intersects (possibly none).
+    #[must_use]
+    pub fn tiles_touching_rows(&self, rows: Range<usize>) -> Vec<usize> {
+        let mut ids = Vec::new();
+        if rows.start >= rows.end || rows.start >= self.n {
+            return ids;
+        }
+        for (id, t) in self.tiles() {
+            let row_hit = t.row_start < rows.end && t.row_end > rows.start;
+            let col_hit = t.col_start < rows.end && t.col_end > rows.start;
+            if row_hit || col_hit {
+                ids.push(id);
+            }
+        }
+        ids
     }
 }
 
@@ -326,6 +392,84 @@ mod tests {
         assert!(ranges[1..].iter().all(std::ops::Range::is_empty));
     }
 
+    /// The frontier ids after growing from `old` to `n` rows, checked
+    /// pair-by-pair: frontier tiles hold every pair touching a new row,
+    /// and the complement holds only old×old pairs.
+    fn assert_frontier_exact(n: usize, tile: usize, old: usize) {
+        let plan = TilePlan::new(n, tile);
+        let frontier = plan.tiles_touching_rows(old..n);
+        let set: HashSet<usize> = frontier.iter().copied().collect();
+        assert_eq!(set.len(), frontier.len(), "frontier ids repeat");
+        assert!(
+            frontier.windows(2).all(|w| w[0] < w[1]),
+            "frontier not ascending"
+        );
+        for (id, t) in plan.tiles() {
+            for i in t.rows() {
+                for j in t.cols() {
+                    if j <= i {
+                        continue;
+                    }
+                    if j >= old {
+                        assert!(set.contains(&id), "new pair ({i},{j}) outside the frontier");
+                    }
+                }
+            }
+            if !set.contains(&id) {
+                assert!(
+                    t.row_end <= old && t.col_end <= old,
+                    "seeded tile {id} touches rows ≥ {old}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn frontier_covers_new_pairs_exactly() {
+        for n in [2usize, 5, 16, 17, 33] {
+            for tile in [1usize, 3, 8, 64] {
+                for old in 0..=n {
+                    assert_frontier_exact(n, tile, old);
+                }
+            }
+        }
+        // Degenerate ranges.
+        let plan = TilePlan::new(12, 4);
+        assert!(plan.tiles_touching_rows(5..5).is_empty());
+        assert!(plan.tiles_touching_rows(12..20).is_empty());
+        assert_eq!(
+            plan.tiles_touching_rows(0..12).len(),
+            plan.tile_count(),
+            "growing from nothing touches every tile"
+        );
+    }
+
+    #[test]
+    fn hostile_plan_sizes_saturate_instead_of_overflowing() {
+        // n·(n−1)/2 and row_block·b overflow usize for these; the plan
+        // must saturate and report non-enumerability, never wrap.
+        for (n, tile) in [
+            (usize::MAX, 1usize),
+            (usize::MAX, 64),
+            (1usize << 40, 1),
+            ((1usize << 33) + 3, 1),
+        ] {
+            let plan = TilePlan::new(n, tile);
+            assert_eq!(plan.pair_count(), usize::MAX, "n = {n}");
+            assert_eq!(plan.checked_pair_count(), None, "n = {n}");
+            assert!(!plan.is_enumerable(), "n = {n}");
+            // Derived id math must not panic either.
+            let _ = plan.tile_count();
+            let _ = plan.block_of(usize::MAX - 1);
+        }
+        // Boundary: the largest enumerable sides stay exact.
+        let fine = TilePlan::new(1 << 16, 64);
+        let n = 1usize << 16;
+        assert_eq!(fine.pair_count(), n * (n - 1) / 2);
+        assert_eq!(fine.checked_pair_count(), Some(n * (n - 1) / 2));
+        assert!(fine.is_enumerable());
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]
         #[test]
@@ -335,6 +479,11 @@ mod tests {
             shards in 1usize..9,
         ) {
             assert_shard_cover(n, tile, shards);
+        }
+
+        #[test]
+        fn any_frontier_is_exact(n in 2usize..40, tile in 1usize..10, old in 0usize..40) {
+            assert_frontier_exact(n, tile, old.min(n));
         }
 
         #[test]

@@ -1,0 +1,186 @@
+//! Multi-process chaos smoke: SIGKILL a worker, assert the coordinator
+//! survives, restart it, assert it resyncs.
+//!
+//! Drives real `dp-server` *processes* (path to the binary as the first
+//! argument) through the full fault-tolerance story:
+//!
+//! 1. two workers + a coordinator come up; releases are ingested and
+//!    the sharded all-pairs answer is **bit-identical** to a local
+//!    in-process engine;
+//! 2. worker 1 is SIGKILLed; the next `Pairwise([])` discovers the
+//!    death mid-query, re-dispatches the lost shard to the survivor,
+//!    and still answers bit-identically;
+//! 3. worker 1 is restarted (fresh, empty) on the same socket; after
+//!    one more ingest the next query revives it — reconnect, `Hello`
+//!    replay, catch-up from the coordinator's ingest journal — and the
+//!    restarted replica is asked directly to prove it now holds every
+//!    row. No process but the dead one was ever restarted.
+//!
+//! ```text
+//! cargo build --release -p dp-server
+//! cargo run --release -p dp-server --example chaos_smoke -- \
+//!     ./target/release/dp-server
+//! ```
+
+use dp_core::config::SketchConfig;
+use dp_core::release::Release;
+use dp_core::sketcher::{Construction, PrivateSketcher, SketcherSpec};
+use dp_engine::{QueryEngine, SketchStore};
+use dp_hashing::Seed;
+use dp_server::{Client, Endpoint};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command};
+use std::time::Duration;
+
+fn scratch_socket(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("dp-chaos-{tag}-{}.sock", std::process::id()))
+}
+
+fn spawn_worker(bin: &str, socket: &Path) -> Child {
+    // Two accept loops: one for the coordinator's pooled connection,
+    // one for this harness's direct verification probes.
+    Command::new(bin)
+        .args(["--listen", &format!("unix:{}", socket.display())])
+        .args(["--workers", "2"])
+        .spawn()
+        .expect("spawn worker dp-server")
+}
+
+fn connect_retry(endpoint: &Endpoint, what: &str) -> Client {
+    for attempt in 0..60 {
+        match Client::connect(endpoint) {
+            Ok(client) => return client,
+            Err(e) if attempt == 59 => panic!("connect to {what}: {e}"),
+            Err(_) => std::thread::sleep(Duration::from_millis(250)),
+        }
+    }
+    unreachable!()
+}
+
+fn assert_bits(got: &[f64], want: &[f64], what: &str) {
+    assert_eq!(got.len(), want.len(), "{what}: shape differs");
+    let mut identical = true;
+    for (a, b) in got.iter().zip(want) {
+        identical &= a.to_bits() == b.to_bits();
+    }
+    assert!(identical, "{what}: matrix differs from the local reference");
+}
+
+fn main() {
+    let bin = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "./target/release/dp-server".to_string());
+
+    let sock_w1 = scratch_socket("w1");
+    let sock_w2 = scratch_socket("w2");
+    let sock_coord = scratch_socket("coord");
+    for s in [&sock_w1, &sock_w2, &sock_coord] {
+        let _ = std::fs::remove_file(s);
+    }
+
+    let d = 160;
+    let config = SketchConfig::builder()
+        .input_dim(d)
+        .alpha(0.25)
+        .beta(0.05)
+        .epsilon(2.0)
+        .build()
+        .expect("config");
+    let spec = SketcherSpec::new(Construction::SjltAuto, config, Seed::new(4242));
+    let sketcher = spec.build().expect("sketcher");
+    let rows: Vec<Vec<f64>> = (0..17)
+        .map(|i| (0..d).map(|j| ((3 * i + j) % 13) as f64 - 6.0).collect())
+        .collect();
+    let releases: Vec<Release> = sketcher
+        .sketch_batch(&rows, Seed::new(99))
+        .expect("batch")
+        .into_iter()
+        .enumerate()
+        .map(|(i, sketch)| Release {
+            party_id: 700 + i as u64,
+            sketch,
+        })
+        .collect();
+    let (first, last) = releases.split_at(15);
+
+    // Local references at every store size the phases query.
+    let mut reference = QueryEngine::new(SketchStore::with_spec(spec.clone()).expect("store"));
+    for r in first {
+        reference.ingest(r).expect("ingest");
+    }
+    let local_15 = reference.pairwise_all().as_flat().to_vec();
+    reference.ingest(&last[0]).expect("ingest");
+    let local_16 = reference.pairwise_all().as_flat().to_vec();
+    reference.ingest(&last[1]).expect("ingest");
+    let local_17 = reference.pairwise_all().as_flat().to_vec();
+
+    // Phase 0: two worker processes + a coordinator process.
+    let mut w1 = spawn_worker(&bin, &sock_w1);
+    let mut w2 = spawn_worker(&bin, &sock_w2);
+    let mut coord = Command::new(&bin)
+        .args(["--listen", &format!("unix:{}", sock_coord.display())])
+        .args(["--worker", &format!("unix:{}", sock_w1.display())])
+        .args(["--worker", &format!("unix:{}", sock_w2.display())])
+        .args(["--workers", "1"])
+        .args(["--shard-tile", "4"])
+        .args(["--worker-timeout", "2"])
+        .spawn()
+        .expect("spawn coordinator dp-server");
+
+    let coord_endpoint = Endpoint::Unix(sock_coord.clone());
+    let mut client = connect_retry(&coord_endpoint, "coordinator");
+    client
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .expect("timeout");
+    let (_, rows_before, _) = client.hello(&spec).expect("hello");
+    assert_eq!(rows_before, 0, "coordinator store not fresh");
+    for r in first {
+        client.ingest(r).expect("ingest");
+    }
+    let (_, values) = client.pairwise(&[]).expect("healthy pairwise");
+    assert_bits(&values, &local_15, "healthy 2-worker query");
+    println!("chaos_smoke: healthy 15x15 sharded matrix bit-identical");
+
+    // Phase 1: SIGKILL worker 1, grow the store by one row (the ingest
+    // is journaled; the broadcast discovers the death and poisons the
+    // slot without failing the client), then query. The incremental
+    // frontier execution finds one worker gone mid-query, revival fails
+    // (nothing listens on its socket), and the lost shard is
+    // re-dispatched to the survivor. The answer must not change by one
+    // bit.
+    w1.kill().expect("SIGKILL worker 1");
+    w1.wait().expect("reap worker 1");
+    client.ingest(&last[0]).expect("ingest with a dead worker");
+    let (_, values) = client.pairwise(&[]).expect("re-dispatched pairwise");
+    assert_bits(&values, &local_16, "re-dispatched query after SIGKILL");
+    println!("chaos_smoke: re-dispatch answered 16x16 bit-identically with one worker dead");
+
+    // Phase 2: restart worker 1 (fresh, empty store, same socket) and
+    // wait until it listens; then one more ingest (the poisoned slot is
+    // skipped — the journal now holds 17 frames) and the query that
+    // revives it: reconnect, Hello replay, journal catch-up — no
+    // coordinator restart. Ask the restarted replica directly to prove
+    // it holds every row.
+    let _ = std::fs::remove_file(&sock_w1);
+    let mut w1b = spawn_worker(&bin, &sock_w1);
+    let probe = connect_retry(&Endpoint::Unix(sock_w1.clone()), "restarted worker 1");
+    drop(probe); // frees the accept slot for the coordinator's revival
+    client.ingest(&last[1]).expect("ingest before revival");
+    let (_, values) = client.pairwise(&[]).expect("pairwise after restart");
+    assert_bits(&values, &local_17, "query after restart + resync");
+    let mut direct = connect_retry(&Endpoint::Unix(sock_w1.clone()), "restarted worker 1");
+    let (rows, _, _, _) = direct.plan_pairwise(4).expect("plan on restarted worker");
+    assert_eq!(rows, 17, "restarted worker never resynced from the journal");
+    drop(direct);
+    println!("chaos_smoke: restarted worker resynced to 17 rows from the ingest journal");
+
+    client.shutdown().expect("shutdown");
+    let coord_status = coord.wait().expect("coordinator exit");
+    assert!(coord_status.success(), "coordinator exited uncleanly");
+    w2.wait().expect("worker 2 exit");
+    w1b.wait().expect("restarted worker 1 exit");
+    for s in [&sock_w1, &sock_w2, &sock_coord] {
+        let _ = std::fs::remove_file(s);
+    }
+    println!("chaos_smoke: PASS");
+}

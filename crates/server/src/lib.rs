@@ -21,12 +21,14 @@
 
 use dp_core::error::CoreError;
 use dp_core::protocol::{
-    decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
-    Request, Response, ERR_DUPLICATE_PARTY, ERR_INCOMPATIBLE, ERR_INTERNAL, ERR_MALFORMED,
-    ERR_PLAN, ERR_SPEC, ERR_SPEC_MISMATCH, ERR_UNKNOWN_PARTY, ERR_WORKER,
+    decode_request, decode_response, encode_request, encode_response, read_frame,
+    tile_stream_checksum, write_frame, Request, Response, CAP_TILE_STREAM, ERR_DUPLICATE_PARTY,
+    ERR_INCOMPATIBLE, ERR_INTERNAL, ERR_MALFORMED, ERR_PLAN, ERR_SPEC, ERR_SPEC_MISMATCH,
+    ERR_UNKNOWN_PARTY, ERR_WORKER,
 };
 use dp_core::release::Release;
 use dp_core::sketcher::SketcherSpec;
+use dp_core::wire::FNV1A64_INIT;
 use dp_core::{TilePlan, TileSegment};
 use dp_engine::{EngineError, Gather, QueryEngine, SketchStore};
 use dp_parallel::{par_map, scope_workers};
@@ -35,8 +37,8 @@ use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard};
 use std::time::Duration;
 
 /// Where a server listens / a client connects.
@@ -145,6 +147,33 @@ fn connect(endpoint: &Endpoint) -> io::Result<Conn> {
     }
 }
 
+/// [`connect`] with a bound on the TCP connect itself: a black-holed
+/// host (SYNs dropped, nothing answers) fails within `timeout` instead
+/// of the kernel's connect timeout (which can be minutes). Unix-socket
+/// connects are local and never block meaningfully; name resolution for
+/// TCP endpoints still runs unbounded before the timed connect.
+fn connect_with_timeout(endpoint: &Endpoint, timeout: Duration) -> io::Result<Conn> {
+    match endpoint {
+        Endpoint::Tcp(addr) => {
+            use std::net::ToSocketAddrs;
+            let mut last = None;
+            for resolved in addr.to_socket_addrs()? {
+                match TcpStream::connect_timeout(&resolved, timeout) {
+                    Ok(stream) => return Ok(Conn::Tcp(stream)),
+                    Err(e) => last = Some(e),
+                }
+            }
+            Err(last.unwrap_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("'{addr}' resolved to no addresses"),
+                )
+            }))
+        }
+        Endpoint::Unix(path) => UnixStream::connect(path).map(Conn::Unix),
+    }
+}
+
 /// Map an engine failure onto a protocol error frame.
 fn error_response(e: &EngineError) -> Response {
     let (code, message) = match e {
@@ -173,49 +202,263 @@ fn desynchronizes(e: &ClientError) -> bool {
     !matches!(e, ClientError::Remote { .. })
 }
 
-/// The coordinator role's worker pool: one connected [`Client`] per
-/// worker server, plus the tile side sharded plans use.
+/// One connected worker of the coordinator's pool, plus the
+/// capabilities its last `Hello` advertised.
+struct PooledWorker {
+    client: Client,
+    caps: u32,
+}
+
+/// One worker's pool slot: the live connection (or `None` after a
+/// poisoning failure) plus the identity needed to revive it.
+struct WorkerState {
+    slot: Mutex<Option<PooledWorker>>,
+    /// Where to reconnect after a failure; `None` disables revival for
+    /// this worker (the slot stays poisoned until coordinator restart).
+    endpoint: Option<Endpoint>,
+    /// Read timeout applied to revived connections.
+    timeout: Option<Duration>,
+}
+
+/// The coordinator's append-only replication log: the accepted spec
+/// plus every accepted ingest frame, in local-engine order. A revived
+/// worker replays `Hello` + the suffix of this log its replica is
+/// missing — per-worker catch-up instead of restart-the-world.
+#[derive(Default)]
+struct IngestJournal {
+    spec_json: Option<String>,
+    /// Rows the coordinator's engine already held when the pool was
+    /// bound. The journal only covers mutations *after* bind, so frame
+    /// `i` produced store row `base + i` — a replica below `base` rows
+    /// cannot be caught up from this log.
+    base: usize,
+    frames: Vec<Vec<u8>>,
+}
+
+/// Where a reviving replica's journal replay starts: the journal index
+/// to skip to for a replica already holding `have` rows, given the
+/// journal's base row and frame count.
+///
+/// # Errors
+/// A replica below the base predates the journal (its missing rows were
+/// never logged); one beyond `base + frames` holds state this
+/// coordinator never produced. Both are refused rather than guessed at.
+fn replay_skip(base: usize, frames: usize, have: usize) -> Result<usize, String> {
+    if have < base {
+        return Err(format!(
+            "replica holds {have} rows but the journal starts at {base} — \
+             it predates this coordinator's log"
+        ));
+    }
+    if have - base > frames {
+        return Err(format!(
+            "replica holds {have} rows, journal covers {base}..{} — diverged ahead",
+            base + frames
+        ));
+    }
+    Ok(have - base)
+}
+
+/// Coordinator fault-tolerance counters (see
+/// [`Server::coordinator_stats`]). All values are since bind.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoordinatorStats {
+    /// Tiles executed remotely by the last sharded query — on an
+    /// incremental (grown-store) query this is the frontier size, not
+    /// the full plan.
+    pub last_query_tiles: u64,
+    /// Dispatch rounds the last sharded query took (1 = no failures).
+    pub last_query_rounds: u64,
+    /// Re-dispatch rounds across all queries (a round > 1 means a
+    /// shard's missing tiles went to surviving workers).
+    pub redispatches: u64,
+    /// Poisoned slots successfully reconnected.
+    pub revives: u64,
+    /// Revivals that replayed at least one journaled ingest.
+    pub resyncs: u64,
+}
+
+#[derive(Default)]
+struct StatsCells {
+    last_query_tiles: AtomicU64,
+    last_query_rounds: AtomicU64,
+    redispatches: AtomicU64,
+    revives: AtomicU64,
+    resyncs: AtomicU64,
+}
+
+impl StatsCells {
+    fn snapshot(&self) -> CoordinatorStats {
+        CoordinatorStats {
+            last_query_tiles: self.last_query_tiles.load(Ordering::SeqCst),
+            last_query_rounds: self.last_query_rounds.load(Ordering::SeqCst),
+            redispatches: self.redispatches.load(Ordering::SeqCst),
+            revives: self.revives.load(Ordering::SeqCst),
+            resyncs: self.resyncs.load(Ordering::SeqCst),
+        }
+    }
+}
+
+/// One worker handed to [`Server::bind_coordinator`]: a connected
+/// [`Client`], and optionally the endpoint + read timeout that let the
+/// coordinator **revive** the worker after a failure (reconnect, replay
+/// `Hello` + the ingest journal). Without an endpoint the slot stays
+/// poisoned once it fails, exactly like the pre-resync coordinator.
+pub struct WorkerEntry {
+    /// The connected worker client.
+    pub client: Client,
+    /// Reconnect address for revival; `None` disables revival.
+    pub endpoint: Option<Endpoint>,
+    /// Read timeout applied to revived connections.
+    pub timeout: Option<Duration>,
+}
+
+impl WorkerEntry {
+    /// A worker that cannot be revived after a failure.
+    #[must_use]
+    pub fn new(client: Client) -> Self {
+        Self {
+            client,
+            endpoint: None,
+            timeout: None,
+        }
+    }
+
+    /// Enable revival: reconnect to `endpoint` (with `timeout` on the
+    /// fresh socket) after a poisoning failure.
+    #[must_use]
+    pub fn reconnectable(client: Client, endpoint: Endpoint, timeout: Option<Duration>) -> Self {
+        Self {
+            client,
+            endpoint: Some(endpoint),
+            timeout,
+        }
+    }
+}
+
+/// The coordinator role's worker pool: one connection slot per worker
+/// server, the tile side sharded plans use, the replication journal,
+/// and the incremental gather cache.
 ///
 /// A worker slot is **poisoned** (set to `None`) after any failure that
-/// may have desynchronized its stream; every later use fails fast with
-/// a typed message instead of pairing requests with stale responses.
-/// Reconnecting/resyncing a lost worker is deliberately out of scope —
-/// restart the coordinator (see `ROADMAP.md`).
+/// may have desynchronized its stream or its replica. A poisoned slot
+/// with a known endpoint is lazily **revived** at the next sharded
+/// query: fresh connection, `Hello` replay, journal catch-up. Sharded
+/// queries survive worker failure by re-dispatching the failed shard's
+/// missing tile ids to surviving workers; mutations survive it because
+/// the journal lets the replica catch up later.
 struct Shards {
-    workers: Vec<Mutex<Option<Client>>>,
+    workers: Vec<WorkerState>,
     tile: usize,
     /// Serializes the coordinator's replicated mutations (`Hello`,
-    /// `Ingest`): local append and worker broadcast happen as one unit
-    /// under this lock, **without** holding the engine lock through the
-    /// broadcast. That keeps worker row order identical to the local
-    /// store (the gather addresses matrix cells by local row index, so
-    /// replica order is a correctness invariant, not a nicety) while a
-    /// wedged worker stalls only other mutations — never local
-    /// queries.
+    /// `Ingest`): local append, journal append, and worker broadcast
+    /// happen as one unit under this lock, **without** holding the
+    /// engine lock through the broadcast. That keeps worker row order
+    /// identical to the local store (the gather addresses matrix cells
+    /// by local row index, so replica order is a correctness
+    /// invariant), while a wedged worker stalls only other mutations —
+    /// never local queries. Revival also runs under this lock, so a
+    /// journal replay can never interleave with a live broadcast.
     order: Mutex<()>,
+    /// The replication log revived workers catch up from.
+    journal: Mutex<IngestJournal>,
     /// The last gathered full matrix, keyed by the store row count it
     /// covered. The store is append-only with a fixed ingest order, so
     /// row count alone identifies the matrix; a repeated `Pairwise([])`
-    /// on an unchanged store answers from here instead of re-executing
-    /// the quadratic plan across the pool.
+    /// on an unchanged store answers from here, and a *grown* store
+    /// seeds an incremental gather from it (only frontier tiles
+    /// re-execute).
     gathered: Mutex<Option<(usize, Vec<f64>)>>,
+    stats: StatsCells,
+}
+
+/// Cut an explicit (not necessarily contiguous) tile-id set into
+/// `shards` chunks balanced by pair count — the re-dispatch analogue of
+/// [`TilePlan::shard`], which only cuts the full contiguous id space.
+fn split_ids(plan: &TilePlan, ids: &[u64], shards: usize) -> Vec<Vec<u64>> {
+    let shards = shards.max(1);
+    let pairs_of = |id: u64| {
+        usize::try_from(id)
+            .ok()
+            .and_then(|id| plan.tile_at(id))
+            .map_or(0, |t| t.pair_count())
+    };
+    let total: usize = ids.iter().map(|&id| pairs_of(id)).sum();
+    let target = total.div_ceil(shards).max(1);
+    let mut chunks: Vec<Vec<u64>> = vec![Vec::new()];
+    let mut acc = 0usize;
+    for &id in ids {
+        if acc >= target * chunks.len() && chunks.len() < shards {
+            chunks.push(Vec::new());
+        }
+        chunks.last_mut().expect("chunks start non-empty").push(id);
+        acc += pairs_of(id);
+    }
+    while chunks.len() < shards {
+        chunks.push(Vec::new());
+    }
+    chunks
 }
 
 impl Shards {
+    /// Lock worker `w`'s slot, recovering from a poisoned mutex: a
+    /// connection thread that panicked mid-exchange leaves the stream
+    /// in an unknown state, so the slot content is discarded (the
+    /// worker revives like any other failure) and the mutex healed.
+    fn slot_lock(&self, w: usize) -> MutexGuard<'_, Option<PooledWorker>> {
+        let mutex = &self.workers[w].slot;
+        mutex.lock().unwrap_or_else(|poison| {
+            mutex.clear_poison();
+            let mut guard = poison.into_inner();
+            *guard = None;
+            guard
+        })
+    }
+
+    /// Lock the gather cache, recovering from a poisoned mutex. The
+    /// cache is pure (recomputable from the store), so recovery is
+    /// simply discarding possibly-torn contents — a panicking
+    /// connection thread must never turn every later `Pairwise([])`
+    /// into a panic.
+    fn cache_lock(&self) -> MutexGuard<'_, Option<(usize, Vec<f64>)>> {
+        self.gathered.lock().unwrap_or_else(|poison| {
+            self.gathered.clear_poison();
+            let mut guard = poison.into_inner();
+            *guard = None;
+            guard
+        })
+    }
+
+    /// Lock the mutation order token (content-free: poisoning carries
+    /// no torn state, so recovery is just healing the mutex).
+    fn order_lock(&self) -> MutexGuard<'_, ()> {
+        self.order.lock().unwrap_or_else(|poison| {
+            self.order.clear_poison();
+            poison.into_inner()
+        })
+    }
+
+    /// Lock the journal (appends are atomic `Vec::push`es, so a
+    /// poisoned mutex still holds a consistent log).
+    fn journal_lock(&self) -> MutexGuard<'_, IngestJournal> {
+        self.journal.lock().unwrap_or_else(|poison| {
+            self.journal.clear_poison();
+            poison.into_inner()
+        })
+    }
+
     /// Run one exchange against worker `w`, poisoning its slot on any
     /// failure that may have desynchronized the stream.
     fn with_worker<T>(
         &self,
         w: usize,
-        exchange: impl FnOnce(&mut Client) -> Result<T, ClientError>,
+        exchange: impl FnOnce(&mut PooledWorker) -> Result<T, ClientError>,
     ) -> Result<T, String> {
-        let mut slot = self.workers[w]
-            .lock()
-            .map_err(|_| format!("worker {w} mutex poisoned"))?;
-        let client = slot
+        let mut slot = self.slot_lock(w);
+        let worker = slot
             .as_mut()
             .ok_or_else(|| format!("worker {w} connection lost after an earlier failure"))?;
-        exchange(client).map_err(|e| {
+        exchange(worker).map_err(|e| {
             let message = format!("worker {w}: {e}");
             if desynchronizes(&e) {
                 *slot = None;
@@ -224,48 +467,223 @@ impl Shards {
         })
     }
 
-    /// Drop workers `from..` from the pool: an aborted replication
-    /// broadcast leaves every worker at or after the failure point with
-    /// unknown or missing state, and a diverged replica must fail fast
-    /// instead of acknowledging further mutations it cannot hold
-    /// consistently.
-    fn poison_from(&self, from: usize) {
-        for slot in &self.workers[from..] {
-            if let Ok(mut slot) = slot.lock() {
-                *slot = None;
+    /// Drop worker `w` from the pool (its replica or stream is suspect;
+    /// the next sharded query revives and resyncs it if an endpoint is
+    /// known).
+    fn poison(&self, w: usize) {
+        *self.slot_lock(w) = None;
+    }
+
+    /// Forward a replicated mutation to every **live** worker. A
+    /// poisoned slot is skipped — the journal holds what it missed, and
+    /// revival replays it. A worker that fails the exchange, refuses,
+    /// or echoes a row count `accept` rejects is poisoned; the mutation
+    /// itself still succeeds for the client (the coordinator's local
+    /// engine is the source of truth).
+    fn broadcast_mutation(&self, request: &Request, accept: &dyn Fn(&Response) -> bool) {
+        for w in 0..self.workers.len() {
+            let mut slot = self.slot_lock(w);
+            let Some(worker) = slot.as_mut() else {
+                continue;
+            };
+            match worker.client.call(request) {
+                Ok(response) => {
+                    if let Response::Hello { caps, .. } = &response {
+                        worker.caps = *caps;
+                    }
+                    if !accept(&response) {
+                        // Refused or diverged (wrong row echo): the
+                        // replica no longer mirrors the local store.
+                        *slot = None;
+                    }
+                }
+                Err(_) => *slot = None,
             }
         }
     }
 
-    /// Forward a replicated mutation to every worker, expecting a
-    /// response `accept` recognizes. The first failure aborts with a
-    /// message naming the worker — and poisons that worker and every
-    /// later one, whose replicas missed the mutation.
-    fn broadcast(
-        &self,
-        request: &Request,
-        accept: impl Fn(&Response) -> bool,
-    ) -> Result<(), String> {
-        for w in 0..self.workers.len() {
-            let outcome = match self.with_worker(w, |client| client.call(request)) {
-                Ok(ref resp) if accept(resp) => Ok(()),
-                Ok(Response::Error { code, message }) => {
-                    Err(format!("worker {w} refused ({code}): {message}"))
-                }
-                Ok(other) => Err(format!("worker {w} answered {other:?}")),
-                Err(message) => Err(message),
-            };
-            if let Err(message) = outcome {
-                self.poison_from(w);
-                return Err(message);
+    /// Make worker `w` usable, reviving a poisoned slot when its
+    /// endpoint is known: reconnect, replay the journaled `Hello`, and
+    /// catch the replica up from the ingest journal. Runs under the
+    /// order lock so the replay can never interleave with a concurrent
+    /// mutation broadcast.
+    fn ensure_live(&self, w: usize) -> bool {
+        if self.slot_lock(w).is_some() {
+            return true;
+        }
+        let Some(endpoint) = self.workers[w].endpoint.clone() else {
+            return false;
+        };
+        let _order = self.order_lock();
+        let mut slot = self.slot_lock(w);
+        if slot.is_some() {
+            return true; // another thread revived it meanwhile
+        }
+        match self.resync(&endpoint, self.workers[w].timeout) {
+            Ok(worker) => {
+                *slot = Some(worker);
+                self.stats.revives.fetch_add(1, Ordering::SeqCst);
+                true
             }
+            Err(_) => false,
+        }
+    }
+
+    /// Connect a fresh client and bring the worker's replica to the
+    /// journal's state. The replica's current row count comes from the
+    /// `Hello` replay (or, on the adopt-without-`Hello` path where no
+    /// spec was journaled, from a `PlanPairwise` row probe — never a
+    /// blind replay from frame 0, which would wrongly refuse a healthy
+    /// reconnecting worker as a duplicate). The journal suffix is then
+    /// replayed with the usual row-echo discipline; a replica outside
+    /// the journal's coverage (see [`replay_skip`]) is refused.
+    ///
+    /// The connect itself is bounded by the worker's configured timeout
+    /// (this runs under the order lock, so an unbounded TCP connect to
+    /// a black-holed host would stall every mutation with it).
+    fn resync(
+        &self,
+        endpoint: &Endpoint,
+        timeout: Option<Duration>,
+    ) -> Result<PooledWorker, String> {
+        let mut client = match timeout {
+            Some(t) => Client::connect_timeout(endpoint, t),
+            None => Client::connect(endpoint),
+        }
+        .map_err(|e| format!("reconnect {endpoint}: {e}"))?;
+        if let Some(t) = timeout {
+            client
+                .set_read_timeout(Some(t))
+                .map_err(|e| format!("set timeout: {e}"))?;
+        }
+        let journal = self.journal_lock();
+        let mut caps = 0u32;
+        let have;
+        if let Some(spec_json) = journal.spec_json.clone() {
+            match client.call(&Request::Hello {
+                spec_json,
+                caps: CAP_TILE_STREAM,
+            }) {
+                Ok(Response::Hello { rows, caps: c, .. }) => {
+                    have = usize::try_from(rows).unwrap_or(usize::MAX);
+                    caps = c;
+                }
+                Ok(Response::Error { code, message }) => {
+                    return Err(format!("refused the journaled spec ({code}): {message}"))
+                }
+                Ok(other) => return Err(format!("unexpected hello answer {other:?}")),
+                Err(e) => return Err(format!("hello replay: {e}")),
+            }
+        } else {
+            match client.call(&Request::PlanPairwise { tile: 1 }) {
+                Ok(Response::Plan { rows, .. }) => {
+                    have = usize::try_from(rows).unwrap_or(usize::MAX);
+                }
+                Ok(Response::Error { code, message }) => {
+                    return Err(format!("row probe refused ({code}): {message}"))
+                }
+                Ok(other) => return Err(format!("unexpected row-probe answer {other:?}")),
+                Err(e) => return Err(format!("row probe: {e}")),
+            }
+        }
+        let skip = replay_skip(journal.base, journal.frames.len(), have)?;
+        for (i, frame) in journal.frames.iter().enumerate().skip(skip) {
+            let expect = (journal.base + i + 1) as u64;
+            match client.call(&Request::Ingest {
+                release_frame: frame.clone(),
+            }) {
+                Ok(Response::Ingested { rows, .. }) if rows == expect => {}
+                Ok(Response::Ingested { rows, .. }) => {
+                    return Err(format!(
+                        "resync diverged: replica reports {rows} rows after journal frame {i} \
+                         (expected {expect})"
+                    ))
+                }
+                Ok(Response::Error { code, message }) => {
+                    return Err(format!("resync refused ({code}): {message}"))
+                }
+                Ok(other) => return Err(format!("unexpected resync answer {other:?}")),
+                Err(e) => return Err(format!("resync replay: {e}")),
+            }
+        }
+        if journal.frames.len() > skip {
+            self.stats.resyncs.fetch_add(1, Ordering::SeqCst);
+        }
+        Ok(PooledWorker { client, caps })
+    }
+
+    /// Execute one chunk of tile ids on worker `w`, feeding segments
+    /// into the shared gather as they arrive — streamed frame-per-tile
+    /// when the worker advertised [`CAP_TILE_STREAM`], one monolithic
+    /// `TileResult` otherwise.
+    ///
+    /// **Any** failure poisons the slot: transport failures via
+    /// [`Shards::with_worker`], and completed exchanges whose content
+    /// is wrong — a typed refusal like `ERR_PLAN` (the replica is
+    /// behind) or a segment the gather rejects (it executed a different
+    /// plan) — explicitly. Without that, a diverged-but-responsive
+    /// replica would be handed tiles round after round, refusing each
+    /// time, and burn the re-dispatch budget instead of being resynced.
+    fn run_shard(
+        &self,
+        w: usize,
+        plan: &TilePlan,
+        ids: &[u64],
+        gather: &Mutex<Gather>,
+    ) -> Result<(), String> {
+        let rows = plan.n() as u64;
+        let tile = plan.tile() as u32;
+        let mut semantic: Option<String> = None;
+        let exchanged = self.with_worker(w, |worker| {
+            if worker.caps & CAP_TILE_STREAM != 0 {
+                worker
+                    .client
+                    .execute_tiles_streamed(rows, tile, ids, &mut |segment| {
+                        if semantic.is_some() {
+                            return;
+                        }
+                        let mut g = gather.lock().expect("gather mutex");
+                        if let Err(e) = g.accept(&segment) {
+                            semantic = Some(format!("worker {w}: bad streamed segment: {e}"));
+                        }
+                    })
+                    .map(|_| ())
+            } else {
+                let segments = worker.client.execute_tiles(rows, tile, ids)?;
+                let mut g = gather.lock().expect("gather mutex");
+                for segment in &segments {
+                    if let Err(e) = g.accept(segment) {
+                        semantic = Some(format!("worker {w}: bad segment: {e}"));
+                        break;
+                    }
+                }
+                Ok(())
+            }
+        });
+        if let Err(message) = exchanged {
+            self.poison(w);
+            return Err(message);
+        }
+        if let Some(message) = semantic {
+            self.poison(w);
+            return Err(message);
         }
         Ok(())
     }
 
-    /// The sharded all-pairs pass: cut the plan across the pool, run
-    /// every shard's `ExecuteTiles` concurrently (one local thread per
-    /// worker connection), gather the scattered segments by tile id.
+    /// The fault-tolerant sharded all-pairs pass.
+    ///
+    /// * **Incremental**: a store grown since the last gather seeds the
+    ///   new gather from the cached matrix and executes only the tiles
+    ///   touching the new rows ([`Gather::seeded`]).
+    /// * **Re-dispatch**: a failed or timed-out shard poisons its
+    ///   worker; the gather's [`Gather::missing_ids`] are re-cut across
+    ///   the surviving (or revived) workers, bounded by a round budget.
+    ///   The query fails with a typed `ERR_WORKER` only when *no*
+    ///   worker can serve.
+    /// * **Bit-identity**: every tile is still executed exactly once by
+    ///   the shared kernel, so the answer is bit-identical to the local
+    ///   engine no matter which worker computed what, in which round.
     ///
     /// Runs **outside** the engine lock (the callers pass a snapshot of
     /// `(n, party_ids)`), so a slow worker never blocks other clients'
@@ -273,50 +691,84 @@ impl Shards {
     /// worker-side `ERR_PLAN` (row-count guard), never as a torn
     /// matrix.
     fn sharded_pairwise(&self, n: usize, party_ids: Vec<u64>) -> Response {
-        if let Some((rows, values)) = self
-            .gathered
-            .lock()
-            .expect("gather cache poisoned")
-            .as_ref()
-        {
-            if *rows == n {
-                return Response::Pairwise {
-                    parties: party_ids,
-                    values: values.clone(),
-                };
+        let seed: Option<(usize, Vec<f64>)> = {
+            let guard = self.cache_lock();
+            match guard.as_ref() {
+                Some((rows, values)) if *rows == n => {
+                    return Response::Pairwise {
+                        parties: party_ids,
+                        values: values.clone(),
+                    };
+                }
+                Some((rows, values)) if *rows < n => Some((*rows, values.clone())),
+                _ => None,
             }
-        }
+        };
         let plan = TilePlan::new(n, self.tile);
-        let ranges = plan.shard(self.workers.len());
-        let indices: Vec<usize> = (0..self.workers.len()).collect();
-        let results: Vec<Result<Vec<TileSegment>, String>> =
-            par_map(&indices, indices.len(), |_, &w| {
-                let range = &ranges[w];
-                if range.is_empty() {
-                    return Ok(Vec::new());
-                }
-                let ids: Vec<u64> = (range.start as u64..range.end as u64).collect();
-                self.with_worker(w, |client| {
-                    client.execute_tiles(n as u64, plan.tile() as u32, &ids)
-                })
-            });
-        let mut gather = Gather::new(plan);
-        for result in &results {
-            match result {
-                Ok(segments) => {
-                    for segment in segments {
-                        if let Err(e) = gather.accept(segment) {
-                            return worker_error(format!("bad worker segment: {e}"));
-                        }
-                    }
-                }
-                Err(message) => return worker_error(message.clone()),
-            }
+        if !plan.is_enumerable() {
+            return Response::Error {
+                code: ERR_PLAN,
+                message: format!("a plan over {n} rows is too large to enumerate"),
+            };
         }
+        let gather = match seed {
+            Some((rows, values)) => Gather::seeded(plan, rows, &values),
+            None => Gather::new(plan),
+        };
+        let mut pending = gather.missing_ids();
+        self.stats
+            .last_query_tiles
+            .store(pending.len() as u64, Ordering::SeqCst);
+        let gather = Mutex::new(gather);
+        let mut rounds = 0u64;
+        let mut last_error = String::new();
+        while !pending.is_empty() {
+            let live: Vec<usize> = (0..self.workers.len())
+                .filter(|&w| self.ensure_live(w))
+                .collect();
+            if live.is_empty() {
+                self.stats.last_query_rounds.store(rounds, Ordering::SeqCst);
+                return worker_error(format!(
+                    "no live worker can serve ({} tiles undone{})",
+                    pending.len(),
+                    if last_error.is_empty() {
+                        String::new()
+                    } else {
+                        format!("; last failure: {last_error}")
+                    }
+                ));
+            }
+            rounds += 1;
+            if rounds > self.workers.len() as u64 + 2 {
+                self.stats.last_query_rounds.store(rounds, Ordering::SeqCst);
+                return worker_error(format!(
+                    "re-dispatch budget exhausted after {rounds} rounds \
+                     ({} tiles undone; last failure: {last_error})",
+                    pending.len()
+                ));
+            }
+            if rounds > 1 {
+                self.stats.redispatches.fetch_add(1, Ordering::SeqCst);
+            }
+            let chunks = split_ids(&plan, &pending, live.len());
+            let shards: Vec<(usize, Vec<u64>)> = live.into_iter().zip(chunks).collect();
+            let results: Vec<Result<(), String>> = par_map(&shards, shards.len(), |_, (w, ids)| {
+                if ids.is_empty() {
+                    return Ok(());
+                }
+                self.run_shard(*w, &plan, ids, &gather)
+            });
+            if let Some(Err(message)) = results.into_iter().find(Result::is_err) {
+                last_error = message;
+            }
+            pending = gather.lock().expect("gather mutex").missing_ids();
+        }
+        self.stats.last_query_rounds.store(rounds, Ordering::SeqCst);
+        let gather = gather.into_inner().expect("gather mutex");
         match gather.finish() {
             Ok(matrix) => {
                 let values = matrix.into_flat();
-                *self.gathered.lock().expect("gather cache poisoned") = Some((n, values.clone()));
+                *self.cache_lock() = Some((n, values.clone()));
                 Response::Pairwise {
                     parties: party_ids,
                     values,
@@ -382,21 +834,28 @@ impl Server {
 
     /// Bind in **coordinator mode**: serve the same protocol, but
     /// broadcast every accepted `Hello`/`Ingest` to the given worker
-    /// clients and answer full all-pairs queries by sharding the tile
-    /// plan across them (tiles of side `tile`, clamped ≥ 1). A
+    /// pool and answer full all-pairs queries by sharding the tile
+    /// plan across it (tiles of side `tile`, clamped ≥ 1). A
     /// coordinator `Shutdown` also shuts the workers down.
     ///
     /// The coordinator keeps a complete local engine (the workers are
     /// replicas), so point, k-NN, subset, and top-pair queries stay
     /// local; only the quadratic all-pairs pass fans out.
     ///
-    /// The ingest broadcast is **not transactional**: if a worker fails
-    /// mid-broadcast the client gets a typed `ERR_WORKER` and that
-    /// worker's replica has diverged — its connection is dropped from
-    /// the pool, and later sharded queries fail fast with typed errors
-    /// (never a torn matrix). Resynchronizing a lost worker is future
-    /// work (see `ROADMAP.md`); the recovery today is restarting the
-    /// coordinator.
+    /// **Fault model.** The coordinator's local engine is the source of
+    /// truth; workers are caches of it.
+    ///
+    /// * A mutation (`Hello`/`Ingest`) is journaled locally and
+    ///   broadcast to live workers; a worker that fails, refuses, or
+    ///   echoes a diverged row count is poisoned, but the mutation
+    ///   still succeeds for the client.
+    /// * A sharded query that loses a worker re-dispatches that shard's
+    ///   missing tiles to the survivors (bounded rounds); it answers
+    ///   `ERR_WORKER` only when *no* worker can serve.
+    /// * A poisoned worker whose [`WorkerEntry`] carries an endpoint is
+    ///   revived at the next sharded query: fresh connection, `Hello`
+    ///   replay, and catch-up from the coordinator's ingest journal —
+    ///   no coordinator restart.
     ///
     /// # Errors
     /// Propagates bind failures. An empty `workers` pool degenerates to
@@ -404,16 +863,35 @@ impl Server {
     pub fn bind_coordinator(
         endpoint: Endpoint,
         engine: QueryEngine,
-        workers: Vec<Client>,
+        workers: Vec<WorkerEntry>,
         tile: usize,
     ) -> io::Result<Self> {
+        // The journal covers only post-bind mutations; rows already in
+        // the engine are its base (a replica below the base cannot be
+        // caught up from this log and is refused at revival).
+        let journal = IngestJournal {
+            base: engine.store().n(),
+            ..IngestJournal::default()
+        };
         let mut server = Self::bind(endpoint, engine)?;
         if !workers.is_empty() {
             server.shards = Some(Shards {
-                workers: workers.into_iter().map(|c| Mutex::new(Some(c))).collect(),
+                workers: workers
+                    .into_iter()
+                    .map(|entry| WorkerState {
+                        slot: Mutex::new(Some(PooledWorker {
+                            client: entry.client,
+                            caps: 0,
+                        })),
+                        endpoint: entry.endpoint,
+                        timeout: entry.timeout,
+                    })
+                    .collect(),
                 tile: tile.max(1),
                 order: Mutex::new(()),
+                journal: Mutex::new(journal),
                 gathered: Mutex::new(None),
+                stats: StatsCells::default(),
             });
         }
         Ok(server)
@@ -424,6 +902,15 @@ impl Server {
     #[must_use]
     pub fn worker_count(&self) -> usize {
         self.shards.as_ref().map_or(0, |s| s.workers.len())
+    }
+
+    /// Fault-tolerance counters of the coordinator role (`None` in the
+    /// plain role): frontier sizes, re-dispatch rounds, worker revives
+    /// and journal resyncs — the observability hooks the chaos tests
+    /// assert against.
+    #[must_use]
+    pub fn coordinator_stats(&self) -> Option<CoordinatorStats> {
+        self.shards.as_ref().map(|s| s.stats.snapshot())
     }
 
     /// The endpoint actually bound. For `tcp:HOST:0` this carries the
@@ -461,15 +948,31 @@ impl Server {
         }
     }
 
-    /// Serve one connection: one response per request, until the peer
-    /// hangs up or asks for shutdown.
+    /// Serve one connection: one response per request (or a part stream
+    /// for `ExecuteTilesStream`), until the peer hangs up or asks for
+    /// shutdown.
     fn serve_conn(&self, mut conn: Conn) {
         loop {
             let payload = match read_frame(&mut conn) {
                 Ok(Some(payload)) => payload,
                 Ok(None) | Err(_) => return,
             };
-            let (response, bye) = match decode_request(&payload) {
+            let decoded = decode_request(&payload);
+            if let Ok(Request::ExecuteTilesStream {
+                rows,
+                tile,
+                tile_ids,
+            }) = &decoded
+            {
+                if self
+                    .stream_tiles(&mut conn, *rows, *tile, tile_ids)
+                    .is_err()
+                {
+                    return;
+                }
+                continue;
+            }
+            let (response, bye) = match decoded {
                 Ok(request) => self.handle(&request),
                 Err(e) => (
                     Response::Error {
@@ -507,40 +1010,116 @@ impl Server {
         }
     }
 
+    /// Stream one `ExecuteTilesStream` answer directly onto the
+    /// connection: validate once, then one `TileResultPart` frame per
+    /// tile — each computed under a short-lived engine lock and written
+    /// with no lock held — closed by a `TileResultSummary` carrying the
+    /// part count and the running stream digest. A monolithic result
+    /// frame never materializes, so the response size is bounded by the
+    /// largest *tile*, not the whole shard. A mid-stream failure (e.g.
+    /// the plan invalidated by a concurrent ingest on a worker that
+    /// missed the row-count guard) terminates the stream with a single
+    /// `Error` frame.
+    ///
+    /// # Errors
+    /// Transport failures only; protocol-level failures travel as
+    /// `Error` frames.
+    fn stream_tiles(
+        &self,
+        conn: &mut Conn,
+        rows: u64,
+        tile: u32,
+        tile_ids: &[u64],
+    ) -> io::Result<()> {
+        let plan_rows = usize::try_from(rows).unwrap_or(usize::MAX);
+        let send_error = |conn: &mut Conn, e: &EngineError| {
+            let bytes = encode_response(&error_response(e)).expect("error frames encode");
+            write_frame(conn, &bytes)
+        };
+        {
+            let engine = self.engine.lock().expect("engine mutex poisoned");
+            if let Err(e) = engine.validate_tiles(plan_rows, tile as usize, tile_ids) {
+                return send_error(conn, &e);
+            }
+        }
+        let mut checksum = FNV1A64_INIT;
+        let mut count = 0u64;
+        for &id in tile_ids {
+            let segment = {
+                let engine = self.engine.lock().expect("engine mutex poisoned");
+                match engine.execute_tiles(plan_rows, tile as usize, std::slice::from_ref(&id)) {
+                    Ok(mut segments) => segments.pop().expect("one id, one segment"),
+                    Err(e) => return send_error(conn, &e),
+                }
+            };
+            checksum = tile_stream_checksum(checksum, &segment);
+            count += 1;
+            let part = Response::TileResultPart {
+                rows,
+                tile,
+                segment,
+            };
+            let Ok(bytes) = encode_response(&part) else {
+                let oversize = Response::Error {
+                    code: ERR_INTERNAL,
+                    message: format!("tile {id} exceeds a single frame; use a smaller tile side"),
+                };
+                let bytes = encode_response(&oversize).expect("error frames encode");
+                return write_frame(conn, &bytes);
+            };
+            write_frame(conn, &bytes)?;
+        }
+        let summary = Response::TileResultSummary {
+            rows,
+            tile,
+            count,
+            checksum,
+        };
+        let bytes = encode_response(&summary).expect("summary frames are small");
+        write_frame(conn, &bytes)
+    }
+
     /// Answer one request against the shared engine. Returns the
     /// response and whether the connection (and server) should wind
     /// down.
     fn handle(&self, request: &Request) -> (Response, bool) {
         // Replicated mutations (coordinator Hello/Ingest) serialize on
         // the shards' order lock, acquired *before* the engine lock:
-        // the local append and the worker broadcast form one ordered
-        // unit, but the engine lock is released before the broadcast,
-        // so a wedged worker stalls only other mutations — local
-        // queries on other connections keep answering.
+        // the local append, the journal append, and the worker
+        // broadcast form one ordered unit, but the engine lock is
+        // released before the broadcast, so a wedged worker stalls only
+        // other mutations — local queries on other connections keep
+        // answering.
         let _order = match (&self.shards, request) {
             (Some(shards), Request::Hello { .. } | Request::Ingest { .. }) => {
-                Some(shards.order.lock().expect("order mutex poisoned"))
+                Some(shards.order_lock())
             }
             _ => None,
         };
         let mut engine = self.engine.lock().expect("engine mutex poisoned");
         let response = match request {
-            Request::Hello { spec_json } => {
-                let mut response = hello(&mut engine, spec_json);
-                // A coordinator relays the accepted spec so the worker
-                // replicas negotiate the same store identity; every
-                // worker must echo the coordinator's row count, else
-                // its replica has already diverged.
+            Request::Hello { spec_json, .. } => {
+                let response = hello(&mut engine, spec_json);
+                // A coordinator journals the accepted spec and relays
+                // it (with its own caps) so the worker replicas
+                // negotiate the same store identity. A worker that
+                // fails the relay or echoes a diverged row count is
+                // poisoned — the journal lets it catch up later — but
+                // the client's Hello still succeeds: the coordinator's
+                // local engine is the source of truth.
                 if matches!(response, Response::Hello { .. }) {
                     if let Some(shards) = &self.shards {
                         let rows = engine.store().n() as u64;
                         drop(engine);
-                        if let Err(message) = shards.broadcast(
-                            request,
-                            |r| matches!(r, Response::Hello { rows: got, .. } if *got == rows),
-                        ) {
-                            response = worker_error(message);
-                        }
+                        shards.journal_lock().spec_json = Some(spec_json.clone());
+                        let relay = Request::Hello {
+                            spec_json: spec_json.clone(),
+                            caps: CAP_TILE_STREAM,
+                        };
+                        shards.broadcast_mutation(
+                            &relay,
+                            &|r| matches!(r, Response::Hello { rows: got, .. } if *got == rows),
+                        );
                     }
                 }
                 response
@@ -548,25 +1127,25 @@ impl Server {
             Request::Ingest { release_frame } => match engine.ingest_bytes(release_frame) {
                 Ok(row) => {
                     let rows = engine.store().n() as u64;
-                    let mut response = Response::Ingested {
+                    let response = Response::Ingested {
                         row: row as u64,
                         rows,
                     };
-                    // Broadcast only what the local engine accepted —
-                    // the local store is the source of truth, so a
-                    // rejected release never reaches a worker — and
-                    // require every worker to echo the coordinator's
-                    // row count: a replica that acknowledges with a
-                    // different count missed an earlier mutation, and
-                    // is caught here rather than at query time.
+                    // Journal and broadcast only what the local engine
+                    // accepted — a rejected release never reaches a
+                    // worker. Live workers must echo the coordinator's
+                    // row count (a different echo means the replica
+                    // missed an earlier mutation → poisoned, caught up
+                    // from the journal at the next revival); poisoned
+                    // workers are skipped, not waited on. Either way
+                    // the client's ingest succeeds.
                     if let Some(shards) = &self.shards {
                         drop(engine);
-                        if let Err(message) = shards.broadcast(
+                        shards.journal_lock().frames.push(release_frame.clone());
+                        shards.broadcast_mutation(
                             request,
-                            |r| matches!(r, Response::Ingested { rows: got, .. } if *got == rows),
-                        ) {
-                            response = worker_error(message);
-                        }
+                            &|r| matches!(r, Response::Ingested { rows: got, .. } if *got == rows),
+                        );
                     }
                     response
                 }
@@ -642,11 +1221,19 @@ impl Server {
             Request::TopPairs { t } => Response::TopPairs {
                 pairs: engine.top_pairs(*t as usize),
             },
+            Request::ExecuteTilesStream { .. } => {
+                // Intercepted in serve_conn (it answers with a frame
+                // stream, not one response); reaching here is a bug.
+                Response::Error {
+                    code: ERR_INTERNAL,
+                    message: "streamed execution is handled at the transport layer".to_string(),
+                }
+            }
             Request::Shutdown => {
                 // A coordinator winds its worker pool down with it
                 // (best-effort: a dead worker can't block shutdown).
                 if let Some(shards) = &self.shards {
-                    let _ = shards.broadcast(request, |r| matches!(r, Response::Bye));
+                    shards.broadcast_mutation(request, &|r| matches!(r, Response::Bye));
                 }
                 self.shutdown.store(true, Ordering::SeqCst);
                 return (Response::Bye, true);
@@ -702,6 +1289,7 @@ fn hello(engine: &mut QueryEngine, spec_json: &str) -> Response {
         k: engine.store().k().unwrap_or(0) as u32,
         rows: engine.store().n() as u64,
         tag: engine.store().tag().unwrap_or("").to_string(),
+        caps: CAP_TILE_STREAM,
     }
 }
 
@@ -776,6 +1364,20 @@ impl Client {
         })
     }
 
+    /// Connect with a bound on the connect itself: against a
+    /// black-holed TCP host this fails within `timeout` instead of the
+    /// kernel's (possibly minutes-long) connect timeout. A coordinator
+    /// reviving workers uses this so one unreachable host cannot stall
+    /// its mutation pipeline.
+    ///
+    /// # Errors
+    /// Propagates connect failures; times out as `TimedOut`.
+    pub fn connect_timeout(endpoint: &Endpoint, timeout: Duration) -> io::Result<Self> {
+        Ok(Self {
+            conn: connect_with_timeout(endpoint, timeout)?,
+        })
+    }
+
     /// Set (or clear) the socket read timeout. With a timeout set, a
     /// call against a dead or wedged server fails with
     /// [`ClientError::Timeout`] instead of blocking forever — the knob
@@ -822,18 +1424,35 @@ impl Client {
         }
     }
 
-    /// Negotiate the shared spec; returns `(k, rows, tag)`.
+    /// Negotiate the shared spec; returns `(k, rows, tag)`. The client
+    /// advertises every capability it implements (currently
+    /// [`CAP_TILE_STREAM`]); use [`Client::hello_caps`] to also learn
+    /// the server's.
     ///
     /// # Errors
     /// [`ClientError::Remote`] with `ERR_SPEC`/`ERR_SPEC_MISMATCH` on a
     /// refused spec; transport/codec failures.
     pub fn hello(&mut self, spec: &SketcherSpec) -> Result<(u32, u64, String), ClientError> {
+        self.hello_caps(spec)
+            .map(|(k, rows, tag, _)| (k, rows, tag))
+    }
+
+    /// [`Client::hello`] returning the server's capability bitfield
+    /// too: `(k, rows, tag, caps)`.
+    ///
+    /// # Errors
+    /// As [`Client::hello`].
+    pub fn hello_caps(
+        &mut self,
+        spec: &SketcherSpec,
+    ) -> Result<(u32, u64, String, u32), ClientError> {
         self.expect(
             &Request::Hello {
                 spec_json: spec.to_json(),
+                caps: CAP_TILE_STREAM,
             },
             |r| match r {
-                Response::Hello { k, rows, tag } => Some((k, rows, tag)),
+                Response::Hello { k, rows, tag, caps } => Some((k, rows, tag, caps)),
                 _ => None,
             },
         )
@@ -940,6 +1559,84 @@ impl Client {
         )
     }
 
+    /// Execute plan tiles in **streamed** mode: the server answers with
+    /// one `TileResultPart` frame per tile and a closing
+    /// `TileResultSummary`, so no monolithic result frame ever
+    /// materializes on either side. Each segment is handed to `sink` as
+    /// it arrives (a coordinator scatters it straight into its gather).
+    /// Returns the number of parts received after verifying the
+    /// summary's part count and stream digest — a lost, duplicated, or
+    /// reordered part fails the exchange like a corrupted frame.
+    ///
+    /// Only valid against a server whose `Hello` advertised
+    /// [`CAP_TILE_STREAM`].
+    ///
+    /// # Errors
+    /// [`ClientError::Remote`] (`ERR_PLAN`) when the plan doesn't match
+    /// the server's store; [`ClientError::Codec`] with
+    /// [`CoreError::ChecksumMismatch`] on a summary digest mismatch;
+    /// transport/codec failures; [`ClientError::Timeout`] past the read
+    /// timeout.
+    pub fn execute_tiles_streamed(
+        &mut self,
+        rows: u64,
+        tile: u32,
+        tile_ids: &[u64],
+        sink: &mut dyn FnMut(TileSegment),
+    ) -> Result<u64, ClientError> {
+        let request = Request::ExecuteTilesStream {
+            rows,
+            tile,
+            tile_ids: tile_ids.to_vec(),
+        };
+        let payload = encode_request(&request)?;
+        write_frame(&mut self.conn, &payload)?;
+        let mut digest = FNV1A64_INIT;
+        let mut count = 0u64;
+        loop {
+            let reply = read_frame(&mut self.conn)?.ok_or_else(|| {
+                ClientError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection mid-stream",
+                ))
+            })?;
+            match decode_response(&reply)? {
+                Response::TileResultPart {
+                    rows: got_rows,
+                    tile: got_tile,
+                    segment,
+                } if got_rows == rows && got_tile == tile => {
+                    // More parts than tiles asked for can only be a
+                    // runaway or malicious stream; stop reading.
+                    if count >= tile_ids.len() as u64 {
+                        return Err(ClientError::UnexpectedResponse);
+                    }
+                    digest = tile_stream_checksum(digest, &segment);
+                    count += 1;
+                    sink(segment);
+                }
+                Response::TileResultSummary {
+                    rows: got_rows,
+                    tile: got_tile,
+                    count: sent,
+                    checksum,
+                } if got_rows == rows && got_tile == tile => {
+                    if sent != count || checksum != digest {
+                        return Err(ClientError::Codec(CoreError::ChecksumMismatch {
+                            stored: checksum,
+                            computed: digest,
+                        }));
+                    }
+                    return Ok(count);
+                }
+                Response::Error { code, message } => {
+                    return Err(ClientError::Remote { code, message })
+                }
+                _ => return Err(ClientError::UnexpectedResponse),
+            }
+        }
+    }
+
     /// Ask the server to exit cleanly; consumes the client.
     ///
     /// # Errors
@@ -956,6 +1653,140 @@ impl Client {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn bare_shards() -> Shards {
+        Shards {
+            workers: Vec::new(),
+            tile: 4,
+            order: Mutex::new(()),
+            journal: Mutex::new(IngestJournal::default()),
+            gathered: Mutex::new(None),
+            stats: StatsCells::default(),
+        }
+    }
+
+    /// Regression: one panicking connection thread used to poison the
+    /// gather-cache mutex forever, turning every later `Pairwise([])`
+    /// into a panic — a permanent denial of service. The cache is pure,
+    /// so recovery is discarding it and healing the mutex.
+    #[test]
+    fn poisoned_gather_cache_recovers_instead_of_panicking() {
+        let shards = bare_shards();
+        *shards.cache_lock() = Some((3, vec![0.0; 9]));
+        // Poison: a thread panics while holding the cache lock.
+        let _ = std::thread::scope(|scope| {
+            scope
+                .spawn(|| {
+                    let _guard = shards.gathered.lock().unwrap();
+                    panic!("connection thread dies mid-cache-write");
+                })
+                .join()
+        });
+        assert!(shards.gathered.is_poisoned());
+        // Used to panic here; now the torn cache is dropped and, with
+        // no workers to recompute on, the query fails *typed*.
+        let response = shards.sharded_pairwise(3, vec![1, 2, 3]);
+        assert!(
+            matches!(response, Response::Error { code, .. } if code == ERR_WORKER),
+            "{response:?}"
+        );
+        assert!(!shards.gathered.is_poisoned(), "mutex not healed");
+        // The cache works again after recovery: a warm hit answers.
+        *shards.cache_lock() = Some((2, vec![0.0; 4]));
+        let response = shards.sharded_pairwise(2, vec![7, 8]);
+        assert!(
+            matches!(response, Response::Pairwise { .. }),
+            "{response:?}"
+        );
+    }
+
+    #[test]
+    fn poisoned_order_and_journal_locks_recover_too() {
+        let shards = bare_shards();
+        let _ = std::thread::scope(|scope| {
+            scope
+                .spawn(|| {
+                    let _o = shards.order.lock().unwrap();
+                    let _j = shards.journal.lock().unwrap();
+                    panic!("mutation thread dies");
+                })
+                .join()
+        });
+        assert!(shards.order.is_poisoned());
+        assert!(shards.journal.is_poisoned());
+        drop(shards.order_lock());
+        shards.journal_lock().frames.push(vec![1, 2, 3]);
+        assert!(!shards.order.is_poisoned());
+        assert!(!shards.journal.is_poisoned());
+        assert_eq!(shards.journal_lock().frames.len(), 1);
+    }
+
+    /// The journal only covers post-bind mutations: frame `i` is store
+    /// row `base + i`. A replica must land inside that window to be
+    /// caught up; outside it, revival must refuse — in particular a
+    /// healthy in-sync replica of a pre-seeded coordinator (`have ==
+    /// base + frames`) replays nothing, and one missing pre-journal
+    /// rows (`have < base`) is NOT silently treated as empty.
+    #[test]
+    fn replay_skip_respects_the_journal_base() {
+        // Fresh coordinator (base 0): the original arithmetic.
+        assert_eq!(replay_skip(0, 5, 0), Ok(0));
+        assert_eq!(replay_skip(0, 5, 3), Ok(3));
+        assert_eq!(replay_skip(0, 5, 5), Ok(5));
+        assert!(replay_skip(0, 5, 6).is_err(), "ahead of the journal");
+        // Pre-seeded coordinator (base 10): an in-sync replica after a
+        // connection drop replays only the journaled suffix…
+        assert_eq!(replay_skip(10, 4, 10), Ok(0));
+        assert_eq!(replay_skip(10, 4, 12), Ok(2));
+        assert_eq!(replay_skip(10, 4, 14), Ok(4), "fully caught up");
+        // …while a fresh-restarted replica (0 rows) cannot be rebuilt
+        // from a log that starts at row 10.
+        assert!(replay_skip(10, 4, 0).is_err(), "predates the journal");
+        assert!(replay_skip(10, 4, 9).is_err(), "predates the journal");
+        assert!(replay_skip(10, 4, 15).is_err(), "ahead of the journal");
+    }
+
+    #[test]
+    fn tcp_connect_timeout_bounds_unreachable_hosts() {
+        // RFC 5737 TEST-NET: never routable on the open internet.
+        // Environments differ in how the connect fails (fast
+        // unreachable, silent drop, or a transparent proxy accepting
+        // it), so the only portable assertion is the one that matters:
+        // the call returns within a small multiple of the configured
+        // timeout, never the kernel's minutes-long connect timeout.
+        let endpoint = Endpoint::Tcp("192.0.2.1:9".to_string());
+        let started = std::time::Instant::now();
+        let _ = Client::connect_timeout(&endpoint, Duration::from_millis(200));
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "connect was not bounded: {:?}",
+            started.elapsed()
+        );
+    }
+
+    #[test]
+    fn split_ids_balances_by_pair_count_and_pads() {
+        let plan = TilePlan::new(32, 4);
+        let all: Vec<u64> = (0..plan.tile_count() as u64).collect();
+        let chunks = split_ids(&plan, &all, 3);
+        assert_eq!(chunks.len(), 3);
+        let flat: Vec<u64> = chunks.iter().flatten().copied().collect();
+        assert_eq!(flat, all, "chunks must cover the ids in order");
+        // Non-contiguous re-dispatch sets split too.
+        let sparse: Vec<u64> = all.iter().copied().step_by(3).collect();
+        let chunks = split_ids(&plan, &sparse, 2);
+        let flat: Vec<u64> = chunks.iter().flatten().copied().collect();
+        assert_eq!(flat, sparse);
+        // More shards than ids: empty padding, never a panic.
+        let chunks = split_ids(&plan, &[7], 4);
+        assert_eq!(chunks.len(), 4);
+        assert_eq!(chunks[0], vec![7]);
+        assert!(chunks[1..].iter().all(Vec::is_empty));
+        // No ids at all.
+        let chunks = split_ids(&plan, &[], 2);
+        assert_eq!(chunks.len(), 2);
+        assert!(chunks.iter().all(Vec::is_empty));
+    }
 
     #[test]
     fn endpoint_parse_and_display() {

@@ -25,7 +25,7 @@
 use dp_core::sketcher::SketcherSpec;
 use dp_core::Parallelism;
 use dp_engine::{QueryEngine, SketchStore};
-use dp_server::{Client, Endpoint, Server};
+use dp_server::{Client, Endpoint, Server, WorkerEntry};
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -150,7 +150,14 @@ fn main() -> ExitCode {
             Err(e) => return fail(&e),
         };
         match connect_worker(&worker_endpoint, worker_timeout) {
-            Ok(client) => worker_clients.push(client),
+            // Keeping the endpoint makes the slot revivable: after a
+            // failure the coordinator reconnects and replays its ingest
+            // journal instead of requiring a restart.
+            Ok(client) => worker_clients.push(WorkerEntry::reconnectable(
+                client,
+                worker_endpoint,
+                Some(worker_timeout),
+            )),
             Err(e) => return fail(&format!("cannot reach worker {worker_endpoint}: {e}")),
         }
     }
@@ -175,7 +182,7 @@ fn main() -> ExitCode {
         );
     } else {
         println!(
-            "dp-server: serving protocol v3 on {} ({} worker(s))",
+            "dp-server: serving protocol v4 on {} ({} worker(s))",
             server.local_endpoint(),
             workers
         );

@@ -13,6 +13,7 @@ use dp_hashing::Seed;
 use dp_linalg::SparseVector;
 use dp_noise::mechanism::NoiseMechanism;
 use dp_transforms::achlioptas::Achlioptas;
+use dp_transforms::gaussian_iid::GaussianIid;
 use dp_transforms::sjlt::Sjlt;
 use dp_transforms::{LinearTransform, StreamingColumns, TransformError};
 
@@ -145,17 +146,21 @@ impl<T: StreamingColumns> StreamingSketch<T> {
 }
 
 /// Any column-streaming transform a construction can hand a stream
-/// over: the SJLT (paper Theorem 3 item 4) or the Achlioptas sparse ±1
-/// projection. One enum, so [`StreamingSketcher::streaming_sketch`] has
-/// a single return type across constructions while the accumulator's
-/// update cost stays the underlying transform's (`s` rows for the SJLT,
-/// ~`k/3` for Achlioptas).
+/// over: the SJLT (paper Theorem 3 item 4), the Achlioptas sparse ±1
+/// projection, or the Kenthapadi baseline's dense i.i.d. Gaussian. One
+/// enum, so [`StreamingSketcher::streaming_sketch`] has a single return
+/// type across constructions while the accumulator's update cost stays
+/// the underlying transform's (`s` rows for the SJLT, ~`k/3` for
+/// Achlioptas, all `k` for the dense Gaussian — streaming the baseline
+/// is about API uniformity, not sparsity).
 #[derive(Debug, Clone)]
 pub enum AnyStreamingTransform {
     /// The Kane–Nelson sparser JL transform.
     Sjlt(Sjlt),
     /// The Achlioptas database-friendly ±1 projection.
     Achlioptas(Achlioptas),
+    /// The Kenthapadi baseline's dense i.i.d. `N(0, 1/k)` projection.
+    Gaussian(GaussianIid),
 }
 
 impl LinearTransform for AnyStreamingTransform {
@@ -163,6 +168,7 @@ impl LinearTransform for AnyStreamingTransform {
         match self {
             Self::Sjlt(t) => t.input_dim(),
             Self::Achlioptas(t) => t.input_dim(),
+            Self::Gaussian(t) => t.input_dim(),
         }
     }
 
@@ -170,6 +176,7 @@ impl LinearTransform for AnyStreamingTransform {
         match self {
             Self::Sjlt(t) => t.output_dim(),
             Self::Achlioptas(t) => t.output_dim(),
+            Self::Gaussian(t) => t.output_dim(),
         }
     }
 
@@ -177,6 +184,7 @@ impl LinearTransform for AnyStreamingTransform {
         match self {
             Self::Sjlt(t) => t.apply_into(x, out),
             Self::Achlioptas(t) => t.apply_into(x, out),
+            Self::Gaussian(t) => t.apply_into(x, out),
         }
     }
 
@@ -184,6 +192,7 @@ impl LinearTransform for AnyStreamingTransform {
         match self {
             Self::Sjlt(t) => t.apply_sparse(x),
             Self::Achlioptas(t) => t.apply_sparse(x),
+            Self::Gaussian(t) => t.apply_sparse(x),
         }
     }
 
@@ -191,6 +200,7 @@ impl LinearTransform for AnyStreamingTransform {
         match self {
             Self::Sjlt(t) => t.l1_sensitivity(),
             Self::Achlioptas(t) => t.l1_sensitivity(),
+            Self::Gaussian(t) => t.l1_sensitivity(),
         }
     }
 
@@ -198,6 +208,7 @@ impl LinearTransform for AnyStreamingTransform {
         match self {
             Self::Sjlt(t) => t.l2_sensitivity(),
             Self::Achlioptas(t) => t.l2_sensitivity(),
+            Self::Gaussian(t) => t.l2_sensitivity(),
         }
     }
 
@@ -205,6 +216,7 @@ impl LinearTransform for AnyStreamingTransform {
         match self {
             Self::Sjlt(t) => t.sensitivity_is_a_priori(),
             Self::Achlioptas(t) => t.sensitivity_is_a_priori(),
+            Self::Gaussian(t) => t.sensitivity_is_a_priori(),
         }
     }
 
@@ -212,6 +224,7 @@ impl LinearTransform for AnyStreamingTransform {
         match self {
             Self::Sjlt(t) => t.name(),
             Self::Achlioptas(t) => t.name(),
+            Self::Gaussian(t) => t.name(),
         }
     }
 }
@@ -221,6 +234,7 @@ impl StreamingColumns for AnyStreamingTransform {
         match self {
             Self::Sjlt(t) => t.column_nnz(),
             Self::Achlioptas(t) => t.column_nnz(),
+            Self::Gaussian(t) => t.column_nnz(),
         }
     }
 
@@ -232,6 +246,7 @@ impl StreamingColumns for AnyStreamingTransform {
         match self {
             Self::Sjlt(t) => t.for_column(j, visit),
             Self::Achlioptas(t) => t.for_column(j, visit),
+            Self::Gaussian(t) => t.for_column(j, visit),
         }
     }
 }
@@ -246,8 +261,8 @@ pub trait StreamingSketcher {
     ///
     /// # Errors
     /// [`CoreError::Unsupported`] when the construction's transform has
-    /// no streaming column access (today: everything but the SJLT and
-    /// Achlioptas constructions).
+    /// no streaming column access (today: the FJLT constructions, whose
+    /// implicit transform has no per-column form).
     fn streaming_sketch(&self) -> Result<StreamingSketch<AnyStreamingTransform>, CoreError>;
 }
 
@@ -257,9 +272,11 @@ impl StreamingSketcher for AnySketcher {
             AnyStreamingTransform::Sjlt(sjlt.general().transform().clone())
         } else if let Some(achlioptas) = self.as_achlioptas() {
             AnyStreamingTransform::Achlioptas(achlioptas.general().transform().clone())
+        } else if let Some(kenthapadi) = self.as_kenthapadi() {
+            AnyStreamingTransform::Gaussian(kenthapadi.general().transform().clone())
         } else {
             return Err(CoreError::Unsupported(
-                "only the SJLT and Achlioptas constructions expose streaming column access",
+                "this construction's transform exposes no streaming column access",
             ));
         };
         Ok(StreamingSketch::new(transform, self.tag().to_string()))
@@ -399,9 +416,10 @@ mod tests {
         assert_eq!(streamed.transform_tag(), sketcher.tag());
         let direct = sketcher.sketch(&x, Seed::new(11)).unwrap();
         assert!(streamed.estimate_sq_distance(&direct).is_ok());
-        // Non-streaming constructions refuse with a typed error.
-        let dense = AnySketcher::new(
-            Construction::Kenthapadi(dp_core::kenthapadi::SigmaCalibration::ExactSensitivity),
+        // Non-streaming constructions refuse with a typed error (the
+        // FJLT's implicit transform has no per-column form).
+        let fjlt = AnySketcher::new(
+            Construction::FjltOutput,
             &SketchConfig::builder()
                 .input_dim(64)
                 .alpha(0.3)
@@ -414,9 +432,61 @@ mod tests {
         )
         .unwrap();
         assert!(matches!(
-            dense.streaming_sketch(),
+            fjlt.streaming_sketch(),
             Err(CoreError::Unsupported(_))
         ));
+    }
+
+    #[test]
+    fn kenthapadi_construction_streams_through_the_same_enum() {
+        use dp_core::config::SketchConfig;
+        use dp_core::sketcher::{AnySketcher, Construction};
+        let cfg = SketchConfig::builder()
+            .input_dim(64)
+            .alpha(0.3)
+            .beta(0.1)
+            .epsilon(1.0)
+            .delta(1e-6)
+            .build()
+            .unwrap();
+        let sketcher = AnySketcher::new(
+            Construction::Kenthapadi(dp_core::kenthapadi::SigmaCalibration::ExactSensitivity),
+            &cfg,
+            Seed::new(5),
+        )
+        .unwrap();
+        let mut stream = sketcher.streaming_sketch().unwrap();
+        assert!(matches!(
+            stream.transform(),
+            AnyStreamingTransform::Gaussian(_)
+        ));
+        // Dense columns: every update touches all k rows.
+        assert_eq!(stream.transform().column_nnz(), sketcher.k());
+        // Turnstile updates (with cancellation) reproduce the batch
+        // projection of the sketcher's own transform.
+        let x: Vec<f64> = (0..64).map(|i| (i % 7) as f64 - 3.0).collect();
+        for (j, &w) in x.iter().enumerate() {
+            stream.update(j, w + 1.0).unwrap();
+        }
+        for j in 0..64 {
+            stream.update(j, -1.0).unwrap();
+        }
+        let batch = sketcher
+            .as_kenthapadi()
+            .unwrap()
+            .general()
+            .transform()
+            .apply(&x)
+            .unwrap();
+        for (a, b) in stream.current_projection().iter().zip(&batch) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        // Releases through the sketcher interoperate with its batch
+        // releases: same tag, combinable estimates.
+        let streamed = stream.release_via(&sketcher, Seed::new(9)).unwrap();
+        let direct = sketcher.sketch(&vec![0.0; 64], Seed::new(11)).unwrap();
+        assert_eq!(streamed.transform_tag(), sketcher.tag());
+        assert!(streamed.estimate_sq_distance(&direct).is_ok());
     }
 
     #[test]

@@ -1,14 +1,18 @@
-//! End-to-end tests of the sharded pairwise pipeline: a coordinator
-//! `dp-server` fanning ingests and tile executions out to real worker
-//! servers over unix sockets. The acceptance bar is the workspace's
-//! determinism contract: the gathered matrix must be **bit-identical**
-//! to `pairwise_sq_distances_reference` over the same releases.
+//! End-to-end tests of the fault-tolerant sharded pairwise pipeline: a
+//! coordinator `dp-server` fanning ingests and tile executions out to
+//! real worker servers over unix sockets. The acceptance bar is the
+//! workspace's determinism contract: the gathered matrix must be
+//! **bit-identical** to `pairwise_sq_distances_reference` over the same
+//! releases — including when a worker dies mid-query (re-dispatch),
+//! when rows are ingested between queries (incremental frontier
+//! re-execution), and when a killed worker is restarted and resynced
+//! from the coordinator's ingest journal.
 
 use dp_euclid::core::pairwise_sq_distances_reference;
 use dp_euclid::core::release::Release;
 use dp_euclid::hashing::Seed;
 use dp_euclid::prelude::*;
-use dp_server::{Client, ClientError, Endpoint, Server};
+use dp_server::{Client, ClientError, Endpoint, Server, WorkerEntry};
 use std::path::PathBuf;
 use std::time::Duration;
 
@@ -53,6 +57,24 @@ fn bind_worker(tag: &str) -> (Server, Endpoint, PathBuf) {
     (server, endpoint, socket)
 }
 
+fn reconnectable_pool(endpoints: &[&Endpoint], timeout: Duration) -> Vec<WorkerEntry> {
+    endpoints
+        .iter()
+        .map(|ep| {
+            let client = Client::connect(ep).expect("connect worker");
+            client.set_read_timeout(Some(timeout)).expect("timeout");
+            WorkerEntry::reconnectable(client, (*ep).clone(), Some(timeout))
+        })
+        .collect()
+}
+
+fn assert_bits(got: &[f64], want: &[f64]) {
+    assert_eq!(got.len(), want.len());
+    for (a, b) in got.iter().zip(want) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+}
+
 #[test]
 fn sharded_pairwise_is_bit_identical_to_the_reference() {
     let spec = spec(160);
@@ -69,16 +91,7 @@ fn sharded_pairwise_is_bit_identical_to_the_reference() {
     // The coordinator's worker pool: one timed connection each (the
     // listeners are bound, so connecting before the accept loops start
     // just parks the connections in the backlog).
-    let pool: Vec<Client> = [&ep_a, &ep_b]
-        .iter()
-        .map(|ep| {
-            let client = Client::connect(ep).expect("connect worker");
-            client
-                .set_read_timeout(Some(Duration::from_secs(30)))
-                .expect("timeout");
-            client
-        })
-        .collect();
+    let pool = reconnectable_pool(&[&ep_a, &ep_b], Duration::from_secs(30));
     // A small shard tile forces many tiles per worker, exercising
     // out-of-order gather paths.
     let coordinator = Server::bind_coordinator(
@@ -115,31 +128,44 @@ fn sharded_pairwise_is_bit_identical_to_the_reference() {
         assert_eq!(pair_count, 17 * 16 / 2);
 
         // Acceptance: the sharded full matrix over 2 workers is
-        // bit-identical to the naive per-pair reference.
+        // bit-identical to the naive per-pair reference. (The relayed
+        // Hello advertised CAP_TILE_STREAM on both sides, so this also
+        // exercises the streamed TileResultPart path end to end.)
         let (ids, values) = client.pairwise(&[]).expect("sharded pairwise");
         assert_eq!(ids.len(), 17);
-        assert_eq!(values.len(), reference.as_flat().len());
-        for (a, b) in values.iter().zip(reference.as_flat()) {
-            assert_eq!(a.to_bits(), b.to_bits());
-        }
+        assert_bits(&values, reference.as_flat());
+        let stats = coordinator.coordinator_stats().expect("coordinator role");
+        assert_eq!(stats.last_query_tiles, tile_count, "cold query = full plan");
+        assert_eq!(stats.last_query_rounds, 1, "no failures, one round");
 
         // A repeated query answers from the coordinator's gathered
         // cache — still bit-identical.
         let (_, warm) = client.pairwise(&[]).expect("warm pairwise");
-        for (a, b) in warm.iter().zip(&values) {
-            assert_eq!(a.to_bits(), b.to_bits());
-        }
+        assert_bits(&warm, &values);
 
-        // A further ingest invalidates the cache (keyed by row count):
-        // the regathered 18-row matrix matches the reference again.
+        // A further ingest grows the store; the regathered 18-row
+        // matrix matches the reference again, and — the incremental
+        // contract — only the tiles touching the new row were
+        // re-executed, not the whole plan.
         client.ingest(&held_back[0]).expect("ingest");
         let grown: Vec<_> = all.iter().map(|r| r.sketch.clone()).collect();
         let grown_reference = pairwise_sq_distances_reference(&grown).expect("reference");
         let (grown_ids, grown_values) = client.pairwise(&[]).expect("regather");
         assert_eq!(grown_ids.len(), 18);
-        for (a, b) in grown_values.iter().zip(grown_reference.as_flat()) {
-            assert_eq!(a.to_bits(), b.to_bits());
-        }
+        assert_bits(&grown_values, grown_reference.as_flat());
+        let frontier = dp_euclid::core::TilePlan::new(18, 5)
+            .tiles_touching_rows(17..18)
+            .len() as u64;
+        let grown_tile_count = dp_euclid::core::TilePlan::new(18, 5).tile_count() as u64;
+        let stats = coordinator.coordinator_stats().expect("coordinator role");
+        assert_eq!(
+            stats.last_query_tiles, frontier,
+            "growth must re-execute exactly the frontier"
+        );
+        assert!(
+            frontier < grown_tile_count,
+            "frontier ({frontier}) must be a strict subset of the plan ({grown_tile_count})"
+        );
 
         // Remote ExecuteTiles against a stale plan is a typed error.
         let err = direct.execute_tiles(16, 5, &[0]).expect_err("stale plan");
@@ -148,12 +174,36 @@ fn sharded_pairwise_is_bit_identical_to_the_reference() {
             "{err:?}"
         );
         let err = direct
-            .execute_tiles(17, 5, &[tile_count])
+            .execute_tiles(18, 5, &[grown_tile_count])
             .expect_err("alien tile id");
         assert!(
             matches!(err, ClientError::Remote { code, .. } if code == dp_euclid::core::protocol::ERR_PLAN),
             "{err:?}"
         );
+        // The streamed mode answers a stale plan with a single typed
+        // error frame too, leaving the connection usable.
+        let err = direct
+            .execute_tiles_streamed(16, 5, &[0], &mut |_| {})
+            .expect_err("stale streamed plan");
+        assert!(
+            matches!(err, ClientError::Remote { code, .. } if code == dp_euclid::core::protocol::ERR_PLAN),
+            "{err:?}"
+        );
+        // Streamed and monolithic execution agree bit for bit.
+        let all_ids: Vec<u64> = (0..grown_tile_count).collect();
+        let mono = direct
+            .execute_tiles(18, 5, &all_ids)
+            .expect("monolithic tiles");
+        let mut streamed = Vec::new();
+        let parts = direct
+            .execute_tiles_streamed(18, 5, &all_ids, &mut |segment| streamed.push(segment))
+            .expect("streamed tiles");
+        assert_eq!(parts, grown_tile_count);
+        assert_eq!(mono.len(), streamed.len());
+        for (m, s) in mono.iter().zip(&streamed) {
+            assert_eq!(m.tile_id, s.tile_id);
+            assert_bits(&s.values, &m.values);
+        }
         drop(direct);
 
         // Non-pairwise queries stay local on the coordinator and still
@@ -226,6 +276,7 @@ fn fake_worker(
                 k: 0,
                 rows,
                 tag: String::new(),
+                caps: 0,
             },
             Ok(Request::Ingest { .. }) => {
                 rows += 1;
@@ -245,11 +296,13 @@ fn fake_worker(
 }
 
 #[test]
-fn dead_worker_fails_the_gather_with_a_typed_error() {
+fn dead_worker_is_redispatched_to_the_survivor() {
     use std::sync::atomic::{AtomicBool, Ordering};
 
     let spec = spec(96);
     let rs = releases(&spec, 6);
+    let sketches: Vec<_> = rs.iter().map(|r| r.sketch.clone()).collect();
+    let reference = pairwise_sq_distances_reference(&sketches).expect("reference");
 
     let (worker_a, ep_a, sock_a) = bind_worker("da");
     // Worker B is the fake: healthy during setup, silent at query time.
@@ -262,14 +315,21 @@ fn dead_worker_fails_the_gather_with_a_typed_error() {
     let coord_socket = scratch_socket("dcoord");
     let coord_endpoint = Endpoint::Unix(coord_socket.clone());
 
-    let pool: Vec<Client> = [&ep_a, &ep_b]
+    let timeout = Duration::from_millis(500);
+    let pool: Vec<WorkerEntry> = [&ep_a, &ep_b]
         .iter()
-        .map(|ep| {
+        .enumerate()
+        .map(|(i, ep)| {
             let client = Client::connect(ep).expect("connect worker");
-            client
-                .set_read_timeout(Some(Duration::from_millis(500)))
-                .expect("timeout");
-            client
+            client.set_read_timeout(Some(timeout)).expect("timeout");
+            if i == 0 {
+                // Only the real worker is revivable; the fake poisons
+                // for good, so re-dispatch (not revival) is what this
+                // test exercises.
+                WorkerEntry::reconnectable(client, (*ep).clone(), Some(timeout))
+            } else {
+                WorkerEntry::new(client)
+            }
         })
         .collect();
     let coordinator = Server::bind_coordinator(
@@ -294,35 +354,32 @@ fn dead_worker_fails_the_gather_with_a_typed_error() {
         // Worker B wedges: from here on it reads and never answers.
         silent.store(true, Ordering::SeqCst);
 
-        // The sharded query must come back as a typed worker error —
-        // not a hang, not a hangup — within the pool's read timeout.
+        // The sharded query must still SUCCEED: B's shard times out, B
+        // is poisoned, and its missing tiles are re-dispatched to the
+        // surviving worker A — bit-identically to the reference.
         let started = std::time::Instant::now();
-        let err = client.pairwise(&[]).expect_err("dead worker");
-        assert!(
-            matches!(err, ClientError::Remote { code, .. } if code == dp_euclid::core::protocol::ERR_WORKER),
-            "{err:?}"
-        );
+        let (ids, values) = client.pairwise(&[]).expect("re-dispatched pairwise");
+        assert_eq!(ids.len(), 6);
+        assert_bits(&values, reference.as_flat());
         assert!(
             started.elapsed() < Duration::from_secs(30),
-            "timeout did not bound the gather"
+            "timeout did not bound the failed shard"
         );
+        let stats = coordinator.coordinator_stats().expect("coordinator role");
+        assert!(
+            stats.last_query_rounds >= 2,
+            "survivor re-dispatch must take extra rounds: {stats:?}"
+        );
+        assert!(stats.redispatches >= 1, "{stats:?}");
 
-        // The timed-out connection may hold a late response, so the
-        // coordinator drops it from the pool: a retry fails *fast*
-        // (no second timeout wait) with a typed error — it must never
-        // pair a new request with the stale frame.
+        // A repeat answers from the gathered cache — no worker I/O, so
+        // it is fast and identical even with B gone.
         let started = std::time::Instant::now();
-        let err = client.pairwise(&[]).expect_err("poisoned pool");
-        match err {
-            ClientError::Remote { code, message } => {
-                assert_eq!(code, dp_euclid::core::protocol::ERR_WORKER);
-                assert!(message.contains("connection lost"), "{message}");
-            }
-            other => panic!("{other:?}"),
-        }
+        let (_, warm) = client.pairwise(&[]).expect("warm pairwise");
+        assert_bits(&warm, &values);
         assert!(
             started.elapsed() < Duration::from_millis(400),
-            "poisoned worker was waited on again"
+            "warm repeat must not wait on the dead worker"
         );
 
         // The coordinator connection itself stays healthy: local
@@ -341,7 +398,114 @@ fn dead_worker_fails_the_gather_with_a_typed_error() {
 }
 
 #[test]
-fn wedged_worker_times_out_instead_of_hanging() {
+fn killed_worker_restarts_and_resyncs_from_the_journal() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let spec = spec(128);
+    let all = releases(&spec, 12);
+    let (rs, later) = all.split_at(10);
+
+    let (worker_a, ep_a, sock_a) = bind_worker("ra");
+    // Worker B starts as a fake: it acks the setup mutations, then goes
+    // silent — the in-process stand-in for a SIGKILLed process (the
+    // chaos smoke kills a real one). It is later replaced by a real
+    // server on the same endpoint, which is what revival resyncs.
+    let sock_b = scratch_socket("rb");
+    let _ = std::fs::remove_file(&sock_b);
+    let listener_b = std::os::unix::net::UnixListener::bind(&sock_b).expect("bind fake");
+    let ep_b = Endpoint::Unix(sock_b.clone());
+    let silent = AtomicBool::new(false);
+    let stop = AtomicBool::new(false);
+    let coord_socket = scratch_socket("rcoord");
+    let coord_endpoint = Endpoint::Unix(coord_socket.clone());
+    let pool = reconnectable_pool(&[&ep_a, &ep_b], Duration::from_millis(700));
+    let coordinator = Server::bind_coordinator(
+        coord_endpoint.clone(),
+        QueryEngine::new(SketchStore::adopting()),
+        pool,
+        4,
+    )
+    .expect("bind coordinator");
+
+    std::thread::scope(|scope| {
+        let ha = scope.spawn(|| worker_a.serve(2));
+        let hb1 = scope.spawn(|| fake_worker(listener_b, &silent, &stop));
+        let hc = scope.spawn(|| coordinator.serve(1));
+
+        let mut client = Client::connect(&coord_endpoint).expect("connect coordinator");
+        client.hello(&spec).expect("hello");
+        for r in rs {
+            client.ingest(r).expect("ingest");
+        }
+
+        // Kill worker B: from here on it never answers again.
+        silent.store(true, Ordering::SeqCst);
+
+        // Mid-query discovery: the cold sharded query finds B dead on
+        // the first exchange, poisons it (revival times out — nothing
+        // answers), and re-dispatches to A. Bit-identity holds.
+        let sketches: Vec<_> = rs.iter().map(|r| r.sketch.clone()).collect();
+        let reference = pairwise_sq_distances_reference(&sketches).expect("reference");
+        let (ids, values) = client.pairwise(&[]).expect("pairwise with dead worker");
+        assert_eq!(ids.len(), 10);
+        assert_bits(&values, reference.as_flat());
+        let stats = coordinator.coordinator_stats().expect("coordinator role");
+        assert!(stats.redispatches >= 1, "{stats:?}");
+        assert_eq!(stats.resyncs, 0, "{stats:?}");
+
+        // Ingests keep succeeding while B is down — journaled for its
+        // eventual catch-up, broadcast only to A.
+        for r in later {
+            client.ingest(r).expect("ingest with dead worker");
+        }
+
+        // "Restart" B: the dead process goes away for good, and a real
+        // server with a fresh empty store binds the same endpoint.
+        stop.store(true, Ordering::SeqCst);
+        hb1.join().expect("dead worker reaped");
+        let worker_b2 = Server::bind(ep_b.clone(), QueryEngine::new(SketchStore::adopting()))
+            .expect("rebind worker b");
+        let hb2 = scope.spawn(move || {
+            worker_b2.serve(2);
+        });
+
+        // The next sharded query revives B: reconnect, replay the
+        // journaled Hello, catch up all 12 ingests — without restarting
+        // the coordinator — then shards the frontier across A and B.
+        let grown: Vec<_> = all.iter().map(|r| r.sketch.clone()).collect();
+        let grown_reference = pairwise_sq_distances_reference(&grown).expect("reference");
+        let (ids, values) = client.pairwise(&[]).expect("pairwise after restart");
+        assert_eq!(ids.len(), 12);
+        assert_bits(&values, grown_reference.as_flat());
+        let stats = coordinator.coordinator_stats().expect("coordinator role");
+        assert_eq!(stats.revives, 1, "{stats:?}");
+        assert_eq!(stats.resyncs, 1, "{stats:?}");
+        let frontier = dp_euclid::core::TilePlan::new(12, 4)
+            .tiles_touching_rows(10..12)
+            .len() as u64;
+        assert_eq!(
+            stats.last_query_tiles, frontier,
+            "growth re-executes only the frontier even across a resync"
+        );
+
+        // The restarted replica really holds all 12 rows: ask directly.
+        let mut direct = Client::connect(&ep_b).expect("connect restarted worker");
+        let (rows, _, _, _) = direct.plan_pairwise(4).expect("plan");
+        assert_eq!(rows, 12, "replica not caught up");
+        drop(direct);
+
+        client.shutdown().expect("shutdown");
+        hc.join().expect("coordinator joined");
+        ha.join().expect("worker a joined");
+        hb2.join().expect("worker b2 joined");
+    });
+    for socket in [sock_a, sock_b, coord_socket] {
+        let _ = std::fs::remove_file(socket);
+    }
+}
+
+#[test]
+fn wedged_worker_poisons_without_failing_the_mutation() {
     use std::sync::atomic::{AtomicBool, Ordering};
 
     // A worker that is silent from the very first request.
@@ -361,7 +525,9 @@ fn wedged_worker_times_out_instead_of_hanging() {
     let coordinator = Server::bind_coordinator(
         coord_endpoint.clone(),
         QueryEngine::new(SketchStore::adopting()),
-        vec![pool_client],
+        // No endpoint: the wedged worker must not be revived, so the
+        // sharded query below exercises the no-live-workers path.
+        vec![WorkerEntry::new(pool_client)],
         8,
     )
     .expect("bind coordinator");
@@ -371,17 +537,40 @@ fn wedged_worker_times_out_instead_of_hanging() {
         let hc = scope.spawn(|| coordinator.serve(1));
 
         // The relayed Hello hits the silent worker; the read timeout
-        // must convert the hang into a typed worker error, promptly.
+        // bounds the wait, the worker is poisoned — and the client's
+        // Hello still SUCCEEDS (the coordinator's local engine is the
+        // source of truth; the journal would catch the replica up).
         let mut client = Client::connect(&coord_endpoint).expect("connect coordinator");
         let started = std::time::Instant::now();
-        let err = client.hello(&spec).expect_err("wedged worker");
+        let (_, rows, _) = client.hello(&spec).expect("hello survives a wedged worker");
+        assert_eq!(rows, 0);
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "timeout did not bound the wait"
+        );
+
+        // Ingests succeed likewise (journaled; the poisoned slot is
+        // skipped, so no further timeout is paid).
+        let r = releases(&spec, 2);
+        let started = std::time::Instant::now();
+        client.ingest(&r[0]).expect("ingest");
+        client.ingest(&r[1]).expect("ingest");
+        assert!(
+            started.elapsed() < Duration::from_millis(250),
+            "poisoned worker was waited on again"
+        );
+
+        // A sharded query, though, has no live worker to serve it and
+        // no endpoint to revive — typed ERR_WORKER, promptly.
+        let started = std::time::Instant::now();
+        let err = client.pairwise(&[]).expect_err("no live workers");
         assert!(
             matches!(err, ClientError::Remote { code, .. } if code == dp_euclid::core::protocol::ERR_WORKER),
             "{err:?}"
         );
         assert!(
-            started.elapsed() < Duration::from_secs(10),
-            "timeout did not bound the wait"
+            started.elapsed() < Duration::from_secs(5),
+            "no-live-workers must fail fast"
         );
 
         stop.store(true, Ordering::SeqCst);

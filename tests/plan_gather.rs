@@ -11,6 +11,11 @@
 //!    [`dp_euclid::core::TileSegment`]s in *any* order (any shard
 //!    count, shuffled arrival) reassembles a matrix **bit-identical**
 //!    to `pairwise_sq_distances_reference` over real releases.
+//! 3. **Incremental growth** — seeding a gather from a previous matrix
+//!    and executing only the frontier tiles
+//!    ([`TilePlan::tiles_touching_rows`]), through any sequence of
+//!    growth steps, is bit-identical to a cold full recompute — the law
+//!    the coordinator's ingest-then-requery path rests on.
 
 use dp_euclid::core::release::Release;
 use dp_euclid::core::{pairwise_sq_distances_reference, TilePlan};
@@ -150,6 +155,114 @@ proptest! {
                 b.to_bits(),
                 "cell {} differs (n = {}, tile = {}, shards = {})",
                 idx, n, tile, shards
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // Law 3, gather side: a seeded gather demands exactly the frontier,
+    // and completing it over real releases is bit-identical to a cold
+    // full recompute — for arbitrary growth splits, tile sides, shard
+    // counts, and arrival orders of the frontier segments.
+    #[test]
+    fn seeded_gather_growth_is_bit_identical_to_cold(
+        n in 3usize..24,
+        old_frac in 0usize..100,
+        tile in 1usize..9,
+        shards in 1usize..6,
+        order_seed in 0u64..1_000_000,
+    ) {
+        let old = 2 + old_frac * (n - 2) / 100; // 2..=n
+        let releases = &release_pool()[..n];
+        let sketches: Vec<NoisySketch> =
+            releases.iter().map(|r| r.sketch.clone()).collect();
+        let reference = pairwise_sq_distances_reference(&sketches).expect("reference");
+
+        let mut engine = QueryEngine::new(SketchStore::adopting());
+        for r in &releases[..old] {
+            engine.ingest(r).expect("ingest");
+        }
+        // The "previous" matrix, exactly as a coordinator would have
+        // cached it.
+        let previous = engine.pairwise_all().as_flat().to_vec();
+        for r in &releases[old..] {
+            engine.ingest(r).expect("ingest");
+        }
+
+        let plan = TilePlan::new(n, tile);
+        let mut gather = Gather::seeded(plan, old, &previous);
+        let frontier: Vec<u64> = plan
+            .tiles_touching_rows(old..n)
+            .into_iter()
+            .map(|id| id as u64)
+            .collect();
+        prop_assert_eq!(&gather.missing_ids(), &frontier);
+
+        // Execute only the frontier, sharded and shuffled.
+        let mut segments = Vec::new();
+        for chunk_ids in frontier.chunks(frontier.len().div_ceil(shards).max(1)) {
+            segments.extend(engine.execute_tiles(n, tile, chunk_ids).expect("valid"));
+        }
+        shuffle(&mut segments, order_seed);
+        for segment in &segments {
+            gather.accept(segment).expect("frontier segments fit");
+        }
+        let grown = gather.finish().expect("frontier completes the gather");
+        for (idx, (a, b)) in reference.as_flat().iter().zip(grown.as_flat()).enumerate() {
+            prop_assert_eq!(
+                a.to_bits(), b.to_bits(),
+                "cell {} differs (n = {}, old = {}, tile = {})",
+                idx, n, old, tile
+            );
+        }
+    }
+
+    // Law 3, engine side: ingest-query interleavings never change a
+    // bit. Grow the store through an arbitrary sequence of steps,
+    // querying between each, and compare against one cold engine that
+    // ingested everything first.
+    #[test]
+    fn stepwise_engine_growth_is_bit_identical_to_cold(
+        steps in proptest::collection::vec(1usize..7, 1..5),
+        tile in 1usize..9,
+    ) {
+        let pool = release_pool();
+        let total: usize = steps.iter().sum::<usize>().min(pool.len());
+        let releases = &pool[..total];
+
+        let par = dp_euclid::core::Parallelism::sequential().with_tile(tile);
+        let mut warm = QueryEngine::new(SketchStore::adopting()).with_parallelism(par);
+        let mut taken = 0usize;
+        for &step in &steps {
+            let end = (taken + step).min(total);
+            for r in &releases[taken..end] {
+                warm.ingest(r).expect("ingest");
+            }
+            taken = end;
+            let _ = warm.pairwise_all(); // grow the cache incrementally
+        }
+        let warm_matrix = warm.pairwise_all();
+
+        let mut cold = QueryEngine::new(SketchStore::adopting()).with_parallelism(par);
+        for r in releases {
+            cold.ingest(r).expect("ingest");
+        }
+        let cold_matrix = cold.pairwise_all();
+
+        prop_assert_eq!(warm_matrix.n(), cold_matrix.n());
+        for (idx, (a, b)) in cold_matrix
+            .as_flat()
+            .iter()
+            .zip(warm_matrix.as_flat())
+            .enumerate()
+        {
+            prop_assert_eq!(
+                a.to_bits(), b.to_bits(),
+                "cell {} differs (steps {:?}, tile {})",
+                idx, &steps, tile
             );
         }
     }

@@ -39,6 +39,7 @@ fn all_requests() -> Vec<Request> {
     vec![
         Request::Hello {
             spec_json: sample_spec().to_json(),
+            caps: dp_euclid::core::protocol::CAP_TILE_STREAM,
         },
         Request::Ingest {
             release_frame: sample_release().to_bytes().expect("bytes"),
@@ -61,6 +62,11 @@ fn all_requests() -> Vec<Request> {
             tile: 1,
             tile_ids: vec![],
         },
+        Request::ExecuteTilesStream {
+            rows: 17,
+            tile: 5,
+            tile_ids: vec![2, 8],
+        },
     ]
 }
 
@@ -72,6 +78,7 @@ fn all_responses() -> Vec<Response> {
             k: 384,
             rows: 10,
             tag: "sjlt(k=384,s=24,seed=11,noise=laplace)".to_string(),
+            caps: dp_euclid::core::protocol::CAP_TILE_STREAM,
         },
         Response::Ingested { row: 9, rows: 10 },
         Response::Pairwise {
@@ -118,6 +125,20 @@ fn all_responses() -> Vec<Response> {
             rows: 0,
             tile: 1,
             segments: vec![],
+        },
+        Response::TileResultPart {
+            rows: 17,
+            tile: 5,
+            segment: dp_euclid::core::TileSegment {
+                tile_id: 8,
+                values: vec![1.5, -0.25, 0.0],
+            },
+        },
+        Response::TileResultSummary {
+            rows: 17,
+            tile: 5,
+            count: 2,
+            checksum: 0x0123_4567_89ab_cdef,
         },
     ]
 }
