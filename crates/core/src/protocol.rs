@@ -159,6 +159,12 @@ pub const ERR_PLAN: u16 = 8;
 /// A coordinator's worker shard failed (dead worker, timeout, or a
 /// worker answer the gather rejected).
 pub const ERR_WORKER: u16 = 9;
+/// The server is overloaded and refused the request: the event-loop
+/// reactor's per-connection write budget could not hold the reply, or
+/// the connection cap was reached at accept. The request was **not**
+/// executed against the store; retrying later (or with a smaller
+/// subset) is safe.
+pub const ERR_BUSY: u16 = 10;
 
 /// A client-to-server frame.
 #[derive(Debug, Clone, PartialEq)]

@@ -74,7 +74,12 @@ pub fn fnv1a64_update(mut h: u64, bytes: &[u8]) -> u64 {
 }
 
 /// Deduplicates transform tags while decoding streams of sketches.
-#[derive(Debug, Default)]
+///
+/// Cloning an interner clones the `HashSet` of `Arc<str>` handles —
+/// the clone shares every tag allocation with the original, which is
+/// what snapshot publication wants: a cloned store keeps pointing at
+/// the same interned tags.
+#[derive(Debug, Default, Clone)]
 pub struct TagInterner {
     tags: HashSet<Arc<str>>,
 }

@@ -50,6 +50,10 @@ pub struct QueryEngine {
     /// The cached `cached_rows × cached_rows` all-pairs matrix, shared
     /// out cheaply (`Arc`) so a warm query copies nothing.
     cache: Arc<PairwiseDistances>,
+    /// Bumped on every observable mutation (successful ingest, cache
+    /// growth) — the signal [`crate::SharedEngine`] uses to decide
+    /// whether a fresh [`crate::EngineSnapshot`] must be published.
+    generation: u64,
 }
 
 impl Default for QueryEngine {
@@ -68,6 +72,7 @@ impl QueryEngine {
             par: Parallelism::default(),
             cached_rows: 0,
             cache: Arc::new(PairwiseDistances::from_flat(0, Vec::new())),
+            generation: 0,
         }
     }
 
@@ -83,6 +88,26 @@ impl QueryEngine {
     #[must_use]
     pub fn parallelism(&self) -> Parallelism {
         self.par
+    }
+
+    /// The mutation generation: bumped on every successful ingest and
+    /// every all-pairs cache growth. Two calls returning the same value
+    /// bracket a window with no observable engine mutation — what
+    /// [`crate::SharedEngine::mutate`] compares to skip republishing an
+    /// unchanged snapshot.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Override the mutation generation — for callers that *replace* an
+    /// engine wholesale (the server's `Hello` spec adoption builds a
+    /// fresh engine) and must keep the generation moving forward so
+    /// snapshot publication notices the swap.
+    #[must_use]
+    pub fn with_generation(mut self, generation: u64) -> Self {
+        self.generation = generation;
+        self
     }
 
     /// The underlying store.
@@ -109,7 +134,9 @@ impl QueryEngine {
     /// # Errors
     /// See [`SketchStore::ingest`].
     pub fn ingest(&mut self, release: &Release) -> Result<usize, EngineError> {
-        self.store.ingest(release)
+        let row = self.store.ingest(release)?;
+        self.generation += 1;
+        Ok(row)
     }
 
     /// Ingest a binary `DPRL` frame through the store's interner.
@@ -117,7 +144,9 @@ impl QueryEngine {
     /// # Errors
     /// See [`SketchStore::ingest_bytes`].
     pub fn ingest_bytes(&mut self, bytes: &[u8]) -> Result<usize, EngineError> {
-        self.store.ingest_bytes(bytes)
+        let row = self.store.ingest_bytes(bytes)?;
+        self.generation += 1;
+        Ok(row)
     }
 
     /// Ingest positionally, tolerating duplicate party ids (legacy
@@ -126,7 +155,9 @@ impl QueryEngine {
     /// # Errors
     /// See [`SketchStore::ingest_row`].
     pub fn ingest_row(&mut self, release: &Release) -> Result<usize, EngineError> {
-        self.store.ingest_row(release)
+        let row = self.store.ingest_row(release)?;
+        self.generation += 1;
+        Ok(row)
     }
 
     /// The debiased squared-distance estimate between two ingested
@@ -149,12 +180,7 @@ impl QueryEngine {
     /// If a row is out of range.
     #[must_use]
     pub fn pair_rows(&self, i: usize, j: usize) -> f64 {
-        if i == j {
-            return 0.0;
-        }
-        let (lo, hi) = if i < j { (i, j) } else { (j, i) };
-        let raw = raw_sq_distance(self.store.row_values(lo), self.store.row_values(hi));
-        raw - self.store.debias_at(lo)
+        pair_rows_over(&self.store, i, j)
     }
 
     /// All pairwise estimates among every ingested row, as a flat
@@ -173,22 +199,31 @@ impl QueryEngine {
         Arc::clone(&self.cache)
     }
 
+    /// The cached all-pairs matrix, **iff** it currently covers every
+    /// ingested row — the memo a published [`crate::EngineSnapshot`]
+    /// carries, and what the subset fast path slices. Never computes
+    /// anything; a stale cache yields `None`.
+    #[must_use]
+    pub fn cached_matrix(&self) -> Option<Arc<PairwiseDistances>> {
+        (self.cached_rows == self.store.n() && self.store.n() > 0).then(|| Arc::clone(&self.cache))
+    }
+
     /// All pairwise estimates among an explicit subset of parties, in
-    /// the given order (computed fresh each call via the tiled kernel;
-    /// only the full-matrix path is cached).
+    /// the given order. When the full-matrix memo is warm and slicing
+    /// it is provably bit-identical to recomputing (uniform debias
+    /// constant, distinct rows — see [`subset_pairwise`]), the answer
+    /// is sliced out of the cache in O(|subset|²); otherwise it is
+    /// computed fresh via the tiled kernel.
     ///
     /// # Errors
     /// [`EngineError::UnknownParty`] on an id that was never ingested.
     pub fn pairwise(&self, parties: &[u64]) -> Result<PairwiseDistances, EngineError> {
-        let rows = parties
-            .iter()
-            .map(|&p| self.store.row_of(p).ok_or(EngineError::UnknownParty(p)))
-            .collect::<Result<Vec<usize>, EngineError>>()?;
-        let debias: Vec<f64> = rows.iter().map(|&r| self.store.debias_at(r)).collect();
-        Ok(pairwise_sq_distances_rows(
-            rows.len(),
-            |i| self.store.row_values(rows[i]),
-            &debias,
+        let rows = resolve_rows(&self.store, parties)?;
+        let memo = self.cached_matrix();
+        Ok(subset_pairwise(
+            &self.store,
+            &rows,
+            memo.as_deref(),
             &self.par,
         ))
     }
@@ -215,23 +250,7 @@ impl QueryEngine {
     /// If `row` is out of range.
     #[must_use]
     pub fn knn_row(&self, row: usize, k: usize) -> Vec<Neighbor> {
-        let query_id = self.store.party_at(row);
-        let query = self.store.row_values(row);
-        let debias = self.store.debias_at(row);
-        let mut scored: Vec<Neighbor> = (0..self.store.n())
-            .filter(|&c| self.store.party_at(c) != query_id)
-            .map(|c| Neighbor {
-                party_id: self.store.party_at(c),
-                estimated_sq_distance: raw_sq_distance(query, self.store.row_values(c)) - debias,
-            })
-            .collect();
-        scored.sort_by(|a, b| {
-            a.estimated_sq_distance
-                .partial_cmp(&b.estimated_sq_distance)
-                .expect("finite estimates")
-        });
-        scored.truncate(k);
-        scored
+        knn_over(&self.store, row, k)
     }
 
     /// The `t` globally closest pairs `(party a, party b, estimate)`,
@@ -240,20 +259,7 @@ impl QueryEngine {
     #[must_use]
     pub fn top_pairs(&mut self, t: usize) -> Vec<(u64, u64, f64)> {
         let matrix = self.pairwise_all();
-        let n = matrix.n();
-        let mut pairs: Vec<(u64, u64, f64)> = Vec::with_capacity(n * (n.saturating_sub(1)) / 2);
-        for i in 0..n {
-            for j in (i + 1)..n {
-                pairs.push((
-                    self.store.party_at(i),
-                    self.store.party_at(j),
-                    matrix.at(i, j),
-                ));
-            }
-        }
-        pairs.sort_by(|a, b| a.2.partial_cmp(&b.2).expect("finite estimates"));
-        pairs.truncate(t);
-        pairs
+        top_pairs_over(&self.store, &matrix, t)
     }
 
     /// The [`TilePlan`] this engine's cold-start all-pairs pass executes
@@ -281,13 +287,7 @@ impl QueryEngine {
         ids: &[u64],
     ) -> Result<Vec<TileSegment>, EngineError> {
         let plan = self.validate_tiles(plan_rows, tile, ids)?;
-        Ok(execute_tiles(
-            &plan,
-            ids,
-            |i| self.store.row_values(i),
-            self.store.debias(),
-            &self.par,
-        ))
+        Ok(execute_tiles_over(&self.store, &plan, ids, &self.par))
     }
 
     /// The validation half of [`QueryEngine::execute_tiles`], without
@@ -303,19 +303,7 @@ impl QueryEngine {
         tile: usize,
         ids: &[u64],
     ) -> Result<TilePlan, EngineError> {
-        let n = self.store.n();
-        if plan_rows != n {
-            return Err(EngineError::PlanMismatch {
-                store_rows: n,
-                plan_rows,
-            });
-        }
-        let plan = TilePlan::new(n, tile);
-        let tile_count = plan.tile_count() as u64;
-        if let Some(&id) = ids.iter().find(|&&id| id >= tile_count) {
-            return Err(EngineError::UnknownTile { id, tile_count });
-        }
-        Ok(plan)
+        validate_tiles_over(&self.store, plan_rows, tile, ids)
     }
 
     /// Grow the cached all-pairs matrix from `cached_rows` to `n` rows
@@ -339,13 +327,7 @@ impl QueryEngine {
                 .map(|id| id as u64)
                 .collect()
         };
-        let segments = execute_tiles(
-            &plan,
-            &ids,
-            |i| self.store.row_values(i),
-            self.store.debias(),
-            &self.par,
-        );
+        let segments = execute_tiles_over(&self.store, &plan, &ids, &self.par);
         let mut gather = Gather::seeded(plan, old, self.cache.as_flat());
         for segment in &segments {
             gather
@@ -358,7 +340,162 @@ impl QueryEngine {
                 .expect("the frontier covers every missing tile"),
         );
         self.cached_rows = n;
+        self.generation += 1;
     }
+}
+
+/// Resolve party ids to store rows, in the caller's order.
+///
+/// # Errors
+/// [`EngineError::UnknownParty`] on an id that was never ingested.
+pub(crate) fn resolve_rows(
+    store: &SketchStore,
+    parties: &[u64],
+) -> Result<Vec<usize>, EngineError> {
+    parties
+        .iter()
+        .map(|&p| store.row_of(p).ok_or(EngineError::UnknownParty(p)))
+        .collect()
+}
+
+/// The per-pair estimate between two store rows: pair `(i, j)` is
+/// debiased with the **lower** row's constant, matching the all-pairs
+/// matrix. The single expression behind [`QueryEngine::pair`] and
+/// [`crate::EngineSnapshot::pair`] — one body, so the locked and the
+/// snapshot read paths cannot drift.
+pub(crate) fn pair_rows_over(store: &SketchStore, i: usize, j: usize) -> f64 {
+    if i == j {
+        return 0.0;
+    }
+    let (lo, hi) = if i < j { (i, j) } else { (j, i) };
+    let raw = raw_sq_distance(store.row_values(lo), store.row_values(hi));
+    raw - store.debias_at(lo)
+}
+
+/// Subset pairwise with the memo fast path. Slicing the full matrix is
+/// used only when it is **provably bit-identical** to a cold tiled
+/// recompute over the subset:
+///
+/// * `memo` covers every store row (the caller checked), and
+/// * the store's debias constant is bitwise uniform across rows — the
+///   matrix debiases pair `(i, j)` with store-row `min(i, j)`'s
+///   constant while a recompute uses the subset-order-first row's, and
+///   those agree for every ordering only under one shared constant, and
+/// * the resolved rows are distinct — a duplicated row yields `0.0` on
+///   the matrix diagonal but `-debias` from a recompute (the raw
+///   distance of a row to itself is exactly `0.0` *before* debiasing).
+///
+/// The raw kernel expression itself is orientation-proof: a zip-order
+/// sum of `(x − y)²` is bitwise symmetric in its arguments, so matrix
+/// entry `(a, b)` equals the subset's `(b, a)` exactly.
+pub(crate) fn subset_pairwise(
+    store: &SketchStore,
+    rows: &[usize],
+    memo: Option<&PairwiseDistances>,
+    par: &Parallelism,
+) -> PairwiseDistances {
+    if let Some(matrix) = memo {
+        if store.debias_uniform() && rows_distinct(rows, store.n()) {
+            let m = rows.len();
+            let mut flat = Vec::with_capacity(m * m);
+            for &a in rows {
+                for &b in rows {
+                    flat.push(matrix.at(a, b));
+                }
+            }
+            return PairwiseDistances::from_flat(m, flat);
+        }
+    }
+    let debias: Vec<f64> = rows.iter().map(|&r| store.debias_at(r)).collect();
+    pairwise_sq_distances_rows(rows.len(), |i| store.row_values(rows[i]), &debias, par)
+}
+
+/// Whether every row index appears at most once (`n` = store rows, for
+/// a one-pass bitmap instead of a hash set).
+fn rows_distinct(rows: &[usize], n: usize) -> bool {
+    let mut seen = vec![false; n];
+    rows.iter().all(|&r| !std::mem::replace(&mut seen[r], true))
+}
+
+/// The k-NN scan behind [`QueryEngine::knn_row`] and
+/// [`crate::EngineSnapshot::knn`]: every candidate not sharing the
+/// query row's party id, scored with the **query row's** debias
+/// constant, ascending, truncated to `k`.
+pub(crate) fn knn_over(store: &SketchStore, row: usize, k: usize) -> Vec<Neighbor> {
+    let query_id = store.party_at(row);
+    let query = store.row_values(row);
+    let debias = store.debias_at(row);
+    let mut scored: Vec<Neighbor> = (0..store.n())
+        .filter(|&c| store.party_at(c) != query_id)
+        .map(|c| Neighbor {
+            party_id: store.party_at(c),
+            estimated_sq_distance: raw_sq_distance(query, store.row_values(c)) - debias,
+        })
+        .collect();
+    scored.sort_by(|a, b| {
+        a.estimated_sq_distance
+            .partial_cmp(&b.estimated_sq_distance)
+            .expect("finite estimates")
+    });
+    scored.truncate(k);
+    scored
+}
+
+/// The `t` globally closest pairs over an already-materialized matrix,
+/// ascending by estimate (ties in ingest order).
+pub(crate) fn top_pairs_over(
+    store: &SketchStore,
+    matrix: &PairwiseDistances,
+    t: usize,
+) -> Vec<(u64, u64, f64)> {
+    let n = matrix.n();
+    let mut pairs: Vec<(u64, u64, f64)> = Vec::with_capacity(n * (n.saturating_sub(1)) / 2);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            pairs.push((store.party_at(i), store.party_at(j), matrix.at(i, j)));
+        }
+    }
+    pairs.sort_by(|a, b| a.2.partial_cmp(&b.2).expect("finite estimates"));
+    pairs.truncate(t);
+    pairs
+}
+
+/// The plan-vs-store and id-vs-plan validation behind
+/// [`QueryEngine::validate_tiles`] and the snapshot's tile surface.
+///
+/// # Errors
+/// [`EngineError::PlanMismatch`] / [`EngineError::UnknownTile`].
+pub(crate) fn validate_tiles_over(
+    store: &SketchStore,
+    plan_rows: usize,
+    tile: usize,
+    ids: &[u64],
+) -> Result<TilePlan, EngineError> {
+    let n = store.n();
+    if plan_rows != n {
+        return Err(EngineError::PlanMismatch {
+            store_rows: n,
+            plan_rows,
+        });
+    }
+    let plan = TilePlan::new(n, tile);
+    let tile_count = plan.tile_count() as u64;
+    if let Some(&id) = ids.iter().find(|&&id| id >= tile_count) {
+        return Err(EngineError::UnknownTile { id, tile_count });
+    }
+    Ok(plan)
+}
+
+/// Execute plan tiles against a store — the one call site of the tiled
+/// kernel shared by the engine's cache growth, its `ExecuteTiles`
+/// surface, and the snapshot's.
+pub(crate) fn execute_tiles_over(
+    store: &SketchStore,
+    plan: &TilePlan,
+    ids: &[u64],
+    par: &Parallelism,
+) -> Vec<TileSegment> {
+    execute_tiles(plan, ids, |i| store.row_values(i), store.debias(), par)
 }
 
 /// The kernel's inner expression: zip-order sum of squared differences.

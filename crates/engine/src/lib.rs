@@ -22,6 +22,13 @@
 //!   into the full matrix with typed [`GatherError`]s for
 //!   missing/duplicate/misshapen tiles — what a sharding coordinator
 //!   runs over worker answers.
+//! * [`SharedEngine`] / [`EngineSnapshot`] — snapshot isolation for
+//!   read-heavy serving: mutations serialize through one lock and
+//!   publish immutable epoch-stamped snapshots; readers run `pair` /
+//!   `pairwise` / `knn` / `top_pairs` against a snapshot with **zero
+//!   locks** on the hot path (one atomic epoch load), concurrently
+//!   with each other and with ingest, bit-identical to the locked
+//!   surface by construction.
 //!
 //! One engine backs the library surface (`dp_stream`'s old free
 //! functions are thin wrappers), the `dp-server` protocol-v3 service,
@@ -31,11 +38,13 @@
 pub mod engine;
 pub mod error;
 pub mod gather;
+pub mod snapshot;
 pub mod store;
 
 pub use engine::{Neighbor, QueryEngine};
 pub use error::EngineError;
 pub use gather::{Gather, GatherError};
+pub use snapshot::{EngineSnapshot, SharedEngine};
 pub use store::SketchStore;
 
 #[cfg(test)]
@@ -251,6 +260,89 @@ mod tests {
         }
         assert!(engine.pairwise(&[rs[0].party_id, 777]).is_err());
         assert_eq!(engine.pairwise(&[]).unwrap().n(), 0);
+    }
+
+    #[test]
+    fn warm_subset_slices_the_memo_bit_identically() {
+        let (_, rs) = releases(9, 48);
+        let mut engine = QueryEngine::new(SketchStore::adopting())
+            .with_parallelism(Parallelism::new(2).with_tile(3));
+        for r in &rs {
+            engine.ingest(r).unwrap();
+        }
+        assert!(engine.store().debias_uniform());
+        let picks = [8usize, 0, 5, 3];
+        let ids: Vec<u64> = picks.iter().map(|&i| rs[i].party_id).collect();
+        // Cold: no memo yet, so this runs the tiled kernel.
+        assert!(engine.cached_matrix().is_none());
+        let cold = engine.pairwise(&ids).unwrap();
+        // Warm the memo; the same subset must now slice it — and the
+        // slice must be bitwise the cold answer, in the same order.
+        let _ = engine.pairwise_all();
+        assert!(engine.cached_matrix().is_some());
+        let warm = engine.pairwise(&ids).unwrap();
+        assert_eq!(cold.as_flat(), warm.as_flat());
+        for (a, b) in cold.as_flat().iter().zip(warm.as_flat()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // Orientation: a reversed subset is the transpose, also bitwise.
+        let rev: Vec<u64> = ids.iter().rev().copied().collect();
+        let warm_rev = engine.pairwise(&rev).unwrap();
+        for i in 0..ids.len() {
+            for j in 0..ids.len() {
+                let m = ids.len() - 1;
+                assert_eq!(warm.at(i, j).to_bits(), warm_rev.at(m - i, m - j).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_subset_rows_bypass_the_memo() {
+        let (_, rs) = releases(4, 48);
+        let mut engine = QueryEngine::new(SketchStore::adopting());
+        for r in &rs {
+            engine.ingest(r).unwrap();
+        }
+        let _ = engine.pairwise_all();
+        // A subset naming the same party twice: the cold kernel scores
+        // the duplicated pair as raw 0.0 minus the debias constant —
+        // NOT the matrix diagonal's exact 0.0 — so slicing the memo
+        // here would be wrong. The gate must fall back to recompute.
+        let a = rs[1].party_id;
+        let dup = engine.pairwise(&[a, a]).unwrap();
+        let expected = 0.0 - engine.store().debias_at(1);
+        assert_eq!(dup.at(0, 1).to_bits(), expected.to_bits());
+        assert_eq!(dup.at(1, 0).to_bits(), expected.to_bits());
+        assert_eq!(dup.at(0, 0).to_bits(), 0.0f64.to_bits());
+    }
+
+    #[test]
+    fn nonuniform_debias_bypasses_the_memo() {
+        // Two moments inside the kernel's 1e-12 tolerance but with
+        // different bit patterns: the matrix debiases pair (0, 1) with
+        // row 0's constant, while the reversed subset's recompute uses
+        // row 1's — so the memo may only be sliced under a bitwise
+        // uniform constant, which this store does not have.
+        let m2 = 0.5;
+        let mk = |id: u64, m2: f64| Release {
+            party_id: id,
+            sketch: NoisySketch::new(vec![1.0 + id as f64, 2.0], "t", m2, 0.75),
+        };
+        let mut engine = QueryEngine::new(SketchStore::adopting());
+        engine.ingest(&mk(0, m2)).unwrap();
+        engine.ingest(&mk(1, m2 + 1e-13)).unwrap();
+        assert!(!engine.store().debias_uniform());
+        let _ = engine.pairwise_all();
+        let sub = engine.pairwise(&[1, 0]).unwrap();
+        let picked = vec![mk(1, m2 + 1e-13).sketch, mk(0, m2).sketch];
+        let reference = pairwise_sq_distances_reference(&picked).unwrap();
+        for (a, b) in reference.as_flat().iter().zip(sub.as_flat()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // And the reversed-order answer really does differ from the
+        // matrix slice here, proving the gate is load-bearing.
+        let matrix = engine.pairwise_all();
+        assert_ne!(sub.at(0, 1).to_bits(), matrix.at(1, 0).to_bits());
     }
 
     #[test]

@@ -1,0 +1,469 @@
+//! Snapshot-isolated, lock-free reads over a shared [`QueryEngine`].
+//!
+//! The server's original concurrency story was one `Mutex<QueryEngine>`
+//! around *everything*: a slow full-matrix query stalled every point
+//! query behind it. But the workload is overwhelmingly read-dominated —
+//! every query is post-processing of already-released sketches, costs
+//! no privacy budget, and mutates nothing — so reads should scale with
+//! cores while only ingest serializes.
+//!
+//! [`SharedEngine`] splits the two worlds:
+//!
+//! * **Mutations** ([`SharedEngine::mutate`]) lock the engine, run, and
+//!   — iff the engine's [`QueryEngine::generation`] moved — **publish**
+//!   a fresh immutable [`EngineSnapshot`]: a clone of the store (flat
+//!   arenas copied, interned tags shared), the memoized all-pairs
+//!   matrix when warm, and the hoisted debias constants, stamped with a
+//!   monotonically increasing *epoch*.
+//! * **Reads** run against a published snapshot. The hot path
+//!   ([`SharedEngine::refresh`]) is one atomic epoch load: when the
+//!   caller's cached `Arc<EngineSnapshot>` is still current, no lock is
+//!   touched at all; only on an epoch change does the reader take a
+//!   brief lock to clone the new `Arc` (a pointer copy, never a data
+//!   copy).
+//!
+//! A snapshot is immutable forever: readers holding an old epoch keep
+//! computing against it unharmed while newer epochs are published — the
+//! "no torn reads" contract the concurrent chaos suite asserts is that
+//! every answer equals the answer of *some* published snapshot.
+//!
+//! ## Determinism
+//!
+//! Every snapshot query delegates to the same free functions as the
+//! locked [`QueryEngine`] surface (`knn_over`, `subset_pairwise`, …),
+//! so the two paths are bit-identical by construction, for any
+//! interleaving of reads and publishes.
+
+use crate::engine::{
+    execute_tiles_over, knn_over, pair_rows_over, resolve_rows, subset_pairwise, top_pairs_over,
+    validate_tiles_over, Neighbor, QueryEngine,
+};
+use crate::error::EngineError;
+use crate::store::SketchStore;
+use dp_core::sketcher::effective_plan;
+use dp_core::{PairwiseDistances, Parallelism, TilePlan, TileSegment};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// An immutable point-in-time view of a [`QueryEngine`]: the store's
+/// rows, the memoized all-pairs matrix when it was warm at publish
+/// time, and the hoisted debias constants. Every query on a snapshot
+/// is pure — no lock, no interior mutability — so any number of
+/// readers run concurrently with each other and with ingest.
+#[derive(Debug)]
+pub struct EngineSnapshot {
+    store: SketchStore,
+    /// The full-matrix memo, present iff the engine's incremental
+    /// cache covered every row when this snapshot was published.
+    matrix: Option<Arc<PairwiseDistances>>,
+    epoch: u64,
+    generation: u64,
+    par: Parallelism,
+}
+
+impl EngineSnapshot {
+    fn of(engine: &QueryEngine, epoch: u64) -> Self {
+        Self {
+            store: engine.store().clone(),
+            matrix: engine.cached_matrix(),
+            epoch,
+            generation: engine.generation(),
+            par: engine.parallelism(),
+        }
+    }
+
+    /// The publish epoch: strictly increasing across published
+    /// snapshots of one [`SharedEngine`].
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The engine generation this snapshot was built from.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The snapshot's store view.
+    #[must_use]
+    pub fn store(&self) -> &SketchStore {
+        &self.store
+    }
+
+    /// Number of rows in this snapshot.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.store.n()
+    }
+
+    /// The full all-pairs matrix, when the memo was warm at publish
+    /// time. `None` means the cache was stale — the caller must fall
+    /// back to the mutation path to fill it (which publishes a new
+    /// snapshot carrying the matrix).
+    #[must_use]
+    pub fn full_matrix(&self) -> Option<Arc<PairwiseDistances>> {
+        self.matrix.as_ref().map(Arc::clone)
+    }
+
+    /// The debiased squared-distance estimate between two parties —
+    /// bit-identical to [`QueryEngine::pair`].
+    ///
+    /// # Errors
+    /// [`EngineError::UnknownParty`] if either id was never ingested.
+    pub fn pair(&self, a: u64, b: u64) -> Result<f64, EngineError> {
+        let i = self.store.row_of(a).ok_or(EngineError::UnknownParty(a))?;
+        let j = self.store.row_of(b).ok_or(EngineError::UnknownParty(b))?;
+        Ok(pair_rows_over(&self.store, i, j))
+    }
+
+    /// Subset pairwise in the caller's order — slices the memo when
+    /// provably bit-identical, else recomputes via the tiled kernel
+    /// (same gates and same kernel as [`QueryEngine::pairwise`]).
+    ///
+    /// # Errors
+    /// [`EngineError::UnknownParty`] on an unknown id.
+    pub fn pairwise(&self, parties: &[u64]) -> Result<PairwiseDistances, EngineError> {
+        let rows = resolve_rows(&self.store, parties)?;
+        Ok(subset_pairwise(
+            &self.store,
+            &rows,
+            self.matrix.as_deref(),
+            &self.par,
+        ))
+    }
+
+    /// The `k` nearest parties — bit-identical to [`QueryEngine::knn`].
+    ///
+    /// # Errors
+    /// [`EngineError::UnknownParty`] if the id was never ingested.
+    pub fn knn(&self, party: u64, k: usize) -> Result<Vec<Neighbor>, EngineError> {
+        let row = self
+            .store
+            .row_of(party)
+            .ok_or(EngineError::UnknownParty(party))?;
+        Ok(knn_over(&self.store, row, k))
+    }
+
+    /// The `t` globally closest pairs, when the matrix memo is present
+    /// (`None` signals the stale-cache fallback, exactly like
+    /// [`EngineSnapshot::full_matrix`]).
+    #[must_use]
+    pub fn top_pairs(&self, t: usize) -> Option<Vec<(u64, u64, f64)>> {
+        self.matrix
+            .as_deref()
+            .map(|matrix| top_pairs_over(&self.store, matrix, t))
+    }
+
+    /// The [`TilePlan`] a cold all-pairs pass over this snapshot
+    /// executes — same geometry as [`QueryEngine::pairwise_plan`].
+    #[must_use]
+    pub fn pairwise_plan(&self) -> TilePlan {
+        effective_plan(self.store.n(), &self.par)
+    }
+
+    /// Validate a remote tile plan against this snapshot's rows —
+    /// see [`QueryEngine::validate_tiles`].
+    ///
+    /// # Errors
+    /// [`EngineError::PlanMismatch`] / [`EngineError::UnknownTile`].
+    pub fn validate_tiles(
+        &self,
+        plan_rows: usize,
+        tile: usize,
+        ids: &[u64],
+    ) -> Result<TilePlan, EngineError> {
+        validate_tiles_over(&self.store, plan_rows, tile, ids)
+    }
+
+    /// Execute plan tiles against this snapshot — bit-identical to
+    /// [`QueryEngine::execute_tiles`], and safe to run tile-by-tile
+    /// over a long stream: the snapshot cannot change underneath the
+    /// stream, so a streamed answer is internally consistent by
+    /// construction.
+    ///
+    /// # Errors
+    /// As [`EngineSnapshot::validate_tiles`].
+    pub fn execute_tiles(
+        &self,
+        plan_rows: usize,
+        tile: usize,
+        ids: &[u64],
+    ) -> Result<Vec<TileSegment>, EngineError> {
+        let plan = self.validate_tiles(plan_rows, tile, ids)?;
+        Ok(execute_tiles_over(&self.store, &plan, ids, &self.par))
+    }
+
+    /// Execute one tile of an **already validated** plan.
+    #[must_use]
+    pub fn execute_tile(&self, plan: &TilePlan, id: u64) -> Vec<TileSegment> {
+        execute_tiles_over(&self.store, plan, &[id], &self.par)
+    }
+}
+
+/// A [`QueryEngine`] shared between one serialized mutation path and
+/// any number of lock-free readers, via published [`EngineSnapshot`]s.
+/// See the module docs for the protocol.
+#[derive(Debug)]
+pub struct SharedEngine {
+    /// The epoch of the latest published snapshot. Readers compare
+    /// this (one `Acquire` load) against their cached snapshot's epoch;
+    /// the snapshot is stored into `current` *before* the epoch is
+    /// bumped (`Release`), so a reader observing the new epoch always
+    /// finds a snapshot at least that new under the lock.
+    epoch: AtomicU64,
+    /// The latest published snapshot. Locked only to swap or clone the
+    /// `Arc` — never while computing anything.
+    current: Mutex<Arc<EngineSnapshot>>,
+    /// The single mutable engine. Lock order: `engine` before
+    /// `current` (publish happens under both).
+    engine: Mutex<QueryEngine>,
+}
+
+/// Recover a poisoned lock: both guarded values uphold their
+/// invariants across panics (the store is append-only and validates
+/// before mutating; the snapshot slot holds a complete `Arc` or the
+/// previous one), mirroring the server's poison-recovery discipline.
+fn recover<T>(result: Result<T, PoisonError<T>>) -> T {
+    result.unwrap_or_else(PoisonError::into_inner)
+}
+
+impl SharedEngine {
+    /// Wrap an engine, publishing its current state as epoch 1.
+    #[must_use]
+    pub fn new(engine: QueryEngine) -> Self {
+        let first = Arc::new(EngineSnapshot::of(&engine, 1));
+        Self {
+            epoch: AtomicU64::new(1),
+            current: Mutex::new(first),
+            engine: Mutex::new(engine),
+        }
+    }
+
+    /// The epoch of the latest published snapshot (one atomic load).
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// The latest published snapshot (brief lock, clones the `Arc`).
+    #[must_use]
+    pub fn snapshot(&self) -> Arc<EngineSnapshot> {
+        let current = recover(self.current.lock());
+        Arc::clone(&current)
+    }
+
+    /// The hot-path read: keep `cached` current. When the epoch hasn't
+    /// moved since `cached` was published this is **one atomic load and
+    /// no lock**; on an epoch change the new snapshot is cloned out
+    /// under the brief `current` lock.
+    pub fn refresh(&self, cached: &mut Arc<EngineSnapshot>) {
+        if cached.epoch() != self.epoch.load(Ordering::Acquire) {
+            *cached = self.snapshot();
+        }
+    }
+
+    /// Run a mutation under the engine lock, then publish a fresh
+    /// snapshot iff the engine's generation moved (a failed ingest
+    /// publishes nothing). Returns `f`'s result.
+    ///
+    /// This is the **only** writer of the epoch, so epochs increase
+    /// strictly and a snapshot's `(epoch, generation)` pair is unique.
+    pub fn mutate<T>(&self, f: impl FnOnce(&mut QueryEngine) -> T) -> T {
+        let mut engine = recover(self.engine.lock());
+        let out = f(&mut engine);
+        let generation = engine.generation();
+        let mut current = recover(self.current.lock());
+        if current.generation() != generation {
+            let epoch = self.epoch.load(Ordering::Relaxed) + 1;
+            *current = Arc::new(EngineSnapshot::of(&engine, epoch));
+            self.epoch.store(epoch, Ordering::Release);
+        }
+        out
+    }
+
+    /// Consume the shared engine, returning the inner [`QueryEngine`].
+    ///
+    /// # Panics
+    /// If a lock is held elsewhere (callers tear down after readers).
+    #[must_use]
+    pub fn into_engine(self) -> QueryEngine {
+        recover(self.engine.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_core::config::SketchConfig;
+    use dp_core::release::Release;
+    use dp_core::sketcher::{Construction, PrivateSketcher, SketcherSpec};
+    use dp_hashing::Seed;
+
+    fn spec(d: usize) -> SketcherSpec {
+        let config = SketchConfig::builder()
+            .input_dim(d)
+            .alpha(0.3)
+            .beta(0.1)
+            .epsilon(1.5)
+            .build()
+            .unwrap();
+        SketcherSpec::new(Construction::SjltAuto, config, Seed::new(7))
+    }
+
+    fn releases(n: usize, d: usize) -> Vec<Release> {
+        let sk = spec(d).build().unwrap();
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| (0..d).map(|j| ((i * d + j) % 7) as f64 - 3.0).collect())
+            .collect();
+        sk.sketch_batch(&rows, Seed::new(500))
+            .unwrap()
+            .into_iter()
+            .enumerate()
+            .map(|(i, sketch)| Release {
+                party_id: 100 + i as u64,
+                sketch,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn publish_on_ingest_only() {
+        let shared = SharedEngine::new(QueryEngine::default());
+        assert_eq!(shared.epoch(), 1);
+        let rels = releases(3, 12);
+        shared.mutate(|e| e.ingest(&rels[0]).unwrap());
+        assert_eq!(shared.epoch(), 2);
+        // A failed mutation (duplicate party) publishes nothing.
+        shared.mutate(|e| assert!(e.ingest(&rels[0]).is_err()));
+        assert_eq!(shared.epoch(), 2);
+        // A pure read inside mutate publishes nothing either.
+        shared.mutate(|e| {
+            let _ = e.pair(100, 100);
+        });
+        assert_eq!(shared.epoch(), 2);
+    }
+
+    #[test]
+    fn old_snapshots_survive_new_publishes() {
+        let shared = SharedEngine::new(QueryEngine::default());
+        let rels = releases(4, 12);
+        for r in &rels[..2] {
+            shared.mutate(|e| e.ingest(r).unwrap());
+        }
+        let old = shared.snapshot();
+        assert_eq!(old.n(), 2);
+        let before = old.pair(100, 101).unwrap();
+        for r in &rels[2..] {
+            shared.mutate(|e| e.ingest(r).unwrap());
+        }
+        assert_eq!(shared.snapshot().n(), 4);
+        // The old view is frozen: same rows, bitwise-same answer.
+        assert_eq!(old.n(), 2);
+        assert_eq!(old.pair(100, 101).unwrap().to_bits(), before.to_bits());
+    }
+
+    #[test]
+    fn refresh_is_a_noop_on_an_unchanged_epoch() {
+        let shared = SharedEngine::new(QueryEngine::default());
+        let rels = releases(2, 12);
+        shared.mutate(|e| e.ingest(&rels[0]).unwrap());
+        let mut cached = shared.snapshot();
+        let ptr = Arc::as_ptr(&cached);
+        shared.refresh(&mut cached);
+        assert_eq!(Arc::as_ptr(&cached), ptr, "no republish, same Arc");
+        shared.mutate(|e| e.ingest(&rels[1]).unwrap());
+        shared.refresh(&mut cached);
+        assert_ne!(Arc::as_ptr(&cached), ptr);
+        assert_eq!(cached.n(), 2);
+    }
+
+    #[test]
+    fn snapshot_queries_match_engine_queries_bitwise() {
+        let shared = SharedEngine::new(QueryEngine::default());
+        let rels = releases(6, 16);
+        for r in &rels {
+            shared.mutate(|e| e.ingest(r).unwrap());
+        }
+        // Warm the memo through the mutation path; the publish carries
+        // the matrix into the next snapshot.
+        let full = shared.mutate(|e| e.pairwise_all());
+        let snap = shared.snapshot();
+        let snap_full = snap.full_matrix().expect("memo published");
+        assert_eq!(snap_full.as_flat(), full.as_flat());
+        let engine_knn = shared.mutate(|e| e.knn(102, 3).unwrap());
+        let snap_knn = snap.knn(102, 3).unwrap();
+        assert_eq!(engine_knn.len(), snap_knn.len());
+        for (a, b) in engine_knn.iter().zip(&snap_knn) {
+            assert_eq!(a.party_id, b.party_id);
+            assert_eq!(
+                a.estimated_sq_distance.to_bits(),
+                b.estimated_sq_distance.to_bits()
+            );
+        }
+        let ids = [104u64, 100, 103];
+        let engine_sub = shared.mutate(|e| e.pairwise(&ids).unwrap());
+        let snap_sub = snap.pairwise(&ids).unwrap();
+        assert_eq!(engine_sub.as_flat(), snap_sub.as_flat());
+        let engine_top = shared.mutate(|e| e.top_pairs(4));
+        let snap_top = snap.top_pairs(4).expect("memo published");
+        assert_eq!(engine_top, snap_top);
+        // Tile execution over the snapshot matches the engine's.
+        let plan = snap.pairwise_plan();
+        let ids: Vec<u64> = (0..plan.tile_count() as u64).collect();
+        let engine_tiles = shared.mutate(|e| e.execute_tiles(plan.n(), plan.tile(), &ids).unwrap());
+        let snap_tiles = snap.execute_tiles(plan.n(), plan.tile(), &ids).unwrap();
+        assert_eq!(engine_tiles, snap_tiles);
+    }
+
+    #[test]
+    fn stale_memo_not_published() {
+        let shared = SharedEngine::new(QueryEngine::default());
+        let rels = releases(3, 12);
+        for r in &rels[..2] {
+            shared.mutate(|e| e.ingest(r).unwrap());
+        }
+        shared.mutate(|e| {
+            let _ = e.pairwise_all();
+        });
+        assert!(shared.snapshot().full_matrix().is_some());
+        // New row: the memo is stale again, so the fresh snapshot must
+        // not carry a matrix that is missing the row.
+        shared.mutate(|e| e.ingest(&rels[2]).unwrap());
+        let snap = shared.snapshot();
+        assert_eq!(snap.n(), 3);
+        assert!(snap.full_matrix().is_none());
+        assert!(snap.top_pairs(1).is_none());
+    }
+
+    #[test]
+    fn concurrent_readers_and_writer_smoke() {
+        let shared = SharedEngine::new(QueryEngine::default());
+        let rels = releases(8, 12);
+        shared.mutate(|e| e.ingest(&rels[0]).unwrap());
+        shared.mutate(|e| e.ingest(&rels[1]).unwrap());
+        std::thread::scope(|scope| {
+            let shared = &shared;
+            let rels = &rels;
+            scope.spawn(move || {
+                for r in &rels[2..] {
+                    shared.mutate(|e| e.ingest(r).unwrap());
+                }
+            });
+            for _ in 0..3 {
+                scope.spawn(move || {
+                    let mut cached = shared.snapshot();
+                    for _ in 0..200 {
+                        shared.refresh(&mut cached);
+                        // Any published snapshot answers coherently:
+                        // the first two rows are always present.
+                        let d = cached.pair(100, 101).unwrap();
+                        assert!(d.is_finite());
+                        assert!(cached.n() >= 2 && cached.n() <= 8);
+                    }
+                });
+            }
+        });
+        assert_eq!(shared.snapshot().n(), 8);
+    }
+}

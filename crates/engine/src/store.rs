@@ -71,7 +71,12 @@ struct Identity {
 }
 
 /// A flat-arena store of released sketches sharing one transform.
-#[derive(Debug, Default)]
+///
+/// Cloning a store copies the flat arenas (`O(n·k)`) but *shares* the
+/// interned tag allocations — this is what snapshot publication
+/// ([`crate::SharedEngine`]) does on every mutation, so the cost is
+/// paid once per ingest, never per query.
+#[derive(Debug, Default, Clone)]
 pub struct SketchStore {
     /// The shared public parameters, when the store was built from them.
     spec: Option<SketcherSpec>,
@@ -98,6 +103,14 @@ pub struct SketchStore {
     /// Running bounds on the noise moments, for the batch span check.
     m2_min: f64,
     m2_max: f64,
+    /// Whether every row's hoisted debias constant is **bitwise** equal
+    /// to the first row's. The moment-span tolerance admits rows whose
+    /// constants differ in the last few ulps, and the all-pairs matrix
+    /// debiases pair `(i, j)` with row `min(i, j)`'s constant while a
+    /// subset recompute debiases with the subset-order-first row's —
+    /// those agree bit-for-bit only under a uniform constant, so this
+    /// flag gates the subset-slices-the-memo fast path.
+    debias_uniform: bool,
 }
 
 impl SketchStore {
@@ -128,6 +141,7 @@ impl SketchStore {
         Self {
             m2_min: f64::INFINITY,
             m2_max: f64::NEG_INFINITY,
+            debias_uniform: true,
             ..Self::default()
         }
     }
@@ -206,6 +220,18 @@ impl SketchStore {
     #[must_use]
     pub fn debias(&self) -> &[f64] {
         &self.debias
+    }
+
+    /// Whether every row's debias constant is bitwise equal to the
+    /// first row's (vacuously true for an empty store). When true, the
+    /// all-pairs matrix, a subset recompute, and a k-NN scan all apply
+    /// *the* constant, so slicing the memoized matrix for a subset
+    /// query is bit-identical to recomputing — the gate
+    /// [`crate::QueryEngine::pairwise`] checks before reusing its
+    /// cache.
+    #[must_use]
+    pub fn debias_uniform(&self) -> bool {
+        self.debias_uniform
     }
 
     /// Rebuild a row as a standalone [`dp_core::NoisySketch`] (clones
@@ -291,10 +317,12 @@ impl SketchStore {
             }
         }
         let m2 = sketch.noise_second_moment();
+        let debias = 2.0 * sketch.k() as f64 * m2;
         if self.is_empty() {
             // First row anchors the noise calibration.
             self.m2_min = m2;
             self.m2_max = m2;
+            self.debias_uniform = true;
         } else {
             // Mirror the tiled kernel exactly: a vs-anchor tolerance
             // check plus a bound on the whole batch's moment span, so
@@ -317,13 +345,14 @@ impl SketchStore {
             }
             self.m2_min = min;
             self.m2_max = max;
+            self.debias_uniform =
+                self.debias_uniform && debias.to_bits() == self.debias[0].to_bits();
         }
         let row = self.n();
-        let k = sketch.k();
         self.values.extend_from_slice(sketch.values());
         self.m2.push(m2);
         self.m4.push(sketch.noise_fourth_moment());
-        self.debias.push(2.0 * k as f64 * m2);
+        self.debias.push(debias);
         self.party_ids.push(release.party_id);
         self.index.entry(release.party_id).or_insert(row);
         Ok(row)

@@ -1,0 +1,90 @@
+//! The one FFI boundary of the workspace: poll(2).
+//!
+//! The standard library exposes nonblocking sockets but no readiness
+//! multiplexer, and the workspace builds without crates.io — so the
+//! reactor declares `poll` itself. `poll` is in POSIX.1-2001, takes a
+//! caller-owned array (no registration state in the kernel, unlike
+//! epoll), and degrades gracefully at the fd counts a single reactor
+//! loop owns; exactly the right amount of syscall for a hand-rolled
+//! event loop.
+
+use std::io;
+use std::os::fd::RawFd;
+
+/// `struct pollfd` — layout fixed by POSIX.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PollFd {
+    pub fd: RawFd,
+    pub events: i16,
+    pub revents: i16,
+}
+
+/// Readable (or a peer hangup with data still queued).
+pub(crate) const POLLIN: i16 = 0x001;
+/// Writable without blocking.
+pub(crate) const POLLOUT: i16 = 0x004;
+/// Error condition (revents only; always polled implicitly).
+pub(crate) const POLLERR: i16 = 0x008;
+/// Peer hung up (revents only).
+pub(crate) const POLLHUP: i16 = 0x010;
+/// Fd not open (revents only — a reactor bookkeeping bug if ever seen).
+pub(crate) const POLLNVAL: i16 = 0x020;
+
+#[cfg(target_os = "linux")]
+type NfdsT = std::ffi::c_ulong;
+#[cfg(not(target_os = "linux"))]
+type NfdsT = std::ffi::c_uint;
+
+extern "C" {
+    fn poll(fds: *mut PollFd, nfds: NfdsT, timeout: std::ffi::c_int) -> std::ffi::c_int;
+}
+
+/// Wait until an fd in `fds` is ready or `timeout_ms` elapses (negative
+/// = forever), returning how many entries have nonzero `revents`.
+/// Retries `EINTR` internally — signal delivery is not an event.
+///
+/// # Errors
+/// Any poll(2) failure other than `EINTR`.
+pub(crate) fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+    loop {
+        // SAFETY: `fds` is a valid, exclusively borrowed slice of
+        // `#[repr(C)]` pollfd structs for the whole call; the length is
+        // passed alongside; poll writes only the `revents` fields.
+        let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as NfdsT, timeout_ms) };
+        if rc >= 0 {
+            return Ok(rc as usize);
+        }
+        let err = io::Error::last_os_error();
+        if err.kind() != io::ErrorKind::Interrupted {
+            return Err(err);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::os::fd::AsRawFd;
+
+    #[test]
+    fn poll_times_out_and_reports_readiness() {
+        let (mut a, b) = std::os::unix::net::UnixStream::pair().unwrap();
+        let mut fds = [PollFd {
+            fd: b.as_raw_fd(),
+            events: POLLIN,
+            revents: 0,
+        }];
+        // Nothing to read yet: times out with zero ready fds.
+        assert_eq!(poll_fds(&mut fds, 10).unwrap(), 0);
+        a.write_all(b"x").unwrap();
+        assert_eq!(poll_fds(&mut fds, 1000).unwrap(), 1);
+        assert!(fds[0].revents & POLLIN != 0);
+        drop(a);
+        // Peer gone: POLLIN (EOF is readable) and/or POLLHUP.
+        fds[0].revents = 0;
+        assert_eq!(poll_fds(&mut fds, 1000).unwrap(), 1);
+        assert!(fds[0].revents & (POLLIN | POLLHUP) != 0);
+    }
+}

@@ -1,178 +1,65 @@
-//! # dp-server — the protocol-v3 sketch service
+//! # dp-server — the protocol-v4 sketch service
 //!
-//! A thin shell around [`dp_engine::QueryEngine`]: accept connections
-//! on a TCP or unix socket, speak the length-prefixed request/response
+//! A shell around [`dp_engine::QueryEngine`]: accept connections on a
+//! TCP or unix socket, speak the length-prefixed request/response
 //! frames of [`dp_core::protocol`], and let the engine answer. All
-//! state lives in the engine; the server adds only transport,
-//! spec negotiation, and error mapping — by design, so that a socket
-//! answer is **bit-identical** to calling the engine in process (the
+//! state lives in the engine; the server adds only transport, spec
+//! negotiation, and error mapping — by design, so that a socket answer
+//! is **bit-identical** to calling the engine in process (the
 //! end-to-end tests assert exactly that).
 //!
-//! Connections are served by a fixed pool of `dp_parallel` scoped
-//! workers, each running a blocking accept/serve loop; requests against
-//! the shared engine are serialized by a mutex, while each all-pairs
-//! query itself runs the tiled kernel on the engine's own
-//! [`dp_core::Parallelism`] knob.
+//! ## Concurrency model
+//!
+//! The engine sits behind a [`dp_engine::SharedEngine`]: mutations
+//! (`Hello`, `Ingest`, memo fills) serialize on its engine lock and
+//! publish an immutable epoch-stamped [`dp_engine::EngineSnapshot`];
+//! every read-only request (`Pairwise`, `Knn`, `TopPairs`, tile
+//! execution and streams) answers from a snapshot, revalidated per
+//! thread by one atomic epoch load — the hot read path acquires **no
+//! lock** and runs concurrently with ingest and with other reads.
+//!
+//! Two serve modes drive the same request brain ([`ServeMode`]):
+//!
+//! * **Threads** — a fixed pool of blocking accept/serve loops, one
+//!   connection per thread. Accepted sockets carry the configured
+//!   read/write timeouts ([`Server::with_conn_timeout`]) so a half-open
+//!   client cannot pin its worker thread forever.
+//! * **EvLoop** — `dp_net`'s poll-driven nonblocking reactor: the same
+//!   thread count runs event loops over a shared listener, with
+//!   per-connection buffers, write backpressure, and a typed
+//!   [`dp_core::protocol::ERR_BUSY`] overload answer.
 //!
 //! ```text
-//! client ──frames──▶ Server ──&mut──▶ QueryEngine ──▶ SketchStore
-//!        ◀─frames──        ◀─ data ──
+//! client ──frames──▶ Server ──▶ SharedEngine ──▶ EngineSnapshot (reads)
+//!        ◀─frames──         └─▶ QueryEngine    (serialized mutations)
 //! ```
 
 use dp_core::error::CoreError;
 use dp_core::protocol::{
     decode_request, decode_response, encode_request, encode_response, read_frame,
-    tile_stream_checksum, write_frame, Request, Response, CAP_TILE_STREAM, ERR_DUPLICATE_PARTY,
-    ERR_INCOMPATIBLE, ERR_INTERNAL, ERR_MALFORMED, ERR_PLAN, ERR_SPEC, ERR_SPEC_MISMATCH,
-    ERR_UNKNOWN_PARTY, ERR_WORKER,
+    tile_stream_checksum, write_frame, Request, Response, CAP_TILE_STREAM, ERR_BUSY,
+    ERR_DUPLICATE_PARTY, ERR_INCOMPATIBLE, ERR_INTERNAL, ERR_MALFORMED, ERR_PLAN, ERR_SPEC,
+    ERR_SPEC_MISMATCH, ERR_UNKNOWN_PARTY, ERR_WORKER, MAX_FRAME_LEN,
 };
 use dp_core::release::Release;
 use dp_core::sketcher::SketcherSpec;
 use dp_core::wire::FNV1A64_INIT;
 use dp_core::{TilePlan, TileSegment};
-use dp_engine::{EngineError, Gather, QueryEngine, SketchStore};
+use dp_engine::{EngineError, EngineSnapshot, Gather, QueryEngine, SharedEngine, SketchStore};
+use dp_net::{serve_loop, Control, FrameService, Listener, ServiceReply};
 use dp_parallel::{par_map, scope_workers};
+use std::cell::RefCell;
 use std::fmt;
-use std::io::{self, Read, Write};
-use std::net::{TcpListener, TcpStream};
-use std::os::unix::net::{UnixListener, UnixStream};
-use std::path::PathBuf;
+use std::io;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Duration;
 
-/// Where a server listens / a client connects.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum Endpoint {
-    /// `tcp:HOST:PORT`.
-    Tcp(String),
-    /// `unix:PATH`.
-    Unix(PathBuf),
-}
-
-impl Endpoint {
-    /// Parse `tcp:HOST:PORT` or `unix:PATH`.
-    ///
-    /// # Errors
-    /// A human-readable message on any other shape.
-    pub fn parse(text: &str) -> Result<Self, String> {
-        if let Some(addr) = text.strip_prefix("tcp:") {
-            Ok(Self::Tcp(addr.to_string()))
-        } else if let Some(path) = text.strip_prefix("unix:") {
-            Ok(Self::Unix(PathBuf::from(path)))
-        } else {
-            Err(format!(
-                "endpoint '{text}' must be tcp:HOST:PORT or unix:PATH"
-            ))
-        }
-    }
-}
-
-impl fmt::Display for Endpoint {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Self::Tcp(addr) => write!(f, "tcp:{addr}"),
-            Self::Unix(path) => write!(f, "unix:{}", path.display()),
-        }
-    }
-}
-
-/// A connected byte stream of either family.
-#[derive(Debug)]
-pub enum Conn {
-    /// A TCP connection.
-    Tcp(TcpStream),
-    /// A unix-socket connection.
-    Unix(UnixStream),
-}
-
-impl Conn {
-    /// Set (or clear) the read timeout of the underlying socket. A
-    /// blocked read past the deadline fails with `WouldBlock`/`TimedOut`
-    /// instead of hanging forever.
-    ///
-    /// # Errors
-    /// Propagates socket option failures.
-    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
-        match self {
-            Self::Tcp(s) => s.set_read_timeout(timeout),
-            Self::Unix(s) => s.set_read_timeout(timeout),
-        }
-    }
-}
-
-impl Read for Conn {
-    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
-        match self {
-            Self::Tcp(s) => s.read(buf),
-            Self::Unix(s) => s.read(buf),
-        }
-    }
-}
-
-impl Write for Conn {
-    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
-        match self {
-            Self::Tcp(s) => s.write(buf),
-            Self::Unix(s) => s.write(buf),
-        }
-    }
-
-    fn flush(&mut self) -> io::Result<()> {
-        match self {
-            Self::Tcp(s) => s.flush(),
-            Self::Unix(s) => s.flush(),
-        }
-    }
-}
-
-enum Listener {
-    Tcp(TcpListener),
-    Unix(UnixListener),
-}
-
-impl Listener {
-    fn accept(&self) -> io::Result<Conn> {
-        match self {
-            Self::Tcp(l) => l.accept().map(|(s, _)| Conn::Tcp(s)),
-            Self::Unix(l) => l.accept().map(|(s, _)| Conn::Unix(s)),
-        }
-    }
-}
-
-fn connect(endpoint: &Endpoint) -> io::Result<Conn> {
-    match endpoint {
-        Endpoint::Tcp(addr) => TcpStream::connect(addr).map(Conn::Tcp),
-        Endpoint::Unix(path) => UnixStream::connect(path).map(Conn::Unix),
-    }
-}
-
-/// [`connect`] with a bound on the TCP connect itself: a black-holed
-/// host (SYNs dropped, nothing answers) fails within `timeout` instead
-/// of the kernel's connect timeout (which can be minutes). Unix-socket
-/// connects are local and never block meaningfully; name resolution for
-/// TCP endpoints still runs unbounded before the timed connect.
-fn connect_with_timeout(endpoint: &Endpoint, timeout: Duration) -> io::Result<Conn> {
-    match endpoint {
-        Endpoint::Tcp(addr) => {
-            use std::net::ToSocketAddrs;
-            let mut last = None;
-            for resolved in addr.to_socket_addrs()? {
-                match TcpStream::connect_timeout(&resolved, timeout) {
-                    Ok(stream) => return Ok(Conn::Tcp(stream)),
-                    Err(e) => last = Some(e),
-                }
-            }
-            Err(last.unwrap_or_else(|| {
-                io::Error::new(
-                    io::ErrorKind::InvalidInput,
-                    format!("'{addr}' resolved to no addresses"),
-                )
-            }))
-        }
-        Endpoint::Unix(path) => UnixStream::connect(path).map(Conn::Unix),
-    }
-}
+// The transport vocabulary moved to `dp-net` (the reactor needs it
+// below the server); re-exported so existing `dp_server::{Endpoint,
+// Conn}` users are untouched.
+pub use dp_net::{connect, connect_with_timeout, Conn, Endpoint};
+pub use dp_net::{NetConfig, ReactorCounters};
 
 /// Map an engine failure onto a protocol error frame.
 fn error_response(e: &EngineError) -> Response {
@@ -786,7 +673,51 @@ fn worker_error(message: String) -> Response {
     }
 }
 
-/// The protocol-v3 sketch service.
+/// How [`Server::serve_mode`] drives connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServeMode {
+    /// One blocking thread per connection from a fixed accept pool —
+    /// the original model, kept as a fallback and as the reference for
+    /// bit-identity tests.
+    #[default]
+    Threads,
+    /// `dp_net`'s poll-driven nonblocking reactor: the same thread
+    /// count runs event loops over one shared listener; slow or wedged
+    /// clients cost a buffer, never a thread.
+    EvLoop,
+}
+
+impl ServeMode {
+    /// Parse `threads` or `evloop` (the `--serve-mode` values).
+    ///
+    /// # Errors
+    /// A human-readable message on anything else.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        match text {
+            "threads" => Ok(Self::Threads),
+            "evloop" => Ok(Self::EvLoop),
+            other => Err(format!("serve mode '{other}' must be threads or evloop")),
+        }
+    }
+}
+
+/// A point-in-time view of every counter the server keeps
+/// ([`Server::stats`]): the published snapshot epoch, the transport
+/// counters (fed by both serve modes), and — in coordinator mode — the
+/// fault-tolerance counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Epoch of the latest published [`EngineSnapshot`] (strictly
+    /// increasing; bumps on every effective mutation).
+    pub snapshot_epoch: u64,
+    /// Transport counters: open connections, frames in/out, busy
+    /// rejections.
+    pub reactor: ReactorCounters,
+    /// Coordinator fault-tolerance counters (`None` in the plain role).
+    pub coordinator: Option<CoordinatorStats>,
+}
+
+/// The protocol-v4 sketch service.
 ///
 /// In its plain role the server answers every request from its own
 /// engine. Bound via [`Server::bind_coordinator`] it additionally
@@ -798,13 +729,23 @@ fn worker_error(message: String) -> Response {
 pub struct Server {
     endpoint: Endpoint,
     listener: Listener,
-    engine: Mutex<QueryEngine>,
+    /// The engine behind its snapshot-publishing front: reads run
+    /// lock-free against published snapshots, mutations serialize.
+    shared: SharedEngine,
     shutdown: AtomicBool,
-    /// Accept loops currently running — the number of wake-up
-    /// connections a shutdown must make to unblock them all.
+    /// Blocking accept loops currently running — the number of wake-up
+    /// connections a thread-mode shutdown must make to unblock them.
     active_workers: AtomicUsize,
     /// The coordinator role's worker pool, when in coordinator mode.
     shards: Option<Shards>,
+    /// Reactor tuning (event-loop mode); the frame-length cap also
+    /// bounds thread-mode replies via the shared encode path.
+    net: dp_net::NetConfig,
+    /// Read/write timeouts applied to thread-mode accepted sockets, so
+    /// a half-open client cannot pin its serving thread forever.
+    conn_timeout: Option<Duration>,
+    /// Transport counters, fed by both serve modes.
+    reactor_stats: dp_net::ReactorStats,
 }
 
 impl Server {
@@ -815,21 +756,36 @@ impl Server {
     /// # Errors
     /// Propagates bind failures.
     pub fn bind(endpoint: Endpoint, engine: QueryEngine) -> io::Result<Self> {
-        let listener = match &endpoint {
-            Endpoint::Tcp(addr) => Listener::Tcp(TcpListener::bind(addr)?),
-            Endpoint::Unix(path) => {
-                let _ = std::fs::remove_file(path);
-                Listener::Unix(UnixListener::bind(path)?)
-            }
-        };
+        let listener = Listener::bind(&endpoint)?;
         Ok(Self {
             endpoint,
             listener,
-            engine: Mutex::new(engine),
+            shared: SharedEngine::new(engine),
             shutdown: AtomicBool::new(false),
             active_workers: AtomicUsize::new(0),
             shards: None,
+            net: dp_net::NetConfig::default(),
+            conn_timeout: None,
+            reactor_stats: dp_net::ReactorStats::new(),
         })
+    }
+
+    /// Set the read/write timeouts applied to every accepted socket in
+    /// **thread** mode (`None` = never time out, the pre-PR-6
+    /// behavior). Event-loop mode needs no socket timeouts: a wedged
+    /// client there costs a buffer, not a thread.
+    #[must_use]
+    pub fn with_conn_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.conn_timeout = timeout;
+        self
+    }
+
+    /// Override the reactor tuning knobs (frame cap, write budget,
+    /// connection cap, tick) used by event-loop mode.
+    #[must_use]
+    pub fn with_net_config(mut self, net: NetConfig) -> Self {
+        self.net = net;
+        self
     }
 
     /// Bind in **coordinator mode**: serve the same protocol, but
@@ -917,20 +873,47 @@ impl Server {
     /// kernel-assigned port, so callers can connect.
     #[must_use]
     pub fn local_endpoint(&self) -> Endpoint {
-        match (&self.endpoint, &self.listener) {
-            (Endpoint::Tcp(_), Listener::Tcp(l)) => match l.local_addr() {
-                Ok(addr) => Endpoint::Tcp(addr.to_string()),
-                Err(_) => self.endpoint.clone(),
-            },
-            _ => self.endpoint.clone(),
+        self.listener.local_endpoint(&self.endpoint)
+    }
+
+    /// Every counter the server keeps: the published snapshot epoch,
+    /// the transport counters (both serve modes feed the same cells),
+    /// and the coordinator fault-tolerance counters when coordinating.
+    #[must_use]
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            snapshot_epoch: self.shared.epoch(),
+            reactor: self.reactor_stats.snapshot(),
+            coordinator: self.coordinator_stats(),
         }
     }
 
     /// Serve until a [`Request::Shutdown`] arrives, with `workers`
     /// blocking accept loops on the `dp_parallel` scoped pool
-    /// (`workers` is clamped to at least 1).
+    /// (`workers` is clamped to at least 1). Equivalent to
+    /// [`Server::serve_mode`] with [`ServeMode::Threads`].
     pub fn serve(&self, workers: usize) {
+        self.serve_mode(ServeMode::Threads, workers);
+    }
+
+    /// Serve until a [`Request::Shutdown`] arrives, with `workers`
+    /// threads (clamped to at least 1) in the given mode: blocking
+    /// accept loops ([`ServeMode::Threads`]) or nonblocking reactor
+    /// loops over one shared listener ([`ServeMode::EvLoop`]). Both
+    /// modes run the identical request brain, so their answers are
+    /// bit-identical frame for frame.
+    pub fn serve_mode(&self, mode: ServeMode, workers: usize) {
         let workers = workers.max(1);
+        match mode {
+            ServeMode::Threads => self.serve_threads(workers),
+            ServeMode::EvLoop => self.serve_evloop(workers),
+        }
+        if let Endpoint::Unix(path) = &self.endpoint {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+
+    fn serve_threads(&self, workers: usize) {
         self.active_workers.store(workers, Ordering::SeqCst);
         scope_workers(workers, |_| {
             while !self.shutdown.load(Ordering::SeqCst) {
@@ -940,23 +923,51 @@ impl Server {
                 if self.shutdown.load(Ordering::SeqCst) {
                     break;
                 }
+                // The wedged-client guard: without timeouts a half-open
+                // peer (or one that never drains its socket) pins this
+                // thread forever, and enough of them starve the accept
+                // pool entirely.
+                if let Some(timeout) = self.conn_timeout {
+                    let _ = conn.set_read_timeout(Some(timeout));
+                    let _ = conn.set_write_timeout(Some(timeout));
+                }
+                self.reactor_stats.conn_opened();
                 self.serve_conn(conn);
+                self.reactor_stats.conn_closed();
             }
         });
-        if let Endpoint::Unix(path) = &self.endpoint {
-            let _ = std::fs::remove_file(path);
-        }
+        self.active_workers.store(0, Ordering::SeqCst);
     }
 
-    /// Serve one connection: one response per request (or a part stream
-    /// for `ExecuteTilesStream`), until the peer hangs up or asks for
-    /// shutdown.
+    fn serve_evloop(&self, workers: usize) {
+        let service = SnapshotService { server: self };
+        scope_workers(workers, |_| {
+            // Per-loop failures (poll itself failing) end that loop;
+            // the listener teardown below unblocks nothing because
+            // reactor loops never block indefinitely.
+            let _ = serve_loop(
+                &self.listener,
+                &service,
+                &self.net,
+                &self.shutdown,
+                &self.reactor_stats,
+            );
+        });
+        // Leave the listener blocking again so a later thread-mode
+        // serve on the same server accepts normally.
+        let _ = self.listener.set_nonblocking(false);
+    }
+
+    /// Serve one connection (thread mode): one response per request (or
+    /// a part stream for `ExecuteTilesStream`), until the peer hangs
+    /// up, times out, or asks for shutdown.
     fn serve_conn(&self, mut conn: Conn) {
         loop {
             let payload = match read_frame(&mut conn) {
                 Ok(Some(payload)) => payload,
                 Ok(None) | Err(_) => return,
             };
+            self.reactor_stats.frame_in();
             let decoded = decode_request(&payload);
             if let Ok(Request::ExecuteTilesStream {
                 rows,
@@ -964,10 +975,14 @@ impl Server {
                 tile_ids,
             }) = &decoded
             {
-                if self
-                    .stream_tiles(&mut conn, *rows, *tile, tile_ids)
-                    .is_err()
-                {
+                let snapshot = self.current_snapshot();
+                let stats = &self.reactor_stats;
+                let streamed =
+                    stream_tile_frames(&snapshot, *rows, *tile, tile_ids, &mut |bytes| {
+                        stats.frames_out(1);
+                        write_frame(&mut conn, &bytes)
+                    });
+                if streamed.is_err() {
                     return;
                 }
                 continue;
@@ -982,25 +997,8 @@ impl Server {
                     false,
                 ),
             };
-            let Ok(mut bytes) = encode_response(&response) else {
-                return;
-            };
-            // A result bigger than one frame can carry (a huge all-pairs
-            // matrix) must come back as a typed error, not a silent
-            // hangup — the connection stays usable for subset queries.
-            if bytes.len() > dp_core::protocol::MAX_FRAME_LEN {
-                let oversize = Response::Error {
-                    code: ERR_INTERNAL,
-                    message: format!(
-                        "response of {} bytes exceeds the {} byte frame limit; \
-                         query a smaller subset",
-                        bytes.len(),
-                        dp_core::protocol::MAX_FRAME_LEN
-                    ),
-                };
-                bytes = encode_response(&oversize).expect("error frames are small");
-            }
-            if write_frame(&mut conn, &bytes).is_err() {
+            self.reactor_stats.frames_out(1);
+            if write_frame(&mut conn, &encode_bounded(&response)).is_err() {
                 return;
             }
             if bye {
@@ -1010,96 +1008,58 @@ impl Server {
         }
     }
 
-    /// Stream one `ExecuteTilesStream` answer directly onto the
-    /// connection: validate once, then one `TileResultPart` frame per
-    /// tile — each computed under a short-lived engine lock and written
-    /// with no lock held — closed by a `TileResultSummary` carrying the
-    /// part count and the running stream digest. A monolithic result
-    /// frame never materializes, so the response size is bounded by the
-    /// largest *tile*, not the whole shard. A mid-stream failure (e.g.
-    /// the plan invalidated by a concurrent ingest on a worker that
-    /// missed the row-count guard) terminates the stream with a single
-    /// `Error` frame.
-    ///
-    /// # Errors
-    /// Transport failures only; protocol-level failures travel as
-    /// `Error` frames.
-    fn stream_tiles(
-        &self,
-        conn: &mut Conn,
-        rows: u64,
-        tile: u32,
-        tile_ids: &[u64],
-    ) -> io::Result<()> {
-        let plan_rows = usize::try_from(rows).unwrap_or(usize::MAX);
-        let send_error = |conn: &mut Conn, e: &EngineError| {
-            let bytes = encode_response(&error_response(e)).expect("error frames encode");
-            write_frame(conn, &bytes)
-        };
-        {
-            let engine = self.engine.lock().expect("engine mutex poisoned");
-            if let Err(e) = engine.validate_tiles(plan_rows, tile as usize, tile_ids) {
-                return send_error(conn, &e);
-            }
+    /// The snapshot the read-only request arms answer from. Per-thread
+    /// cached `Arc`, revalidated by one atomic epoch load
+    /// ([`SharedEngine::refresh`]) — on the hot path (epoch unchanged)
+    /// no lock is touched at all. The cache is keyed by server address;
+    /// serving threads are scoped inside `serve_mode`, so a cached
+    /// entry can never outlive its server (no stale-address reuse).
+    fn current_snapshot(&self) -> Arc<EngineSnapshot> {
+        thread_local! {
+            static CACHE: RefCell<Option<(usize, Arc<EngineSnapshot>)>> =
+                const { RefCell::new(None) };
         }
-        let mut checksum = FNV1A64_INIT;
-        let mut count = 0u64;
-        for &id in tile_ids {
-            let segment = {
-                let engine = self.engine.lock().expect("engine mutex poisoned");
-                match engine.execute_tiles(plan_rows, tile as usize, std::slice::from_ref(&id)) {
-                    Ok(mut segments) => segments.pop().expect("one id, one segment"),
-                    Err(e) => return send_error(conn, &e),
+        let key = self as *const Self as usize;
+        CACHE.with(|cell| {
+            let mut cell = cell.borrow_mut();
+            match cell.as_mut() {
+                Some((cached_key, snapshot)) if *cached_key == key => {
+                    self.shared.refresh(snapshot);
+                    Arc::clone(snapshot)
                 }
-            };
-            checksum = tile_stream_checksum(checksum, &segment);
-            count += 1;
-            let part = Response::TileResultPart {
-                rows,
-                tile,
-                segment,
-            };
-            let Ok(bytes) = encode_response(&part) else {
-                let oversize = Response::Error {
-                    code: ERR_INTERNAL,
-                    message: format!("tile {id} exceeds a single frame; use a smaller tile side"),
-                };
-                let bytes = encode_response(&oversize).expect("error frames encode");
-                return write_frame(conn, &bytes);
-            };
-            write_frame(conn, &bytes)?;
-        }
-        let summary = Response::TileResultSummary {
-            rows,
-            tile,
-            count,
-            checksum,
-        };
-        let bytes = encode_response(&summary).expect("summary frames are small");
-        write_frame(conn, &bytes)
+                _ => {
+                    let snapshot = self.shared.snapshot();
+                    *cell = Some((key, Arc::clone(&snapshot)));
+                    snapshot
+                }
+            }
+        })
     }
 
     /// Answer one request against the shared engine. Returns the
     /// response and whether the connection (and server) should wind
     /// down.
+    ///
+    /// Mutations run through [`SharedEngine::mutate`] (serialized, and
+    /// publishing a fresh snapshot); every read-only arm answers from a
+    /// published snapshot with no lock on the hot path.
     fn handle(&self, request: &Request) -> (Response, bool) {
         // Replicated mutations (coordinator Hello/Ingest) serialize on
         // the shards' order lock, acquired *before* the engine lock:
         // the local append, the journal append, and the worker
         // broadcast form one ordered unit, but the engine lock is
-        // released before the broadcast, so a wedged worker stalls only
-        // other mutations — local queries on other connections keep
-        // answering.
+        // released (inside `mutate`) before the broadcast, so a wedged
+        // worker stalls only other mutations — local queries keep
+        // answering from snapshots.
         let _order = match (&self.shards, request) {
             (Some(shards), Request::Hello { .. } | Request::Ingest { .. }) => {
                 Some(shards.order_lock())
             }
             _ => None,
         };
-        let mut engine = self.engine.lock().expect("engine mutex poisoned");
         let response = match request {
             Request::Hello { spec_json, .. } => {
-                let response = hello(&mut engine, spec_json);
+                let response = self.shared.mutate(|engine| hello(engine, spec_json));
                 // A coordinator journals the accepted spec and relays
                 // it (with its own caps) so the worker replicas
                 // negotiate the same store identity. A worker that
@@ -1107,76 +1067,88 @@ impl Server {
                 // poisoned — the journal lets it catch up later — but
                 // the client's Hello still succeeds: the coordinator's
                 // local engine is the source of truth.
-                if matches!(response, Response::Hello { .. }) {
-                    if let Some(shards) = &self.shards {
-                        let rows = engine.store().n() as u64;
-                        drop(engine);
-                        shards.journal_lock().spec_json = Some(spec_json.clone());
-                        let relay = Request::Hello {
-                            spec_json: spec_json.clone(),
-                            caps: CAP_TILE_STREAM,
-                        };
-                        shards.broadcast_mutation(
-                            &relay,
-                            &|r| matches!(r, Response::Hello { rows: got, .. } if *got == rows),
-                        );
-                    }
+                if let (Response::Hello { rows, .. }, Some(shards)) = (&response, &self.shards) {
+                    let rows = *rows;
+                    shards.journal_lock().spec_json = Some(spec_json.clone());
+                    let relay = Request::Hello {
+                        spec_json: spec_json.clone(),
+                        caps: CAP_TILE_STREAM,
+                    };
+                    shards.broadcast_mutation(
+                        &relay,
+                        &|r| matches!(r, Response::Hello { rows: got, .. } if *got == rows),
+                    );
                 }
                 response
             }
-            Request::Ingest { release_frame } => match engine.ingest_bytes(release_frame) {
-                Ok(row) => {
-                    let rows = engine.store().n() as u64;
-                    let response = Response::Ingested {
-                        row: row as u64,
-                        rows,
-                    };
-                    // Journal and broadcast only what the local engine
-                    // accepted — a rejected release never reaches a
-                    // worker. Live workers must echo the coordinator's
-                    // row count (a different echo means the replica
-                    // missed an earlier mutation → poisoned, caught up
-                    // from the journal at the next revival); poisoned
-                    // workers are skipped, not waited on. Either way
-                    // the client's ingest succeeds.
-                    if let Some(shards) = &self.shards {
-                        drop(engine);
-                        shards.journal_lock().frames.push(release_frame.clone());
-                        shards.broadcast_mutation(
-                            request,
-                            &|r| matches!(r, Response::Ingested { rows: got, .. } if *got == rows),
-                        );
+            Request::Ingest { release_frame } => {
+                let accepted = self.shared.mutate(|engine| {
+                    engine
+                        .ingest_bytes(release_frame)
+                        .map(|row| (row as u64, engine.store().n() as u64))
+                });
+                match accepted {
+                    Ok((row, rows)) => {
+                        // Journal and broadcast only what the local
+                        // engine accepted — a rejected release never
+                        // reaches a worker. Live workers must echo the
+                        // coordinator's row count (a different echo
+                        // means the replica missed an earlier mutation
+                        // → poisoned, caught up from the journal at the
+                        // next revival); poisoned workers are skipped,
+                        // not waited on. Either way the client's ingest
+                        // succeeds.
+                        if let Some(shards) = &self.shards {
+                            shards.journal_lock().frames.push(release_frame.clone());
+                            shards.broadcast_mutation(
+                                request,
+                                &|r| matches!(r, Response::Ingested { rows: got, .. } if *got == rows),
+                            );
+                        }
+                        Response::Ingested { row, rows }
                     }
-                    response
+                    Err(e) => error_response(&e),
                 }
-                Err(e) => error_response(&e),
-            },
+            }
             Request::Pairwise { parties } => {
                 if parties.is_empty() {
+                    let snapshot = self.current_snapshot();
                     match &self.shards {
                         // The quadratic pass fans out across the pool
                         // (2+ rows; below that the plan has no pairs).
-                        // Snapshot the store geometry and release the
-                        // engine lock first: a slow worker must not
-                        // block other clients' local queries. The store
-                        // is append-only, so a mid-flight ingest can
-                        // only surface as a worker-side ERR_PLAN.
-                        Some(shards) if engine.store().n() >= 2 => {
-                            let n = engine.store().n();
-                            let party_ids = engine.store().party_ids().to_vec();
-                            drop(engine);
-                            shards.sharded_pairwise(n, party_ids)
+                        // The snapshot fixes the store geometry with no
+                        // lock at all: a slow worker never blocks other
+                        // clients. The store is append-only, so a
+                        // mid-flight ingest can only surface as a
+                        // worker-side ERR_PLAN.
+                        Some(shards) if snapshot.n() >= 2 => {
+                            let party_ids = snapshot.store().party_ids().to_vec();
+                            shards.sharded_pairwise(snapshot.n(), party_ids)
                         }
                         _ => {
-                            let matrix = engine.pairwise_all();
-                            Response::Pairwise {
-                                parties: engine.store().party_ids().to_vec(),
-                                values: matrix.as_flat().to_vec(),
-                            }
+                            // Warm memo: answer straight off the
+                            // snapshot. Cold: fill the memo through the
+                            // mutation path — which *publishes* a
+                            // snapshot carrying the matrix, so the next
+                            // full-matrix (and top-pairs) reads are
+                            // lock-free again.
+                            let (parties, values) = match snapshot.full_matrix() {
+                                Some(matrix) => (
+                                    snapshot.store().party_ids().to_vec(),
+                                    matrix.as_flat().to_vec(),
+                                ),
+                                None => self.shared.mutate(|engine| {
+                                    (
+                                        engine.store().party_ids().to_vec(),
+                                        engine.pairwise_all().as_flat().to_vec(),
+                                    )
+                                }),
+                            };
+                            Response::Pairwise { parties, values }
                         }
                     }
                 } else {
-                    match engine.pairwise(parties) {
+                    match self.current_snapshot().pairwise(parties) {
                         Ok(matrix) => Response::Pairwise {
                             parties: parties.clone(),
                             values: matrix.into_flat(),
@@ -1186,7 +1158,7 @@ impl Server {
                 }
             }
             Request::PlanPairwise { tile } => {
-                let plan = TilePlan::new(engine.store().n(), *tile as usize);
+                let plan = TilePlan::new(self.current_snapshot().n(), *tile as usize);
                 Response::Plan {
                     rows: plan.n() as u64,
                     tile: plan.tile() as u32,
@@ -1200,7 +1172,10 @@ impl Server {
                 tile_ids,
             } => {
                 let plan_rows = usize::try_from(*rows).unwrap_or(usize::MAX);
-                match engine.execute_tiles(plan_rows, *tile as usize, tile_ids) {
+                match self
+                    .current_snapshot()
+                    .execute_tiles(plan_rows, *tile as usize, tile_ids)
+                {
                     Ok(segments) => Response::TileResult {
                         rows: *rows,
                         tile: *tile,
@@ -1209,7 +1184,7 @@ impl Server {
                     Err(e) => error_response(&e),
                 }
             }
-            Request::Knn { party, k } => match engine.knn(*party, *k as usize) {
+            Request::Knn { party, k } => match self.current_snapshot().knn(*party, *k as usize) {
                 Ok(neighbors) => Response::Knn {
                     neighbors: neighbors
                         .into_iter()
@@ -1218,12 +1193,19 @@ impl Server {
                 },
                 Err(e) => error_response(&e),
             },
-            Request::TopPairs { t } => Response::TopPairs {
-                pairs: engine.top_pairs(*t as usize),
-            },
+            Request::TopPairs { t } => {
+                let pairs = match self.current_snapshot().top_pairs(*t as usize) {
+                    Some(pairs) => pairs,
+                    // Stale memo: fill it through the mutation path
+                    // (publishing a matrix-carrying snapshot).
+                    None => self.shared.mutate(|engine| engine.top_pairs(*t as usize)),
+                };
+                Response::TopPairs { pairs }
+            }
             Request::ExecuteTilesStream { .. } => {
-                // Intercepted in serve_conn (it answers with a frame
-                // stream, not one response); reaching here is a bug.
+                // Intercepted at the transport layer (it answers with a
+                // frame stream, not one response); reaching here is a
+                // bug.
                 Response::Error {
                     code: ERR_INTERNAL,
                     message: "streamed execution is handled at the transport layer".to_string(),
@@ -1249,6 +1231,163 @@ impl Server {
             let _ = connect(&self.local_endpoint());
         }
     }
+
+    /// The event-loop entry point: decode one request payload and
+    /// answer with encoded reply frames. Shares every code path with
+    /// thread mode ([`Server::handle`], [`stream_tile_frames`],
+    /// [`encode_bounded`]), which is what makes the two modes
+    /// bit-identical frame for frame.
+    fn handle_payload(&self, payload: &[u8]) -> ServiceReply {
+        let decoded = decode_request(payload);
+        if let Ok(Request::ExecuteTilesStream {
+            rows,
+            tile,
+            tile_ids,
+        }) = &decoded
+        {
+            let snapshot = self.current_snapshot();
+            let mut frames = Vec::new();
+            // The emitter is infallible here (it only buffers); the
+            // reactor applies its write budget to the whole reply, so a
+            // stream too large to buffer answers ERR_BUSY instead.
+            let _ = stream_tile_frames(&snapshot, *rows, *tile, tile_ids, &mut |bytes| {
+                frames.push(bytes);
+                Ok(())
+            });
+            return ServiceReply {
+                frames,
+                control: Control::Continue,
+            };
+        }
+        let (response, bye) = match decoded {
+            Ok(request) => self.handle(&request),
+            Err(e) => (
+                Response::Error {
+                    code: ERR_MALFORMED,
+                    message: e.to_string(),
+                },
+                false,
+            ),
+        };
+        ServiceReply {
+            frames: vec![encode_bounded(&response)],
+            control: if bye {
+                Control::Shutdown
+            } else {
+                Control::Continue
+            },
+        }
+    }
+}
+
+/// The [`FrameService`] the reactor drives: the server's request brain
+/// behind the `dp_net` frame boundary.
+struct SnapshotService<'a> {
+    server: &'a Server,
+}
+
+impl FrameService for SnapshotService<'_> {
+    fn handle_frame(&self, payload: &[u8]) -> ServiceReply {
+        self.server.handle_payload(payload)
+    }
+
+    fn busy_payload(&self) -> Vec<u8> {
+        encode_response(&Response::Error {
+            code: ERR_BUSY,
+            message: "server overloaded: reply exceeds the write budget or the \
+                      connection cap is reached; retry later or query a smaller subset"
+                .to_string(),
+        })
+        .expect("error frames encode")
+    }
+}
+
+/// Encode a response, substituting a typed error when the frame would
+/// exceed [`MAX_FRAME_LEN`] (a huge all-pairs matrix must come back as
+/// an error the client can act on — query a smaller subset — not a
+/// silent hangup) or fails to encode at all. Both serve modes encode
+/// through here, keeping their bytes identical.
+fn encode_bounded(response: &Response) -> Vec<u8> {
+    if let Ok(bytes) = encode_response(response) {
+        if bytes.len() <= MAX_FRAME_LEN {
+            return bytes;
+        }
+        let oversize = Response::Error {
+            code: ERR_INTERNAL,
+            message: format!(
+                "response of {} bytes exceeds the {} byte frame limit; \
+                 query a smaller subset",
+                bytes.len(),
+                MAX_FRAME_LEN
+            ),
+        };
+        return encode_response(&oversize).expect("error frames are small");
+    }
+    encode_response(&Response::Error {
+        code: ERR_INTERNAL,
+        message: "response failed to encode".to_string(),
+    })
+    .expect("error frames are small")
+}
+
+/// Produce one `ExecuteTilesStream` answer as encoded frames over ONE
+/// immutable snapshot: validate once, then a `TileResultPart` frame per
+/// tile, closed by a `TileResultSummary` carrying the part count and
+/// the running stream digest. The snapshot cannot change underneath the
+/// stream, so the answer is internally consistent by construction (the
+/// old per-tile-engine-lock path could race a concurrent ingest). A
+/// monolithic result frame never materializes; each frame goes to
+/// `emit` as soon as it is ready (thread mode writes it to the socket,
+/// the event loop queues it). Both serve modes stream through here,
+/// keeping their bytes identical.
+///
+/// # Errors
+/// Only what `emit` returns (transport failures in thread mode);
+/// protocol-level failures travel as `Error` frames.
+fn stream_tile_frames(
+    snapshot: &EngineSnapshot,
+    rows: u64,
+    tile: u32,
+    tile_ids: &[u64],
+    emit: &mut dyn FnMut(Vec<u8>) -> io::Result<()>,
+) -> io::Result<()> {
+    let plan_rows = usize::try_from(rows).unwrap_or(usize::MAX);
+    let plan = match snapshot.validate_tiles(plan_rows, tile as usize, tile_ids) {
+        Ok(plan) => plan,
+        Err(e) => {
+            let bytes = encode_response(&error_response(&e)).expect("error frames encode");
+            return emit(bytes);
+        }
+    };
+    let mut checksum = FNV1A64_INIT;
+    let mut count = 0u64;
+    for &id in tile_ids {
+        let mut segments = snapshot.execute_tile(&plan, id);
+        let segment = segments.pop().expect("one id, one segment");
+        checksum = tile_stream_checksum(checksum, &segment);
+        count += 1;
+        let part = Response::TileResultPart {
+            rows,
+            tile,
+            segment,
+        };
+        let Ok(bytes) = encode_response(&part) else {
+            let oversize = Response::Error {
+                code: ERR_INTERNAL,
+                message: format!("tile {id} exceeds a single frame; use a smaller tile side"),
+            };
+            let bytes = encode_response(&oversize).expect("error frames encode");
+            return emit(bytes);
+        };
+        emit(bytes)?;
+    }
+    let summary = Response::TileResultSummary {
+        rows,
+        tile,
+        count,
+        checksum,
+    };
+    emit(encode_response(&summary).expect("summary frames are small"))
 }
 
 /// The `Hello` negotiation: adopt the spec on a fresh store, accept a
@@ -1273,8 +1412,16 @@ fn hello(engine: &mut QueryEngine, spec_json: &str) -> Response {
         }
         None if engine.store().is_empty() => {
             let par = engine.parallelism();
+            // Bump the generation through the replacement so the
+            // mutation path publishes a snapshot carrying the adopted
+            // spec.
+            let generation = engine.generation() + 1;
             match SketchStore::with_spec(proposed) {
-                Ok(store) => *engine = QueryEngine::new(store).with_parallelism(par),
+                Ok(store) => {
+                    *engine = QueryEngine::new(store)
+                        .with_parallelism(par)
+                        .with_generation(generation);
+                }
                 Err(e) => return error_response(&e),
             }
         }
@@ -1653,6 +1800,7 @@ impl Client {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::path::PathBuf;
 
     fn bare_shards() -> Shards {
         Shards {

@@ -1,16 +1,23 @@
-//! The `dp-server` binary: a protocol-v3 sketch service.
+//! The `dp-server` binary: a protocol-v4 sketch service.
 //!
 //! ```text
 //! dp-server [--listen tcp:HOST:PORT | --listen unix:PATH]
-//!           [--spec PATH.json] [--workers N]
+//!           [--spec PATH.json] [--workers N] [--serve-mode threads|evloop]
 //!           [--worker ENDPOINT]... [--shard-tile T] [--worker-timeout SECS]
 //! ```
 //!
 //! Without `--spec` the store adopts the spec proposed by the first
 //! client `Hello`. The engine's all-pairs kernel runs on the usual
 //! `DP_THREADS` / `DP_TILE` environment knobs; `--workers` sets how
-//! many connections are served concurrently. The server exits cleanly
-//! when a client sends the protocol `Shutdown` request.
+//! many connections (threads mode) or event loops (evloop mode) are
+//! served concurrently. The server exits cleanly when a client sends
+//! the protocol `Shutdown` request.
+//!
+//! `--serve-mode threads` (the default) serves one blocking thread per
+//! connection, with read/write timeouts from `--worker-timeout` so a
+//! wedged client cannot pin a thread forever. `--serve-mode evloop`
+//! serves on `dp-net`'s poll-driven nonblocking reactor: slow clients
+//! cost a buffer, overload answers a typed `ERR_BUSY`.
 //!
 //! Passing one or more `--worker` endpoints switches the server into
 //! **coordinator mode**: ingests are broadcast to every worker server,
@@ -25,7 +32,7 @@
 use dp_core::sketcher::SketcherSpec;
 use dp_core::Parallelism;
 use dp_engine::{QueryEngine, SketchStore};
-use dp_server::{Client, Endpoint, Server, WorkerEntry};
+use dp_server::{Client, Endpoint, ServeMode, Server, WorkerEntry};
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -62,6 +69,7 @@ fn main() -> ExitCode {
     let mut worker_endpoints: Vec<String> = Vec::new();
     let mut shard_tile = dp_parallel::DEFAULT_TILE;
     let mut worker_timeout = Duration::from_secs(30);
+    let mut serve_mode = ServeMode::Threads;
     let mut i = 0;
     while i < args.len() {
         let value = |i: usize| args.get(i + 1).cloned();
@@ -108,10 +116,18 @@ fn main() -> ExitCode {
                 }
                 None => return fail("--worker-timeout needs seconds"),
             },
+            "--serve-mode" => match value(i).as_deref().map(ServeMode::parse) {
+                Some(Ok(mode)) => {
+                    serve_mode = mode;
+                    i += 2;
+                }
+                Some(Err(e)) => return fail(&e),
+                None => return fail("--serve-mode needs threads or evloop"),
+            },
             "--help" | "-h" => {
                 println!(
                     "usage: dp-server [--listen tcp:HOST:PORT|unix:PATH] \
-                     [--spec PATH.json] [--workers N] \
+                     [--spec PATH.json] [--workers N] [--serve-mode threads|evloop] \
                      [--worker ENDPOINT]... [--shard-tile T] [--worker-timeout SECS]"
                 );
                 return ExitCode::SUCCESS;
@@ -172,9 +188,17 @@ fn main() -> ExitCode {
         Ok(s) => s,
         Err(e) => return fail(&format!("cannot bind {listen}: {e}")),
     };
+    // The wedged-client guard: thread-mode accepted sockets share the
+    // worker-timeout knob, so a half-open peer frees its thread within
+    // the deadline instead of pinning it forever.
+    let server = server.with_conn_timeout(Some(worker_timeout));
+    let mode_name = match serve_mode {
+        ServeMode::Threads => "threads",
+        ServeMode::EvLoop => "evloop",
+    };
     if coordinator {
         println!(
-            "dp-server: coordinating {} worker server(s) on {} ({} accept loop(s), shard tile {})",
+            "dp-server: coordinating {} worker server(s) on {} ({} {mode_name} loop(s), shard tile {})",
             server.worker_count(),
             server.local_endpoint(),
             workers,
@@ -182,12 +206,12 @@ fn main() -> ExitCode {
         );
     } else {
         println!(
-            "dp-server: serving protocol v4 on {} ({} worker(s))",
+            "dp-server: serving protocol v4 on {} ({} worker(s), {mode_name} mode)",
             server.local_endpoint(),
             workers
         );
     }
-    server.serve(workers);
+    server.serve_mode(serve_mode, workers);
     println!("dp-server: clean shutdown");
     ExitCode::SUCCESS
 }
