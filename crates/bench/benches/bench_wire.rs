@@ -5,7 +5,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use dp_core::config::SketchConfig;
 use dp_core::estimator::NoisySketch;
 use dp_core::sketcher::{AnySketcher, Construction, PrivateSketcher};
-use dp_core::wire::{decode_sketch, decode_sketch_interned, encode_sketch, TagInterner};
+use dp_core::wire::{
+    decode_sketch, decode_sketch_interned, encode_sketch, encode_sketch_f32, TagInterner,
+};
 use dp_hashing::Seed;
 
 fn bench_wire(c: &mut Criterion) {
@@ -45,6 +47,22 @@ fn bench_wire(c: &mut Criterion) {
             &sk.k(),
             |b, _| {
                 b.iter(|| decode_sketch_interned(&bytes, &mut interner).expect("decode"));
+            },
+        );
+        // The quantized v3 framing: half the value bytes on the wire.
+        let bytes_f32 = encode_sketch_f32(&sketch).expect("encode f32");
+        group.bench_with_input(
+            BenchmarkId::new("encode_binary_f32", sk.k()),
+            &sk.k(),
+            |b, _| {
+                b.iter(|| encode_sketch_f32(&sketch).expect("encode f32"));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("decode_binary_f32", sk.k()),
+            &sk.k(),
+            |b, _| {
+                b.iter(|| decode_sketch(&bytes_f32).expect("decode f32"));
             },
         );
         group.bench_with_input(BenchmarkId::new("encode_json", sk.k()), &sk.k(), |b, _| {

@@ -26,6 +26,7 @@ use dp_core::config::SketchConfig;
 use dp_core::json::JsonValue;
 use dp_core::release::Release;
 use dp_core::sketcher::{Construction, PrivateSketcher, SketcherSpec};
+use dp_core::wire;
 use dp_engine::{QueryEngine, SketchStore};
 use dp_hashing::Seed;
 use dp_server::{Client, Endpoint, Server, WorkerEntry};
@@ -150,7 +151,11 @@ fn main() {
     let releases = &all_releases[..rows];
     let pairs = rows * (rows - 1) / 2;
     println!("== bench_shard: coordinator-sharded vs local all-pairs ==");
-    println!("d = {d}, k = {k}, rows = {rows} ({pairs} pairs), shard tile = {shard_tile}");
+    println!(
+        "d = {d}, k = {k}, rows = {rows} ({pairs} pairs), shard tile = {shard_tile}, \
+         kernel = {}",
+        spec.kernel().name()
+    );
 
     // Local reference + baseline timing (fresh tiled kernel per call).
     let mut local_engine = QueryEngine::new(SketchStore::with_spec(spec.clone()).expect("store"));
@@ -299,6 +304,18 @@ fn main() {
         ("rows".to_string(), JsonValue::UInt(rows as u64)),
         ("pairs".to_string(), JsonValue::UInt(pairs as u64)),
         ("shard_tile".to_string(), JsonValue::UInt(shard_tile as u64)),
+        (
+            "kernel".to_string(),
+            JsonValue::String(spec.kernel().name().to_string()),
+        ),
+        (
+            "bytes_per_sketch_f64".to_string(),
+            JsonValue::UInt(wire::encoded_len(sketcher.tag().len(), k) as u64),
+        ),
+        (
+            "bytes_per_sketch_f32".to_string(),
+            JsonValue::UInt(wire::encoded_len_f32(sketcher.tag().len(), k) as u64),
+        ),
         ("bit_identical".to_string(), JsonValue::Bool(all_identical)),
         (
             "growth".to_string(),

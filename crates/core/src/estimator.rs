@@ -13,6 +13,7 @@
 
 use crate::error::CoreError;
 use crate::json::{self, JsonValue};
+use crate::kernel::KernelId;
 use std::sync::Arc;
 
 /// A released, differentially private sketch.
@@ -130,6 +131,25 @@ impl NoisySketch {
                 d * d
             })
             .sum();
+        Ok(raw - 2.0 * self.k() as f64 * self.noise_m2)
+    }
+
+    /// [`Self::estimate_sq_distance`] under an explicit kernel version:
+    /// the raw accumulation runs through
+    /// [`crate::kernel::sq_distance`], so point estimates stay
+    /// bit-identical to a matrix computed under the same
+    /// [`KernelId`]. `V1Scalar` reproduces `estimate_sq_distance`
+    /// bit-for-bit.
+    ///
+    /// # Errors
+    /// [`CoreError::IncompatibleSketches`] if the sketches don't combine.
+    pub fn estimate_sq_distance_with(
+        &self,
+        other: &Self,
+        kernel: KernelId,
+    ) -> Result<f64, CoreError> {
+        self.check_compatible(other)?;
+        let raw = crate::kernel::sq_distance(kernel, &self.values, &other.values);
         Ok(raw - 2.0 * self.k() as f64 * self.noise_m2)
     }
 

@@ -1,0 +1,290 @@
+//! The versioned per-pair distance accumulator.
+//!
+//! Every pairwise estimate in the workspace reduces to one expression:
+//! the squared Euclidean distance between two sketch-value slices,
+//! `Σ (a_i − b_i)²`, debiased by the caller. This module owns that
+//! accumulation, **versioned** by [`KernelId`]:
+//!
+//! * [`KernelId::V1Scalar`] — the historic strictly sequential
+//!   zip-order scalar sum. This is the bit-identity anchor every PR
+//!   since the tiled kernel landed has pinned; its bit patterns must
+//!   never move. (`f64::mul_add` is deliberately *not* used here —
+//!   fusing the multiply into the add changes the rounding of every
+//!   partial sum, which the bit-identity suites would catch.)
+//! * [`KernelId::V2Simd`] — an explicit-width reassociated path: four
+//!   independent f64 lane accumulators striding the slice in chunks of
+//!   four, each lane updated with a fused multiply-add, plus a scalar
+//!   fused tail for the `len % 4` remainder, combined in the fixed
+//!   order `((l₀ + l₂) + (l₁ + l₃)) + tail`. On `x86_64` with
+//!   runtime-detected AVX2+FMA this runs as one `_mm256_fmadd_pd`
+//!   chain with a two-step horizontal reduction in exactly that order;
+//!   everywhere else a portable unrolled loop computes the *same*
+//!   expression with `f64::mul_add` (correctly rounded fused multiply-
+//!   add, hardware or soft-float) — so V2 is **one** bit pattern across
+//!   CPUs, not "whatever the hardware gives".
+//!
+//! ## The contract
+//!
+//! Reassociation changes result bits, so the determinism contract is
+//! scoped per version: within one [`KernelId`], results are
+//! bit-identical across thread counts, tile sizes, shards, and hosts;
+//! across versions they agree only to rounding (the sum has all
+//! non-negative terms — no cancellation — so both schemes are within
+//! `len·ε` relative error of the exact sum, pinned by the ulp-bounded
+//! proptest below). A fleet must therefore agree on one kernel per
+//! store: the kernel id travels in [`crate::sketcher::SketcherSpec`]
+//! and is negotiated on protocol `Hello` (mismatch → `ERR_KERNEL`).
+
+pub use dp_parallel::KernelId;
+
+/// The per-pair squared-distance accumulation `Σ (a_i − b_i)²` over
+/// `min(a.len(), b.len())` elements, under kernel version `id`.
+#[inline]
+#[must_use]
+pub fn sq_distance(id: KernelId, a: &[f64], b: &[f64]) -> f64 {
+    match id {
+        KernelId::V1Scalar => v1_scalar(a, b),
+        KernelId::V2Simd => v2_simd(a, b),
+    }
+}
+
+/// V1: the strictly sequential zip-order scalar sum — the exact
+/// expression of `NoisySketch::estimate_sq_distance` since the first
+/// release, and the anchor the bit-identity suites pin.
+#[inline]
+#[must_use]
+pub fn v1_scalar(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum()
+}
+
+/// V2: four independent fused-multiply-add lane accumulators plus a
+/// scalar fused tail, combined as `((l₀ + l₂) + (l₁ + l₃)) + tail`.
+/// Dispatches to AVX2+FMA intrinsics when the CPU has them (detected
+/// once per process) and to the bit-identical portable unrolled path
+/// otherwise.
+#[inline]
+#[must_use]
+pub fn v2_simd(a: &[f64], b: &[f64]) -> f64 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if avx2_fma_available() {
+            // SAFETY: AVX2 and FMA presence was verified at runtime.
+            return unsafe { v2_avx2(a, b) };
+        }
+    }
+    v2_portable(a, b)
+}
+
+/// Which backend [`v2_simd`] dispatches to on this host — reported by
+/// the benches so BENCH records say what was actually measured.
+#[must_use]
+pub fn v2_backend() -> &'static str {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if avx2_fma_available() {
+            return "avx2+fma";
+        }
+    }
+    "portable-unrolled"
+}
+
+#[cfg(target_arch = "x86_64")]
+fn avx2_fma_available() -> bool {
+    use std::sync::OnceLock;
+    static AVAILABLE: OnceLock<bool> = OnceLock::new();
+    *AVAILABLE.get_or_init(|| is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma"))
+}
+
+/// The portable definition of V2. `f64::mul_add` is a correctly
+/// rounded fused multiply-add on every target (hardware FMA where the
+/// ISA has it, soft-float otherwise), so this computes bit-for-bit
+/// what the AVX2 path computes.
+fn v2_portable(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len().min(b.len());
+    let body = n - (n % 4);
+    let mut lanes = [0.0f64; 4];
+    let mut i = 0;
+    while i < body {
+        // Four independent dependency chains: lane l accumulates
+        // elements i + l, exactly the vector-register layout.
+        let d0 = a[i] - b[i];
+        let d1 = a[i + 1] - b[i + 1];
+        let d2 = a[i + 2] - b[i + 2];
+        let d3 = a[i + 3] - b[i + 3];
+        lanes[0] = d0.mul_add(d0, lanes[0]);
+        lanes[1] = d1.mul_add(d1, lanes[1]);
+        lanes[2] = d2.mul_add(d2, lanes[2]);
+        lanes[3] = d3.mul_add(d3, lanes[3]);
+        i += 4;
+    }
+    let mut tail = 0.0f64;
+    for j in body..n {
+        let d = a[j] - b[j];
+        tail = d.mul_add(d, tail);
+    }
+    ((lanes[0] + lanes[2]) + (lanes[1] + lanes[3])) + tail
+}
+
+/// The AVX2+FMA realization of the same expression: one 4-lane fmadd
+/// chain over the body, then the horizontal reduction
+/// `(l₀ + l₂) + (l₁ + l₃)` (low/high 128-bit halves added, then the
+/// two remaining lanes), then the scalar fused tail.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn v2_avx2(a: &[f64], b: &[f64]) -> f64 {
+    use core::arch::x86_64::{
+        _mm256_castpd256_pd128, _mm256_extractf128_pd, _mm256_fmadd_pd, _mm256_loadu_pd,
+        _mm256_setzero_pd, _mm256_sub_pd, _mm_add_pd, _mm_add_sd, _mm_cvtsd_f64, _mm_unpackhi_pd,
+    };
+    let n = a.len().min(b.len());
+    let body = n - (n % 4);
+    let mut acc = _mm256_setzero_pd();
+    let mut i = 0;
+    while i < body {
+        let va = _mm256_loadu_pd(a.as_ptr().add(i));
+        let vb = _mm256_loadu_pd(b.as_ptr().add(i));
+        let d = _mm256_sub_pd(va, vb);
+        acc = _mm256_fmadd_pd(d, d, acc);
+        i += 4;
+    }
+    let lo = _mm256_castpd256_pd128(acc); // [l0, l1]
+    let hi = _mm256_extractf128_pd::<1>(acc); // [l2, l3]
+    let halves = _mm_add_pd(lo, hi); // [l0 + l2, l1 + l3]
+    let upper = _mm_unpackhi_pd(halves, halves);
+    let body_sum = _mm_cvtsd_f64(_mm_add_sd(halves, upper)); // (l0+l2) + (l1+l3)
+    let mut tail = 0.0f64;
+    for j in body..n {
+        let d = *a.get_unchecked(j) - *b.get_unchecked(j);
+        tail = d.mul_add(d, tail);
+    }
+    body_sum + tail
+}
+
+/// The documented V1-vs-V2 agreement bound: both schemes sum the same
+/// non-negative terms (no cancellation is possible), each within
+/// `len·ε` relative error of the exact sum, so they sit within
+/// `2·len·ε` of each other — this helper allows `4·len·ε` relative
+/// slack plus a `len` subnormal absolute slack (fused vs unfused
+/// rounding of subnormal products) and is what the proptest asserts.
+#[must_use]
+pub fn within_ulp_bound(v1: f64, v2: f64, len: usize) -> bool {
+    let scale = v1.abs().max(v2.abs());
+    let slack = 4.0 * len as f64 * f64::EPSILON * scale + len as f64 * f64::MIN_POSITIVE;
+    (v1 - v2).abs() <= slack
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn mixed_magnitude_rows(seed: u64, len: usize) -> (Vec<f64>, Vec<f64>) {
+        // Adversarial magnitudes: mixed sign, ~2^±60 dynamic range
+        // (squares stay comfortably inside the f64 exponent range).
+        use dp_hashing::{Prng, Seed};
+        let mut rng = Seed::new(seed).rng();
+        let mut gen = |_: usize| {
+            let mantissa = rng.next_f64() * 2.0 - 1.0;
+            let exponent = (rng.next_f64() * 120.0 - 60.0) as i32;
+            mantissa * f64::powi(2.0, exponent)
+        };
+        let a: Vec<f64> = (0..len).map(&mut gen).collect();
+        let b: Vec<f64> = (0..len).map(&mut gen).collect();
+        (a, b)
+    }
+
+    #[test]
+    fn v1_is_the_historic_zip_expression() {
+        let (a, b) = mixed_magnitude_rows(7, 33);
+        let expected: f64 = a
+            .iter()
+            .zip(&b)
+            .map(|(x, y)| {
+                let d = x - y;
+                d * d
+            })
+            .sum();
+        assert_eq!(v1_scalar(&a, &b).to_bits(), expected.to_bits());
+        assert_eq!(
+            sq_distance(KernelId::V1Scalar, &a, &b).to_bits(),
+            expected.to_bits()
+        );
+    }
+
+    #[test]
+    fn v2_tail_lengths_all_agree_with_portable_definition() {
+        // Every len % 4 case, including the all-tail lens 0..4.
+        for len in 0..=13usize {
+            let (a, b) = mixed_magnitude_rows(100 + len as u64, len);
+            let portable = v2_portable(&a, &b);
+            let dispatched = v2_simd(&a, &b);
+            assert_eq!(
+                dispatched.to_bits(),
+                portable.to_bits(),
+                "len = {len}: dispatched V2 must match the portable definition"
+            );
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn avx2_path_is_bit_identical_to_portable() {
+        if !avx2_fma_available() {
+            return; // nothing to compare on this host
+        }
+        for len in [0usize, 1, 3, 4, 5, 8, 31, 208, 1021] {
+            let (a, b) = mixed_magnitude_rows(7000 + len as u64, len);
+            let intrinsics = unsafe { v2_avx2(&a, &b) };
+            assert_eq!(
+                intrinsics.to_bits(),
+                v2_portable(&a, &b).to_bits(),
+                "len = {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_and_identical_rows_are_exact() {
+        let zeros = vec![0.0f64; 17];
+        assert_eq!(v1_scalar(&zeros, &zeros), 0.0);
+        assert_eq!(v2_simd(&zeros, &zeros), 0.0);
+        let (a, _) = mixed_magnitude_rows(3, 29);
+        assert_eq!(v1_scalar(&a, &a), 0.0);
+        assert_eq!(v2_simd(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn mismatched_lengths_truncate_like_zip() {
+        let (a, b) = mixed_magnitude_rows(11, 9);
+        let short = &b[..5];
+        assert_eq!(
+            v1_scalar(&a, short).to_bits(),
+            v1_scalar(&a[..5], short).to_bits()
+        );
+        assert_eq!(
+            v2_simd(&a, short).to_bits(),
+            v2_simd(&a[..5], short).to_bits()
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn v2_within_documented_ulp_bound_of_v1(seed in 0u64..1_000_000, len in 1usize..300) {
+            let (a, b) = mixed_magnitude_rows(seed, len);
+            let v1 = v1_scalar(&a, &b);
+            let v2 = v2_simd(&a, &b);
+            prop_assert!(
+                within_ulp_bound(v1, v2, len),
+                "len = {}, v1 = {:e}, v2 = {:e}, diff = {:e}",
+                len, v1, v2, (v1 - v2).abs()
+            );
+        }
+    }
+}

@@ -20,6 +20,11 @@
 //!   end-to-end (k, s, noise choice) from `(d, α, β, ε, δ)`.
 //! * [`repetition`] — extension: median-of-means boosting across `R`
 //!   independent releases with composed privacy accounting.
+//! * [`kernel`] — the versioned per-pair distance accumulator
+//!   ([`KernelId::V1Scalar`] scalar anchor, [`KernelId::V2Simd`]
+//!   AVX2/FMA with a bit-identical portable fallback); results are
+//!   bit-identical within a version, and a fleet negotiates one kernel
+//!   per store.
 //! * [`sketcher`] — the unified release API: the object-safe
 //!   [`PrivateSketcher`] trait, the [`AnySketcher`] enum over every
 //!   construction, the serializable [`SketcherSpec`] public parameters,
@@ -45,6 +50,7 @@ pub mod framework;
 pub mod hamming;
 pub mod json;
 pub mod kenthapadi;
+pub mod kernel;
 pub mod protocol;
 pub mod release;
 pub mod repetition;
@@ -58,6 +64,7 @@ pub use config::SketchConfig;
 pub use error::CoreError;
 pub use estimator::{DistanceEstimate, NoisySketch};
 pub use framework::GenSketcher;
+pub use kernel::KernelId;
 pub use release::Release;
 pub use sjlt_private::PrivateSjlt;
 pub use sketcher::{

@@ -79,11 +79,13 @@
 //! does. The first request on a fresh store SHOULD be `Hello` carrying
 //! the shared [`crate::sketcher::SketcherSpec`]; a `Hello` against a
 //! store that already holds a different spec is answered with
-//! `Error(ERR_SPEC_MISMATCH)` — that is the whole negotiation. The
-//! `caps` bitfields on both `Hello` directions advertise optional
-//! protocol features (today just [`CAP_TILE_STREAM`]); a peer must not
-//! send `ExecuteTilesStream` to a server whose `Hello` did not
-//! advertise the capability.
+//! `Error(ERR_SPEC_MISMATCH)` — or, when the *only* difference is the
+//! kernel version, `Error(ERR_KERNEL)` — that is the whole
+//! negotiation. The `caps` bitfields on both `Hello` directions
+//! advertise optional protocol features ([`CAP_TILE_STREAM`],
+//! [`CAP_SKETCH_F32`]); a peer must not send `ExecuteTilesStream` or
+//! f32 sketch frames to a server whose `Hello` did not advertise the
+//! matching capability.
 //!
 //! ## Sharded pairwise
 //!
@@ -128,12 +130,22 @@ pub const RESPONSE_MAGIC: [u8; 4] = *b"DPRS";
 /// The protocol layer's codec version. Version 4 added the `caps`
 /// bitfields on both `Hello` directions and the streamed tile-result
 /// frames (`ExecuteTilesStream` / `TileResultPart` /
-/// `TileResultSummary`).
-pub const PROTOCOL_VERSION: u8 = 4;
+/// `TileResultSummary`). Version 5 made the kernel id part of the
+/// `Hello` spec identity (mismatch → [`ERR_KERNEL`], not
+/// [`ERR_SPEC_MISMATCH`]) and added the [`CAP_SKETCH_F32`] capability
+/// for quantized `f32` sketch frames.
+pub const PROTOCOL_VERSION: u8 = 5;
 
 /// Capability bit: the peer speaks the streamed tile-result mode
 /// (`ExecuteTilesStream` → `TileResultPart`* + `TileResultSummary`).
 pub const CAP_TILE_STREAM: u32 = 1;
+
+/// Capability bit: the peer accepts release frames whose embedded
+/// sketch uses the quantized `f32` wire variant
+/// ([`crate::wire::WIRE_VERSION_F32`]) — half the bytes per sketch. A
+/// client must not ship f32 frames to a server whose `Hello` did not
+/// advertise this bit.
+pub const CAP_SKETCH_F32: u32 = 2;
 
 /// Upper bound on a single frame payload (64 MiB): a hostile or garbled
 /// length prefix must not be able to demand an unbounded allocation.
@@ -165,6 +177,12 @@ pub const ERR_WORKER: u16 = 9;
 /// executed against the store; retrying later (or with a smaller
 /// subset) is safe.
 pub const ERR_BUSY: u16 = 10;
+/// A `Hello` spec matches the store's spec in everything *except* the
+/// kernel version ([`crate::kernel::KernelId`]). Split out from
+/// [`ERR_SPEC_MISMATCH`] so a mixed fleet can tell "wrong store" from
+/// "right store, wrong kernel build" and restart with the negotiated
+/// kernel instead of re-deriving parameters.
+pub const ERR_KERNEL: u16 = 11;
 
 /// A client-to-server frame.
 #[derive(Debug, Clone, PartialEq)]

@@ -55,7 +55,25 @@ impl Release {
     /// # Errors
     /// Propagates sketch encoding failures.
     pub fn to_bytes(&self) -> Result<Vec<u8>, CoreError> {
-        let sketch = wire::encode_sketch(&self.sketch)?;
+        self.frame(wire::encode_sketch(&self.sketch)?)
+    }
+
+    /// Like [`Self::to_bytes`], but the embedded sketch uses the
+    /// quantized v3 (`f32` values) wire variant — half the bytes per
+    /// coordinate. The outer release header is unchanged (still
+    /// version 2; the embedded DPNS frame carries its own version
+    /// byte), so any v5-era parser accepts both framings. Only ship
+    /// this to a peer that advertised
+    /// [`crate::protocol::CAP_SKETCH_F32`].
+    ///
+    /// # Errors
+    /// Propagates sketch encoding failures, including values that
+    /// overflow `f32` quantization.
+    pub fn to_bytes_f32(&self) -> Result<Vec<u8>, CoreError> {
+        self.frame(wire::encode_sketch_f32(&self.sketch)?)
+    }
+
+    fn frame(&self, sketch: Vec<u8>) -> Result<Vec<u8>, CoreError> {
         let mut out = Vec::with_capacity(4 + 1 + 8 + sketch.len() + wire::CHECKSUM_LEN);
         out.extend_from_slice(&RELEASE_MAGIC);
         out.push(wire::WIRE_VERSION);
@@ -159,6 +177,40 @@ mod tests {
         let back = parse_release_bytes(&bytes, &mut interner).unwrap();
         assert_eq!(back, r);
         assert_eq!(back.to_bytes().unwrap(), bytes);
+    }
+
+    #[test]
+    fn f32_framing_roundtrips_quantized() {
+        let r = sample(42);
+        let bytes = r.to_bytes_f32().unwrap();
+        assert_eq!(
+            r.to_bytes().unwrap().len() - bytes.len(),
+            4 * r.sketch.k(),
+            "f32 framing saves 4 bytes per coordinate"
+        );
+        let mut interner = TagInterner::new();
+        let back = parse_release_bytes(&bytes, &mut interner).unwrap();
+        assert_eq!(back.party_id, r.party_id);
+        for (orig, quant) in r.sketch.values().iter().zip(back.sketch.values()) {
+            assert_eq!(quant.to_bits(), f64::from(*orig as f32).to_bits());
+        }
+        // Sample values are exactly f32-representable, so this
+        // particular roundtrip is lossless end to end.
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn f32_every_single_byte_corruption_is_rejected() {
+        let bytes = sample(3).to_bytes_f32().unwrap();
+        let mut interner = TagInterner::new();
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x01;
+            assert!(
+                parse_release_bytes(&bad, &mut interner).is_err(),
+                "corrupt byte {i} decoded"
+            );
+        }
     }
 
     #[test]

@@ -47,6 +47,7 @@ use crate::estimator::{DistanceEstimate, NoisySketch};
 use crate::fjlt_private::{PrivateFjltInput, PrivateFjltOutput};
 use crate::json::{self, JsonValue};
 use crate::kenthapadi::{Kenthapadi, SigmaCalibration};
+use crate::kernel::{self, KernelId};
 use crate::sjlt_private::PrivateSjlt;
 use dp_hashing::Seed;
 use dp_linalg::SparseVector;
@@ -269,23 +270,55 @@ impl Construction {
 }
 
 /// Serializable public parameters rebuilding one exact sketcher:
-/// construction + validated config + public transform seed.
+/// construction + validated config + public transform seed, plus the
+/// [`KernelId`] every estimate over this spec's releases runs under.
+///
+/// The kernel id is part of the spec identity because it changes
+/// estimate *bits* (see [`crate::kernel`]): two replicas agreeing on a
+/// spec agree on every matrix entry bit-for-bit, which is what the
+/// coordinator's journal replay and the chaos suites assert.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SketcherSpec {
     construction: Construction,
     config: SketchConfig,
     transform_seed: u64,
+    kernel: KernelId,
 }
 
 impl SketcherSpec {
-    /// Bundle a construction choice with shared public parameters.
+    /// Bundle a construction choice with shared public parameters. The
+    /// kernel defaults from the environment knob (`DP_KERNEL`, V1
+    /// scalar when unset) — override with [`SketcherSpec::with_kernel`].
     #[must_use]
     pub fn new(construction: Construction, config: SketchConfig, transform_seed: Seed) -> Self {
         Self {
             construction,
             config,
             transform_seed: transform_seed.value(),
+            kernel: Parallelism::from_env().kernel(),
         }
+    }
+
+    /// Replace the distance-kernel version this spec pins.
+    #[must_use]
+    pub fn with_kernel(mut self, kernel: KernelId) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// The distance-kernel version every estimate over this spec's
+    /// releases runs under.
+    #[must_use]
+    pub fn kernel(&self) -> KernelId {
+        self.kernel
+    }
+
+    /// Whether `other` names the same sketcher but a different kernel
+    /// version — the case the protocol reports as `ERR_KERNEL` rather
+    /// than a generic spec mismatch.
+    #[must_use]
+    pub fn differs_only_in_kernel(&self, other: &Self) -> bool {
+        self.kernel != other.kernel && *self == other.clone().with_kernel(self.kernel)
     }
 
     /// The construction this spec selects.
@@ -314,7 +347,12 @@ impl SketcherSpec {
     /// Propagates construction failures (e.g. a δ-requiring construction
     /// under a pure-DP config).
     pub fn build(&self) -> Result<AnySketcher, CoreError> {
-        AnySketcher::new(self.construction, &self.config, self.transform_seed())
+        let mut sketcher =
+            AnySketcher::new(self.construction, &self.config, self.transform_seed())?;
+        // Keep the caller's exact spec (kernel id included) so
+        // `sketcher.spec()` rebuilds this sketcher, not a variant.
+        sketcher.spec = self.clone();
+        Ok(sketcher)
     }
 
     /// [`SketcherSpec::build`] with an explicit [`Parallelism`] knob.
@@ -357,6 +395,10 @@ impl SketcherSpec {
             (
                 "transform_seed".to_string(),
                 JsonValue::UInt(self.transform_seed),
+            ),
+            (
+                "kernel".to_string(),
+                JsonValue::String(self.kernel.name().to_string()),
             ),
         ])
         .to_string()
@@ -401,10 +443,20 @@ impl SketcherSpec {
             .get("transform_seed")
             .and_then(JsonValue::as_u64)
             .ok_or_else(|| missing("transform_seed"))?;
+        // Specs predating kernel versioning carry no `kernel` field;
+        // they were minted by the V1-only codebase, so V1 it is.
+        let kernel = match v.get("kernel") {
+            None => KernelId::V1Scalar,
+            Some(k) => k
+                .as_str()
+                .and_then(KernelId::parse)
+                .ok_or_else(|| missing("kernel"))?,
+        };
         Ok(Self {
             construction,
             config: builder.build()?,
             transform_seed,
+            kernel,
         })
     }
 }
@@ -868,11 +920,12 @@ where
         .map(|g| offsets[g.end])
         .collect();
 
+    let kernel = par.kernel();
     par_split_mut(&mut flat, &boundaries, |group, _, segment| {
         let mut w = 0usize;
         for tile in &tiles[groups[group].clone()] {
             let len = tile.pair_count();
-            fill_tile_segment(tile, &row_values, debias, &mut segment[w..w + len]);
+            fill_tile_segment(tile, &row_values, debias, kernel, &mut segment[w..w + len]);
             w += len;
         }
         debug_assert_eq!(w, segment.len(), "group fills its segment exactly");
@@ -906,30 +959,38 @@ pub fn effective_plan(n: usize, par: &Parallelism) -> TilePlan {
 }
 
 /// The kernel's per-tile inner loop: write the tile's `(i, j)`, `i < j`
-/// pair estimates into `out` in row-major order. One shared function is
-/// what keeps the local kernel, the remote tile executor, and therefore
-/// every gathered matrix bit-identical.
-fn fill_tile_segment<'a, R>(tile: &Tile, row_values: &R, debias: &[f64], out: &mut [f64])
-where
+/// pair estimates into `out` in row-major order under the given
+/// [`KernelId`]. One shared function is what keeps the local kernel,
+/// the remote tile executor, and therefore every gathered matrix
+/// bit-identical (within a kernel version).
+///
+/// Both `row_values` lookups are hoisted out of the pair loop: every
+/// column slice is resolved once per tile (not once per pair) and each
+/// row slice plus its debias constant once per row. The hoists change
+/// no arithmetic — the per-pair expression is exactly
+/// [`kernel::sq_distance`] minus `debias[i]` — so V1 bit patterns are
+/// untouched (guarded by the bit-identity suites).
+fn fill_tile_segment<'a, R>(
+    tile: &Tile,
+    row_values: &R,
+    debias: &[f64],
+    kernel: KernelId,
+    out: &mut [f64],
+) where
     R: Fn(usize) -> &'a [f64],
 {
+    let cols: Vec<&'a [f64]> = tile.cols().map(row_values).collect();
+    let col_start = tile.cols().start;
     let mut w = 0usize;
     for i in tile.rows() {
         let a = row_values(i);
+        let debias_i = debias[i];
         for j in tile.cols() {
             if j <= i {
                 continue;
             }
-            let b = row_values(j);
-            let raw: f64 = a
-                .iter()
-                .zip(b)
-                .map(|(x, y)| {
-                    let d = x - y;
-                    d * d
-                })
-                .sum();
-            out[w] = raw - debias[i];
+            let raw = kernel::sq_distance(kernel, a, cols[j - col_start]);
+            out[w] = raw - debias_i;
             w += 1;
         }
     }
@@ -980,12 +1041,13 @@ where
     R: Fn(usize) -> &'a [f64] + Sync,
 {
     assert_eq!(debias.len(), plan.n(), "one debias constant per row");
+    let kernel = par.kernel();
     par_map(ids, par.threads(), |_, &tile_id| {
         let tile = plan
             .tile_at(usize::try_from(tile_id).expect("id fits usize"))
             .expect("tile id validated against the plan");
         let mut values = vec![0.0f64; tile.pair_count()];
-        fill_tile_segment(&tile, &row_values, debias, &mut values);
+        fill_tile_segment(&tile, &row_values, debias, kernel, &mut values);
         TileSegment { tile_id, values }
     })
 }

@@ -7,13 +7,13 @@
 //!
 //! ```text
 //! magic    4 bytes  b"DPNS"
-//! version  1 byte   currently 2
+//! version  1 byte   2 (f64 values) or 3 (f32 values)
 //! tag_len  2 bytes  u16, length of the transform tag in bytes
 //! tag      tag_len  UTF-8 transform identity tag
 //! m2       8 bytes  f64, per-coordinate E[η²]
 //! m4       8 bytes  f64, per-coordinate E[η⁴]
 //! k        4 bytes  u32, number of sketch coordinates
-//! values   8k bytes f64 × k, the noisy projection
+//! values   8k (v2) or 4k (v3) bytes, the noisy projection
 //! checksum 8 bytes  u64, FNV-1a-64 over every preceding byte
 //! ```
 //!
@@ -23,6 +23,17 @@
 //! truncating proxies, misframed streams — not adversaries; frame
 //! authenticity, if needed, belongs to the transport layer. Version 1
 //! frames (no trailer) are rejected as unsupported.
+//!
+//! Version 3 ([`WIRE_VERSION_F32`]) is the *quantized* variant: the
+//! values travel as `f32` (half the bytes per sketch) while the noise
+//! moments stay `f64`. Decoding widens each value back to `f64`
+//! losslessly, so a v3 frame round-trips byte-identically; what is lost
+//! is the low mantissa of the original release, a per-coordinate
+//! rounding error of at most half an f32 ulp — an additive variance the
+//! §7-style experiment in `bench_pairwise` measures against the
+//! predicted `ulp²/12` model. Every decoder accepts both versions;
+//! *sending* v3 is gated on the receiver advertising
+//! [`crate::protocol::CAP_SKETCH_F32`].
 //!
 //! Decoding can intern the tag through a [`TagInterner`], so a service
 //! holding millions of sketches from a handful of sketchers stores each
@@ -43,6 +54,9 @@ pub const SKETCH_MAGIC: [u8; 4] = *b"DPNS";
 
 /// Current codec version (2: checksum trailer).
 pub const WIRE_VERSION: u8 = 2;
+
+/// The quantized codec version (3: `f32` values, `f64` moments).
+pub const WIRE_VERSION_F32: u8 = 3;
 
 /// Size in bytes of the checksum trailer.
 pub const CHECKSUM_LEN: usize = 8;
@@ -121,30 +135,73 @@ pub fn encoded_len(tag_len: usize, k: usize) -> usize {
     4 + 1 + 2 + tag_len + 8 + 8 + 4 + 8 * k + CHECKSUM_LEN
 }
 
+/// Exact serialized size of a *quantized* (v3, `f32` values) sketch
+/// with the given tag and dimension.
+#[must_use]
+pub fn encoded_len_f32(tag_len: usize, k: usize) -> usize {
+    4 + 1 + 2 + tag_len + 8 + 8 + 4 + 4 * k + CHECKSUM_LEN
+}
+
 /// Encode a sketch into the binary wire format.
 ///
 /// # Errors
 /// [`CoreError::Wire`] if the tag exceeds `u16::MAX` bytes or the sketch
 /// dimension exceeds `u32::MAX` (neither occurs for real configurations).
 pub fn encode_sketch(sketch: &NoisySketch) -> Result<Vec<u8>, CoreError> {
-    let tag = sketch.transform_tag().as_bytes();
-    let tag_len = u16::try_from(tag.len())
-        .map_err(|_| CoreError::Wire(format!("tag too long ({} bytes)", tag.len())))?;
-    let k = u32::try_from(sketch.k())
-        .map_err(|_| CoreError::Wire(format!("sketch too wide (k = {})", sketch.k())))?;
-    let mut out = Vec::with_capacity(encoded_len(tag.len(), sketch.k()));
-    out.extend_from_slice(&SKETCH_MAGIC);
-    out.push(WIRE_VERSION);
-    out.extend_from_slice(&tag_len.to_le_bytes());
-    out.extend_from_slice(tag);
-    out.extend_from_slice(&sketch.noise_second_moment().to_le_bytes());
-    out.extend_from_slice(&sketch.noise_fourth_moment().to_le_bytes());
-    out.extend_from_slice(&k.to_le_bytes());
+    let mut out = encode_header(sketch, WIRE_VERSION, encoded_len)?;
     for v in sketch.values() {
         out.extend_from_slice(&v.to_le_bytes());
     }
     let checksum = fnv1a64(&out);
     out.extend_from_slice(&checksum.to_le_bytes());
+    Ok(out)
+}
+
+/// Encode a sketch into the quantized v3 wire format: each value is
+/// rounded to the nearest `f32` (4 bytes on the wire instead of 8);
+/// the noise moments stay `f64`.
+///
+/// # Errors
+/// [`CoreError::Wire`] if the tag or dimension overflow their header
+/// fields (as in [`encode_sketch`]), or if rounding a finite value to
+/// `f32` overflows to infinity — quantization must never manufacture a
+/// frame its own decoder rejects.
+pub fn encode_sketch_f32(sketch: &NoisySketch) -> Result<Vec<u8>, CoreError> {
+    let mut out = encode_header(sketch, WIRE_VERSION_F32, encoded_len_f32)?;
+    for v in sketch.values() {
+        let q = *v as f32;
+        if !q.is_finite() {
+            return Err(CoreError::Wire(format!(
+                "sketch coordinate {v:e} overflows f32 quantization"
+            )));
+        }
+        out.extend_from_slice(&q.to_le_bytes());
+    }
+    let checksum = fnv1a64(&out);
+    out.extend_from_slice(&checksum.to_le_bytes());
+    Ok(out)
+}
+
+/// Magic through `k` — everything before the values, shared by the two
+/// encoders.
+fn encode_header(
+    sketch: &NoisySketch,
+    version: u8,
+    len_of: fn(usize, usize) -> usize,
+) -> Result<Vec<u8>, CoreError> {
+    let tag = sketch.transform_tag().as_bytes();
+    let tag_len = u16::try_from(tag.len())
+        .map_err(|_| CoreError::Wire(format!("tag too long ({} bytes)", tag.len())))?;
+    let k = u32::try_from(sketch.k())
+        .map_err(|_| CoreError::Wire(format!("sketch too wide (k = {})", sketch.k())))?;
+    let mut out = Vec::with_capacity(len_of(tag.len(), sketch.k()));
+    out.extend_from_slice(&SKETCH_MAGIC);
+    out.push(version);
+    out.extend_from_slice(&tag_len.to_le_bytes());
+    out.extend_from_slice(tag);
+    out.extend_from_slice(&sketch.noise_second_moment().to_le_bytes());
+    out.extend_from_slice(&sketch.noise_fourth_moment().to_le_bytes());
+    out.extend_from_slice(&k.to_le_bytes());
     Ok(out)
 }
 
@@ -213,11 +270,12 @@ fn decode_sketch_inner(
         ));
     }
     let version = take(&mut pos, 1)?[0];
-    if version != WIRE_VERSION {
+    if version != WIRE_VERSION && version != WIRE_VERSION_F32 {
         return Err(CoreError::Wire(format!(
-            "unsupported wire version {version} (expected {WIRE_VERSION})"
+            "unsupported wire version {version} (expected {WIRE_VERSION} or {WIRE_VERSION_F32})"
         )));
     }
+    let elem = if version == WIRE_VERSION_F32 { 4 } else { 8 };
     let tag_len = u16::from_le_bytes(take(&mut pos, 2)?.try_into().expect("2 bytes")) as usize;
     let tag_bytes = take(&mut pos, tag_len)?;
     let tag_str = std::str::from_utf8(tag_bytes)
@@ -237,12 +295,19 @@ fn decode_sketch_inner(
     // Bound the allocation by the bytes actually present: a crafted
     // header must not be able to demand a 32 GB Vec before the first
     // element read fails.
-    if bytes.len().saturating_sub(pos) < 8 * k {
+    if bytes.len().saturating_sub(pos) < elem * k {
         return Err(truncated());
     }
     let mut values = Vec::with_capacity(k);
     for _ in 0..k {
-        let v = f64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8 bytes"));
+        // v3 values widen losslessly from f32; both paths land on f64.
+        let v = if version == WIRE_VERSION_F32 {
+            f64::from(f32::from_le_bytes(
+                take(&mut pos, 4)?.try_into().expect("4 bytes"),
+            ))
+        } else {
+            f64::from_le_bytes(take(&mut pos, 8)?.try_into().expect("8 bytes"))
+        };
         if !v.is_finite() {
             return Err(CoreError::Wire(format!(
                 "non-finite sketch coordinate on the wire ({v})"
@@ -382,6 +447,59 @@ mod tests {
             bad[i] ^= 0x01;
             assert!(decode_sketch(&bad).is_err(), "corrupt byte {i} decoded");
         }
+    }
+
+    #[test]
+    fn f32_roundtrip_widens_losslessly() {
+        let s = sample();
+        let bytes = encode_sketch_f32(&s).unwrap();
+        assert_eq!(bytes.len(), encoded_len_f32(s.transform_tag().len(), s.k()));
+        // Half the value payload of the f64 frame.
+        assert_eq!(
+            encode_sketch(&s).unwrap().len() - bytes.len(),
+            4 * s.k(),
+            "v3 saves exactly 4 bytes per coordinate"
+        );
+        let back = decode_sketch(&bytes).unwrap();
+        assert_eq!(back.k(), s.k());
+        assert_eq!(back.transform_tag(), s.transform_tag());
+        assert_eq!(back.noise_second_moment(), s.noise_second_moment());
+        for (orig, quant) in s.values().iter().zip(back.values()) {
+            // Widened value is exactly the f32 rounding of the original.
+            assert_eq!(quant.to_bits(), f64::from(*orig as f32).to_bits());
+        }
+        // A re-encode of the quantized sketch is byte-identical: f64 →
+        // f32 is idempotent once the value is f32-representable.
+        assert_eq!(encode_sketch_f32(&back).unwrap(), bytes);
+    }
+
+    #[test]
+    fn f32_every_single_byte_corruption_is_rejected() {
+        let bytes = encode_sketch_f32(&sample()).unwrap();
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x01;
+            assert!(decode_sketch(&bad).is_err(), "corrupt byte {i} decoded");
+        }
+    }
+
+    #[test]
+    fn f32_overflow_is_refused_at_encode() {
+        // Finite in f64, infinite after f32 rounding.
+        let s = NoisySketch::new(vec![1e300], "tag", 0.5, 0.75);
+        assert!(matches!(encode_sketch_f32(&s), Err(CoreError::Wire(_))));
+    }
+
+    #[test]
+    fn f32_hostile_header_rejected_without_allocation() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&SKETCH_MAGIC);
+        bytes.push(WIRE_VERSION_F32);
+        bytes.extend_from_slice(&0u16.to_le_bytes());
+        bytes.extend_from_slice(&0.5f64.to_le_bytes());
+        bytes.extend_from_slice(&0.75f64.to_le_bytes());
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(decode_sketch(&bytes), Err(CoreError::Wire(_))));
     }
 
     #[test]

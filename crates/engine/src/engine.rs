@@ -10,23 +10,27 @@
 //!
 //! ## Determinism
 //!
-//! All estimates use the identical floating-point expression of
-//! [`dp_core::NoisySketch::estimate_sq_distance`] — a zip-order sum of
-//! squared differences minus a hoisted `2k·E[η²]` — so engine answers
-//! are bit-identical to the slice-based reference for every thread
-//! count, tile size, and ingest/query interleaving. In the all-pairs
-//! matrix, pair `(i, j)` with `i < j` is debiased with row `i`'s
-//! constant (exactly like the tiled kernel); a k-NN query is debiased
-//! with the *query row's* constant (exactly like the old per-query
-//! `top_k`). The two agree bit-for-bit whenever the batch was released
-//! by one sketcher, which is the only kind the workspace produces.
+//! All estimates run the versioned accumulator of [`dp_core::kernel`]
+//! under one [`KernelId`] per engine — a raw sum of squared
+//! differences minus a hoisted `2k·E[η²]` — so engine answers are
+//! bit-identical to the slice-based reference for every thread count,
+//! tile size, and ingest/query interleaving *within a kernel version*
+//! (the default `V1Scalar` reproduces
+//! [`dp_core::NoisySketch::estimate_sq_distance`] exactly). Point
+//! queries and the all-pairs matrix share the engine's kernel, so they
+//! agree bit-for-bit under `V2Simd` too. In the all-pairs matrix, pair
+//! `(i, j)` with `i < j` is debiased with row `i`'s constant (exactly
+//! like the tiled kernel); a k-NN query is debiased with the *query
+//! row's* constant (exactly like the old per-query `top_k`). The two
+//! agree bit-for-bit whenever the batch was released by one sketcher,
+//! which is the only kind the workspace produces.
 
 use crate::error::EngineError;
 use crate::gather::Gather;
 use crate::store::SketchStore;
 use dp_core::release::Release;
 use dp_core::sketcher::{effective_plan, execute_tiles, pairwise_sq_distances_rows};
-use dp_core::{PairwiseDistances, Parallelism, TilePlan, TileSegment};
+use dp_core::{KernelId, PairwiseDistances, Parallelism, TilePlan, TileSegment};
 use std::sync::Arc;
 
 /// A scored neighbor returned by [`QueryEngine::knn`].
@@ -64,12 +68,19 @@ impl Default for QueryEngine {
 
 impl QueryEngine {
     /// Wrap a store (queries run on the environment-default
-    /// [`Parallelism`]).
+    /// [`Parallelism`]). A spec-carrying store pins the engine's kernel
+    /// to the spec's [`KernelId`] — the spec is the negotiated identity
+    /// a fleet agrees on, so the executing kernel must follow it, not
+    /// the local environment.
     #[must_use]
     pub fn new(store: SketchStore) -> Self {
+        let mut par = Parallelism::default();
+        if let Some(spec) = store.spec() {
+            par = par.with_kernel(spec.kernel());
+        }
         Self {
             store,
-            par: Parallelism::default(),
+            par,
             cached_rows: 0,
             cache: Arc::new(PairwiseDistances::from_flat(0, Vec::new())),
             generation: 0,
@@ -180,7 +191,7 @@ impl QueryEngine {
     /// If a row is out of range.
     #[must_use]
     pub fn pair_rows(&self, i: usize, j: usize) -> f64 {
-        pair_rows_over(&self.store, i, j)
+        pair_rows_over(&self.store, i, j, self.par.kernel())
     }
 
     /// All pairwise estimates among every ingested row, as a flat
@@ -250,7 +261,7 @@ impl QueryEngine {
     /// If `row` is out of range.
     #[must_use]
     pub fn knn_row(&self, row: usize, k: usize) -> Vec<Neighbor> {
-        knn_over(&self.store, row, k)
+        knn_over(&self.store, row, k, self.par.kernel())
     }
 
     /// The `t` globally closest pairs `(party a, party b, estimate)`,
@@ -363,12 +374,12 @@ pub(crate) fn resolve_rows(
 /// matrix. The single expression behind [`QueryEngine::pair`] and
 /// [`crate::EngineSnapshot::pair`] — one body, so the locked and the
 /// snapshot read paths cannot drift.
-pub(crate) fn pair_rows_over(store: &SketchStore, i: usize, j: usize) -> f64 {
+pub(crate) fn pair_rows_over(store: &SketchStore, i: usize, j: usize, kernel: KernelId) -> f64 {
     if i == j {
         return 0.0;
     }
     let (lo, hi) = if i < j { (i, j) } else { (j, i) };
-    let raw = raw_sq_distance(store.row_values(lo), store.row_values(hi));
+    let raw = raw_sq_distance(kernel, store.row_values(lo), store.row_values(hi));
     raw - store.debias_at(lo)
 }
 
@@ -421,7 +432,12 @@ fn rows_distinct(rows: &[usize], n: usize) -> bool {
 /// [`crate::EngineSnapshot::knn`]: every candidate not sharing the
 /// query row's party id, scored with the **query row's** debias
 /// constant, ascending, truncated to `k`.
-pub(crate) fn knn_over(store: &SketchStore, row: usize, k: usize) -> Vec<Neighbor> {
+pub(crate) fn knn_over(
+    store: &SketchStore,
+    row: usize,
+    k: usize,
+    kernel: KernelId,
+) -> Vec<Neighbor> {
     let query_id = store.party_at(row);
     let query = store.row_values(row);
     let debias = store.debias_at(row);
@@ -429,7 +445,7 @@ pub(crate) fn knn_over(store: &SketchStore, row: usize, k: usize) -> Vec<Neighbo
         .filter(|&c| store.party_at(c) != query_id)
         .map(|c| Neighbor {
             party_id: store.party_at(c),
-            estimated_sq_distance: raw_sq_distance(query, store.row_values(c)) - debias,
+            estimated_sq_distance: raw_sq_distance(kernel, query, store.row_values(c)) - debias,
         })
         .collect();
     scored.sort_by(|a, b| {
@@ -498,14 +514,10 @@ pub(crate) fn execute_tiles_over(
     execute_tiles(plan, ids, |i| store.row_values(i), store.debias(), par)
 }
 
-/// The kernel's inner expression: zip-order sum of squared differences.
+/// The kernel's inner expression: the versioned accumulator from
+/// [`dp_core::kernel`]. `V1Scalar` is the historic zip-order sum of
+/// squared differences, bit for bit.
 #[inline]
-fn raw_sq_distance(a: &[f64], b: &[f64]) -> f64 {
-    a.iter()
-        .zip(b)
-        .map(|(x, y)| {
-            let d = x - y;
-            d * d
-        })
-        .sum()
+fn raw_sq_distance(kernel: KernelId, a: &[f64], b: &[f64]) -> f64 {
+    dp_core::kernel::sq_distance(kernel, a, b)
 }

@@ -191,8 +191,13 @@ mod tests {
         }
         let cold_matrix = cold.pairwise_all();
         // Engine B: interleave ingest and queries (1 row, 4 rows, all).
-        let mut warm = QueryEngine::new(SketchStore::adopting())
-            .with_parallelism(Parallelism::new(2).with_tile(3));
+        // Same kernel as the cold engine (which runs the env default),
+        // so the comparison is within one kernel version.
+        let mut warm = QueryEngine::new(SketchStore::adopting()).with_parallelism(
+            Parallelism::new(2)
+                .with_tile(3)
+                .with_kernel(cold.parallelism().kernel()),
+        );
         for r in &rs[..1] {
             warm.ingest(r).unwrap();
         }
@@ -225,8 +230,12 @@ mod tests {
                 assert_eq!(via_pair.to_bits(), matrix.at(i, j).to_bits(), "({i},{j})");
             }
         }
-        // Single-sketcher batches: pair() equals the per-pair estimator.
-        let direct = rs[0].sketch.estimate_sq_distance(&rs[3].sketch).unwrap();
+        // Single-sketcher batches: pair() equals the per-pair estimator
+        // run under the engine's kernel.
+        let direct = rs[0]
+            .sketch
+            .estimate_sq_distance_with(&rs[3].sketch, engine.parallelism().kernel())
+            .unwrap();
         assert_eq!(
             engine
                 .pair(rs[0].party_id, rs[3].party_id)
@@ -254,9 +263,20 @@ mod tests {
             .iter()
             .map(|&i| rs[i].sketch.clone())
             .collect();
-        let reference = pairwise_sq_distances_reference(&picked).unwrap();
-        for (a, b) in reference.as_flat().iter().zip(sub.as_flat()) {
-            assert_eq!(a.to_bits(), b.to_bits());
+        // Per-pair reference under the engine's kernel: symmetric,
+        // zero diagonal — exactly what the subset recompute produces.
+        let kernel = engine.parallelism().kernel();
+        for i in 0..picked.len() {
+            for j in 0..picked.len() {
+                let expected = if i == j {
+                    0.0
+                } else {
+                    picked[i.min(j)]
+                        .estimate_sq_distance_with(&picked[i.max(j)], kernel)
+                        .unwrap()
+                };
+                assert_eq!(expected.to_bits(), sub.at(i, j).to_bits(), "({i},{j})");
+            }
         }
         assert!(engine.pairwise(&[rs[0].party_id, 777]).is_err());
         assert_eq!(engine.pairwise(&[]).unwrap().n(), 0);
@@ -354,10 +374,14 @@ mod tests {
         }
         let got = engine.knn(rs[2].party_id, 3).unwrap();
         assert_eq!(got.len(), 3);
-        // Estimates are the per-query estimator's, bit for bit.
+        // Estimates are the per-query estimator's (under the engine's
+        // kernel), bit for bit.
         for n in &got {
             let j = rs.iter().position(|r| r.party_id == n.party_id).unwrap();
-            let direct = rs[2].sketch.estimate_sq_distance(&rs[j].sketch).unwrap();
+            let direct = rs[2]
+                .sketch
+                .estimate_sq_distance_with(&rs[j].sketch, engine.parallelism().kernel())
+                .unwrap();
             assert_eq!(n.estimated_sq_distance.to_bits(), direct.to_bits());
         }
         // Ascending, excludes self, k capped by candidate count.

@@ -114,7 +114,7 @@ impl EngineSnapshot {
     pub fn pair(&self, a: u64, b: u64) -> Result<f64, EngineError> {
         let i = self.store.row_of(a).ok_or(EngineError::UnknownParty(a))?;
         let j = self.store.row_of(b).ok_or(EngineError::UnknownParty(b))?;
-        Ok(pair_rows_over(&self.store, i, j))
+        Ok(pair_rows_over(&self.store, i, j, self.par.kernel()))
     }
 
     /// Subset pairwise in the caller's order — slices the memo when
@@ -142,7 +142,7 @@ impl EngineSnapshot {
             .store
             .row_of(party)
             .ok_or(EngineError::UnknownParty(party))?;
-        Ok(knn_over(&self.store, row, k))
+        Ok(knn_over(&self.store, row, k, self.par.kernel()))
     }
 
     /// The `t` globally closest pairs, when the matrix memo is present

@@ -1,4 +1,4 @@
-//! # dp-server — the protocol-v4 sketch service
+//! # dp-server — the protocol-v5 sketch service
 //!
 //! A shell around [`dp_engine::QueryEngine`]: accept connections on a
 //! TCP or unix socket, speak the length-prefixed request/response
@@ -37,9 +37,9 @@
 use dp_core::error::CoreError;
 use dp_core::protocol::{
     decode_request, decode_response, encode_request, encode_response, read_frame,
-    tile_stream_checksum, write_frame, Request, Response, CAP_TILE_STREAM, ERR_BUSY,
-    ERR_DUPLICATE_PARTY, ERR_INCOMPATIBLE, ERR_INTERNAL, ERR_MALFORMED, ERR_PLAN, ERR_SPEC,
-    ERR_SPEC_MISMATCH, ERR_UNKNOWN_PARTY, ERR_WORKER, MAX_FRAME_LEN,
+    tile_stream_checksum, write_frame, Request, Response, CAP_SKETCH_F32, CAP_TILE_STREAM,
+    ERR_BUSY, ERR_DUPLICATE_PARTY, ERR_INCOMPATIBLE, ERR_INTERNAL, ERR_KERNEL, ERR_MALFORMED,
+    ERR_PLAN, ERR_SPEC, ERR_SPEC_MISMATCH, ERR_UNKNOWN_PARTY, ERR_WORKER, MAX_FRAME_LEN,
 };
 use dp_core::release::Release;
 use dp_core::sketcher::SketcherSpec;
@@ -75,6 +75,7 @@ fn error_response(e: &EngineError) -> Response {
         EngineError::PlanMismatch { .. } | EngineError::UnknownTile { .. } => {
             (ERR_PLAN, e.to_string())
         }
+        EngineError::KernelMismatch { .. } => (ERR_KERNEL, e.to_string()),
     };
     Response::Error { code, message }
 }
@@ -449,7 +450,7 @@ impl Shards {
         if let Some(spec_json) = journal.spec_json.clone() {
             match client.call(&Request::Hello {
                 spec_json,
-                caps: CAP_TILE_STREAM,
+                caps: CAP_TILE_STREAM | CAP_SKETCH_F32,
             }) {
                 Ok(Response::Hello { rows, caps: c, .. }) => {
                     have = usize::try_from(rows).unwrap_or(usize::MAX);
@@ -1072,7 +1073,7 @@ impl Server {
                     shards.journal_lock().spec_json = Some(spec_json.clone());
                     let relay = Request::Hello {
                         spec_json: spec_json.clone(),
-                        caps: CAP_TILE_STREAM,
+                        caps: CAP_TILE_STREAM | CAP_SKETCH_F32,
                     };
                     shards.broadcast_mutation(
                         &relay,
@@ -1390,8 +1391,15 @@ fn stream_tile_frames(
     emit(encode_response(&summary).expect("summary frames are small"))
 }
 
+/// The capabilities this server advertises on every `Hello` answer.
+const SERVER_CAPS: u32 = CAP_TILE_STREAM | CAP_SKETCH_F32;
+
 /// The `Hello` negotiation: adopt the spec on a fresh store, accept a
-/// matching re-`Hello`, refuse a different spec.
+/// matching re-`Hello`, refuse a different spec. A spec differing
+/// *only* in the kernel version gets the dedicated `ERR_KERNEL` answer
+/// — the peer is on the right store but the wrong kernel build, and
+/// can re-`Hello` with the served kernel instead of re-deriving
+/// parameters.
 fn hello(engine: &mut QueryEngine, spec_json: &str) -> Response {
     let proposed = match SketcherSpec::from_json(spec_json) {
         Ok(spec) => spec,
@@ -1404,6 +1412,12 @@ fn hello(engine: &mut QueryEngine, spec_json: &str) -> Response {
     };
     match engine.store().spec() {
         Some(current) if *current == proposed => {}
+        Some(current) if current.differs_only_in_kernel(&proposed) => {
+            return error_response(&EngineError::KernelMismatch {
+                served: current.kernel().name().to_string(),
+                proposed: proposed.kernel().name().to_string(),
+            })
+        }
         Some(_) => {
             return Response::Error {
                 code: ERR_SPEC_MISMATCH,
@@ -1411,7 +1425,10 @@ fn hello(engine: &mut QueryEngine, spec_json: &str) -> Response {
             }
         }
         None if engine.store().is_empty() => {
-            let par = engine.parallelism();
+            // Adopt: the spec's kernel becomes the engine's executing
+            // kernel (the negotiated identity wins over the local
+            // environment's DP_KERNEL).
+            let par = engine.parallelism().with_kernel(proposed.kernel());
             // Bump the generation through the replacement so the
             // mutation path publishes a snapshot carrying the adopted
             // spec.
@@ -1436,7 +1453,7 @@ fn hello(engine: &mut QueryEngine, spec_json: &str) -> Response {
         k: engine.store().k().unwrap_or(0) as u32,
         rows: engine.store().n() as u64,
         tag: engine.store().tag().unwrap_or("").to_string(),
-        caps: CAP_TILE_STREAM,
+        caps: SERVER_CAPS,
     }
 }
 
@@ -1596,7 +1613,7 @@ impl Client {
         self.expect(
             &Request::Hello {
                 spec_json: spec.to_json(),
-                caps: CAP_TILE_STREAM,
+                caps: CAP_TILE_STREAM | CAP_SKETCH_F32,
             },
             |r| match r {
                 Response::Hello { k, rows, tag, caps } => Some((k, rows, tag, caps)),
@@ -1611,6 +1628,23 @@ impl Client {
     /// [`ClientError::Remote`] on rejection; transport/codec failures.
     pub fn ingest(&mut self, release: &Release) -> Result<(u64, u64), ClientError> {
         let release_frame = release.to_bytes()?;
+        self.expect(&Request::Ingest { release_frame }, |r| match r {
+            Response::Ingested { row, rows } => Some((row, rows)),
+            _ => None,
+        })
+    }
+
+    /// Ingest one release with the quantized `f32` sketch framing —
+    /// half the bytes per sketch on the wire. Only valid against a
+    /// server whose `Hello` advertised
+    /// [`CAP_SKETCH_F32`](dp_core::protocol::CAP_SKETCH_F32); the
+    /// caller checks the caps word from [`Client::hello_caps`].
+    ///
+    /// # Errors
+    /// [`ClientError::Remote`] on rejection; transport/codec failures,
+    /// including values that overflow `f32` quantization.
+    pub fn ingest_f32(&mut self, release: &Release) -> Result<(u64, u64), ClientError> {
+        let release_frame = release.to_bytes_f32()?;
         self.expect(&Request::Ingest { release_frame }, |r| match r {
             Response::Ingested { row, rows } => Some((row, rows)),
             _ => None,
@@ -1800,6 +1834,10 @@ impl Client {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dp_core::config::SketchConfig;
+    use dp_core::sketcher::Construction;
+    use dp_core::KernelId;
+    use dp_hashing::Seed;
     use std::path::PathBuf;
 
     fn bare_shards() -> Shards {
@@ -1992,6 +2030,13 @@ mod tests {
                 },
                 ERR_PLAN,
             ),
+            (
+                EngineError::KernelMismatch {
+                    served: "v1-scalar".to_string(),
+                    proposed: "v2-simd".to_string(),
+                },
+                ERR_KERNEL,
+            ),
         ];
         for (e, want) in cases {
             match error_response(&e) {
@@ -1999,5 +2044,53 @@ mod tests {
                 other => panic!("expected an error frame, got {other:?}"),
             }
         }
+    }
+
+    /// The `Hello` negotiation distinguishes "wrong spec" from "right
+    /// spec, wrong kernel build": the latter gets the dedicated
+    /// `ERR_KERNEL` answer naming both kernels, so the peer can
+    /// re-`Hello` with the served kernel instead of re-deriving
+    /// parameters. A matching kernel still round-trips.
+    #[test]
+    fn hello_refuses_kernel_mismatch_with_a_typed_error() {
+        let config = SketchConfig::builder()
+            .input_dim(64)
+            .alpha(0.3)
+            .beta(0.05)
+            .epsilon(1.0)
+            .build()
+            .expect("config");
+        let served = SketcherSpec::new(Construction::SjltAuto, config, Seed::new(7))
+            .with_kernel(KernelId::V2Simd);
+        let mut engine = QueryEngine::new(SketchStore::with_spec(served.clone()).expect("store"));
+
+        // Same parameters, V1 kernel: the dedicated refusal.
+        let proposed = served.clone().with_kernel(KernelId::V1Scalar);
+        match hello(&mut engine, &proposed.to_json()) {
+            Response::Error { code, message } => {
+                assert_eq!(code, ERR_KERNEL);
+                assert!(message.contains("v2-simd"), "{message}");
+                assert!(message.contains("v1-scalar"), "{message}");
+            }
+            other => panic!("expected ERR_KERNEL, got {other:?}"),
+        }
+        // The served kernel is accepted, and the engine executes it.
+        match hello(&mut engine, &served.to_json()) {
+            Response::Hello { rows, .. } => assert_eq!(rows, 0),
+            other => panic!("expected Hello, got {other:?}"),
+        }
+        assert_eq!(engine.parallelism().kernel(), KernelId::V2Simd);
+
+        // An empty spec-less store adopts the proposed kernel wholesale.
+        let mut fresh = QueryEngine::new(SketchStore::adopting());
+        match hello(&mut fresh, &proposed.to_json()) {
+            Response::Hello { .. } => {}
+            other => panic!("expected Hello, got {other:?}"),
+        }
+        assert_eq!(fresh.parallelism().kernel(), KernelId::V1Scalar);
+        assert_eq!(
+            fresh.store().spec().expect("adopted").kernel(),
+            KernelId::V1Scalar
+        );
     }
 }

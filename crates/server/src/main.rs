@@ -1,4 +1,4 @@
-//! The `dp-server` binary: a protocol-v4 sketch service.
+//! The `dp-server` binary: a protocol-v5 sketch service.
 //!
 //! ```text
 //! dp-server [--listen tcp:HOST:PORT | --listen unix:PATH]
@@ -206,7 +206,8 @@ fn main() -> ExitCode {
         );
     } else {
         println!(
-            "dp-server: serving protocol v4 on {} ({} worker(s), {mode_name} mode)",
+            "dp-server: serving protocol v{} on {} ({} worker(s), {mode_name} mode)",
+            dp_core::protocol::PROTOCOL_VERSION,
             server.local_endpoint(),
             workers
         );

@@ -110,7 +110,7 @@ pub mod prelude {
         mechanism::{GaussianMechanism, LaplaceMechanism, NoiseMechanism},
         privacy::PrivacyGuarantee,
     };
-    pub use dp_parallel::{Parallelism, TilePlan, TileScheduler, TileSegment};
+    pub use dp_parallel::{KernelId, Parallelism, TilePlan, TileScheduler, TileSegment};
     pub use dp_stream::{
         distributed::{Party, PublicParams, Release},
         streaming::{AnyStreamingTransform, StreamingSketch, StreamingSketcher},

@@ -2,13 +2,13 @@
 //! coordinator `dp-server` fanning ingests and tile executions out to
 //! real worker servers over unix sockets. The acceptance bar is the
 //! workspace's determinism contract: the gathered matrix must be
-//! **bit-identical** to `pairwise_sq_distances_reference` over the same
-//! releases — including when a worker dies mid-query (re-dispatch),
-//! when rows are ingested between queries (incremental frontier
-//! re-execution), and when a killed worker is restarted and resynced
-//! from the coordinator's ingest journal.
+//! **bit-identical** to the spec's kernel run sequentially over the
+//! same releases (for `v1-scalar`, that is exactly
+//! `pairwise_sq_distances_reference`) — including when a worker dies
+//! mid-query (re-dispatch), when rows are ingested between queries
+//! (incremental frontier re-execution), and when a killed worker is
+//! restarted and resynced from the coordinator's ingest journal.
 
-use dp_euclid::core::pairwise_sq_distances_reference;
 use dp_euclid::core::release::Release;
 use dp_euclid::hashing::Seed;
 use dp_euclid::prelude::*;
@@ -43,6 +43,19 @@ fn releases(spec: &SketcherSpec, n: usize) -> Vec<Release> {
             sketch,
         })
         .collect()
+}
+
+/// The bit-identity anchor: the spec's own kernel, run sequentially.
+/// The suite runs in the `DP_KERNEL` CI matrix, so the spec (and with
+/// it every server in these tests) may carry either kernel — the
+/// reference must follow it, never assume `v1-scalar`.
+fn reference_matrix(sketches: &[NoisySketch], spec: &SketcherSpec) -> PairwiseDistances {
+    pairwise_sq_distances_with_par(
+        sketches,
+        |s| s,
+        &Parallelism::sequential().with_kernel(spec.kernel()),
+    )
+    .expect("reference")
 }
 
 fn scratch_socket(tag: &str) -> PathBuf {
@@ -81,7 +94,7 @@ fn sharded_pairwise_is_bit_identical_to_the_reference() {
     let all = releases(&spec, 18);
     let (rs, held_back) = all.split_at(17);
     let sketches: Vec<_> = rs.iter().map(|r| r.sketch.clone()).collect();
-    let reference = pairwise_sq_distances_reference(&sketches).expect("reference");
+    let reference = reference_matrix(&sketches, &spec);
 
     let (worker_a, ep_a, sock_a) = bind_worker("wa");
     let (worker_b, ep_b, sock_b) = bind_worker("wb");
@@ -149,7 +162,7 @@ fn sharded_pairwise_is_bit_identical_to_the_reference() {
         // re-executed, not the whole plan.
         client.ingest(&held_back[0]).expect("ingest");
         let grown: Vec<_> = all.iter().map(|r| r.sketch.clone()).collect();
-        let grown_reference = pairwise_sq_distances_reference(&grown).expect("reference");
+        let grown_reference = reference_matrix(&grown, &spec);
         let (grown_ids, grown_values) = client.pairwise(&[]).expect("regather");
         assert_eq!(grown_ids.len(), 18);
         assert_bits(&grown_values, grown_reference.as_flat());
@@ -302,7 +315,7 @@ fn dead_worker_is_redispatched_to_the_survivor() {
     let spec = spec(96);
     let rs = releases(&spec, 6);
     let sketches: Vec<_> = rs.iter().map(|r| r.sketch.clone()).collect();
-    let reference = pairwise_sq_distances_reference(&sketches).expect("reference");
+    let reference = reference_matrix(&sketches, &spec);
 
     let (worker_a, ep_a, sock_a) = bind_worker("da");
     // Worker B is the fake: healthy during setup, silent at query time.
@@ -445,7 +458,7 @@ fn killed_worker_restarts_and_resyncs_from_the_journal() {
         // the first exchange, poisons it (revival times out — nothing
         // answers), and re-dispatches to A. Bit-identity holds.
         let sketches: Vec<_> = rs.iter().map(|r| r.sketch.clone()).collect();
-        let reference = pairwise_sq_distances_reference(&sketches).expect("reference");
+        let reference = reference_matrix(&sketches, &spec);
         let (ids, values) = client.pairwise(&[]).expect("pairwise with dead worker");
         assert_eq!(ids.len(), 10);
         assert_bits(&values, reference.as_flat());
@@ -473,7 +486,7 @@ fn killed_worker_restarts_and_resyncs_from_the_journal() {
         // journaled Hello, catch up all 12 ingests — without restarting
         // the coordinator — then shards the frontier across A and B.
         let grown: Vec<_> = all.iter().map(|r| r.sketch.clone()).collect();
-        let grown_reference = pairwise_sq_distances_reference(&grown).expect("reference");
+        let grown_reference = reference_matrix(&grown, &spec);
         let (ids, values) = client.pairwise(&[]).expect("pairwise after restart");
         assert_eq!(ids.len(), 12);
         assert_bits(&values, grown_reference.as_flat());

@@ -42,9 +42,19 @@ fn deprecated_pairwise_wrapper_matches_reference_bit_for_bit() {
         let rs = releases(&p, n);
         let sketches: Vec<NoisySketch> = rs.iter().map(|r| r.sketch.clone()).collect();
         let reference = pairwise_sq_distances_reference(&sketches).expect("reference");
+        // The no-knob wrapper rides `Parallelism::default()`, which in
+        // the DP_KERNEL=simd CI lane selects the v2 kernel — its anchor
+        // is the same kernel run sequentially (identical to `reference`
+        // in the scalar lane).
+        let env_reference = pairwise_sq_distances_with_par(
+            &sketches,
+            |s| s,
+            &Parallelism::sequential().with_kernel(Parallelism::from_env().kernel()),
+        )
+        .expect("reference");
         let via_wrapper = pairwise_sq_distances(&rs).expect("wrapper");
         assert_eq!(via_wrapper.n(), reference.n());
-        for (a, b) in reference.as_flat().iter().zip(via_wrapper.as_flat()) {
+        for (a, b) in env_reference.as_flat().iter().zip(via_wrapper.as_flat()) {
             assert_eq!(a.to_bits(), b.to_bits(), "n = {n}");
         }
         for threads in [1usize, 3] {

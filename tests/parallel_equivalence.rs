@@ -80,16 +80,33 @@ proptest! {
         let sketches = sk
             .sketch_batch(&rows(n, 32, seed), Seed::new(seed.wrapping_add(1)))
             .unwrap();
-        let reference = pairwise_sq_distances_reference(&sketches).unwrap();
-        let tiled = pairwise_sq_distances_with_par(
-            &sketches,
-            |s| s,
-            &Parallelism::new(threads).with_tile(tile),
-        )
-        .unwrap();
-        prop_assert_eq!(reference.n(), tiled.n());
-        for (a, b) in reference.as_flat().iter().zip(tiled.as_flat()) {
-            prop_assert_eq!(a.to_bits(), b.to_bits());
+        // The contract is *per kernel*: within each kernel version the
+        // gather/scatter layout (threads × tile) must never move a bit
+        // relative to that kernel's own sequential run.
+        for kernel in [KernelId::V1Scalar, KernelId::V2Simd] {
+            let seq = pairwise_sq_distances_with_par(
+                &sketches,
+                |s| s,
+                &Parallelism::sequential().with_kernel(kernel),
+            )
+            .unwrap();
+            let tiled = pairwise_sq_distances_with_par(
+                &sketches,
+                |s| s,
+                &Parallelism::new(threads).with_tile(tile).with_kernel(kernel),
+            )
+            .unwrap();
+            prop_assert_eq!(seq.n(), tiled.n());
+            for (a, b) in seq.as_flat().iter().zip(tiled.as_flat()) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+            // V1 is additionally pinned to the historic naive reference.
+            if kernel == KernelId::V1Scalar {
+                let reference = pairwise_sq_distances_reference(&sketches).unwrap();
+                for (a, b) in reference.as_flat().iter().zip(tiled.as_flat()) {
+                    prop_assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
         }
     }
 }
@@ -111,6 +128,23 @@ fn empty_and_singleton_batches() {
             }
         }
     }
+}
+
+#[test]
+fn dp_kernel_env_contract_is_exercised() {
+    // CI runs the suite under DP_KERNEL=scalar and DP_KERNEL=simd;
+    // this test pins what the variable means so both lanes check it.
+    let par = Parallelism::from_env();
+    match std::env::var("DP_KERNEL") {
+        Ok(v) if ["simd", "v2", "v2-simd"].contains(&v.trim().to_ascii_lowercase().as_str()) => {
+            assert_eq!(par.kernel(), KernelId::V2Simd)
+        }
+        Ok(_) | Err(_) => assert_eq!(par.kernel(), KernelId::V1Scalar),
+    }
+    // Explicit construction never inherits the environment's kernel:
+    // deterministic pipelines opt in via the spec, not ambiently.
+    assert_eq!(Parallelism::new(4).kernel(), KernelId::V1Scalar);
+    assert_eq!(Parallelism::sequential().kernel(), KernelId::V1Scalar);
 }
 
 #[test]

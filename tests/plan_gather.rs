@@ -18,12 +18,25 @@
 //!    the coordinator's ingest-then-requery path rests on.
 
 use dp_euclid::core::release::Release;
-use dp_euclid::core::{pairwise_sq_distances_reference, TilePlan};
+use dp_euclid::core::TilePlan;
 use dp_euclid::engine::Gather;
 use dp_euclid::hashing::{Prng, Seed};
 use dp_euclid::prelude::*;
 use proptest::prelude::*;
 use std::collections::HashSet;
+
+/// The bit-identity anchor: the ambient kernel (what an adopting
+/// [`QueryEngine`] executes, V2 in the `DP_KERNEL=simd` CI lane), run
+/// sequentially. In the scalar lane this is bit-identical to
+/// `pairwise_sq_distances_reference`.
+fn reference_matrix(sketches: &[NoisySketch]) -> PairwiseDistances {
+    pairwise_sq_distances_with_par(
+        sketches,
+        |s| s,
+        &Parallelism::sequential().with_kernel(Parallelism::from_env().kernel()),
+    )
+    .expect("reference")
+}
 
 /// A pool of real releases the gather cases slice from (built once:
 /// sketching under proptest's case count would dominate the run).
@@ -119,7 +132,7 @@ proptest! {
         let releases = &release_pool()[..n];
         let sketches: Vec<NoisySketch> =
             releases.iter().map(|r| r.sketch.clone()).collect();
-        let reference = pairwise_sq_distances_reference(&sketches).expect("reference");
+        let reference = reference_matrix(&sketches);
 
         let mut engine = QueryEngine::new(SketchStore::adopting());
         for r in releases {
@@ -179,7 +192,7 @@ proptest! {
         let releases = &release_pool()[..n];
         let sketches: Vec<NoisySketch> =
             releases.iter().map(|r| r.sketch.clone()).collect();
-        let reference = pairwise_sq_distances_reference(&sketches).expect("reference");
+        let reference = reference_matrix(&sketches);
 
         let mut engine = QueryEngine::new(SketchStore::adopting());
         for r in &releases[..old] {
