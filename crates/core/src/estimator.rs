@@ -115,6 +115,7 @@ impl NoisySketch {
         Ok(())
     }
 
+    // dp-lint: freeze(estimator-sq-distance) begin
     /// Unbiased estimate of `‖x − y‖²`:
     /// `‖(Sx+η) − (Sy+µ)‖² − 2k·E[η²]` (paper Lemma 3).
     ///
@@ -133,6 +134,7 @@ impl NoisySketch {
             .sum();
         Ok(raw - 2.0 * self.k() as f64 * self.noise_m2)
     }
+    // dp-lint: freeze(estimator-sq-distance) end
 
     /// [`Self::estimate_sq_distance`] under an explicit kernel version:
     /// the raw accumulation runs through

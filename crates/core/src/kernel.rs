@@ -48,6 +48,7 @@ pub fn sq_distance(id: KernelId, a: &[f64], b: &[f64]) -> f64 {
     }
 }
 
+// dp-lint: freeze(kernel-v1-scalar) begin
 /// V1: the strictly sequential zip-order scalar sum — the exact
 /// expression of `NoisySketch::estimate_sq_distance` since the first
 /// release, and the anchor the bit-identity suites pin.
@@ -62,6 +63,7 @@ pub fn v1_scalar(a: &[f64], b: &[f64]) -> f64 {
         })
         .sum()
 }
+// dp-lint: freeze(kernel-v1-scalar) end
 
 /// V2: four independent fused-multiply-add lane accumulators plus a
 /// scalar fused tail, combined as `((l₀ + l₂) + (l₁ + l₃)) + tail`.
@@ -137,6 +139,9 @@ fn v2_portable(a: &[f64], b: &[f64]) -> f64 {
 /// two remaining lanes), then the scalar fused tail.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2", enable = "fma")]
+// SAFETY: callers must have verified AVX2 and FMA support at runtime
+// (the only caller is `v2_simd`, gated on `avx2_fma_available`); the
+// unaligned loads inside stay within `min(a.len(), b.len())`.
 unsafe fn v2_avx2(a: &[f64], b: &[f64]) -> f64 {
     use core::arch::x86_64::{
         _mm256_castpd256_pd128, _mm256_extractf128_pd, _mm256_fmadd_pd, _mm256_loadu_pd,
@@ -240,6 +245,7 @@ mod tests {
         }
         for len in [0usize, 1, 3, 4, 5, 8, 31, 208, 1021] {
             let (a, b) = mixed_magnitude_rows(7000 + len as u64, len);
+            // SAFETY: AVX2+FMA presence checked above; early-out otherwise.
             let intrinsics = unsafe { v2_avx2(&a, &b) };
             assert_eq!(
                 intrinsics.to_bits(),

@@ -764,6 +764,7 @@ pub fn pairwise_sq_distances_with<T: Sync>(
     pairwise_sq_distances_with_par(items, sketch_of, &Parallelism::default())
 }
 
+// dp-lint: freeze(pairwise-reference) begin
 /// The naive sequential double loop over
 /// [`NoisySketch::estimate_sq_distance`] — kept as the reference
 /// implementation the tiled kernel is tested bit-identical against.
@@ -784,6 +785,7 @@ pub fn pairwise_sq_distances_reference(
     }
     Ok(PairwiseDistances { n, values })
 }
+// dp-lint: freeze(pairwise-reference) end
 
 /// The cache-blocked tile kernel behind the all-pairs surface.
 ///

@@ -52,6 +52,8 @@ impl Hasher for PartyIdHasher {
     }
 }
 
+// dp-lint: allow(hash-collection) — lookup-only party-id index with a fixed
+// deterministic hasher; it is never iterated, so no hash order reaches output.
 type PartyIndex = HashMap<u64, usize, BuildHasherDefault<PartyIdHasher>>;
 
 /// The relative tolerance under which two noise second moments are

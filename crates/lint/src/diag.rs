@@ -1,0 +1,39 @@
+//! Diagnostics: what a rule reports and how it prints.
+
+use std::fmt;
+
+/// One lint finding, anchored to a file and 1-based line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// 1-based line number (0 for whole-file findings).
+    pub line: usize,
+    /// Stable rule identifier (also the waiver key where waivable).
+    pub rule: &'static str,
+    /// Human-readable explanation, including how to fix or waive.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Build a diagnostic.
+    #[must_use]
+    pub fn new(path: &str, line: usize, rule: &'static str, message: String) -> Self {
+        Self {
+            path: path.to_string(),
+            line,
+            rule,
+            message,
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}

@@ -1,0 +1,370 @@
+//! A small hand-rolled Rust-source masker.
+//!
+//! dp-lint's rules are token-level, and the one thing that makes
+//! token-level rules trustworthy is never firing on a comment or a
+//! string literal ("`.lock().unwrap()` is forbidden" must not flag the
+//! README excerpt in a doc comment, or this crate's own pattern
+//! strings). [`mask`] classifies every character of a source file as
+//! code, comment, or string-literal text, handling line comments,
+//! nested block comments, string/char/byte literals, raw strings with
+//! arbitrary `#` counts, and the lifetime-vs-char-literal ambiguity.
+//!
+//! Three same-length views come out, each with non-members blanked to
+//! spaces (newlines preserved everywhere, so line numbers line up
+//! across views):
+//!
+//! * `code` — what the safety/determinism rules scan,
+//! * `comments` — where `SAFETY:`, waivers, and freeze markers live,
+//! * `code_strings` — code plus string literals, the view the freeze
+//!   manifest hashes (string contents are behavior; comments are not).
+
+/// Classification of one source character.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Class {
+    Code,
+    Comment,
+    Str,
+}
+
+/// The masked views of one source file. All three views have the same
+/// character count as the input, so positions and line numbers are
+/// interchangeable between them.
+#[derive(Debug)]
+pub struct Masked {
+    /// Code only; comments and string/char literals blanked.
+    pub code: Vec<char>,
+    /// Comment text only; everything else blanked.
+    pub comments: Vec<char>,
+    /// Code and string literals; comments blanked.
+    pub code_strings: Vec<char>,
+    /// Character index where each line starts (line 1 at index 0).
+    line_starts: Vec<usize>,
+}
+
+impl Masked {
+    /// 1-based line number of character position `pos`.
+    #[must_use]
+    pub fn line_of(&self, pos: usize) -> usize {
+        self.line_starts.partition_point(|&s| s <= pos)
+    }
+
+    /// Number of lines (a trailing newline does not add an empty line).
+    #[must_use]
+    pub fn line_count(&self) -> usize {
+        self.line_starts.len()
+    }
+
+    /// One line of a view as a `String` (1-based; empty if out of range).
+    #[must_use]
+    pub fn line_text(view: &[char], starts: &[usize], line: usize) -> String {
+        if line == 0 || line > starts.len() {
+            return String::new();
+        }
+        let begin = starts[line - 1];
+        let end = starts.get(line).copied().unwrap_or(view.len());
+        view[begin..end].iter().filter(|&&c| c != '\n').collect()
+    }
+
+    /// One line of the comment view (1-based).
+    #[must_use]
+    pub fn comment_line(&self, line: usize) -> String {
+        Self::line_text(&self.comments, &self.line_starts, line)
+    }
+
+    /// One line of the code view (1-based).
+    #[must_use]
+    pub fn code_line(&self, line: usize) -> String {
+        Self::line_text(&self.code, &self.line_starts, line)
+    }
+
+    /// One line of the code+strings view (1-based).
+    #[must_use]
+    pub fn code_strings_line(&self, line: usize) -> String {
+        Self::line_text(&self.code_strings, &self.line_starts, line)
+    }
+}
+
+fn is_ident(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Classify `src` and build the three masked views.
+#[must_use]
+pub fn mask(src: &str) -> Masked {
+    let cs: Vec<char> = src.chars().collect();
+    let mut class = vec![Class::Code; cs.len()];
+    let mut i = 0;
+    while i < cs.len() {
+        let c = cs[i];
+        // Line comment.
+        if c == '/' && cs.get(i + 1) == Some(&'/') {
+            while i < cs.len() && cs[i] != '\n' {
+                class[i] = Class::Comment;
+                i += 1;
+            }
+            continue;
+        }
+        // Block comment (nested).
+        if c == '/' && cs.get(i + 1) == Some(&'*') {
+            let mut depth = 0usize;
+            while i < cs.len() {
+                if cs[i] == '/' && cs.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    class[i] = Class::Comment;
+                    class[i + 1] = Class::Comment;
+                    i += 2;
+                } else if cs[i] == '*' && cs.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    class[i] = Class::Comment;
+                    class[i + 1] = Class::Comment;
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    class[i] = Class::Comment;
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw / byte strings: r"...", r#"..."#, br"...", b"...", b'...'.
+        // Only when the prefix letter is not the tail of an identifier.
+        let prev_ident = i > 0 && is_ident(cs[i - 1]);
+        if !prev_ident && (c == 'r' || c == 'b') {
+            let mut j = i + 1;
+            if c == 'b' && cs.get(j) == Some(&'r') {
+                j += 1;
+            }
+            let raw = cs.get(i..j).is_some_and(|p| p.contains(&'r'));
+            let mut hashes = 0usize;
+            while raw && cs.get(j) == Some(&'#') {
+                hashes += 1;
+                j += 1;
+            }
+            if cs.get(j) == Some(&'"') && (raw || j == i + 1) {
+                // Mark prefix + opening quote.
+                for slot in &mut class[i..=j] {
+                    *slot = Class::Str;
+                }
+                i = j + 1;
+                if raw {
+                    // Ends at '"' followed by `hashes` '#'s.
+                    while i < cs.len() {
+                        class[i] = Class::Str;
+                        if cs[i] == '"'
+                            && cs[i + 1..]
+                                .iter()
+                                .take(hashes)
+                                .filter(|&&h| h == '#')
+                                .count()
+                                == hashes
+                        {
+                            for k in 0..hashes {
+                                class[i + 1 + k] = Class::Str;
+                            }
+                            i += hashes + 1;
+                            break;
+                        }
+                        i += 1;
+                    }
+                } else {
+                    i = consume_quoted(&cs, &mut class, i, '"');
+                }
+                continue;
+            }
+            if c == 'b' && cs.get(i + 1) == Some(&'\'') {
+                class[i] = Class::Str;
+                class[i + 1] = Class::Str;
+                i = consume_quoted(&cs, &mut class, i + 2, '\'');
+                continue;
+            }
+            // Plain identifier starting with r/b: fall through as code.
+        }
+        // Ordinary string.
+        if c == '"' {
+            class[i] = Class::Str;
+            i = consume_quoted(&cs, &mut class, i + 1, '"');
+            continue;
+        }
+        // Char literal vs lifetime: 'x' or '\n' is a literal; 'a (no
+        // closing quote right after one char) is a lifetime/label.
+        if c == '\'' {
+            let is_char_lit = match cs.get(i + 1) {
+                Some('\\') => true,
+                Some(_) => cs.get(i + 2) == Some(&'\''),
+                None => false,
+            };
+            if is_char_lit {
+                class[i] = Class::Str;
+                i = consume_quoted(&cs, &mut class, i + 1, '\'');
+                continue;
+            }
+        }
+        i += 1;
+    }
+
+    let mut line_starts = vec![0usize];
+    for (pos, &c) in cs.iter().enumerate() {
+        if c == '\n' && pos + 1 < cs.len() {
+            line_starts.push(pos + 1);
+        }
+    }
+
+    let view = |keep: &dyn Fn(Class) -> bool| -> Vec<char> {
+        cs.iter()
+            .zip(&class)
+            .map(|(&c, &cl)| if c == '\n' || keep(cl) { c } else { ' ' })
+            .collect()
+    };
+    Masked {
+        code: view(&|cl| cl == Class::Code),
+        comments: view(&|cl| cl == Class::Comment),
+        code_strings: view(&|cl| cl != Class::Comment),
+        line_starts,
+    }
+}
+
+/// Mark characters as string until the unescaped closing `quote`
+/// (starting at `from`, which is already inside the literal). Returns
+/// the position after the closing quote.
+fn consume_quoted(cs: &[char], class: &mut [Class], from: usize, quote: char) -> usize {
+    let mut i = from;
+    while i < cs.len() {
+        class[i] = Class::Str;
+        if cs[i] == '\\' {
+            if i + 1 < cs.len() {
+                class[i + 1] = Class::Str;
+            }
+            i += 2;
+            continue;
+        }
+        if cs[i] == quote {
+            return i + 1;
+        }
+        i += 1;
+    }
+    i
+}
+
+/// All positions in `view` where `word` occurs with non-identifier
+/// characters (or boundaries) on both sides.
+#[must_use]
+pub fn find_word(view: &[char], word: &str) -> Vec<usize> {
+    let w: Vec<char> = word.chars().collect();
+    let mut out = Vec::new();
+    if w.is_empty() || view.len() < w.len() {
+        return out;
+    }
+    for start in 0..=(view.len() - w.len()) {
+        if view[start..start + w.len()] != w[..] {
+            continue;
+        }
+        let left_ok = start == 0 || !is_ident(view[start - 1]);
+        let right_ok = start + w.len() >= view.len() || !is_ident(view[start + w.len()]);
+        if left_ok && right_ok {
+            out.push(start);
+        }
+    }
+    out
+}
+
+/// Position after any whitespace starting at `pos`.
+#[must_use]
+pub fn skip_ws(view: &[char], mut pos: usize) -> usize {
+    while pos < view.len() && view[pos].is_whitespace() {
+        pos += 1;
+    }
+    pos
+}
+
+/// If an identifier starts at `pos`, return it and the position after.
+#[must_use]
+pub fn ident_at(view: &[char], pos: usize) -> Option<(String, usize)> {
+    if pos >= view.len() || !is_ident(view[pos]) || view[pos].is_ascii_digit() {
+        return None;
+    }
+    let mut end = pos;
+    while end < view.len() && is_ident(view[end]) {
+        end += 1;
+    }
+    Some((view[pos..end].iter().collect(), end))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code_str(src: &str) -> String {
+        mask(src).code.iter().collect()
+    }
+
+    #[test]
+    fn strips_line_and_block_comments() {
+        let src = "let a = 1; // unsafe here\n/* unsafe\n block */ let b = 2;\n";
+        let code = code_str(src);
+        assert!(!code.contains("unsafe"), "{code}");
+        assert!(code.contains("let a = 1;"));
+        assert!(code.contains("let b = 2;"));
+        let comments: String = mask(src).comments.iter().collect();
+        assert!(comments.contains("unsafe here"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner */ still comment */ let x = 1;";
+        assert_eq!(code_str(src).trim(), "let x = 1;");
+    }
+
+    #[test]
+    fn strips_strings_but_keeps_them_for_hashing() {
+        let src = "let s = \".lock().unwrap()\"; let t = 'u';";
+        let masked = mask(src);
+        let code: String = masked.code.iter().collect();
+        assert!(!code.contains("lock"));
+        let with_strings: String = masked.code_strings.iter().collect();
+        assert!(with_strings.contains(".lock().unwrap()"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_and_escapes() {
+        let src = r####"let s = r#"quote " inside"#; let e = "a\"b"; done"####;
+        let code = code_str(src);
+        assert!(!code.contains("inside"), "{code}");
+        assert!(!code.contains("quote"));
+        assert!(code.contains("done"));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let src = "let m = b\"DPRQ\"; let c = b'x'; let ok = 1;";
+        let code = code_str(src);
+        assert!(!code.contains("DPRQ"));
+        assert!(code.contains("let ok = 1;"));
+    }
+
+    #[test]
+    fn lifetimes_are_code_char_literals_are_not() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'y' }";
+        let code = code_str(src);
+        assert!(code.contains("'a str"), "{code}");
+        assert!(!code.contains('y'), "{code}");
+    }
+
+    #[test]
+    fn line_numbers_line_up() {
+        let src = "line one\nline two\nline three";
+        let masked = mask(src);
+        assert_eq!(masked.line_count(), 3);
+        assert_eq!(masked.line_of(0), 1);
+        assert_eq!(masked.line_of(9), 2);
+        assert_eq!(masked.line_of(src.chars().count() - 1), 3);
+    }
+
+    #[test]
+    fn find_word_respects_boundaries() {
+        let masked = mask("unsafe fn f() { not_unsafe(); }");
+        let hits = find_word(&masked.code, "unsafe");
+        assert_eq!(hits, vec![0]);
+    }
+}

@@ -1,0 +1,130 @@
+//! `dp-lint` — run the workspace invariant checks.
+//!
+//! ```text
+//! cargo run -p dp-lint                     # check; exit 1 on any diagnostic
+//! cargo run -p dp-lint -- --update-freeze  # rewrite crates/lint/freeze.lock
+//! cargo run -p dp-lint -- --root <dir>     # lint a specific workspace root
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use dp_lint::{lint_workspace, regenerate_freeze_manifest, Workspace, FREEZE_MANIFEST_PATH};
+
+fn main() -> ExitCode {
+    let mut update_freeze = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--update-freeze" => update_freeze = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("dp-lint: --root needs a directory argument");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!(
+                    "dp-lint: workspace invariant checker\n\
+                     \n\
+                     usage: dp-lint [--root <dir>] [--update-freeze]\n\
+                     \n\
+                     With no flags, lints the enclosing cargo workspace and\n\
+                     exits non-zero if any invariant is violated. With\n\
+                     --update-freeze, rewrites {FREEZE_MANIFEST_PATH} from\n\
+                     the current frozen regions (a deliberate compatibility\n\
+                     decision — review the diff)."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("dp-lint: unknown argument `{other}` (try --help)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("dp-lint: cannot determine current directory: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match dp_lint::walk::find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!(
+                        "dp-lint: no workspace Cargo.toml above {} — pass --root",
+                        cwd.display()
+                    );
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+
+    let ws = match Workspace::load(&root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!(
+                "dp-lint: failed to load workspace at {}: {e}",
+                root.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if update_freeze {
+        let manifest = regenerate_freeze_manifest(&ws);
+        let path = root.join(FREEZE_MANIFEST_PATH);
+        if let Err(e) = std::fs::write(&path, &manifest) {
+            eprintln!("dp-lint: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        let regions = manifest
+            .lines()
+            .filter(|l| !l.starts_with('#') && !l.trim().is_empty());
+        eprintln!(
+            "dp-lint: wrote {} ({} frozen region(s)) — the diff is the compatibility decision",
+            path.display(),
+            regions.count()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    // For the real workspace, a missing freeze manifest is an error even
+    // though the rule itself is lenient (fixtures have no manifest):
+    // losing the lock file silently disables the bit-identity gate.
+    let mut diags = lint_workspace(&ws);
+    if ws.manifest.is_none() {
+        diags.push(dp_lint::Diagnostic::new(
+            FREEZE_MANIFEST_PATH,
+            0,
+            "freeze",
+            "freeze manifest is missing — run `cargo run -p dp-lint -- \
+             --update-freeze` and commit it"
+                .to_string(),
+        ));
+    }
+
+    if diags.is_empty() {
+        eprintln!(
+            "dp-lint: clean — {} file(s), {} rule families, no violations",
+            ws.files.len(),
+            7
+        );
+        ExitCode::SUCCESS
+    } else {
+        for d in &diags {
+            println!("{d}");
+        }
+        eprintln!("dp-lint: {} violation(s)", diags.len());
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,122 @@
+//! The freeze manifest: FNV-1a-64 fingerprints of frozen regions.
+//!
+//! The same hash family the wire protocol uses for frame trailers
+//! (`dp_core::wire::fnv1a64`) — reimplemented here because dp-lint
+//! deliberately depends on nothing it lints.
+
+/// FNV-1a-64 offset basis.
+pub const FNV1A64_INIT: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV1A64_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a-64 over `bytes`.
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = FNV1A64_INIT;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV1A64_PRIME);
+    }
+    h
+}
+
+/// One manifest line: a named frozen region in a file with its hash.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// Region name from the `dp-lint: freeze(<name>)` marker.
+    pub name: String,
+    /// Workspace-relative path of the file holding the region.
+    pub path: String,
+    /// FNV-1a-64 over the normalized region source, hex.
+    pub hash: u64,
+}
+
+/// Parse manifest text into entries, returning `(entries, malformed
+/// line numbers)`. Lines are `name path hash-hex`; `#` comments and
+/// blank lines are skipped.
+#[must_use]
+pub fn parse(text: &str) -> (Vec<Entry>, Vec<usize>) {
+    let mut entries = Vec::new();
+    let mut bad = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let entry = (|| {
+            let name = parts.next()?.to_string();
+            let path = parts.next()?.to_string();
+            let hash = u64::from_str_radix(parts.next()?, 16).ok()?;
+            if parts.next().is_some() {
+                return None;
+            }
+            Some(Entry { name, path, hash })
+        })();
+        match entry {
+            Some(e) => entries.push(e),
+            None => bad.push(i + 1),
+        }
+    }
+    (entries, bad)
+}
+
+/// Render entries as manifest text (sorted by name, stable output).
+#[must_use]
+pub fn render(entries: &[Entry]) -> String {
+    let mut sorted: Vec<&Entry> = entries.iter().collect();
+    sorted.sort_by(|a, b| a.name.cmp(&b.name));
+    let mut out = String::from(
+        "# dp-lint freeze manifest — FNV-1a-64 over the comment-stripped,\n\
+         # whitespace-normalized source of each frozen region. Regenerate\n\
+         # deliberately with: cargo run -p dp-lint -- --update-freeze\n\
+         # A hash change here is a bit-identity compatibility break and\n\
+         # must be called out in review.\n",
+    );
+    for e in sorted {
+        out.push_str(&format!("{} {} {:016x}\n", e.name, e.path, e.hash));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_known_vectors() {
+        // Published FNV-1a-64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn parse_render_roundtrip() {
+        let entries = vec![
+            Entry {
+                name: "b-region".into(),
+                path: "crates/x/src/lib.rs".into(),
+                hash: 0xdead_beef_0000_0001,
+            },
+            Entry {
+                name: "a-region".into(),
+                path: "crates/y/src/lib.rs".into(),
+                hash: 0x0123_4567_89ab_cdef,
+            },
+        ];
+        let text = render(&entries);
+        let (back, bad) = parse(&text);
+        assert!(bad.is_empty());
+        // Render sorts by name.
+        assert_eq!(back[0].name, "a-region");
+        assert_eq!(back[1].name, "b-region");
+        assert_eq!(back.len(), 2);
+    }
+
+    #[test]
+    fn malformed_lines_are_reported() {
+        let (entries, bad) = parse("# comment\nok crates/x.rs 00ff\nnot-enough-fields\n");
+        assert_eq!(entries.len(), 1);
+        assert_eq!(bad, vec![3]);
+    }
+}

@@ -1,0 +1,335 @@
+//! The kernel freeze manifest: frozen regions must hash to the
+//! committed fingerprints.
+//!
+//! "The V1 bit pattern never moves" was a convention enforced by
+//! probabilistic test coverage; this rule makes it a static property.
+//! Regions are delimited with marker comments:
+//!
+//! ```text
+//! // dp-lint: freeze(kernel-v1-scalar) begin
+//! …
+//! // dp-lint: freeze(kernel-v1-scalar) end
+//! ```
+//!
+//! The region body is normalized — comments stripped (string literals
+//! kept: they are behavior), whitespace runs collapsed to single
+//! spaces — and hashed with FNV-1a-64. The hash must equal the
+//! committed entry in `crates/lint/freeze.lock`; any drift (edited
+//! code, renamed region, stale or missing manifest entry) fails lint
+//! until the manifest is deliberately regenerated with
+//! `cargo run -p dp-lint -- --update-freeze`.
+
+use crate::diag::Diagnostic;
+use crate::manifest::{self, Entry};
+use crate::{SourceFile, Workspace, FREEZE_MANIFEST_PATH, REQUIRED_FREEZE_REGIONS};
+
+/// Rule id.
+pub const RULE: &str = "freeze";
+
+/// One extracted frozen region.
+#[derive(Debug)]
+pub struct Region {
+    /// Name from the marker.
+    pub name: String,
+    /// File holding the region.
+    pub path: String,
+    /// 1-based line of the begin marker.
+    pub line: usize,
+    /// FNV-1a-64 over the normalized body.
+    pub hash: u64,
+}
+
+/// Extract every marked region in the workspace; marker problems
+/// (unmatched begin/end, duplicate names) become diagnostics.
+pub fn collect_regions(ws: &Workspace, diags: &mut Vec<Diagnostic>) -> Vec<Region> {
+    let mut regions: Vec<Region> = Vec::new();
+    for file in &ws.files {
+        collect_file(file, &mut regions, diags);
+    }
+    let mut seen = std::collections::BTreeSet::new();
+    for r in &regions {
+        if !seen.insert(r.name.clone()) {
+            diags.push(Diagnostic::new(
+                &r.path,
+                r.line,
+                RULE,
+                format!("duplicate frozen region name `{}`", r.name),
+            ));
+        }
+    }
+    regions
+}
+
+fn collect_file(file: &SourceFile, regions: &mut Vec<Region>, diags: &mut Vec<Diagnostic>) {
+    // The linter's own sources document the marker syntax in doc
+    // comments; they host no frozen regions.
+    if file.rel.starts_with("crates/lint/") {
+        return;
+    }
+    let mut open: Option<(String, usize)> = None;
+    for line in 1..=file.masked.line_count() {
+        let comment = file.masked.comment_line(line);
+        let Some((name, kind)) = parse_marker(&comment) else {
+            continue;
+        };
+        match (kind, &open) {
+            (MarkerKind::Begin, None) => open = Some((name, line)),
+            (MarkerKind::Begin, Some((prev, prev_line))) => {
+                diags.push(Diagnostic::new(
+                    &file.rel,
+                    line,
+                    RULE,
+                    format!(
+                        "freeze({name}) begins while freeze({prev}) (line {prev_line}) \
+                         is still open — regions cannot nest"
+                    ),
+                ));
+            }
+            (MarkerKind::End, Some((open_name, open_line))) if *open_name == name => {
+                let norm = normalize(file, *open_line + 1, line - 1);
+                regions.push(Region {
+                    name,
+                    path: file.rel.clone(),
+                    line: *open_line,
+                    hash: manifest::fnv1a64(norm.as_bytes()),
+                });
+                open = None;
+            }
+            (MarkerKind::End, _) => {
+                diags.push(Diagnostic::new(
+                    &file.rel,
+                    line,
+                    RULE,
+                    format!("freeze({name}) ends without a matching begin"),
+                ));
+            }
+        }
+    }
+    if let Some((name, line)) = open {
+        diags.push(Diagnostic::new(
+            &file.rel,
+            line,
+            RULE,
+            format!("freeze({name}) is never closed"),
+        ));
+    }
+}
+
+enum MarkerKind {
+    Begin,
+    End,
+}
+
+fn parse_marker(comment: &str) -> Option<(String, MarkerKind)> {
+    let at = comment.find("dp-lint: freeze(")?;
+    let rest = &comment[at + "dp-lint: freeze(".len()..];
+    let close = rest.find(')')?;
+    let name = rest[..close].trim().to_string();
+    let tail = rest[close + 1..].trim_start();
+    let kind = if tail.starts_with("begin") {
+        MarkerKind::Begin
+    } else if tail.starts_with("end") {
+        MarkerKind::End
+    } else {
+        return None;
+    };
+    Some((name, kind))
+}
+
+/// Comment-stripped, whitespace-normalized body text of lines
+/// `first..=last` (1-based, inclusive; empty when the range is empty).
+fn normalize(file: &SourceFile, first: usize, last: usize) -> String {
+    let mut words: Vec<String> = Vec::new();
+    for line in first..=last.min(file.masked.line_count()) {
+        let text = file.masked.code_strings_line(line);
+        words.extend(text.split_whitespace().map(str::to_string));
+    }
+    words.join(" ")
+}
+
+/// Check the workspace's frozen regions against the manifest.
+///
+/// Lenient when there is neither a manifest nor any marker (fixture
+/// workspaces exercising other rules); the CLI separately requires the
+/// manifest to exist for the real workspace.
+pub fn check(ws: &Workspace, diags: &mut Vec<Diagnostic>) {
+    let regions = collect_regions(ws, diags);
+    let Some(manifest_text) = &ws.manifest else {
+        for r in &regions {
+            diags.push(Diagnostic::new(
+                &r.path,
+                r.line,
+                RULE,
+                format!(
+                    "frozen region `{}` has no manifest ({FREEZE_MANIFEST_PATH} \
+                     missing) — run `cargo run -p dp-lint -- --update-freeze` \
+                     and commit it",
+                    r.name
+                ),
+            ));
+        }
+        return;
+    };
+    let (entries, bad_lines) = manifest::parse(manifest_text);
+    for l in bad_lines {
+        diags.push(Diagnostic::new(
+            FREEZE_MANIFEST_PATH,
+            l,
+            RULE,
+            "malformed manifest line (expected `name path hash-hex`)".to_string(),
+        ));
+    }
+    for r in &regions {
+        match entries.iter().find(|e| e.name == r.name) {
+            None => diags.push(Diagnostic::new(
+                &r.path,
+                r.line,
+                RULE,
+                format!(
+                    "frozen region `{}` is not in the manifest — if adding it is \
+                     intended, regenerate with --update-freeze and commit",
+                    r.name
+                ),
+            )),
+            Some(e) if e.path != r.path => diags.push(Diagnostic::new(
+                &r.path,
+                r.line,
+                RULE,
+                format!(
+                    "frozen region `{}` moved ({} → {}) — regenerate the \
+                     manifest if the move is deliberate",
+                    r.name, e.path, r.path
+                ),
+            )),
+            Some(e) if e.hash != r.hash => diags.push(Diagnostic::new(
+                &r.path,
+                r.line,
+                RULE,
+                format!(
+                    "frozen region `{}` drifted: manifest {:016x}, source \
+                     {:016x} — this code's bit pattern is a compatibility \
+                     promise; revert, or regenerate the manifest as a \
+                     deliberate, reviewed break",
+                    r.name, e.hash, r.hash
+                ),
+            )),
+            Some(_) => {}
+        }
+    }
+    for e in &entries {
+        if !regions.iter().any(|r| r.name == e.name) {
+            diags.push(Diagnostic::new(
+                FREEZE_MANIFEST_PATH,
+                0,
+                RULE,
+                format!(
+                    "manifest entry `{}` has no marked region in the sources — \
+                     the markers in {} were removed or renamed",
+                    e.name, e.path
+                ),
+            ));
+        }
+    }
+    // Required regions are a property of the real workspace; fixture
+    // workspaces (no protocol module) are exempt, mirroring the
+    // protocol rule's no-op condition.
+    if ws.file(crate::PROTOCOL_FILE).is_none() {
+        return;
+    }
+    for name in REQUIRED_FREEZE_REGIONS {
+        if !regions.iter().any(|r| r.name == *name) {
+            diags.push(Diagnostic::new(
+                FREEZE_MANIFEST_PATH,
+                0,
+                RULE,
+                format!(
+                    "required frozen region `{name}` is missing — its \
+                     begin/end markers must exist (deleting them is a \
+                     contract break, not a cleanup)"
+                ),
+            ));
+        }
+    }
+}
+
+/// Render a fresh manifest from the workspace's current regions.
+#[must_use]
+pub fn regenerate(ws: &Workspace) -> String {
+    let mut diags = Vec::new();
+    let regions = collect_regions(ws, &mut diags);
+    let entries: Vec<Entry> = regions
+        .iter()
+        .map(|r| Entry {
+            name: r.name.clone(),
+            path: r.path.clone(),
+            hash: r.hash,
+        })
+        .collect();
+    manifest::render(&entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FROZEN: &str = "\
+// dp-lint: freeze(test-region) begin
+pub fn anchor(a: f64, b: f64) -> f64 {
+    let d = a - b; // per-element difference
+    d * d
+}
+// dp-lint: freeze(test-region) end
+";
+
+    fn ws_with(src: &str, manifest: Option<&str>) -> Workspace {
+        Workspace::from_files(vec![("crates/core/src/k.rs", src)], "", manifest)
+    }
+
+    fn manifest_for(src: &str) -> String {
+        regenerate(&ws_with(src, None))
+    }
+
+    #[test]
+    fn matching_manifest_is_clean_and_comment_edits_do_not_drift() {
+        let m = manifest_for(FROZEN);
+        let mut d = Vec::new();
+        check(&ws_with(FROZEN, Some(&m)), &mut d);
+        assert!(d.is_empty(), "{d:?}");
+
+        // Editing a comment or reformatting whitespace must not drift.
+        let reformatted = FROZEN
+            .replace("// per-element difference", "// a different comment")
+            .replace("    let d", "\tlet d");
+        let mut d = Vec::new();
+        check(&ws_with(&reformatted, Some(&m)), &mut d);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn one_byte_of_code_drift_fails() {
+        let m = manifest_for(FROZEN);
+        let mutated = FROZEN.replace("d * d", "d + d");
+        let mut d = Vec::new();
+        check(&ws_with(&mutated, Some(&m)), &mut d);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("drifted"));
+        assert_eq!(d[0].line, 1);
+    }
+
+    #[test]
+    fn missing_entry_stale_entry_and_unclosed_region_are_flagged() {
+        let mut d = Vec::new();
+        check(&ws_with(FROZEN, Some("")), &mut d);
+        assert!(d.iter().any(|x| x.message.contains("not in the manifest")));
+
+        let m = manifest_for(FROZEN);
+        let mut d = Vec::new();
+        check(&ws_with("fn nothing() {}\n", Some(&m)), &mut d);
+        assert!(d.iter().any(|x| x.message.contains("no marked region")));
+
+        let unclosed = "// dp-lint: freeze(test-region) begin\nfn f() {}\n";
+        let mut d = Vec::new();
+        check(&ws_with(unclosed, Some(&m)), &mut d);
+        assert!(d.iter().any(|x| x.message.contains("never closed")));
+    }
+}

@@ -1,0 +1,10 @@
+//! The rule set. Each rule is a module with a `check` entry point that
+//! appends [`crate::Diagnostic`]s; file-scoped rules take one
+//! [`crate::SourceFile`], workspace-scoped rules (freeze, protocol)
+//! take the whole [`crate::Workspace`].
+
+pub mod determinism;
+pub mod freeze;
+pub mod locks;
+pub mod protocol;
+pub mod unsafe_rule;

@@ -1,0 +1,249 @@
+//! Protocol exhaustiveness: every error code, capability bit, and
+//! frame variant declared in `crates/core/src/protocol.rs` must appear
+//! in the README's tables and in at least one integration test.
+//!
+//! The failure mode this guards against is quiet: a new `ERR_*` code
+//! or frame kind ships, the README's protocol tables go stale, and the
+//! only test coverage is whatever path happened to exercise it. This
+//! rule parses the declarations straight out of the protocol module —
+//! `const ERR_*` / `const CAP_*` items and the variant names of
+//! `pub enum Request` / `pub enum Response` — so the checked list can
+//! never drift from the shipped one.
+
+use crate::diag::Diagnostic;
+use crate::lexer::{self, find_word};
+use crate::{Workspace, PROTOCOL_FILE};
+
+/// Rule id.
+pub const RULE: &str = "protocol";
+
+/// Everything the protocol module declares that must stay covered.
+#[derive(Debug, Default)]
+pub struct Declared {
+    /// `ERR_*` and `CAP_*` const names, with their declaration lines.
+    pub consts: Vec<(String, usize)>,
+    /// `Request`/`Response` variant names, with their declaration lines.
+    pub variants: Vec<(String, usize)>,
+}
+
+/// Parse the declarations out of the protocol source.
+#[must_use]
+pub fn declared(ws: &Workspace) -> Option<Declared> {
+    let file = ws.file(PROTOCOL_FILE)?;
+    let code = &file.masked.code;
+    let mut out = Declared::default();
+
+    for pos in find_word(code, "const") {
+        let p = lexer::skip_ws(code, pos + "const".len());
+        let Some((name, _)) = lexer::ident_at(code, p) else {
+            continue;
+        };
+        if name.starts_with("ERR_") || name.starts_with("CAP_") {
+            out.consts.push((name, file.masked.line_of(p)));
+        }
+    }
+
+    for enum_name in ["Request", "Response"] {
+        for pos in find_word(code, "enum") {
+            let p = lexer::skip_ws(code, pos + "enum".len());
+            if lexer::ident_at(code, p).is_none_or(|(n, _)| n != enum_name) {
+                continue;
+            }
+            let Some(open) = (p..code.len()).find(|&q| code[q] == '{') else {
+                continue;
+            };
+            collect_variants(file, open, &mut out.variants);
+            break;
+        }
+    }
+    Some(out)
+}
+
+/// Collect variant names from an enum body starting at its `{`.
+///
+/// A variant name is an identifier at brace depth 1 that directly
+/// follows `{` or `,` (skipping attributes), so field names inside
+/// struct variants and types inside tuple variants are never picked up.
+fn collect_variants(file: &crate::SourceFile, open: usize, out: &mut Vec<(String, usize)>) {
+    let code = &file.masked.code;
+    let mut depth = 0i64;
+    let mut paren = 0i64;
+    let mut expect_variant = false;
+    let mut i = open;
+    while i < code.len() {
+        let c = code[i];
+        match c {
+            '{' => {
+                depth += 1;
+                if depth == 1 {
+                    expect_variant = true;
+                }
+                i += 1;
+            }
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return;
+                }
+                i += 1;
+            }
+            '(' | '<' => {
+                paren += 1;
+                i += 1;
+            }
+            ')' | '>' => {
+                paren -= 1;
+                i += 1;
+            }
+            ',' if depth == 1 && paren == 0 => {
+                expect_variant = true;
+                i += 1;
+            }
+            '#' if depth == 1 && expect_variant => {
+                // Skip the attribute to its closing ']'.
+                match (i..code.len()).find(|&q| code[q] == ']') {
+                    Some(close) => i = close + 1,
+                    None => return,
+                }
+            }
+            _ if depth == 1 && expect_variant && !c.is_whitespace() => {
+                if let Some((name, after)) = lexer::ident_at(code, i) {
+                    out.push((name, file.masked.line_of(i)));
+                    expect_variant = false;
+                    i = after;
+                } else {
+                    expect_variant = false;
+                    i += 1;
+                }
+            }
+            _ => i += 1,
+        }
+    }
+}
+
+/// Word-boundary search in plain text (README).
+fn text_has_word(text: &str, word: &str) -> bool {
+    let chars: Vec<char> = text.chars().collect();
+    !find_word(&chars, word).is_empty()
+}
+
+/// Whether any test file's source mentions `word` as a whole token.
+fn tests_have_word(ws: &Workspace, word: &str) -> bool {
+    ws.files
+        .iter()
+        .filter(|f| f.rel.starts_with("tests/") || f.rel.contains("/tests/"))
+        .any(|f| !find_word(&f.masked.code, word).is_empty())
+}
+
+/// Check the workspace (no-op when the protocol file is absent, so
+/// fixture workspaces exercising other rules stay clean).
+pub fn check(ws: &Workspace, diags: &mut Vec<Diagnostic>) {
+    let Some(decl) = declared(ws) else {
+        return;
+    };
+    let mut require = |name: &str, line: usize, what: &str| {
+        if !text_has_word(&ws.readme, name) {
+            diags.push(Diagnostic::new(
+                PROTOCOL_FILE,
+                line,
+                RULE,
+                format!(
+                    "{what} `{name}` is not documented in README.md — the \
+                     protocol tables must list every code and frame kind"
+                ),
+            ));
+        }
+        if !tests_have_word(ws, name) {
+            diags.push(Diagnostic::new(
+                PROTOCOL_FILE,
+                line,
+                RULE,
+                format!(
+                    "{what} `{name}` never appears in a test file — every \
+                     protocol surface needs at least one integration test"
+                ),
+            ));
+        }
+    };
+    for (name, line) in &decl.consts {
+        require(name, *line, "protocol const");
+    }
+    for (name, line) in &decl.variants {
+        require(name, *line, "frame variant");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PROTO: &str = "\
+pub const ERR_SPEC: u8 = 1;\n\
+pub const CAP_TILE_STREAM: u32 = 1;\n\
+#[derive(Debug)]\n\
+pub enum Request {\n\
+    Hello { caps: u32 },\n\
+    Ingest(Vec<f64>, u32),\n\
+}\n\
+#[derive(Debug)]\n\
+pub enum Response {\n\
+    Bye,\n\
+}\n";
+
+    fn ws(readme: &str, test_src: &str) -> Workspace {
+        Workspace::from_files(
+            vec![
+                (crate::PROTOCOL_FILE, PROTO),
+                ("tests/protocol.rs", test_src),
+            ],
+            readme,
+            None,
+        )
+    }
+
+    #[test]
+    fn declarations_are_parsed_names_only() {
+        let w = ws("", "");
+        let d = declared(&w).unwrap();
+        let consts: Vec<&str> = d.consts.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(consts, ["ERR_SPEC", "CAP_TILE_STREAM"]);
+        let variants: Vec<&str> = d.variants.iter().map(|(n, _)| n.as_str()).collect();
+        // Field and payload type names (caps, Vec, f64, u32) must not
+        // be mistaken for variants.
+        assert_eq!(variants, ["Hello", "Ingest", "Bye"]);
+    }
+
+    #[test]
+    fn full_coverage_is_clean() {
+        let readme = "| ERR_SPEC | CAP_TILE_STREAM | Hello | Ingest | Bye |";
+        let tests = "fn t() { use_all(ERR_SPEC, CAP_TILE_STREAM); \
+                     let _ = (Request::Hello { caps: 0 }, Request::Ingest(v, 0), Response::Bye); }";
+        let mut d = Vec::new();
+        check(&ws(readme, tests), &mut d);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn missing_readme_and_test_coverage_are_separate_diagnostics() {
+        let readme = "| ERR_SPEC | Hello | Ingest | Bye |"; // CAP missing
+        let tests = "fn t() { let _ = (ERR_SPEC, CAP_TILE_STREAM); \
+                     let _ = (Request::Hello { caps: 0 }, Response::Bye); }"; // Ingest missing
+        let mut d = Vec::new();
+        check(&ws(readme, tests), &mut d);
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert!(d
+            .iter()
+            .any(|x| x.message.contains("CAP_TILE_STREAM") && x.message.contains("README")));
+        assert!(d
+            .iter()
+            .any(|x| x.message.contains("Ingest") && x.message.contains("test file")));
+    }
+
+    #[test]
+    fn absent_protocol_file_is_a_no_op() {
+        let w = Workspace::from_files(vec![("crates/core/src/lib.rs", "fn f() {}")], "", None);
+        let mut d = Vec::new();
+        check(&w, &mut d);
+        assert!(d.is_empty());
+    }
+}

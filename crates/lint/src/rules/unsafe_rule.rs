@@ -1,0 +1,95 @@
+//! Unsafe discipline: `unsafe` is allowlisted per-file, and every
+//! occurrence needs an adjacent `// SAFETY:` comment.
+//!
+//! The workspace's design rule is "scoped borrowing, no `unsafe`" —
+//! the only exceptions are the poll(2) FFI boundary (`dp-net`) and the
+//! runtime-dispatched SIMD kernel (`dp-core`). Keeping the allowlist
+//! in the linter means a new `unsafe` block anywhere else is a CI
+//! failure and a deliberate conversation, not a drive-by.
+
+use crate::diag::Diagnostic;
+use crate::lexer::find_word;
+use crate::{safety_comment_at, SourceFile, UNSAFE_ALLOWLIST};
+
+/// Rule id.
+pub const RULE: &str = "unsafe-discipline";
+
+/// Check one file.
+pub fn check(file: &SourceFile, diags: &mut Vec<Diagnostic>) {
+    for pos in find_word(&file.masked.code, "unsafe") {
+        let line = file.masked.line_of(pos);
+        if !UNSAFE_ALLOWLIST.contains(&file.rel.as_str()) {
+            diags.push(Diagnostic::new(
+                &file.rel,
+                line,
+                RULE,
+                format!(
+                    "`unsafe` outside the allowlisted files ({}); the workspace \
+                     is safe code by contract — extend the allowlist in \
+                     crates/lint only with review",
+                    UNSAFE_ALLOWLIST.join(", ")
+                ),
+            ));
+        } else if !safety_comment_at(file, line) {
+            diags.push(Diagnostic::new(
+                &file.rel,
+                line,
+                RULE,
+                "`unsafe` without an adjacent `// SAFETY:` comment — state the \
+                 invariant that makes this sound, on the same line or the \
+                 comment block directly above"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unsafe_outside_allowlist_is_flagged() {
+        let f = SourceFile::new(
+            "crates/engine/src/store.rs",
+            "fn f() { let x = unsafe { *p }; }\n",
+        );
+        let mut d = Vec::new();
+        check(&f, &mut d);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 1);
+        assert!(d[0].message.contains("allowlist"));
+    }
+
+    #[test]
+    fn allowlisted_unsafe_needs_safety_comment() {
+        let bare = SourceFile::new(
+            "crates/core/src/kernel.rs",
+            "fn f() { let x = unsafe { intr() }; }\n",
+        );
+        let mut d = Vec::new();
+        check(&bare, &mut d);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("SAFETY"));
+
+        let good = SourceFile::new(
+            "crates/core/src/kernel.rs",
+            "// SAFETY: feature presence verified at runtime.\n\
+             fn f() { let x = unsafe { intr() }; }\n",
+        );
+        let mut d = Vec::new();
+        check(&good, &mut d);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn unsafe_in_comments_and_strings_never_fires() {
+        let f = SourceFile::new(
+            "crates/engine/src/store.rs",
+            "// there is no `unsafe` here\nlet s = \"unsafe\";\n",
+        );
+        let mut d = Vec::new();
+        check(&f, &mut d);
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

@@ -1,0 +1,77 @@
+//! Loading a workspace from disk: every `.rs` file under the root,
+//! plus the README and the freeze manifest.
+
+use crate::{SourceFile, Workspace, FREEZE_MANIFEST_PATH};
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &["target", ".git", "node_modules"];
+
+/// Walk `root` and load every `.rs` source, `README.md`, and the
+/// freeze manifest into a [`Workspace`].
+///
+/// # Errors
+/// Any I/O failure reading the tree (a missing README or manifest is
+/// not an error; they are simply absent).
+pub fn load_workspace(root: &Path) -> io::Result<Workspace> {
+    let mut rels = Vec::new();
+    collect(root, root, &mut rels)?;
+    // Deterministic file order regardless of directory enumeration.
+    rels.sort();
+    let mut files = Vec::with_capacity(rels.len());
+    for rel in &rels {
+        let raw = fs::read_to_string(root.join(rel))?;
+        files.push(SourceFile::new(rel, &raw));
+    }
+    let readme = fs::read_to_string(root.join("README.md")).unwrap_or_default();
+    let manifest = fs::read_to_string(root.join(FREEZE_MANIFEST_PATH)).ok();
+    Ok(Workspace {
+        files,
+        readme,
+        manifest,
+    })
+}
+
+fn collect(root: &Path, dir: &Path, out: &mut Vec<String>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            collect(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .expect("walked paths sit under root")
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// Find the enclosing cargo workspace root: the nearest ancestor of
+/// `start` whose `Cargo.toml` declares `[workspace]`.
+#[must_use]
+pub fn find_workspace_root(start: &Path) -> Option<std::path::PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let cargo = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&cargo) {
+            if text.contains("[workspace]") {
+                return Some(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}

@@ -1,0 +1,261 @@
+//! Known-bad fixtures: every rule must produce its expected diagnostic
+//! at the expected `file:line`, and the real workspace must self-check
+//! clean.
+//!
+//! Fixtures live as string literals (never as standalone `.rs` files —
+//! the workspace walker would lint them), assembled into in-memory
+//! [`Workspace`]s via [`Workspace::from_files`].
+
+use dp_lint::{lint_workspace, Diagnostic, Workspace};
+
+/// Lint a single in-memory file (no README, no manifest).
+fn lint_file(rel: &str, src: &str) -> Vec<Diagnostic> {
+    lint_workspace(&Workspace::from_files(vec![(rel, src)], "", None))
+}
+
+/// Assert exactly one diagnostic with the given coordinates.
+fn assert_one(diags: &[Diagnostic], rule: &str, path: &str, line: usize) {
+    assert_eq!(diags.len(), 1, "expected exactly one diagnostic: {diags:?}");
+    let d = &diags[0];
+    assert_eq!((d.rule, d.path.as_str(), d.line), (rule, path, line), "{d}");
+    // The rendered form is what CI logs show — pin it too.
+    assert!(
+        d.to_string()
+            .starts_with(&format!("{path}:{line}: [{rule}]")),
+        "{d}"
+    );
+}
+
+#[test]
+fn fixture_unsafe_outside_allowlist() {
+    let diags = lint_file(
+        "crates/engine/src/gather.rs",
+        "fn f(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n",
+    );
+    assert_one(
+        &diags,
+        "unsafe-discipline",
+        "crates/engine/src/gather.rs",
+        2,
+    );
+}
+
+#[test]
+fn fixture_allowlisted_unsafe_without_safety_comment() {
+    let diags = lint_file(
+        "crates/net/src/sys.rs",
+        "fn f() -> i32 {\n\n    unsafe { libc_poll() }\n}\n",
+    );
+    assert_one(&diags, "unsafe-discipline", "crates/net/src/sys.rs", 3);
+    assert!(diags[0].message.contains("SAFETY"));
+}
+
+#[test]
+fn fixture_lock_unwrap_and_expect() {
+    let diags = lint_file(
+        "crates/server/src/handler.rs",
+        "fn f(m: &std::sync::Mutex<u32>) -> u32 {\n    *m.lock().unwrap()\n}\n\
+         fn g(m: &std::sync::Mutex<u32>) -> u32 {\n    *m.lock().expect(\"poisoned\")\n}\n",
+    );
+    assert_eq!(diags.len(), 2, "{diags:?}");
+    assert_eq!((diags[0].rule, diags[0].line), ("lock-unwrap", 2));
+    assert_eq!((diags[1].rule, diags[1].line), ("lock-unwrap", 5));
+}
+
+#[test]
+fn fixture_lock_waiver_without_reason_is_its_own_diagnostic() {
+    let diags = lint_file(
+        "crates/server/src/handler.rs",
+        "fn f(m: &std::sync::Mutex<u32>) -> u32 {\n\
+         \x20   // dp-lint: allow(lock-unwrap)\n\
+         \x20   *m.lock().unwrap()\n}\n",
+    );
+    assert_one(&diags, "lock-unwrap", "crates/server/src/handler.rs", 3);
+    assert!(
+        diags[0].message.contains("without a reason"),
+        "{}",
+        diags[0]
+    );
+}
+
+#[test]
+fn fixture_hash_map_in_result_crate() {
+    let diags = lint_file(
+        "crates/noise/src/calibrate.rs",
+        "fn f() {\n    let m = std::collections::HashMap::<u32, f64>::new();\n    drop(m);\n}\n",
+    );
+    assert_one(
+        &diags,
+        "hash-collection",
+        "crates/noise/src/calibrate.rs",
+        2,
+    );
+}
+
+#[test]
+fn fixture_wall_clock_in_result_crate() {
+    let diags = lint_file(
+        "crates/core/src/sketcher.rs",
+        "use std::time::Instant;\nfn f() {\n    let t = Instant::now();\n    drop(t);\n}\n",
+    );
+    assert_one(&diags, "wall-clock", "crates/core/src/sketcher.rs", 3);
+}
+
+#[test]
+fn fixture_narrowing_cast_in_result_crate() {
+    let diags = lint_file(
+        "crates/core/src/estimator.rs",
+        "fn f(x: f64) -> f32 {\n    x as f32\n}\n",
+    );
+    assert_one(&diags, "narrowing-cast", "crates/core/src/estimator.rs", 2);
+}
+
+#[test]
+fn fixture_determinism_rules_silent_in_tests_and_exempt_files() {
+    // The same forbidden tokens in a #[cfg(test)] module and in the
+    // wire layer: zero diagnostics.
+    let in_tests = "#[cfg(test)]\nmod tests {\n    fn t() {\n        \
+                    let m = std::collections::HashMap::<u32, u32>::new();\n        \
+                    let t = std::time::Instant::now();\n        \
+                    let x = 1.0f64 as f32;\n        \
+                    let _ = (m, t, x);\n    }\n}\n";
+    assert!(lint_file("crates/core/src/kernel.rs", in_tests).is_empty());
+    let in_wire = "fn quantize(x: f64) -> f32 { x as f32 }\n";
+    assert!(lint_file("crates/core/src/wire.rs", in_wire).is_empty());
+}
+
+#[test]
+fn fixture_freeze_drift_one_byte() {
+    // Mutate one operator inside the real kernel's frozen region and
+    // re-lint in memory against the committed manifest: the drift must
+    // surface at the region's begin marker.
+    let root = env!("CARGO_MANIFEST_DIR");
+    let kernel =
+        std::fs::read_to_string(format!("{root}/../core/src/kernel.rs")).expect("kernel.rs");
+    let manifest = std::fs::read_to_string(format!("{root}/freeze.lock")).expect("freeze.lock");
+    let mutated = kernel.replace("let d = x - y;", "let d = y - x;");
+    assert_ne!(
+        mutated, kernel,
+        "the anchor expression moved; update the fixture"
+    );
+    let ws = Workspace::from_files(
+        vec![("crates/core/src/kernel.rs", &mutated)],
+        "",
+        Some(&manifest),
+    );
+    let diags = lint_workspace(&ws);
+    let drift: Vec<&Diagnostic> = diags
+        .iter()
+        .filter(|d| d.rule == "freeze" && d.message.contains("drifted"))
+        .collect();
+    assert_eq!(drift.len(), 1, "{diags:?}");
+    assert_eq!(drift[0].path, "crates/core/src/kernel.rs");
+    assert!(
+        drift[0].message.contains("kernel-v1-scalar"),
+        "{}",
+        drift[0]
+    );
+
+    // The unmutated file hashes clean against the same manifest.
+    let ws = Workspace::from_files(
+        vec![("crates/core/src/kernel.rs", &kernel)],
+        "",
+        Some(&manifest),
+    );
+    assert!(
+        !lint_workspace(&ws)
+            .iter()
+            .any(|d| d.message.contains("drifted")),
+        "pristine kernel must match the committed manifest"
+    );
+}
+
+#[test]
+fn fixture_freeze_marker_deleted() {
+    let root = env!("CARGO_MANIFEST_DIR");
+    let kernel =
+        std::fs::read_to_string(format!("{root}/../core/src/kernel.rs")).expect("kernel.rs");
+    let manifest = std::fs::read_to_string(format!("{root}/freeze.lock")).expect("freeze.lock");
+    let stripped: String = kernel
+        .lines()
+        .filter(|l| !l.contains("dp-lint: freeze("))
+        .map(|l| format!("{l}\n"))
+        .collect();
+    let ws = Workspace::from_files(
+        vec![("crates/core/src/kernel.rs", &stripped)],
+        "",
+        Some(&manifest),
+    );
+    let diags = lint_workspace(&ws);
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.rule == "freeze" && d.message.contains("no marked region")),
+        "removing the markers must orphan the manifest entry: {diags:?}"
+    );
+}
+
+#[test]
+fn fixture_protocol_coverage_gap() {
+    let proto = "pub const ERR_PHANTOM: u16 = 99;\n\
+                 pub enum Request { Hello }\n\
+                 pub enum Response { Bye }\n";
+    let ws = Workspace::from_files(
+        vec![
+            ("crates/core/src/protocol.rs", proto),
+            (
+                "tests/conv.rs",
+                "fn t() { let _ = (Request::Hello, Response::Bye); }\n",
+            ),
+        ],
+        "| Hello | Bye | ERR_PHANTOM |",
+        None,
+    );
+    let diags = lint_workspace(&ws);
+    // ERR_PHANTOM is documented but untested — exactly one gap (the
+    // required-freeze check is workspace-gated, but protocol.rs *is*
+    // the gate, so filter to the protocol rule).
+    let gaps: Vec<&Diagnostic> = diags.iter().filter(|d| d.rule == "protocol").collect();
+    assert_eq!(gaps.len(), 1, "{diags:?}");
+    assert!(gaps[0].message.contains("ERR_PHANTOM"), "{}", gaps[0]);
+    assert!(gaps[0].message.contains("test"), "{}", gaps[0]);
+}
+
+#[test]
+fn the_workspace_self_checks_clean() {
+    // The real repository, loaded exactly as the CLI loads it, has zero
+    // violations — the gate this crate adds to CI starts green.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root");
+    let ws = Workspace::load(&root).expect("load workspace");
+    assert!(ws.manifest.is_some(), "freeze.lock must be committed");
+    let diags = lint_workspace(&ws);
+    assert!(
+        diags.is_empty(),
+        "workspace must lint clean:\n{}",
+        diags
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn the_committed_manifest_is_in_sync() {
+    // `--update-freeze` must be a no-op on a clean tree (CI re-runs it
+    // and diffs; this is the same check without spawning a process).
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root");
+    let ws = Workspace::load(&root).expect("load workspace");
+    let fresh = dp_lint::regenerate_freeze_manifest(&ws);
+    assert_eq!(
+        ws.manifest.as_deref(),
+        Some(fresh.as_str()),
+        "freeze.lock is stale — run `cargo run -p dp-lint -- --update-freeze`"
+    );
+}

@@ -165,7 +165,17 @@ where
             }
             mine.push((i, f(i, &items[i])));
         }
-        collected.lock().expect("worker panicked").extend(mine);
+        // Heal rather than unwrap: entries are appended whole, so a
+        // poisoned mutex still holds consistent pairs, and the scope
+        // re-raises the original worker panic anyway — unwrapping here
+        // would only replace its message with a less useful one.
+        collected
+            .lock()
+            .unwrap_or_else(|poison| {
+                collected.clear_poison();
+                poison.into_inner()
+            })
+            .extend(mine);
     });
     let mut pairs = collected.into_inner().expect("worker panicked");
     debug_assert_eq!(pairs.len(), n, "every task claimed exactly once");
@@ -175,7 +185,13 @@ where
 
 /// Keep the failure with the lowest task index.
 fn record_lowest<E>(failure: &Mutex<Option<(usize, E)>>, index: usize, e: E) {
-    let mut slot = failure.lock().expect("worker panicked");
+    // Heal on poison: the slot is replaced atomically under the lock
+    // (no partial writes), and losing it entirely would hide the first
+    // failure behind a poisoning panic.
+    let mut slot = failure.lock().unwrap_or_else(|poison| {
+        failure.clear_poison();
+        poison.into_inner()
+    });
     if slot.as_ref().is_none_or(|&(prev, _)| index < prev) {
         *slot = Some((index, e));
     }

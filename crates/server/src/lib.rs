@@ -530,7 +530,7 @@ impl Shards {
                         if semantic.is_some() {
                             return;
                         }
-                        let mut g = gather.lock().expect("gather mutex");
+                        let mut g = gather_lock(gather);
                         if let Err(e) = g.accept(&segment) {
                             semantic = Some(format!("worker {w}: bad streamed segment: {e}"));
                         }
@@ -538,7 +538,7 @@ impl Shards {
                     .map(|_| ())
             } else {
                 let segments = worker.client.execute_tiles(rows, tile, ids)?;
-                let mut g = gather.lock().expect("gather mutex");
+                let mut g = gather_lock(gather);
                 for segment in &segments {
                     if let Err(e) = g.accept(segment) {
                         semantic = Some(format!("worker {w}: bad segment: {e}"));
@@ -649,7 +649,7 @@ impl Shards {
             if let Some(Err(message)) = results.into_iter().find(Result::is_err) {
                 last_error = message;
             }
-            pending = gather.lock().expect("gather mutex").missing_ids();
+            pending = gather_lock(&gather).missing_ids();
         }
         self.stats.last_query_rounds.store(rounds, Ordering::SeqCst);
         let gather = gather.into_inner().expect("gather mutex");
@@ -665,6 +665,20 @@ impl Shards {
             Err(e) => worker_error(format!("gather failed: {e}")),
         }
     }
+}
+
+/// Lock a per-query gather, recovering from a poisoned mutex.
+///
+/// Healing is sound here because [`Gather::accept`] marks a tile placed
+/// only *after* its values are fully scattered into the buffer — a
+/// shard thread that panicked mid-accept leaves that tile missing, so
+/// the re-dispatch loop simply re-executes it; the poison flag carries
+/// no torn state worth preserving, only a permanent denial of service.
+fn gather_lock(gather: &Mutex<Gather>) -> MutexGuard<'_, Gather> {
+    gather.lock().unwrap_or_else(|poison| {
+        gather.clear_poison();
+        poison.into_inner()
+    })
 }
 
 fn worker_error(message: String) -> Response {
@@ -1863,6 +1877,7 @@ mod tests {
         let _ = std::thread::scope(|scope| {
             scope
                 .spawn(|| {
+                    // dp-lint: allow(lock-unwrap) — poisoning this mutex is the point of the test.
                     let _guard = shards.gathered.lock().unwrap();
                     panic!("connection thread dies mid-cache-write");
                 })
@@ -1892,8 +1907,8 @@ mod tests {
         let _ = std::thread::scope(|scope| {
             scope
                 .spawn(|| {
-                    let _o = shards.order.lock().unwrap();
-                    let _j = shards.journal.lock().unwrap();
+                    let _o = shards.order.lock().unwrap(); // dp-lint: allow(lock-unwrap) — deliberate poisoning under test
+                    let _j = shards.journal.lock().unwrap(); // dp-lint: allow(lock-unwrap) — deliberate poisoning under test
                     panic!("mutation thread dies");
                 })
                 .join()

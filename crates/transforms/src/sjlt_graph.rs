@@ -55,12 +55,16 @@ impl SjltGraph {
         let mut rng = self.seed.child("sjlt-graph").index(j as u64).rng();
         let mag = 1.0 / (self.s as f64).sqrt();
         // Partial Fisher–Yates over a lazily materialized permutation:
-        // for s ≪ k a HashMap of displaced entries is O(s) space.
-        let mut displaced: std::collections::HashMap<usize, usize> =
-            std::collections::HashMap::with_capacity(2 * self.s);
+        // for s ≪ k a map of displaced entries is O(s) space. BTreeMap,
+        // not HashMap: this loop's visit order reaches the sketch, and
+        // an ordered map keeps the whole path hash-order-free (lookups
+        // here are point queries on ≤ 2s entries, so the O(log s) is
+        // noise).
+        let mut displaced: std::collections::BTreeMap<usize, usize> =
+            std::collections::BTreeMap::new();
         for t in 0..self.s {
             let pick = t + rng.next_range((self.k - t) as u64) as usize;
-            let row_at = |m: &std::collections::HashMap<usize, usize>, idx: usize| {
+            let row_at = |m: &std::collections::BTreeMap<usize, usize>, idx: usize| {
                 *m.get(&idx).unwrap_or(&idx)
             };
             let chosen = row_at(&displaced, pick);

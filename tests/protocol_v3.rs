@@ -6,7 +6,9 @@
 
 use dp_euclid::core::protocol::{
     decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
-    Request, Response, ERR_DUPLICATE_PARTY, ERR_UNKNOWN_PARTY,
+    Request, Response, CAP_SKETCH_F32, CAP_TILE_STREAM, ERR_BUSY, ERR_DUPLICATE_PARTY,
+    ERR_INCOMPATIBLE, ERR_INTERNAL, ERR_KERNEL, ERR_MALFORMED, ERR_PLAN, ERR_SPEC,
+    ERR_SPEC_MISMATCH, ERR_UNKNOWN_PARTY, ERR_WORKER,
 };
 use dp_euclid::core::release::Release;
 use dp_euclid::hashing::Seed;
@@ -219,6 +221,94 @@ fn embedded_release_survives_the_protocol_frame() {
     let back = dp_euclid::core::release::parse_release_bytes(&release_frame, &mut interner)
         .expect("nested release");
     assert_eq!(back, release);
+}
+
+/// Every error code the protocol defines, in declaration order. A new
+/// `ERR_*` const must be added here (and to the README table) — the
+/// density assertion below and the dp-lint protocol rule both fail
+/// otherwise.
+const ALL_ERR_CODES: [(u16, &str); 11] = [
+    (ERR_SPEC, "ERR_SPEC"),
+    (ERR_SPEC_MISMATCH, "ERR_SPEC_MISMATCH"),
+    (ERR_INCOMPATIBLE, "ERR_INCOMPATIBLE"),
+    (ERR_DUPLICATE_PARTY, "ERR_DUPLICATE_PARTY"),
+    (ERR_UNKNOWN_PARTY, "ERR_UNKNOWN_PARTY"),
+    (ERR_MALFORMED, "ERR_MALFORMED"),
+    (ERR_INTERNAL, "ERR_INTERNAL"),
+    (ERR_PLAN, "ERR_PLAN"),
+    (ERR_WORKER, "ERR_WORKER"),
+    (ERR_BUSY, "ERR_BUSY"),
+    (ERR_KERNEL, "ERR_KERNEL"),
+];
+
+#[test]
+fn error_codes_are_dense_and_each_roundtrips() {
+    // Codes are 1..=N with no gaps or collisions: a new code slots in
+    // at the end and never reuses a retired number.
+    for (i, (code, name)) in ALL_ERR_CODES.iter().enumerate() {
+        assert_eq!(*code, i as u16 + 1, "{name} out of sequence");
+    }
+    for (code, name) in ALL_ERR_CODES {
+        let resp = Response::Error {
+            code,
+            message: format!("{name} carried verbatim"),
+        };
+        let bytes = encode_response(&resp).expect("encode");
+        let back = decode_response(&bytes).expect("decode");
+        assert_eq!(back, resp, "{name}");
+    }
+}
+
+#[test]
+fn corrupting_the_error_code_field_is_rejected() {
+    // The u16 code sits at payload bytes 6..8 (magic 4, version 1,
+    // kind 1). Flipping it must trip the frame checksum — an error
+    // frame that silently mutates into a *different* error would
+    // misroute fleet recovery (e.g. ERR_KERNEL → ERR_SPEC_MISMATCH).
+    for (code, name) in ALL_ERR_CODES {
+        let bytes = encode_response(&Response::Error {
+            code,
+            message: "x".to_string(),
+        })
+        .expect("encode");
+        for offset in [6usize, 7] {
+            let mut bad = bytes.clone();
+            bad[offset] ^= 0x01;
+            assert!(
+                decode_response(&bad).is_err(),
+                "{name}: corrupted code byte {offset} decoded"
+            );
+        }
+    }
+}
+
+#[test]
+fn hello_caps_roundtrip_all_advertised_bits() {
+    // Both capability bits survive both directions, independently and
+    // together (a dropped bit silently downgrades the connection to
+    // the slow path).
+    for caps in [
+        0,
+        CAP_TILE_STREAM,
+        CAP_SKETCH_F32,
+        CAP_TILE_STREAM | CAP_SKETCH_F32,
+    ] {
+        let req = Request::Hello {
+            spec_json: sample_spec().to_json(),
+            caps,
+        };
+        let bytes = encode_request(&req).expect("encode");
+        assert_eq!(decode_request(&bytes).expect("decode"), req);
+
+        let resp = Response::Hello {
+            k: 384,
+            rows: 0,
+            tag: "t".to_string(),
+            caps,
+        };
+        let bytes = encode_response(&resp).expect("encode");
+        assert_eq!(decode_response(&bytes).expect("decode"), resp);
+    }
 }
 
 #[test]
