@@ -34,8 +34,37 @@
 //! proptest below). A fleet must therefore agree on one kernel per
 //! store: the kernel id travels in [`crate::sketcher::SketcherSpec`]
 //! and is negotiated on protocol `Hello` (mismatch → `ERR_KERNEL`).
+//!
+//! ## The sketching path
+//!
+//! The same [`KernelId`] also versions the *projection* accumulators of
+//! the batch sketching path — one kernel id means one bit pattern for
+//! sketches **and** distances, which replica agreement requires since
+//! sketches cross the wire:
+//!
+//! * **V1** — exactly today's per-row
+//!   [`dp_transforms::LinearTransform::apply_into`] bit patterns,
+//!   pinned by the frozen [`v1_apply_batch_reference`] below. The
+//!   batch-aware `apply_batch_into` overrides in `dp-transforms` are
+//!   *cache* optimizations (row-blocked dense passes, SJLT columns
+//!   resolved once per batch) that keep each row's accumulation order
+//!   verbatim, so V1 batch output is bit-identical to V1 per-row
+//!   output.
+//! * **V2** — the PR 7 recipe applied to projections: dense rows go
+//!   through [`v2_dot`] (four fused lanes + fused tail, combined
+//!   `((l₀ + l₂) + (l₁ + l₃)) + tail`, AVX2+FMA when detected, the
+//!   bit-identical portable `mul_add` form otherwise); column-sparse
+//!   transforms (SJLT, Achlioptas) scatter with a scalar correctly
+//!   rounded `f64::mul_add` per entry — there is no f64 scatter-add
+//!   instruction to version against, and a correctly rounded FMA is
+//!   one bit pattern on every CPU by definition. Each row's V2 result
+//!   is independent of batch composition, so V2 is bit-identical
+//!   across batch and block sizes too.
 
 pub use dp_parallel::KernelId;
+
+use dp_linalg::{DenseMatrix, SparseVector};
+use dp_transforms::{LinearTransform, StreamingColumns, TransformError};
 
 /// The per-pair squared-distance accumulation `Σ (a_i − b_i)²` over
 /// `min(a.len(), b.len())` elements, under kernel version `id`.
@@ -184,6 +213,323 @@ pub fn within_ulp_bound(v1: f64, v2: f64, len: usize) -> bool {
     (v1 - v2).abs() <= slack
 }
 
+/// Cross-kernel agreement bound for *signed* sums (projection dots),
+/// where cancellation means the error must be measured against the sum
+/// of absolute terms `Σ|aᵢ·bᵢ|` rather than the (possibly tiny) result:
+/// each scheme is within `len·ε·Σ|terms|` of the exact sum, so `4·len·ε`
+/// relative to that scale plus a `len` subnormal absolute slack covers
+/// both — the sketching analogue of [`within_ulp_bound`].
+#[must_use]
+pub fn within_signed_ulp_bound(v1: f64, v2: f64, abs_sum: f64, len: usize) -> bool {
+    let slack = 4.0 * len as f64 * f64::EPSILON * abs_sum + len as f64 * f64::MIN_POSITIVE;
+    (v1 - v2).abs() <= slack
+}
+
+// ---------------------------------------------------------------------------
+// The batch sketching kernels (projection accumulators).
+// ---------------------------------------------------------------------------
+
+// dp-lint: freeze(sketch-batch-v1) begin
+/// The frozen V1 batch reference: one `apply_into` per row, in row
+/// order — exactly the bit patterns every sketch produced before the
+/// batch kernels landed. The optimized V1 batch paths (`apply_batch_into`
+/// overrides in `dp-transforms`) must stay bit-identical to this loop;
+/// the proptest suites pin them against it.
+///
+/// # Errors
+/// [`TransformError::DimensionMismatch`] on any shape mismatch.
+pub fn v1_apply_batch_reference(
+    t: &dyn LinearTransform,
+    rows: &[&[f64]],
+    out: &mut [f64],
+) -> Result<(), TransformError> {
+    let k = t.output_dim();
+    if out.len() != rows.len() * k {
+        return Err(TransformError::DimensionMismatch {
+            expected: rows.len() * k,
+            actual: out.len(),
+        });
+    }
+    for (x, dst) in rows.iter().zip(out.chunks_exact_mut(k.max(1))) {
+        t.apply_into(x, dst)?;
+    }
+    Ok(())
+}
+// dp-lint: freeze(sketch-batch-v1) end
+
+/// A batchable view of a transform's projection structure, classified
+/// once per sketcher: explicit dense matrix (Gaussian i.i.d. /
+/// Kenthapadi) or column-sparse streaming structure (SJLT, Achlioptas).
+pub enum BatchProjection<'a> {
+    /// Row-major `k × d` matrix plus the owning transform (for the V1
+    /// dispatch and dimension metadata).
+    Dense {
+        /// The explicit matrix the V2 dot kernel runs over.
+        matrix: &'a DenseMatrix,
+        /// The transform itself — the V1 lane calls its (bit-frozen)
+        /// batch apply.
+        transform: &'a dyn LinearTransform,
+    },
+    /// Column-sparse structure scattered column-by-column.
+    Columns(&'a dyn StreamingColumns),
+}
+
+/// Apply a batchable projection to `rows`, writing `rows.len() × k`
+/// results row-major into `out`, under kernel version `id`. Within one
+/// kernel the result is bit-identical to the corresponding single-row
+/// path (`apply_into` for V1, [`apply_projection`] for V2) regardless
+/// of batch size.
+///
+/// # Errors
+/// [`TransformError::DimensionMismatch`] on any shape mismatch.
+pub fn apply_batch(
+    id: KernelId,
+    p: &BatchProjection<'_>,
+    rows: &[&[f64]],
+    out: &mut [f64],
+) -> Result<(), TransformError> {
+    match (id, p) {
+        (KernelId::V1Scalar, BatchProjection::Dense { transform, .. }) => {
+            transform.apply_batch_into(rows, out)
+        }
+        (KernelId::V1Scalar, BatchProjection::Columns(t)) => t.apply_batch_into(rows, out),
+        (KernelId::V2Simd, BatchProjection::Dense { matrix, .. }) => {
+            v2_apply_dense_batch(matrix, rows, out)
+        }
+        (KernelId::V2Simd, BatchProjection::Columns(t)) => v2_apply_columns_batch(*t, rows, out),
+    }
+}
+
+/// Single-row convenience over [`apply_batch`].
+///
+/// # Errors
+/// [`TransformError::DimensionMismatch`] on shape mismatch.
+pub fn apply_projection(
+    id: KernelId,
+    p: &BatchProjection<'_>,
+    x: &[f64],
+    out: &mut [f64],
+) -> Result<(), TransformError> {
+    apply_batch(id, p, &[x], out)
+}
+
+/// V2 sparse projection for column-sparse transforms: the
+/// `O(s·‖x‖₀ + k)` scatter of `apply_sparse`, with each entry applied
+/// through a correctly rounded `f64::mul_add` — the V2 scatter
+/// discipline, one bit pattern on every CPU.
+///
+/// # Errors
+/// [`TransformError::DimensionMismatch`] on shape mismatch.
+pub fn v2_apply_columns_sparse(
+    t: &dyn StreamingColumns,
+    x: &SparseVector,
+    out: &mut [f64],
+) -> Result<(), TransformError> {
+    if x.dim() != t.input_dim() {
+        return Err(TransformError::DimensionMismatch {
+            expected: t.input_dim(),
+            actual: x.dim(),
+        });
+    }
+    if out.len() != t.output_dim() {
+        return Err(TransformError::DimensionMismatch {
+            expected: t.output_dim(),
+            actual: out.len(),
+        });
+    }
+    out.fill(0.0);
+    let mut entries: Vec<(usize, f64)> = Vec::with_capacity(t.column_nnz());
+    for (j, w) in x.iter() {
+        entries.clear();
+        t.for_column(j, &mut |row, v| entries.push((row, v)))?;
+        v2_scatter_column(&entries, w, out);
+    }
+    Ok(())
+}
+
+/// Scatter one weighted column into one output row: for each `(row, v)`
+/// entry, `out[row] = fma(w, v, out[row])` in entry order. The fused
+/// multiply-add is correctly rounded, so the hardware-FMA fast path and
+/// the portable `f64::mul_add` (which lowers to a libm software `fma`
+/// when the binary is built without the `fma` target feature) produce
+/// the identical bit pattern — dispatch here is a pure speed choice,
+/// unlike the versioned split between V1 and V2.
+#[inline]
+fn v2_scatter_column(entries: &[(usize, f64)], w: f64, out: &mut [f64]) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if avx2_fma_available() {
+            // SAFETY: FMA presence was verified at runtime (the probe
+            // checks both AVX2 and FMA; FMA is all this path needs).
+            unsafe { v2_scatter_column_fma(entries, w, out) };
+            return;
+        }
+    }
+    for &(row, v) in entries {
+        out[row] = w.mul_add(v, out[row]);
+    }
+}
+
+/// The scatter body compiled with the `fma` feature enabled, so
+/// `f64::mul_add` lowers to an inline `vfmadd` instruction instead of a
+/// libm call. Same correctly rounded operation, same bits.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "fma")]
+// SAFETY: callers must have verified FMA support at runtime (the only
+// caller is `v2_scatter_column`, gated on `avx2_fma_available`); the
+// body is otherwise safe Rust — the attribute alone makes this an
+// unsafe fn.
+unsafe fn v2_scatter_column_fma(entries: &[(usize, f64)], w: f64, out: &mut [f64]) {
+    for &(row, v) in entries {
+        out[row] = w.mul_add(v, out[row]);
+    }
+}
+
+/// Batch-shape validation shared by the V2 paths.
+fn check_batch(d: usize, k: usize, rows: &[&[f64]], out: &[f64]) -> Result<(), TransformError> {
+    for x in rows {
+        if x.len() != d {
+            return Err(TransformError::DimensionMismatch {
+                expected: d,
+                actual: x.len(),
+            });
+        }
+    }
+    if out.len() != rows.len() * k {
+        return Err(TransformError::DimensionMismatch {
+            expected: rows.len() * k,
+            actual: out.len(),
+        });
+    }
+    Ok(())
+}
+
+/// V2 dense projection: row-blocked pass over the matrix (S streamed
+/// once per block of inputs), each output element one [`v2_dot`].
+fn v2_apply_dense_batch(
+    m: &DenseMatrix,
+    rows: &[&[f64]],
+    out: &mut [f64],
+) -> Result<(), TransformError> {
+    let (k, d) = (m.rows(), m.cols());
+    check_batch(d, k, rows, out)?;
+    const BLOCK: usize = 8;
+    let mut start = 0;
+    while start < rows.len() {
+        let len = BLOCK.min(rows.len() - start);
+        for r in 0..k {
+            let srow = m.row(r);
+            for (b, x) in rows[start..start + len].iter().enumerate() {
+                out[(start + b) * k + r] = v2_dot(srow, x);
+            }
+        }
+        start += len;
+    }
+    Ok(())
+}
+
+/// V2 column-sparse batch projection: each column's entries resolved
+/// once and scattered across the whole batch with fused multiply-adds.
+/// Per row the `(column asc, entry asc)` order and `w != 0.0` skip
+/// mirror the V1 scatter exactly; only the accumulation op changes
+/// (`+ w·v` → `mul_add`), which is the whole V1/V2 distinction.
+fn v2_apply_columns_batch(
+    t: &dyn StreamingColumns,
+    rows: &[&[f64]],
+    out: &mut [f64],
+) -> Result<(), TransformError> {
+    let (d, k) = (t.input_dim(), t.output_dim());
+    check_batch(d, k, rows, out)?;
+    out.fill(0.0);
+    let mut entries: Vec<(usize, f64)> = Vec::with_capacity(t.column_nnz());
+    for j in 0..d {
+        entries.clear();
+        t.for_column(j, &mut |row, v| entries.push((row, v)))?;
+        for (b, x) in rows.iter().enumerate() {
+            let w = x[j];
+            if w != 0.0 {
+                v2_scatter_column(&entries, w, &mut out[b * k..(b + 1) * k]);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The V2 dot product `Σ aᵢ·bᵢ` over `min(a.len(), b.len())` elements:
+/// four independent fused-multiply-add lanes plus a scalar fused tail,
+/// combined as `((l₀ + l₂) + (l₁ + l₃)) + tail` — the same fixed
+/// reassociation as [`v2_simd`], applied to products instead of squared
+/// differences. AVX2+FMA when detected, bit-identical portable
+/// `mul_add` otherwise.
+#[inline]
+#[must_use]
+pub fn v2_dot(a: &[f64], b: &[f64]) -> f64 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if avx2_fma_available() {
+            // SAFETY: AVX2 and FMA presence was verified at runtime.
+            return unsafe { v2_dot_avx2(a, b) };
+        }
+    }
+    v2_dot_portable(a, b)
+}
+
+/// The portable definition of the V2 dot (see [`v2_portable`] for why
+/// `f64::mul_add` makes this one bit pattern everywhere).
+fn v2_dot_portable(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len().min(b.len());
+    let body = n - (n % 4);
+    let mut lanes = [0.0f64; 4];
+    let mut i = 0;
+    while i < body {
+        lanes[0] = a[i].mul_add(b[i], lanes[0]);
+        lanes[1] = a[i + 1].mul_add(b[i + 1], lanes[1]);
+        lanes[2] = a[i + 2].mul_add(b[i + 2], lanes[2]);
+        lanes[3] = a[i + 3].mul_add(b[i + 3], lanes[3]);
+        i += 4;
+    }
+    let mut tail = 0.0f64;
+    for j in body..n {
+        tail = a[j].mul_add(b[j], tail);
+    }
+    ((lanes[0] + lanes[2]) + (lanes[1] + lanes[3])) + tail
+}
+
+/// AVX2+FMA realization of [`v2_dot_portable`]: one 4-lane fmadd chain
+/// over the body, the same two-step horizontal reduction as
+/// [`v2_avx2`], then the scalar fused tail.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+// SAFETY: callers must have verified AVX2 and FMA support at runtime
+// (the only caller is `v2_dot`, gated on `avx2_fma_available`); the
+// unaligned loads inside stay within `min(a.len(), b.len())`.
+unsafe fn v2_dot_avx2(a: &[f64], b: &[f64]) -> f64 {
+    use core::arch::x86_64::{
+        _mm256_castpd256_pd128, _mm256_extractf128_pd, _mm256_fmadd_pd, _mm256_loadu_pd,
+        _mm256_setzero_pd, _mm_add_pd, _mm_add_sd, _mm_cvtsd_f64, _mm_unpackhi_pd,
+    };
+    let n = a.len().min(b.len());
+    let body = n - (n % 4);
+    let mut acc = _mm256_setzero_pd();
+    let mut i = 0;
+    while i < body {
+        let va = _mm256_loadu_pd(a.as_ptr().add(i));
+        let vb = _mm256_loadu_pd(b.as_ptr().add(i));
+        acc = _mm256_fmadd_pd(va, vb, acc);
+        i += 4;
+    }
+    let lo = _mm256_castpd256_pd128(acc); // [l0, l1]
+    let hi = _mm256_extractf128_pd::<1>(acc); // [l2, l3]
+    let halves = _mm_add_pd(lo, hi); // [l0 + l2, l1 + l3]
+    let upper = _mm_unpackhi_pd(halves, halves);
+    let body_sum = _mm_cvtsd_f64(_mm_add_sd(halves, upper)); // (l0+l2) + (l1+l3)
+    let mut tail = 0.0f64;
+    for j in body..n {
+        tail = a.get_unchecked(j).mul_add(*b.get_unchecked(j), tail);
+    }
+    body_sum + tail
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -291,6 +637,189 @@ mod tests {
                 "len = {}, v1 = {:e}, v2 = {:e}, diff = {:e}",
                 len, v1, v2, (v1 - v2).abs()
             );
+        }
+
+        #[test]
+        fn v2_dot_within_signed_ulp_bound_of_sequential(seed in 0u64..1_000_000, len in 1usize..300) {
+            let (a, b) = mixed_magnitude_rows(seed, len);
+            let sequential: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+            let v2 = v2_dot(&a, &b);
+            let abs_sum: f64 = a.iter().zip(&b).map(|(x, y)| (x * y).abs()).sum();
+            prop_assert!(
+                within_signed_ulp_bound(sequential, v2, abs_sum, len),
+                "len = {}, seq = {:e}, v2 = {:e}, diff = {:e}",
+                len, sequential, v2, (sequential - v2).abs()
+            );
+        }
+    }
+
+    #[test]
+    fn v2_dot_tail_lengths_all_agree_with_portable_definition() {
+        for len in 0..=13usize {
+            let (a, b) = mixed_magnitude_rows(300 + len as u64, len);
+            assert_eq!(
+                v2_dot(&a, &b).to_bits(),
+                v2_dot_portable(&a, &b).to_bits(),
+                "len = {len}"
+            );
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn v2_dot_avx2_is_bit_identical_to_portable() {
+        if !avx2_fma_available() {
+            return; // nothing to compare on this host
+        }
+        for len in [0usize, 1, 3, 4, 5, 8, 31, 208, 1021] {
+            let (a, b) = mixed_magnitude_rows(9000 + len as u64, len);
+            // SAFETY: AVX2+FMA presence checked above; early-out otherwise.
+            let intrinsics = unsafe { v2_dot_avx2(&a, &b) };
+            assert_eq!(
+                intrinsics.to_bits(),
+                v2_dot_portable(&a, &b).to_bits(),
+                "len = {len}"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod batch_tests {
+    use super::*;
+    use dp_hashing::Seed;
+    use dp_transforms::{achlioptas::Achlioptas, gaussian_iid::GaussianIid, sjlt::Sjlt};
+
+    const D: usize = 24;
+    const K: usize = 12;
+
+    fn batch(n: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|b| {
+                (0..D)
+                    .map(|i| {
+                        if (i + 2 * b) % 5 == 0 {
+                            0.0
+                        } else {
+                            ((i * 13 + b * 7) % 17) as f64 * 0.375 - 3.0
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn v1_batch_dispatch_is_bit_identical_to_frozen_reference() {
+        let sjlt = Sjlt::new(D, K, 4, 6, Seed::new(21)).unwrap();
+        let ach = Achlioptas::new(D, K, Seed::new(22)).unwrap();
+        let gauss = GaussianIid::new(D, K, Seed::new(23)).unwrap();
+        let views: [(&str, BatchProjection<'_>); 3] = [
+            ("sjlt", BatchProjection::Columns(&sjlt)),
+            ("achlioptas", BatchProjection::Columns(&ach)),
+            (
+                "gaussian",
+                BatchProjection::Dense {
+                    matrix: gauss.matrix(),
+                    transform: &gauss,
+                },
+            ),
+        ];
+        for (name, view) in &views {
+            for n in [0usize, 1, 3, 8, 11] {
+                let rows = batch(n);
+                let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+                let mut fast = vec![f64::NAN; n * K];
+                let mut frozen = vec![f64::NAN; n * K];
+                apply_batch(KernelId::V1Scalar, view, &refs, &mut fast).unwrap();
+                let t: &dyn LinearTransform = match view {
+                    BatchProjection::Columns(t) => *t,
+                    BatchProjection::Dense { transform, .. } => *transform,
+                };
+                v1_apply_batch_reference(t, &refs, &mut frozen).unwrap();
+                for (i, (a, b)) in fast.iter().zip(&frozen).enumerate() {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{name} n={n} elem {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn v2_batch_is_independent_of_batch_composition() {
+        let sjlt = Sjlt::new(D, K, 4, 6, Seed::new(31)).unwrap();
+        let ach = Achlioptas::new(D, K, Seed::new(32)).unwrap();
+        let gauss = GaussianIid::new(D, K, Seed::new(33)).unwrap();
+        let views: [(&str, BatchProjection<'_>); 3] = [
+            ("sjlt", BatchProjection::Columns(&sjlt)),
+            ("achlioptas", BatchProjection::Columns(&ach)),
+            (
+                "gaussian",
+                BatchProjection::Dense {
+                    matrix: gauss.matrix(),
+                    transform: &gauss,
+                },
+            ),
+        ];
+        for (name, view) in &views {
+            let rows = batch(11);
+            let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+            let mut whole = vec![0.0; 11 * K];
+            apply_batch(KernelId::V2Simd, view, &refs, &mut whole).unwrap();
+            for (b, x) in rows.iter().enumerate() {
+                let mut single = vec![0.0; K];
+                apply_projection(KernelId::V2Simd, view, x, &mut single).unwrap();
+                for (got, want) in whole[b * K..(b + 1) * K].iter().zip(&single) {
+                    assert_eq!(got.to_bits(), want.to_bits(), "{name} row {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn v2_sparse_scatter_matches_dense_v2_on_sparse_inputs() {
+        let sjlt = Sjlt::new(D, K, 4, 6, Seed::new(41)).unwrap();
+        let ach = Achlioptas::new(D, K, Seed::new(42)).unwrap();
+        let mut x = vec![0.0; D];
+        x[2] = 1.75;
+        x[9] = -0.5;
+        x[23] = 4.0;
+        let sv = SparseVector::from_dense(&x);
+        for (name, t) in [
+            ("sjlt", &sjlt as &dyn StreamingColumns),
+            ("achlioptas", &ach),
+        ] {
+            let mut dense = vec![0.0; K];
+            apply_projection(
+                KernelId::V2Simd,
+                &BatchProjection::Columns(t),
+                &x,
+                &mut dense,
+            )
+            .unwrap();
+            let mut sparse = vec![f64::NAN; K];
+            v2_apply_columns_sparse(t, &sv, &mut sparse).unwrap();
+            for (a, b) in sparse.iter().zip(&dense) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{name}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_shapes_validated() {
+        let sjlt = Sjlt::new(D, K, 4, 6, Seed::new(51)).unwrap();
+        let view = BatchProjection::Columns(&sjlt);
+        let good = vec![1.0; D];
+        let bad = vec![1.0; D - 1];
+        let mut out = vec![0.0; 2 * K];
+        for id in [KernelId::V1Scalar, KernelId::V2Simd] {
+            let refs: [&[f64]; 2] = [&good, &bad];
+            assert!(apply_batch(id, &view, &refs, &mut out).is_err(), "{id:?}");
+            let refs: [&[f64]; 2] = [&good, &good];
+            assert!(
+                apply_batch(id, &view, &refs, &mut out[..K]).is_err(),
+                "{id:?}"
+            );
+            apply_batch(id, &view, &refs, &mut out).unwrap();
         }
     }
 }

@@ -55,6 +55,7 @@ use dp_noise::PrivacyGuarantee;
 use dp_parallel::{
     par_chunks_mut, par_map, par_split_mut, Parallelism, Tile, TilePlan, TileSegment,
 };
+use dp_transforms::LinearTransform;
 
 /// One object-safe interface over every private-sketch construction.
 ///
@@ -579,10 +580,117 @@ impl AnySketcher {
             Inner::FjltOutput(_) | Inner::FjltInput(_) | Inner::Kenthapadi(_) => "gaussian",
         }
     }
+
+    /// The negotiated [`KernelId`] this sketcher computes under — part
+    /// of the spec identity that travels on the wire, *not* the local
+    /// execution knob. It governs both the distance accumulator and,
+    /// since the batch kernels landed, the projection accumulators.
+    #[must_use]
+    pub fn kernel(&self) -> KernelId {
+        self.spec.kernel()
+    }
+
+    /// The batchable projection structure, for constructions whose
+    /// projection the batch kernels understand: column-sparse for the
+    /// SJLT/Achlioptas, explicit dense matrix for Kenthapadi. `None`
+    /// for the FJLT constructions — the in-place FWHT has no kernel
+    /// variant, so both kernels produce its historic bits via the
+    /// per-row path.
+    fn batch_projection(&self) -> Option<kernel::BatchProjection<'_>> {
+        match &self.inner {
+            Inner::Sjlt(s) => Some(kernel::BatchProjection::Columns(s.general().transform())),
+            Inner::Achlioptas(a) => Some(kernel::BatchProjection::Columns(a.general().transform())),
+            Inner::Kenthapadi(kt) => {
+                let t = kt.general().transform();
+                Some(kernel::BatchProjection::Dense {
+                    matrix: t.matrix(),
+                    transform: t,
+                })
+            }
+            Inner::FjltOutput(_) | Inner::FjltInput(_) => None,
+        }
+    }
+
+    /// Kernel-aware noiseless projection `S·x`: the exact values this
+    /// sketcher's [`PrivateSketcher::sketch`] adds noise to under the
+    /// spec's kernel. External accumulators (and the bit-identity
+    /// suites) pair it with [`PrivateSketcher::finalize_projection`] to
+    /// reproduce a release.
+    ///
+    /// # Errors
+    /// [`CoreError::Transform`] on dimension mismatch;
+    /// [`CoreError::Unsupported`] for the input-perturbed FJLT, whose
+    /// noise precedes the projection.
+    pub fn project(&self, x: &[f64]) -> Result<Vec<f64>, CoreError> {
+        match &self.inner {
+            Inner::FjltOutput(s) => Ok(s.general().transform().apply(x)?),
+            Inner::FjltInput(_) => Err(CoreError::Unsupported(
+                "input-perturbed FJLT adds noise before the projection; \
+                 it has no noiseless projection to expose",
+            )),
+            _ => {
+                let p = self
+                    .batch_projection()
+                    .expect("non-FJLT constructions are batchable");
+                let mut out = vec![0.0; self.k()];
+                kernel::apply_projection(self.spec.kernel(), &p, x, &mut out)?;
+                Ok(out)
+            }
+        }
+    }
+
+    /// Sketch batch rows `offset..offset + slots.len()` through the
+    /// batch projection kernels in fixed-size blocks, filling `slots`.
+    /// Per-row results are independent of block and chunk boundaries
+    /// (V1 blocks are bit-frozen to the per-row loop; V2 rows never mix
+    /// lanes), so every thread count and chunking yields one bit
+    /// pattern.
+    fn sketch_chunk_kernel(
+        &self,
+        xs: &[Vec<f64>],
+        offset: usize,
+        slots: &mut [Option<NoisySketch>],
+        noise_seed: Seed,
+    ) -> Result<(), CoreError> {
+        const BLOCK: usize = 8;
+        let k = self.k();
+        let p = self
+            .batch_projection()
+            .expect("caller checked batchability");
+        let mut scratch = vec![0.0f64; BLOCK * k];
+        let mut start = 0;
+        while start < slots.len() {
+            let len = BLOCK.min(slots.len() - start);
+            let rows: Vec<&[f64]> = xs[offset + start..offset + start + len]
+                .iter()
+                .map(Vec::as_slice)
+                .collect();
+            let buf = &mut scratch[..len * k];
+            kernel::apply_batch(self.spec.kernel(), &p, &rows, buf)?;
+            for (i, slot) in slots[start..start + len].iter_mut().enumerate() {
+                let row = offset + start + i;
+                let projection = buf[i * k..(i + 1) * k].to_vec();
+                *slot = Some(self.finalize_projection(projection, noise_seed.index(row as u64))?);
+            }
+            start += len;
+        }
+        Ok(())
+    }
 }
 
 impl PrivateSketcher for AnySketcher {
     fn sketch(&self, x: &[f64], noise_seed: Seed) -> Result<NoisySketch, CoreError> {
+        // V2 routes the projection through the versioned kernels so a
+        // single release, a batch release, and a streamed finalize all
+        // produce one bit pattern under one kernel id. V1 keeps the
+        // exact historic per-construction path (frozen bits).
+        if self.spec.kernel() != KernelId::V1Scalar {
+            if let Some(p) = self.batch_projection() {
+                let mut projection = vec![0.0; self.k()];
+                kernel::apply_projection(self.spec.kernel(), &p, x, &mut projection)?;
+                return self.finalize_projection(projection, noise_seed);
+            }
+        }
         match &self.inner {
             Inner::Sjlt(s) => s.try_sketch(x, noise_seed),
             Inner::FjltOutput(s) => s.sketch(x, noise_seed),
@@ -593,6 +701,20 @@ impl PrivateSketcher for AnySketcher {
     }
 
     fn sketch_sparse(&self, x: &SparseVector, noise_seed: Seed) -> Result<NoisySketch, CoreError> {
+        // Under V2 the column-streaming constructions keep their
+        // O(s·‖x‖₀ + k) advantage through the fused sparse scatter.
+        if self.spec.kernel() != KernelId::V1Scalar {
+            let streaming: Option<&dyn dp_transforms::StreamingColumns> = match &self.inner {
+                Inner::Sjlt(s) => Some(s.general().transform()),
+                Inner::Achlioptas(a) => Some(a.general().transform()),
+                _ => None,
+            };
+            if let Some(t) = streaming {
+                let mut projection = vec![0.0; self.k()];
+                kernel::v2_apply_columns_sparse(t, x, &mut projection)?;
+                return self.finalize_projection(projection, noise_seed);
+            }
+        }
         match &self.inner {
             Inner::Sjlt(s) => s.sketch_sparse(x, noise_seed),
             Inner::Achlioptas(s) => s.sketch_sparse(x, noise_seed),
@@ -682,7 +804,28 @@ impl PrivateSketcher for AnySketcher {
         xs: &[Vec<f64>],
         noise_seed: Seed,
     ) -> Result<Vec<NoisySketch>, CoreError> {
-        sketch_batch_par(self, xs, noise_seed, &self.par)
+        if self.batch_projection().is_none() {
+            // FJLT constructions: the FWHT has no batch kernel; the
+            // per-row data-parallel path is already their fastest form.
+            return sketch_batch_par(self, xs, noise_seed, &self.par);
+        }
+        // Kernel-aware batching: rows chunked across workers, each
+        // chunk projected block-at-a-time through `kernel::apply_batch`
+        // and finalized with the unchanged per-row noise seed
+        // `noise_seed.index(row)` — bit-identical to the per-row path
+        // for every thread count and batch size, in both kernels.
+        let mut out: Vec<Option<NoisySketch>> = vec![None; xs.len()];
+        if self.par.is_sequential() || xs.len() <= 1 {
+            self.sketch_chunk_kernel(xs, 0, &mut out, noise_seed)?;
+        } else {
+            par_chunks_mut(&mut out, self.par.threads(), |offset, chunk| {
+                self.sketch_chunk_kernel(xs, offset, chunk, noise_seed)
+            })?;
+        }
+        Ok(out
+            .into_iter()
+            .map(|s| s.expect("every row filled"))
+            .collect())
     }
 }
 
@@ -1257,19 +1400,26 @@ mod tests {
     fn finalize_projection_matches_direct_sketch_for_output_noise() {
         let cfg = config(None);
         let sk = AnySketcher::new(Construction::SjltLaplace, &cfg, Seed::new(2)).unwrap();
-        let x = vec![1.0; 48];
-        // The noiseless projection, finalized, must equal a direct sketch
-        // under the same noise seed.
-        let projection = sk
+        let x: Vec<f64> = (0..48).map(|i| (i as f64 * 0.7).sin() * 3.0).collect();
+        // The kernel-aware noiseless projection, finalized, must equal a
+        // direct sketch under the same noise seed — in both kernel lanes.
+        let projection = sk.project(&x).unwrap();
+        let via_finalize = sk.finalize_projection(projection, Seed::new(9)).unwrap();
+        let direct = sk.sketch(&x, Seed::new(9)).unwrap();
+        assert_eq!(via_finalize, direct);
+        // Under V1 the projection is the historic transform apply,
+        // bit-for-bit.
+        let v1 = sk.spec().with_kernel(KernelId::V1Scalar).build().unwrap();
+        let historic = v1
             .as_sjlt()
             .unwrap()
             .general()
             .transform()
             .apply(&x)
             .unwrap();
-        let via_finalize = sk.finalize_projection(projection, Seed::new(9)).unwrap();
-        let direct = sk.sketch(&x, Seed::new(9)).unwrap();
-        assert_eq!(via_finalize, direct);
+        for (a, b) in v1.project(&x).unwrap().iter().zip(&historic) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
         // Wrong length rejected; input-perturbed construction refuses.
         assert!(sk.finalize_projection(vec![0.0; 3], Seed::new(1)).is_err());
         let fin =
@@ -1287,6 +1437,31 @@ mod tests {
         (0..n)
             .map(|_| (0..d).map(|_| rng.next_f64() * 4.0 - 2.0).collect())
             .collect()
+    }
+
+    #[test]
+    fn batch_and_per_row_sketches_bit_identical_in_both_kernels() {
+        let cfg = config(Some(1e-6));
+        for construction in Construction::all() {
+            for kernel in [KernelId::V1Scalar, KernelId::V2Simd] {
+                let spec =
+                    SketcherSpec::new(construction, cfg.clone(), Seed::new(3)).with_kernel(kernel);
+                let sk = spec.build().unwrap();
+                // Ragged batch sizes around the internal block: empty,
+                // single, and non-multiples of the block width.
+                for n in [0usize, 1, 7, 9] {
+                    let xs = rows(n, 48, 21);
+                    let batch = sk.sketch_batch(&xs, Seed::new(5)).unwrap();
+                    for (i, x) in xs.iter().enumerate() {
+                        let single = sk.sketch(x, Seed::new(5).index(i as u64)).unwrap();
+                        assert_eq!(
+                            batch[i], single,
+                            "{construction:?} {kernel:?} n={n} row {i}"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -30,6 +30,7 @@ use crate::gather::Gather;
 use crate::store::SketchStore;
 use dp_core::release::Release;
 use dp_core::sketcher::{effective_plan, execute_tiles, pairwise_sq_distances_rows};
+use dp_core::PrivateSketcher;
 use dp_core::{KernelId, PairwiseDistances, Parallelism, TilePlan, TileSegment};
 use std::sync::Arc;
 
@@ -158,6 +159,63 @@ impl QueryEngine {
         let row = self.store.ingest_bytes(bytes)?;
         self.generation += 1;
         Ok(row)
+    }
+
+    /// Ingest a batch of releases with **one** generation bump, so
+    /// snapshot republication and cache invalidation cost once per bulk
+    /// load instead of once per row. Row assignment and validation are
+    /// bit-identical to one [`QueryEngine::ingest`] per release.
+    ///
+    /// # Errors
+    /// See [`SketchStore::ingest_batch`]; on a mid-batch failure the
+    /// accepted prefix stays ingested and the generation still bumps.
+    pub fn ingest_batch(&mut self, releases: &[Release]) -> Result<Vec<usize>, EngineError> {
+        let before = self.store.n();
+        let result = self.store.ingest_batch(releases);
+        if self.store.n() != before {
+            self.generation += 1;
+        }
+        result
+    }
+
+    /// Server-side bulk load: sketch raw rows under the store's spec —
+    /// the negotiated kernel rides the spec, so the batch projection
+    /// kernels of [`dp_core::kernel`] do the work — then ingest the
+    /// releases under the given party ids. Per-row noise seeds are
+    /// `noise_seed.index(row)`, exactly the `sketch_batch` contract, so
+    /// the ingested bytes are bit-identical to sketching each row alone
+    /// and ingesting one at a time.
+    ///
+    /// # Errors
+    /// [`EngineError::Core`] if the store has no spec, the id/row
+    /// counts differ, or sketching fails; ingest errors as for
+    /// [`QueryEngine::ingest_batch`].
+    pub fn sketch_and_ingest_batch(
+        &mut self,
+        party_ids: &[u64],
+        xs: &[Vec<f64>],
+        noise_seed: dp_hashing::Seed,
+    ) -> Result<Vec<usize>, EngineError> {
+        if party_ids.len() != xs.len() {
+            return Err(EngineError::Core(dp_core::CoreError::Unsupported(
+                "sketch_and_ingest_batch needs one party id per row",
+            )));
+        }
+        let spec = self
+            .store
+            .spec()
+            .ok_or(EngineError::Core(dp_core::CoreError::Unsupported(
+                "sketch_and_ingest_batch needs a store built with a spec",
+            )))?
+            .clone();
+        let sketcher = spec.build_with(self.par)?;
+        let sketches = sketcher.sketch_batch(xs, noise_seed)?;
+        let releases: Vec<Release> = party_ids
+            .iter()
+            .zip(sketches)
+            .map(|(&party_id, sketch)| Release { party_id, sketch })
+            .collect();
+        self.ingest_batch(&releases)
     }
 
     /// Ingest positionally, tolerating duplicate party ids (legacy

@@ -453,6 +453,64 @@ mod tests {
     }
 
     #[test]
+    fn batch_ingest_matches_per_row_with_one_generation_bump() {
+        let (spec, rs) = releases(9, 48);
+        let mut per_row = QueryEngine::new(SketchStore::with_spec(spec.clone()).unwrap());
+        for r in &rs {
+            per_row.ingest(r).unwrap();
+        }
+        let mut batched = QueryEngine::new(SketchStore::with_spec(spec).unwrap());
+        let gen0 = batched.generation();
+        let rows = batched.ingest_batch(&rs).unwrap();
+        assert_eq!(rows, (0..9usize).collect::<Vec<_>>());
+        assert_eq!(batched.generation(), gen0 + 1);
+        let a = per_row.pairwise_all();
+        let b = batched.pairwise_all();
+        for (x, y) in a.as_flat().iter().zip(b.as_flat()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        // Fail-fast on a duplicate mid-batch: prefix stays, typed error.
+        let mut extra = releases(2, 48).1;
+        extra[0].party_id = 700;
+        extra[1].party_id = 701;
+        let mixed = vec![extra[0].clone(), rs[0].clone(), extra[1].clone()];
+        let n_before = batched.store().n();
+        assert!(matches!(
+            batched.ingest_batch(&mixed),
+            Err(EngineError::DuplicateParty(_))
+        ));
+        assert_eq!(batched.store().n(), n_before + 1);
+    }
+
+    #[test]
+    fn bulk_sketch_and_ingest_rides_the_spec_kernel() {
+        let (spec, _) = releases(0, 48);
+        let raw: Vec<Vec<f64>> = (0..5)
+            .map(|i| (0..48).map(|j| ((i * 48 + j) % 5) as f64 - 2.0).collect())
+            .collect();
+        let ids: Vec<u64> = (900..905).collect();
+        let mut bulk = QueryEngine::new(SketchStore::with_spec(spec.clone()).unwrap());
+        bulk.sketch_and_ingest_batch(&ids, &raw, Seed::new(77))
+            .unwrap();
+        // Bit-identical to the client-side sketch_batch + ingest path
+        // under the same spec (kernel id included).
+        let sk = spec.build().unwrap();
+        let expect = sk.sketch_batch(&raw, Seed::new(77)).unwrap();
+        for (i, want) in expect.iter().enumerate() {
+            assert_eq!(&bulk.store().sketch_at(i), want);
+            assert_eq!(bulk.store().row_of(900 + i as u64), Some(i));
+        }
+        // Mismatched id/row counts and spec-less stores are typed errors.
+        assert!(bulk
+            .sketch_and_ingest_batch(&[1], &raw, Seed::new(1))
+            .is_err());
+        let mut specless = QueryEngine::new(SketchStore::adopting());
+        assert!(specless
+            .sketch_and_ingest_batch(&[1], &raw[..1], Seed::new(1))
+            .is_err());
+    }
+
+    #[test]
     fn empty_store_answers_empty() {
         let mut engine = QueryEngine::new(SketchStore::adopting());
         assert_eq!(engine.pairwise_all().n(), 0);

@@ -360,6 +360,25 @@ impl SketchStore {
         Ok(row)
     }
 
+    /// Ingest a batch of releases in order (strict: duplicate party ids
+    /// rejected), returning the assigned row per release. Equivalent to
+    /// — and bit-identical with — one [`SketchStore::ingest`] per
+    /// release: validation, anchoring, and row assignment are the same
+    /// sequential code. Fail-fast: the first failing release stops the
+    /// batch with its error, and the accepted prefix stays ingested
+    /// (the store is append-only; a partial batch is exactly a shorter
+    /// batch).
+    ///
+    /// # Errors
+    /// As for [`SketchStore::ingest`], at the first failing release.
+    pub fn ingest_batch(&mut self, releases: &[Release]) -> Result<Vec<usize>, EngineError> {
+        let mut rows = Vec::with_capacity(releases.len());
+        for release in releases {
+            rows.push(self.ingest(release)?);
+        }
+        Ok(rows)
+    }
+
     /// Decode a binary `DPRL` release frame through the store's own
     /// interner and ingest it (strict: duplicate ids rejected).
     ///

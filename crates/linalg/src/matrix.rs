@@ -88,6 +88,44 @@ impl DenseMatrix {
             .collect()
     }
 
+    /// Batched matrix–vector products: one [`DenseMatrix::matvec`] per
+    /// input row, written row-major into `out` (`xs.len() × rows`
+    /// results). Row-blocked so each matrix row is streamed once per
+    /// block of inputs instead of once per input — the cache win of the
+    /// batch sketching path — while every output element keeps the
+    /// exact sequential dot expression of [`DenseMatrix::matvec`], so
+    /// results are bit-identical to the one-vector-at-a-time loop.
+    ///
+    /// # Panics
+    /// If any `xs[b].len() != cols` or `out.len() != xs.len() * rows`.
+    pub fn matvec_batch_into(&self, xs: &[&[f64]], out: &mut [f64]) {
+        for x in xs {
+            assert_eq!(x.len(), self.cols, "matvec_batch_into: dimension mismatch");
+        }
+        assert_eq!(
+            out.len(),
+            xs.len() * self.rows,
+            "matvec_batch_into: output length mismatch"
+        );
+        // Block over input rows so the whole matrix pass services
+        // `MATVEC_BLOCK` inputs: S is streamed once per block, not once
+        // per vector.
+        const MATVEC_BLOCK: usize = 8;
+        let mut start = 0;
+        while start < xs.len() {
+            let len = MATVEC_BLOCK.min(xs.len() - start);
+            for r in 0..self.rows {
+                let srow = self.row(r);
+                for (b, x) in xs[start..start + len].iter().enumerate() {
+                    // The exact matvec dot: sequential zip-order sum.
+                    out[(start + b) * self.rows + r] =
+                        srow.iter().zip(*x).map(|(a, b)| a * b).sum();
+                }
+            }
+            start += len;
+        }
+    }
+
     /// Exact ℓ₁-sensitivity `∆₁ = max_j Σᵢ |Sᵢⱼ|` — one `O(dk)` pass.
     #[must_use]
     pub fn l1_sensitivity(&self) -> f64 {

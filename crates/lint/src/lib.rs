@@ -91,6 +91,7 @@ pub const REQUIRED_FREEZE_REGIONS: &[&str] = &[
     "kernel-v1-scalar",
     "estimator-sq-distance",
     "pairwise-reference",
+    "sketch-batch-v1",
 ];
 
 /// The protocol definition the exhaustiveness rule parses.

@@ -24,7 +24,7 @@ use dp_core::config::SketchConfig;
 use dp_core::protocol::{ERR_KERNEL, ERR_WORKER};
 use dp_core::release::Release;
 use dp_core::sketcher::{Construction, PrivateSketcher, SketcherSpec};
-use dp_core::KernelId;
+use dp_core::{wire, KernelId};
 use dp_hashing::Seed;
 use dp_server::{Client, ClientError, Endpoint};
 use std::path::PathBuf;
@@ -108,8 +108,57 @@ fn main() {
     }
     let (_, rows, _) = probe.hello(&spec_v2).expect("matching-kernel hello");
     assert_eq!(rows, 0, "worker store not fresh");
-    drop(probe); // frees the accept slot for the coordinator's pool
     println!("kernel_smoke: direct mismatched hello refused with ERR_KERNEL");
+
+    // Phase 1.5: the batch sketch path is the wire path. In both
+    // kernel lanes the batch sketches must encode to the same bytes as
+    // the historic per-row path, and the v2 batch is then bulk-ingested
+    // into the worker *process* — a fresh hello must see every row.
+    let rows_data: Vec<Vec<f64>> = (0..6)
+        .map(|i| (0..d).map(|j| ((2 * i + j) % 7) as f64 - 3.0).collect())
+        .collect();
+    for (spec, lane) in [(&spec_v1, "v1-scalar"), (&spec_v2, "v2-simd")] {
+        let sk = spec.build().expect("sketcher");
+        let batch = sk.sketch_batch(&rows_data, Seed::new(5)).expect("batch");
+        for (i, sketch) in batch.iter().enumerate() {
+            let per_row = sk
+                .sketch(&rows_data[i], Seed::new(5).index(i as u64))
+                .expect("sketch");
+            assert_eq!(
+                wire::encode_sketch(sketch).expect("encode"),
+                wire::encode_sketch(&per_row).expect("encode"),
+                "batch/per-row sketch bytes diverged in the {lane} lane at row {i}"
+            );
+        }
+    }
+    let v2_batch = spec_v2
+        .build()
+        .expect("sketcher")
+        .sketch_batch(&rows_data, Seed::new(5))
+        .expect("batch");
+    for (i, sketch) in v2_batch.into_iter().enumerate() {
+        probe
+            .ingest(&Release {
+                party_id: i as u64,
+                sketch,
+            })
+            .expect("batch ingest into worker");
+    }
+    drop(probe); // frees the accept slot for the recount probe
+    let mut recount = connect_retry(&worker_endpoint, "worker recount");
+    recount
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    let (_, rows, _) = recount.hello(&spec_v2).expect("recount hello");
+    assert_eq!(
+        rows,
+        rows_data.len() as u64,
+        "batch-ingested rows not visible"
+    );
+    drop(recount); // frees the accept slot for the coordinator's pool
+    println!(
+        "kernel_smoke: batch sketches byte-identical to per-row in both lanes, bulk ingest visible"
+    );
 
     // Phase 2: a coordinator over the v2 worker, spoken to by a
     // v1-scalar client. The local Hello adopts v1; the relay to the
@@ -132,9 +181,6 @@ fn main() {
     assert_eq!(rows, 0, "coordinator store not fresh");
 
     let sketcher = spec_v1.build().expect("sketcher");
-    let rows_data: Vec<Vec<f64>> = (0..6)
-        .map(|i| (0..d).map(|j| ((2 * i + j) % 7) as f64 - 3.0).collect())
-        .collect();
     for (i, sketch) in sketcher
         .sketch_batch(&rows_data, Seed::new(5))
         .expect("batch")

@@ -8,7 +8,7 @@
 //! stored structure with no extra scan.
 
 use crate::error::TransformError;
-use crate::traits::{check_input, LinearTransform, StreamingColumns};
+use crate::traits::{check_batch, check_input, LinearTransform, StreamingColumns};
 use dp_hashing::{Prng, Seed};
 use dp_linalg::SparseVector;
 
@@ -106,6 +106,27 @@ impl LinearTransform for Achlioptas {
         Ok(())
     }
 
+    fn apply_batch_into(&self, rows: &[&[f64]], out: &mut [f64]) -> Result<(), TransformError> {
+        check_batch(self.d, self.k, rows, out)?;
+        out.fill(0.0);
+        // Column scatter across the whole batch: each stored column is
+        // read once per block of rows instead of once per row. Per row
+        // the `(j asc, entry asc)` accumulation order and `w != 0.0`
+        // skip match `apply_into` exactly — bit-identical results.
+        for (j, col) in self.columns.iter().enumerate() {
+            for (b, x) in rows.iter().enumerate() {
+                let w = x[j];
+                if w != 0.0 {
+                    let dst = &mut out[b * self.k..(b + 1) * self.k];
+                    for &(row, v) in col {
+                        dst[row] += w * v;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
     fn apply_sparse(&self, x: &SparseVector) -> Result<Vec<f64>, TransformError> {
         check_input(self.d, x.dim())?;
         let mut out = vec![0.0; self.k];
@@ -190,7 +211,9 @@ mod tests {
     #[test]
     fn sensitivities_match_materialized_matrix() {
         let t = Achlioptas::new(20, 12, Seed::new(3)).unwrap();
-        let m = materialize(&t).unwrap();
+        // Streaming fast path: bit-identical to `materialize` (see below)
+        // at O(total nnz) instead of d full applications.
+        let m = crate::traits::materialize_streaming(&t).unwrap();
         assert!((t.l1_sensitivity() - m.l1_sensitivity()).abs() < 1e-12);
         assert!((t.l2_sensitivity() - m.l2_sensitivity()).abs() < 1e-12);
     }
@@ -203,6 +226,48 @@ mod tests {
         x[17] = -1.5;
         let sv = SparseVector::from_dense(&x);
         assert_eq!(t.apply(&x).unwrap(), t.apply_sparse(&sv).unwrap());
+    }
+
+    #[test]
+    fn batch_apply_is_bit_identical_to_per_row() {
+        let t = Achlioptas::new(32, 16, Seed::new(4)).unwrap();
+        for n in [0usize, 1, 5, 8, 13] {
+            let rows: Vec<Vec<f64>> = (0..n)
+                .map(|b| {
+                    (0..32)
+                        .map(|i| {
+                            if (i * 3 + b) % 4 == 0 {
+                                0.0
+                            } else {
+                                ((i + b * 5) % 7) as f64 * 0.25 - 0.75
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+            let mut out = vec![f64::NAN; n * 16];
+            t.apply_batch_into(&refs, &mut out).unwrap();
+            for (b, x) in rows.iter().enumerate() {
+                let mut per_row = vec![0.0; 16];
+                t.apply_into(x, &mut per_row).unwrap();
+                for (got, want) in out[b * 16..(b + 1) * 16].iter().zip(&per_row) {
+                    assert_eq!(got.to_bits(), want.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_materialize_is_bit_identical_to_slow_path() {
+        let t = Achlioptas::new(20, 12, Seed::new(3)).unwrap();
+        let slow = materialize(&t).unwrap();
+        let fast = crate::traits::materialize_streaming(&t).unwrap();
+        for r in 0..slow.rows() {
+            for c in 0..slow.cols() {
+                assert_eq!(fast.get(r, c).to_bits(), slow.get(r, c).to_bits());
+            }
+        }
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! and as the storage format of the i.i.d. Gaussian baseline.
 
 use crate::error::TransformError;
-use crate::traits::{check_input, LinearTransform, StreamingColumns};
+use crate::traits::{check_batch, check_input, LinearTransform, StreamingColumns};
 use dp_linalg::DenseMatrix;
 
 /// An explicit `k × d` linear transform.
@@ -54,6 +54,15 @@ impl LinearTransform for DenseTransform {
         for (o, r) in out.iter_mut().zip(0..self.matrix.rows()) {
             *o = self.matrix.row(r).iter().zip(x).map(|(a, b)| a * b).sum();
         }
+        Ok(())
+    }
+
+    fn apply_batch_into(&self, rows: &[&[f64]], out: &mut [f64]) -> Result<(), TransformError> {
+        check_batch(self.input_dim(), self.output_dim(), rows, out)?;
+        // Row-blocked pass: S streamed once per block of inputs, each
+        // output element still the exact per-row matvec dot (bit-identical
+        // to the apply_into loop).
+        self.matrix.matvec_batch_into(rows, out);
         Ok(())
     }
 
@@ -127,6 +136,46 @@ mod tests {
         t.for_column(2, &mut |r, v| seen.push((r, v))).unwrap();
         assert_eq!(seen, vec![(0, -2.0)]);
         assert!(t.for_column(3, &mut |_, _| ()).is_err());
+    }
+
+    #[test]
+    fn batch_apply_is_bit_identical_to_per_row() {
+        let t = toy();
+        // Ragged batch sizes around the internal block: 0, 1, and a
+        // non-multiple-of-block count.
+        for n in [0usize, 1, 3, 8, 11] {
+            let rows: Vec<Vec<f64>> = (0..n)
+                .map(|b| {
+                    vec![
+                        0.1 + b as f64,
+                        -1.5 * b as f64,
+                        if b % 2 == 0 { 0.0 } else { 2.25 },
+                    ]
+                })
+                .collect();
+            let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+            let mut out = vec![f64::NAN; n * 2];
+            t.apply_batch_into(&refs, &mut out).unwrap();
+            for (b, x) in rows.iter().enumerate() {
+                let mut per_row = vec![0.0; 2];
+                t.apply_into(x, &mut per_row).unwrap();
+                for (got, want) in out[b * 2..(b + 1) * 2].iter().zip(&per_row) {
+                    assert_eq!(got.to_bits(), want.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_materialize_is_bit_identical_to_slow_path() {
+        let t = toy();
+        let slow = crate::traits::materialize(&t).unwrap();
+        let fast = crate::traits::materialize_streaming(&t).unwrap();
+        for r in 0..slow.rows() {
+            for c in 0..slow.cols() {
+                assert_eq!(fast.get(r, c).to_bits(), slow.get(r, c).to_bits());
+            }
+        }
     }
 
     #[test]

@@ -76,6 +76,9 @@ impl LinearTransform for GaussianIid {
     fn apply_into(&self, x: &[f64], out: &mut [f64]) -> Result<(), TransformError> {
         self.inner.apply_into(x, out)
     }
+    fn apply_batch_into(&self, rows: &[&[f64]], out: &mut [f64]) -> Result<(), TransformError> {
+        self.inner.apply_batch_into(rows, out)
+    }
     fn l1_sensitivity(&self) -> f64 {
         self.inner.l1_sensitivity()
     }

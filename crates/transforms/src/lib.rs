@@ -37,4 +37,4 @@ pub mod traits;
 
 pub use error::TransformError;
 pub use params::JlParams;
-pub use traits::{materialize, LinearTransform, StreamingColumns};
+pub use traits::{materialize, materialize_streaming, LinearTransform, StreamingColumns};

@@ -18,7 +18,7 @@
 
 use crate::error::TransformError;
 use crate::params::JlParams;
-use crate::traits::{check_input, LinearTransform, StreamingColumns};
+use crate::traits::{check_batch, check_input, LinearTransform, StreamingColumns};
 use dp_hashing::{KWiseFamily, PolyHash, Seed, SignHash};
 use dp_linalg::SparseVector;
 
@@ -185,6 +185,33 @@ impl LinearTransform for Sjlt {
         Ok(())
     }
 
+    fn apply_batch_into(&self, rows: &[&[f64]], out: &mut [f64]) -> Result<(), TransformError> {
+        check_batch(self.d, self.k, rows, out)?;
+        out.fill(0.0);
+        // Resolve each column's `s` hashed entries once and scatter them
+        // across the whole batch — one hash evaluation per entry instead
+        // of one per batch row. Per row the contributions still land in
+        // the exact `(j asc, r asc)` order of `apply_into` with the same
+        // `w != 0.0` skip, so every row is bit-identical to the per-row
+        // path.
+        let mut entries = vec![(0usize, 0.0f64); self.s];
+        for j in 0..self.d {
+            for (r, e) in entries.iter_mut().enumerate() {
+                *e = self.entry(r, j);
+            }
+            for (b, x) in rows.iter().enumerate() {
+                let w = x[j];
+                if w != 0.0 {
+                    let dst = &mut out[b * self.k..(b + 1) * self.k];
+                    for &(row, v) in &entries {
+                        dst[row] += w * v;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// The `O(s·‖x‖₀ + k)` sparse path of Theorem 3, item 5.
     fn apply_sparse(&self, x: &SparseVector) -> Result<Vec<f64>, TransformError> {
         check_input(self.d, x.dim())?;
@@ -288,7 +315,9 @@ mod tests {
     #[test]
     fn a_priori_sensitivities_are_exact() {
         let t = small();
-        let m = materialize(&t).unwrap();
+        // The streaming fast path (bit-identical to `materialize`, see
+        // below) keeps this audit O(total nnz).
+        let m = crate::traits::materialize_streaming(&t).unwrap();
         assert!((t.l1_sensitivity() - m.l1_sensitivity()).abs() < 1e-12);
         assert!((t.l2_sensitivity() - m.l2_sensitivity()).abs() < 1e-12);
         assert!((t.l1_sensitivity() - 2.0).abs() < 1e-12); // √4
@@ -364,6 +393,52 @@ mod tests {
             assert!((a - b).abs() < 1e-12);
         }
         assert_eq!(t.column_nnz(), 4);
+    }
+
+    #[test]
+    fn batch_apply_is_bit_identical_to_per_row() {
+        for t in [
+            small(),
+            Sjlt::new_cached(32, 24, 4, 6, Seed::new(77)).unwrap(),
+        ] {
+            for n in [0usize, 1, 2, 7, 9, 16] {
+                let rows: Vec<Vec<f64>> = (0..n)
+                    .map(|b| {
+                        (0..32)
+                            .map(|i| {
+                                if (i + b) % 3 == 0 {
+                                    0.0
+                                } else {
+                                    ((i * 7 + b * 13) % 11) as f64 / 3.0 - 1.5
+                                }
+                            })
+                            .collect()
+                    })
+                    .collect();
+                let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+                let mut out = vec![f64::NAN; n * 24];
+                t.apply_batch_into(&refs, &mut out).unwrap();
+                for (b, x) in rows.iter().enumerate() {
+                    let mut per_row = vec![0.0; 24];
+                    t.apply_into(x, &mut per_row).unwrap();
+                    for (got, want) in out[b * 24..(b + 1) * 24].iter().zip(&per_row) {
+                        assert_eq!(got.to_bits(), want.to_bits());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_materialize_is_bit_identical_to_slow_path() {
+        let t = small();
+        let slow = materialize(&t).unwrap();
+        let fast = crate::traits::materialize_streaming(&t).unwrap();
+        for r in 0..slow.rows() {
+            for c in 0..slow.cols() {
+                assert_eq!(fast.get(r, c).to_bits(), slow.get(r, c).to_bits());
+            }
+        }
     }
 
     #[test]

@@ -42,6 +42,26 @@ pub trait LinearTransform {
         self.apply(&x.to_dense())
     }
 
+    /// Apply to a batch of dense rows, writing the `rows.len() × k`
+    /// results row-major into `out`. The default is the per-row
+    /// [`LinearTransform::apply_into`] loop; batch-aware transforms
+    /// override it with row-blocked (dense) or column-scatter (sparse
+    /// column) kernels that are **bit-identical** per row to the per-row
+    /// path — batching is a cache optimization, never a numeric change.
+    ///
+    /// # Errors
+    /// [`TransformError::DimensionMismatch`] on any wrong row length or
+    /// if `out.len() != rows.len() * k`. On error the contents of `out`
+    /// are unspecified.
+    fn apply_batch_into(&self, rows: &[&[f64]], out: &mut [f64]) -> Result<(), TransformError> {
+        let k = self.output_dim();
+        check_batch(self.input_dim(), k, rows, out)?;
+        for (x, dst) in rows.iter().zip(out.chunks_exact_mut(k.max(1))) {
+            self.apply_into(x, dst)?;
+        }
+        Ok(())
+    }
+
     /// Exact ℓ₁-sensitivity `∆₁ = max_j ‖S_{·,j}‖₁` (Definition 3).
     fn l1_sensitivity(&self) -> f64;
 
@@ -97,6 +117,27 @@ pub fn materialize<T: LinearTransform + ?Sized>(t: &T) -> Result<DenseMatrix, Tr
     Ok(m)
 }
 
+/// Materialize a [`StreamingColumns`] transform as an explicit `k × d`
+/// matrix via one `for_column` visit per column — `O(total nnz)` instead
+/// of the `d` full applications of [`materialize`]. Bit-identical to the
+/// slow path: every non-zero is written verbatim, every structural zero
+/// stays the `+0.0` that [`materialize`]'s basis application produces
+/// (no construction emits `-0.0` column entries, and a `-0.0` entry
+/// would round to `+0.0` under the basis sum anyway).
+///
+/// # Errors
+/// Propagates column-visit errors.
+pub fn materialize_streaming<T: StreamingColumns + ?Sized>(
+    t: &T,
+) -> Result<DenseMatrix, TransformError> {
+    let (d, k) = (t.input_dim(), t.output_dim());
+    let mut m = DenseMatrix::zeros(k, d);
+    for j in 0..d {
+        t.for_column(j, &mut |i, v| m.set(i, j, v))?;
+    }
+    Ok(m)
+}
+
 /// Shared validation helper: check a dense input length against `d`.
 pub(crate) fn check_input(expected: usize, actual: usize) -> Result<(), TransformError> {
     if expected == actual {
@@ -104,6 +145,20 @@ pub(crate) fn check_input(expected: usize, actual: usize) -> Result<(), Transfor
     } else {
         Err(TransformError::DimensionMismatch { expected, actual })
     }
+}
+
+/// Shared validation for batch application: every row must have length
+/// `d` and `out` must hold exactly `rows.len() · k` elements.
+pub(crate) fn check_batch(
+    d: usize,
+    k: usize,
+    rows: &[&[f64]],
+    out: &[f64],
+) -> Result<(), TransformError> {
+    for x in rows {
+        check_input(d, x.len())?;
+    }
+    check_input(rows.len() * k, out.len())
 }
 
 #[cfg(test)]
@@ -153,6 +208,36 @@ mod tests {
     fn default_sparse_path_matches_dense() {
         let sv = SparseVector::new(3, vec![(1, 2.0)]).unwrap();
         assert_eq!(Toy.apply_sparse(&sv).unwrap(), vec![4.0, 0.0]);
+    }
+
+    #[test]
+    fn default_batch_path_is_the_per_row_loop() {
+        let rows: Vec<Vec<f64>> = vec![
+            vec![1.0, 1.0, 5.0],
+            vec![0.0, 0.0, 0.0],
+            vec![-2.0, 0.5, 3.0],
+        ];
+        let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+        let mut out = vec![f64::NAN; 6];
+        Toy.apply_batch_into(&refs, &mut out).unwrap();
+        for (b, x) in rows.iter().enumerate() {
+            let expect = Toy.apply(x).unwrap();
+            assert_eq!(&out[b * 2..(b + 1) * 2], expect.as_slice());
+        }
+        // Empty batches are fine.
+        Toy.apply_batch_into(&[], &mut []).unwrap();
+    }
+
+    #[test]
+    fn batch_path_validates_shapes() {
+        let good = [1.0, 1.0, 5.0];
+        let bad = [1.0];
+        let mut out = vec![0.0; 4];
+        let refs: [&[f64]; 2] = [&good, &bad];
+        assert!(Toy.apply_batch_into(&refs, &mut out).is_err());
+        let refs: [&[f64]; 2] = [&good, &good];
+        assert!(Toy.apply_batch_into(&refs, &mut out[..3]).is_err());
+        Toy.apply_batch_into(&refs, &mut out).unwrap();
     }
 
     #[test]
