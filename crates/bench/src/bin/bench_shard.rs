@@ -29,7 +29,7 @@ use dp_core::sketcher::{Construction, PrivateSketcher, SketcherSpec};
 use dp_core::wire;
 use dp_engine::{QueryEngine, SketchStore};
 use dp_hashing::Seed;
-use dp_server::{Client, Endpoint, Server, WorkerEntry};
+use dp_server::{Client, CoordinatorConfig, Endpoint, Server, WorkerEntry};
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
@@ -52,6 +52,18 @@ struct GrowthMeasurement {
     ns_per_pair_incremental: f64,
     ns_per_pair_full: f64,
     incremental_over_full: f64,
+}
+
+struct ResyncMeasurement {
+    /// Rows the revived replica had to recover.
+    rows: usize,
+    /// Journal frames replayed row-by-row during the revival.
+    replayed_frames: u64,
+    /// Streamed snapshot installs during the revival (0 = cold replay).
+    snapshot_installs: u64,
+    /// Wall time of the reviving query, µs (one shot — includes the
+    /// reconnect, the resync, and the full gather).
+    us_reviving_query: f64,
 }
 
 fn scratch_socket(tag: &str) -> PathBuf {
@@ -109,6 +121,100 @@ fn with_coordinator<T>(
         let _ = std::fs::remove_file(socket);
     }
     let _ = std::fs::remove_file(&coord_socket);
+    out
+}
+
+/// Measure what a worker restart costs under a given compaction
+/// threshold: ingest `releases`, cleanly stop worker 0, restart it
+/// empty on the same socket, and time the query that revives it —
+/// with `compact_threshold` 0 the revival replays the whole journal,
+/// with a threshold it installs the compaction snapshot and replays
+/// only the suffix. The reviving matrix is verified bit-identical to
+/// `expected` before the measurement is trusted.
+fn resync_cost(
+    tag: &str,
+    spec: &SketcherSpec,
+    releases: &[Release],
+    shard_tile: usize,
+    compact_threshold: usize,
+    expected: &[f64],
+) -> ResyncMeasurement {
+    let sock_a = scratch_socket(&format!("{tag}-resync-wa"));
+    let sock_b = scratch_socket(&format!("{tag}-resync-wb"));
+    let coord_socket = scratch_socket(&format!("{tag}-resync-coord"));
+    for s in [&sock_a, &sock_b, &coord_socket] {
+        let _ = std::fs::remove_file(s);
+    }
+    let ep_a = Endpoint::Unix(sock_a.clone());
+    let ep_b = Endpoint::Unix(sock_b.clone());
+    let coord_endpoint = Endpoint::Unix(coord_socket.clone());
+    // Worker A's serve loop polls the shutdown flag on a short conn
+    // timeout so the in-process "kill" (a direct Shutdown) completes.
+    let worker_a = Server::bind(ep_a.clone(), QueryEngine::new(SketchStore::adopting()))
+        .expect("bind worker a")
+        .with_conn_timeout(Some(Duration::from_millis(200)));
+    let worker_b = Server::bind(ep_b.clone(), QueryEngine::new(SketchStore::adopting()))
+        .expect("bind worker b");
+    let timeout = Duration::from_secs(120);
+    let pool: Vec<WorkerEntry> = [&ep_a, &ep_b]
+        .iter()
+        .map(|ep| {
+            let client = Client::connect(ep).expect("connect worker");
+            client.set_read_timeout(Some(timeout)).expect("timeout");
+            WorkerEntry::reconnectable(client, (*ep).clone(), Some(timeout))
+        })
+        .collect();
+    let coordinator = Server::bind_coordinator_with(
+        coord_endpoint.clone(),
+        QueryEngine::new(SketchStore::adopting()),
+        pool,
+        CoordinatorConfig {
+            tile: shard_tile,
+            compact_threshold,
+            data_dir: None,
+        },
+    )
+    .expect("bind coordinator");
+
+    let out = std::thread::scope(|scope| {
+        let ha = scope.spawn(|| worker_a.serve(2));
+        scope.spawn(|| worker_b.serve(2));
+        let hc = scope.spawn(|| coordinator.serve(1));
+        let mut client = Client::connect(&coord_endpoint).expect("connect coordinator");
+        client.hello(spec).expect("hello");
+        for r in releases {
+            client.ingest(r).expect("ingest");
+        }
+        let direct = Client::connect(&ep_a).expect("connect worker a");
+        direct.shutdown().expect("stop worker a");
+        ha.join().expect("worker a joined");
+        let _ = std::fs::remove_file(&sock_a);
+        let worker_a2 = Server::bind(ep_a.clone(), QueryEngine::new(SketchStore::adopting()))
+            .expect("rebind worker a");
+        let ha2 = scope.spawn(move || worker_a2.serve(2));
+
+        let started = Instant::now();
+        let (_, values) = client.pairwise(&[]).expect("reviving pairwise");
+        let us = started.elapsed().as_nanos() as f64 / 1_000.0;
+        let mut identical = values.len() == expected.len();
+        for (a, b) in values.iter().zip(expected) {
+            identical &= a.to_bits() == b.to_bits();
+        }
+        assert!(identical, "reviving query diverged from the local kernel");
+        let stats = coordinator.coordinator_stats().expect("coordinator");
+        client.shutdown().expect("shutdown");
+        hc.join().expect("coordinator joined");
+        ha2.join().expect("revived worker joined");
+        ResyncMeasurement {
+            rows: releases.len(),
+            replayed_frames: stats.replayed_frames,
+            snapshot_installs: stats.snapshot_installs,
+            us_reviving_query: us,
+        }
+    });
+    for s in [&sock_a, &sock_b, &coord_socket] {
+        let _ = std::fs::remove_file(s);
+    }
     out
 }
 
@@ -276,6 +382,45 @@ fn main() {
         growth.incremental_over_full
     );
 
+    // Resync scenario: what does a worker restart cost? Cold = replay
+    // the whole journal row by row; snapshot = install the compacted
+    // store snapshot and replay only the suffix. Both revivals verify
+    // bit-identity before timing. The snapshot threshold folds the
+    // journal exactly at the ingest count, leaving an empty suffix —
+    // the best case the compactor aims for.
+    let cold = resync_cost(
+        "cold",
+        &spec,
+        releases,
+        shard_tile,
+        0,
+        local_matrix.as_flat(),
+    );
+    let snap = resync_cost(
+        "snap",
+        &spec,
+        releases,
+        shard_tile,
+        rows / 3,
+        local_matrix.as_flat(),
+    );
+    println!(
+        "resync {rows} rows: cold replay {} frames in {:9.1} µs vs snapshot install \
+         ({} install(s), {} suffix frames) in {:9.1} µs",
+        cold.replayed_frames,
+        cold.us_reviving_query,
+        snap.snapshot_installs,
+        snap.replayed_frames,
+        snap.us_reviving_query,
+    );
+    let snapshot_resync_wins = snap.snapshot_installs >= 1
+        && cold.snapshot_installs == 0
+        && snap.replayed_frames < cold.replayed_frames;
+    println!(
+        "CHECK [{}] snapshot resync replays strictly fewer frames than cold replay",
+        if snapshot_resync_wins { "PASS" } else { "FAIL" }
+    );
+
     println!(
         "CHECK [{}] every sharded matrix bit-identical to the local kernel",
         if all_identical { "PASS" } else { "FAIL" }
@@ -344,6 +489,36 @@ fn main() {
                 (
                     "incremental_over_full".to_string(),
                     JsonValue::Number(growth.incremental_over_full),
+                ),
+            ]),
+        ),
+        (
+            "resync".to_string(),
+            JsonValue::Object(vec![
+                ("rows".to_string(), JsonValue::UInt(cold.rows as u64)),
+                (
+                    "cold_replayed_frames".to_string(),
+                    JsonValue::UInt(cold.replayed_frames),
+                ),
+                (
+                    "us_cold_resync".to_string(),
+                    JsonValue::Number(cold.us_reviving_query),
+                ),
+                (
+                    "snapshot_installs".to_string(),
+                    JsonValue::UInt(snap.snapshot_installs),
+                ),
+                (
+                    "snapshot_suffix_frames".to_string(),
+                    JsonValue::UInt(snap.replayed_frames),
+                ),
+                (
+                    "us_snapshot_resync".to_string(),
+                    JsonValue::Number(snap.us_reviving_query),
+                ),
+                (
+                    "snapshot_over_cold".to_string(),
+                    JsonValue::Number(snap.us_reviving_query / cold.us_reviving_query),
                 ),
             ]),
         ),

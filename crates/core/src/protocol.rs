@@ -51,6 +51,15 @@
 //!                          answered with a *stream* of TileResultPart
 //!                          frames, one per tile, closed by one
 //!                          TileResultSummary
+//! FetchSnapshot       10   have_rows (u64), part_len (u32, 0 = server
+//!                          default) — answered with a stream of
+//!                          SnapshotPart frames closed by one
+//!                          SnapshotSummary
+//! SnapshotPart        11   seq (u64), layer (u8), chunk (bytes) —
+//!                          pushed coordinator→worker, unacknowledged
+//! SnapshotSummary     12   generation (u64), rows (u64), count (u64),
+//!                          total_len (u64), checksum (u64) — closes a
+//!                          push; answered with one Hello (or Error)
 //!
 //! response           kind  body
 //! ─────────────────  ────  ──────────────────────────────────────────
@@ -69,6 +78,9 @@
 //! TileResultPart      10   rows (u64), tile (u32), ONE segment
 //! TileResultSummary   11   rows (u64), tile (u32), part count (u64),
 //!                          stream checksum (u64, see below)
+//! SnapshotPart        12   seq (u64), layer (u8), chunk (bytes)
+//! SnapshotSummary     13   generation (u64), rows (u64), count (u64),
+//!                          total_len (u64), checksum (u64)
 //! ```
 //!
 //! A server answers every request with exactly one response — except
@@ -115,6 +127,29 @@
 //! corruption inside a part; the summary digest catches a lost,
 //! duplicated, or reordered part, so a gather fed from the stream is
 //! exactly as trustworthy as one fed from a monolithic `TileResult`.
+//!
+//! ## Snapshot resync
+//!
+//! Replicated state moves as **snapshot + journal suffix** under
+//! [`CAP_SNAPSHOT`], in two directions sharing one part grammar:
+//!
+//! * **Pull** — `FetchSnapshot { have_rows, part_len }` asks a server
+//!   to bring the caller up to date from `have_rows`. The answer is a
+//!   stream of `Response::SnapshotPart` frames — each a `seq` number, a
+//!   `layer` byte ([`SNAPSHOT_LAYER_STORE`] for a chunk of an encoded
+//!   `SketchStore` snapshot, [`SNAPSHOT_LAYER_JOURNAL`] for one raw
+//!   `DPRL` release frame of the journal suffix) and an opaque chunk —
+//!   closed by one `Response::SnapshotSummary` carrying the part count,
+//!   the total chunk byte length, the server's engine generation and
+//!   row count, and the folded stream digest
+//!   ([`snapshot_stream_checksum`], same discipline as the tile
+//!   stream). A caller already at the tip receives zero parts.
+//! * **Push** — a coordinator reviving a worker whose rows predate the
+//!   compacted journal sends `Request::SnapshotPart` frames
+//!   (unacknowledged) closed by one `Request::SnapshotSummary`; the
+//!   worker verifies count/length/digest, installs the decoded store,
+//!   and answers with exactly one `Hello` (or `Error`). The journal
+//!   suffix then replays over ordinary `Ingest` frames.
 
 use crate::error::CoreError;
 use crate::wire::{fnv1a64, fnv1a64_update, CHECKSUM_LEN};
@@ -146,6 +181,20 @@ pub const CAP_TILE_STREAM: u32 = 1;
 /// client must not ship f32 frames to a server whose `Hello` did not
 /// advertise this bit.
 pub const CAP_SKETCH_F32: u32 = 2;
+
+/// Capability bit: the peer speaks the snapshot resync mode
+/// (`FetchSnapshot` → `SnapshotPart`* + `SnapshotSummary`, and the
+/// coordinator→worker push-install direction). A peer must not send
+/// snapshot frames to a server whose `Hello` did not advertise it.
+pub const CAP_SNAPSHOT: u32 = 4;
+
+/// `SnapshotPart` layer byte: the chunk is a slice of an encoded
+/// `SketchStore` snapshot (`DPSS`); chunks concatenate in `seq` order.
+pub const SNAPSHOT_LAYER_STORE: u8 = 0;
+
+/// `SnapshotPart` layer byte: the chunk is one raw `DPRL` release frame
+/// of the journal suffix, to be replayed after the store layer.
+pub const SNAPSHOT_LAYER_JOURNAL: u8 = 1;
 
 /// Upper bound on a single frame payload (64 MiB): a hostile or garbled
 /// length prefix must not be able to demand an unbounded allocation.
@@ -250,6 +299,47 @@ pub enum Request {
         /// Stable tile ids to execute, in the requested order.
         tile_ids: Vec<u64>,
     },
+    /// Bring the caller up to date from `have_rows`: answered with a
+    /// stream of [`Response::SnapshotPart`] frames closed by one
+    /// [`Response::SnapshotSummary`] (or a single `Error`). Only valid
+    /// against a server whose `Hello` advertised [`CAP_SNAPSHOT`].
+    FetchSnapshot {
+        /// Rows the caller already holds; the server streams only what
+        /// lies beyond them (or a full store snapshot if the journal no
+        /// longer reaches back that far).
+        have_rows: u64,
+        /// Preferred chunk size in bytes for store-layer parts; 0 asks
+        /// for the server's default.
+        part_len: u32,
+    },
+    /// One pushed chunk of a coordinator→worker snapshot install
+    /// (unacknowledged; the closing [`Request::SnapshotSummary`] is
+    /// what gets answered).
+    SnapshotPart {
+        /// Zero-based position of this part in the push stream.
+        seq: u64,
+        /// [`SNAPSHOT_LAYER_STORE`] or [`SNAPSHOT_LAYER_JOURNAL`].
+        layer: u8,
+        /// The opaque chunk bytes.
+        chunk: Vec<u8>,
+    },
+    /// Closes a pushed snapshot install: the worker verifies the part
+    /// count, total length, and folded digest, installs the decoded
+    /// store plus journal suffix, and answers with exactly one
+    /// [`Response::Hello`] (or `Error`).
+    SnapshotSummary {
+        /// The engine generation the snapshot was encoded under.
+        generation: u64,
+        /// Rows the installed state must end up holding.
+        rows: u64,
+        /// Number of `SnapshotPart` frames that preceded this one.
+        count: u64,
+        /// Total chunk bytes across every part.
+        total_len: u64,
+        /// FNV-1a-64 folded over every part in transmission order
+        /// ([`snapshot_stream_checksum`]).
+        checksum: u64,
+    },
 }
 
 /// A server-to-client frame.
@@ -343,6 +433,31 @@ pub enum Response {
         /// FNV-1a-64 folded over every part in transmission order.
         checksum: u64,
     },
+    /// One chunk of a streamed [`Request::FetchSnapshot`] answer.
+    SnapshotPart {
+        /// Zero-based position of this part in the stream.
+        seq: u64,
+        /// [`SNAPSHOT_LAYER_STORE`] or [`SNAPSHOT_LAYER_JOURNAL`].
+        layer: u8,
+        /// The opaque chunk bytes.
+        chunk: Vec<u8>,
+    },
+    /// Terminates a streamed snapshot answer: the part count, total
+    /// chunk byte length, the folded stream digest
+    /// ([`snapshot_stream_checksum`]), and where the server's state
+    /// stands (generation + rows) once every part is applied.
+    SnapshotSummary {
+        /// The engine generation the snapshot was encoded under.
+        generation: u64,
+        /// Rows the server held when it answered.
+        rows: u64,
+        /// Number of `SnapshotPart` frames that preceded this one.
+        count: u64,
+        /// Total chunk bytes across every part.
+        total_len: u64,
+        /// FNV-1a-64 folded over every part in transmission order.
+        checksum: u64,
+    },
 }
 
 /// Fold one streamed tile segment into the running stream digest: the
@@ -357,6 +472,20 @@ pub fn tile_stream_checksum(h: u64, segment: &TileSegment) -> u64 {
         h = fnv1a64_update(h, &v.to_le_bytes());
     }
     h
+}
+
+/// Fold one snapshot part into the running stream digest: the `seq` as
+/// 8 LE bytes, the `layer` byte, then the chunk bytes — applied part by
+/// part in transmission order, starting from
+/// [`FNV1A64_INIT`](crate::wire::FNV1A64_INIT). Sender and receiver
+/// compute it independently; the summary frame carries the sender's,
+/// so a lost, duplicated, reordered, or layer-confused part is always
+/// caught.
+#[must_use]
+pub fn snapshot_stream_checksum(h: u64, seq: u64, layer: u8, chunk: &[u8]) -> u64 {
+    let h = fnv1a64_update(h, &seq.to_le_bytes());
+    let h = fnv1a64_update(h, &[layer]);
+    fnv1a64_update(h, chunk)
 }
 
 // ---------------------------------------------------------------------
@@ -401,6 +530,14 @@ fn header(magic: [u8; 4], kind: u8) -> Vec<u8> {
     out.push(kind);
     out
 }
+
+// dp-lint: freeze(protocol-frame-codec) begin
+//
+// The kind bytes and field order below are load-bearing beyond the
+// live wire: coordinator journals persist encoded `Ingest` requests to
+// disk, and resync streams replay them against future servers.
+// Changing an existing arm breaks every stored journal; new frames
+// append new kinds.
 
 /// Encode a request into a v3 payload (no length prefix; see
 /// [`write_frame`]).
@@ -468,6 +605,34 @@ pub fn encode_request(req: &Request) -> Result<Vec<u8>, CoreError> {
             for id in tile_ids {
                 out.extend_from_slice(&id.to_le_bytes());
             }
+        }
+        Request::FetchSnapshot {
+            have_rows,
+            part_len,
+        } => {
+            out = header(REQUEST_MAGIC, 10);
+            out.extend_from_slice(&have_rows.to_le_bytes());
+            out.extend_from_slice(&part_len.to_le_bytes());
+        }
+        Request::SnapshotPart { seq, layer, chunk } => {
+            out = header(REQUEST_MAGIC, 11);
+            out.extend_from_slice(&seq.to_le_bytes());
+            out.push(*layer);
+            put_bytes(&mut out, chunk)?;
+        }
+        Request::SnapshotSummary {
+            generation,
+            rows,
+            count,
+            total_len,
+            checksum,
+        } => {
+            out = header(REQUEST_MAGIC, 12);
+            out.extend_from_slice(&generation.to_le_bytes());
+            out.extend_from_slice(&rows.to_le_bytes());
+            out.extend_from_slice(&count.to_le_bytes());
+            out.extend_from_slice(&total_len.to_le_bytes());
+            out.extend_from_slice(&checksum.to_le_bytes());
         }
     }
     Ok(seal(out))
@@ -591,9 +756,30 @@ pub fn encode_response(resp: &Response) -> Result<Vec<u8>, CoreError> {
             out.extend_from_slice(&count.to_le_bytes());
             out.extend_from_slice(&checksum.to_le_bytes());
         }
+        Response::SnapshotPart { seq, layer, chunk } => {
+            out = header(RESPONSE_MAGIC, 12);
+            out.extend_from_slice(&seq.to_le_bytes());
+            out.push(*layer);
+            put_bytes(&mut out, chunk)?;
+        }
+        Response::SnapshotSummary {
+            generation,
+            rows,
+            count,
+            total_len,
+            checksum,
+        } => {
+            out = header(RESPONSE_MAGIC, 13);
+            out.extend_from_slice(&generation.to_le_bytes());
+            out.extend_from_slice(&rows.to_le_bytes());
+            out.extend_from_slice(&count.to_le_bytes());
+            out.extend_from_slice(&total_len.to_le_bytes());
+            out.extend_from_slice(&checksum.to_le_bytes());
+        }
     }
     Ok(seal(out))
 }
+// dp-lint: freeze(protocol-frame-codec) end
 
 // ---------------------------------------------------------------------
 // Decoding
@@ -760,11 +946,40 @@ pub fn decode_request(bytes: &[u8]) -> Result<Request, CoreError> {
                 }
             }
         }
+        10 => Request::FetchSnapshot {
+            have_rows: r.u64()?,
+            part_len: r.u32()?,
+        },
+        11 => {
+            let seq = r.u64()?;
+            let layer = snapshot_layer(&mut r)?;
+            Request::SnapshotPart {
+                seq,
+                layer,
+                chunk: r.bytes_field()?.to_vec(),
+            }
+        }
+        12 => Request::SnapshotSummary {
+            generation: r.u64()?,
+            rows: r.u64()?,
+            count: r.u64()?,
+            total_len: r.u64()?,
+            checksum: r.u64()?,
+        },
         other => {
             return Err(CoreError::Wire(format!("unknown request kind {other}")));
         }
     };
     finish(r, req)
+}
+
+/// Read and validate a `SnapshotPart` layer byte.
+fn snapshot_layer(r: &mut Reader<'_>) -> Result<u8, CoreError> {
+    let layer = r.take(1)?[0];
+    if layer != SNAPSHOT_LAYER_STORE && layer != SNAPSHOT_LAYER_JOURNAL {
+        return Err(CoreError::Wire(format!("unknown snapshot layer {layer}")));
+    }
+    Ok(layer)
 }
 
 /// Decode a response payload.
@@ -872,6 +1087,22 @@ pub fn decode_response(bytes: &[u8]) -> Result<Response, CoreError> {
             count: r.u64()?,
             checksum: r.u64()?,
         },
+        12 => {
+            let seq = r.u64()?;
+            let layer = snapshot_layer(&mut r)?;
+            Response::SnapshotPart {
+                seq,
+                layer,
+                chunk: r.bytes_field()?.to_vec(),
+            }
+        }
+        13 => Response::SnapshotSummary {
+            generation: r.u64()?,
+            rows: r.u64()?,
+            count: r.u64()?,
+            total_len: r.u64()?,
+            checksum: r.u64()?,
+        },
         other => {
             return Err(CoreError::Wire(format!("unknown response kind {other}")));
         }
@@ -972,6 +1203,31 @@ mod tests {
                 tile: 4,
                 tile_ids: vec![5, 0],
             },
+            Request::FetchSnapshot {
+                have_rows: 12,
+                part_len: 0,
+            },
+            Request::FetchSnapshot {
+                have_rows: 0,
+                part_len: 4096,
+            },
+            Request::SnapshotPart {
+                seq: 2,
+                layer: SNAPSHOT_LAYER_STORE,
+                chunk: vec![0xDE, 0xAD, 0xBE],
+            },
+            Request::SnapshotPart {
+                seq: 0,
+                layer: SNAPSHOT_LAYER_JOURNAL,
+                chunk: vec![],
+            },
+            Request::SnapshotSummary {
+                generation: 3,
+                rows: 17,
+                count: 4,
+                total_len: 65536,
+                checksum: 0x0123_4567_89ab_cdef,
+            },
         ]
     }
 
@@ -1032,6 +1288,18 @@ mod tests {
                 tile: 4,
                 count: 3,
                 checksum: 0xdead_beef_cafe_f00d,
+            },
+            Response::SnapshotPart {
+                seq: 1,
+                layer: SNAPSHOT_LAYER_JOURNAL,
+                chunk: vec![7, 7, 7, 7],
+            },
+            Response::SnapshotSummary {
+                generation: 2,
+                rows: 17,
+                count: 0,
+                total_len: 0,
+                checksum: 0xcbf2_9ce4_8422_2325,
             },
         ]
     }
@@ -1151,6 +1419,49 @@ mod tests {
         bytes.extend_from_slice(&u32::MAX.to_le_bytes());
         let bytes = seal(bytes);
         assert!(matches!(decode_response(&bytes), Err(CoreError::Wire(_))));
+        // A snapshot part declaring a huge chunk with no bytes present,
+        // in both directions.
+        for (magic, kind) in [(REQUEST_MAGIC, 11u8), (RESPONSE_MAGIC, 12u8)] {
+            let mut bytes = header(magic, kind);
+            bytes.extend_from_slice(&0u64.to_le_bytes()); // seq
+            bytes.push(SNAPSHOT_LAYER_STORE);
+            bytes.extend_from_slice(&u32::MAX.to_le_bytes()); // hostile len
+            let bytes = seal(bytes);
+            let rejected = if magic == REQUEST_MAGIC {
+                decode_request(&bytes).is_err()
+            } else {
+                decode_response(&bytes).is_err()
+            };
+            assert!(rejected, "kind {kind}");
+        }
+    }
+
+    #[test]
+    fn unknown_snapshot_layer_is_rejected() {
+        let mut bytes = header(REQUEST_MAGIC, 11);
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        bytes.push(2); // no such layer
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        let bytes = seal(bytes);
+        assert!(matches!(decode_request(&bytes), Err(CoreError::Wire(_))));
+    }
+
+    #[test]
+    fn snapshot_stream_checksum_is_order_layer_and_content_sensitive() {
+        let base = snapshot_stream_checksum(FNV1A64_INIT, 0, SNAPSHOT_LAYER_STORE, b"abc");
+        let two = snapshot_stream_checksum(base, 1, SNAPSHOT_LAYER_JOURNAL, b"def");
+        let swapped = snapshot_stream_checksum(
+            snapshot_stream_checksum(FNV1A64_INIT, 1, SNAPSHOT_LAYER_JOURNAL, b"def"),
+            0,
+            SNAPSHOT_LAYER_STORE,
+            b"abc",
+        );
+        assert_ne!(two, swapped, "reordered parts must change the digest");
+        assert_ne!(two, base, "a dropped part must change the digest");
+        let relayered = snapshot_stream_checksum(FNV1A64_INIT, 0, SNAPSHOT_LAYER_JOURNAL, b"abc");
+        assert_ne!(base, relayered, "a layer flip must change the digest");
+        let mutated = snapshot_stream_checksum(FNV1A64_INIT, 0, SNAPSHOT_LAYER_STORE, b"abd");
+        assert_ne!(base, mutated, "a mutated chunk must change the digest");
     }
 
     #[test]

@@ -142,6 +142,14 @@ pub fn encoded_len_f32(tag_len: usize, k: usize) -> usize {
     4 + 1 + 2 + tag_len + 8 + 8 + 4 + 4 * k + CHECKSUM_LEN
 }
 
+// dp-lint: freeze(sketch-wire-codec) begin
+//
+// The byte layout both sketch encoders emit IS the replication
+// contract: journaled ingest frames, disk journals, and store
+// snapshots all embed these bytes verbatim, so any layout change
+// silently corrupts every persisted journal. Bump the wire version and
+// add a new encoder instead of editing these.
+
 /// Encode a sketch into the binary wire format.
 ///
 /// # Errors
@@ -204,6 +212,7 @@ fn encode_header(
     out.extend_from_slice(&k.to_le_bytes());
     Ok(out)
 }
+// dp-lint: freeze(sketch-wire-codec) end
 
 /// Decode a sketch, interning nothing (each call allocates its tag).
 ///

@@ -11,12 +11,19 @@
 //! repeated ingest allocation-free for tags.
 
 use crate::error::EngineError;
+use dp_core::error::CoreError;
 use dp_core::release::{parse_release_bytes, Release};
 use dp_core::sketcher::{PrivateSketcher, SketcherSpec};
-use dp_core::wire::TagInterner;
+use dp_core::wire::{fnv1a64, TagInterner, CHECKSUM_LEN};
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::Arc;
+
+/// Magic prefix of a binary store snapshot (`DPSS`).
+pub const SNAPSHOT_MAGIC: [u8; 4] = *b"DPSS";
+
+/// Current snapshot layout version.
+pub const SNAPSHOT_VERSION: u8 = 1;
 
 /// A multiply-mix hasher for the party-id index (ids are `u64`s on the
 /// hot point-query path, where SipHash costs more than the distance
@@ -394,5 +401,406 @@ impl SketchStore {
         let mut scratch = TagInterner::new();
         let release = parse_release_bytes(bytes, &mut scratch)?;
         self.ingest(&release)
+    }
+
+    // dp-lint: freeze(snapshot-codec-v1) begin
+    /// Serialize the whole store as one self-validating binary snapshot:
+    /// magic, version, optional spec JSON, optional identity (tag + k),
+    /// the caller's engine `generation`, and the flat per-row arenas
+    /// (values, noise moments, party ids) with an FNV-1a-64 trailer.
+    ///
+    /// Values ship as exact `f64` bit patterns, so a decoded store is
+    /// **bit-identical** to the original — including rows that arrived
+    /// over the quantized f32 wire (the store already holds their
+    /// dequantized coordinates).
+    #[must_use]
+    pub fn encode_snapshot(&self, generation: u64) -> Vec<u8> {
+        let n = self.n();
+        let k = self.identity.as_ref().map_or(0, |i| i.k);
+        let mut out = Vec::with_capacity(64 + n * (k + 3) * 8 + n * 8);
+        out.extend_from_slice(&SNAPSHOT_MAGIC);
+        out.push(SNAPSHOT_VERSION);
+        match &self.spec {
+            Some(spec) => {
+                out.push(1);
+                let json = spec.to_json();
+                out.extend_from_slice(&(json.len() as u32).to_le_bytes());
+                out.extend_from_slice(json.as_bytes());
+            }
+            None => out.push(0),
+        }
+        match &self.identity {
+            Some(identity) => {
+                out.push(1);
+                out.extend_from_slice(&(identity.tag.len() as u32).to_le_bytes());
+                out.extend_from_slice(identity.tag.as_bytes());
+                out.extend_from_slice(&(identity.k as u32).to_le_bytes());
+            }
+            None => out.push(0),
+        }
+        out.extend_from_slice(&generation.to_le_bytes());
+        out.extend_from_slice(&(n as u64).to_le_bytes());
+        for v in &self.values {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        for m in &self.m2 {
+            out.extend_from_slice(&m.to_le_bytes());
+        }
+        for m in &self.m4 {
+            out.extend_from_slice(&m.to_le_bytes());
+        }
+        for id in &self.party_ids {
+            out.extend_from_slice(&id.to_le_bytes());
+        }
+        let checksum = fnv1a64(&out);
+        out.extend_from_slice(&checksum.to_le_bytes());
+        out
+    }
+    // dp-lint: freeze(snapshot-codec-v1) end
+
+    /// Decode a snapshot produced by [`SketchStore::encode_snapshot`],
+    /// returning the rebuilt store and the generation it carried.
+    ///
+    /// Derived state (party index, moment bounds, hoisted debias
+    /// constants, the uniform-debias flag) is rebuilt by replaying every
+    /// row through [`SketchStore::ingest_row`] — the same code the rows
+    /// originally passed — so the result is bit-identical to the source
+    /// store, positional duplicates and first-wins index included.
+    ///
+    /// # Errors
+    /// [`EngineError::Core`] with [`CoreError::ChecksumMismatch`] on a
+    /// corrupted trailer, or [`CoreError::Wire`] on any structural
+    /// defect (bad magic/version, truncation, length inconsistencies,
+    /// non-finite floats). Hostile row counts are bounded against the
+    /// actual byte length before any allocation.
+    pub fn decode_snapshot(bytes: &[u8]) -> Result<(Self, u64), EngineError> {
+        let wire = |why: String| EngineError::Core(CoreError::Wire(why));
+        let min = SNAPSHOT_MAGIC.len() + 1 + 2 + 8 + 8 + CHECKSUM_LEN;
+        if bytes.len() < min {
+            return Err(wire(format!("snapshot too short: {} bytes", bytes.len())));
+        }
+        let (covered, trailer) = bytes.split_at(bytes.len() - CHECKSUM_LEN);
+        let stored = u64::from_le_bytes(trailer.try_into().expect("8-byte trailer"));
+        let computed = fnv1a64(covered);
+        if stored != computed {
+            return Err(EngineError::Core(CoreError::ChecksumMismatch {
+                stored,
+                computed,
+            }));
+        }
+        struct Cursor<'a> {
+            bytes: &'a [u8],
+            pos: usize,
+        }
+        impl<'a> Cursor<'a> {
+            fn take(&mut self, len: usize, what: &str) -> Result<&'a [u8], EngineError> {
+                let end = self
+                    .pos
+                    .checked_add(len)
+                    .filter(|&e| e <= self.bytes.len())
+                    .ok_or_else(|| {
+                        EngineError::Core(CoreError::Wire(format!(
+                            "snapshot truncated reading {what}"
+                        )))
+                    })?;
+                let slice = &self.bytes[self.pos..end];
+                self.pos = end;
+                Ok(slice)
+            }
+
+            fn u32(&mut self, what: &str) -> Result<usize, EngineError> {
+                let raw = self.take(4, what)?;
+                Ok(u32::from_le_bytes(raw.try_into().expect("4 bytes")) as usize)
+            }
+
+            fn u64(&mut self, what: &str) -> Result<u64, EngineError> {
+                let raw = self.take(8, what)?;
+                Ok(u64::from_le_bytes(raw.try_into().expect("8 bytes")))
+            }
+
+            fn f64s(&mut self, count: usize, what: &str) -> Result<Vec<f64>, EngineError> {
+                let raw = self.take(count * 8, what)?;
+                let mut out = Vec::with_capacity(count);
+                for chunk in raw.chunks_exact(8) {
+                    let v = f64::from_le_bytes(chunk.try_into().expect("8 bytes"));
+                    if !v.is_finite() {
+                        return Err(EngineError::Core(CoreError::Wire(format!(
+                            "non-finite value in snapshot {what}"
+                        ))));
+                    }
+                    out.push(v);
+                }
+                Ok(out)
+            }
+        }
+        let mut r = Cursor {
+            bytes: covered,
+            pos: 0,
+        };
+        if r.take(4, "magic")? != SNAPSHOT_MAGIC {
+            return Err(wire("not a DPSS snapshot".to_string()));
+        }
+        let version = r.take(1, "version")?[0];
+        if version != SNAPSHOT_VERSION {
+            return Err(wire(format!("unsupported snapshot version {version}")));
+        }
+        let spec = match r.take(1, "spec flag")?[0] {
+            0 => None,
+            1 => {
+                let len = r.u32("spec length")?;
+                let json = std::str::from_utf8(r.take(len, "spec JSON")?)
+                    .map_err(|_| wire("spec JSON is not UTF-8".to_string()))?;
+                Some(SketcherSpec::from_json(json)?)
+            }
+            other => return Err(wire(format!("bad spec flag {other}"))),
+        };
+        let identity = match r.take(1, "identity flag")?[0] {
+            0 => None,
+            1 => {
+                let len = r.u32("tag length")?;
+                let tag = std::str::from_utf8(r.take(len, "tag")?)
+                    .map_err(|_| wire("tag is not UTF-8".to_string()))?
+                    .to_string();
+                let k = r.u32("k")?;
+                Some((tag, k))
+            }
+            other => return Err(wire(format!("bad identity flag {other}"))),
+        };
+        let generation = r.u64("generation")?;
+        let n = r.u64("row count")? as usize;
+        let k = identity.as_ref().map_or(0, |(_, k)| *k);
+        // Bound the row count by the bytes actually present before any
+        // allocation: rows cost (k + 2) f64s + one u64 each.
+        let per_row = k
+            .checked_add(3)
+            .and_then(|w| w.checked_mul(8))
+            .ok_or_else(|| wire(format!("sketch dimension {k} overflows")))?;
+        let body = n
+            .checked_mul(per_row)
+            .ok_or_else(|| wire(format!("row count {n} overflows")))?;
+        if covered.len() - r.pos != body {
+            return Err(wire(format!(
+                "snapshot body is {} bytes, expected {body} for {n} rows of k={k}",
+                covered.len() - r.pos
+            )));
+        }
+        if n > 0 && identity.is_none() {
+            return Err(wire("rows present without an identity".to_string()));
+        }
+        let mut store = match spec {
+            Some(spec) => Self::with_spec(spec)?,
+            None => Self::adopting(),
+        };
+        if let Some((tag, k)) = &identity {
+            match &store.identity {
+                Some(built) => {
+                    if &*built.tag != tag.as_str() || built.k != *k {
+                        return Err(wire(format!(
+                            "snapshot identity '{tag}' (k={k}) disagrees with its spec \
+                             '{}' (k={})",
+                            built.tag, built.k
+                        )));
+                    }
+                }
+                None => {
+                    let tag = store.interner.intern(tag);
+                    store.identity = Some(Identity { tag, k: *k });
+                }
+            }
+        }
+        let values = r.f64s(n * k, "values")?;
+        let m2 = r.f64s(n, "second moments")?;
+        let m4 = r.f64s(n, "fourth moments")?;
+        let raw_ids = r.take(n * 8, "party ids")?;
+        let party_ids: Vec<u64> = raw_ids
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+            .collect();
+        let tag = store
+            .identity
+            .as_ref()
+            .map(|i| Arc::clone(&i.tag))
+            .unwrap_or_else(|| Arc::from(""));
+        for row in 0..n {
+            let sketch = dp_core::NoisySketch::new(
+                values[row * k..(row + 1) * k].to_vec(),
+                Arc::clone(&tag),
+                m2[row],
+                m4[row],
+            );
+            store
+                .ingest_row(&Release {
+                    party_id: party_ids[row],
+                    sketch,
+                })
+                .map_err(|e| wire(format!("snapshot row {row} rejected on replay: {e}")))?;
+        }
+        Ok((store, generation))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_core::config::SketchConfig;
+    use dp_core::sketcher::Construction;
+    use dp_hashing::Seed;
+
+    fn spec(d: usize) -> SketcherSpec {
+        let config = SketchConfig::builder()
+            .input_dim(d)
+            .alpha(0.3)
+            .beta(0.1)
+            .epsilon(1.5)
+            .build()
+            .unwrap();
+        SketcherSpec::new(Construction::SjltAuto, config, Seed::new(7))
+    }
+
+    fn releases(n: usize, d: usize) -> Vec<Release> {
+        let sk = spec(d).build().unwrap();
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| (0..d).map(|j| ((i * d + j) % 7) as f64 - 3.0).collect())
+            .collect();
+        sk.sketch_batch(&rows, Seed::new(500))
+            .unwrap()
+            .into_iter()
+            .enumerate()
+            .map(|(i, sketch)| Release {
+                party_id: 100 + i as u64,
+                sketch,
+            })
+            .collect()
+    }
+
+    fn loaded_store(with_spec: bool, n: usize) -> SketchStore {
+        let mut store = if with_spec {
+            SketchStore::with_spec(spec(24)).unwrap()
+        } else {
+            SketchStore::adopting()
+        };
+        for r in releases(n, 24) {
+            store.ingest(&r).unwrap();
+        }
+        store
+    }
+
+    fn assert_stores_bit_identical(a: &SketchStore, b: &SketchStore) {
+        assert_eq!(a.n(), b.n());
+        assert_eq!(a.k(), b.k());
+        assert_eq!(a.tag(), b.tag());
+        assert_eq!(a.party_ids(), b.party_ids());
+        assert_eq!(a.debias_uniform(), b.debias_uniform());
+        assert_eq!(
+            a.spec().map(SketcherSpec::to_json),
+            b.spec().map(SketcherSpec::to_json)
+        );
+        for row in 0..a.n() {
+            let (va, vb) = (a.row_values(row), b.row_values(row));
+            assert_eq!(va.len(), vb.len());
+            for (x, y) in va.iter().zip(vb) {
+                assert_eq!(x.to_bits(), y.to_bits(), "row {row}");
+            }
+            assert_eq!(a.debias_at(row).to_bits(), b.debias_at(row).to_bits());
+            assert_eq!(a.sketch_at(row), b.sketch_at(row));
+        }
+        for &id in a.party_ids() {
+            assert_eq!(a.row_of(id), b.row_of(id), "index for party {id}");
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrips_bit_identically() {
+        for with_spec in [true, false] {
+            for n in [0usize, 1, 5] {
+                let store = loaded_store(with_spec, n);
+                let bytes = store.encode_snapshot(42);
+                let (back, generation) = SketchStore::decode_snapshot(&bytes).unwrap();
+                assert_eq!(generation, 42, "spec={with_spec} n={n}");
+                assert_stores_bit_identical(&store, &back);
+                // Re-encoding the decoded store is byte-identical: the
+                // codec is a fixed point, which is what lets the disk
+                // and wire layers compare snapshots by bytes.
+                assert_eq!(back.encode_snapshot(42), bytes);
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_preserves_positional_duplicates_and_first_wins_index() {
+        let mut store = SketchStore::adopting();
+        let rels = releases(3, 24);
+        store.ingest_row(&rels[0]).unwrap();
+        store.ingest_row(&rels[1]).unwrap();
+        // Same party id again, positionally appended (lenient path).
+        let dup = Release {
+            party_id: rels[0].party_id,
+            sketch: rels[2].sketch.clone(),
+        };
+        store.ingest_row(&dup).unwrap();
+        assert_eq!(store.n(), 3);
+        assert_eq!(store.row_of(rels[0].party_id), Some(0));
+        let bytes = store.encode_snapshot(1);
+        let (back, _) = SketchStore::decode_snapshot(&bytes).unwrap();
+        assert_stores_bit_identical(&store, &back);
+        assert_eq!(back.row_of(rels[0].party_id), Some(0));
+    }
+
+    #[test]
+    fn every_single_byte_corruption_is_rejected() {
+        let store = loaded_store(true, 2);
+        let bytes = store.encode_snapshot(7);
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x01;
+            assert!(
+                SketchStore::decode_snapshot(&bad).is_err(),
+                "byte {i} of {} decoded",
+                bytes.len()
+            );
+        }
+        for cut in 0..bytes.len() {
+            assert!(
+                SketchStore::decode_snapshot(&bytes[..cut]).is_err(),
+                "truncation at {cut} decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn hostile_row_counts_are_bounded_before_allocation() {
+        // A hand-built frame claiming u64::MAX rows with a valid
+        // checksum must fail on the length equation, not attempt a
+        // multi-exabyte allocation.
+        let mut raw = Vec::new();
+        raw.extend_from_slice(&SNAPSHOT_MAGIC);
+        raw.push(SNAPSHOT_VERSION);
+        raw.push(0); // no spec
+        raw.push(1); // identity
+        raw.extend_from_slice(&3u32.to_le_bytes());
+        raw.extend_from_slice(b"tag");
+        raw.extend_from_slice(&8u32.to_le_bytes()); // k = 8
+        raw.extend_from_slice(&0u64.to_le_bytes()); // generation
+        raw.extend_from_slice(&u64::MAX.to_le_bytes()); // hostile n
+        let checksum = fnv1a64(&raw);
+        raw.extend_from_slice(&checksum.to_le_bytes());
+        let err = SketchStore::decode_snapshot(&raw).unwrap_err();
+        assert!(
+            matches!(err, EngineError::Core(CoreError::Wire(_))),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn checksum_mismatch_is_a_typed_error() {
+        let store = loaded_store(false, 2);
+        let mut bytes = store.encode_snapshot(0);
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        let err = SketchStore::decode_snapshot(&bytes).unwrap_err();
+        assert!(
+            matches!(err, EngineError::Core(CoreError::ChecksumMismatch { .. })),
+            "{err}"
+        );
     }
 }

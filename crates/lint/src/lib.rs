@@ -92,6 +92,9 @@ pub const REQUIRED_FREEZE_REGIONS: &[&str] = &[
     "estimator-sq-distance",
     "pairwise-reference",
     "sketch-batch-v1",
+    "sketch-wire-codec",
+    "protocol-frame-codec",
+    "snapshot-codec-v1",
 ];
 
 /// The protocol definition the exhaustiveness rule parses.

@@ -21,8 +21,14 @@ use crate::stats::ReactorStats;
 use crate::sys::{poll_fds, PollFd, POLLERR, POLLHUP, POLLIN, POLLNVAL, POLLOUT};
 use std::io::{self, Read, Write};
 use std::os::fd::AsRawFd;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::time::Duration;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Source of reactor-wide unique connection ids: every accepted
+/// connection gets one, across every loop and listener in the process,
+/// so a [`FrameService`] keeping per-connection state (e.g. a staged
+/// snapshot install) can key it without collisions.
+static NEXT_CONN_ID: AtomicU64 = AtomicU64::new(1);
 
 /// What a [`FrameService`] tells the reactor after handling a frame.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,15 +67,23 @@ impl ServiceReply {
 pub trait FrameService: Sync {
     /// Handle one complete request payload (the bytes after the length
     /// prefix), returning reply frames and the connection disposition.
-    /// Malformed payloads are the service's to answer (e.g. with a
-    /// typed error frame) — the reactor only kills a connection on
-    /// transport-level problems (unparseable length, i/o errors).
-    fn handle_frame(&self, payload: &[u8]) -> ServiceReply;
+    /// `conn` is a reactor-wide unique id for the sending connection,
+    /// stable across its lifetime — the key for any per-connection
+    /// protocol state the service keeps. Malformed payloads are the
+    /// service's to answer (e.g. with a typed error frame) — the
+    /// reactor only kills a connection on transport-level problems
+    /// (unparseable length, i/o errors).
+    fn handle_frame(&self, conn: u64, payload: &[u8]) -> ServiceReply;
 
     /// The payload substituted when a reply exceeds the write budget
     /// or a connection is rejected at the connection cap (the sketch
     /// protocol answers `ERR_BUSY`). Must be small.
     fn busy_payload(&self) -> Vec<u8>;
+
+    /// The connection is gone (clean goodbye, i/o error, idle reap, or
+    /// reactor shutdown): drop any per-connection state keyed by its
+    /// id. Default: nothing kept, nothing to do.
+    fn conn_closed(&self, _conn: u64) {}
 }
 
 /// Reactor tuning knobs.
@@ -87,6 +101,12 @@ pub struct NetConfig {
     pub max_conns: usize,
     /// Poll timeout: how quickly an idle loop notices shutdown.
     pub tick: Duration,
+    /// Reap a connection that has shown no socket activity (no bytes
+    /// in, no writable progress on queued replies) for this long —
+    /// wedged or abandoned clients stop holding fd slots against
+    /// `max_conns`. `None` (the default) keeps connections forever,
+    /// the historical behaviour.
+    pub idle_timeout: Option<Duration>,
 }
 
 impl Default for NetConfig {
@@ -96,6 +116,7 @@ impl Default for NetConfig {
             write_budget: 8 << 20,
             max_conns: 1024,
             tick: Duration::from_millis(50),
+            idle_timeout: None,
         }
     }
 }
@@ -106,6 +127,8 @@ const DRAIN_TICKS: u32 = 20;
 
 struct ConnState {
     conn: Conn,
+    /// Reactor-wide unique id, handed to the service with every frame.
+    id: u64,
     /// Bytes received, not yet framed.
     rbuf: Vec<u8>,
     /// Bytes queued to send; `wpos` already sent.
@@ -115,17 +138,22 @@ struct ConnState {
     closing: bool,
     /// Transport failure or protocol violation: drop immediately.
     dead: bool,
+    /// Last time the socket showed life (readable or writable-with-
+    /// progress), for idle reaping.
+    last_activity: Instant,
 }
 
 impl ConnState {
     fn new(conn: Conn) -> Self {
         Self {
             conn,
+            id: NEXT_CONN_ID.fetch_add(1, Ordering::Relaxed),
             rbuf: Vec::new(),
             wbuf: Vec::new(),
             wpos: 0,
             closing: false,
             dead: false,
+            last_activity: Instant::now(),
         }
     }
 
@@ -220,7 +248,7 @@ impl ConnState {
                 break;
             };
             stats.frame_in();
-            let reply = service.handle_frame(payload);
+            let reply = service.handle_frame(self.id, payload);
             pos += 4 + len;
             let reply_bytes: usize = reply.frames.iter().map(|f| 4 + f.len()).sum();
             if reply_bytes > config.write_budget {
@@ -324,13 +352,15 @@ pub fn serve_loop(
             conns.retain(|c| {
                 if c.dead {
                     stats.conn_closed();
+                    service.conn_closed(c.id);
                 }
                 !c.dead
             });
             draining += 1;
             if conns.is_empty() || draining > DRAIN_TICKS {
-                for _ in &conns {
+                for c in &conns {
                     stats.conn_closed();
+                    service.conn_closed(c.id);
                 }
                 return Ok(());
             }
@@ -368,6 +398,9 @@ pub fn serve_loop(
                 c.dead = true;
                 continue;
             }
+            if fd.revents & (POLLIN | POLLOUT | POLLHUP) != 0 {
+                c.last_activity = Instant::now();
+            }
             if fd.revents & POLLOUT != 0 {
                 c.flush();
             }
@@ -382,9 +415,22 @@ pub fn serve_loop(
         if ask_shutdown {
             shutdown.store(true, Ordering::SeqCst);
         }
+        if let Some(limit) = config.idle_timeout {
+            // Reap wedged/abandoned connections: no inbound bytes and
+            // no writable progress for a whole idle window. A client
+            // mid-conversation always trips POLLIN; a slow reader of a
+            // big streamed reply always trips POLLOUT — only a truly
+            // silent socket ages out.
+            for c in &mut conns {
+                if !c.dead && c.last_activity.elapsed() >= limit {
+                    c.dead = true;
+                }
+            }
+        }
         conns.retain(|c| {
             if c.dead {
                 stats.conn_closed();
+                service.conn_closed(c.id);
             }
             !c.dead
         });
@@ -403,7 +449,7 @@ mod tests {
     struct Echo;
 
     impl FrameService for Echo {
-        fn handle_frame(&self, payload: &[u8]) -> ServiceReply {
+        fn handle_frame(&self, _conn: u64, payload: &[u8]) -> ServiceReply {
             match payload {
                 b"quit" => ServiceReply {
                     frames: vec![b"bye".to_vec()],
@@ -545,6 +591,111 @@ mod tests {
         fine.write_all(&frame(b"quit")).unwrap();
         assert_eq!(read_exact_frame(&mut fine), b"bye");
         handle.join().unwrap();
+    }
+
+    #[test]
+    fn wedged_idle_client_is_reaped_and_active_clients_survive() {
+        let config = NetConfig {
+            tick: Duration::from_millis(10),
+            idle_timeout: Some(Duration::from_millis(400)),
+            ..NetConfig::default()
+        };
+        let (endpoint, shared, handle) = spawn_reactor(config);
+        // A wedged client: sends half a frame header, then nothing.
+        let mut wedged = connect(&endpoint).unwrap();
+        wedged.write_all(&[0x09, 0x00]).unwrap();
+        // An active client keeps a slow but steady conversation going
+        // across several idle windows — it must never be reaped. The
+        // chatter period sits far inside the idle window (8×) so a
+        // loaded CI host stretching one sleep cannot age it out.
+        let mut active = connect(&endpoint).unwrap();
+        for i in 0..16u8 {
+            std::thread::sleep(Duration::from_millis(50));
+            active.write_all(&frame(&[i])).unwrap();
+            assert_eq!(read_exact_frame(&mut active), [i]);
+        }
+        // By now the wedged connection is long past the idle window:
+        // the reactor must have dropped it (EOF on our side).
+        let mut rest = Vec::new();
+        assert_eq!(wedged.read_to_end(&mut rest).unwrap(), 0, "reaped");
+        active.write_all(&frame(b"quit")).unwrap();
+        assert_eq!(read_exact_frame(&mut active), b"bye");
+        handle.join().unwrap();
+        assert_eq!(shared.1.snapshot().open_connections, 0);
+    }
+
+    #[test]
+    fn conn_closed_fires_for_every_departed_connection() {
+        use std::sync::Mutex;
+
+        struct Tracking {
+            closed: Mutex<Vec<u64>>,
+            seen: Mutex<Vec<u64>>,
+        }
+
+        impl FrameService for Tracking {
+            fn handle_frame(&self, conn: u64, payload: &[u8]) -> ServiceReply {
+                match self.seen.lock() {
+                    Ok(mut seen) => seen.push(conn),
+                    Err(poisoned) => poisoned.into_inner().push(conn),
+                }
+                match payload {
+                    b"quit" => ServiceReply {
+                        frames: vec![b"bye".to_vec()],
+                        control: Control::Shutdown,
+                    },
+                    other => ServiceReply::reply(other.to_vec()),
+                }
+            }
+
+            fn busy_payload(&self) -> Vec<u8> {
+                b"BUSY".to_vec()
+            }
+
+            fn conn_closed(&self, conn: u64) {
+                match self.closed.lock() {
+                    Ok(mut closed) => closed.push(conn),
+                    Err(poisoned) => poisoned.into_inner().push(conn),
+                }
+            }
+        }
+
+        let service = Tracking {
+            closed: Mutex::new(Vec::new()),
+            seen: Mutex::new(Vec::new()),
+        };
+        let requested = Endpoint::Tcp("127.0.0.1:0".to_string());
+        let listener = Listener::bind(&requested).unwrap();
+        let local = listener.local_endpoint(&requested);
+        let shutdown = AtomicBool::new(false);
+        let stats = ReactorStats::new();
+        let config = NetConfig::default();
+        std::thread::scope(|scope| {
+            scope.spawn(|| serve_loop(&listener, &service, &config, &shutdown, &stats).unwrap());
+            // One clean goodbye (drop), then one that shuts down while
+            // still open: both must be reported closed.
+            let mut first = connect(&local).unwrap();
+            first.write_all(&frame(b"a")).unwrap();
+            assert_eq!(read_exact_frame(&mut first), b"a");
+            drop(first);
+            let mut second = connect(&local).unwrap();
+            second.write_all(&frame(b"quit")).unwrap();
+            assert_eq!(read_exact_frame(&mut second), b"bye");
+        });
+        let seen = match service.seen.lock() {
+            Ok(s) => s.clone(),
+            Err(poisoned) => poisoned.into_inner().clone(),
+        };
+        let mut closed = match service.closed.lock() {
+            Ok(c) => c.clone(),
+            Err(poisoned) => poisoned.into_inner().clone(),
+        };
+        let mut distinct = seen.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert_eq!(distinct.len(), 2, "two distinct connection ids");
+        closed.sort_unstable();
+        assert_eq!(closed, distinct, "every id seen was reported closed");
     }
 
     #[test]

@@ -1,25 +1,35 @@
-//! Multi-process chaos smoke: SIGKILL a worker, assert the coordinator
-//! survives, restart it, assert it resyncs.
+//! Multi-process chaos smoke: SIGKILL workers *and the coordinator*,
+//! assert nothing ever answers wrong by a single bit.
 //!
 //! Drives real `dp-server` *processes* (path to the binary as the first
-//! argument) through the full fault-tolerance story:
+//! argument, serve mode — `threads` or `evloop` — as the optional
+//! second) through the full fault-tolerance story:
 //!
-//! 1. two workers + a coordinator come up; releases are ingested and
-//!    the sharded all-pairs answer is **bit-identical** to a local
-//!    in-process engine;
+//! 1. two workers + a durable coordinator (`--data-dir`, compaction
+//!    threshold 8) come up; releases are ingested and the sharded
+//!    all-pairs answer is **bit-identical** to a local in-process
+//!    engine;
 //! 2. worker 1 is SIGKILLed; the next `Pairwise([])` discovers the
 //!    death mid-query, re-dispatches the lost shard to the survivor,
 //!    and still answers bit-identically;
 //! 3. worker 1 is restarted (fresh, empty) on the same socket; after
 //!    one more ingest the next query revives it — reconnect, `Hello`
-//!    replay, catch-up from the coordinator's ingest journal — and the
-//!    restarted replica is asked directly to prove it now holds every
-//!    row. No process but the dead one was ever restarted.
+//!    replay, and (because the journal compacted past its history) a
+//!    **snapshot install + suffix replay** instead of full-history
+//!    catch-up — and the restarted replica is asked directly to prove
+//!    it now holds every row;
+//! 4. the coordinator itself is SIGKILLed; a new coordinator on the
+//!    same `--data-dir` recovers the store from the snapshot + journal
+//!    files and answers the same matrix bit-identically;
+//! 5. a `--standby` peer tails the recovered coordinator, the
+//!    coordinator is SIGKILLed again, and the standby promotes itself:
+//!    binds its own socket, reconnects the worker pool, and serves the
+//!    same matrix bit-identically.
 //!
 //! ```text
 //! cargo build --release -p dp-server
 //! cargo run --release -p dp-server --example chaos_smoke -- \
-//!     ./target/release/dp-server
+//!     ./target/release/dp-server threads
 //! ```
 
 use dp_core::config::SketchConfig;
@@ -36,14 +46,44 @@ fn scratch_socket(tag: &str) -> PathBuf {
     std::env::temp_dir().join(format!("dp-chaos-{tag}-{}.sock", std::process::id()))
 }
 
-fn spawn_worker(bin: &str, socket: &Path) -> Child {
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dp-chaos-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+fn spawn_worker(bin: &str, socket: &Path, mode: &str) -> Child {
     // Two accept loops: one for the coordinator's pooled connection,
     // one for this harness's direct verification probes.
     Command::new(bin)
         .args(["--listen", &format!("unix:{}", socket.display())])
         .args(["--workers", "2"])
+        .args(["--serve-mode", mode])
         .spawn()
         .expect("spawn worker dp-server")
+}
+
+fn spawn_coordinator(
+    bin: &str,
+    socket: &Path,
+    worker_sockets: &[&Path],
+    mode: &str,
+    data_dir: &Path,
+) -> Child {
+    let mut command = Command::new(bin);
+    command
+        .args(["--listen", &format!("unix:{}", socket.display())])
+        .args(["--workers", "1"])
+        .args(["--shard-tile", "4"])
+        .args(["--worker-timeout", "2"])
+        .args(["--serve-mode", mode])
+        .args(["--data-dir", &data_dir.display().to_string()])
+        .args(["--compact-threshold", "8"]);
+    for socket in worker_sockets {
+        command.args(["--worker", &format!("unix:{}", socket.display())]);
+    }
+    command.spawn().expect("spawn coordinator dp-server")
 }
 
 fn connect_retry(endpoint: &Endpoint, what: &str) -> Client {
@@ -66,17 +106,39 @@ fn assert_bits(got: &[f64], want: &[f64], what: &str) {
     assert!(identical, "{what}: matrix differs from the local reference");
 }
 
+/// `Pairwise([])` with a few retries: a freshly recovered or promoted
+/// coordinator may still be reconnecting its worker pool.
+fn pairwise_retry(client: &mut Client, what: &str) -> Vec<f64> {
+    let mut last = String::new();
+    for _ in 0..20 {
+        match client.pairwise(&[]) {
+            Ok((_, values)) => return values,
+            Err(e) => {
+                last = e.to_string();
+                std::thread::sleep(Duration::from_millis(250));
+            }
+        }
+    }
+    panic!("{what}: {last}");
+}
+
 fn main() {
     let bin = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "./target/release/dp-server".to_string());
+    let mode = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| "threads".to_string());
 
     let sock_w1 = scratch_socket("w1");
     let sock_w2 = scratch_socket("w2");
     let sock_coord = scratch_socket("coord");
-    for s in [&sock_w1, &sock_w2, &sock_coord] {
+    let sock_standby = scratch_socket("standby");
+    for s in [&sock_w1, &sock_w2, &sock_coord, &sock_standby] {
         let _ = std::fs::remove_file(s);
     }
+    let data_dir = scratch_dir("data");
+    let standby_dir = scratch_dir("standby-data");
 
     let d = 160;
     let config = SketchConfig::builder()
@@ -114,18 +176,10 @@ fn main() {
     reference.ingest(&last[1]).expect("ingest");
     let local_17 = reference.pairwise_all().as_flat().to_vec();
 
-    // Phase 0: two worker processes + a coordinator process.
-    let mut w1 = spawn_worker(&bin, &sock_w1);
-    let mut w2 = spawn_worker(&bin, &sock_w2);
-    let mut coord = Command::new(&bin)
-        .args(["--listen", &format!("unix:{}", sock_coord.display())])
-        .args(["--worker", &format!("unix:{}", sock_w1.display())])
-        .args(["--worker", &format!("unix:{}", sock_w2.display())])
-        .args(["--workers", "1"])
-        .args(["--shard-tile", "4"])
-        .args(["--worker-timeout", "2"])
-        .spawn()
-        .expect("spawn coordinator dp-server");
+    // Phase 0: two worker processes + a durable coordinator process.
+    let mut w1 = spawn_worker(&bin, &sock_w1, &mode);
+    let mut w2 = spawn_worker(&bin, &sock_w2, &mode);
+    let mut coord = spawn_coordinator(&bin, &sock_coord, &[&sock_w1, &sock_w2], &mode, &data_dir);
 
     let coord_endpoint = Endpoint::Unix(sock_coord.clone());
     let mut client = connect_retry(&coord_endpoint, "coordinator");
@@ -157,12 +211,13 @@ fn main() {
 
     // Phase 2: restart worker 1 (fresh, empty store, same socket) and
     // wait until it listens; then one more ingest (the poisoned slot is
-    // skipped — the journal now holds 17 frames) and the query that
-    // revives it: reconnect, Hello replay, journal catch-up — no
-    // coordinator restart. Ask the restarted replica directly to prove
-    // it holds every row.
+    // skipped) and the query that revives it. By now the journal has
+    // compacted twice (threshold 8, 16 ingests), so revival is a
+    // snapshot install to the compaction base plus a short suffix
+    // replay — not full-history catch-up. Ask the restarted replica
+    // directly to prove it holds every row.
     let _ = std::fs::remove_file(&sock_w1);
-    let mut w1b = spawn_worker(&bin, &sock_w1);
+    let mut w1b = spawn_worker(&bin, &sock_w1, &mode);
     let probe = connect_retry(&Endpoint::Unix(sock_w1.clone()), "restarted worker 1");
     drop(probe); // frees the accept slot for the coordinator's revival
     client.ingest(&last[1]).expect("ingest before revival");
@@ -170,17 +225,72 @@ fn main() {
     assert_bits(&values, &local_17, "query after restart + resync");
     let mut direct = connect_retry(&Endpoint::Unix(sock_w1.clone()), "restarted worker 1");
     let (rows, _, _, _) = direct.plan_pairwise(4).expect("plan on restarted worker");
-    assert_eq!(rows, 17, "restarted worker never resynced from the journal");
+    assert_eq!(rows, 17, "restarted worker never resynced");
     drop(direct);
-    println!("chaos_smoke: restarted worker resynced to 17 rows from the ingest journal");
+    println!("chaos_smoke: restarted worker resynced to 17 rows via snapshot + journal suffix");
+
+    // Phase 3: SIGKILL the coordinator itself. A new coordinator on the
+    // same --data-dir must recover the store from the snapshot +
+    // journal files at bind and answer the same matrix bit-identically.
+    drop(client);
+    coord.kill().expect("SIGKILL coordinator");
+    coord.wait().expect("reap coordinator");
+    let _ = std::fs::remove_file(&sock_coord);
+    let mut coord2 = spawn_coordinator(&bin, &sock_coord, &[&sock_w1, &sock_w2], &mode, &data_dir);
+    let mut client = connect_retry(&coord_endpoint, "recovered coordinator");
+    client
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .expect("timeout");
+    let values = pairwise_retry(&mut client, "pairwise after coordinator restart");
+    assert_bits(
+        &values,
+        &local_17,
+        "query after coordinator restart from disk",
+    );
+    println!("chaos_smoke: coordinator recovered 17 rows from disk, matrix bit-identical");
+
+    // Phase 4: warm standby. A --standby peer tails the recovered
+    // coordinator's replication log over the wire; when the coordinator
+    // is SIGKILLed, the standby notices the silence, binds its own
+    // socket, reconnects the worker pool, and answers the same matrix.
+    let mut standby = Command::new(&bin)
+        .args(["--listen", &format!("unix:{}", sock_standby.display())])
+        .args(["--standby", &format!("unix:{}", sock_coord.display())])
+        .args(["--worker", &format!("unix:{}", sock_w1.display())])
+        .args(["--worker", &format!("unix:{}", sock_w2.display())])
+        .args(["--workers", "1"])
+        .args(["--shard-tile", "4"])
+        .args(["--worker-timeout", "2"])
+        .args(["--serve-mode", &mode])
+        .args(["--data-dir", &standby_dir.display().to_string()])
+        .args(["--compact-threshold", "8"])
+        .spawn()
+        .expect("spawn standby dp-server");
+    // Let the standby catch up on the full log before the murder.
+    std::thread::sleep(Duration::from_secs(1));
+    drop(client);
+    coord2.kill().expect("SIGKILL recovered coordinator");
+    coord2.wait().expect("reap recovered coordinator");
+    let mut client = connect_retry(&Endpoint::Unix(sock_standby.clone()), "promoted standby");
+    client
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .expect("timeout");
+    let values = pairwise_retry(&mut client, "pairwise after standby promotion");
+    assert_bits(&values, &local_17, "query after standby takeover");
+    println!("chaos_smoke: standby promoted itself and answered 17x17 bit-identically");
 
     client.shutdown().expect("shutdown");
-    let coord_status = coord.wait().expect("coordinator exit");
-    assert!(coord_status.success(), "coordinator exited uncleanly");
+    let standby_status = standby.wait().expect("standby exit");
+    assert!(
+        standby_status.success(),
+        "promoted standby exited uncleanly"
+    );
     w2.wait().expect("worker 2 exit");
     w1b.wait().expect("restarted worker 1 exit");
-    for s in [&sock_w1, &sock_w2, &sock_coord] {
+    for s in [&sock_w1, &sock_w2, &sock_coord, &sock_standby] {
         let _ = std::fs::remove_file(s);
     }
-    println!("chaos_smoke: PASS");
+    let _ = std::fs::remove_dir_all(&data_dir);
+    let _ = std::fs::remove_dir_all(&standby_dir);
+    println!("chaos_smoke: PASS ({mode} mode)");
 }

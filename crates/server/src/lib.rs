@@ -37,9 +37,10 @@
 use dp_core::error::CoreError;
 use dp_core::protocol::{
     decode_request, decode_response, encode_request, encode_response, read_frame,
-    tile_stream_checksum, write_frame, Request, Response, CAP_SKETCH_F32, CAP_TILE_STREAM,
-    ERR_BUSY, ERR_DUPLICATE_PARTY, ERR_INCOMPATIBLE, ERR_INTERNAL, ERR_KERNEL, ERR_MALFORMED,
-    ERR_PLAN, ERR_SPEC, ERR_SPEC_MISMATCH, ERR_UNKNOWN_PARTY, ERR_WORKER, MAX_FRAME_LEN,
+    snapshot_stream_checksum, tile_stream_checksum, write_frame, Request, Response, CAP_SKETCH_F32,
+    CAP_SNAPSHOT, CAP_TILE_STREAM, ERR_BUSY, ERR_DUPLICATE_PARTY, ERR_INCOMPATIBLE, ERR_INTERNAL,
+    ERR_KERNEL, ERR_MALFORMED, ERR_PLAN, ERR_SPEC, ERR_SPEC_MISMATCH, ERR_UNKNOWN_PARTY,
+    ERR_WORKER, MAX_FRAME_LEN, SNAPSHOT_LAYER_JOURNAL, SNAPSHOT_LAYER_STORE,
 };
 use dp_core::release::Release;
 use dp_core::sketcher::SketcherSpec;
@@ -49,11 +50,17 @@ use dp_engine::{EngineError, EngineSnapshot, Gather, QueryEngine, SharedEngine, 
 use dp_net::{serve_loop, Control, FrameService, Listener, ServiceReply};
 use dp_parallel::{par_map, scope_workers};
 use std::cell::RefCell;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::io;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Duration;
+
+mod replication;
+
+use replication::ReplicationLog;
+pub use replication::{CoordinatorConfig, RecoveryNote};
 
 // The transport vocabulary moved to `dp-net` (the reactor needs it
 // below the server); re-exported so existing `dp_server::{Endpoint,
@@ -108,28 +115,14 @@ struct WorkerState {
     timeout: Option<Duration>,
 }
 
-/// The coordinator's append-only replication log: the accepted spec
-/// plus every accepted ingest frame, in local-engine order. A revived
-/// worker replays `Hello` + the suffix of this log its replica is
-/// missing — per-worker catch-up instead of restart-the-world.
-#[derive(Default)]
-struct IngestJournal {
-    spec_json: Option<String>,
-    /// Rows the coordinator's engine already held when the pool was
-    /// bound. The journal only covers mutations *after* bind, so frame
-    /// `i` produced store row `base + i` — a replica below `base` rows
-    /// cannot be caught up from this log.
-    base: usize,
-    frames: Vec<Vec<u8>>,
-}
-
 /// Where a reviving replica's journal replay starts: the journal index
 /// to skip to for a replica already holding `have` rows, given the
 /// journal's base row and frame count.
 ///
 /// # Errors
-/// A replica below the base predates the journal (its missing rows were
-/// never logged); one beyond `base + frames` holds state this
+/// A replica below the base predates the journal suffix — [`Shards::resync`]
+/// installs the log's snapshot first, so this only fails when no
+/// snapshot exists; one beyond `base + frames` holds state this
 /// coordinator never produced. Both are refused rather than guessed at.
 fn replay_skip(base: usize, frames: usize, have: usize) -> Result<usize, String> {
     if have < base {
@@ -164,6 +157,23 @@ pub struct CoordinatorStats {
     pub revives: u64,
     /// Revivals that replayed at least one journaled ingest.
     pub resyncs: u64,
+    /// Frames currently in the replication log's journal suffix (a
+    /// gauge: compaction shrinks it).
+    pub journal_len: u64,
+    /// Generation stamped into the log's current snapshot (a gauge; 0
+    /// until a snapshot exists).
+    pub snapshot_generation: u64,
+    /// Journal-into-snapshot compactions since bind.
+    pub compactions: u64,
+    /// 1 when this bind recovered replicated state from disk.
+    pub recoveries: u64,
+    /// Journal suffix frames replayed into replicas across all
+    /// revivals — with compaction, strictly less than the total ingest
+    /// history a full replay would cost.
+    pub replayed_frames: u64,
+    /// Revivals that installed the log's snapshot (replica predated the
+    /// journal suffix) before the replay.
+    pub snapshot_installs: u64,
 }
 
 #[derive(Default)]
@@ -173,6 +183,12 @@ struct StatsCells {
     redispatches: AtomicU64,
     revives: AtomicU64,
     resyncs: AtomicU64,
+    journal_len: AtomicU64,
+    snapshot_generation: AtomicU64,
+    compactions: AtomicU64,
+    recoveries: AtomicU64,
+    replayed_frames: AtomicU64,
+    snapshot_installs: AtomicU64,
 }
 
 impl StatsCells {
@@ -183,6 +199,12 @@ impl StatsCells {
             redispatches: self.redispatches.load(Ordering::SeqCst),
             revives: self.revives.load(Ordering::SeqCst),
             resyncs: self.resyncs.load(Ordering::SeqCst),
+            journal_len: self.journal_len.load(Ordering::SeqCst),
+            snapshot_generation: self.snapshot_generation.load(Ordering::SeqCst),
+            compactions: self.compactions.load(Ordering::SeqCst),
+            recoveries: self.recoveries.load(Ordering::SeqCst),
+            replayed_frames: self.replayed_frames.load(Ordering::SeqCst),
+            snapshot_installs: self.snapshot_installs.load(Ordering::SeqCst),
         }
     }
 }
@@ -248,8 +270,10 @@ struct Shards {
     /// never local queries. Revival also runs under this lock, so a
     /// journal replay can never interleave with a live broadcast.
     order: Mutex<()>,
-    /// The replication log revived workers catch up from.
-    journal: Mutex<IngestJournal>,
+    /// The replication log revived workers catch up from: snapshot +
+    /// journal suffix, optionally persisted to disk
+    /// ([`CoordinatorConfig::data_dir`]).
+    journal: Mutex<ReplicationLog>,
     /// The last gathered full matrix, keyed by the store row count it
     /// covered. The store is append-only with a fixed ingest order, so
     /// row count alone identifies the matrix; a repeated `Pairwise([])`
@@ -328,7 +352,7 @@ impl Shards {
 
     /// Lock the journal (appends are atomic `Vec::push`es, so a
     /// poisoned mutex still holds a consistent log).
-    fn journal_lock(&self) -> MutexGuard<'_, IngestJournal> {
+    fn journal_lock(&self) -> MutexGuard<'_, ReplicationLog> {
         self.journal.lock().unwrap_or_else(|poison| {
             self.journal.clear_poison();
             poison.into_inner()
@@ -422,9 +446,13 @@ impl Shards {
     /// `Hello` replay (or, on the adopt-without-`Hello` path where no
     /// spec was journaled, from a `PlanPairwise` row probe — never a
     /// blind replay from frame 0, which would wrongly refuse a healthy
-    /// reconnecting worker as a duplicate). The journal suffix is then
-    /// replayed with the usual row-echo discipline; a replica outside
-    /// the journal's coverage (see [`replay_skip`]) is refused.
+    /// reconnecting worker as a duplicate). A replica that predates the
+    /// journal suffix (`have < base` — typically a freshly restarted
+    /// worker after a compaction) first receives the log's **snapshot**
+    /// as a streamed push-install; the journal suffix is then replayed
+    /// with the usual row-echo discipline, so catch-up costs the suffix
+    /// length, never the full ingest history. A replica ahead of the
+    /// log's tip (see [`replay_skip`]) is refused.
     ///
     /// The connect itself is bounded by the worker's configured timeout
     /// (this runs under the order lock, so an unbounded TCP connect to
@@ -446,11 +474,11 @@ impl Shards {
         }
         let journal = self.journal_lock();
         let mut caps = 0u32;
-        let have;
+        let mut have;
         if let Some(spec_json) = journal.spec_json.clone() {
             match client.call(&Request::Hello {
                 spec_json,
-                caps: CAP_TILE_STREAM | CAP_SKETCH_F32,
+                caps: CLIENT_CAPS,
             }) {
                 Ok(Response::Hello { rows, caps: c, .. }) => {
                     have = usize::try_from(rows).unwrap_or(usize::MAX);
@@ -474,6 +502,36 @@ impl Shards {
                 Err(e) => return Err(format!("row probe: {e}")),
             }
         }
+        if have < journal.base {
+            // The replica predates the journal suffix (compaction folded
+            // the rows it is missing): push-install the snapshot, then
+            // replay only the suffix. Without a snapshot — a pre-seeded
+            // coordinator that never compacted — the old refusal stands.
+            let Some(snapshot) = journal.snapshot.clone() else {
+                return Err(format!(
+                    "replica holds {have} rows but the journal starts at {} and no \
+                     snapshot exists — it predates this coordinator's log",
+                    journal.base
+                ));
+            };
+            let rows = client
+                .install_snapshot(
+                    &snapshot,
+                    journal.base as u64,
+                    journal.snapshot_generation,
+                    0,
+                )
+                .map_err(|e| format!("snapshot install: {e}"))?;
+            if rows != journal.base as u64 {
+                return Err(format!(
+                    "snapshot install diverged: replica reports {rows} rows, snapshot \
+                     covers {}",
+                    journal.base
+                ));
+            }
+            self.stats.snapshot_installs.fetch_add(1, Ordering::SeqCst);
+            have = journal.base;
+        }
         let skip = replay_skip(journal.base, journal.frames.len(), have)?;
         for (i, frame) in journal.frames.iter().enumerate().skip(skip) {
             let expect = (journal.base + i + 1) as u64;
@@ -496,6 +554,9 @@ impl Shards {
         }
         if journal.frames.len() > skip {
             self.stats.resyncs.fetch_add(1, Ordering::SeqCst);
+            self.stats
+                .replayed_frames
+                .fetch_add((journal.frames.len() - skip) as u64, Ordering::SeqCst);
         }
         Ok(PooledWorker { client, caps })
     }
@@ -837,15 +898,125 @@ impl Server {
         workers: Vec<WorkerEntry>,
         tile: usize,
     ) -> io::Result<Self> {
-        // The journal covers only post-bind mutations; rows already in
-        // the engine are its base (a replica below the base cannot be
-        // caught up from this log and is refused at revival).
-        let journal = IngestJournal {
-            base: engine.store().n(),
-            ..IngestJournal::default()
-        };
+        Self::bind_coordinator_with(
+            endpoint,
+            engine,
+            workers,
+            CoordinatorConfig {
+                tile,
+                ..CoordinatorConfig::default()
+            },
+        )
+    }
+
+    /// [`Server::bind_coordinator`] with the full durability knobs:
+    /// journal compaction threshold and an on-disk data directory.
+    ///
+    /// With a data directory, replicated state already persisted there
+    /// is **recovered first** — snapshot decoded, journal suffix
+    /// replayed, corruption degraded to the valid prefix with typed
+    /// [`RecoveryNote`]s on stderr — and the recovered engine replaces
+    /// the caller's. That is what makes a coordinator restart after
+    /// SIGKILL resume where the dead process left off. The reconciled
+    /// state is rewritten to disk at bind, so every load starts clean.
+    ///
+    /// A non-empty engine (recovered or caller-seeded) gets an
+    /// immediate snapshot covering its rows, keeping the log invariant
+    /// — the snapshot always covers `[0, base)` — so a fresh worker can
+    /// always be caught up by snapshot + suffix.
+    ///
+    /// Unlike [`Server::bind_coordinator`], an empty `workers` pool
+    /// stays in coordinator mode when durability is configured (the
+    /// journal must still be written); all-pairs queries then answer
+    /// locally.
+    ///
+    /// # Errors
+    /// Propagates bind failures and data-directory creation failures.
+    pub fn bind_coordinator_with(
+        endpoint: Endpoint,
+        engine: QueryEngine,
+        workers: Vec<WorkerEntry>,
+        config: CoordinatorConfig,
+    ) -> io::Result<Self> {
+        let CoordinatorConfig {
+            tile,
+            compact_threshold,
+            data_dir,
+        } = config;
+        let mut engine = engine;
+        let mut notes = Vec::new();
+        let mut recovered = false;
+        let mut spec_json = None;
+        let mut snapshot_bytes = None;
+        let mut snapshot_generation = 0u64;
+        let mut frames: Vec<Vec<u8>> = Vec::new();
+        if let Some(dir) = &data_dir {
+            std::fs::create_dir_all(dir)?;
+            let state = replication::load_dir(dir);
+            recovered = state.holds_state();
+            notes = state.notes;
+            spec_json = state.spec_json;
+            if let Some((bytes, store, generation)) = state.snapshot {
+                // The disk image wins over the caller's engine: the
+                // caller at a restart passes a fresh empty engine, and
+                // the store row order (hence every matrix) must come
+                // from what the dead process had accepted.
+                let par = match store.spec() {
+                    Some(spec) => engine.parallelism().with_kernel(spec.kernel()),
+                    None => engine.parallelism(),
+                };
+                let next_generation = engine.generation().max(generation) + 1;
+                engine = QueryEngine::new(store)
+                    .with_parallelism(par)
+                    .with_generation(next_generation);
+                snapshot_bytes = Some(bytes);
+                snapshot_generation = generation;
+            }
+            for (index, frame) in state.suffix.into_iter().enumerate() {
+                match engine.ingest_bytes(&frame) {
+                    Ok(_) => frames.push(frame),
+                    Err(_) => {
+                        notes.push(RecoveryNote::FrameRefused { index });
+                        break;
+                    }
+                }
+            }
+        }
+        for note in &notes {
+            eprintln!("dp-server: recovery: {note}");
+        }
+        if spec_json.is_none() {
+            spec_json = engine.store().spec().map(SketcherSpec::to_json);
+        }
+        let base = engine.store().n() - frames.len();
+        if snapshot_bytes.is_none() && base > 0 {
+            // Pre-seeded engine with no disk image: encode the initial
+            // snapshot now so the [0, base) rows are always servable.
+            let generation = engine.generation();
+            snapshot_bytes = Some(engine.store().encode_snapshot(generation));
+            snapshot_generation = generation;
+        }
+        let journal = ReplicationLog::assemble(
+            spec_json,
+            base,
+            snapshot_bytes,
+            snapshot_generation,
+            frames,
+            compact_threshold,
+            data_dir.clone(),
+        );
+        let stats = StatsCells::default();
+        stats
+            .recoveries
+            .store(u64::from(recovered), Ordering::SeqCst);
+        stats
+            .journal_len
+            .store(journal.frames.len() as u64, Ordering::SeqCst);
+        stats
+            .snapshot_generation
+            .store(journal.snapshot_generation, Ordering::SeqCst);
         let mut server = Self::bind(endpoint, engine)?;
-        if !workers.is_empty() {
+        if !workers.is_empty() || data_dir.is_some() || compact_threshold > 0 {
             server.shards = Some(Shards {
                 workers: workers
                     .into_iter()
@@ -862,7 +1033,7 @@ impl Server {
                 order: Mutex::new(()),
                 journal: Mutex::new(journal),
                 gathered: Mutex::new(None),
-                stats: StatsCells::default(),
+                stats,
             });
         }
         Ok(server)
@@ -955,7 +1126,10 @@ impl Server {
     }
 
     fn serve_evloop(&self, workers: usize) {
-        let service = SnapshotService { server: self };
+        let service = SnapshotService {
+            server: self,
+            installs: Mutex::new(BTreeMap::new()),
+        };
         scope_workers(workers, |_| {
             // Per-loop failures (poll itself failing) end that loop;
             // the listener teardown below unblocks nothing because
@@ -974,9 +1148,14 @@ impl Server {
     }
 
     /// Serve one connection (thread mode): one response per request (or
-    /// a part stream for `ExecuteTilesStream`), until the peer hangs
-    /// up, times out, or asks for shutdown.
+    /// a part stream for `ExecuteTilesStream`/`FetchSnapshot`; no
+    /// response at all for a staged push-install `SnapshotPart`), until
+    /// the peer hangs up, times out, or asks for shutdown.
     fn serve_conn(&self, mut conn: Conn) {
+        // Push-install staging: `Request::SnapshotPart` frames
+        // accumulate here (unacknowledged) until the closing
+        // `Request::SnapshotSummary` verifies and installs them.
+        let mut staging: Option<InstallStaging> = None;
         loop {
             let payload = match read_frame(&mut conn) {
                 Ok(Some(payload)) => payload,
@@ -984,23 +1163,70 @@ impl Server {
             };
             self.reactor_stats.frame_in();
             let decoded = decode_request(&payload);
-            if let Ok(Request::ExecuteTilesStream {
-                rows,
-                tile,
-                tile_ids,
-            }) = &decoded
-            {
-                let snapshot = self.current_snapshot();
-                let stats = &self.reactor_stats;
-                let streamed =
-                    stream_tile_frames(&snapshot, *rows, *tile, tile_ids, &mut |bytes| {
-                        stats.frames_out(1);
-                        write_frame(&mut conn, &bytes)
-                    });
-                if streamed.is_err() {
-                    return;
+            match &decoded {
+                Ok(Request::ExecuteTilesStream {
+                    rows,
+                    tile,
+                    tile_ids,
+                }) => {
+                    let snapshot = self.current_snapshot();
+                    let stats = &self.reactor_stats;
+                    let streamed =
+                        stream_tile_frames(&snapshot, *rows, *tile, tile_ids, &mut |bytes| {
+                            stats.frames_out(1);
+                            write_frame(&mut conn, &bytes)
+                        });
+                    if streamed.is_err() {
+                        return;
+                    }
+                    continue;
                 }
-                continue;
+                Ok(Request::FetchSnapshot {
+                    have_rows,
+                    part_len,
+                }) => {
+                    let stats = &self.reactor_stats;
+                    let streamed =
+                        self.stream_snapshot_frames(*have_rows, *part_len, &mut |bytes| {
+                            stats.frames_out(1);
+                            write_frame(&mut conn, &bytes)
+                        });
+                    if streamed.is_err() {
+                        return;
+                    }
+                    continue;
+                }
+                Ok(Request::SnapshotPart { seq, layer, chunk }) => {
+                    if let Err(refusal) = stage_snapshot_part(&mut staging, *seq, *layer, chunk) {
+                        self.reactor_stats.frames_out(1);
+                        if write_frame(&mut conn, &encode_bounded(&refusal)).is_err() {
+                            return;
+                        }
+                    }
+                    continue;
+                }
+                Ok(Request::SnapshotSummary {
+                    generation,
+                    rows,
+                    count,
+                    total_len,
+                    checksum,
+                }) => {
+                    let response = self.finish_snapshot_install(
+                        staging.take(),
+                        *generation,
+                        *rows,
+                        *count,
+                        *total_len,
+                        *checksum,
+                    );
+                    self.reactor_stats.frames_out(1);
+                    if write_frame(&mut conn, &encode_bounded(&response)).is_err() {
+                        return;
+                    }
+                    continue;
+                }
+                _ => {}
             }
             let (response, bye) = match decoded {
                 Ok(request) => self.handle(&request),
@@ -1084,10 +1310,10 @@ impl Server {
                 // local engine is the source of truth.
                 if let (Response::Hello { rows, .. }, Some(shards)) = (&response, &self.shards) {
                     let rows = *rows;
-                    shards.journal_lock().spec_json = Some(spec_json.clone());
+                    shards.journal_lock().set_spec(spec_json);
                     let relay = Request::Hello {
                         spec_json: spec_json.clone(),
-                        caps: CAP_TILE_STREAM | CAP_SKETCH_F32,
+                        caps: CLIENT_CAPS,
                     };
                     shards.broadcast_mutation(
                         &relay,
@@ -1114,7 +1340,30 @@ impl Server {
                         // not waited on. Either way the client's ingest
                         // succeeds.
                         if let Some(shards) = &self.shards {
-                            shards.journal_lock().frames.push(release_frame.clone());
+                            let mut log = shards.journal_lock();
+                            log.append(release_frame.clone());
+                            if log.needs_compaction() {
+                                // Fold the journal into a fresh snapshot.
+                                // The published snapshot reflects this
+                                // ingest (mutate published before we got
+                                // here) and no other mutation can run —
+                                // we hold the order lock — so its row
+                                // count is exactly the log's tip.
+                                let snap = self.shared.snapshot();
+                                let bytes = snap.store().encode_snapshot(snap.generation());
+                                log.install_snapshot(bytes, snap.n(), snap.generation());
+                                log.compactions += 1;
+                                shards.stats.compactions.fetch_add(1, Ordering::SeqCst);
+                                shards
+                                    .stats
+                                    .snapshot_generation
+                                    .store(snap.generation(), Ordering::SeqCst);
+                            }
+                            shards
+                                .stats
+                                .journal_len
+                                .store(log.frames.len() as u64, Ordering::SeqCst);
+                            drop(log);
                             shards.broadcast_mutation(
                                 request,
                                 &|r| matches!(r, Response::Ingested { rows: got, .. } if *got == rows),
@@ -1136,7 +1385,7 @@ impl Server {
                         // clients. The store is append-only, so a
                         // mid-flight ingest can only surface as a
                         // worker-side ERR_PLAN.
-                        Some(shards) if snapshot.n() >= 2 => {
+                        Some(shards) if snapshot.n() >= 2 && !shards.workers.is_empty() => {
                             let party_ids = snapshot.store().party_ids().to_vec();
                             shards.sharded_pairwise(snapshot.n(), party_ids)
                         }
@@ -1217,13 +1466,16 @@ impl Server {
                 };
                 Response::TopPairs { pairs }
             }
-            Request::ExecuteTilesStream { .. } => {
-                // Intercepted at the transport layer (it answers with a
-                // frame stream, not one response); reaching here is a
+            Request::ExecuteTilesStream { .. }
+            | Request::FetchSnapshot { .. }
+            | Request::SnapshotPart { .. }
+            | Request::SnapshotSummary { .. } => {
+                // Intercepted at the transport layer (they answer with a
+                // frame stream, or are parts of one); reaching here is a
                 // bug.
                 Response::Error {
                     code: ERR_INTERNAL,
-                    message: "streamed execution is handled at the transport layer".to_string(),
+                    message: "streamed exchanges are handled at the transport layer".to_string(),
                 }
             }
             Request::Shutdown => {
@@ -1274,6 +1526,21 @@ impl Server {
                 control: Control::Continue,
             };
         }
+        if let Ok(Request::FetchSnapshot {
+            have_rows,
+            part_len,
+        }) = &decoded
+        {
+            let mut frames = Vec::new();
+            let _ = self.stream_snapshot_frames(*have_rows, *part_len, &mut |bytes| {
+                frames.push(bytes);
+                Ok(())
+            });
+            return ServiceReply {
+                frames,
+                control: Control::Continue,
+            };
+        }
         let (response, bye) = match decoded {
             Ok(request) => self.handle(&request),
             Err(e) => (
@@ -1293,17 +1560,304 @@ impl Server {
             },
         }
     }
+
+    /// Produce one `FetchSnapshot` answer as encoded frames: what a
+    /// replica holding `have_rows` rows is missing, as the cheapest
+    /// layered stream —
+    ///
+    /// * `have_rows ≥ base`: the journal **suffix** only, one
+    ///   [`SNAPSHOT_LAYER_JOURNAL`] part per missing frame;
+    /// * `have_rows < base`: the store snapshot in
+    ///   [`SNAPSHOT_LAYER_STORE`] chunks of `part_len` bytes, then the
+    ///   whole journal suffix —
+    ///
+    /// closed by one `SnapshotSummary` carrying the part count, total
+    /// chunk bytes, the folded stream digest, and the log's tip. In the
+    /// plain role (no replication log) the store itself is the
+    /// "snapshot" and there is never a journal layer. A replica
+    /// claiming more rows than the coordinator's tip gets a typed
+    /// `ERR_PLAN` refusal — it diverged, and guessing would be worse.
+    ///
+    /// # Errors
+    /// Only what `emit` returns (transport failures in thread mode).
+    fn stream_snapshot_frames(
+        &self,
+        have_rows: u64,
+        part_len: u32,
+        emit: &mut dyn FnMut(Vec<u8>) -> io::Result<()>,
+    ) -> io::Result<()> {
+        let part_len = if part_len == 0 {
+            DEFAULT_SNAPSHOT_PART_LEN
+        } else {
+            part_len as usize
+        };
+        let snapshot = self.current_snapshot();
+        let generation = snapshot.generation();
+        let (rows, parts): (u64, Vec<(u8, Vec<u8>)>) = match &self.shards {
+            Some(shards) => {
+                let log = shards.journal_lock();
+                let tip = log.tip() as u64;
+                if have_rows > tip {
+                    let refusal = Response::Error {
+                        code: ERR_PLAN,
+                        message: format!(
+                            "replica claims {have_rows} rows but the log tip is {tip} — \
+                             diverged ahead"
+                        ),
+                    };
+                    return emit(encode_bounded(&refusal));
+                }
+                let mut parts = Vec::new();
+                if (have_rows as usize) < log.base {
+                    let Some(snapshot) = &log.snapshot else {
+                        let refusal = Response::Error {
+                            code: ERR_INTERNAL,
+                            message: "log has a non-zero base but no snapshot".to_string(),
+                        };
+                        return emit(encode_bounded(&refusal));
+                    };
+                    for chunk in snapshot.chunks(part_len) {
+                        parts.push((SNAPSHOT_LAYER_STORE, chunk.to_vec()));
+                    }
+                    for frame in &log.frames {
+                        parts.push((SNAPSHOT_LAYER_JOURNAL, frame.clone()));
+                    }
+                } else {
+                    for frame in &log.frames[(have_rows as usize - log.base)..] {
+                        parts.push((SNAPSHOT_LAYER_JOURNAL, frame.clone()));
+                    }
+                }
+                (tip, parts)
+            }
+            None => {
+                let n = snapshot.n() as u64;
+                if have_rows >= n {
+                    (n, Vec::new())
+                } else {
+                    let bytes = snapshot.store().encode_snapshot(generation);
+                    let parts = bytes
+                        .chunks(part_len)
+                        .map(|chunk| (SNAPSHOT_LAYER_STORE, chunk.to_vec()))
+                        .collect();
+                    (n, parts)
+                }
+            }
+        };
+        let mut checksum = FNV1A64_INIT;
+        let mut total_len = 0u64;
+        let count = parts.len() as u64;
+        for (seq, (layer, chunk)) in parts.into_iter().enumerate() {
+            let seq = seq as u64;
+            checksum = snapshot_stream_checksum(checksum, seq, layer, &chunk);
+            total_len += chunk.len() as u64;
+            let part = Response::SnapshotPart { seq, layer, chunk };
+            emit(encode_bounded(&part))?;
+        }
+        let summary = Response::SnapshotSummary {
+            generation,
+            rows,
+            count,
+            total_len,
+            checksum,
+        };
+        emit(encode_bounded(&summary))
+    }
+
+    /// Close a push-install: verify the staged parts against the
+    /// summary (count, byte total, folded digest, and the generation
+    /// embedded in the snapshot itself), decode, and **replace** the
+    /// engine with the decoded store — the coordinator is the source of
+    /// truth, and every byte was checksummed twice (stream digest +
+    /// the snapshot's own trailer). Answers one `Hello` (the ack the
+    /// installing coordinator verifies the row count from) or a typed
+    /// error; a failed install never half-applies.
+    fn finish_snapshot_install(
+        &self,
+        staging: Option<InstallStaging>,
+        generation: u64,
+        rows: u64,
+        count: u64,
+        total_len: u64,
+        checksum: u64,
+    ) -> Response {
+        let staged = staging.unwrap_or_default();
+        if staged.next_seq != count
+            || staged.bytes.len() as u64 != total_len
+            || staged.digest != checksum
+        {
+            return Response::Error {
+                code: ERR_MALFORMED,
+                message: format!(
+                    "snapshot install summary mismatch: staged {} part(s), {} byte(s), \
+                     digest {:#018x} vs summary {count}/{total_len}/{checksum:#018x}",
+                    staged.next_seq,
+                    staged.bytes.len(),
+                    staged.digest
+                ),
+            };
+        }
+        let (store, snapshot_generation) = match SketchStore::decode_snapshot(&staged.bytes) {
+            Ok(decoded) => decoded,
+            Err(e) => return error_response(&e),
+        };
+        if store.n() as u64 != rows || snapshot_generation != generation {
+            return Response::Error {
+                code: ERR_MALFORMED,
+                message: format!(
+                    "snapshot install diverged: snapshot holds {} row(s) at generation \
+                     {snapshot_generation}, summary claims {rows} at {generation}",
+                    store.n()
+                ),
+            };
+        }
+        self.shared.mutate(move |engine| {
+            let par = match store.spec() {
+                Some(spec) => engine.parallelism().with_kernel(spec.kernel()),
+                None => engine.parallelism(),
+            };
+            let next_generation = engine.generation().max(snapshot_generation) + 1;
+            *engine = QueryEngine::new(store)
+                .with_parallelism(par)
+                .with_generation(next_generation);
+            Response::Hello {
+                k: engine.store().k().unwrap_or(0) as u32,
+                rows: engine.store().n() as u64,
+                tag: engine.store().tag().unwrap_or("").to_string(),
+                caps: SERVER_CAPS,
+            }
+        })
+    }
+}
+
+/// Default `FetchSnapshot` chunk size when the request leaves
+/// `part_len` at 0.
+const DEFAULT_SNAPSHOT_PART_LEN: usize = 256 << 10;
+
+/// Accumulated push-install parts on one connection: contiguous
+/// sequence check, folded stream digest, and the concatenated store
+/// snapshot bytes.
+struct InstallStaging {
+    next_seq: u64,
+    digest: u64,
+    bytes: Vec<u8>,
+}
+
+/// Stage one push-install `Request::SnapshotPart`. Parts are
+/// unacknowledged, so success emits nothing; a refusal clears the
+/// staging (a later summary then fails its count check rather than
+/// installing a gapped image) and returns the error frame to send.
+#[allow(clippy::result_large_err)]
+fn stage_snapshot_part(
+    staging: &mut Option<InstallStaging>,
+    seq: u64,
+    layer: u8,
+    chunk: &[u8],
+) -> Result<(), Response> {
+    if layer != SNAPSHOT_LAYER_STORE {
+        *staging = None;
+        return Err(Response::Error {
+            code: ERR_MALFORMED,
+            message: "push-install parts must carry the store layer".to_string(),
+        });
+    }
+    let staged = staging.get_or_insert_with(|| InstallStaging {
+        next_seq: 0,
+        digest: FNV1A64_INIT,
+        bytes: Vec::new(),
+    });
+    if seq != staged.next_seq {
+        let got = staged.next_seq;
+        *staging = None;
+        return Err(Response::Error {
+            code: ERR_MALFORMED,
+            message: format!("snapshot part {seq} arrived out of order (expected {got})"),
+        });
+    }
+    staged.digest = snapshot_stream_checksum(staged.digest, seq, layer, chunk);
+    staged.bytes.extend_from_slice(chunk);
+    staged.next_seq += 1;
+    Ok(())
+}
+
+impl Default for InstallStaging {
+    fn default() -> Self {
+        Self {
+            next_seq: 0,
+            digest: FNV1A64_INIT,
+            bytes: Vec::new(),
+        }
+    }
 }
 
 /// The [`FrameService`] the reactor drives: the server's request brain
-/// behind the `dp_net` frame boundary.
+/// behind the `dp_net` frame boundary, plus the per-connection
+/// push-install staging (thread mode keeps the equivalent staging as a
+/// local in [`Server::serve_conn`]; the reactor is connection-agnostic,
+/// so staging is keyed by the reactor's connection id and cleared by
+/// [`FrameService::conn_closed`]).
 struct SnapshotService<'a> {
     server: &'a Server,
+    installs: Mutex<BTreeMap<u64, InstallStaging>>,
+}
+
+impl SnapshotService<'_> {
+    /// Lock the install staging map, healing a poisoned mutex by
+    /// discarding all staged state (every affected install then fails
+    /// its summary check — never half-installs).
+    fn installs_lock(&self) -> MutexGuard<'_, BTreeMap<u64, InstallStaging>> {
+        self.installs.lock().unwrap_or_else(|poison| {
+            self.installs.clear_poison();
+            let mut guard = poison.into_inner();
+            guard.clear();
+            guard
+        })
+    }
 }
 
 impl FrameService for SnapshotService<'_> {
-    fn handle_frame(&self, payload: &[u8]) -> ServiceReply {
-        self.server.handle_payload(payload)
+    fn handle_frame(&self, conn: u64, payload: &[u8]) -> ServiceReply {
+        match decode_request(payload) {
+            Ok(Request::SnapshotPart { seq, layer, chunk }) => {
+                let mut map = self.installs_lock();
+                let mut staging = map.remove(&conn);
+                match stage_snapshot_part(&mut staging, seq, layer, &chunk) {
+                    Ok(()) => {
+                        if let Some(staged) = staging {
+                            map.insert(conn, staged);
+                        }
+                        ServiceReply {
+                            frames: Vec::new(),
+                            control: Control::Continue,
+                        }
+                    }
+                    Err(refusal) => ServiceReply {
+                        frames: vec![encode_bounded(&refusal)],
+                        control: Control::Continue,
+                    },
+                }
+            }
+            Ok(Request::SnapshotSummary {
+                generation,
+                rows,
+                count,
+                total_len,
+                checksum,
+            }) => {
+                let staging = self.installs_lock().remove(&conn);
+                let response = self
+                    .server
+                    .finish_snapshot_install(staging, generation, rows, count, total_len, checksum);
+                ServiceReply {
+                    frames: vec![encode_bounded(&response)],
+                    control: Control::Continue,
+                }
+            }
+            _ => self.server.handle_payload(payload),
+        }
+    }
+
+    fn conn_closed(&self, conn: u64) {
+        self.installs_lock().remove(&conn);
     }
 
     fn busy_payload(&self) -> Vec<u8> {
@@ -1406,7 +1960,11 @@ fn stream_tile_frames(
 }
 
 /// The capabilities this server advertises on every `Hello` answer.
-const SERVER_CAPS: u32 = CAP_TILE_STREAM | CAP_SKETCH_F32;
+const SERVER_CAPS: u32 = CAP_TILE_STREAM | CAP_SKETCH_F32 | CAP_SNAPSHOT;
+
+/// The capabilities [`Client`] itself speaks, offered in every
+/// `Hello` it sends on behalf of the coordinator role.
+const CLIENT_CAPS: u32 = CAP_TILE_STREAM | CAP_SKETCH_F32 | CAP_SNAPSHOT;
 
 /// The `Hello` negotiation: adopt the spec on a fresh store, accept a
 /// matching re-`Hello`, refuse a different spec. A spec differing
@@ -1627,7 +2185,7 @@ impl Client {
         self.expect(
             &Request::Hello {
                 spec_json: spec.to_json(),
-                caps: CAP_TILE_STREAM | CAP_SKETCH_F32,
+                caps: CLIENT_CAPS,
             },
             |r| match r {
                 Response::Hello { k, rows, tag, caps } => Some((k, rows, tag, caps)),
@@ -1832,6 +2390,131 @@ impl Client {
         }
     }
 
+    /// Fetch everything past `have_rows` from the server's layered
+    /// replication state as a part stream: each part is handed to
+    /// `sink` as `(layer, chunk)` — [`SNAPSHOT_LAYER_STORE`] chunks
+    /// concatenate into one store snapshot image, each
+    /// [`SNAPSHOT_LAYER_JOURNAL`] part is one journaled ingest frame.
+    /// Returns the closing summary's `(generation, rows, count)` after
+    /// verifying its part count, byte total, and folded stream digest.
+    /// `part_len` 0 lets the server pick its default chunk size.
+    ///
+    /// Only valid against a server whose `Hello` advertised
+    /// [`CAP_SNAPSHOT`].
+    ///
+    /// # Errors
+    /// [`ClientError::Remote`] (`ERR_PLAN`) when `have_rows` is ahead
+    /// of the server's log (the caller diverged and must refetch from
+    /// 0); [`ClientError::Codec`] with [`CoreError::ChecksumMismatch`]
+    /// on a summary digest mismatch; transport/codec failures;
+    /// [`ClientError::Timeout`] past the read timeout.
+    pub fn fetch_snapshot(
+        &mut self,
+        have_rows: u64,
+        part_len: u32,
+        sink: &mut dyn FnMut(u8, Vec<u8>),
+    ) -> Result<(u64, u64, u64), ClientError> {
+        let request = Request::FetchSnapshot {
+            have_rows,
+            part_len,
+        };
+        let payload = encode_request(&request)?;
+        write_frame(&mut self.conn, &payload)?;
+        let mut digest = FNV1A64_INIT;
+        let mut count = 0u64;
+        let mut received = 0u64;
+        loop {
+            let reply = read_frame(&mut self.conn)?.ok_or_else(|| {
+                ClientError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection mid-stream",
+                ))
+            })?;
+            match decode_response(&reply)? {
+                Response::SnapshotPart { seq, layer, chunk } => {
+                    if seq != count {
+                        return Err(ClientError::UnexpectedResponse);
+                    }
+                    digest = snapshot_stream_checksum(digest, seq, layer, &chunk);
+                    count += 1;
+                    received += chunk.len() as u64;
+                    sink(layer, chunk);
+                }
+                Response::SnapshotSummary {
+                    generation,
+                    rows,
+                    count: sent,
+                    total_len,
+                    checksum,
+                } => {
+                    if sent != count || total_len != received || checksum != digest {
+                        return Err(ClientError::Codec(CoreError::ChecksumMismatch {
+                            stored: checksum,
+                            computed: digest,
+                        }));
+                    }
+                    return Ok((generation, rows, count));
+                }
+                Response::Error { code, message } => {
+                    return Err(ClientError::Remote { code, message })
+                }
+                _ => return Err(ClientError::UnexpectedResponse),
+            }
+        }
+    }
+
+    /// Push-install a store snapshot image onto the server, replacing
+    /// its engine wholesale: the image is chunked into unacknowledged
+    /// [`SNAPSHOT_LAYER_STORE`] parts, closed with a summary carrying
+    /// `rows`, `generation`, and the folded stream digest, and the
+    /// server answers one `Hello` whose row count this returns. A
+    /// coordinator uses this to seed a replica that predates the
+    /// compacted journal. `part_len` 0 uses the wire default.
+    ///
+    /// # Errors
+    /// [`ClientError::Remote`] (`ERR_MALFORMED`) when the server's
+    /// staging disagrees with the summary; transport/codec failures;
+    /// [`ClientError::Timeout`] past the read timeout.
+    pub fn install_snapshot(
+        &mut self,
+        snapshot: &[u8],
+        rows: u64,
+        generation: u64,
+        part_len: usize,
+    ) -> Result<u64, ClientError> {
+        let part_len = if part_len == 0 {
+            DEFAULT_SNAPSHOT_PART_LEN
+        } else {
+            part_len
+        };
+        let mut digest = FNV1A64_INIT;
+        let mut count = 0u64;
+        for chunk in snapshot.chunks(part_len) {
+            digest = snapshot_stream_checksum(digest, count, SNAPSHOT_LAYER_STORE, chunk);
+            let part = Request::SnapshotPart {
+                seq: count,
+                layer: SNAPSHOT_LAYER_STORE,
+                chunk: chunk.to_vec(),
+            };
+            let payload = encode_request(&part)?;
+            write_frame(&mut self.conn, &payload)?;
+            count += 1;
+        }
+        self.expect(
+            &Request::SnapshotSummary {
+                generation,
+                rows,
+                count,
+                total_len: snapshot.len() as u64,
+                checksum: digest,
+            },
+            |r| match r {
+                Response::Hello { rows, .. } => Some(rows),
+                _ => None,
+            },
+        )
+    }
+
     /// Ask the server to exit cleanly; consumes the client.
     ///
     /// # Errors
@@ -1859,7 +2542,7 @@ mod tests {
             workers: Vec::new(),
             tile: 4,
             order: Mutex::new(()),
-            journal: Mutex::new(IngestJournal::default()),
+            journal: Mutex::new(ReplicationLog::in_memory(0)),
             gathered: Mutex::new(None),
             stats: StatsCells::default(),
         }

@@ -4,6 +4,8 @@
 //! dp-server [--listen tcp:HOST:PORT | --listen unix:PATH]
 //!           [--spec PATH.json] [--workers N] [--serve-mode threads|evloop]
 //!           [--worker ENDPOINT]... [--shard-tile T] [--worker-timeout SECS]
+//!           [--data-dir PATH] [--compact-threshold N]
+//!           [--standby PRIMARY-ENDPOINT]
 //! ```
 //!
 //! Without `--spec` the store adopts the spec proposed by the first
@@ -28,17 +30,161 @@
 //! with a typed error instead of hanging the coordinator. Worker
 //! servers are plain `dp-server` instances — start them first, or
 //! within the coordinator's connect-retry window (~5 s).
+//!
+//! `--data-dir` makes the coordinator **durable**: every accepted
+//! ingest is appended to an on-disk journal, snapshots are written on
+//! compaction (`--compact-threshold` journal frames, 0 = never), and a
+//! restart with the same directory recovers the full store before
+//! accepting connections. `--standby PRIMARY` runs a **warm standby**
+//! instead of serving: it tails the primary's replication log over the
+//! wire and, once the primary stays unreachable, binds `--listen`
+//! itself, reconnects the `--worker` pool, and serves as the new
+//! coordinator — same store, bit-identical answers.
 
+use dp_core::protocol::SNAPSHOT_LAYER_STORE;
 use dp_core::sketcher::SketcherSpec;
 use dp_core::Parallelism;
 use dp_engine::{QueryEngine, SketchStore};
-use dp_server::{Client, Endpoint, ServeMode, Server, WorkerEntry};
+use dp_server::{Client, ClientError, CoordinatorConfig, Endpoint, ServeMode, Server, WorkerEntry};
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
 
 fn fail(message: &str) -> ExitCode {
     eprintln!("dp-server: {message}");
     ExitCode::FAILURE
+}
+
+/// How many consecutive failed probes of the primary a standby
+/// tolerates before promoting itself. At the default 100 ms tail
+/// cadence this is ~half a second of silence — long enough to ride out
+/// a restart-level blip, short enough that takeover is prompt.
+const STANDBY_PROMOTE_AFTER: u32 = 5;
+
+/// The pause between standby tail rounds.
+const STANDBY_TICK: Duration = Duration::from_millis(100);
+
+/// Tail the primary's replication log into a local engine until the
+/// primary stays dead, then promote: bind `listen`, reconnect the
+/// worker pool, and serve as the coordinator. The standby does **not**
+/// bind its listen endpoint until promotion — there is exactly one
+/// coordinator at a time.
+#[allow(clippy::too_many_arguments)]
+fn run_standby(
+    primary: Endpoint,
+    listen: Endpoint,
+    worker_endpoints: &[String],
+    config: CoordinatorConfig,
+    worker_timeout: Duration,
+    serve_mode: ServeMode,
+    loops: usize,
+) -> ExitCode {
+    let mut engine = QueryEngine::new(SketchStore::adopting());
+    let mut conn: Option<Client> = None;
+    let mut failures = 0u32;
+    println!("dp-server: standby tailing {primary}");
+    while failures < STANDBY_PROMOTE_AFTER {
+        std::thread::sleep(STANDBY_TICK);
+        let client = match conn.as_mut() {
+            Some(client) => client,
+            None => match Client::connect(&primary) {
+                Ok(client) => {
+                    if client.set_read_timeout(Some(worker_timeout)).is_err() {
+                        failures += 1;
+                        continue;
+                    }
+                    conn.insert(client)
+                }
+                Err(_) => {
+                    failures += 1;
+                    continue;
+                }
+            },
+        };
+        let have = engine.store().n() as u64;
+        let mut store_bytes: Vec<u8> = Vec::new();
+        let mut journal_frames: Vec<Vec<u8>> = Vec::new();
+        match client.fetch_snapshot(have, 0, &mut |layer, chunk| {
+            if layer == SNAPSHOT_LAYER_STORE {
+                store_bytes.extend_from_slice(&chunk);
+            } else {
+                journal_frames.push(chunk);
+            }
+        }) {
+            Ok(_) => {
+                failures = 0;
+                if !store_bytes.is_empty() {
+                    match SketchStore::decode_snapshot(&store_bytes) {
+                        Ok((store, generation)) => {
+                            let par = match store.spec() {
+                                Some(spec) => engine.parallelism().with_kernel(spec.kernel()),
+                                None => engine.parallelism(),
+                            };
+                            engine = QueryEngine::new(store)
+                                .with_parallelism(par)
+                                .with_generation(generation);
+                        }
+                        Err(e) => {
+                            eprintln!("dp-server: standby snapshot decode failed: {e}");
+                            continue;
+                        }
+                    }
+                }
+                for frame in &journal_frames {
+                    if let Err(e) = engine.ingest_bytes(frame) {
+                        eprintln!("dp-server: standby journal frame refused: {e}");
+                        break;
+                    }
+                }
+            }
+            Err(ClientError::Remote { message, .. }) => {
+                // The primary is alive but refused the tail — the
+                // standby diverged ahead (a primary restart from an
+                // older snapshot). Drop local state and refetch from 0.
+                eprintln!("dp-server: standby diverged ({message}); refetching from scratch");
+                failures = 0;
+                engine = QueryEngine::new(SketchStore::adopting());
+            }
+            Err(_) => {
+                failures += 1;
+                conn = None;
+            }
+        }
+    }
+
+    println!(
+        "dp-server: primary {primary} unreachable after {failures} probe(s) — promoting standby \
+         holding {} row(s)",
+        engine.store().n()
+    );
+    let mut worker_clients = Vec::with_capacity(worker_endpoints.len());
+    for text in worker_endpoints {
+        let worker_endpoint = match Endpoint::parse(text) {
+            Ok(e) => e,
+            Err(e) => return fail(&e),
+        };
+        match connect_worker(&worker_endpoint, worker_timeout) {
+            Ok(client) => worker_clients.push(WorkerEntry::reconnectable(
+                client,
+                worker_endpoint,
+                Some(worker_timeout),
+            )),
+            Err(e) => return fail(&format!("cannot reach worker {worker_endpoint}: {e}")),
+        }
+    }
+    let server = match Server::bind_coordinator_with(listen, engine, worker_clients, config) {
+        Ok(s) => s,
+        Err(e) => return fail(&format!("cannot bind after promotion: {e}")),
+    };
+    let server = server.with_conn_timeout(Some(worker_timeout));
+    println!(
+        "dp-server: promoted standby serving on {} ({} worker(s))",
+        server.local_endpoint(),
+        server.worker_count()
+    );
+    server.serve_mode(serve_mode, loops);
+    println!("dp-server: clean shutdown");
+    ExitCode::SUCCESS
 }
 
 /// Connect to a worker endpoint, retrying briefly: coordinator and
@@ -70,6 +216,9 @@ fn main() -> ExitCode {
     let mut shard_tile = dp_parallel::DEFAULT_TILE;
     let mut worker_timeout = Duration::from_secs(30);
     let mut serve_mode = ServeMode::Threads;
+    let mut data_dir: Option<PathBuf> = None;
+    let mut compact_threshold = 0usize;
+    let mut standby: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         let value = |i: usize| args.get(i + 1).cloned();
@@ -116,6 +265,27 @@ fn main() -> ExitCode {
                 }
                 None => return fail("--worker-timeout needs seconds"),
             },
+            "--data-dir" => match value(i) {
+                Some(v) => {
+                    data_dir = Some(PathBuf::from(v));
+                    i += 2;
+                }
+                None => return fail("--data-dir needs a path"),
+            },
+            "--compact-threshold" => match value(i).and_then(|v| v.parse::<usize>().ok()) {
+                Some(v) => {
+                    compact_threshold = v;
+                    i += 2;
+                }
+                None => return fail("--compact-threshold needs an integer"),
+            },
+            "--standby" => match value(i) {
+                Some(v) => {
+                    standby = Some(v);
+                    i += 2;
+                }
+                None => return fail("--standby needs the primary's endpoint"),
+            },
             "--serve-mode" => match value(i).as_deref().map(ServeMode::parse) {
                 Some(Ok(mode)) => {
                     serve_mode = mode;
@@ -128,7 +298,8 @@ fn main() -> ExitCode {
                 println!(
                     "usage: dp-server [--listen tcp:HOST:PORT|unix:PATH] \
                      [--spec PATH.json] [--workers N] [--serve-mode threads|evloop] \
-                     [--worker ENDPOINT]... [--shard-tile T] [--worker-timeout SECS]"
+                     [--worker ENDPOINT]... [--shard-tile T] [--worker-timeout SECS] \
+                     [--data-dir PATH] [--compact-threshold N] [--standby ENDPOINT]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -140,6 +311,26 @@ fn main() -> ExitCode {
         Ok(e) => e,
         Err(e) => return fail(&e),
     };
+    let config = CoordinatorConfig {
+        tile: shard_tile,
+        compact_threshold,
+        data_dir,
+    };
+    if let Some(primary) = standby {
+        let primary = match Endpoint::parse(&primary) {
+            Ok(e) => e,
+            Err(e) => return fail(&e),
+        };
+        return run_standby(
+            primary,
+            endpoint,
+            &worker_endpoints,
+            config,
+            worker_timeout,
+            serve_mode,
+            workers,
+        );
+    }
     let store = match &spec_path {
         Some(path) => {
             let text = match std::fs::read_to_string(path) {
@@ -178,9 +369,10 @@ fn main() -> ExitCode {
         }
     }
 
-    let coordinator = !worker_clients.is_empty();
+    let coordinator =
+        !worker_clients.is_empty() || config.data_dir.is_some() || config.compact_threshold > 0;
     let server = if coordinator {
-        Server::bind_coordinator(endpoint, engine, worker_clients, shard_tile)
+        Server::bind_coordinator_with(endpoint, engine, worker_clients, config)
     } else {
         Server::bind(endpoint, engine)
     };

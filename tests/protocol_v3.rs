@@ -6,9 +6,10 @@
 
 use dp_euclid::core::protocol::{
     decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
-    Request, Response, CAP_SKETCH_F32, CAP_TILE_STREAM, ERR_BUSY, ERR_DUPLICATE_PARTY,
-    ERR_INCOMPATIBLE, ERR_INTERNAL, ERR_KERNEL, ERR_MALFORMED, ERR_PLAN, ERR_SPEC,
-    ERR_SPEC_MISMATCH, ERR_UNKNOWN_PARTY, ERR_WORKER,
+    Request, Response, CAP_SKETCH_F32, CAP_SNAPSHOT, CAP_TILE_STREAM, ERR_BUSY,
+    ERR_DUPLICATE_PARTY, ERR_INCOMPATIBLE, ERR_INTERNAL, ERR_KERNEL, ERR_MALFORMED, ERR_PLAN,
+    ERR_SPEC, ERR_SPEC_MISMATCH, ERR_UNKNOWN_PARTY, ERR_WORKER, SNAPSHOT_LAYER_JOURNAL,
+    SNAPSHOT_LAYER_STORE,
 };
 use dp_euclid::core::release::Release;
 use dp_euclid::hashing::Seed;
@@ -68,6 +69,27 @@ fn all_requests() -> Vec<Request> {
             rows: 17,
             tile: 5,
             tile_ids: vec![2, 8],
+        },
+        Request::FetchSnapshot {
+            have_rows: 12,
+            part_len: 0,
+        },
+        Request::SnapshotPart {
+            seq: 0,
+            layer: SNAPSHOT_LAYER_STORE,
+            chunk: vec![0xde, 0xad, 0xbe, 0xef],
+        },
+        Request::SnapshotPart {
+            seq: 3,
+            layer: SNAPSHOT_LAYER_JOURNAL,
+            chunk: vec![],
+        },
+        Request::SnapshotSummary {
+            generation: 9,
+            rows: 12,
+            count: 4,
+            total_len: 4096,
+            checksum: 0xfeed_f00d_dead_beef,
         },
     ]
 }
@@ -141,6 +163,23 @@ fn all_responses() -> Vec<Response> {
             tile: 5,
             count: 2,
             checksum: 0x0123_4567_89ab_cdef,
+        },
+        Response::SnapshotPart {
+            seq: 1,
+            layer: SNAPSHOT_LAYER_JOURNAL,
+            chunk: vec![0x01, 0x02],
+        },
+        Response::SnapshotPart {
+            seq: 0,
+            layer: SNAPSHOT_LAYER_STORE,
+            chunk: vec![],
+        },
+        Response::SnapshotSummary {
+            generation: 5,
+            rows: 17,
+            count: 3,
+            total_len: 12_345,
+            checksum: 0x0bad_cafe_1234_5678,
         },
     ]
 }
@@ -291,7 +330,9 @@ fn hello_caps_roundtrip_all_advertised_bits() {
         0,
         CAP_TILE_STREAM,
         CAP_SKETCH_F32,
+        CAP_SNAPSHOT,
         CAP_TILE_STREAM | CAP_SKETCH_F32,
+        CAP_TILE_STREAM | CAP_SKETCH_F32 | CAP_SNAPSHOT,
     ] {
         let req = Request::Hello {
             spec_json: sample_spec().to_json(),
